@@ -1,0 +1,69 @@
+//! Criterion benches of the analysis path: EBS/LBR estimation, hybrid
+//! combination, mix derivation and pivot tables (the paper: "analyzing
+//! most workloads in a minute or less").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hbbp_core::{ebs, hybrid, lbr, Analyzer, Field, HybridRule, LbrOptions, SamplingPeriods};
+use hbbp_isa::Taxonomy;
+use hbbp_perf::PerfSession;
+use hbbp_sim::Cpu;
+use hbbp_workloads::{generate, GenSpec, Scale};
+use std::hint::black_box;
+
+fn bench_analyzer(c: &mut Criterion) {
+    let w = generate(&GenSpec::default(), Scale::Tiny);
+    let cpu = Cpu::with_seed(11);
+    let instructions = cpu
+        .run_clean(w.program(), w.layout(), w.oracle())
+        .unwrap()
+        .instructions;
+    let periods = SamplingPeriods::scaled_for(instructions);
+    let session = PerfSession::hbbp(cpu, periods.ebs, periods.lbr);
+    let rec = session
+        .record(w.program(), w.layout(), w.oracle())
+        .unwrap();
+    let analyzer =
+        Analyzer::from_images(&w.images(hbbp_program::ImageView::Live), w.layout().symbols())
+            .unwrap();
+
+    let mut group = c.benchmark_group("analyzer");
+    group.sample_size(30);
+
+    group.bench_function("ebs_estimate", |b| {
+        b.iter(|| black_box(ebs::estimate(&rec.data, analyzer.map(), periods.ebs).bbec.total()))
+    });
+    group.bench_function("lbr_estimate_with_bias_detection", |b| {
+        b.iter(|| {
+            black_box(
+                lbr::estimate(&rec.data, analyzer.map(), periods.lbr, &LbrOptions::default())
+                    .bbec
+                    .total(),
+            )
+        })
+    });
+
+    let e = ebs::estimate(&rec.data, analyzer.map(), periods.ebs);
+    let l = lbr::estimate(&rec.data, analyzer.map(), periods.lbr, &LbrOptions::default());
+    let rule = HybridRule::paper_default();
+    group.bench_function("hybrid_combine", |b| {
+        b.iter(|| black_box(hybrid::combine(analyzer.map(), &e, &l, &rule).bbec.total()))
+    });
+
+    let h = hybrid::combine(analyzer.map(), &e, &l, &rule);
+    group.bench_function("mix_from_bbec", |b| {
+        b.iter(|| black_box(analyzer.mix(&h.bbec).total()))
+    });
+    group.bench_function("pivot_ext_packing", |b| {
+        b.iter(|| {
+            black_box(
+                analyzer
+                    .pivot(&h.bbec, &[Field::Taxon(Taxonomy::ext_packing())])
+                    .total(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyzer);
+criterion_main!(benches);

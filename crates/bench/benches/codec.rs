@@ -1,0 +1,56 @@
+//! Criterion benches of the codecs: the XED-substitute instruction
+//! encoder/decoder and the perf.data-like record stream.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hbbp_core::SamplingPeriods;
+use hbbp_isa::codec;
+use hbbp_perf::PerfSession;
+use hbbp_sim::Cpu;
+use hbbp_workloads::{generate, GenSpec, MixProfile, Scale};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_isa_codec(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let instrs = MixProfile::int_heavy().gen_block_body(10_000, &mut rng);
+    let bytes = codec::encode_all(&instrs);
+
+    let mut group = c.benchmark_group("isa_codec");
+    group.throughput(Throughput::Elements(instrs.len() as u64));
+    group.bench_function("encode_10k_instructions", |b| {
+        b.iter(|| black_box(codec::encode_all(&instrs).len()))
+    });
+    group.bench_function("decode_10k_instructions", |b| {
+        b.iter(|| black_box(codec::decode_all(&bytes).unwrap().len()))
+    });
+    group.finish();
+}
+
+fn bench_perf_codec(c: &mut Criterion) {
+    let w = generate(&GenSpec::default(), Scale::Tiny);
+    let cpu = Cpu::with_seed(5);
+    let instructions = cpu
+        .run_clean(w.program(), w.layout(), w.oracle())
+        .unwrap()
+        .instructions;
+    let periods = SamplingPeriods::scaled_for(instructions);
+    let session = PerfSession::hbbp(cpu, periods.ebs, periods.lbr);
+    let rec = session
+        .record(w.program(), w.layout(), w.oracle())
+        .unwrap();
+    let bytes = hbbp_perf::codec::write(&rec.data);
+
+    let mut group = c.benchmark_group("perf_codec");
+    group.throughput(Throughput::Elements(rec.data.len() as u64));
+    group.bench_function("write_perf_data", |b| {
+        b.iter(|| black_box(hbbp_perf::codec::write(&rec.data).len()))
+    });
+    group.bench_function("read_perf_data", |b| {
+        b.iter(|| black_box(hbbp_perf::codec::read(&bytes).unwrap().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_isa_codec, bench_perf_codec);
+criterion_main!(benches);

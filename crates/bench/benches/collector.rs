@@ -1,0 +1,56 @@
+//! Criterion benches of the collection path: the CPU/PMU simulator in
+//! clean and sampling modes (the paper's "negligibly small" collection
+//! overhead claim, applied to our own engine).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hbbp_core::SamplingPeriods;
+use hbbp_sim::{Cpu, PmuConfig};
+use hbbp_workloads::{generate, GenSpec, Scale};
+use std::hint::black_box;
+
+fn bench_collector(c: &mut Criterion) {
+    let w = generate(&GenSpec::default(), Scale::Tiny);
+    let cpu = Cpu::with_seed(7);
+    let instructions = cpu
+        .run_clean(w.program(), w.layout(), w.oracle())
+        .unwrap()
+        .instructions;
+
+    let mut group = c.benchmark_group("collector");
+    group.throughput(Throughput::Elements(instructions));
+    group.sample_size(20);
+
+    group.bench_function("clean_run", |b| {
+        b.iter(|| {
+            let r = cpu
+                .run_clean(w.program(), w.layout(), w.oracle())
+                .unwrap();
+            black_box(r.cycles)
+        })
+    });
+
+    let periods = SamplingPeriods::scaled_for(instructions);
+    let pmu = PmuConfig::hbbp_collector(periods.ebs, periods.lbr);
+    group.bench_function("hbbp_dual_lbr_collection", |b| {
+        b.iter(|| {
+            let r = cpu
+                .run(w.program(), w.layout(), w.oracle(), &pmu)
+                .unwrap();
+            black_box(r.samples.len())
+        })
+    });
+
+    let dense = PmuConfig::hbbp_collector(periods.ebs / 8 + 1, periods.lbr / 8 + 1);
+    group.bench_function("dense_sampling_8x", |b| {
+        b.iter(|| {
+            let r = cpu
+                .run(w.program(), w.layout(), w.oracle(), &dense)
+                .unwrap();
+            black_box(r.samples.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_collector);
+criterion_main!(benches);

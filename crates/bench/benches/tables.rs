@@ -1,0 +1,76 @@
+//! Criterion benches of the remaining analysis machinery: static block
+//! discovery, decision-tree training, and error metric computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hbbp_core::MixComparison;
+use hbbp_instrument::Instrumenter;
+use hbbp_mltree::{Dataset, DecisionTree, TrainConfig};
+use hbbp_program::{BlockMap, ImageView};
+use hbbp_workloads::{generate, GenSpec, Scale};
+use std::hint::black_box;
+
+fn bench_discovery(c: &mut Criterion) {
+    let w = generate(&GenSpec::default(), Scale::Tiny);
+    let images = w.images(ImageView::Disk);
+    c.bench_function("static_block_discovery", |b| {
+        b.iter(|| {
+            black_box(
+                BlockMap::discover(&images, w.layout().symbols())
+                    .unwrap()
+                    .len(),
+            )
+        })
+    });
+}
+
+fn bench_tree_training(c: &mut Criterion) {
+    // A synthetic criteria-search dataset: 1,100 blocks, 6 features.
+    let mut data = Dataset::new(
+        ["block_len", "bias", "exec", "long_lat", "mean_lat", "backward"],
+        ["EBS", "LBR"],
+    );
+    for i in 0..1100usize {
+        let len = 1 + (i * 7) % 45;
+        let bias = (i % 11 == 0) as u8 as f64;
+        let label = usize::from(len <= 18 && bias == 0.0);
+        data.push_weighted(
+            vec![
+                len as f64,
+                bias,
+                3.0 + (i % 5) as f64,
+                (i % 3 == 0) as u8 as f64,
+                1.0 + (i % 9) as f64,
+                (i % 2) as f64,
+            ],
+            label,
+            1.0 + (i % 13) as f64,
+        )
+        .unwrap();
+    }
+    c.bench_function("cart_training_1100_blocks", |b| {
+        b.iter(|| {
+            black_box(
+                DecisionTree::train(&data, &TrainConfig::default())
+                    .unwrap()
+                    .leaves(),
+            )
+        })
+    });
+}
+
+fn bench_error_metrics(c: &mut Criterion) {
+    let w = generate(&GenSpec::default(), Scale::Tiny);
+    let truth = Instrumenter::new().run(w.program(), w.layout(), w.oracle());
+    let mut measured = truth.mix.clone();
+    measured.scale(1.02);
+    c.bench_function("avg_weighted_error", |b| {
+        b.iter(|| {
+            black_box(
+                MixComparison::compare(&truth.mix, &measured).avg_weighted_error(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_discovery, bench_tree_training, bench_error_metrics);
+criterion_main!(benches);

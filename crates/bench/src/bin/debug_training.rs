@@ -1,0 +1,135 @@
+//! Diagnostic: inspect per-block EBS/LBR error structure on the training
+//! suite — used to calibrate the hardware-artefact models so the learned
+//! rule reproduces the paper's shape. Not part of the public experiment
+//! set.
+
+use hbbp_core::{train_rule, HbbpProfiler, TrainingConfig};
+use hbbp_instrument::Instrumenter;
+use hbbp_sim::Cpu;
+use hbbp_workloads::{training_suite, Scale};
+
+fn main() {
+    let workloads = training_suite(Scale::Tiny);
+
+    // Bucket errors by block length.
+    let mut buckets: Vec<(usize, usize, f64, f64, u64)> = vec![(0, 0, 0.0, 0.0, 0); 12];
+    let bucket_of = |len: usize| (len / 4).min(11);
+
+    let mut bias_blocks = 0u64;
+    let mut bias_lbr_err = 0.0;
+    let mut nonbias_lbr_err = 0.0;
+    let mut nonbias_blocks = 0u64;
+
+    for (i, w) in workloads.iter().enumerate() {
+        let profiler = HbbpProfiler::new(Cpu::with_seed(0x7EA1 ^ (i as u64) << 8));
+        let r = profiler.profile(w).unwrap();
+        let truth = Instrumenter::new().run(w.program(), w.layout(), w.oracle());
+        for block in r.analyzer.map().blocks() {
+            let t = truth.bbec.get(block.start);
+            if t < 30.0 {
+                continue;
+            }
+            let e = ((r.analysis.ebs.count(block.start) - t) / t).abs();
+            let l = ((r.analysis.lbr.count(block.start) - t) / t).abs();
+            let b = bucket_of(block.len());
+            buckets[b].0 += 1;
+            if l < e {
+                buckets[b].1 += 1;
+            }
+            buckets[b].2 += e;
+            buckets[b].3 += l;
+            buckets[b].4 += 1;
+            if r.analysis.lbr.is_biased(block.start) {
+                bias_blocks += 1;
+                bias_lbr_err += l;
+            } else {
+                nonbias_blocks += 1;
+                nonbias_lbr_err += l;
+            }
+        }
+    }
+    println!("len-bucket  n  lbr-wins  mean-ebs-err  mean-lbr-err");
+    for (i, (n, lbr_wins, ebs_err, lbr_err, cnt)) in buckets.iter().enumerate() {
+        if *cnt == 0 {
+            continue;
+        }
+        println!(
+            "{:>3}-{:>3}  {:>4}  {:>6.1}%  {:>10.2}%  {:>10.2}%",
+            i * 4,
+            i * 4 + 3,
+            n,
+            *lbr_wins as f64 / *n as f64 * 100.0,
+            ebs_err / *cnt as f64 * 100.0,
+            lbr_err / *cnt as f64 * 100.0
+        );
+    }
+    println!(
+        "\nbiased blocks: {bias_blocks} (mean LBR err {:.2}%), non-biased: {nonbias_blocks} (mean {:.2}%)",
+        bias_lbr_err / bias_blocks.max(1) as f64 * 100.0,
+        nonbias_lbr_err / nonbias_blocks.max(1) as f64 * 100.0
+    );
+
+    // Bias mechanics: find sticky branches in the static maps and report
+    // their entry[0] statistics.
+    println!("\nsticky-branch entry[0] statistics (first 3 workloads):");
+    for (i, w) in workloads.iter().take(3).enumerate() {
+        let profiler = HbbpProfiler::new(Cpu::with_seed(0x7EA1 ^ (i as u64) << 8));
+        let r = profiler.profile(w).unwrap();
+        use hbbp_sim::{is_sticky_branch, EventSpec};
+        use std::collections::HashMap;
+        let mut entry0: HashMap<u64, u64> = HashMap::new();
+        let mut appear: HashMap<u64, u64> = HashMap::new();
+        let mut total_entries = 0u64;
+        let mut stacks = 0u64;
+        for s in r
+            .recording
+            .data
+            .samples_of(EventSpec::br_inst_retired_near_taken())
+        {
+            if s.lbr.is_empty() {
+                continue;
+            }
+            stacks += 1;
+            *entry0.entry(s.lbr[0].from).or_insert(0) += 1;
+            for e in &s.lbr {
+                *appear.entry(e.from).or_insert(0) += 1;
+                total_entries += 1;
+            }
+        }
+        let mut sticky_n = 0;
+        for block in r.analyzer.map().blocks() {
+            if block.term_kind != Some(hbbp_isa::BranchKind::Conditional) {
+                continue;
+            }
+            let term = block.terminator_addr();
+            if !is_sticky_branch(term) {
+                continue;
+            }
+            sticky_n += 1;
+            let a = appear.get(&term).copied().unwrap_or(0);
+            if a < 16 {
+                continue;
+            }
+            let e0 = entry0.get(&term).copied().unwrap_or(0);
+            println!(
+                "  {}: sticky branch {:#x}: entry0 {}/{} = {:.2}, fair {:.2}",
+                w.name(),
+                term,
+                e0,
+                stacks,
+                e0 as f64 / stacks as f64,
+                a as f64 / total_entries as f64
+            );
+        }
+        println!(
+            "  {}: {} sticky conditional branches, {} biased branches detected, {} stacks",
+            w.name(),
+            sticky_n,
+            r.analysis.lbr.biased_branches.len(),
+            stacks
+        );
+    }
+
+    let outcome = train_rule(&workloads, &TrainingConfig::default()).unwrap();
+    println!("\n{outcome}");
+}

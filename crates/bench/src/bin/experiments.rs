@@ -1,0 +1,98 @@
+//! Regenerate every table and figure of the paper.
+
+use hbbp_bench::exp::{ablations, figures, tables, ExpOptions};
+use hbbp_core::HybridRule;
+use hbbp_workloads::Scale;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <cmd> [--scale tiny|small|full] [--seed N] [--rule paper|cutoff=N|always-ebs|always-lbr]\n\
+         cmds: all, table1..table8, fig1..fig4,\n\
+               ablate-cutoff, ablate-stack, ablate-periods, ablate-quirk, ablate-kernel-patch"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let cmd = args[0].clone();
+    let mut opts = ExpOptions::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                opts.scale = match args.get(i).map(String::as_str) {
+                    Some("tiny") => Scale::Tiny,
+                    Some("small") => Scale::Small,
+                    Some("full") => Scale::Full,
+                    _ => usage(),
+                };
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--rule" => {
+                i += 1;
+                opts.rule = match args.get(i).map(String::as_str) {
+                    Some("paper") => HybridRule::paper_default(),
+                    Some("always-ebs") => HybridRule::AlwaysEbs,
+                    Some("always-lbr") => HybridRule::AlwaysLbr,
+                    Some(s) if s.starts_with("cutoff=") => {
+                        match s["cutoff=".len()..].parse() {
+                            Ok(c) => HybridRule::LengthCutoff(c),
+                            Err(_) => usage(),
+                        }
+                    }
+                    _ => usage(),
+                };
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let experiments: Vec<(&str, fn(&ExpOptions) -> String)> = vec![
+        ("table1", tables::table1),
+        ("table2", tables::table2),
+        ("table3", tables::table3),
+        ("table4", tables::table4),
+        ("fig1", figures::fig1),
+        ("fig2", figures::fig2),
+        ("table5", tables::table5),
+        ("fig3", figures::fig3),
+        ("fig4", figures::fig4),
+        ("table6", tables::table6),
+        ("table7", tables::table7),
+        ("table8", tables::table8),
+        ("ablate-cutoff", ablations::ablate_cutoff),
+        ("ablate-stack", ablations::ablate_stack_depth),
+        ("ablate-periods", ablations::ablate_periods),
+        ("ablate-quirk", ablations::ablate_quirk),
+        ("ablate-kernel-patch", ablations::ablate_kernel_patch),
+    ];
+
+    let run = |name: &str, f: fn(&ExpOptions) -> String, opts: &ExpOptions| {
+        let t0 = Instant::now();
+        let output = f(opts);
+        println!("==== {name} ====\n");
+        println!("{output}");
+        eprintln!("[{name} took {:.1}s]", t0.elapsed().as_secs_f64());
+    };
+
+    if cmd == "all" {
+        for (name, f) in &experiments {
+            run(name, *f, &opts);
+        }
+        return;
+    }
+    match experiments.iter().find(|(n, _)| *n == cmd) {
+        Some((name, f)) => run(name, *f, &opts),
+        None => usage(),
+    }
+}

@@ -1,0 +1,240 @@
+//! Ablation experiments for the design choices DESIGN.md calls out:
+//! the length cutoff, LBR stack depth, sampling periods, the entry[0]
+//! quirk, and the kernel text patch.
+
+use super::{pct, ExpOptions};
+use crate::runner::evaluate;
+use hbbp_core::{hybrid, HbbpProfiler, HybridRule, MixComparison, SamplingPeriods};
+use hbbp_instrument::Instrumenter;
+use hbbp_program::Ring;
+use hbbp_sim::{Cpu, LbrQuirk};
+use hbbp_workloads::{fitter, kernel_benchmark, spec, test40, FitterVariant, Workload};
+use std::fmt::Write as _;
+
+fn ablation_workloads(opts: &ExpOptions) -> Vec<Workload> {
+    vec![
+        test40(opts.scale),
+        spec::workload_for("hmmer", opts.scale),
+        spec::workload_for("gamess", opts.scale),
+        spec::workload_for("cactusADM", opts.scale),
+    ]
+}
+
+/// Sweep the block-length cutoff: collection happens once per workload;
+/// only the per-block combination rule changes.
+pub fn ablate_cutoff(opts: &ExpOptions) -> String {
+    let workloads = ablation_workloads(opts);
+    let cutoffs = [2usize, 6, 10, 14, 18, 22, 26, 32, 40, 1000];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Ablation: average weighted error vs block-length cutoff\n(cutoff 2 ≈ always-EBS; 1000 ≈ always-LBR).\n"
+    );
+    let _ = write!(out, "{:<12}", "cutoff");
+    for w in &workloads {
+        let _ = write!(out, "{:>12}", w.name());
+    }
+    let _ = writeln!(out, "{:>10}", "mean");
+    let mut per_workload = Vec::new();
+    for w in &workloads {
+        let profiler = HbbpProfiler::new(Cpu::with_seed(opts.seed));
+        let r = profiler.profile(w).expect("profile");
+        let truth = Instrumenter::new().run(w.program(), w.layout(), w.oracle());
+        per_workload.push((r, truth));
+    }
+    for cutoff in cutoffs {
+        let rule = HybridRule::LengthCutoff(cutoff);
+        let _ = write!(out, "{:<12}", cutoff);
+        let mut sum = 0.0;
+        for (r, truth) in &per_workload {
+            let combined = hybrid::combine(r.analyzer.map(), &r.analysis.ebs, &r.analysis.lbr, &rule);
+            let mix = r.analyzer.mix_for_ring(&combined.bbec, Ring::User);
+            let err = MixComparison::compare(&truth.mix, &mix).avg_weighted_error();
+            sum += err;
+            let _ = write!(out, "{:>12}", pct(err));
+        }
+        let _ = writeln!(out, "{:>10}", pct(sum / per_workload.len() as f64));
+    }
+    out
+}
+
+/// Vary the reported LBR stack depth (8/16/32 entries).
+pub fn ablate_stack_depth(opts: &ExpOptions) -> String {
+    let workloads = ablation_workloads(opts);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Ablation: LBR stack depth vs LBR-only and HBBP error.\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:>14} {:>14} {:>14}",
+        "depth", "mean err LBR", "mean err HBBP", "streams/stack"
+    );
+    for depth in [8usize, 16, 32] {
+        let mut err_lbr = 0.0;
+        let mut err_hbbp = 0.0;
+        let mut streams = 0.0;
+        for w in &workloads {
+            let mut profiler =
+                HbbpProfiler::new(Cpu::with_seed(opts.seed)).with_rule(opts.rule.clone());
+            profiler.pmu_template.lbr.stack_depth = depth;
+            let r = profiler.profile(w).expect("profile");
+            let truth = Instrumenter::new().run(w.program(), w.layout(), w.oracle());
+            let lbr_mix = r.analyzer.mix_for_ring(&r.analysis.lbr.bbec, Ring::User);
+            let hbbp_mix = r.analyzer.mix_for_ring(&r.analysis.hbbp.bbec, Ring::User);
+            err_lbr += MixComparison::compare(&truth.mix, &lbr_mix).avg_weighted_error();
+            err_hbbp += MixComparison::compare(&truth.mix, &hbbp_mix).avg_weighted_error();
+            streams += r.analysis.lbr.streams as f64 / r.analysis.lbr.stacks.max(1) as f64;
+        }
+        let n = workloads.len() as f64;
+        let _ = writeln!(
+            out,
+            "{:<8} {:>14} {:>14} {:>14.1}",
+            depth,
+            pct(err_lbr / n),
+            pct(err_hbbp / n),
+            streams / n
+        );
+    }
+    out
+}
+
+/// Vary sampling periods around the policy value: accuracy/overhead
+/// tradeoff.
+pub fn ablate_periods(opts: &ExpOptions) -> String {
+    let w = test40(opts.scale);
+    let truth = Instrumenter::new().run(w.program(), w.layout(), w.oracle());
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Ablation: sampling period scaling vs accuracy and overhead (Test40).\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>10} {:>10} {:>12} {:>12} {:>10}",
+        "scale", "ebs", "lbr", "err HBBP", "overhead", "samples"
+    );
+    // Baseline from the policy.
+    let base = {
+        let profiler = HbbpProfiler::new(Cpu::with_seed(opts.seed));
+        let r = profiler.profile(&w).expect("profile");
+        r.periods
+    };
+    for factor in [4.0f64, 2.0, 1.0, 0.5, 0.25] {
+        let periods = SamplingPeriods {
+            ebs: hbbp_core::periods::next_prime(((base.ebs as f64) * factor) as u64),
+            lbr: hbbp_core::periods::next_prime(((base.lbr as f64) * factor) as u64),
+        };
+        let profiler = HbbpProfiler::new(Cpu::with_seed(opts.seed))
+            .with_rule(opts.rule.clone())
+            .with_periods(periods);
+        let r = profiler.profile(&w).expect("profile");
+        let mix = r.analyzer.mix_for_ring(&r.analysis.hbbp.bbec, Ring::User);
+        let err = MixComparison::compare(&truth.mix, &mix).avg_weighted_error();
+        let _ = writeln!(
+            out,
+            "{:<10} {:>10} {:>10} {:>12} {:>12} {:>10}",
+            format!("x{factor}"),
+            periods.ebs,
+            periods.lbr,
+            pct(err),
+            pct(r.overhead_fraction()),
+            r.recording.data.samples().count()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\n(smaller periods: more samples, better accuracy, more overhead —\nthe tradeoff behind Table 4's runtime-dependent policy)"
+    );
+    out
+}
+
+/// Toggle the LBR entry[0] quirk (the paper notes the erratum was fixed in
+/// later processor designs after their report).
+pub fn ablate_quirk(opts: &ExpOptions) -> String {
+    let workloads = [
+        fitter(FitterVariant::Sse, opts.scale),
+        spec::workload_for("gamess", opts.scale),
+    ];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Ablation: LBR entry[0] bias quirk present (Ivy Bridge-era) vs fixed\n(post-erratum) hardware.\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>14} {:>14} {:>14}",
+        "workload", "quirk", "err LBR", "err HBBP"
+    );
+    for w in &workloads {
+        for (quirk, label) in [(LbrQuirk::default(), "present"), (LbrQuirk::disabled(), "fixed")] {
+            let mut profiler =
+                HbbpProfiler::new(Cpu::with_seed(opts.seed)).with_rule(opts.rule.clone());
+            profiler.pmu_template.lbr.quirk = quirk;
+            let r = profiler.profile(w).expect("profile");
+            let truth = Instrumenter::new().run(w.program(), w.layout(), w.oracle());
+            let lbr_mix = r.analyzer.mix_for_ring(&r.analysis.lbr.bbec, Ring::User);
+            let hbbp_mix = r.analyzer.mix_for_ring(&r.analysis.hbbp.bbec, Ring::User);
+            let _ = writeln!(
+                out,
+                "{:<14} {:>14} {:>14} {:>14}",
+                w.name(),
+                label,
+                pct(MixComparison::compare(&truth.mix, &lbr_mix).avg_weighted_error()),
+                pct(MixComparison::compare(&truth.mix, &hbbp_mix).avg_weighted_error())
+            );
+        }
+    }
+    out
+}
+
+/// Toggle the kernel text patch step (§III.C): without it, streams derail
+/// on stale tracepoint JMPs and kernel counts suffer.
+pub fn ablate_kernel_patch(opts: &ExpOptions) -> String {
+    let w = kernel_benchmark(opts.scale);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Ablation: analyzing kernel samples against patched vs stale (on-disk)\nkernel text (§III.C).\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>16} {:>18} {:>14}",
+        "text", "derailed streams", "kernel instr total", "vs patched"
+    );
+    let mut patched_total = 0.0f64;
+    for (patch, label) in [(true, "patched"), (false, "stale")] {
+        let mut profiler = HbbpProfiler::new(Cpu::with_seed(opts.seed)).with_rule(opts.rule.clone());
+        if !patch {
+            profiler = profiler.without_kernel_patching();
+        }
+        let r = profiler.profile(&w).expect("profile");
+        let kernel_mix = r.hbbp_mix_for_ring(Ring::Kernel);
+        let total = kernel_mix.total();
+        if patch {
+            patched_total = total;
+        }
+        let delta = if patch {
+            "-".to_owned()
+        } else {
+            format!("{:+.1}%", (total / patched_total - 1.0) * 100.0)
+        };
+        let _ = writeln!(
+            out,
+            "{:<10} {:>15.2}% {:>18.0} {:>14}",
+            label,
+            r.analysis.lbr.derail_fraction() * 100.0,
+            total,
+            delta
+        );
+    }
+    // Outcome from evaluating with patching (reference agreement).
+    let o = evaluate(&w, opts.seed, &opts.rule);
+    let _ = writeln!(
+        out,
+        "\n(user-mode avg weighted error with patching: {})",
+        pct(o.err_hbbp)
+    );
+    out
+}

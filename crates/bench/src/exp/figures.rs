@@ -1,0 +1,179 @@
+//! Regeneration of the paper's Figures 1–4 (as text/series output).
+
+use super::{pct, ExpOptions};
+use crate::runner::{evaluate, BenchOutcome};
+use hbbp_core::{train_rule, TrainingConfig};
+use hbbp_workloads::{spec, test40, training_suite};
+use std::fmt::Write as _;
+
+/// Figure 1: the decision tree learned from the HBBP criteria search.
+pub fn fig1(opts: &ExpOptions) -> String {
+    let workloads = training_suite(opts.scale);
+    let outcome = train_rule(&workloads, &TrainingConfig::default()).expect("training");
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 1: decision tree generated from HBBP training data\n(gini = Gini impurity; samples = weighted training examples per node).\n"
+    );
+    let _ = writeln!(out, "{outcome}");
+    let _ = writeln!(
+        out,
+        "\npaper: root cutoff consistently close to 18; block-length feature\nimportance above 0.7; bias alone not predictive."
+    );
+    out
+}
+
+/// Figure 2: per-SPEC-benchmark SDE slowdown, HBBP overhead, and average
+/// weighted errors for HBBP, LBR and EBS.
+pub fn fig2(opts: &ExpOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 2: SDE slowdown vs HBBP overhead, and average weighted errors\nfor HBBP, LBR and EBS on the SPEC-like suite.\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>8} {:>9} {:>9} {:>9} {:>9}  {}",
+        "benchmark", "SDE x", "HBBP ovh", "err HBBP", "err LBR", "err EBS", "notes"
+    );
+    let mut outcomes: Vec<BenchOutcome> = Vec::new();
+    for name in spec::SPEC_NAMES {
+        let w = spec::workload_for(name, opts.scale);
+        let o = evaluate(&w, opts.seed, &opts.rule);
+        let note = if o.sde_unreliable {
+            "SDE unreliable (PMU check) - excluded"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "{:<12} {:>7.2}x {:>9} {:>9} {:>9} {:>9}  {}",
+            o.name,
+            o.sde_slowdown,
+            pct(o.hbbp_overhead),
+            pct(o.err_hbbp),
+            pct(o.err_lbr),
+            pct(o.err_ebs),
+            note
+        );
+        outcomes.push(o);
+    }
+    let valid: Vec<&BenchOutcome> = outcomes.iter().filter(|o| !o.sde_unreliable).collect();
+    let n = valid.len() as f64;
+    let mean = |f: fn(&BenchOutcome) -> f64| valid.iter().map(|o| f(o)).sum::<f64>() / n;
+    let _ = writeln!(
+        out,
+        "\noverall ({} benchmarks; unreliable-SDE benchmarks excluded):",
+        valid.len()
+    );
+    let _ = writeln!(
+        out,
+        "  avg weighted error: HBBP {} | LBR {} | EBS {}",
+        pct(mean(|o| o.err_hbbp)),
+        pct(mean(|o| o.err_lbr)),
+        pct(mean(|o| o.err_ebs))
+    );
+    let _ = writeln!(
+        out,
+        "  SDE slowdown: mean {:.2}x, max {:.2}x | HBBP overhead: mean {}",
+        mean(|o| o.sde_slowdown),
+        valid
+            .iter()
+            .map(|o| o.sde_slowdown)
+            .fold(0.0f64, f64::max),
+        pct(mean(|o| o.hbbp_overhead))
+    );
+    let worse2x = valid
+        .iter()
+        .filter(|o| o.err_lbr >= 2.0 * o.err_hbbp || o.err_ebs >= 2.0 * o.err_hbbp)
+        .count();
+    let worse3x = valid
+        .iter()
+        .filter(|o| o.err_lbr >= 3.0 * o.err_hbbp || o.err_ebs >= 3.0 * o.err_hbbp)
+        .count();
+    let hbbp_loses = valid
+        .iter()
+        .filter(|o| o.err_hbbp > o.err_lbr.min(o.err_ebs))
+        .map(|o| o.name.as_str())
+        .collect::<Vec<_>>();
+    let _ = writeln!(
+        out,
+        "  EBS or LBR at least 2x worse than HBBP: {}/{} | at least 3x: {}/{}",
+        worse2x,
+        valid.len(),
+        worse3x,
+        valid.len()
+    );
+    let _ = writeln!(
+        out,
+        "  benchmarks where HBBP loses to the better single method: {:?}",
+        hbbp_loses
+    );
+    out
+}
+
+/// Figure 3: Test40 instruction execution counts and HBBP error for the
+/// top-20 mnemonics.
+pub fn fig3(opts: &ExpOptions) -> String {
+    let w = test40(opts.scale);
+    let o = evaluate(&w, opts.seed, &opts.rule);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 3: Test40 execution counts (bars) and HBBP error (dots) for the\ntop-20 instruction-retiring mnemonics.\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>16} {:>16} {:>9}",
+        "mnemonic", "SDE count", "HBBP count", "error"
+    );
+    for row in o.cmp_hbbp.top_by_reference(20) {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>16.0} {:>16.0} {:>9}",
+            row.mnemonic.name(),
+            row.reference,
+            row.measured,
+            pct(row.error)
+        );
+    }
+    let _ = writeln!(out, "\navg weighted error: {}", pct(o.err_hbbp));
+    out
+}
+
+/// Figure 4: Test40 per-mnemonic errors for HBBP, LBR and EBS.
+pub fn fig4(opts: &ExpOptions) -> String {
+    let w = test40(opts.scale);
+    let o = evaluate(&w, opts.seed, &opts.rule);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 4: Test40 error percentages for HBBP, LBR and EBS, top-20\ninstruction-retiring mnemonics.\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>9} {:>9} {:>9}",
+        "mnemonic", "HBBP", "LBR", "EBS"
+    );
+    for row in o.cmp_hbbp.top_by_reference(20) {
+        let m = row.mnemonic;
+        let lbr = o.cmp_lbr.error_for(m).unwrap_or(f64::NAN);
+        let ebs = o.cmp_ebs.error_for(m).unwrap_or(f64::NAN);
+        let _ = writeln!(
+            out,
+            "{:<12} {:>9} {:>9} {:>9}",
+            m.name(),
+            pct(row.error),
+            pct(lbr),
+            pct(ebs)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\navg weighted: HBBP {} | LBR {} | EBS {}",
+        pct(o.err_hbbp),
+        pct(o.err_lbr),
+        pct(o.err_ebs)
+    );
+    out
+}

@@ -1,0 +1,59 @@
+//! The experiment set: one function per table/figure of the paper, each
+//! returning its rendered output.
+
+pub mod ablations;
+pub mod figures;
+pub mod tables;
+
+use hbbp_core::HybridRule;
+use hbbp_workloads::Scale;
+
+/// Options shared by all experiments.
+#[derive(Debug, Clone)]
+pub struct ExpOptions {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Hardware seed (skid draws, quirk, PMI jitter).
+    pub seed: u64,
+    /// The HBBP decision rule to deploy.
+    pub rule: HybridRule,
+}
+
+impl Default for ExpOptions {
+    fn default() -> ExpOptions {
+        ExpOptions {
+            scale: Scale::Small,
+            seed: 0xE4A,
+            rule: HybridRule::paper_default(),
+        }
+    }
+}
+
+/// Format a fraction as a percentage with two decimals.
+pub(crate) fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Format simulated seconds compactly.
+pub(crate) fn secs(x: f64) -> String {
+    if x >= 1.0 {
+        format!("{x:.2} s")
+    } else if x >= 1e-3 {
+        format!("{:.2} ms", x * 1e3)
+    } else {
+        format!("{:.1} µs", x * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.0213), "2.13%");
+        assert_eq!(secs(2.5), "2.50 s");
+        assert_eq!(secs(0.0025), "2.50 ms");
+        assert_eq!(secs(2.5e-6), "2.5 µs");
+    }
+}

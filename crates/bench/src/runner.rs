@@ -1,0 +1,133 @@
+//! Shared evaluation pipeline: run one workload under the clean machine,
+//! the SDE-like instrumenter and the HBBP collector, and compute every
+//! error metric the paper reports.
+
+use hbbp_core::{HbbpProfiler, HybridRule, MixComparison, ProfileResult};
+use hbbp_instrument::{cross_check, GroundTruth, Instrumenter};
+use hbbp_program::{MnemonicMix, Ring};
+use hbbp_sim::Cpu;
+use hbbp_workloads::Workload;
+
+/// Everything the evaluation of one benchmark produces.
+#[derive(Debug)]
+pub struct BenchOutcome {
+    /// Benchmark name.
+    pub name: String,
+    /// Clean (uninstrumented, unsampled) wall seconds.
+    pub clean_seconds: f64,
+    /// Instrumented (SDE) wall seconds.
+    pub sde_seconds: f64,
+    /// SDE slowdown factor.
+    pub sde_slowdown: f64,
+    /// HBBP collection wall seconds.
+    pub hbbp_seconds: f64,
+    /// HBBP collection overhead fraction.
+    pub hbbp_overhead: f64,
+    /// Average weighted error of the HBBP mix vs ground truth (user mode).
+    pub err_hbbp: f64,
+    /// Average weighted error of LBR alone.
+    pub err_lbr: f64,
+    /// Average weighted error of EBS alone.
+    pub err_ebs: f64,
+    /// The instrumenter's counts disagree with PMU counting — the paper's
+    /// x264ref exclusion (footnote 2).
+    pub sde_unreliable: bool,
+    /// The full profile (estimates, analyzer, recording).
+    pub profile: ProfileResult,
+    /// The instrumentation ground truth.
+    pub truth: GroundTruth,
+    /// Per-mnemonic comparisons (HBBP, LBR, EBS vs ground truth).
+    pub cmp_hbbp: MixComparison,
+    /// LBR comparison.
+    pub cmp_lbr: MixComparison,
+    /// EBS comparison.
+    pub cmp_ebs: MixComparison,
+}
+
+/// Evaluate one workload end to end.
+///
+/// Accuracy comparisons are restricted to user-mode instructions, like the
+/// paper's (§VII.B: PIN cannot capture kernel samples, so "our accuracy
+/// comparisons consider only user mode instructions").
+pub fn evaluate(workload: &Workload, seed: u64, rule: &HybridRule) -> BenchOutcome {
+    let mut instrumenter = Instrumenter::new().with_cost(workload.sde_cost().clone());
+    if let Some(fault) = workload.sde_fault() {
+        instrumenter = instrumenter.with_fault(fault);
+    }
+    let truth = instrumenter.run(workload.program(), workload.layout(), workload.oracle());
+
+    let profiler = HbbpProfiler::new(Cpu::with_seed(seed)).with_rule(rule.clone());
+    let profile = profiler.profile(workload).expect("profile");
+
+    let hbbp_mix = profile.hbbp_mix_for_ring(Ring::User);
+    let lbr_mix = user_mix(&profile, &profile.analysis.lbr.bbec);
+    let ebs_mix = user_mix(&profile, &profile.analysis.ebs.bbec);
+
+    let cmp_hbbp = MixComparison::compare(&truth.mix, &hbbp_mix);
+    let cmp_lbr = MixComparison::compare(&truth.mix, &lbr_mix);
+    let cmp_ebs = MixComparison::compare(&truth.mix, &ebs_mix);
+
+    // PMU-counting verification of the instrumenter (catches the injected
+    // x264ref defect). Kernel instructions are invisible to it.
+    let kernel_instrs = profile.clean.instructions
+        - profile
+            .analyzer
+            .total_instructions(&truth_bbec_total(&truth)) as u64;
+    let check = cross_check(&truth, &profile.clean.counts, kernel_instrs);
+    let freq = profile.clean.freq_ghz;
+
+    BenchOutcome {
+        name: workload.name().to_owned(),
+        clean_seconds: profile.clean_seconds(),
+        sde_seconds: truth.instrumented_seconds(freq),
+        sde_slowdown: truth.slowdown(),
+        hbbp_seconds: profile.collection_seconds(),
+        hbbp_overhead: profile.overhead_fraction(),
+        err_hbbp: cmp_hbbp.avg_weighted_error(),
+        err_lbr: cmp_lbr.avg_weighted_error(),
+        err_ebs: cmp_ebs.avg_weighted_error(),
+        sde_unreliable: !check.agrees(0.005),
+        profile,
+        truth,
+        cmp_hbbp,
+        cmp_lbr,
+        cmp_ebs,
+    }
+}
+
+fn truth_bbec_total(truth: &GroundTruth) -> hbbp_program::Bbec {
+    truth.bbec.clone()
+}
+
+/// User-ring mix of an arbitrary BBEC of a profile.
+pub fn user_mix(profile: &ProfileResult, bbec: &hbbp_program::Bbec) -> MnemonicMix {
+    profile.analyzer.mix_for_ring(bbec, Ring::User)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbbp_workloads::{generate, GenSpec, Scale};
+
+    #[test]
+    fn evaluate_produces_consistent_outcome() {
+        let w = generate(&GenSpec::default(), Scale::Tiny);
+        let o = evaluate(&w, 42, &HybridRule::paper_default());
+        assert!(o.sde_slowdown > 1.5);
+        assert!(o.hbbp_overhead < 0.05);
+        assert!(o.err_hbbp < 0.25, "err_hbbp {}", o.err_hbbp);
+        assert!(!o.sde_unreliable);
+        assert!(o.sde_seconds > o.clean_seconds);
+    }
+
+    #[test]
+    fn injected_fault_is_flagged() {
+        use hbbp_instrument::MiscountFault;
+        let w = generate(&GenSpec::default(), Scale::Tiny).with_sde_fault(MiscountFault {
+            mnemonic: hbbp_isa::Mnemonic::Add,
+            factor: 0.6,
+        });
+        let o = evaluate(&w, 42, &HybridRule::paper_default());
+        assert!(o.sde_unreliable, "fault must be detected by cross-check");
+    }
+}

@@ -1,0 +1,164 @@
+//! The EBS estimator — paper §III.A.
+//!
+//! "We enhance classic EBS by applying every IP sample to all instructions
+//! of the enclosing basic block. … To obtain proper instruction counts, we
+//! must then divide the number of samples recorded for a basic block by
+//! the instruction length of that block."
+
+use hbbp_perf::PerfData;
+use hbbp_program::{Bbec, BlockMap};
+use hbbp_sim::EventSpec;
+use std::collections::HashMap;
+
+/// Result of EBS estimation.
+#[derive(Debug, Clone)]
+pub struct EbsEstimate {
+    /// Estimated per-block execution counts.
+    pub bbec: Bbec,
+    /// Raw IP-sample counts per block (keyed by block start).
+    pub samples_per_block: HashMap<u64, u64>,
+    /// Samples whose IP fell inside the block map.
+    pub samples_used: u64,
+    /// Samples outside any known block (stub regions, unmapped code).
+    pub samples_unmapped: u64,
+    /// The sampling period used for extrapolation.
+    pub period: u64,
+}
+
+impl EbsEstimate {
+    /// Estimated executions of the block starting at `addr`.
+    pub fn count(&self, addr: u64) -> f64 {
+        self.bbec.get(addr)
+    }
+}
+
+/// Build the EBS estimate from the eventing IPs of
+/// `INST_RETIRED:PREC_DIST` samples. LBR stacks attached to those samples
+/// are **discarded** (paper §V.A).
+pub fn estimate(data: &PerfData, map: &BlockMap, period: u64) -> EbsEstimate {
+    let event = EventSpec::inst_retired_prec_dist();
+    let mut samples_per_block: HashMap<u64, u64> = HashMap::new();
+    let mut used = 0u64;
+    let mut unmapped = 0u64;
+    for sample in data.samples_of(event) {
+        match map.enclosing(sample.ip) {
+            Some(bi) => {
+                *samples_per_block.entry(map.blocks()[bi].start).or_insert(0) += 1;
+                used += 1;
+            }
+            None => unmapped += 1,
+        }
+    }
+    let mut bbec = Bbec::new();
+    for (&start, &n) in &samples_per_block {
+        let bi = map.at_start(start).expect("block exists");
+        let len = map.blocks()[bi].len().max(1) as f64;
+        bbec.set(start, n as f64 * period as f64 / len);
+    }
+    EbsEstimate {
+        bbec,
+        samples_per_block,
+        samples_used: used,
+        samples_unmapped: unmapped,
+        period,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbbp_perf::{PerfRecord, PerfSample};
+    use hbbp_program::{ImageView, Layout, ProgramBuilder, Ring, TextImage};
+    use hbbp_isa::instruction::build;
+    use hbbp_isa::{Mnemonic, Reg};
+
+    /// One 5-instruction block + exit block.
+    fn map_fixture() -> (BlockMap, u64, u64) {
+        let mut b = ProgramBuilder::new("f");
+        let m = b.module("f.bin", Ring::User);
+        let f = b.function(m, "main");
+        let b0 = b.block(f);
+        let b1 = b.block(f);
+        for i in 0..4 {
+            b.push(b0, build::rr(Mnemonic::Add, Reg::gpr(i), Reg::gpr(5)));
+        }
+        b.terminate_branch(b0, Mnemonic::Jnz, b0, b1);
+        b.terminate_exit(b1, build::bare(Mnemonic::Syscall));
+        let mut p = b.build(f).unwrap();
+        let layout = Layout::compute(&mut p).unwrap();
+        let image = TextImage::encode(&p, &layout, p.modules()[0].id(), ImageView::Disk);
+        let map = BlockMap::discover(&[image], layout.symbols()).unwrap();
+        (
+            map,
+            layout.block_start(b0),
+            layout.instr_addr(b0, 2),
+        )
+    }
+
+    fn sample_at(ip: u64) -> PerfRecord {
+        PerfRecord::Sample(PerfSample {
+            counter: 0,
+            event: EventSpec::inst_retired_prec_dist(),
+            ip,
+            time_cycles: 0,
+            pid: 1,
+            tid: 1,
+            ring: Ring::User,
+            lbr: vec![],
+        })
+    }
+
+    #[test]
+    fn whole_block_crediting_and_length_normalization() {
+        let (map, b0_start, mid_ip) = map_fixture();
+        // 10 samples anywhere inside the 5-instruction block ⇒
+        // count = 10 * period / 5.
+        let mut data = PerfData::new();
+        for i in 0..10 {
+            data.push(sample_at(if i % 2 == 0 { b0_start } else { mid_ip }));
+        }
+        let est = estimate(&data, &map, 1000);
+        assert_eq!(est.samples_used, 10);
+        assert_eq!(est.samples_unmapped, 0);
+        assert!((est.count(b0_start) - 10.0 * 1000.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unmapped_samples_counted_not_attributed() {
+        let (map, b0_start, _) = map_fixture();
+        let mut data = PerfData::new();
+        data.push(sample_at(0xdead_beef));
+        data.push(sample_at(b0_start));
+        let est = estimate(&data, &map, 100);
+        assert_eq!(est.samples_used, 1);
+        assert_eq!(est.samples_unmapped, 1);
+        assert_eq!(est.bbec.len(), 1);
+    }
+
+    #[test]
+    fn other_event_samples_ignored() {
+        let (map, b0_start, _) = map_fixture();
+        let mut data = PerfData::new();
+        data.push(PerfRecord::Sample(PerfSample {
+            counter: 1,
+            event: EventSpec::br_inst_retired_near_taken(),
+            ip: b0_start,
+            time_cycles: 0,
+            pid: 1,
+            tid: 1,
+            ring: Ring::User,
+            lbr: vec![],
+        }));
+        let est = estimate(&data, &map, 100);
+        assert_eq!(est.samples_used, 0);
+        assert!(est.bbec.is_empty());
+    }
+
+    #[test]
+    fn empty_data_is_empty_estimate() {
+        let (map, _, _) = map_fixture();
+        let est = estimate(&PerfData::new(), &map, 100);
+        assert!(est.bbec.is_empty());
+        assert_eq!(est.samples_used + est.samples_unmapped, 0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Error metrics — paper §VI.
+//!
+//! Per-mnemonic error: `|ref − measured| / ref`. Aggregate: the **average
+//! weighted error**, `Σ_M error(M) · ref(M) / Σ ref` — "the sum of errors
+//! for each mnemonic M multiplied by its frequency of its occurrence in a
+//! given workload".
+
+use hbbp_isa::Mnemonic;
+use hbbp_program::MnemonicMix;
+use std::fmt;
+
+/// Error of one mnemonic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixErrorRow {
+    /// The mnemonic.
+    pub mnemonic: Mnemonic,
+    /// Reference (ground truth) execution count.
+    pub reference: f64,
+    /// Measured execution count.
+    pub measured: f64,
+    /// `|ref − measured| / ref`; infinite when `ref == 0 && measured > 0`.
+    pub error: f64,
+}
+
+/// A full per-mnemonic comparison of a measured mix against a reference.
+#[derive(Debug, Clone)]
+pub struct MixComparison {
+    rows: Vec<MixErrorRow>,
+    total_reference: f64,
+}
+
+impl MixComparison {
+    /// Compare `measured` against `reference` over the union of mnemonics.
+    pub fn compare(reference: &MnemonicMix, measured: &MnemonicMix) -> MixComparison {
+        let mut rows = Vec::new();
+        for m in reference.union_mnemonics(measured) {
+            let r = reference.get(m);
+            let v = measured.get(m);
+            let error = if r > 0.0 {
+                (r - v).abs() / r
+            } else if v > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            };
+            rows.push(MixErrorRow {
+                mnemonic: m,
+                reference: r,
+                measured: v,
+                error,
+            });
+        }
+        MixComparison {
+            total_reference: reference.total(),
+            rows,
+        }
+    }
+
+    /// All rows (union of mnemonics, opcode order).
+    pub fn rows(&self) -> &[MixErrorRow] {
+        &self.rows
+    }
+
+    /// The paper's aggregate: average weighted error.
+    ///
+    /// Mnemonics absent from the reference carry zero weight (they cannot
+    /// distort the weighted sum even when their relative error is
+    /// infinite).
+    pub fn avg_weighted_error(&self) -> f64 {
+        if self.total_reference <= 0.0 {
+            return 0.0;
+        }
+        self.rows
+            .iter()
+            .filter(|r| r.reference > 0.0)
+            .map(|r| r.error * r.reference / self.total_reference)
+            .sum()
+    }
+
+    /// Error of one mnemonic, if present in the comparison.
+    pub fn error_for(&self, mnemonic: Mnemonic) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.mnemonic == mnemonic)
+            .map(|r| r.error)
+    }
+
+    /// The `n` mnemonics with the largest reference counts (the paper's
+    /// "top instruction retiring mnemonics" of Figures 3-4), with their
+    /// errors.
+    pub fn top_by_reference(&self, n: usize) -> Vec<MixErrorRow> {
+        let mut rows = self.rows.clone();
+        rows.sort_by(|a, b| {
+            b.reference
+                .partial_cmp(&a.reference)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        rows.truncate(n);
+        rows
+    }
+
+    /// Maximum error among the top-`n` mnemonics by reference count.
+    pub fn max_error_in_top(&self, n: usize) -> f64 {
+        self.top_by_reference(n)
+            .iter()
+            .map(|r| r.error)
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for MixComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<14} {:>16} {:>16} {:>9}",
+            "mnemonic", "reference", "measured", "error%"
+        )?;
+        for r in self.top_by_reference(20) {
+            writeln!(
+                f,
+                "{:<14} {:>16.0} {:>16.0} {:>8.2}%",
+                r.mnemonic.name(),
+                r.reference,
+                r.measured,
+                r.error * 100.0
+            )?;
+        }
+        write!(
+            f,
+            "avg weighted error: {:.2}%",
+            self.avg_weighted_error() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix(pairs: &[(Mnemonic, f64)]) -> MnemonicMix {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn paper_example() {
+        // "if we obtain a reference value of 500 executions of MOV, and
+        // measure 510 executions of MOV with HBBP, the error for that
+        // mnemonic is reported as 10/500 = 2%".
+        let reference = mix(&[(Mnemonic::Mov, 500.0)]);
+        let measured = mix(&[(Mnemonic::Mov, 510.0)]);
+        let c = MixComparison::compare(&reference, &measured);
+        assert!((c.error_for(Mnemonic::Mov).unwrap() - 0.02).abs() < 1e-12);
+        assert!((c.avg_weighted_error() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighting_by_frequency() {
+        // A 50% error on a rare mnemonic matters less than 1% on a hot one.
+        let reference = mix(&[(Mnemonic::Mov, 9_900.0), (Mnemonic::Idiv, 100.0)]);
+        let measured = mix(&[(Mnemonic::Mov, 9_801.0), (Mnemonic::Idiv, 150.0)]);
+        let c = MixComparison::compare(&reference, &measured);
+        // avg = 0.01*0.99 + 0.5*0.01 = 0.0149
+        assert!((c.avg_weighted_error() - 0.0149).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phantom_mnemonics_do_not_poison_average() {
+        let reference = mix(&[(Mnemonic::Mov, 100.0)]);
+        let measured = mix(&[(Mnemonic::Mov, 100.0), (Mnemonic::Fsin, 5.0)]);
+        let c = MixComparison::compare(&reference, &measured);
+        assert_eq!(c.error_for(Mnemonic::Fsin), Some(f64::INFINITY));
+        assert_eq!(c.avg_weighted_error(), 0.0);
+    }
+
+    #[test]
+    fn missing_measured_mnemonic_is_total_error() {
+        let reference = mix(&[(Mnemonic::Mov, 100.0), (Mnemonic::Add, 100.0)]);
+        let measured = mix(&[(Mnemonic::Mov, 100.0)]);
+        let c = MixComparison::compare(&reference, &measured);
+        assert_eq!(c.error_for(Mnemonic::Add), Some(1.0));
+        assert!((c.avg_weighted_error() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_by_reference_ordering() {
+        let reference = mix(&[
+            (Mnemonic::Mov, 300.0),
+            (Mnemonic::Add, 200.0),
+            (Mnemonic::Sub, 100.0),
+        ]);
+        let c = MixComparison::compare(&reference, &reference);
+        let top2 = c.top_by_reference(2);
+        assert_eq!(top2[0].mnemonic, Mnemonic::Mov);
+        assert_eq!(top2[1].mnemonic, Mnemonic::Add);
+        assert_eq!(c.avg_weighted_error(), 0.0);
+        assert_eq!(c.max_error_in_top(3), 0.0);
+    }
+
+    #[test]
+    fn display_renders() {
+        let reference = mix(&[(Mnemonic::Mov, 100.0)]);
+        let measured = mix(&[(Mnemonic::Mov, 90.0)]);
+        let c = MixComparison::compare(&reference, &measured);
+        let s = c.to_string();
+        assert!(s.contains("MOV"));
+        assert!(s.contains("avg weighted error"));
+    }
+}

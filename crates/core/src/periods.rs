@@ -1,0 +1,220 @@
+//! Sampling period policy — Table 4 of the paper.
+//!
+//! "The sampling periods have some influence on the accuracy as well as on
+//! the runtime overhead. … we choose the values for the two respective
+//! events depending on the runtime of the workload. LBR sampling is done
+//! with a smaller period than EBS sampling, because LBR data collection
+//! only happens on branches taken, which are less frequent than all
+//! instruction retirements" (§V.A).
+//!
+//! Periods are prime, as in the paper, to avoid resonance with loop
+//! periodicities. Simulated runs are orders of magnitude shorter than real
+//! ones, so [`SamplingPeriods::scaled_for`] derives equivalent periods that
+//! keep sample populations statistically comparable.
+
+use std::fmt;
+
+/// Workload runtime classes of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuntimeClass {
+    /// Runtimes of a few seconds.
+    Seconds,
+    /// Runtimes around 1-2 minutes.
+    MinuteOrTwo,
+    /// Runtimes of many minutes (SPEC workloads).
+    Minutes,
+}
+
+impl RuntimeClass {
+    /// All classes in Table 4 row order.
+    pub const ALL: [RuntimeClass; 3] = [
+        RuntimeClass::Seconds,
+        RuntimeClass::MinuteOrTwo,
+        RuntimeClass::Minutes,
+    ];
+
+    /// Table 4 row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RuntimeClass::Seconds => "Seconds",
+            RuntimeClass::MinuteOrTwo => "~1-2 minutes",
+            RuntimeClass::Minutes => "Minutes (SPEC workloads)",
+        }
+    }
+
+    /// Classify a real runtime in seconds.
+    pub fn from_seconds(seconds: f64) -> RuntimeClass {
+        if seconds < 30.0 {
+            RuntimeClass::Seconds
+        } else if seconds < 180.0 {
+            RuntimeClass::MinuteOrTwo
+        } else {
+            RuntimeClass::Minutes
+        }
+    }
+}
+
+impl fmt::Display for RuntimeClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// An (EBS period, LBR period) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SamplingPeriods {
+    /// Period of the `INST_RETIRED:PREC_DIST` counter.
+    pub ebs: u64,
+    /// Period of the `BR_INST_RETIRED:NEAR_TAKEN` counter.
+    pub lbr: u64,
+}
+
+impl SamplingPeriods {
+    /// The paper's Table 4 values for a runtime class.
+    pub fn paper(class: RuntimeClass) -> SamplingPeriods {
+        match class {
+            RuntimeClass::Seconds => SamplingPeriods {
+                ebs: 1_000_037,
+                lbr: 100_003,
+            },
+            RuntimeClass::MinuteOrTwo => SamplingPeriods {
+                ebs: 10_000_019,
+                lbr: 1_000_037,
+            },
+            RuntimeClass::Minutes => SamplingPeriods {
+                ebs: 100_000_007,
+                lbr: 10_000_019,
+            },
+        }
+    }
+
+    /// Periods for a *simulated* run of roughly `instructions` retired
+    /// instructions: EBS targets ≈100k samples, LBR ≈40k stacks (taken
+    /// branches are rarer, so the LBR period is smaller — the paper's 10:1
+    /// shape), with prime periods and floors that keep periods above the
+    /// skid window.
+    pub fn scaled_for(instructions: u64) -> SamplingPeriods {
+        let ebs_raw = (instructions / 100_000).max(53);
+        // Taken branches are roughly 1/7th of instructions in this corpus.
+        let lbr_raw = (instructions / 7 / 40_000).max(29);
+        SamplingPeriods {
+            ebs: next_prime(ebs_raw),
+            lbr: next_prime(lbr_raw),
+        }
+    }
+}
+
+impl fmt::Display for SamplingPeriods {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ebs={} lbr={}", self.ebs, self.lbr)
+    }
+}
+
+/// Render Table 4 as text (paper values).
+pub fn period_table() -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<26} {:>18} {:>18}\n",
+        "Runtime", "EBS sampling period", "LBR sampling period"
+    ));
+    for class in RuntimeClass::ALL {
+        let p = SamplingPeriods::paper(class);
+        out.push_str(&format!("{:<26} {:>18} {:>18}\n", class.label(), p.ebs, p.lbr));
+    }
+    out
+}
+
+/// Smallest prime ≥ `n`.
+pub fn next_prime(n: u64) -> u64 {
+    let mut candidate = n.max(2);
+    loop {
+        if is_prime(candidate) {
+            return candidate;
+        }
+        candidate += 1;
+    }
+}
+
+fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n % 2 == 0 {
+        return n == 2;
+    }
+    let mut d = 3u64;
+    while d.saturating_mul(d) <= n {
+        if n % d == 0 {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_match_table4() {
+        let s = SamplingPeriods::paper(RuntimeClass::Seconds);
+        assert_eq!((s.ebs, s.lbr), (1_000_037, 100_003));
+        let m = SamplingPeriods::paper(RuntimeClass::MinuteOrTwo);
+        assert_eq!((m.ebs, m.lbr), (10_000_019, 1_000_037));
+        let l = SamplingPeriods::paper(RuntimeClass::Minutes);
+        assert_eq!((l.ebs, l.lbr), (100_000_007, 10_000_019));
+    }
+
+    #[test]
+    fn paper_periods_are_prime() {
+        for class in RuntimeClass::ALL {
+            let p = SamplingPeriods::paper(class);
+            assert!(is_prime(p.ebs), "{} ebs", class);
+            assert!(is_prime(p.lbr), "{} lbr", class);
+        }
+    }
+
+    #[test]
+    fn scaled_periods_are_prime_and_ordered() {
+        for instrs in [1_000u64, 100_000, 5_000_000, 500_000_000] {
+            let p = SamplingPeriods::scaled_for(instrs);
+            assert!(is_prime(p.ebs));
+            assert!(is_prime(p.lbr));
+            assert!(p.lbr <= p.ebs, "{instrs}: {p}");
+        }
+    }
+
+    #[test]
+    fn scaled_targets_sample_counts() {
+        let instrs = 10_000_000u64;
+        let p = SamplingPeriods::scaled_for(instrs);
+        let ebs_samples = instrs / p.ebs;
+        assert!((30_000..200_000).contains(&ebs_samples), "{ebs_samples}");
+    }
+
+    #[test]
+    fn runtime_classification() {
+        assert_eq!(RuntimeClass::from_seconds(5.0), RuntimeClass::Seconds);
+        assert_eq!(RuntimeClass::from_seconds(90.0), RuntimeClass::MinuteOrTwo);
+        assert_eq!(RuntimeClass::from_seconds(900.0), RuntimeClass::Minutes);
+    }
+
+    #[test]
+    fn primality_helpers() {
+        assert!(is_prime(2));
+        assert!(is_prime(97));
+        assert!(!is_prime(1));
+        assert!(!is_prime(91));
+        assert_eq!(next_prime(90), 97);
+        assert_eq!(next_prime(97), 97);
+        assert_eq!(next_prime(0), 2);
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = period_table();
+        assert!(t.contains("1000037") || t.contains("1_000_037") || t.contains("1000037"));
+        assert!(t.contains("Minutes (SPEC workloads)"));
+    }
+}

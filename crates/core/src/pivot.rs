@@ -1,0 +1,188 @@
+//! Pivot tables — the analyzer's output format (paper §V.B).
+//!
+//! "The final instruction mix data is output as a pivot table … Data can
+//! be filtered, aggregated or broken down using different granularity
+//! levels: by thread ID, binary module, symbol (function), basic block or
+//! source line."
+
+use hbbp_isa::{Instruction, Taxonomy};
+use hbbp_program::StaticBlock;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A grouping axis for pivot tables.
+#[derive(Debug, Clone)]
+pub enum Field {
+    /// Binary module (file) name.
+    Module,
+    /// Privilege ring (user/kernel).
+    Ring,
+    /// Symbol (function) name.
+    Symbol,
+    /// Basic block start address.
+    Block,
+    /// Instruction mnemonic.
+    Mnemonic,
+    /// ISA extension.
+    Extension,
+    /// Functional category.
+    Category,
+    /// Packing attribute.
+    Packing,
+    /// A custom taxonomy group (instructions outside every group fall into
+    /// `"-"`).
+    Taxon(Taxonomy),
+}
+
+impl Field {
+    fn header(&self) -> &str {
+        match self {
+            Field::Module => "module",
+            Field::Ring => "ring",
+            Field::Symbol => "symbol",
+            Field::Block => "block",
+            Field::Mnemonic => "mnemonic",
+            Field::Extension => "ext",
+            Field::Category => "category",
+            Field::Packing => "packing",
+            Field::Taxon(t) => t.name(),
+        }
+    }
+
+    fn key(&self, block: &StaticBlock, instr: &Instruction, module_name: &str) -> String {
+        match self {
+            Field::Module => module_name.to_owned(),
+            Field::Ring => block.ring.name().to_owned(),
+            Field::Symbol => block
+                .symbol
+                .clone()
+                .unwrap_or_else(|| format!("{:#x}", block.start)),
+            Field::Block => format!("{:#x}", block.start),
+            Field::Mnemonic => instr.mnemonic().name().to_owned(),
+            Field::Extension => instr.extension().name().to_owned(),
+            Field::Category => instr.category().name().to_owned(),
+            Field::Packing => instr.packing().name().to_owned(),
+            Field::Taxon(tax) => tax.classify(instr).unwrap_or("-").to_owned(),
+        }
+    }
+}
+
+/// One pivot row: the grouping key plus the aggregated execution count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PivotRow {
+    /// One entry per grouping field.
+    pub keys: Vec<String>,
+    /// Total executions attributed to this key combination.
+    pub count: f64,
+}
+
+/// An aggregated pivot table.
+#[derive(Debug, Clone)]
+pub struct PivotTable {
+    headers: Vec<String>,
+    rows: Vec<PivotRow>,
+    total: f64,
+}
+
+impl PivotTable {
+    pub(crate) fn build<'a>(
+        fields: &[Field],
+        entries: impl Iterator<Item = (&'a StaticBlock, &'a Instruction, &'a str, f64)>,
+    ) -> PivotTable {
+        let mut agg: BTreeMap<Vec<String>, f64> = BTreeMap::new();
+        let mut total = 0.0;
+        for (block, instr, module_name, weight) in entries {
+            let keys: Vec<String> = fields
+                .iter()
+                .map(|f| f.key(block, instr, module_name))
+                .collect();
+            *agg.entry(keys).or_insert(0.0) += weight;
+            total += weight;
+        }
+        let mut rows: Vec<PivotRow> = agg
+            .into_iter()
+            .map(|(keys, count)| PivotRow { keys, count })
+            .collect();
+        rows.sort_by(|a, b| b.count.partial_cmp(&a.count).unwrap_or(std::cmp::Ordering::Equal));
+        PivotTable {
+            headers: fields.iter().map(|f| f.header().to_owned()).collect(),
+            rows,
+            total,
+        }
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Rows, sorted by descending count.
+    pub fn rows(&self) -> &[PivotRow] {
+        &self.rows
+    }
+
+    /// Total executions across all rows.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// The first `n` rows.
+    pub fn top(&self, n: usize) -> &[PivotRow] {
+        &self.rows[..n.min(self.rows.len())]
+    }
+
+    /// Count for an exact key combination.
+    pub fn get(&self, keys: &[&str]) -> f64 {
+        self.rows
+            .iter()
+            .find(|r| r.keys.iter().map(String::as_str).eq(keys.iter().copied()))
+            .map(|r| r.count)
+            .unwrap_or(0.0)
+    }
+
+    /// Render as CSV (machine processing, §V.B).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push_str(",count\n");
+        for r in &self.rows {
+            out.push_str(&r.keys.join(","));
+            out.push_str(&format!(",{:.1}\n", r.count));
+        }
+        out
+    }
+}
+
+impl fmt::Display for PivotTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r.keys[i].len())
+                    .chain([h.len()])
+                    .max()
+                    .unwrap_or(8)
+            })
+            .collect();
+        for (h, w) in self.headers.iter().zip(&widths) {
+            write!(f, "{h:<w$}  ")?;
+        }
+        writeln!(f, "{:>16} {:>7}", "count", "share")?;
+        for r in &self.rows {
+            for (k, w) in r.keys.iter().zip(&widths) {
+                write!(f, "{k:<w$}  ")?;
+            }
+            let share = if self.total > 0.0 {
+                r.count / self.total * 100.0
+            } else {
+                0.0
+            };
+            writeln!(f, "{:>16.0} {:>6.2}%", r.count, share)?;
+        }
+        write!(f, "total: {:.0}", self.total)
+    }
+}

@@ -1,0 +1,191 @@
+//! The HBBP criteria search — paper §IV.B.
+//!
+//! "We train our classification trees on approximately 1,100 basic blocks
+//! of training input from non-SPEC benchmarks. The training labels are set
+//! to 'EBS' and 'LBR', depending on which method is closer to the result
+//! obtained by software instrumentation."
+
+use crate::{BlockFeatures, HbbpProfiler, HybridRule, ProfileError, FEATURE_NAMES};
+use hbbp_instrument::Instrumenter;
+use hbbp_mltree::{export_text, Dataset, DecisionTree, Node, TrainConfig};
+use hbbp_sim::Cpu;
+use hbbp_workloads::Workload;
+use std::fmt;
+
+/// Training pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct TrainingConfig {
+    /// Tree hyper-parameters.
+    pub tree: TrainConfig,
+    /// Minimum ground-truth executions for a block to become a training
+    /// row (filters sampling noise).
+    pub min_truth_execs: f64,
+    /// Seed for the collection runs.
+    pub cpu_seed: u64,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> TrainingConfig {
+        TrainingConfig {
+            tree: TrainConfig {
+                max_depth: 3,
+                min_leaf_weight: 30.0,
+                ..TrainConfig::default()
+            },
+            min_truth_execs: 30.0,
+            cpu_seed: 0x7EA1,
+        }
+    }
+}
+
+/// Outcome of the criteria search.
+#[derive(Debug, Clone)]
+pub struct TrainingOutcome {
+    /// The trained classification tree (Figure 1).
+    pub tree: DecisionTree,
+    /// Number of labelled basic blocks (the paper used ≈1,100).
+    pub rows: usize,
+    /// Root threshold when the root splits on `block_len` — the distilled
+    /// cutoff (the paper found ≈18).
+    pub cutoff: Option<f64>,
+    /// Named feature importances, descending.
+    pub importances: Vec<(String, f64)>,
+    /// Count of EBS-labelled and LBR-labelled rows.
+    pub label_counts: (usize, usize),
+}
+
+impl TrainingOutcome {
+    /// The rule to deploy: the trained tree.
+    pub fn rule(&self) -> HybridRule {
+        HybridRule::Tree(self.tree.clone())
+    }
+
+    /// The distilled cutoff rule, when the tree's root splits on block
+    /// length (the form the paper ships).
+    pub fn distilled_rule(&self) -> Option<HybridRule> {
+        self.cutoff.map(|c| HybridRule::LengthCutoff(c.floor() as usize))
+    }
+
+    /// Scikit-style tree dump (Figure 1).
+    pub fn tree_text(&self) -> String {
+        export_text(&self.tree)
+    }
+}
+
+impl fmt::Display for TrainingOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trained on {} blocks ({} EBS / {} LBR)",
+            self.rows, self.label_counts.0, self.label_counts.1
+        )?;
+        match self.cutoff {
+            Some(c) => writeln!(f, "root split: block_len <= {c:.2}")?,
+            None => writeln!(f, "root does not split on block_len")?,
+        }
+        for (name, imp) in &self.importances {
+            writeln!(f, "  importance {name:<22} {imp:.3}")?;
+        }
+        write!(f, "{}", self.tree_text())
+    }
+}
+
+/// Run the full criteria search over a set of (non-SPEC) workloads.
+///
+/// For every workload: collect with the HBBP dual-event collector, compute
+/// the EBS and LBR estimates, obtain exact counts from instrumentation,
+/// and label each sufficiently hot user-mode block with whichever method
+/// came closer. Rows are weighted by execution count (§IV.B).
+///
+/// # Errors
+///
+/// Returns [`ProfileError`] if collection fails on any workload.
+pub fn train_rule(
+    workloads: &[Workload],
+    config: &TrainingConfig,
+) -> Result<TrainingOutcome, ProfileError> {
+    let mut dataset = Dataset::new(FEATURE_NAMES, ["EBS", "LBR"]);
+    let mut ebs_rows = 0usize;
+    let mut lbr_rows = 0usize;
+    for (i, workload) in workloads.iter().enumerate() {
+        let profiler = HbbpProfiler::new(Cpu::with_seed(config.cpu_seed ^ (i as u64) << 8));
+        let result = profiler.profile(workload)?;
+        let truth = Instrumenter::new().run(
+            workload.program(),
+            workload.layout(),
+            workload.oracle(),
+        );
+        let total_truth = truth.bbec.total().max(1.0);
+        for block in result.analyzer.map().blocks() {
+            let t = truth.bbec.get(block.start);
+            if t < config.min_truth_execs {
+                continue;
+            }
+            let e = result.analysis.ebs.count(block.start);
+            let l = result.analysis.lbr.count(block.start);
+            let ebs_err = (e - t).abs() / t;
+            let lbr_err = (l - t).abs() / t;
+            let label = usize::from(lbr_err < ebs_err);
+            if label == 0 {
+                ebs_rows += 1;
+            } else {
+                lbr_rows += 1;
+            }
+            let features =
+                BlockFeatures::extract(block, &result.analysis.ebs, &result.analysis.lbr);
+            // Weight by the block's share of the workload's executions,
+            // normalized across workloads.
+            let weight = t / total_truth * 1_000.0;
+            dataset
+                .push_weighted(features.to_vec(), label, weight)
+                .expect("schema fixed");
+        }
+    }
+    let tree = DecisionTree::train(&dataset, &config.tree).expect("non-empty training set");
+    let cutoff = match tree.root() {
+        Node::Split {
+            feature, threshold, ..
+        } if FEATURE_NAMES[*feature] == "block_len" => Some(*threshold),
+        _ => None,
+    };
+    let mut importances: Vec<(String, f64)> = FEATURE_NAMES
+        .iter()
+        .map(|s| s.to_string())
+        .zip(tree.feature_importances().iter().copied())
+        .collect();
+    importances.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    Ok(TrainingOutcome {
+        rows: dataset.len(),
+        cutoff,
+        importances,
+        label_counts: (ebs_rows, lbr_rows),
+        tree,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbbp_workloads::{training_suite, Scale};
+
+    #[test]
+    #[ignore = "several seconds; run with --ignored or via the experiments binary"]
+    fn criteria_search_recovers_length_rule() {
+        let workloads = training_suite(Scale::Tiny);
+        let outcome = train_rule(&workloads, &TrainingConfig::default()).unwrap();
+        assert!(outcome.rows > 200, "only {} rows", outcome.rows);
+        // Block length must dominate (paper: importance > 0.7).
+        assert_eq!(outcome.importances[0].0, "block_len");
+        assert!(
+            outcome.importances[0].1 > 0.5,
+            "block_len importance {}",
+            outcome.importances[0].1
+        );
+        // The cutoff lands in the paper's region.
+        let cutoff = outcome.cutoff.expect("root splits on block_len");
+        assert!(
+            (10.0..30.0).contains(&cutoff),
+            "cutoff {cutoff} far from 18"
+        );
+    }
+}

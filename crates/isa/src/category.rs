@@ -1,0 +1,256 @@
+//! Instruction categories and branch kinds.
+
+use std::fmt;
+
+/// Functional category of an instruction.
+///
+/// This is the "category" axis of the paper's static annotation (§V.B).
+/// Categories drive several downstream decisions: which instructions are
+/// branches (LBR semantics), which are long-latency (EBS shadowing,
+/// user-defined "long latency" taxonomies), and how pivot tables group rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Category {
+    /// Register/memory data movement (`MOV`, `MOVAPS`, …).
+    Move,
+    /// Integer or FP arithmetic other than multiply/divide.
+    Arith,
+    /// Multiplication.
+    Mul,
+    /// Division (a classic long-latency hazard, §II.A).
+    Div,
+    /// Square root.
+    Sqrt,
+    /// Transcendental x87 operations (`FSIN`, `FPTAN`, …).
+    Transcendental,
+    /// Fused multiply-add.
+    Fma,
+    /// Bitwise logic.
+    Logic,
+    /// Shifts and rotates.
+    Shift,
+    /// Comparison (sets flags).
+    Compare,
+    /// Bit-test / bit-scan / population count.
+    BitScan,
+    /// Conditional branch.
+    CondBranch,
+    /// Unconditional direct jump.
+    UncondBranch,
+    /// Near call.
+    Call,
+    /// Near return.
+    Ret,
+    /// Stack push.
+    Push,
+    /// Stack pop.
+    Pop,
+    /// Stack frame maintenance (`LEAVE`).
+    Frame,
+    /// Conversions between numeric formats (`CVTSI2SD`, `CDQE`, …).
+    Convert,
+    /// Vector shuffles/permutes/unpacks.
+    Shuffle,
+    /// Vector broadcasts / lane insert-extract.
+    Broadcast,
+    /// Vector gather (AVX2).
+    Gather,
+    /// Atomic / synchronization (`XADD`, `CMPXCHG`, fences; §V.B example).
+    Sync,
+    /// No-operation (incl. multi-byte NOPs used for patched tracepoints).
+    Nop,
+    /// Privileged or system interaction (`SYSCALL`, `CPUID`, …).
+    System,
+    /// Address generation (`LEA`).
+    Lea,
+}
+
+impl Category {
+    /// Whether instructions of this category transfer control.
+    pub fn is_branch(self) -> bool {
+        matches!(
+            self,
+            Category::CondBranch | Category::UncondBranch | Category::Call | Category::Ret
+        )
+    }
+
+    /// Whether this category is "computational" in the paper's sense
+    /// (arithmetic work as opposed to data movement / control).
+    pub fn is_computational(self) -> bool {
+        matches!(
+            self,
+            Category::Arith
+                | Category::Mul
+                | Category::Div
+                | Category::Sqrt
+                | Category::Transcendental
+                | Category::Fma
+                | Category::Logic
+                | Category::Shift
+                | Category::Convert
+        )
+    }
+
+    /// Short lowercase tag for pivot table rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Move => "move",
+            Category::Arith => "arith",
+            Category::Mul => "mul",
+            Category::Div => "div",
+            Category::Sqrt => "sqrt",
+            Category::Transcendental => "transcendental",
+            Category::Fma => "fma",
+            Category::Logic => "logic",
+            Category::Shift => "shift",
+            Category::Compare => "compare",
+            Category::BitScan => "bitscan",
+            Category::CondBranch => "cond-branch",
+            Category::UncondBranch => "uncond-branch",
+            Category::Call => "call",
+            Category::Ret => "ret",
+            Category::Push => "push",
+            Category::Pop => "pop",
+            Category::Frame => "frame",
+            Category::Convert => "convert",
+            Category::Shuffle => "shuffle",
+            Category::Broadcast => "broadcast",
+            Category::Gather => "gather",
+            Category::Sync => "sync",
+            Category::Nop => "nop",
+            Category::System => "system",
+            Category::Lea => "lea",
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The control-flow kind of a branch instruction.
+///
+/// LBR filtering in the PMU operates on these kinds; the paper samples on
+/// `BR_INST_RETIRED:NEAR_TAKEN`, which covers all four taken-branch kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// Conditional relative branch (taken or not taken at runtime).
+    Conditional,
+    /// Unconditional relative jump (always taken).
+    Unconditional,
+    /// Near call (always taken).
+    Call,
+    /// Near return (always taken).
+    Return,
+}
+
+impl BranchKind {
+    /// Whether this branch kind is *always* taken when executed.
+    pub fn always_taken(self) -> bool {
+        !matches!(self, BranchKind::Conditional)
+    }
+
+    /// Derive the branch kind from a category, if the category is a branch.
+    pub fn from_category(category: Category) -> Option<BranchKind> {
+        match category {
+            Category::CondBranch => Some(BranchKind::Conditional),
+            Category::UncondBranch => Some(BranchKind::Unconditional),
+            Category::Call => Some(BranchKind::Call),
+            Category::Ret => Some(BranchKind::Return),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for BranchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BranchKind::Conditional => "conditional",
+            BranchKind::Unconditional => "unconditional",
+            BranchKind::Call => "call",
+            BranchKind::Return => "return",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_categories() {
+        assert!(Category::CondBranch.is_branch());
+        assert!(Category::UncondBranch.is_branch());
+        assert!(Category::Call.is_branch());
+        assert!(Category::Ret.is_branch());
+        assert!(!Category::Move.is_branch());
+        assert!(!Category::Div.is_branch());
+    }
+
+    #[test]
+    fn computational_categories() {
+        assert!(Category::Div.is_computational());
+        assert!(Category::Fma.is_computational());
+        assert!(!Category::Move.is_computational());
+        assert!(!Category::CondBranch.is_computational());
+        assert!(!Category::Nop.is_computational());
+    }
+
+    #[test]
+    fn branch_kind_from_category() {
+        assert_eq!(
+            BranchKind::from_category(Category::CondBranch),
+            Some(BranchKind::Conditional)
+        );
+        assert_eq!(
+            BranchKind::from_category(Category::Ret),
+            Some(BranchKind::Return)
+        );
+        assert_eq!(BranchKind::from_category(Category::Move), None);
+    }
+
+    #[test]
+    fn always_taken() {
+        assert!(!BranchKind::Conditional.always_taken());
+        assert!(BranchKind::Unconditional.always_taken());
+        assert!(BranchKind::Call.always_taken());
+        assert!(BranchKind::Return.always_taken());
+    }
+
+    #[test]
+    fn display_names_unique() {
+        use std::collections::HashSet;
+        let cats = [
+            Category::Move,
+            Category::Arith,
+            Category::Mul,
+            Category::Div,
+            Category::Sqrt,
+            Category::Transcendental,
+            Category::Fma,
+            Category::Logic,
+            Category::Shift,
+            Category::Compare,
+            Category::BitScan,
+            Category::CondBranch,
+            Category::UncondBranch,
+            Category::Call,
+            Category::Ret,
+            Category::Push,
+            Category::Pop,
+            Category::Frame,
+            Category::Convert,
+            Category::Shuffle,
+            Category::Broadcast,
+            Category::Gather,
+            Category::Sync,
+            Category::Nop,
+            Category::System,
+            Category::Lea,
+        ];
+        let names: HashSet<_> = cats.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), cats.len());
+    }
+}

@@ -1,0 +1,455 @@
+//! Binary instruction codec — the synthetic ISA's machine code format.
+//!
+//! This replaces XED's encoder/decoder. The format is deliberately simple
+//! but *byte-exact and self-describing*: the analyzer decodes raw `.text`
+//! bytes back into [`Instruction`]s, exactly like the paper's tool decodes
+//! x86 text sections, and any corruption (e.g. stale self-modified kernel
+//! text) surfaces as decode divergence.
+//!
+//! ## Wire format
+//!
+//! ```text
+//! byte 0      opcode (index into the mnemonic table)
+//! byte 1      (n_operands << 4) | (lock << 3)      low 3 bits reserved = 0
+//! byte 2      operand kinds, 2 bits each, LSB-first (0=none 1=reg 2=mem 3=imm)
+//! payload     per operand:
+//!   reg       class(2) << 6 | access(2) << 4 | index(4)
+//!   mem       access(2) << 6 | has_base << 5 | base_index(4) << 1   + disp i16 LE
+//!   imm       value i32 LE
+//! ```
+
+use crate::{Access, Instruction, MemRef, Mnemonic, Operand, Reg, RegClass, MNEMONIC_COUNT};
+use std::fmt;
+
+const KIND_REG: u8 = 1;
+const KIND_MEM: u8 = 2;
+const KIND_IMM: u8 = 3;
+
+// The opcode byte must be able to address every mnemonic.
+const _: () = assert!(MNEMONIC_COUNT <= 256, "opcode byte overflow");
+
+/// Header bytes preceding the operand payload.
+pub const HEADER_LEN: u32 = 3;
+
+/// Errors produced while decoding machine code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The stream ended in the middle of an instruction.
+    Truncated {
+        /// Offset of the instruction whose decoding failed.
+        at: usize,
+    },
+    /// The opcode byte does not name a known mnemonic.
+    UnknownOpcode {
+        /// Offset of the instruction whose decoding failed.
+        at: usize,
+        /// The offending opcode byte.
+        opcode: u8,
+    },
+    /// The descriptor byte is malformed (reserved bits set, bad count).
+    BadDescriptor {
+        /// Offset of the instruction whose decoding failed.
+        at: usize,
+        /// The offending descriptor byte.
+        descriptor: u8,
+    },
+    /// An operand payload is malformed.
+    BadOperand {
+        /// Offset of the instruction whose decoding failed.
+        at: usize,
+        /// Index of the malformed operand.
+        index: usize,
+    },
+}
+
+impl DecodeError {
+    /// Byte offset at which decoding failed.
+    pub fn offset(&self) -> usize {
+        match *self {
+            DecodeError::Truncated { at }
+            | DecodeError::UnknownOpcode { at, .. }
+            | DecodeError::BadDescriptor { at, .. }
+            | DecodeError::BadOperand { at, .. } => at,
+        }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { at } => write!(f, "truncated instruction at offset {at}"),
+            DecodeError::UnknownOpcode { at, opcode } => {
+                write!(f, "unknown opcode {opcode:#04x} at offset {at}")
+            }
+            DecodeError::BadDescriptor { at, descriptor } => {
+                write!(f, "malformed descriptor {descriptor:#04x} at offset {at}")
+            }
+            DecodeError::BadOperand { at, index } => {
+                write!(f, "malformed operand {index} at offset {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encoded length of an instruction in bytes.
+pub fn encoded_len(instr: &Instruction) -> u32 {
+    HEADER_LEN + instr.operands().iter().map(Operand::encoded_len).sum::<u32>()
+}
+
+/// Append the encoding of `instr` to `out`. Returns the number of bytes
+/// written.
+pub fn encode_into(instr: &Instruction, out: &mut Vec<u8>) -> usize {
+    let start = out.len();
+    out.push(instr.mnemonic().opcode() as u8);
+    let desc = ((instr.operands().len() as u8) << 4) | ((instr.is_locked() as u8) << 3);
+    out.push(desc);
+    let mut kinds = 0u8;
+    for (i, op) in instr.operands().iter().enumerate() {
+        let k = match op {
+            Operand::Reg(..) => KIND_REG,
+            Operand::Mem(..) => KIND_MEM,
+            Operand::Imm(_) => KIND_IMM,
+        };
+        kinds |= k << (2 * i);
+    }
+    out.push(kinds);
+    for op in instr.operands() {
+        match *op {
+            Operand::Reg(reg, access) => {
+                let b = (class_code(reg.class()) << 6) | (access_code(access) << 4) | reg.index();
+                out.push(b);
+            }
+            Operand::Mem(mem, access) => {
+                let (has_base, base_index) = match mem.base() {
+                    Some(b) => (1u8, b.index()),
+                    None => (0u8, 0u8),
+                };
+                let b = (access_code(access) << 6) | (has_base << 5) | (base_index << 1);
+                out.push(b);
+                out.extend_from_slice(&mem.disp().to_le_bytes());
+            }
+            Operand::Imm(v) => out.extend_from_slice(&v.to_le_bytes()),
+        }
+    }
+    out.len() - start
+}
+
+/// Encode a single instruction to a fresh byte vector.
+pub fn encode(instr: &Instruction) -> Vec<u8> {
+    let mut out = Vec::with_capacity(encoded_len(instr) as usize);
+    encode_into(instr, &mut out);
+    out
+}
+
+/// Encode a sequence of instructions back-to-back.
+pub fn encode_all<'a>(instrs: impl IntoIterator<Item = &'a Instruction>) -> Vec<u8> {
+    let mut out = Vec::new();
+    for i in instrs {
+        encode_into(i, &mut out);
+    }
+    out
+}
+
+/// Decode one instruction starting at `offset` in `bytes`.
+///
+/// Returns the instruction and the offset of the next instruction.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the bytes are truncated or malformed.
+pub fn decode_one(bytes: &[u8], offset: usize) -> Result<(Instruction, usize), DecodeError> {
+    let at = offset;
+    let header = bytes
+        .get(offset..offset + HEADER_LEN as usize)
+        .ok_or(DecodeError::Truncated { at })?;
+    let mnemonic = Mnemonic::from_opcode(header[0] as u16).ok_or(DecodeError::UnknownOpcode {
+        at,
+        opcode: header[0],
+    })?;
+    let desc = header[1];
+    if desc & 0b0000_0111 != 0 {
+        return Err(DecodeError::BadDescriptor {
+            at,
+            descriptor: desc,
+        });
+    }
+    let n_ops = (desc >> 4) as usize;
+    if n_ops > crate::MAX_OPERANDS {
+        return Err(DecodeError::BadDescriptor {
+            at,
+            descriptor: desc,
+        });
+    }
+    let lock = desc & 0b0000_1000 != 0;
+    let kinds = header[2];
+    // Kind bits beyond n_ops must be zero.
+    if n_ops < 4 && (kinds >> (2 * n_ops)) != 0 {
+        return Err(DecodeError::BadDescriptor {
+            at,
+            descriptor: kinds,
+        });
+    }
+    let mut pos = offset + HEADER_LEN as usize;
+    let mut operands = Vec::with_capacity(n_ops);
+    for i in 0..n_ops {
+        let kind = (kinds >> (2 * i)) & 0b11;
+        let op = match kind {
+            KIND_REG => {
+                let b = *bytes.get(pos).ok_or(DecodeError::Truncated { at })?;
+                pos += 1;
+                let class = class_from_code(b >> 6);
+                let access =
+                    access_from_code((b >> 4) & 0b11).ok_or(DecodeError::BadOperand { at, index: i })?;
+                let index = b & 0b1111;
+                if index >= class.count() {
+                    return Err(DecodeError::BadOperand { at, index: i });
+                }
+                Operand::Reg(Reg::new(class, index), access)
+            }
+            KIND_MEM => {
+                let hdr = *bytes.get(pos).ok_or(DecodeError::Truncated { at })?;
+                let disp_bytes = bytes
+                    .get(pos + 1..pos + 3)
+                    .ok_or(DecodeError::Truncated { at })?;
+                pos += 3;
+                let access =
+                    access_from_code(hdr >> 6).ok_or(DecodeError::BadOperand { at, index: i })?;
+                if hdr & 1 != 0 {
+                    return Err(DecodeError::BadOperand { at, index: i });
+                }
+                let disp = i16::from_le_bytes([disp_bytes[0], disp_bytes[1]]);
+                let mem = if hdr & 0b0010_0000 != 0 {
+                    MemRef::base_disp(Reg::gpr((hdr >> 1) & 0b1111), disp)
+                } else {
+                    if (hdr >> 1) & 0b1111 != 0 {
+                        return Err(DecodeError::BadOperand { at, index: i });
+                    }
+                    MemRef::absolute(disp)
+                };
+                Operand::Mem(mem, access)
+            }
+            KIND_IMM => {
+                let imm_bytes = bytes
+                    .get(pos..pos + 4)
+                    .ok_or(DecodeError::Truncated { at })?;
+                pos += 4;
+                Operand::Imm(i32::from_le_bytes([
+                    imm_bytes[0],
+                    imm_bytes[1],
+                    imm_bytes[2],
+                    imm_bytes[3],
+                ]))
+            }
+            _ => return Err(DecodeError::BadOperand { at, index: i }),
+        };
+        operands.push(op);
+    }
+    let mut instr = Instruction::with_operands(mnemonic, operands);
+    if lock {
+        instr = instr.locked();
+    }
+    Ok((instr, pos))
+}
+
+/// Decode all instructions in `bytes`.
+///
+/// # Errors
+///
+/// Fails on the first malformed or truncated instruction.
+pub fn decode_all(bytes: &[u8]) -> Result<Vec<Instruction>, DecodeError> {
+    Decoder::new(bytes).collect()
+}
+
+/// Streaming decoder over a byte slice.
+#[derive(Debug, Clone)]
+pub struct Decoder<'a> {
+    bytes: &'a [u8],
+    offset: usize,
+    failed: bool,
+}
+
+impl<'a> Decoder<'a> {
+    /// Create a decoder positioned at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Decoder<'a> {
+        Decoder {
+            bytes,
+            offset: 0,
+            failed: false,
+        }
+    }
+
+    /// Current byte offset into the stream.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl Iterator for Decoder<'_> {
+    type Item = Result<Instruction, DecodeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.offset >= self.bytes.len() {
+            return None;
+        }
+        match decode_one(self.bytes, self.offset) {
+            Ok((instr, next)) => {
+                self.offset = next;
+                Some(Ok(instr))
+            }
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+fn class_code(class: RegClass) -> u8 {
+    match class {
+        RegClass::Gpr => 0,
+        RegClass::X87 => 1,
+        RegClass::Xmm => 2,
+        RegClass::Ymm => 3,
+    }
+}
+
+fn class_from_code(code: u8) -> RegClass {
+    match code & 0b11 {
+        0 => RegClass::Gpr,
+        1 => RegClass::X87,
+        2 => RegClass::Xmm,
+        _ => RegClass::Ymm,
+    }
+}
+
+fn access_code(access: Access) -> u8 {
+    match access {
+        Access::Read => 0,
+        Access::Write => 1,
+        Access::ReadWrite => 2,
+    }
+}
+
+fn access_from_code(code: u8) -> Option<Access> {
+    match code {
+        0 => Some(Access::Read),
+        1 => Some(Access::Write),
+        2 => Some(Access::ReadWrite),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::build::*;
+
+    fn samples() -> Vec<Instruction> {
+        vec![
+            bare(Mnemonic::Nop),
+            bare(Mnemonic::RetNear),
+            rr(Mnemonic::Add, Reg::gpr(0), Reg::gpr(15)),
+            rm(Mnemonic::Mov, Reg::gpr(3), MemRef::base_disp(Reg::gpr(4), -128)),
+            mr(Mnemonic::Mov, MemRef::absolute(32), Reg::gpr(7)),
+            ri(Mnemonic::Cmp, Reg::gpr(1), 1_000_000),
+            rr(Mnemonic::Vfmadd231ps, Reg::ymm(2), Reg::ymm(9)),
+            ri(Mnemonic::Xadd, Reg::gpr(5), 1).locked(),
+            Instruction::with_operands(Mnemonic::Jnz, vec![Operand::Imm(-64)]),
+            rr(Mnemonic::Fdiv, Reg::st(0), Reg::st(1)),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_individual() {
+        for instr in samples() {
+            let bytes = encode(&instr);
+            assert_eq!(bytes.len() as u32, encoded_len(&instr), "{instr}");
+            let (decoded, next) = decode_one(&bytes, 0).expect("decode");
+            assert_eq!(decoded, instr);
+            assert_eq!(next, bytes.len());
+        }
+    }
+
+    #[test]
+    fn roundtrip_stream() {
+        let instrs = samples();
+        let bytes = encode_all(&instrs);
+        let decoded = decode_all(&bytes).expect("decode stream");
+        assert_eq!(decoded, instrs);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let instr = ri(Mnemonic::Cmp, Reg::gpr(1), 77);
+        let bytes = encode(&instr);
+        for cut in 1..bytes.len() {
+            let err = decode_one(&bytes[..cut], 0).unwrap_err();
+            assert!(
+                matches!(err, DecodeError::Truncated { .. }),
+                "cut={cut}, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_detected() {
+        let bytes = [0xFF, 0x00, 0x00];
+        let err = decode_one(&bytes, 0).unwrap_err();
+        assert!(matches!(err, DecodeError::UnknownOpcode { opcode: 0xFF, .. }));
+    }
+
+    #[test]
+    fn reserved_descriptor_bits_detected() {
+        let mut bytes = encode(&bare(Mnemonic::Nop));
+        bytes[1] |= 0b0000_0001;
+        let err = decode_one(&bytes, 0).unwrap_err();
+        assert!(matches!(err, DecodeError::BadDescriptor { .. }));
+    }
+
+    #[test]
+    fn stray_kind_bits_detected() {
+        let mut bytes = encode(&bare(Mnemonic::Nop));
+        bytes[2] = 0b0000_0001; // claims a kind for operand 0 while n_ops = 0
+        let err = decode_one(&bytes, 0).unwrap_err();
+        assert!(matches!(err, DecodeError::BadDescriptor { .. }));
+    }
+
+    #[test]
+    fn decoder_iterator_stops_after_error() {
+        let mut bytes = encode_all(&samples()[..3]);
+        bytes.push(0xFF); // garbage tail
+        let results: Vec<_> = Decoder::new(&bytes).collect();
+        assert_eq!(results.len(), 4);
+        assert!(results[..3].iter().all(Result::is_ok));
+        assert!(results[3].is_err());
+    }
+
+    #[test]
+    fn offsets_reported_correctly() {
+        let instrs = samples();
+        let bytes = encode_all(&instrs);
+        // Corrupt the opcode of the third instruction.
+        let third_offset = encoded_len(&instrs[0]) + encoded_len(&instrs[1]);
+        let mut corrupted = bytes.clone();
+        corrupted[third_offset as usize] = 0xFE;
+        let err = decode_all(&corrupted).unwrap_err();
+        assert_eq!(err.offset(), third_offset as usize);
+    }
+
+    #[test]
+    fn lock_prefix_roundtrips() {
+        let locked = ri(Mnemonic::Cmpxchg, Reg::gpr(2), 3).locked();
+        let (decoded, _) = decode_one(&encode(&locked), 0).unwrap();
+        assert!(decoded.is_locked());
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let e = DecodeError::Truncated { at: 12 };
+        assert!(!e.to_string().is_empty());
+        let e = DecodeError::UnknownOpcode { at: 0, opcode: 250 };
+        assert!(e.to_string().contains("0xfa"));
+    }
+}

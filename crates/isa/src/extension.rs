@@ -1,0 +1,219 @@
+//! Instruction-set extensions and vector packing attributes.
+//!
+//! The paper's analyzer annotates every decoded instruction with "the
+//! instruction class, ISA, family and category" plus secondary attributes
+//! such as packed/scalar flags (§V.B). [`Extension`], [`Packing`] and
+//! [`ElementType`] carry the static part of that annotation.
+
+use std::fmt;
+
+/// The instruction-set extension an instruction belongs to.
+///
+/// Mirrors the families the paper's tooling distinguishes (x87 scalar, SSE,
+/// AVX and the plain "BASE" integer set; see Table 6 and Table 8).
+///
+/// ```
+/// use hbbp_isa::Extension;
+/// assert!(Extension::Avx.is_vector());
+/// assert_eq!(Extension::Base.to_string(), "BASE");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Extension {
+    /// Baseline integer/control instructions (no extension required).
+    Base,
+    /// Legacy x87 floating point stack instructions.
+    X87,
+    /// SSE/SSE2/SSE4 128-bit instructions (FP and integer SIMD).
+    Sse,
+    /// AVX 256-bit instructions.
+    Avx,
+    /// AVX2 integer 256-bit instructions (incl. gathers).
+    Avx2,
+    /// Privileged/system instructions (ring-0 oriented).
+    System,
+}
+
+impl Extension {
+    /// All extensions, in display order.
+    pub const ALL: [Extension; 6] = [
+        Extension::Base,
+        Extension::X87,
+        Extension::Sse,
+        Extension::Avx,
+        Extension::Avx2,
+        Extension::System,
+    ];
+
+    /// Short uppercase name as used in the paper's pivot tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Extension::Base => "BASE",
+            Extension::X87 => "X87",
+            Extension::Sse => "SSE",
+            Extension::Avx => "AVX",
+            Extension::Avx2 => "AVX2",
+            Extension::System => "SYS",
+        }
+    }
+
+    /// Whether this extension contains SIMD vector instructions.
+    pub fn is_vector(self) -> bool {
+        matches!(self, Extension::Sse | Extension::Avx | Extension::Avx2)
+    }
+
+    /// Whether instructions of this extension execute on the FP/SIMD stack
+    /// or units (used for the "computational" secondary attribute).
+    pub fn is_fp_capable(self) -> bool {
+        matches!(
+            self,
+            Extension::X87 | Extension::Sse | Extension::Avx | Extension::Avx2
+        )
+    }
+}
+
+impl fmt::Display for Extension {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// SIMD packing attribute of an instruction (paper §V.B: "packed and scalar
+/// flags").
+///
+/// `None` covers instructions with no FP/SIMD data movement at all (integer
+/// ALU, branches, but also AVX housekeeping such as `VZEROUPPER`), which is
+/// exactly how Table 8 of the paper buckets CLForward ("NONE", "SCALAR",
+/// "PACKED" within each instruction set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Packing {
+    /// Not an FP/SIMD data operation.
+    #[default]
+    None,
+    /// Scalar operation on a single element (e.g. `ADDSS`, `FADD`).
+    Scalar,
+    /// Packed operation on a full vector (e.g. `ADDPS`, `VMULPS`).
+    Packed,
+}
+
+impl Packing {
+    /// All packings, in display order.
+    pub const ALL: [Packing; 3] = [Packing::None, Packing::Scalar, Packing::Packed];
+
+    /// Uppercase name as used in pivot tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Packing::None => "NONE",
+            Packing::Scalar => "SCALAR",
+            Packing::Packed => "PACKED",
+        }
+    }
+}
+
+impl fmt::Display for Packing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Element type operated on by a (vector or scalar FP) instruction.
+///
+/// Used to derive approximate FLOP counts (§II.A mentions "approximate FLOP
+/// rates" as an instruction-mix use case) and double-precision hazard
+/// detection (the Xeon Phi transcendental example in §II.A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum ElementType {
+    /// No defined element type (integer control flow etc.).
+    #[default]
+    None,
+    /// 32-bit single-precision float.
+    F32,
+    /// 64-bit double-precision float.
+    F64,
+    /// 32-bit integer lanes.
+    I32,
+    /// 64-bit integer lanes.
+    I64,
+    /// 80-bit x87 extended precision.
+    X87,
+}
+
+impl ElementType {
+    /// Size of one element in bytes (x87 rounds to 10).
+    pub fn size_bytes(self) -> u32 {
+        match self {
+            ElementType::None => 0,
+            ElementType::F32 | ElementType::I32 => 4,
+            ElementType::F64 | ElementType::I64 => 8,
+            ElementType::X87 => 10,
+        }
+    }
+
+    /// Whether the element type is floating point.
+    pub fn is_float(self) -> bool {
+        matches!(self, ElementType::F32 | ElementType::F64 | ElementType::X87)
+    }
+}
+
+impl fmt::Display for ElementType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ElementType::None => "none",
+            ElementType::F32 => "f32",
+            ElementType::F64 => "f64",
+            ElementType::I32 => "i32",
+            ElementType::I64 => "i64",
+            ElementType::X87 => "x87",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extension_names_are_stable() {
+        assert_eq!(Extension::Base.name(), "BASE");
+        assert_eq!(Extension::Avx2.name(), "AVX2");
+        assert_eq!(Extension::System.to_string(), "SYS");
+    }
+
+    #[test]
+    fn vector_extensions() {
+        assert!(Extension::Sse.is_vector());
+        assert!(Extension::Avx.is_vector());
+        assert!(Extension::Avx2.is_vector());
+        assert!(!Extension::Base.is_vector());
+        assert!(!Extension::X87.is_vector());
+    }
+
+    #[test]
+    fn fp_capability_includes_x87_but_not_base() {
+        assert!(Extension::X87.is_fp_capable());
+        assert!(!Extension::Base.is_fp_capable());
+        assert!(!Extension::System.is_fp_capable());
+    }
+
+    #[test]
+    fn packing_display_matches_paper_tables() {
+        let names: Vec<_> = Packing::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names, ["NONE", "SCALAR", "PACKED"]);
+    }
+
+    #[test]
+    fn element_sizes() {
+        assert_eq!(ElementType::F32.size_bytes(), 4);
+        assert_eq!(ElementType::F64.size_bytes(), 8);
+        assert_eq!(ElementType::X87.size_bytes(), 10);
+        assert_eq!(ElementType::None.size_bytes(), 0);
+        assert!(ElementType::X87.is_float());
+        assert!(!ElementType::I64.is_float());
+    }
+
+    #[test]
+    fn default_packing_is_none() {
+        assert_eq!(Packing::default(), Packing::None);
+        assert_eq!(ElementType::default(), ElementType::None);
+    }
+}

@@ -1,0 +1,362 @@
+//! Decoded instruction representation and derived (secondary) attributes.
+
+use crate::{BranchKind, Category, ElementType, Extension, Mnemonic, Operand, Packing, Reg};
+use std::fmt;
+
+/// Maximum number of explicit operands an instruction may carry.
+pub const MAX_OPERANDS: usize = 3;
+
+/// A decoded instruction: mnemonic + operands + prefixes.
+///
+/// Instructions are immutable values; the program layer assembles them into
+/// basic blocks, and the codec maps them to/from bytes. Branch *targets* are
+/// not stored here — control flow is a property of the block graph — but
+/// branch instructions carry a relative displacement immediate once a
+/// program is laid out.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Instruction {
+    mnemonic: Mnemonic,
+    operands: Vec<Operand>,
+    lock: bool,
+}
+
+impl Instruction {
+    /// Create an instruction with no operands.
+    pub fn new(mnemonic: Mnemonic) -> Instruction {
+        Instruction {
+            mnemonic,
+            operands: Vec::new(),
+            lock: false,
+        }
+    }
+
+    /// Create an instruction with operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_OPERANDS`] operands are supplied.
+    pub fn with_operands(mnemonic: Mnemonic, operands: impl Into<Vec<Operand>>) -> Instruction {
+        let operands = operands.into();
+        assert!(
+            operands.len() <= MAX_OPERANDS,
+            "instruction {mnemonic} has {} operands (max {MAX_OPERANDS})",
+            operands.len()
+        );
+        Instruction {
+            mnemonic,
+            operands,
+            lock: false,
+        }
+    }
+
+    /// Add a `LOCK` prefix (turns the instruction into an atomic RMW; the
+    /// paper's "synchronization instructions" taxonomy example includes
+    /// "LOCK variants").
+    pub fn locked(mut self) -> Instruction {
+        self.lock = true;
+        self
+    }
+
+    /// The instruction's mnemonic.
+    pub fn mnemonic(&self) -> Mnemonic {
+        self.mnemonic
+    }
+
+    /// Explicit operands.
+    pub fn operands(&self) -> &[Operand] {
+        &self.operands
+    }
+
+    /// Whether the instruction carries a `LOCK` prefix.
+    pub fn is_locked(&self) -> bool {
+        self.lock
+    }
+
+    /// ISA extension (from the mnemonic table).
+    pub fn extension(&self) -> Extension {
+        self.mnemonic.extension()
+    }
+
+    /// Functional category (from the mnemonic table).
+    pub fn category(&self) -> Category {
+        self.mnemonic.category()
+    }
+
+    /// Packing attribute.
+    pub fn packing(&self) -> Packing {
+        self.mnemonic.packing()
+    }
+
+    /// Element type.
+    pub fn element(&self) -> ElementType {
+        self.mnemonic.element()
+    }
+
+    /// Whether the instruction is a branch.
+    pub fn is_branch(&self) -> bool {
+        self.mnemonic.is_branch()
+    }
+
+    /// Branch kind, if the instruction is a branch.
+    pub fn branch_kind(&self) -> Option<BranchKind> {
+        BranchKind::from_category(self.category())
+    }
+
+    /// Secondary attribute: does the instruction read memory?
+    pub fn reads_memory(&self) -> bool {
+        self.operands.iter().any(Operand::reads_memory)
+            || matches!(self.category(), Category::Pop | Category::Ret)
+    }
+
+    /// Secondary attribute: does the instruction write memory?
+    pub fn writes_memory(&self) -> bool {
+        self.operands.iter().any(Operand::writes_memory)
+            || matches!(self.category(), Category::Push | Category::Call)
+    }
+
+    /// Secondary attribute: is this an atomic/synchronizing operation?
+    ///
+    /// Covers the `Sync` category plus any `LOCK`-prefixed instruction
+    /// (§V.B: a "synchronization instructions" group "would have items such
+    /// as XADD, LOCK variants").
+    pub fn is_synchronizing(&self) -> bool {
+        self.lock || self.category() == Category::Sync
+    }
+
+    /// Secondary attribute: vector lane count for SIMD operations
+    /// (1 for scalar FP, 0 for non-FP).
+    pub fn lanes(&self) -> u32 {
+        let elem = self.element().size_bytes();
+        if elem == 0 {
+            return 0;
+        }
+        match self.packing() {
+            Packing::None => 0,
+            Packing::Scalar => 1,
+            Packing::Packed => self.vector_width_bytes() / elem,
+        }
+    }
+
+    /// Width in bytes of the vector unit engaged by this instruction.
+    fn vector_width_bytes(&self) -> u32 {
+        match self.extension() {
+            Extension::Sse => 16,
+            Extension::Avx | Extension::Avx2 => {
+                // YMM unless an operand says otherwise (e.g. VMOVSS).
+                if self
+                    .operands
+                    .iter()
+                    .any(|o| matches!(o, Operand::Reg(r, _) if r.class() == crate::RegClass::Xmm))
+                {
+                    16
+                } else {
+                    32
+                }
+            }
+            Extension::X87 => 10,
+            _ => 0,
+        }
+    }
+
+    /// Approximate floating-point operations retired by one execution.
+    ///
+    /// FMA counts double; moves, shuffles and compares count zero. The paper
+    /// cites "approximate FLOP rates" as a direct instruction-mix use.
+    pub fn flop_count(&self) -> u32 {
+        if !self.element().is_float() {
+            return 0;
+        }
+        let per_lane = match self.category() {
+            Category::Arith | Category::Mul | Category::Div | Category::Sqrt => 1,
+            Category::Fma => 2,
+            Category::Transcendental => 1,
+            _ => 0,
+        };
+        per_lane * self.lanes().max(if per_lane > 0 { 1 } else { 0 })
+    }
+
+    /// Nominal latency in cycles (LOCK prefix adds the bus-lock penalty).
+    pub fn latency(&self) -> u32 {
+        let base = self.mnemonic.latency();
+        if self.lock {
+            base + crate::latency::LOCK_PENALTY
+        } else {
+            base
+        }
+    }
+
+    /// Whether this instruction casts a "shadow" on its successor in the
+    /// EBS sampling model (long execution latency).
+    pub fn is_long_latency(&self) -> bool {
+        self.latency() >= crate::latency::LONG_LATENCY_THRESHOLD
+    }
+
+    /// Length of the encoded form in bytes. See [`crate::codec`].
+    pub fn encoded_len(&self) -> u32 {
+        crate::codec::encoded_len(self)
+    }
+
+    /// Registers written by this instruction.
+    pub fn regs_written(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.operands.iter().filter_map(|o| match o {
+            Operand::Reg(r, a) if a.is_write() => Some(*r),
+            _ => None,
+        })
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.lock {
+            write!(f, "LOCK ")?;
+        }
+        write!(f, "{}", self.mnemonic)?;
+        for (i, op) in self.operands.iter().enumerate() {
+            if i == 0 {
+                write!(f, " {op}")?;
+            } else {
+                write!(f, ", {op}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fluent helpers for common instruction shapes, used heavily by the
+/// workload generators.
+pub mod build {
+    use super::*;
+    use crate::{MemRef, Operand, Reg};
+
+    /// `mnemonic dst, src` register-register.
+    pub fn rr(m: Mnemonic, dst: Reg, src: Reg) -> Instruction {
+        Instruction::with_operands(m, vec![Operand::reg_rw(dst), Operand::reg_r(src)])
+    }
+
+    /// `mnemonic dst, [mem]` register-load.
+    pub fn rm(m: Mnemonic, dst: Reg, mem: MemRef) -> Instruction {
+        Instruction::with_operands(m, vec![Operand::reg_w(dst), Operand::mem_r(mem)])
+    }
+
+    /// `mnemonic [mem], src` store.
+    pub fn mr(m: Mnemonic, mem: MemRef, src: Reg) -> Instruction {
+        Instruction::with_operands(m, vec![Operand::mem_w(mem), Operand::reg_r(src)])
+    }
+
+    /// `mnemonic dst, imm`.
+    pub fn ri(m: Mnemonic, dst: Reg, imm: i32) -> Instruction {
+        Instruction::with_operands(m, vec![Operand::reg_rw(dst), Operand::Imm(imm)])
+    }
+
+    /// `mnemonic reg` single-register.
+    pub fn r(m: Mnemonic, reg: Reg) -> Instruction {
+        Instruction::with_operands(m, vec![Operand::reg_rw(reg)])
+    }
+
+    /// Bare mnemonic, no operands (branches, NOP, CDQE, …).
+    pub fn bare(m: Mnemonic) -> Instruction {
+        Instruction::new(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::build::*;
+    use super::*;
+    use crate::{MemRef, Reg};
+
+    #[test]
+    fn display_formats() {
+        let i = rr(Mnemonic::Add, Reg::gpr(0), Reg::gpr(1));
+        assert_eq!(i.to_string(), "ADD r0, r1");
+        let l = ri(Mnemonic::Xadd, Reg::gpr(2), 1).locked();
+        assert!(l.to_string().starts_with("LOCK XADD"));
+        assert_eq!(bare(Mnemonic::RetNear).to_string(), "RET_NEAR");
+    }
+
+    #[test]
+    fn memory_flags_follow_operands() {
+        let load = rm(Mnemonic::Mov, Reg::gpr(0), MemRef::absolute(8));
+        assert!(load.reads_memory());
+        assert!(!load.writes_memory());
+        let store = mr(Mnemonic::Mov, MemRef::absolute(8), Reg::gpr(0));
+        assert!(store.writes_memory());
+        assert!(!store.reads_memory());
+    }
+
+    #[test]
+    fn implicit_stack_memory() {
+        assert!(r(Mnemonic::Push, Reg::gpr(0)).writes_memory());
+        assert!(r(Mnemonic::Pop, Reg::gpr(0)).reads_memory());
+        assert!(bare(Mnemonic::RetNear).reads_memory());
+        assert!(bare(Mnemonic::CallNear).writes_memory());
+    }
+
+    #[test]
+    fn sync_attribute() {
+        assert!(bare(Mnemonic::Mfence).is_synchronizing());
+        assert!(rr(Mnemonic::Add, Reg::gpr(0), Reg::gpr(1))
+            .locked()
+            .is_synchronizing());
+        assert!(!rr(Mnemonic::Add, Reg::gpr(0), Reg::gpr(1)).is_synchronizing());
+    }
+
+    #[test]
+    fn lanes_and_flops() {
+        // SSE packed f32: 128/32 = 4 lanes, arith = 4 flops.
+        let addps = rr(Mnemonic::Addps, Reg::xmm(0), Reg::xmm(1));
+        assert_eq!(addps.lanes(), 4);
+        assert_eq!(addps.flop_count(), 4);
+        // AVX packed f32 on YMM: 8 lanes; FMA doubles.
+        let vfma = rr(Mnemonic::Vfmadd231ps, Reg::ymm(0), Reg::ymm(1));
+        assert_eq!(vfma.lanes(), 8);
+        assert_eq!(vfma.flop_count(), 16);
+        // Scalar SSE: 1 lane.
+        let addss = rr(Mnemonic::Addss, Reg::xmm(0), Reg::xmm(1));
+        assert_eq!(addss.lanes(), 1);
+        assert_eq!(addss.flop_count(), 1);
+        // Integer op: no flops.
+        let add = rr(Mnemonic::Add, Reg::gpr(0), Reg::gpr(1));
+        assert_eq!(add.flop_count(), 0);
+        // FP move: lanes but no flops.
+        let movaps = rr(Mnemonic::Movaps, Reg::xmm(0), Reg::xmm(1));
+        assert_eq!(movaps.lanes(), 4);
+        assert_eq!(movaps.flop_count(), 0);
+    }
+
+    #[test]
+    fn lock_penalty_applies() {
+        let plain = rr(Mnemonic::Add, Reg::gpr(0), Reg::gpr(1));
+        let locked = plain.clone().locked();
+        assert!(locked.latency() > plain.latency());
+        assert!(locked.is_long_latency());
+    }
+
+    #[test]
+    #[should_panic(expected = "operands")]
+    fn too_many_operands_rejected() {
+        let r0 = Operand::reg_r(Reg::gpr(0));
+        let _ = Instruction::with_operands(Mnemonic::Add, vec![r0; 4]);
+    }
+
+    #[test]
+    fn branch_kinds() {
+        assert_eq!(
+            bare(Mnemonic::Jz).branch_kind(),
+            Some(BranchKind::Conditional)
+        );
+        assert_eq!(
+            bare(Mnemonic::Jmp).branch_kind(),
+            Some(BranchKind::Unconditional)
+        );
+        assert_eq!(
+            bare(Mnemonic::CallNear).branch_kind(),
+            Some(BranchKind::Call)
+        );
+        assert_eq!(
+            bare(Mnemonic::RetNear).branch_kind(),
+            Some(BranchKind::Return)
+        );
+        assert_eq!(bare(Mnemonic::Nop).branch_kind(), None);
+    }
+}

@@ -1,0 +1,187 @@
+//! Latency model — a Fog-style instruction timing table with overrides.
+//!
+//! The paper's EBS "shadowing" artefact is latency-driven: "samples
+//! disproportionately represent instructions following long-latency
+//! instructions in the execution chain" (§III.A). The simulator and the
+//! workload generators both consult this model, so latency assumptions stay
+//! consistent between the machine being simulated and the analysis that
+//! corrects for its artefacts.
+
+use crate::{Instruction, Mnemonic};
+use std::collections::HashMap;
+
+/// Latency (cycles) at or above which an instruction is "long latency":
+/// it casts a sampling shadow and belongs to the built-in long-latency
+/// taxonomy.
+pub const LONG_LATENCY_THRESHOLD: u32 = 10;
+
+/// Extra cycles added by a `LOCK` prefix (bus lock + fill-buffer drain).
+pub const LOCK_PENALTY: u32 = 18;
+
+/// Extra cycles for a memory read hitting L1 (applied per instruction that
+/// reads memory).
+pub const MEM_READ_CYCLES: u32 = 3;
+
+/// Extra cycles for a memory write (store buffer absorbs most of it).
+pub const MEM_WRITE_CYCLES: u32 = 1;
+
+/// A configurable instruction latency model.
+///
+/// The default model uses the per-mnemonic nominal latencies from the
+/// mnemonic table plus memory access penalties. Specific mnemonics can be
+/// overridden, e.g. to model a different microarchitecture generation.
+///
+/// ```
+/// use hbbp_isa::{LatencyModel, Mnemonic, Instruction};
+/// let model = LatencyModel::new();
+/// let div = Instruction::new(Mnemonic::Idiv);
+/// assert!(model.latency_of(&div) >= 20);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LatencyModel {
+    overrides: HashMap<Mnemonic, u32>,
+    mem_read_cycles: u32,
+    mem_write_cycles: u32,
+}
+
+impl LatencyModel {
+    /// The default Ivy Bridge-flavoured model.
+    pub fn new() -> LatencyModel {
+        LatencyModel {
+            overrides: HashMap::new(),
+            mem_read_cycles: MEM_READ_CYCLES,
+            mem_write_cycles: MEM_WRITE_CYCLES,
+        }
+    }
+
+    /// Override the nominal latency of a mnemonic.
+    pub fn with_override(mut self, mnemonic: Mnemonic, cycles: u32) -> LatencyModel {
+        self.overrides.insert(mnemonic, cycles);
+        self
+    }
+
+    /// Set the memory read penalty.
+    pub fn with_mem_read_cycles(mut self, cycles: u32) -> LatencyModel {
+        self.mem_read_cycles = cycles;
+        self
+    }
+
+    /// Set the memory write penalty.
+    pub fn with_mem_write_cycles(mut self, cycles: u32) -> LatencyModel {
+        self.mem_write_cycles = cycles;
+        self
+    }
+
+    /// Nominal latency of a mnemonic under this model.
+    pub fn mnemonic_latency(&self, mnemonic: Mnemonic) -> u32 {
+        self.overrides
+            .get(&mnemonic)
+            .copied()
+            .unwrap_or_else(|| mnemonic.latency())
+    }
+
+    /// Full latency of an instruction: nominal + memory penalties + LOCK.
+    pub fn latency_of(&self, instr: &Instruction) -> u32 {
+        let mut cycles = self.mnemonic_latency(instr.mnemonic());
+        if instr.reads_memory() {
+            cycles += self.mem_read_cycles;
+        }
+        if instr.writes_memory() {
+            cycles += self.mem_write_cycles;
+        }
+        if instr.is_locked() {
+            cycles += LOCK_PENALTY;
+        }
+        cycles
+    }
+
+    /// Whether the instruction is long-latency under this model.
+    pub fn is_long_latency(&self, instr: &Instruction) -> bool {
+        self.latency_of(instr) >= LONG_LATENCY_THRESHOLD
+    }
+
+    /// Pipelined cost in cycles: long-latency instructions stall for their
+    /// full latency, short ones retire at (modelled) superscalar throughput.
+    ///
+    /// This is the per-instruction cycle cost used by the CPU simulator's
+    /// wall-clock accounting; it is deliberately coarse (the paper's claims
+    /// are about *relative* runtimes).
+    pub fn pipelined_cost(&self, instr: &Instruction) -> u32 {
+        let lat = self.latency_of(instr);
+        if lat >= LONG_LATENCY_THRESHOLD {
+            lat
+        } else {
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::build::*;
+    use crate::{MemRef, Reg};
+
+    #[test]
+    fn default_model_uses_table_latency() {
+        let m = LatencyModel::new();
+        assert_eq!(
+            m.mnemonic_latency(Mnemonic::Add),
+            Mnemonic::Add.latency()
+        );
+        assert_eq!(
+            m.mnemonic_latency(Mnemonic::Fsin),
+            Mnemonic::Fsin.latency()
+        );
+    }
+
+    #[test]
+    fn overrides_take_precedence() {
+        let m = LatencyModel::new().with_override(Mnemonic::Add, 99);
+        assert_eq!(m.mnemonic_latency(Mnemonic::Add), 99);
+        assert_eq!(m.mnemonic_latency(Mnemonic::Sub), 1);
+    }
+
+    #[test]
+    fn memory_penalties_apply() {
+        let m = LatencyModel::new();
+        let reg = rr(Mnemonic::Add, Reg::gpr(0), Reg::gpr(1));
+        let load = rm(Mnemonic::Add, Reg::gpr(0), MemRef::absolute(0));
+        let store = mr(Mnemonic::Mov, MemRef::absolute(0), Reg::gpr(0));
+        assert_eq!(m.latency_of(&load), m.latency_of(&reg) + MEM_READ_CYCLES);
+        assert_eq!(
+            m.latency_of(&store),
+            m.mnemonic_latency(Mnemonic::Mov) + MEM_WRITE_CYCLES
+        );
+    }
+
+    #[test]
+    fn lock_penalty_applies() {
+        let m = LatencyModel::new();
+        let locked = ri(Mnemonic::Xadd, Reg::gpr(0), 1).locked();
+        assert!(m.latency_of(&locked) >= LOCK_PENALTY);
+        assert!(m.is_long_latency(&locked));
+    }
+
+    #[test]
+    fn pipelined_cost_compresses_short_ops() {
+        let m = LatencyModel::new();
+        let add = rr(Mnemonic::Add, Reg::gpr(0), Reg::gpr(1));
+        assert_eq!(m.pipelined_cost(&add), 1);
+        let div = bare(Mnemonic::Idiv);
+        assert_eq!(m.pipelined_cost(&div), m.latency_of(&div));
+    }
+
+    #[test]
+    fn long_latency_consistency_with_mnemonic_flag() {
+        // For register-only instructions the model agrees with the static
+        // mnemonic flag.
+        let m = LatencyModel::new();
+        for &mn in Mnemonic::ALL {
+            let instr = bare(mn);
+            if mn.is_long_latency() {
+                assert!(m.is_long_latency(&instr), "{mn}");
+            }
+        }
+    }
+}

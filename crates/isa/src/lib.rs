@@ -1,0 +1,56 @@
+//! # hbbp-isa — synthetic instruction set for the HBBP reproduction
+//!
+//! The ISPASS 2018 paper "Low-Overhead Dynamic Instruction Mix Generation
+//! using Hybrid Basic Block Profiling" builds its analyzer on top of Intel
+//! XED: raw `.text` bytes are decoded into instructions annotated with
+//! "the instruction class, ISA, family and category" plus "types, numbers,
+//! sizes and attributes of operands" and secondary attributes like memory
+//! read/write or packed/scalar flags (§V.B).
+//!
+//! This crate is the XED stand-in: a compact x86-*like* ISA with
+//!
+//! * a [`Mnemonic`] table (~140 entries across BASE/X87/SSE/AVX/AVX2/SYS)
+//!   carrying extension, category, packing, element type and latency,
+//! * an [`Instruction`] value type with operands and derived secondary
+//!   attributes ([`Instruction::reads_memory`], [`Instruction::lanes`],
+//!   [`Instruction::flop_count`], …),
+//! * a byte-exact binary [`codec`] (encode/decode round-trips, truncation
+//!   and corruption detection) so programs exist as real machine-code bytes,
+//! * a configurable [`LatencyModel`] feeding the simulator's timing and
+//!   shadowing artefacts, and
+//! * user-definable [`Taxonomy`] groups reproducing the paper's custom
+//!   instruction groups ("long latency instructions", "synchronization
+//!   instructions", the Table 8 ext×packing view).
+//!
+//! ```
+//! use hbbp_isa::{codec, instruction::build, Mnemonic, Reg};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let add = build::rr(Mnemonic::Add, Reg::gpr(0), Reg::gpr(1));
+//! let bytes = codec::encode(&add);
+//! let (decoded, len) = codec::decode_one(&bytes, 0)?;
+//! assert_eq!(decoded, add);
+//! assert_eq!(len, bytes.len());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod category;
+pub mod codec;
+pub mod extension;
+pub mod instruction;
+pub mod latency;
+pub mod mnemonic;
+pub mod operand;
+pub mod taxonomy;
+
+pub use category::{BranchKind, Category};
+pub use extension::{ElementType, Extension, Packing};
+pub use instruction::{Instruction, MAX_OPERANDS};
+pub use latency::{LatencyModel, LOCK_PENALTY, LONG_LATENCY_THRESHOLD};
+pub use mnemonic::{Mnemonic, MnemonicInfo, ParseMnemonicError, MNEMONIC_COUNT};
+pub use operand::{Access, MemRef, Operand, Reg, RegClass};
+pub use taxonomy::{Predicate, TaxonGroup, Taxonomy};

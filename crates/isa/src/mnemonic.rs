@@ -1,0 +1,469 @@
+//! The mnemonic table: every instruction mnemonic the synthetic ISA knows,
+//! together with its static attributes.
+//!
+//! This is the stand-in for XED's opcode metadata (§V.B: "We implement a
+//! custom disassembler based on XED … to extract detailed opcode
+//! information"). Mnemonic spellings follow XED/SDE conventions used in the
+//! paper's figures (`RET_NEAR`, `CALL_NEAR`, `MOVSD_XMM`, …).
+
+use crate::{Category, ElementType, Extension, Packing};
+use std::fmt;
+use std::str::FromStr;
+
+/// Static attributes of a mnemonic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MnemonicInfo {
+    /// XED-style uppercase spelling.
+    pub name: &'static str,
+    /// ISA extension the mnemonic belongs to.
+    pub extension: Extension,
+    /// Functional category.
+    pub category: Category,
+    /// SIMD packing attribute.
+    pub packing: Packing,
+    /// Element type for FP/SIMD operations.
+    pub element: ElementType,
+    /// Nominal register-to-register latency in cycles (Fog-style table).
+    pub latency: u32,
+}
+
+macro_rules! define_mnemonics {
+    ($( $variant:ident => ($name:literal, $ext:ident, $cat:ident, $pack:ident, $elem:ident, $lat:literal) ),+ $(,)?) => {
+        /// An instruction mnemonic of the synthetic ISA.
+        ///
+        /// The discriminant doubles as the opcode in the binary encoding, so
+        /// the numeric values are stable across encode/decode.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[repr(u16)]
+        #[allow(missing_docs)]
+        pub enum Mnemonic {
+            $($variant),+
+        }
+
+        /// Number of mnemonics in the ISA.
+        pub const MNEMONIC_COUNT: usize = Mnemonic::ALL.len();
+
+        impl Mnemonic {
+            /// Every mnemonic, ordered by opcode.
+            pub const ALL: &'static [Mnemonic] = &[ $(Mnemonic::$variant),+ ];
+
+            /// Static attribute record for this mnemonic.
+            pub fn info(self) -> &'static MnemonicInfo {
+                const INFOS: &[MnemonicInfo] = &[
+                    $(MnemonicInfo {
+                        name: $name,
+                        extension: Extension::$ext,
+                        category: Category::$cat,
+                        packing: Packing::$pack,
+                        element: ElementType::$elem,
+                        latency: $lat,
+                    }),+
+                ];
+                &INFOS[self as u16 as usize]
+            }
+
+            /// Decode a mnemonic from its opcode value.
+            pub fn from_opcode(op: u16) -> Option<Mnemonic> {
+                Mnemonic::ALL.get(op as usize).copied()
+            }
+
+            /// The opcode value used in the binary encoding.
+            pub fn opcode(self) -> u16 {
+                self as u16
+            }
+        }
+    };
+}
+
+define_mnemonics! {
+    // ---- BASE data movement ----
+    Mov        => ("MOV",        Base, Move,    None,   None, 1),
+    Movzx      => ("MOVZX",      Base, Move,    None,   None, 1),
+    Movsx      => ("MOVSX",      Base, Move,    None,   None, 1),
+    Movsxd     => ("MOVSXD",     Base, Move,    None,   None, 1),
+    Cdqe       => ("CDQE",       Base, Convert, None,   None, 1),
+    Cdq        => ("CDQ",        Base, Convert, None,   None, 1),
+    Cqo        => ("CQO",        Base, Convert, None,   None, 1),
+    Cmovz      => ("CMOVZ",      Base, Move,    None,   None, 1),
+    Cmovnz     => ("CMOVNZ",     Base, Move,    None,   None, 1),
+    Setz       => ("SETZ",       Base, Move,    None,   None, 1),
+    Setnz      => ("SETNZ",      Base, Move,    None,   None, 1),
+    Lea        => ("LEA",        Base, Lea,     None,   None, 1),
+    Xchg       => ("XCHG",       Base, Sync,    None,   None, 2),
+    // ---- BASE ALU ----
+    Add        => ("ADD",        Base, Arith,   None,   None, 1),
+    Adc        => ("ADC",        Base, Arith,   None,   None, 1),
+    Sub        => ("SUB",        Base, Arith,   None,   None, 1),
+    Sbb        => ("SBB",        Base, Arith,   None,   None, 1),
+    Inc        => ("INC",        Base, Arith,   None,   None, 1),
+    Dec        => ("DEC",        Base, Arith,   None,   None, 1),
+    Neg        => ("NEG",        Base, Arith,   None,   None, 1),
+    Imul       => ("IMUL",       Base, Mul,     None,   None, 3),
+    Mul        => ("MUL",        Base, Mul,     None,   None, 3),
+    Idiv       => ("IDIV",       Base, Div,     None,   None, 26),
+    Div        => ("DIV",        Base, Div,     None,   None, 26),
+    Cmp        => ("CMP",        Base, Compare, None,   None, 1),
+    Test       => ("TEST",       Base, Compare, None,   None, 1),
+    And        => ("AND",        Base, Logic,   None,   None, 1),
+    Or         => ("OR",         Base, Logic,   None,   None, 1),
+    Xor        => ("XOR",        Base, Logic,   None,   None, 1),
+    Not        => ("NOT",        Base, Logic,   None,   None, 1),
+    Shl        => ("SHL",        Base, Shift,   None,   None, 1),
+    Shr        => ("SHR",        Base, Shift,   None,   None, 1),
+    Sar        => ("SAR",        Base, Shift,   None,   None, 1),
+    Rol        => ("ROL",        Base, Shift,   None,   None, 1),
+    Ror        => ("ROR",        Base, Shift,   None,   None, 1),
+    Bt         => ("BT",         Base, BitScan, None,   None, 1),
+    Bsf        => ("BSF",        Base, BitScan, None,   None, 3),
+    Bsr        => ("BSR",        Base, BitScan, None,   None, 3),
+    Popcnt     => ("POPCNT",     Base, BitScan, None,   None, 3),
+    Lzcnt      => ("LZCNT",      Base, BitScan, None,   None, 3),
+    Tzcnt      => ("TZCNT",      Base, BitScan, None,   None, 3),
+    // ---- BASE stack ----
+    Push       => ("PUSH",       Base, Push,    None,   None, 1),
+    Pop        => ("POP",        Base, Pop,     None,   None, 1),
+    Leave      => ("LEAVE",      Base, Frame,   None,   None, 2),
+    Nop        => ("NOP",        Base, Nop,     None,   None, 1),
+    NopMulti   => ("NOP_MULTI",  Base, Nop,     None,   None, 1),
+    // ---- BASE branches ----
+    Jmp        => ("JMP",        Base, UncondBranch, None, None, 1),
+    Jz         => ("JZ",         Base, CondBranch,   None, None, 1),
+    Jnz        => ("JNZ",        Base, CondBranch,   None, None, 1),
+    Jl         => ("JL",         Base, CondBranch,   None, None, 1),
+    Jnl        => ("JNL",        Base, CondBranch,   None, None, 1),
+    Jle        => ("JLE",        Base, CondBranch,   None, None, 1),
+    Jnle       => ("JNLE",       Base, CondBranch,   None, None, 1),
+    Jb         => ("JB",         Base, CondBranch,   None, None, 1),
+    Jnb        => ("JNB",        Base, CondBranch,   None, None, 1),
+    Jbe        => ("JBE",        Base, CondBranch,   None, None, 1),
+    Jnbe       => ("JNBE",       Base, CondBranch,   None, None, 1),
+    Js         => ("JS",         Base, CondBranch,   None, None, 1),
+    Jns        => ("JNS",        Base, CondBranch,   None, None, 1),
+    Jo         => ("JO",         Base, CondBranch,   None, None, 1),
+    Jno        => ("JNO",        Base, CondBranch,   None, None, 1),
+    Jp         => ("JP",         Base, CondBranch,   None, None, 1),
+    Jnp        => ("JNP",        Base, CondBranch,   None, None, 1),
+    CallNear   => ("CALL_NEAR",  Base, Call,         None, None, 2),
+    RetNear    => ("RET_NEAR",   Base, Ret,          None, None, 2),
+    // ---- BASE sync ----
+    Xadd       => ("XADD",       Base, Sync,    None,   None, 20),
+    Cmpxchg    => ("CMPXCHG",    Base, Sync,    None,   None, 20),
+    Pause      => ("PAUSE",      Base, Sync,    None,   None, 10),
+    Mfence     => ("MFENCE",     Base, Sync,    None,   None, 33),
+    Lfence     => ("LFENCE",     Base, Sync,    None,   None, 5),
+    Sfence     => ("SFENCE",     Base, Sync,    None,   None, 5),
+    // ---- System ----
+    Syscall    => ("SYSCALL",    System, System, None,  None, 80),
+    Sysret     => ("SYSRET",     System, System, None,  None, 80),
+    Cpuid      => ("CPUID",      System, System, None,  None, 100),
+    Rdtsc      => ("RDTSC",      System, System, None,  None, 25),
+    Cli        => ("CLI",        System, System, None,  None, 8),
+    Sti        => ("STI",        System, System, None,  None, 8),
+    Swapgs     => ("SWAPGS",     System, System, None,  None, 30),
+    Iretq      => ("IRETQ",      System, Ret,    None,  None, 60),
+    // ---- x87 ----
+    Fld        => ("FLD",        X87, Move,    Scalar, X87, 3),
+    Fst        => ("FST",        X87, Move,    Scalar, X87, 3),
+    Fstp       => ("FSTP",       X87, Move,    Scalar, X87, 3),
+    Fild       => ("FILD",       X87, Convert, Scalar, X87, 6),
+    Fistp      => ("FISTP",      X87, Convert, Scalar, X87, 7),
+    Fxch       => ("FXCH",       X87, Move,    Scalar, X87, 1),
+    Fabs       => ("FABS",       X87, Arith,   Scalar, X87, 1),
+    Fchs       => ("FCHS",       X87, Arith,   Scalar, X87, 1),
+    Fldz       => ("FLDZ",       X87, Move,    Scalar, X87, 1),
+    Fld1       => ("FLD1",       X87, Move,    Scalar, X87, 1),
+    Fadd       => ("FADD",       X87, Arith,   Scalar, X87, 5),
+    Fsub       => ("FSUB",       X87, Arith,   Scalar, X87, 5),
+    Fsubr      => ("FSUBR",      X87, Arith,   Scalar, X87, 5),
+    Fmul       => ("FMUL",       X87, Mul,     Scalar, X87, 5),
+    Fdiv       => ("FDIV",       X87, Div,     Scalar, X87, 24),
+    Fdivr      => ("FDIVR",      X87, Div,     Scalar, X87, 24),
+    Fsqrt      => ("FSQRT",      X87, Sqrt,    Scalar, X87, 27),
+    Fsin       => ("FSIN",       X87, Transcendental, Scalar, X87, 100),
+    Fcos       => ("FCOS",       X87, Transcendental, Scalar, X87, 100),
+    Fptan      => ("FPTAN",      X87, Transcendental, Scalar, X87, 150),
+    Fpatan     => ("FPATAN",     X87, Transcendental, Scalar, X87, 150),
+    F2xm1      => ("F2XM1",      X87, Transcendental, Scalar, X87, 120),
+    Fyl2x      => ("FYL2X",      X87, Transcendental, Scalar, X87, 110),
+    Frndint    => ("FRNDINT",    X87, Convert, Scalar, X87, 20),
+    Fcomi      => ("FCOMI",      X87, Compare, Scalar, X87, 2),
+    Fucomi     => ("FUCOMI",     X87, Compare, Scalar, X87, 2),
+    // ---- SSE FP ----
+    Movaps     => ("MOVAPS",     Sse, Move,    Packed, F32, 1),
+    Movups     => ("MOVUPS",     Sse, Move,    Packed, F32, 1),
+    Movss      => ("MOVSS",      Sse, Move,    Scalar, F32, 1),
+    MovsdXmm   => ("MOVSD_XMM",  Sse, Move,    Scalar, F64, 1),
+    Movapd     => ("MOVAPD",     Sse, Move,    Packed, F64, 1),
+    Addps      => ("ADDPS",      Sse, Arith,   Packed, F32, 3),
+    Addss      => ("ADDSS",      Sse, Arith,   Scalar, F32, 3),
+    Addpd      => ("ADDPD",      Sse, Arith,   Packed, F64, 3),
+    Addsd      => ("ADDSD",      Sse, Arith,   Scalar, F64, 3),
+    Subps      => ("SUBPS",      Sse, Arith,   Packed, F32, 3),
+    Subss      => ("SUBSS",      Sse, Arith,   Scalar, F32, 3),
+    Subsd      => ("SUBSD",      Sse, Arith,   Scalar, F64, 3),
+    Mulps      => ("MULPS",      Sse, Mul,     Packed, F32, 5),
+    Mulss      => ("MULSS",      Sse, Mul,     Scalar, F32, 5),
+    Mulpd      => ("MULPD",      Sse, Mul,     Packed, F64, 5),
+    Mulsd      => ("MULSD",      Sse, Mul,     Scalar, F64, 5),
+    Divps      => ("DIVPS",      Sse, Div,     Packed, F32, 14),
+    Divss      => ("DIVSS",      Sse, Div,     Scalar, F32, 14),
+    Divpd      => ("DIVPD",      Sse, Div,     Packed, F64, 22),
+    Divsd      => ("DIVSD",      Sse, Div,     Scalar, F64, 22),
+    Sqrtps     => ("SQRTPS",     Sse, Sqrt,    Packed, F32, 14),
+    Sqrtss     => ("SQRTSS",     Sse, Sqrt,    Scalar, F32, 14),
+    Sqrtsd     => ("SQRTSD",     Sse, Sqrt,    Scalar, F64, 21),
+    Maxps      => ("MAXPS",      Sse, Arith,   Packed, F32, 3),
+    Minps      => ("MINPS",      Sse, Arith,   Packed, F32, 3),
+    Maxss      => ("MAXSS",      Sse, Arith,   Scalar, F32, 3),
+    Minss      => ("MINSS",      Sse, Arith,   Scalar, F32, 3),
+    Andps      => ("ANDPS",      Sse, Logic,   Packed, F32, 1),
+    Orps       => ("ORPS",       Sse, Logic,   Packed, F32, 1),
+    Xorps      => ("XORPS",      Sse, Logic,   Packed, F32, 1),
+    Ucomiss    => ("UCOMISS",    Sse, Compare, Scalar, F32, 2),
+    Ucomisd    => ("UCOMISD",    Sse, Compare, Scalar, F64, 2),
+    Comiss     => ("COMISS",     Sse, Compare, Scalar, F32, 2),
+    Comisd     => ("COMISD",     Sse, Compare, Scalar, F64, 2),
+    Shufps     => ("SHUFPS",     Sse, Shuffle, Packed, F32, 1),
+    Unpcklps   => ("UNPCKLPS",   Sse, Shuffle, Packed, F32, 1),
+    Unpckhps   => ("UNPCKHPS",   Sse, Shuffle, Packed, F32, 1),
+    Cvtsi2ss   => ("CVTSI2SS",   Sse, Convert, Scalar, F32, 5),
+    Cvtsi2sd   => ("CVTSI2SD",   Sse, Convert, Scalar, F64, 5),
+    Cvtss2sd   => ("CVTSS2SD",   Sse, Convert, Scalar, F64, 2),
+    Cvtsd2ss   => ("CVTSD2SS",   Sse, Convert, Scalar, F32, 4),
+    Cvttss2si  => ("CVTTSS2SI",  Sse, Convert, Scalar, F32, 5),
+    Cvttsd2si  => ("CVTTSD2SI",  Sse, Convert, Scalar, F64, 5),
+    // ---- SSE integer ----
+    Movd       => ("MOVD",       Sse, Move,    Scalar, I32, 1),
+    Movq       => ("MOVQ",       Sse, Move,    Scalar, I64, 1),
+    Movdqa     => ("MOVDQA",     Sse, Move,    Packed, I32, 1),
+    Movdqu     => ("MOVDQU",     Sse, Move,    Packed, I32, 1),
+    Paddd      => ("PADDD",      Sse, Arith,   Packed, I32, 1),
+    Psubd      => ("PSUBD",      Sse, Arith,   Packed, I32, 1),
+    Pmulld     => ("PMULLD",     Sse, Mul,     Packed, I32, 10),
+    Pand       => ("PAND",       Sse, Logic,   Packed, I32, 1),
+    Por        => ("POR",        Sse, Logic,   Packed, I32, 1),
+    Pxor       => ("PXOR",       Sse, Logic,   Packed, I32, 1),
+    Pcmpeqd    => ("PCMPEQD",    Sse, Compare, Packed, I32, 1),
+    Pslld      => ("PSLLD",      Sse, Shift,   Packed, I32, 1),
+    Psrld      => ("PSRLD",      Sse, Shift,   Packed, I32, 1),
+    Pshufd     => ("PSHUFD",     Sse, Shuffle, Packed, I32, 1),
+    // ---- AVX ----
+    Vmovaps    => ("VMOVAPS",    Avx, Move,    Packed, F32, 1),
+    Vmovups    => ("VMOVUPS",    Avx, Move,    Packed, F32, 1),
+    Vmovss     => ("VMOVSS",     Avx, Move,    Scalar, F32, 1),
+    Vaddps     => ("VADDPS",     Avx, Arith,   Packed, F32, 3),
+    Vaddss     => ("VADDSS",     Avx, Arith,   Scalar, F32, 3),
+    Vsubps     => ("VSUBPS",     Avx, Arith,   Packed, F32, 3),
+    Vmulps     => ("VMULPS",     Avx, Mul,     Packed, F32, 5),
+    Vmulss     => ("VMULSS",     Avx, Mul,     Scalar, F32, 5),
+    Vdivps     => ("VDIVPS",     Avx, Div,     Packed, F32, 21),
+    Vdivss     => ("VDIVSS",     Avx, Div,     Scalar, F32, 14),
+    Vsqrtps    => ("VSQRTPS",    Avx, Sqrt,    Packed, F32, 21),
+    Vsqrtss    => ("VSQRTSS",    Avx, Sqrt,    Scalar, F32, 14),
+    Vmaxps     => ("VMAXPS",     Avx, Arith,   Packed, F32, 3),
+    Vminps     => ("VMINPS",     Avx, Arith,   Packed, F32, 3),
+    Vandps     => ("VANDPS",     Avx, Logic,   Packed, F32, 1),
+    Vorps      => ("VORPS",      Avx, Logic,   Packed, F32, 1),
+    Vxorps     => ("VXORPS",     Avx, Logic,   Packed, F32, 1),
+    Vucomiss   => ("VUCOMISS",   Avx, Compare, Scalar, F32, 2),
+    Vshufps    => ("VSHUFPS",    Avx, Shuffle, Packed, F32, 1),
+    Vpermilps  => ("VPERMILPS",  Avx, Shuffle, Packed, F32, 1),
+    Vbroadcastss => ("VBROADCASTSS", Avx, Broadcast, Packed, F32, 3),
+    Vinsertf128  => ("VINSERTF128",  Avx, Broadcast, Packed, F32, 3),
+    Vextractf128 => ("VEXTRACTF128", Avx, Broadcast, Packed, F32, 3),
+    Vzeroupper => ("VZEROUPPER", Avx, Move,    None,   None, 1),
+    Vcvtsi2ss  => ("VCVTSI2SS",  Avx, Convert, Scalar, F32, 5),
+    Vfmadd132ps => ("VFMADD132PS", Avx, Fma,   Packed, F32, 5),
+    Vfmadd213ps => ("VFMADD213PS", Avx, Fma,   Packed, F32, 5),
+    Vfmadd231ps => ("VFMADD231PS", Avx, Fma,   Packed, F32, 5),
+    Vfmadd231ss => ("VFMADD231SS", Avx, Fma,   Scalar, F32, 5),
+    // ---- AVX2 ----
+    Vpaddd     => ("VPADDD",     Avx2, Arith,  Packed, I32, 1),
+    Vpmulld    => ("VPMULLD",    Avx2, Mul,    Packed, I32, 10),
+    Vpand      => ("VPAND",      Avx2, Logic,  Packed, I32, 1),
+    Vpbroadcastd => ("VPBROADCASTD", Avx2, Broadcast, Packed, I32, 3),
+    Vgatherdps => ("VGATHERDPS", Avx2, Gather, Packed, F32, 20),
+}
+
+impl Mnemonic {
+    /// XED-style uppercase spelling (e.g. `"RET_NEAR"`).
+    pub fn name(self) -> &'static str {
+        self.info().name
+    }
+
+    /// ISA extension of this mnemonic.
+    pub fn extension(self) -> Extension {
+        self.info().extension
+    }
+
+    /// Functional category of this mnemonic.
+    pub fn category(self) -> Category {
+        self.info().category
+    }
+
+    /// Packing attribute of this mnemonic.
+    pub fn packing(self) -> Packing {
+        self.info().packing
+    }
+
+    /// Element type for FP/SIMD mnemonics.
+    pub fn element(self) -> ElementType {
+        self.info().element
+    }
+
+    /// Nominal latency in cycles.
+    pub fn latency(self) -> u32 {
+        self.info().latency
+    }
+
+    /// Whether this mnemonic transfers control.
+    pub fn is_branch(self) -> bool {
+        self.category().is_branch()
+    }
+
+    /// Whether this mnemonic is considered long-latency for the shadowing
+    /// model and the built-in "long latency" taxonomy (§V.B example group).
+    pub fn is_long_latency(self) -> bool {
+        self.latency() >= crate::latency::LONG_LATENCY_THRESHOLD
+    }
+
+    /// Look up a mnemonic by its XED-style spelling.
+    ///
+    /// ```
+    /// use hbbp_isa::Mnemonic;
+    /// assert_eq!("RET_NEAR".parse::<Mnemonic>().ok(), Some(Mnemonic::RetNear));
+    /// ```
+    pub fn from_name(name: &str) -> Option<Mnemonic> {
+        Mnemonic::ALL.iter().copied().find(|m| m.name() == name)
+    }
+}
+
+impl fmt::Display for Mnemonic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown mnemonic spelling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMnemonicError {
+    spelling: String,
+}
+
+impl fmt::Display for ParseMnemonicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown mnemonic spelling `{}`", self.spelling)
+    }
+}
+
+impl std::error::Error for ParseMnemonicError {}
+
+impl FromStr for Mnemonic {
+    type Err = ParseMnemonicError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Mnemonic::from_name(s).ok_or_else(|| ParseMnemonicError {
+            spelling: s.to_owned(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn opcode_roundtrip_for_all() {
+        for &m in Mnemonic::ALL {
+            assert_eq!(Mnemonic::from_opcode(m.opcode()), Some(m));
+        }
+        assert_eq!(Mnemonic::from_opcode(u16::MAX), None);
+        assert_eq!(Mnemonic::from_opcode(MNEMONIC_COUNT as u16), None);
+    }
+
+    #[test]
+    fn names_are_unique_and_uppercase() {
+        let mut seen = HashSet::new();
+        for &m in Mnemonic::ALL {
+            assert!(seen.insert(m.name()), "duplicate name {}", m.name());
+            assert_eq!(
+                m.name(),
+                m.name().to_ascii_uppercase(),
+                "name not uppercase: {}",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for &m in Mnemonic::ALL {
+            assert_eq!(m.name().parse::<Mnemonic>().ok(), Some(m));
+        }
+        assert!("BOGUS".parse::<Mnemonic>().is_err());
+    }
+
+    #[test]
+    fn paper_table7_mnemonics_exist() {
+        // Every mnemonic from the kernel benchmark (Table 7) must be present.
+        for name in [
+            "ADD", "CDQE", "CMP", "IMUL", "JLE", "JNLE", "JNZ", "JZ", "MOV", "MOVSXD", "SUB",
+            "TEST",
+        ] {
+            assert!(Mnemonic::from_name(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn paper_figure_mnemonics_exist() {
+        // Figure 3/4 mention POP, RET_NEAR, JMP among the top-20.
+        for name in ["POP", "RET_NEAR", "JMP", "CALL_NEAR", "PUSH", "LEA"] {
+            assert!(Mnemonic::from_name(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn long_latency_classes() {
+        assert!(Mnemonic::Div.is_long_latency());
+        assert!(Mnemonic::Fsqrt.is_long_latency());
+        assert!(Mnemonic::Fsin.is_long_latency());
+        assert!(Mnemonic::Divps.is_long_latency());
+        assert!(!Mnemonic::Add.is_long_latency());
+        assert!(!Mnemonic::Mov.is_long_latency());
+        assert!(!Mnemonic::Jnz.is_long_latency());
+    }
+
+    #[test]
+    fn branch_mnemonics() {
+        assert!(Mnemonic::Jmp.is_branch());
+        assert!(Mnemonic::Jz.is_branch());
+        assert!(Mnemonic::CallNear.is_branch());
+        assert!(Mnemonic::RetNear.is_branch());
+        assert!(!Mnemonic::Mov.is_branch());
+    }
+
+    #[test]
+    fn extension_assignment_spot_checks() {
+        assert_eq!(Mnemonic::Addps.extension(), Extension::Sse);
+        assert_eq!(Mnemonic::Vaddps.extension(), Extension::Avx);
+        assert_eq!(Mnemonic::Fadd.extension(), Extension::X87);
+        assert_eq!(Mnemonic::Add.extension(), Extension::Base);
+        assert_eq!(Mnemonic::Vpaddd.extension(), Extension::Avx2);
+        assert_eq!(Mnemonic::Syscall.extension(), Extension::System);
+    }
+
+    #[test]
+    fn packing_spot_checks() {
+        assert_eq!(Mnemonic::Addps.packing(), Packing::Packed);
+        assert_eq!(Mnemonic::Addss.packing(), Packing::Scalar);
+        assert_eq!(Mnemonic::Vzeroupper.packing(), Packing::None);
+        assert_eq!(Mnemonic::Add.packing(), Packing::None);
+    }
+
+    #[test]
+    fn table_has_reasonable_size() {
+        // The synthetic ISA should be rich enough for realistic mixes.
+        assert!(MNEMONIC_COUNT >= 120, "only {MNEMONIC_COUNT} mnemonics");
+    }
+}

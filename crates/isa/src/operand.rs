@@ -1,0 +1,306 @@
+//! Operand model: registers, memory references, immediates.
+//!
+//! The paper's analyzer records "types, numbers, sizes and attributes of
+//! operands" (§V.B); this module is that attribute source.
+
+use std::fmt;
+
+/// Register class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RegClass {
+    /// General purpose 64-bit registers (r0..r15 ~ RAX..R15).
+    Gpr,
+    /// x87 stack registers st0..st7.
+    X87,
+    /// 128-bit XMM registers.
+    Xmm,
+    /// 256-bit YMM registers.
+    Ymm,
+}
+
+impl RegClass {
+    /// Number of architectural registers in the class.
+    pub fn count(self) -> u8 {
+        match self {
+            RegClass::Gpr => 16,
+            RegClass::X87 => 8,
+            RegClass::Xmm | RegClass::Ymm => 16,
+        }
+    }
+
+    /// Register width in bits.
+    pub fn width_bits(self) -> u32 {
+        match self {
+            RegClass::Gpr => 64,
+            RegClass::X87 => 80,
+            RegClass::Xmm => 128,
+            RegClass::Ymm => 256,
+        }
+    }
+}
+
+/// An architectural register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg {
+    class: RegClass,
+    index: u8,
+}
+
+impl Reg {
+    /// Create a register, clamping the index into the class's range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for the class.
+    pub fn new(class: RegClass, index: u8) -> Reg {
+        assert!(
+            index < class.count(),
+            "register index {index} out of range for {class:?}"
+        );
+        Reg { class, index }
+    }
+
+    /// General-purpose register `index`.
+    pub fn gpr(index: u8) -> Reg {
+        Reg::new(RegClass::Gpr, index)
+    }
+
+    /// XMM register `index`.
+    pub fn xmm(index: u8) -> Reg {
+        Reg::new(RegClass::Xmm, index)
+    }
+
+    /// YMM register `index`.
+    pub fn ymm(index: u8) -> Reg {
+        Reg::new(RegClass::Ymm, index)
+    }
+
+    /// x87 stack register `index`.
+    pub fn st(index: u8) -> Reg {
+        Reg::new(RegClass::X87, index)
+    }
+
+    /// The register's class.
+    pub fn class(self) -> RegClass {
+        self.class
+    }
+
+    /// The register's index within its class.
+    pub fn index(self) -> u8 {
+        self.index
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Gpr => write!(f, "r{}", self.index),
+            RegClass::X87 => write!(f, "st{}", self.index),
+            RegClass::Xmm => write!(f, "xmm{}", self.index),
+            RegClass::Ymm => write!(f, "ymm{}", self.index),
+        }
+    }
+}
+
+/// A (simplified) memory reference: `[base + disp]`.
+///
+/// The synthetic ISA does not model full x86 SIB addressing; a base
+/// register plus a 16-bit displacement covers everything the profiling
+/// pipeline observes (addresses only matter through instruction lengths and
+/// block layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    base: Option<Reg>,
+    disp: i16,
+}
+
+impl MemRef {
+    /// `[base + disp]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not a general-purpose register (as on x86, only
+    /// GPRs can serve as address bases).
+    pub fn base_disp(base: Reg, disp: i16) -> MemRef {
+        assert_eq!(
+            base.class(),
+            RegClass::Gpr,
+            "memory base must be a general-purpose register"
+        );
+        MemRef {
+            base: Some(base),
+            disp,
+        }
+    }
+
+    /// Absolute `[disp]` (rip-relative style).
+    pub fn absolute(disp: i16) -> MemRef {
+        MemRef { base: None, disp }
+    }
+
+    /// Base register, if any.
+    pub fn base(self) -> Option<Reg> {
+        self.base
+    }
+
+    /// Displacement.
+    pub fn disp(self) -> i16 {
+        self.disp
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.base {
+            Some(b) => write!(f, "[{}{:+}]", b, self.disp),
+            None => write!(f, "[{:+}]", self.disp),
+        }
+    }
+}
+
+/// Access direction of an operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// Operand is only read.
+    Read,
+    /// Operand is only written.
+    Write,
+    /// Operand is read and written.
+    ReadWrite,
+}
+
+impl Access {
+    /// Whether the operand is read.
+    pub fn is_read(self) -> bool {
+        matches!(self, Access::Read | Access::ReadWrite)
+    }
+
+    /// Whether the operand is written.
+    pub fn is_write(self) -> bool {
+        matches!(self, Access::Write | Access::ReadWrite)
+    }
+}
+
+/// An instruction operand with its access direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Register operand.
+    Reg(Reg, Access),
+    /// Memory operand.
+    Mem(MemRef, Access),
+    /// Immediate operand (always read).
+    Imm(i32),
+}
+
+impl Operand {
+    /// Convenience: read-only register.
+    pub fn reg_r(reg: Reg) -> Operand {
+        Operand::Reg(reg, Access::Read)
+    }
+
+    /// Convenience: written register.
+    pub fn reg_w(reg: Reg) -> Operand {
+        Operand::Reg(reg, Access::Write)
+    }
+
+    /// Convenience: read-write register.
+    pub fn reg_rw(reg: Reg) -> Operand {
+        Operand::Reg(reg, Access::ReadWrite)
+    }
+
+    /// Convenience: memory load operand.
+    pub fn mem_r(mem: MemRef) -> Operand {
+        Operand::Mem(mem, Access::Read)
+    }
+
+    /// Convenience: memory store operand.
+    pub fn mem_w(mem: MemRef) -> Operand {
+        Operand::Mem(mem, Access::Write)
+    }
+
+    /// Whether this operand reads memory.
+    pub fn reads_memory(&self) -> bool {
+        matches!(self, Operand::Mem(_, a) if a.is_read())
+    }
+
+    /// Whether this operand writes memory.
+    pub fn writes_memory(&self) -> bool {
+        matches!(self, Operand::Mem(_, a) if a.is_write())
+    }
+
+    /// Whether this operand is an immediate.
+    pub fn is_imm(&self) -> bool {
+        matches!(self, Operand::Imm(_))
+    }
+
+    /// Encoded size of this operand in bytes (see `codec`).
+    pub fn encoded_len(&self) -> u32 {
+        match self {
+            Operand::Reg(..) => 1,
+            Operand::Mem(..) => 3,
+            Operand::Imm(_) => 4,
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r, _) => write!(f, "{r}"),
+            Operand::Mem(m, _) => write!(f, "{m}"),
+            Operand::Imm(v) => write!(f, "{v:#x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_construction_and_display() {
+        assert_eq!(Reg::gpr(3).to_string(), "r3");
+        assert_eq!(Reg::xmm(7).to_string(), "xmm7");
+        assert_eq!(Reg::ymm(15).to_string(), "ymm15");
+        assert_eq!(Reg::st(2).to_string(), "st2");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_index_validated() {
+        let _ = Reg::st(9);
+    }
+
+    #[test]
+    fn memref_display() {
+        assert_eq!(MemRef::base_disp(Reg::gpr(5), 8).to_string(), "[r5+8]");
+        assert_eq!(MemRef::base_disp(Reg::gpr(5), -16).to_string(), "[r5-16]");
+        assert_eq!(MemRef::absolute(64).to_string(), "[+64]");
+    }
+
+    #[test]
+    fn memory_access_flags() {
+        let load = Operand::mem_r(MemRef::absolute(0));
+        let store = Operand::mem_w(MemRef::absolute(0));
+        let rmw = Operand::Mem(MemRef::absolute(0), Access::ReadWrite);
+        assert!(load.reads_memory() && !load.writes_memory());
+        assert!(!store.reads_memory() && store.writes_memory());
+        assert!(rmw.reads_memory() && rmw.writes_memory());
+        assert!(!Operand::reg_r(Reg::gpr(0)).reads_memory());
+    }
+
+    #[test]
+    fn encoded_lengths() {
+        assert_eq!(Operand::reg_r(Reg::gpr(0)).encoded_len(), 1);
+        assert_eq!(Operand::mem_r(MemRef::absolute(4)).encoded_len(), 3);
+        assert_eq!(Operand::Imm(42).encoded_len(), 4);
+    }
+
+    #[test]
+    fn class_widths() {
+        assert_eq!(RegClass::Gpr.width_bits(), 64);
+        assert_eq!(RegClass::Xmm.width_bits(), 128);
+        assert_eq!(RegClass::Ymm.width_bits(), 256);
+        assert_eq!(RegClass::X87.width_bits(), 80);
+    }
+}

@@ -1,0 +1,297 @@
+//! Custom instruction taxonomies.
+//!
+//! The paper's analyzer lets users build "custom instruction taxonomies
+//! based on instruction properties" — e.g. a "long latency instructions"
+//! group containing `DIV`, `SQRT`, `XCHG R,M`, or a "synchronization
+//! instructions" group with `XADD` and `LOCK` variants (§V.B). A
+//! [`Taxonomy`] is an ordered list of named groups, each defined by a
+//! [`Predicate`] over decoded instruction attributes; classification picks
+//! the first matching group.
+
+use crate::{Category, Extension, Instruction, Mnemonic, Packing};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A predicate over instruction attributes.
+///
+/// Predicates combine with [`Predicate::all`], [`Predicate::any`] and
+/// [`Predicate::negate`]; leaves test a single static or secondary
+/// attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// Matches every instruction.
+    True,
+    /// Matches instructions whose mnemonic is in the set.
+    MnemonicIn(BTreeSet<Mnemonic>),
+    /// Matches a functional category.
+    CategoryIs(Category),
+    /// Matches an ISA extension.
+    ExtensionIs(Extension),
+    /// Matches a packing attribute.
+    PackingIs(Packing),
+    /// Matches long-latency instructions (see [`crate::latency`]).
+    LongLatency,
+    /// Matches synchronizing instructions (Sync category or `LOCK` prefix).
+    Synchronizing,
+    /// Matches instructions that read memory.
+    ReadsMemory,
+    /// Matches instructions that write memory.
+    WritesMemory,
+    /// Matches branches.
+    IsBranch,
+    /// Matches "computational" categories (paper §VI.B ratio example).
+    Computational,
+    /// Matches if every sub-predicate matches.
+    All(Vec<Predicate>),
+    /// Matches if any sub-predicate matches.
+    Any(Vec<Predicate>),
+    /// Matches if the sub-predicate does not.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Conjunction of predicates.
+    pub fn all(preds: impl Into<Vec<Predicate>>) -> Predicate {
+        Predicate::All(preds.into())
+    }
+
+    /// Disjunction of predicates.
+    pub fn any(preds: impl Into<Vec<Predicate>>) -> Predicate {
+        Predicate::Any(preds.into())
+    }
+
+    /// Negation.
+    pub fn negate(self) -> Predicate {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Predicate matching a set of mnemonics by value.
+    pub fn mnemonics(set: impl IntoIterator<Item = Mnemonic>) -> Predicate {
+        Predicate::MnemonicIn(set.into_iter().collect())
+    }
+
+    /// Evaluate the predicate on an instruction.
+    pub fn matches(&self, instr: &Instruction) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::MnemonicIn(set) => set.contains(&instr.mnemonic()),
+            Predicate::CategoryIs(c) => instr.category() == *c,
+            Predicate::ExtensionIs(e) => instr.extension() == *e,
+            Predicate::PackingIs(p) => instr.packing() == *p,
+            Predicate::LongLatency => instr.is_long_latency(),
+            Predicate::Synchronizing => instr.is_synchronizing(),
+            Predicate::ReadsMemory => instr.reads_memory(),
+            Predicate::WritesMemory => instr.writes_memory(),
+            Predicate::IsBranch => instr.is_branch(),
+            Predicate::Computational => instr.category().is_computational(),
+            Predicate::All(ps) => ps.iter().all(|p| p.matches(instr)),
+            Predicate::Any(ps) => ps.iter().any(|p| p.matches(instr)),
+            Predicate::Not(p) => !p.matches(instr),
+        }
+    }
+}
+
+/// A named group within a taxonomy.
+#[derive(Debug, Clone)]
+pub struct TaxonGroup {
+    name: String,
+    predicate: Predicate,
+}
+
+impl TaxonGroup {
+    /// Create a group from a name and predicate.
+    pub fn new(name: impl Into<String>, predicate: Predicate) -> TaxonGroup {
+        TaxonGroup {
+            name: name.into(),
+            predicate,
+        }
+    }
+
+    /// Group name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Group predicate.
+    pub fn predicate(&self) -> &Predicate {
+        &self.predicate
+    }
+}
+
+/// An ordered, named classification of instructions.
+///
+/// ```
+/// use hbbp_isa::{Taxonomy, Instruction, Mnemonic};
+/// let tax = Taxonomy::long_latency();
+/// let div = Instruction::new(Mnemonic::Idiv);
+/// assert_eq!(tax.classify(&div), Some("long latency"));
+/// let mov = Instruction::new(Mnemonic::Nop);
+/// assert_eq!(tax.classify(&mov), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Taxonomy {
+    name: String,
+    groups: Vec<TaxonGroup>,
+}
+
+impl Taxonomy {
+    /// Create an empty taxonomy.
+    pub fn new(name: impl Into<String>) -> Taxonomy {
+        Taxonomy {
+            name: name.into(),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Add a group (evaluation order = insertion order).
+    pub fn group(mut self, name: impl Into<String>, predicate: Predicate) -> Taxonomy {
+        self.groups.push(TaxonGroup::new(name, predicate));
+        self
+    }
+
+    /// Taxonomy name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The groups in evaluation order.
+    pub fn groups(&self) -> &[TaxonGroup] {
+        &self.groups
+    }
+
+    /// Classify an instruction: the name of the first matching group.
+    pub fn classify(&self, instr: &Instruction) -> Option<&str> {
+        self.groups
+            .iter()
+            .find(|g| g.predicate.matches(instr))
+            .map(|g| g.name.as_str())
+    }
+
+    /// The paper's "long latency instructions" example group (§V.B).
+    pub fn long_latency() -> Taxonomy {
+        Taxonomy::new("latency").group("long latency", Predicate::LongLatency)
+    }
+
+    /// The paper's "synchronization instructions" example group (§V.B).
+    pub fn synchronization() -> Taxonomy {
+        Taxonomy::new("synchronization").group("synchronization", Predicate::Synchronizing)
+    }
+
+    /// Computational vs non-computational split (§VI.B ratio example).
+    pub fn computational() -> Taxonomy {
+        Taxonomy::new("computational")
+            .group("computational", Predicate::Computational)
+            .group("non-computational", Predicate::True)
+    }
+
+    /// Instruction-set × packing breakdown, the exact grouping of the
+    /// paper's Table 8 (CLForward vectorization view).
+    pub fn ext_packing() -> Taxonomy {
+        let mut tax = Taxonomy::new("ext/packing");
+        for ext in Extension::ALL {
+            for pack in Packing::ALL {
+                tax.groups.push(TaxonGroup::new(
+                    format!("{}/{}", ext.name(), pack.name()),
+                    Predicate::all(vec![
+                        Predicate::ExtensionIs(ext),
+                        Predicate::PackingIs(pack),
+                    ]),
+                ));
+            }
+        }
+        tax
+    }
+}
+
+impl fmt::Display for Taxonomy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "taxonomy `{}` ({} groups)", self.name, self.groups.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::build::*;
+    use crate::Reg;
+
+    #[test]
+    fn long_latency_taxonomy_matches_paper_examples() {
+        let tax = Taxonomy::long_latency();
+        for m in [Mnemonic::Div, Mnemonic::Fsqrt, Mnemonic::Fsin] {
+            assert_eq!(tax.classify(&bare(m)), Some("long latency"), "{m}");
+        }
+        // "XCHG R,M" — xchg with a memory operand is implicitly locked.
+        let xchg_rm = rm(Mnemonic::Xchg, Reg::gpr(0), crate::MemRef::absolute(0)).locked();
+        assert_eq!(tax.classify(&xchg_rm), Some("long latency"));
+        assert_eq!(tax.classify(&bare(Mnemonic::Nop)), None);
+    }
+
+    #[test]
+    fn synchronization_taxonomy_matches_paper_examples() {
+        let tax = Taxonomy::synchronization();
+        assert!(tax.classify(&bare(Mnemonic::Xadd)).is_some());
+        let locked_add = rr(Mnemonic::Add, Reg::gpr(0), Reg::gpr(1)).locked();
+        assert!(tax.classify(&locked_add).is_some());
+        assert!(tax.classify(&bare(Mnemonic::Add)).is_none());
+    }
+
+    #[test]
+    fn computational_taxonomy_is_total() {
+        let tax = Taxonomy::computational();
+        for &m in Mnemonic::ALL {
+            assert!(tax.classify(&bare(m)).is_some(), "{m} unclassified");
+        }
+    }
+
+    #[test]
+    fn ext_packing_matches_table8_buckets() {
+        let tax = Taxonomy::ext_packing();
+        let vaddps = rr(Mnemonic::Vaddps, Reg::ymm(0), Reg::ymm(1));
+        assert_eq!(tax.classify(&vaddps), Some("AVX/PACKED"));
+        let vaddss = rr(Mnemonic::Vaddss, Reg::xmm(0), Reg::xmm(1));
+        assert_eq!(tax.classify(&vaddss), Some("AVX/SCALAR"));
+        let vzero = bare(Mnemonic::Vzeroupper);
+        assert_eq!(tax.classify(&vzero), Some("AVX/NONE"));
+        let add = rr(Mnemonic::Add, Reg::gpr(0), Reg::gpr(1));
+        assert_eq!(tax.classify(&add), Some("BASE/NONE"));
+    }
+
+    #[test]
+    fn predicate_combinators() {
+        let p = Predicate::any(vec![
+            Predicate::CategoryIs(Category::Div),
+            Predicate::CategoryIs(Category::Sqrt),
+        ]);
+        assert!(p.matches(&bare(Mnemonic::Div)));
+        assert!(p.matches(&bare(Mnemonic::Sqrtss)));
+        assert!(!p.matches(&bare(Mnemonic::Add)));
+
+        let not_branch = Predicate::IsBranch.negate();
+        assert!(not_branch.matches(&bare(Mnemonic::Add)));
+        assert!(!not_branch.matches(&bare(Mnemonic::Jmp)));
+
+        let both = Predicate::all(vec![
+            Predicate::ExtensionIs(Extension::Sse),
+            Predicate::PackingIs(Packing::Packed),
+        ]);
+        assert!(both.matches(&bare(Mnemonic::Addps)));
+        assert!(!both.matches(&bare(Mnemonic::Addss)));
+    }
+
+    #[test]
+    fn first_matching_group_wins() {
+        let tax = Taxonomy::new("t")
+            .group("branches", Predicate::IsBranch)
+            .group("everything", Predicate::True);
+        assert_eq!(tax.classify(&bare(Mnemonic::Jmp)), Some("branches"));
+        assert_eq!(tax.classify(&bare(Mnemonic::Add)), Some("everything"));
+    }
+
+    #[test]
+    fn mnemonic_set_predicate() {
+        let p = Predicate::mnemonics([Mnemonic::Add, Mnemonic::Sub]);
+        assert!(p.matches(&bare(Mnemonic::Add)));
+        assert!(!p.matches(&bare(Mnemonic::Mov)));
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the instruction codec: arbitrary instruction
+//! streams must round-trip byte-exactly, and decoding must never panic on
+//! arbitrary byte soup.
+
+use hbbp_isa::{codec, Access, Instruction, MemRef, Mnemonic, Operand, Reg, RegClass};
+use proptest::prelude::*;
+
+fn arb_access() -> impl Strategy<Value = Access> {
+    prop_oneof![
+        Just(Access::Read),
+        Just(Access::Write),
+        Just(Access::ReadWrite)
+    ]
+}
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    prop_oneof![
+        (0u8..16).prop_map(Reg::gpr),
+        (0u8..8).prop_map(Reg::st),
+        (0u8..16).prop_map(Reg::xmm),
+        (0u8..16).prop_map(Reg::ymm),
+    ]
+}
+
+fn arb_operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        (arb_reg(), arb_access()).prop_map(|(r, a)| Operand::Reg(r, a)),
+        ((0u8..16).prop_map(Reg::gpr), any::<i16>(), arb_access())
+            .prop_map(|(b, d, a)| Operand::Mem(MemRef::base_disp(b, d), a)),
+        (any::<i16>(), arb_access()).prop_map(|(d, a)| Operand::Mem(MemRef::absolute(d), a)),
+        any::<i32>().prop_map(Operand::Imm),
+    ]
+}
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    (
+        0..Mnemonic::ALL.len(),
+        proptest::collection::vec(arb_operand(), 0..=3),
+        any::<bool>(),
+    )
+        .prop_map(|(m, ops, lock)| {
+            let instr = Instruction::with_operands(Mnemonic::ALL[m], ops);
+            if lock {
+                instr.locked()
+            } else {
+                instr
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_single(instr in arb_instruction()) {
+        let bytes = codec::encode(&instr);
+        prop_assert_eq!(bytes.len() as u32, codec::encoded_len(&instr));
+        let (decoded, consumed) = codec::decode_one(&bytes, 0).unwrap();
+        prop_assert_eq!(decoded, instr);
+        prop_assert_eq!(consumed, bytes.len());
+    }
+
+    #[test]
+    fn roundtrip_stream(instrs in proptest::collection::vec(arb_instruction(), 0..64)) {
+        let bytes = codec::encode_all(&instrs);
+        let decoded = codec::decode_all(&bytes).unwrap();
+        prop_assert_eq!(decoded, instrs);
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Any outcome is fine; panicking is not.
+        let _ = codec::decode_all(&bytes);
+    }
+
+    #[test]
+    fn truncation_always_detected(instr in arb_instruction(), cut_fraction in 0.0f64..1.0) {
+        let bytes = codec::encode(&instr);
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        if cut < bytes.len() {
+            prop_assert!(codec::decode_one(&bytes[..cut], 0).is_err());
+        }
+    }
+
+    #[test]
+    fn stream_decode_offsets_monotonic(instrs in proptest::collection::vec(arb_instruction(), 1..32)) {
+        let bytes = codec::encode_all(&instrs);
+        let mut dec = codec::Decoder::new(&bytes);
+        let mut last = 0;
+        while let Some(item) = dec.next() {
+            item.unwrap();
+            prop_assert!(dec.offset() > last);
+            last = dec.offset();
+        }
+        prop_assert_eq!(last, bytes.len());
+    }
+
+    #[test]
+    fn reg_reg_instructions_are_compact(m in 0..Mnemonic::ALL.len()) {
+        // Header + two register operands should stay close to x86 sizes.
+        let instr = Instruction::with_operands(
+            Mnemonic::ALL[m],
+            vec![Operand::Reg(Reg::gpr(0), Access::ReadWrite), Operand::Reg(Reg::gpr(1), Access::Read)],
+        );
+        prop_assert!(codec::encoded_len(&instr) <= 8);
+    }
+}

@@ -1,0 +1,209 @@
+//! Labelled, weighted training data for classification trees.
+
+use std::fmt;
+
+/// A training dataset: named numeric features, named classes, weighted
+/// rows.
+///
+/// Boolean features (like HBBP's bias flag) are encoded as 0.0/1.0; the
+/// paper weights training rows "by the number of executions of the basic
+/// block" (§IV.B), which maps to [`Dataset::push_weighted`].
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    feature_names: Vec<String>,
+    label_names: Vec<String>,
+    features: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    weights: Vec<f64>,
+}
+
+/// Errors constructing or extending a dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// A row's feature count differs from the schema.
+    FeatureArity {
+        /// Expected feature count.
+        expected: usize,
+        /// Found feature count.
+        found: usize,
+    },
+    /// A row's label index is out of range.
+    BadLabel {
+        /// The offending label index.
+        label: usize,
+        /// Number of classes.
+        classes: usize,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::FeatureArity { expected, found } => {
+                write!(f, "row has {found} features, schema has {expected}")
+            }
+            DatasetError::BadLabel { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+impl Dataset {
+    /// Create an empty dataset with the given schema.
+    pub fn new(
+        feature_names: impl IntoIterator<Item = impl Into<String>>,
+        label_names: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Dataset {
+        Dataset {
+            feature_names: feature_names.into_iter().map(Into::into).collect(),
+            label_names: label_names.into_iter().map(Into::into).collect(),
+            features: Vec::new(),
+            labels: Vec::new(),
+            weights: Vec::new(),
+        }
+    }
+
+    /// Add a row with weight 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError`] on arity or label mismatch.
+    pub fn push(&mut self, features: Vec<f64>, label: usize) -> Result<(), DatasetError> {
+        self.push_weighted(features, label, 1.0)
+    }
+
+    /// Add a weighted row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError`] on arity or label mismatch.
+    pub fn push_weighted(
+        &mut self,
+        features: Vec<f64>,
+        label: usize,
+        weight: f64,
+    ) -> Result<(), DatasetError> {
+        if features.len() != self.feature_names.len() {
+            return Err(DatasetError::FeatureArity {
+                expected: self.feature_names.len(),
+                found: features.len(),
+            });
+        }
+        if label >= self.label_names.len() {
+            return Err(DatasetError::BadLabel {
+                label,
+                classes: self.label_names.len(),
+            });
+        }
+        self.features.push(features);
+        self.labels.push(label);
+        self.weights.push(weight.max(0.0));
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.label_names.len()
+    }
+
+    /// Feature names.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Class names.
+    pub fn label_names(&self) -> &[String] {
+        &self.label_names
+    }
+
+    /// Feature vector of row `i`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.features[i]
+    }
+
+    /// Label of row `i`.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// Weight of row `i`.
+    pub fn weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// Total weight.
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Weighted class histogram over a set of row indices.
+    pub fn class_weights(&self, rows: &[usize]) -> Vec<f64> {
+        let mut w = vec![0.0; self.n_classes()];
+        for &r in rows {
+            w[self.labels[r]] += self.weights[r];
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_enforced() {
+        let mut d = Dataset::new(["a", "b"], ["x", "y"]);
+        assert!(d.push(vec![1.0, 2.0], 0).is_ok());
+        assert_eq!(
+            d.push(vec![1.0], 0),
+            Err(DatasetError::FeatureArity {
+                expected: 2,
+                found: 1
+            })
+        );
+        assert_eq!(
+            d.push(vec![1.0, 2.0], 5),
+            Err(DatasetError::BadLabel {
+                label: 5,
+                classes: 2
+            })
+        );
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn weights_and_histograms() {
+        let mut d = Dataset::new(["f"], ["a", "b"]);
+        d.push_weighted(vec![0.0], 0, 2.0).unwrap();
+        d.push_weighted(vec![1.0], 1, 3.0).unwrap();
+        d.push_weighted(vec![2.0], 1, 5.0).unwrap();
+        assert_eq!(d.total_weight(), 10.0);
+        assert_eq!(d.class_weights(&[0, 1, 2]), vec![2.0, 8.0]);
+        assert_eq!(d.class_weights(&[1]), vec![0.0, 3.0]);
+    }
+
+    #[test]
+    fn negative_weights_clamped() {
+        let mut d = Dataset::new(["f"], ["a"]);
+        d.push_weighted(vec![0.0], 0, -5.0).unwrap();
+        assert_eq!(d.weight(0), 0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Scikit-style text rendering of trained trees (the paper's Figure 1 is
+//! "abbreviated from Scikit output", with Gini impurity and per-node sample
+//! counts).
+
+use crate::{DecisionTree, Node};
+use std::fmt::Write as _;
+
+/// Render a tree in `sklearn.tree.export_text`-like form, annotated with
+/// gini and samples per node.
+///
+/// ```text
+/// |--- block_len <= 18.50  [gini=0.48, samples=1100]
+/// |   |--- class: LBR  [gini=0.08, samples=610]
+/// |--- block_len > 18.50  [gini=0.48, samples=1100]
+/// |   |--- class: EBS  [gini=0.05, samples=490]
+/// ```
+pub fn export_text(tree: &DecisionTree) -> String {
+    let mut out = String::new();
+    render(tree, tree.root(), 0, &mut out);
+    out
+}
+
+fn render(tree: &DecisionTree, node: &Node, depth: usize, out: &mut String) {
+    let indent = "|   ".repeat(depth);
+    match node {
+        Node::Leaf {
+            class,
+            gini,
+            samples,
+            value,
+        } => {
+            let _ = writeln!(
+                out,
+                "{indent}|--- class: {}  [gini={:.3}, samples={:.0}, value={:?}]",
+                tree.label_names()[*class],
+                gini,
+                samples,
+                value.iter().map(|v| v.round()).collect::<Vec<_>>(),
+            );
+        }
+        Node::Split {
+            feature,
+            threshold,
+            gini,
+            samples,
+            left,
+            right,
+            ..
+        } => {
+            let name = &tree.feature_names()[*feature];
+            let _ = writeln!(
+                out,
+                "{indent}|--- {name} <= {threshold:.2}  [gini={gini:.3}, samples={samples:.0}]"
+            );
+            render(tree, left, depth + 1, out);
+            let _ = writeln!(out, "{indent}|--- {name} > {threshold:.2}");
+            render(tree, right, depth + 1, out);
+        }
+    }
+}
+
+/// One-line summary of the learned rule when the root splits on a single
+/// feature — the form the paper distils Figure 1 into ("for blocks with 18
+/// instructions or less we choose values from LBR, while for longer blocks
+/// we choose values from EBS").
+pub fn root_rule_summary(tree: &DecisionTree) -> Option<String> {
+    match tree.root() {
+        Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+            ..
+        } => {
+            let (Node::Leaf { class: lc, .. }, Node::Leaf { class: rc, .. }) =
+                (left.as_ref(), right.as_ref())
+            else {
+                return Some(format!(
+                    "root split: {} <= {:.2}",
+                    tree.feature_names()[*feature],
+                    threshold
+                ));
+            };
+            Some(format!(
+                "{} <= {:.2} -> {}; otherwise -> {}",
+                tree.feature_names()[*feature],
+                threshold,
+                tree.label_names()[*lc],
+                tree.label_names()[*rc]
+            ))
+        }
+        Node::Leaf { .. } => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dataset, TrainConfig};
+
+    fn tree() -> DecisionTree {
+        let mut d = Dataset::new(["block_len"], ["EBS", "LBR"]);
+        for len in 1..=40 {
+            d.push(vec![len as f64], if len <= 18 { 1 } else { 0 })
+                .unwrap();
+        }
+        DecisionTree::train(
+            &d,
+            &TrainConfig {
+                max_depth: 1,
+                ..TrainConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn export_contains_feature_gini_samples() {
+        let text = export_text(&tree());
+        assert!(text.contains("block_len <= 18.50"), "{text}");
+        assert!(text.contains("gini="), "{text}");
+        assert!(text.contains("samples="), "{text}");
+        assert!(text.contains("class: LBR"), "{text}");
+        assert!(text.contains("class: EBS"), "{text}");
+    }
+
+    #[test]
+    fn rule_summary_matches_paper_shape() {
+        let s = root_rule_summary(&tree()).unwrap();
+        assert!(s.contains("block_len <= 18.50 -> LBR"), "{s}");
+        assert!(s.contains("otherwise -> EBS"), "{s}");
+    }
+
+    #[test]
+    fn leaf_only_tree_has_no_rule() {
+        let mut d = Dataset::new(["f"], ["x"]);
+        d.push(vec![0.0], 0).unwrap();
+        let t = DecisionTree::train(&d, &TrainConfig::default()).unwrap();
+        assert!(root_rule_summary(&t).is_none());
+        assert!(export_text(&t).contains("class: x"));
+    }
+}

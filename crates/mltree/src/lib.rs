@@ -1,0 +1,32 @@
+//! # hbbp-mltree — CART classification trees
+//!
+//! A from-scratch, dependency-free stand-in for the scikit-learn decision
+//! trees the paper uses to learn the HBBP rule (§IV): weighted Gini
+//! impurity, binary splits on numeric features, depth and leaf-count
+//! limits, feature importances, and scikit-style text export for Figure 1.
+//!
+//! ```
+//! use hbbp_mltree::{Dataset, DecisionTree, TrainConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut data = Dataset::new(["block_len"], ["EBS", "LBR"]);
+//! for len in 1..=40 {
+//!     data.push(vec![len as f64], usize::from(len <= 18))?;
+//! }
+//! let tree = DecisionTree::train(&data, &TrainConfig::default())?;
+//! assert_eq!(tree.predict_label(&[10.0]), "LBR");
+//! assert_eq!(tree.predict_label(&[25.0]), "EBS");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dataset;
+mod export;
+mod tree;
+
+pub use dataset::{Dataset, DatasetError};
+pub use export::{export_text, root_rule_summary};
+pub use tree::{gini, DecisionTree, Node, TrainConfig, TrainError};

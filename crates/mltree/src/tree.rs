@@ -1,0 +1,667 @@
+//! CART classification trees with Gini impurity.
+//!
+//! The paper: "We employ Decision Trees, an industry-standard Machine
+//! Learning method … Concretely, we use Classification Trees" (§IV.A),
+//! trained with scikit-learn; features are weighted by block execution
+//! counts, and the authors "experiment with varying the number of leaves,
+//! the number of children per node and the weights on different variables"
+//! (§IV.B). This is a from-scratch equivalent: binary CART, weighted Gini,
+//! depth/leaf-count limits, and feature importances (the paper reports a
+//! block-length importance above 0.7).
+
+use crate::{Dataset, DatasetError};
+use std::fmt;
+
+/// Weighted Gini impurity of a class-weight histogram.
+pub fn gini(class_weights: &[f64]) -> f64 {
+    let total: f64 = class_weights.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    1.0 - class_weights
+        .iter()
+        .map(|w| {
+            let p = w / total;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum *weighted* samples a leaf may hold.
+    pub min_leaf_weight: f64,
+    /// Minimum weighted impurity decrease to accept a split.
+    pub min_impurity_decrease: f64,
+    /// Optional cap on leaf count; growth is then best-first (largest
+    /// impurity decrease splits first), like scikit's `max_leaf_nodes`.
+    pub max_leaves: Option<usize>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> TrainConfig {
+        TrainConfig {
+            max_depth: 4,
+            min_leaf_weight: 1.0,
+            // Zero matches scikit-learn: impure nodes may split even when
+            // the immediate Gini gain is zero (required for XOR-like data).
+            min_impurity_decrease: 0.0,
+            max_leaves: None,
+        }
+    }
+}
+
+/// A node of a trained tree.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// Internal split: `feature <= threshold` goes left.
+    Split {
+        /// Feature index.
+        feature: usize,
+        /// Split threshold.
+        threshold: f64,
+        /// Gini impurity at this node.
+        gini: f64,
+        /// Weighted samples reaching this node.
+        samples: f64,
+        /// Per-class weighted counts at this node.
+        value: Vec<f64>,
+        /// Left child (`feature <= threshold`).
+        left: Box<Node>,
+        /// Right child (`feature > threshold`).
+        right: Box<Node>,
+    },
+    /// Leaf: predicts `class`.
+    Leaf {
+        /// Predicted class index.
+        class: usize,
+        /// Gini impurity at this leaf.
+        gini: f64,
+        /// Weighted samples reaching this leaf.
+        samples: f64,
+        /// Per-class weighted counts at this leaf.
+        value: Vec<f64>,
+    },
+}
+
+impl Node {
+    /// Gini impurity at this node.
+    pub fn gini(&self) -> f64 {
+        match self {
+            Node::Split { gini, .. } | Node::Leaf { gini, .. } => *gini,
+        }
+    }
+
+    /// Weighted sample count at this node.
+    pub fn samples(&self) -> f64 {
+        match self {
+            Node::Split { samples, .. } | Node::Leaf { samples, .. } => *samples,
+        }
+    }
+
+    fn count_leaves(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Split { left, right, .. } => left.count_leaves() + right.count_leaves(),
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 0,
+            Node::Split { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+}
+
+/// A trained classification tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    root: Node,
+    feature_names: Vec<String>,
+    label_names: Vec<String>,
+    importances: Vec<f64>,
+}
+
+/// Errors from training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// The dataset has no rows.
+    EmptyDataset,
+    /// A dataset construction error surfaced during training.
+    Dataset(DatasetError),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::EmptyDataset => write!(f, "cannot train on an empty dataset"),
+            TrainError::Dataset(e) => write!(f, "dataset error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+struct Candidate {
+    // Best split found for these rows (None if unsplittable).
+    best: Option<BestSplit>,
+}
+
+struct BestSplit {
+    feature: usize,
+    threshold: f64,
+    decrease: f64,
+    left_rows: Vec<usize>,
+    right_rows: Vec<usize>,
+}
+
+impl DecisionTree {
+    /// Train a tree on `data` with `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::EmptyDataset`] if `data` has no rows.
+    pub fn train(data: &Dataset, config: &TrainConfig) -> Result<DecisionTree, TrainError> {
+        if data.is_empty() {
+            return Err(TrainError::EmptyDataset);
+        }
+        let all_rows: Vec<usize> = (0..data.len()).collect();
+        let mut importances = vec![0.0; data.n_features()];
+        let root = match config.max_leaves {
+            None => grow_depth_first(data, config, all_rows, 0, &mut importances),
+            Some(max_leaves) => {
+                grow_best_first(data, config, all_rows, max_leaves, &mut importances)
+            }
+        };
+        // Normalize importances.
+        let total: f64 = importances.iter().sum();
+        if total > 0.0 {
+            for v in &mut importances {
+                *v /= total;
+            }
+        }
+        Ok(DecisionTree {
+            root,
+            feature_names: data.feature_names().to_vec(),
+            label_names: data.label_names().to_vec(),
+            importances,
+        })
+    }
+
+    /// Predict the class of a feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is shorter than the training schema.
+    pub fn predict(&self, features: &[f64]) -> usize {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { class, .. } => return *class,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    node = if features[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Predicted class name.
+    pub fn predict_label(&self, features: &[f64]) -> &str {
+        &self.label_names[self.predict(features)]
+    }
+
+    /// Root node.
+    pub fn root(&self) -> &Node {
+        &self.root
+    }
+
+    /// Normalized feature importances (sum to 1 when any split exists).
+    pub fn feature_importances(&self) -> &[f64] {
+        &self.importances
+    }
+
+    /// Number of leaves.
+    pub fn leaves(&self) -> usize {
+        self.root.count_leaves()
+    }
+
+    /// Tree depth (root-only tree = 0).
+    pub fn depth(&self) -> usize {
+        self.root.depth()
+    }
+
+    /// Feature names from the training schema.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Class names from the training schema.
+    pub fn label_names(&self) -> &[String] {
+        &self.label_names
+    }
+
+    /// Accuracy (weighted) on a dataset.
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        let mut correct = 0.0;
+        let mut total = 0.0;
+        for i in 0..data.len() {
+            let w = data.weight(i);
+            total += w;
+            if self.predict(data.row(i)) == data.label(i) {
+                correct += w;
+            }
+        }
+        if total > 0.0 {
+            correct / total
+        } else {
+            0.0
+        }
+    }
+}
+
+fn make_leaf(data: &Dataset, rows: &[usize]) -> Node {
+    let value = data.class_weights(rows);
+    let class = value
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    Node::Leaf {
+        class,
+        gini: gini(&value),
+        samples: value.iter().sum(),
+        value,
+    }
+}
+
+/// Find the best split of `rows` over all features.
+fn best_split(data: &Dataset, config: &TrainConfig, rows: &[usize]) -> Option<BestSplit> {
+    let parent_value = data.class_weights(rows);
+    let parent_weight: f64 = parent_value.iter().sum();
+    let parent_gini = gini(&parent_value);
+    if parent_weight <= 0.0 || parent_gini == 0.0 {
+        return None;
+    }
+    let mut best: Option<BestSplit> = None;
+    let n_classes = data.n_classes();
+    for feature in 0..data.n_features() {
+        // Sort rows by this feature.
+        let mut sorted: Vec<usize> = rows.to_vec();
+        sorted.sort_by(|&a, &b| {
+            data.row(a)[feature]
+                .partial_cmp(&data.row(b)[feature])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        // Sweep: left histogram grows as the threshold moves right.
+        let mut left = vec![0.0; n_classes];
+        let mut left_weight = 0.0;
+        for k in 0..sorted.len().saturating_sub(1) {
+            let r = sorted[k];
+            left[data.label(r)] += data.weight(r);
+            left_weight += data.weight(r);
+            let v = data.row(r)[feature];
+            let v_next = data.row(sorted[k + 1])[feature];
+            if v == v_next {
+                continue; // threshold must separate distinct values
+            }
+            let right_weight = parent_weight - left_weight;
+            if left_weight < config.min_leaf_weight || right_weight < config.min_leaf_weight {
+                continue;
+            }
+            let right: Vec<f64> = parent_value
+                .iter()
+                .zip(&left)
+                .map(|(p, l)| p - l)
+                .collect();
+            let weighted_child_gini = (left_weight * gini(&left)
+                + right_weight * gini(&right))
+                / parent_weight;
+            let decrease = (parent_gini - weighted_child_gini) * parent_weight;
+            if decrease < config.min_impurity_decrease - 1e-12 {
+                continue;
+            }
+            if best.as_ref().map_or(true, |b| decrease > b.decrease) {
+                let threshold = (v + v_next) / 2.0;
+                best = Some(BestSplit {
+                    feature,
+                    threshold,
+                    decrease,
+                    left_rows: Vec::new(),
+                    right_rows: Vec::new(),
+                });
+            }
+        }
+    }
+    // Materialize the partition for the winner.
+    if let Some(b) = &mut best {
+        for &r in rows {
+            if data.row(r)[b.feature] <= b.threshold {
+                b.left_rows.push(r);
+            } else {
+                b.right_rows.push(r);
+            }
+        }
+    }
+    best
+}
+
+fn grow_depth_first(
+    data: &Dataset,
+    config: &TrainConfig,
+    rows: Vec<usize>,
+    depth: usize,
+    importances: &mut [f64],
+) -> Node {
+    if depth >= config.max_depth {
+        return make_leaf(data, &rows);
+    }
+    let Some(split) = best_split(data, config, &rows) else {
+        return make_leaf(data, &rows);
+    };
+    importances[split.feature] += split.decrease;
+    let value = data.class_weights(&rows);
+    let node_gini = gini(&value);
+    let samples: f64 = value.iter().sum();
+    let left = grow_depth_first(data, config, split.left_rows, depth + 1, importances);
+    let right = grow_depth_first(data, config, split.right_rows, depth + 1, importances);
+    Node::Split {
+        feature: split.feature,
+        threshold: split.threshold,
+        gini: node_gini,
+        samples,
+        value,
+        left: Box::new(left),
+        right: Box::new(right),
+    }
+}
+
+/// Best-first growth with a leaf budget (scikit `max_leaf_nodes` style).
+fn grow_best_first(
+    data: &Dataset,
+    config: &TrainConfig,
+    rows: Vec<usize>,
+    max_leaves: usize,
+    importances: &mut [f64],
+) -> Node {
+    // Tree under construction, represented as an arena of optional splits.
+    enum Slot {
+        Leaf(Vec<usize>),
+        Split {
+            feature: usize,
+            threshold: f64,
+            left: usize,
+            right: usize,
+        },
+    }
+    let mut arena: Vec<Slot> = vec![Slot::Leaf(rows)];
+    let mut frontier: Vec<(usize, usize, Candidate)> = Vec::new(); // (slot, depth, candidate)
+
+    let root_rows = match &arena[0] {
+        Slot::Leaf(r) => r.clone(),
+        Slot::Split { .. } => unreachable!(),
+    };
+    frontier.push((
+        0,
+        0,
+        Candidate {
+            best: best_split(data, config, &root_rows),
+        },
+    ));
+    let mut leaves = 1usize;
+
+    while leaves < max_leaves {
+        // Pick the frontier entry with the largest impurity decrease.
+        let Some(pos) = frontier
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, _, c))| c.best.is_some())
+            .max_by(|a, b| {
+                let da = a.1 .2.best.as_ref().map(|s| s.decrease).unwrap_or(0.0);
+                let db = b.1 .2.best.as_ref().map(|s| s.decrease).unwrap_or(0.0);
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+        else {
+            break;
+        };
+        let (slot, depth, cand) = frontier.swap_remove(pos);
+        let split = cand.best.expect("filtered for Some");
+        importances[split.feature] += split.decrease;
+        let li = arena.len();
+        arena.push(Slot::Leaf(split.left_rows.clone()));
+        let ri = arena.len();
+        arena.push(Slot::Leaf(split.right_rows.clone()));
+        arena[slot] = Slot::Split {
+            feature: split.feature,
+            threshold: split.threshold,
+            left: li,
+            right: ri,
+        };
+        leaves += 1;
+        if depth + 1 < config.max_depth {
+            for (idx, rws) in [(li, split.left_rows), (ri, split.right_rows)] {
+                frontier.push((
+                    idx,
+                    depth + 1,
+                    Candidate {
+                        best: best_split(data, config, &rws),
+                    },
+                ));
+            }
+        }
+    }
+
+    // Materialize the arena into Node values.
+    fn build(data: &Dataset, arena: &[Slot], i: usize) -> Node {
+        match &arena[i] {
+            Slot::Leaf(rows) => make_leaf(data, rows),
+            Slot::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                let l = build(data, arena, *left);
+                let r = build(data, arena, *right);
+                let value: Vec<f64> = l
+                    .class_value()
+                    .iter()
+                    .zip(r.class_value())
+                    .map(|(a, b)| a + b)
+                    .collect();
+                Node::Split {
+                    feature: *feature,
+                    threshold: *threshold,
+                    gini: gini(&value),
+                    samples: value.iter().sum(),
+                    value,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                }
+            }
+        }
+    }
+    build(data, &arena, 0)
+}
+
+impl Node {
+    /// Per-class weighted counts at this node.
+    pub fn class_value(&self) -> &[f64] {
+        match self {
+            Node::Split { value, .. } | Node::Leaf { value, .. } => value,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset_rule_len18() -> Dataset {
+        // Label 0 = "EBS", 1 = "LBR": LBR wins for len <= 18.
+        let mut d = Dataset::new(["block_len", "bias"], ["EBS", "LBR"]);
+        for len in 1..=40 {
+            for rep in 0..5 {
+                let label = if len <= 18 { 1 } else { 0 };
+                d.push_weighted(vec![len as f64, (rep % 2) as f64], label, 1.0 + rep as f64)
+                    .unwrap();
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert_eq!(gini(&[10.0, 0.0]), 0.0);
+        assert!((gini(&[5.0, 5.0]) - 0.5).abs() < 1e-12);
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0.0, 0.0]), 0.0);
+        // Three balanced classes: 1 - 3*(1/3)^2 = 2/3.
+        assert!((gini(&[1.0, 1.0, 1.0]) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovers_length_cutoff_near_18() {
+        let d = dataset_rule_len18();
+        let tree = DecisionTree::train(&d, &TrainConfig::default()).unwrap();
+        let Node::Split {
+            feature, threshold, ..
+        } = tree.root()
+        else {
+            panic!("expected a split at the root");
+        };
+        assert_eq!(*feature, 0, "root must split on block_len");
+        assert!(
+            (*threshold - 18.5).abs() < 1.0,
+            "threshold {threshold} not near 18.5"
+        );
+        assert_eq!(tree.predict(&[10.0, 0.0]), 1); // short → LBR
+        assert_eq!(tree.predict(&[30.0, 1.0]), 0); // long → EBS
+        assert_eq!(tree.predict_label(&[10.0, 0.0]), "LBR");
+        assert!(tree.accuracy(&d) > 0.999);
+    }
+
+    #[test]
+    fn importance_concentrates_on_predictive_feature() {
+        let d = dataset_rule_len18();
+        let tree = DecisionTree::train(&d, &TrainConfig::default()).unwrap();
+        let imp = tree.feature_importances();
+        assert!(imp[0] > 0.7, "block_len importance {} too low", imp[0]);
+        assert!(imp[1] < 0.3);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pure_dataset_yields_single_leaf() {
+        let mut d = Dataset::new(["f"], ["only"]);
+        for i in 0..10 {
+            d.push(vec![i as f64], 0).unwrap();
+        }
+        let tree = DecisionTree::train(&d, &TrainConfig::default()).unwrap();
+        assert_eq!(tree.leaves(), 1);
+        assert_eq!(tree.depth(), 0);
+        assert_eq!(tree.predict(&[3.0]), 0);
+    }
+
+    #[test]
+    fn xor_needs_depth_two() {
+        let mut d = Dataset::new(["x", "y"], ["zero", "one"]);
+        for (x, y, l) in [(0., 0., 0), (0., 1., 1), (1., 0., 1), (1., 1., 0)] {
+            for _ in 0..10 {
+                d.push(vec![x, y], l).unwrap();
+            }
+        }
+        let shallow = DecisionTree::train(
+            &d,
+            &TrainConfig {
+                max_depth: 1,
+                ..TrainConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(shallow.accuracy(&d) <= 0.75);
+        let deep = DecisionTree::train(
+            &d,
+            &TrainConfig {
+                max_depth: 2,
+                ..TrainConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(deep.accuracy(&d), 1.0);
+        assert_eq!(deep.depth(), 2);
+    }
+
+    #[test]
+    fn max_leaves_bounds_tree_size() {
+        let d = dataset_rule_len18();
+        let tree = DecisionTree::train(
+            &d,
+            &TrainConfig {
+                max_depth: 10,
+                max_leaves: Some(3),
+                ..TrainConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(tree.leaves() <= 3);
+        // The first (best) split must still be the length cutoff.
+        let Node::Split { feature, .. } = tree.root() else {
+            panic!("root split expected");
+        };
+        assert_eq!(*feature, 0);
+    }
+
+    #[test]
+    fn weights_shift_the_decision() {
+        // Two overlapping populations; heavy weights on class 1 for f<=5.
+        let mut d = Dataset::new(["f"], ["a", "b"]);
+        for i in 0..10 {
+            d.push_weighted(vec![i as f64], 0, 1.0).unwrap();
+            d.push_weighted(vec![i as f64], 1, if i <= 5 { 10.0 } else { 0.1 })
+                .unwrap();
+        }
+        let tree = DecisionTree::train(&d, &TrainConfig::default()).unwrap();
+        assert_eq!(tree.predict(&[2.0]), 1, "heavy class must win where it dominates");
+        assert_eq!(tree.predict(&[9.0]), 0);
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let d = Dataset::new(["f"], ["a", "b"]);
+        assert!(matches!(
+            DecisionTree::train(&d, &TrainConfig::default()),
+            Err(TrainError::EmptyDataset)
+        ));
+    }
+
+    #[test]
+    fn min_leaf_weight_prevents_tiny_leaves() {
+        let d = dataset_rule_len18();
+        let tree = DecisionTree::train(
+            &d,
+            &TrainConfig {
+                min_leaf_weight: d.total_weight() / 2.0 + 1.0,
+                ..TrainConfig::default()
+            },
+        )
+        .unwrap();
+        // No split can satisfy the constraint → single leaf.
+        assert_eq!(tree.leaves(), 1);
+    }
+}

@@ -1,0 +1,415 @@
+//! Binary serialization of perf data files.
+//!
+//! The format is a simplified perf.data: a magic + version header followed
+//! by length-prefixed records. Like the real format, a reader must survive
+//! truncated files (collection can die mid-write) and unknown record types
+//! (skipped via the length prefix).
+//!
+//! ```text
+//! header   "HBBPPERF" (8 bytes)  version u32 LE
+//! record   type u8 | payload_len u32 LE | payload
+//! ```
+
+use crate::{PerfData, PerfRecord, PerfSample};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hbbp_program::Ring;
+use hbbp_sim::{EventKind, EventSpec, LbrEntry};
+use std::fmt;
+
+const MAGIC: &[u8; 8] = b"HBBPPERF";
+const VERSION: u32 = 1;
+
+const T_COMM: u8 = 1;
+const T_MMAP: u8 = 2;
+const T_FORK: u8 = 3;
+const T_EXIT: u8 = 4;
+const T_SAMPLE: u8 = 5;
+const T_LOST: u8 = 6;
+
+/// Errors reading a perf data stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadError {
+    /// The stream does not start with the magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion {
+        /// Version found in the header.
+        found: u32,
+    },
+    /// The stream ended inside a record.
+    Truncated,
+    /// A record payload is malformed.
+    Corrupt {
+        /// Offending record type.
+        record_type: u8,
+    },
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::BadMagic => write!(f, "not a perf data stream (bad magic)"),
+            ReadError::BadVersion { found } => {
+                write!(f, "unsupported perf data version {found}")
+            }
+            ReadError::Truncated => write!(f, "truncated perf data stream"),
+            ReadError::Corrupt { record_type } => {
+                write!(f, "corrupt record of type {record_type}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+/// Serialize a perf data file to bytes.
+pub fn write(data: &PerfData) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + data.len() * 64);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    for record in data.records() {
+        let payload = encode_payload(record);
+        buf.put_u8(record_type(record));
+        buf.put_u32_le(payload.len() as u32);
+        buf.put_slice(&payload);
+    }
+    buf.freeze()
+}
+
+/// Deserialize a perf data file.
+///
+/// Unknown record types are skipped (forward compatibility); malformed or
+/// truncated input is an error.
+///
+/// # Errors
+///
+/// Returns a [`ReadError`] describing the first problem encountered.
+pub fn read(mut bytes: &[u8]) -> Result<PerfData, ReadError> {
+    if bytes.len() < MAGIC.len() + 4 || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(ReadError::BadMagic);
+    }
+    bytes.advance(MAGIC.len());
+    let version = bytes.get_u32_le();
+    if version != VERSION {
+        return Err(ReadError::BadVersion { found: version });
+    }
+    let mut data = PerfData::new();
+    while bytes.has_remaining() {
+        if bytes.remaining() < 5 {
+            return Err(ReadError::Truncated);
+        }
+        let rtype = bytes.get_u8();
+        let len = bytes.get_u32_le() as usize;
+        if bytes.remaining() < len {
+            return Err(ReadError::Truncated);
+        }
+        let (payload, rest) = bytes.split_at(len);
+        bytes = rest;
+        match decode_payload(rtype, payload) {
+            Ok(Some(record)) => data.push(record),
+            Ok(None) => {} // unknown type skipped
+            Err(()) => return Err(ReadError::Corrupt { record_type: rtype }),
+        }
+    }
+    Ok(data)
+}
+
+fn record_type(record: &PerfRecord) -> u8 {
+    match record {
+        PerfRecord::Comm { .. } => T_COMM,
+        PerfRecord::Mmap { .. } => T_MMAP,
+        PerfRecord::Fork { .. } => T_FORK,
+        PerfRecord::Exit { .. } => T_EXIT,
+        PerfRecord::Sample(_) => T_SAMPLE,
+        PerfRecord::Lost { .. } => T_LOST,
+    }
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u16_le(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn encode_payload(record: &PerfRecord) -> BytesMut {
+    let mut buf = BytesMut::new();
+    match record {
+        PerfRecord::Comm { pid, tid, name } => {
+            buf.put_u32_le(*pid);
+            buf.put_u32_le(*tid);
+            put_string(&mut buf, name);
+        }
+        PerfRecord::Mmap {
+            pid,
+            addr,
+            len,
+            filename,
+            ring,
+        } => {
+            buf.put_u32_le(*pid);
+            buf.put_u64_le(*addr);
+            buf.put_u64_le(*len);
+            buf.put_u8(ring_code(*ring));
+            put_string(&mut buf, filename);
+        }
+        PerfRecord::Fork {
+            parent_pid,
+            child_pid,
+            time_cycles,
+        } => {
+            buf.put_u32_le(*parent_pid);
+            buf.put_u32_le(*child_pid);
+            buf.put_u64_le(*time_cycles);
+        }
+        PerfRecord::Exit { pid, time_cycles } => {
+            buf.put_u32_le(*pid);
+            buf.put_u64_le(*time_cycles);
+        }
+        PerfRecord::Sample(s) => {
+            buf.put_u8(s.counter);
+            buf.put_u8(s.event.kind.index() as u8);
+            buf.put_u8(s.event.precise as u8);
+            buf.put_u64_le(s.ip);
+            buf.put_u64_le(s.time_cycles);
+            buf.put_u32_le(s.pid);
+            buf.put_u32_le(s.tid);
+            buf.put_u8(ring_code(s.ring));
+            buf.put_u16_le(s.lbr.len() as u16);
+            for e in &s.lbr {
+                buf.put_u64_le(e.from);
+                buf.put_u64_le(e.to);
+            }
+        }
+        PerfRecord::Lost { count } => buf.put_u64_le(*count),
+    }
+    buf
+}
+
+fn decode_payload(rtype: u8, mut p: &[u8]) -> Result<Option<PerfRecord>, ()> {
+    fn need(p: &[u8], n: usize) -> Result<(), ()> {
+        if p.remaining() < n {
+            Err(())
+        } else {
+            Ok(())
+        }
+    }
+    fn get_string(p: &mut &[u8]) -> Result<String, ()> {
+        need(p, 2)?;
+        let n = p.get_u16_le() as usize;
+        need(p, n)?;
+        let (s, rest) = p.split_at(n);
+        let out = String::from_utf8(s.to_vec()).map_err(|_| ())?;
+        *p = rest;
+        Ok(out)
+    }
+    let record = match rtype {
+        T_COMM => {
+            need(p, 8)?;
+            let pid = p.get_u32_le();
+            let tid = p.get_u32_le();
+            let name = get_string(&mut p)?;
+            PerfRecord::Comm { pid, tid, name }
+        }
+        T_MMAP => {
+            need(p, 21)?;
+            let pid = p.get_u32_le();
+            let addr = p.get_u64_le();
+            let len = p.get_u64_le();
+            let ring = ring_from_code(p.get_u8()).ok_or(())?;
+            let filename = get_string(&mut p)?;
+            PerfRecord::Mmap {
+                pid,
+                addr,
+                len,
+                filename,
+                ring,
+            }
+        }
+        T_FORK => {
+            need(p, 16)?;
+            PerfRecord::Fork {
+                parent_pid: p.get_u32_le(),
+                child_pid: p.get_u32_le(),
+                time_cycles: p.get_u64_le(),
+            }
+        }
+        T_EXIT => {
+            need(p, 12)?;
+            PerfRecord::Exit {
+                pid: p.get_u32_le(),
+                time_cycles: p.get_u64_le(),
+            }
+        }
+        T_SAMPLE => {
+            need(p, 3 + 8 + 8 + 4 + 4 + 1 + 2)?;
+            let counter = p.get_u8();
+            let kind_idx = p.get_u8() as usize;
+            let precise = p.get_u8() != 0;
+            let kind = *EventKind::ALL.get(kind_idx).ok_or(())?;
+            let ip = p.get_u64_le();
+            let time_cycles = p.get_u64_le();
+            let pid = p.get_u32_le();
+            let tid = p.get_u32_le();
+            let ring = ring_from_code(p.get_u8()).ok_or(())?;
+            let n = p.get_u16_le() as usize;
+            need(p, n * 16)?;
+            let mut lbr = Vec::with_capacity(n);
+            for _ in 0..n {
+                let from = p.get_u64_le();
+                let to = p.get_u64_le();
+                lbr.push(LbrEntry { from, to });
+            }
+            PerfRecord::Sample(PerfSample {
+                counter,
+                event: EventSpec { kind, precise },
+                ip,
+                time_cycles,
+                pid,
+                tid,
+                ring,
+                lbr,
+            })
+        }
+        T_LOST => {
+            need(p, 8)?;
+            PerfRecord::Lost {
+                count: p.get_u64_le(),
+            }
+        }
+        _ => return Ok(None),
+    };
+    Ok(Some(record))
+}
+
+fn ring_code(ring: Ring) -> u8 {
+    match ring {
+        Ring::User => 0,
+        Ring::Kernel => 1,
+    }
+}
+
+fn ring_from_code(code: u8) -> Option<Ring> {
+    match code {
+        0 => Some(Ring::User),
+        1 => Some(Ring::Kernel),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data() -> PerfData {
+        let mut d = PerfData::new();
+        d.push(PerfRecord::Comm {
+            pid: 100,
+            tid: 100,
+            name: "povray".into(),
+        });
+        d.push(PerfRecord::Mmap {
+            pid: 100,
+            addr: 0x400000,
+            len: 0x2000,
+            filename: "povray.bin".into(),
+            ring: Ring::User,
+        });
+        d.push(PerfRecord::Mmap {
+            pid: 0,
+            addr: 0xFFFF_FFFF_8100_0000,
+            len: 0x1000,
+            filename: "vmlinux".into(),
+            ring: Ring::Kernel,
+        });
+        d.push(PerfRecord::Fork {
+            parent_pid: 100,
+            child_pid: 101,
+            time_cycles: 5,
+        });
+        d.push(PerfRecord::Sample(PerfSample {
+            counter: 1,
+            event: EventSpec::br_inst_retired_near_taken(),
+            ip: 0x400123,
+            time_cycles: 999,
+            pid: 100,
+            tid: 100,
+            ring: Ring::User,
+            lbr: vec![
+                LbrEntry {
+                    from: 0x400100,
+                    to: 0x400050,
+                },
+                LbrEntry {
+                    from: 0x400080,
+                    to: 0x400100,
+                },
+            ],
+        }));
+        d.push(PerfRecord::Lost { count: 7 });
+        d.push(PerfRecord::Exit {
+            pid: 100,
+            time_cycles: 12345,
+        });
+        d
+    }
+
+    #[test]
+    fn roundtrip() {
+        let data = sample_data();
+        let bytes = write(&data);
+        let back = read(&bytes).expect("read");
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(read(b"NOTPERF!"), Err(ReadError::BadMagic));
+        assert_eq!(read(b""), Err(ReadError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = write(&sample_data()).to_vec();
+        bytes[8] = 99;
+        assert_eq!(read(&bytes), Err(ReadError::BadVersion { found: 99 }));
+    }
+
+    #[test]
+    fn truncation_detected_at_every_cut() {
+        let bytes = write(&sample_data()).to_vec();
+        // Any cut strictly inside the stream (past the header) must yield
+        // Truncated or a valid prefix — never a panic.
+        for cut in 12..bytes.len() {
+            match read(&bytes[..cut]) {
+                Ok(_) | Err(ReadError::Truncated) => {}
+                other => panic!("cut={cut}: unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_record_types_skipped() {
+        let mut bytes = write(&sample_data()).to_vec();
+        // Append an unknown record: type 200, 3-byte payload.
+        bytes.push(200);
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.extend_from_slice(&[1, 2, 3]);
+        let back = read(&bytes).expect("unknown type skipped");
+        assert_eq!(back.len(), sample_data().len());
+    }
+
+    #[test]
+    fn corrupt_sample_detected() {
+        let mut d = PerfData::new();
+        d.push(PerfRecord::Lost { count: 1 });
+        let mut bytes = write(&d).to_vec();
+        // Rewrite the record type to SAMPLE with a lost-payload (too short).
+        let header = MAGIC.len() + 4;
+        bytes[header] = T_SAMPLE;
+        assert_eq!(
+            read(&bytes),
+            Err(ReadError::Corrupt {
+                record_type: T_SAMPLE
+            })
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! The in-memory perf data file.
+
+use crate::{PerfRecord, PerfSample};
+use hbbp_sim::EventSpec;
+
+/// An ordered collection of perf records — the contents of one collection
+/// run's "perf.data" file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PerfData {
+    records: Vec<PerfRecord>,
+}
+
+impl PerfData {
+    /// Empty file.
+    pub fn new() -> PerfData {
+        PerfData::default()
+    }
+
+    /// Append a record.
+    pub fn push(&mut self, record: PerfRecord) {
+        self.records.push(record);
+    }
+
+    /// All records in order.
+    pub fn records(&self) -> &[PerfRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the file holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterate all samples.
+    pub fn samples(&self) -> impl Iterator<Item = &PerfSample> {
+        self.records.iter().filter_map(|r| match r {
+            PerfRecord::Sample(s) => Some(s),
+            _ => None,
+        })
+    }
+
+    /// Iterate samples of one event — how the analyzer separates its EBS
+    /// data source from its LBR data source (§V.A of the paper).
+    pub fn samples_of(&self, event: EventSpec) -> impl Iterator<Item = &PerfSample> {
+        self.samples().filter(move |s| s.event == event)
+    }
+
+    /// Total lost-sample count recorded in the stream.
+    pub fn lost(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|r| match r {
+                PerfRecord::Lost { count } => *count,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Memory-map records (module name, base, length).
+    pub fn mmaps(&self) -> impl Iterator<Item = (&str, u64, u64)> {
+        self.records.iter().filter_map(|r| match r {
+            PerfRecord::Mmap {
+                filename, addr, len, ..
+            } => Some((filename.as_str(), *addr, *len)),
+            _ => None,
+        })
+    }
+}
+
+impl FromIterator<PerfRecord> for PerfData {
+    fn from_iter<T: IntoIterator<Item = PerfRecord>>(iter: T) -> PerfData {
+        PerfData {
+            records: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<PerfRecord> for PerfData {
+    fn extend<T: IntoIterator<Item = PerfRecord>>(&mut self, iter: T) {
+        self.records.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbbp_program::Ring;
+
+    fn sample(event: EventSpec, ip: u64) -> PerfRecord {
+        PerfRecord::Sample(PerfSample {
+            counter: 0,
+            event,
+            ip,
+            time_cycles: 0,
+            pid: 1,
+            tid: 1,
+            ring: Ring::User,
+            lbr: vec![],
+        })
+    }
+
+    #[test]
+    fn filters_by_event() {
+        let ebs = EventSpec::inst_retired_prec_dist();
+        let lbr = EventSpec::br_inst_retired_near_taken();
+        let data: PerfData = vec![
+            sample(ebs, 1),
+            sample(lbr, 2),
+            sample(ebs, 3),
+            PerfRecord::Lost { count: 5 },
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(data.samples().count(), 3);
+        assert_eq!(data.samples_of(ebs).count(), 2);
+        assert_eq!(data.samples_of(lbr).count(), 1);
+        assert_eq!(data.lost(), 5);
+    }
+
+    #[test]
+    fn mmap_iteration() {
+        let mut data = PerfData::new();
+        data.push(PerfRecord::Mmap {
+            pid: 1,
+            addr: 0x400000,
+            len: 0x1000,
+            filename: "a.out".into(),
+            ring: Ring::User,
+        });
+        let maps: Vec<_> = data.mmaps().collect();
+        assert_eq!(maps, vec![("a.out", 0x400000, 0x1000)]);
+    }
+}

@@ -1,0 +1,23 @@
+//! # hbbp-perf — the perf-like collection layer
+//!
+//! Stand-in for Linux `perf`: record types ([`PerfRecord`]) including
+//! samples with eventing IPs and LBR stacks, process events and memory
+//! maps; an in-memory file ([`PerfData`]); a binary [`codec`] that survives
+//! truncation and unknown record types; and the dual-event collection
+//! [`PerfSession`] implementing the paper's single-run HBBP collector
+//! (§V.A): two counters, both in LBR mode, one on
+//! `INST_RETIRED:PREC_DIST` (the EBS source) and one on
+//! `BR_INST_RETIRED:NEAR_TAKEN` (the LBR source).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod codec;
+mod data;
+mod record;
+mod session;
+
+pub use codec::ReadError;
+pub use data::PerfData;
+pub use record::{PerfRecord, PerfSample};
+pub use session::{PerfSession, Recording};

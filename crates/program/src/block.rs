@@ -1,0 +1,270 @@
+//! Basic blocks and terminators.
+
+use crate::{BlockId, FunctionId};
+use hbbp_isa::{BranchKind, Instruction};
+use std::fmt;
+
+/// How control leaves a basic block.
+///
+/// Every terminator except [`Terminator::Exit`] corresponds to an explicit
+/// branch instruction that must be the last instruction of the block — the
+/// branch itself retires and appears in instruction mixes (the paper's
+/// Figures 3/4 rank `JMP`, `RET_NEAR`, conditional jumps among the hottest
+/// mnemonics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Terminator {
+    /// Unconditional jump to another block of the same function.
+    Jump(BlockId),
+    /// Conditional branch: `taken` on branch-taken, `fallthrough` otherwise.
+    ///
+    /// The fallthrough block must be laid out immediately after this block.
+    Branch {
+        /// Successor when the branch is taken.
+        taken: BlockId,
+        /// Successor when the branch falls through (next block in memory).
+        fallthrough: BlockId,
+    },
+    /// Near call into `callee`; execution resumes at `return_to` (which must
+    /// be laid out immediately after this block).
+    Call {
+        /// Called function.
+        callee: FunctionId,
+        /// Block execution resumes at after the callee returns.
+        return_to: BlockId,
+    },
+    /// Near return to the caller (pops the simulated return stack).
+    Ret,
+    /// Program (thread) exit; the block may end with any instruction.
+    Exit,
+}
+
+impl Terminator {
+    /// Branch kind required of the block's final instruction.
+    pub fn required_branch_kind(&self) -> Option<BranchKind> {
+        match self {
+            Terminator::Jump(_) => Some(BranchKind::Unconditional),
+            Terminator::Branch { .. } => Some(BranchKind::Conditional),
+            Terminator::Call { .. } => Some(BranchKind::Call),
+            Terminator::Ret => Some(BranchKind::Return),
+            Terminator::Exit => None,
+        }
+    }
+
+    /// Static successor blocks (excluding call/return linkage).
+    pub fn successors(&self) -> Vec<BlockId> {
+        match *self {
+            Terminator::Jump(t) => vec![t],
+            Terminator::Branch { taken, fallthrough } => vec![taken, fallthrough],
+            Terminator::Call { return_to, .. } => vec![return_to],
+            Terminator::Ret | Terminator::Exit => vec![],
+        }
+    }
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Jump(t) => write!(f, "jump {t}"),
+            Terminator::Branch { taken, fallthrough } => {
+                write!(f, "branch taken={taken} fallthrough={fallthrough}")
+            }
+            Terminator::Call { callee, return_to } => {
+                write!(f, "call {callee} return_to={return_to}")
+            }
+            Terminator::Ret => write!(f, "ret"),
+            Terminator::Exit => write!(f, "exit"),
+        }
+    }
+}
+
+/// A basic block: a straight-line instruction sequence ending in a
+/// terminator.
+#[derive(Debug, Clone)]
+pub struct BasicBlock {
+    id: BlockId,
+    function: FunctionId,
+    instrs: Vec<Instruction>,
+    terminator: Terminator,
+}
+
+impl BasicBlock {
+    pub(crate) fn new(
+        id: BlockId,
+        function: FunctionId,
+        instrs: Vec<Instruction>,
+        terminator: Terminator,
+    ) -> BasicBlock {
+        BasicBlock {
+            id,
+            function,
+            instrs,
+            terminator,
+        }
+    }
+
+    /// The block's id.
+    pub fn id(&self) -> BlockId {
+        self.id
+    }
+
+    /// The function this block belongs to.
+    pub fn function(&self) -> FunctionId {
+        self.function
+    }
+
+    /// All instructions, terminator branch included.
+    pub fn instrs(&self) -> &[Instruction] {
+        &self.instrs
+    }
+
+    /// Number of instructions (the HBBP "block length" feature; the paper's
+    /// learned rule compares it with the cutoff 18).
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the block carries no instructions (invalid in finished
+    /// programs; used transiently by the builder).
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Encoded size of the block in bytes.
+    pub fn byte_len(&self) -> u32 {
+        self.instrs.iter().map(Instruction::encoded_len).sum()
+    }
+
+    /// The block's terminator.
+    pub fn terminator(&self) -> Terminator {
+        self.terminator
+    }
+
+    /// The final (terminator) instruction.
+    pub fn last_instr(&self) -> Option<&Instruction> {
+        self.instrs.last()
+    }
+
+    pub(crate) fn instrs_mut(&mut self) -> &mut Vec<Instruction> {
+        &mut self.instrs
+    }
+
+    /// Validate that the final instruction matches the terminator.
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        if self.instrs.is_empty() {
+            return Err(format!("{}: block has no instructions", self.id));
+        }
+        let last = self.instrs.last().expect("non-empty");
+        match self.terminator.required_branch_kind() {
+            Some(kind) => {
+                if last.branch_kind() != Some(kind) {
+                    return Err(format!(
+                        "{}: terminator {} requires a {kind} branch, found `{last}`",
+                        self.id, self.terminator
+                    ));
+                }
+            }
+            None => {
+                if last.is_branch() {
+                    return Err(format!(
+                        "{}: exit block must not end with a branch, found `{last}`",
+                        self.id
+                    ));
+                }
+            }
+        }
+        // Only the final instruction may branch.
+        for (i, instr) in self.instrs[..self.instrs.len() - 1].iter().enumerate() {
+            if instr.is_branch() {
+                return Err(format!(
+                    "{}: branch `{instr}` at position {i} is not the final instruction",
+                    self.id
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbbp_isa::instruction::build::*;
+    use hbbp_isa::{Mnemonic, Operand, Reg};
+
+    fn bb(instrs: Vec<Instruction>, term: Terminator) -> BasicBlock {
+        BasicBlock::new(BlockId(0), FunctionId(0), instrs, term)
+    }
+
+    #[test]
+    fn valid_jump_block() {
+        let b = bb(
+            vec![
+                rr(Mnemonic::Add, Reg::gpr(0), Reg::gpr(1)),
+                Instruction::with_operands(Mnemonic::Jmp, vec![Operand::Imm(0)]),
+            ],
+            Terminator::Jump(BlockId(1)),
+        );
+        assert!(b.validate().is_ok());
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn terminator_mismatch_rejected() {
+        let b = bb(
+            vec![bare(Mnemonic::RetNear)],
+            Terminator::Jump(BlockId(1)),
+        );
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn exit_block_must_not_branch() {
+        let b = bb(vec![bare(Mnemonic::Jmp)], Terminator::Exit);
+        assert!(b.validate().is_err());
+        let ok = bb(vec![bare(Mnemonic::Syscall)], Terminator::Exit);
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn midblock_branch_rejected() {
+        let b = bb(
+            vec![
+                Instruction::with_operands(Mnemonic::Jmp, vec![Operand::Imm(0)]),
+                bare(Mnemonic::RetNear),
+            ],
+            Terminator::Ret,
+        );
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn empty_block_rejected() {
+        let b = bb(vec![], Terminator::Exit);
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn successors() {
+        assert_eq!(Terminator::Jump(BlockId(4)).successors(), vec![BlockId(4)]);
+        assert_eq!(
+            Terminator::Branch {
+                taken: BlockId(1),
+                fallthrough: BlockId(2)
+            }
+            .successors()
+            .len(),
+            2
+        );
+        assert!(Terminator::Ret.successors().is_empty());
+        assert!(Terminator::Exit.successors().is_empty());
+    }
+
+    #[test]
+    fn byte_len_sums_instructions() {
+        let i1 = rr(Mnemonic::Add, Reg::gpr(0), Reg::gpr(1));
+        let i2 = bare(Mnemonic::RetNear);
+        let expect = i1.encoded_len() + i2.encoded_len();
+        let b = bb(vec![i1, i2], Terminator::Ret);
+        assert_eq!(b.byte_len(), expect);
+    }
+}

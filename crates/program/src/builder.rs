@@ -1,0 +1,332 @@
+//! Fluent construction of [`Program`]s.
+//!
+//! Workload generators assemble hundreds of functions; the builder keeps
+//! that ergonomic while deferring validation to [`ProgramBuilder::build`].
+//! Branch displacement immediates are inserted as placeholders and patched
+//! by [`crate::Layout::compute`] once addresses are known.
+
+use crate::{
+    BasicBlock, BlockId, FunctionId, Module, ModuleId, Program, ProgramError, Ring, Terminator,
+    TracepointSite,
+};
+use hbbp_isa::{Instruction, Mnemonic, Operand};
+
+/// Incremental builder for [`Program`].
+///
+/// ```
+/// use hbbp_program::{ProgramBuilder, Ring, Terminator};
+/// use hbbp_isa::{instruction::build, Mnemonic, Reg};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = ProgramBuilder::new("demo");
+/// let m = b.module("demo.bin", Ring::User);
+/// let f = b.function(m, "main");
+/// let b0 = b.block(f);
+/// b.push(b0, build::rr(Mnemonic::Add, Reg::gpr(0), Reg::gpr(1)));
+/// b.terminate_exit(b0, build::bare(Mnemonic::Syscall));
+/// let program = b.build(f)?;
+/// assert_eq!(program.block_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    name: String,
+    modules: Vec<Module>,
+    functions: Vec<crate::Function>,
+    blocks: Vec<PendingBlock>,
+}
+
+#[derive(Debug)]
+struct PendingBlock {
+    id: BlockId,
+    function: FunctionId,
+    instrs: Vec<Instruction>,
+    terminator: Option<Terminator>,
+}
+
+impl ProgramBuilder {
+    /// Start a new program.
+    pub fn new(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder {
+            name: name.into(),
+            ..ProgramBuilder::default()
+        }
+    }
+
+    /// Add a module.
+    pub fn module(&mut self, name: impl Into<String>, ring: Ring) -> ModuleId {
+        let id = ModuleId::from_index(self.modules.len());
+        self.modules.push(Module::new(id, name.into(), ring));
+        id
+    }
+
+    /// Add a function to a module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `module` was not created by this builder.
+    pub fn function(&mut self, module: ModuleId, name: impl Into<String>) -> FunctionId {
+        let id = FunctionId::from_index(self.functions.len());
+        self.functions
+            .push(crate::Function::new(id, module, name.into()));
+        self.modules[module.index()].push_function(id);
+        id
+    }
+
+    /// Add an (empty) block to a function. Blocks are laid out in creation
+    /// order within their function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `function` was not created by this builder.
+    pub fn block(&mut self, function: FunctionId) -> BlockId {
+        let id = BlockId::from_index(self.blocks.len());
+        self.blocks.push(PendingBlock {
+            id,
+            function,
+            instrs: Vec::new(),
+            terminator: None,
+        });
+        self.functions[function.index()].push_block(id);
+        id
+    }
+
+    /// Append a (non-branch) instruction to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is already terminated.
+    pub fn push(&mut self, block: BlockId, instr: Instruction) {
+        let pb = &mut self.blocks[block.index()];
+        assert!(
+            pb.terminator.is_none(),
+            "{block} already terminated; cannot append `{instr}`"
+        );
+        pb.instrs.push(instr);
+    }
+
+    /// Append many instructions.
+    pub fn push_all(&mut self, block: BlockId, instrs: impl IntoIterator<Item = Instruction>) {
+        for i in instrs {
+            self.push(block, i);
+        }
+    }
+
+    /// Current instruction count of a block (before termination).
+    pub fn block_len(&self, block: BlockId) -> usize {
+        self.blocks[block.index()].instrs.len()
+    }
+
+    /// Terminate with an unconditional jump (`JMP target`).
+    pub fn terminate_jump(&mut self, block: BlockId, target: BlockId) {
+        self.push(
+            block,
+            Instruction::with_operands(Mnemonic::Jmp, vec![Operand::Imm(0)]),
+        );
+        self.set_terminator(block, Terminator::Jump(target));
+    }
+
+    /// Terminate with a conditional branch using the given Jcc mnemonic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jcc` is not a conditional-branch mnemonic.
+    pub fn terminate_branch(
+        &mut self,
+        block: BlockId,
+        jcc: Mnemonic,
+        taken: BlockId,
+        fallthrough: BlockId,
+    ) {
+        assert_eq!(
+            jcc.category(),
+            hbbp_isa::Category::CondBranch,
+            "{jcc} is not a conditional branch"
+        );
+        self.push(block, Instruction::with_operands(jcc, vec![Operand::Imm(0)]));
+        self.set_terminator(block, Terminator::Branch { taken, fallthrough });
+    }
+
+    /// Terminate with a near call; execution resumes at `return_to`.
+    pub fn terminate_call(&mut self, block: BlockId, callee: FunctionId, return_to: BlockId) {
+        self.push(
+            block,
+            Instruction::with_operands(Mnemonic::CallNear, vec![Operand::Imm(0)]),
+        );
+        self.set_terminator(block, Terminator::Call { callee, return_to });
+    }
+
+    /// Terminate with a near return.
+    pub fn terminate_ret(&mut self, block: BlockId) {
+        self.push(block, Instruction::new(Mnemonic::RetNear));
+        self.set_terminator(block, Terminator::Ret);
+    }
+
+    /// Terminate as a program exit block, appending `final_instr` (which
+    /// must not be a branch).
+    pub fn terminate_exit(&mut self, block: BlockId, final_instr: Instruction) {
+        self.push(block, final_instr);
+        self.set_terminator(block, Terminator::Exit);
+    }
+
+    fn set_terminator(&mut self, block: BlockId, term: Terminator) {
+        let pb = &mut self.blocks[block.index()];
+        assert!(pb.terminator.is_none(), "{block} terminated twice");
+        pb.terminator = Some(term);
+    }
+
+    /// Register a tracepoint site: appends a multi-byte NOP to `block` (the
+    /// live-kernel form) and records the site so images can encode the
+    /// on-disk `JMP` form. Only meaningful for kernel modules.
+    pub fn tracepoint(&mut self, block: BlockId) {
+        let index = self.blocks[block.index()].instrs.len();
+        // The live form: a NOP as wide as the disk-form JMP (both carry a
+        // 4-byte immediate payload in the synthetic encoding).
+        self.push(
+            block,
+            Instruction::with_operands(Mnemonic::NopMulti, vec![Operand::Imm(0)]),
+        );
+        let function = self.blocks[block.index()].function;
+        let module = self.functions[function.index()].module();
+        self.modules[module.index()].push_tracepoint(TracepointSite {
+            block,
+            instr_index: index,
+        });
+    }
+
+    /// Finish and validate the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProgramError`] if any block is unterminated or the
+    /// program violates structural invariants (see [`Program::validate`]).
+    pub fn build(self, entry: FunctionId) -> Result<Program, ProgramError> {
+        let mut blocks = Vec::with_capacity(self.blocks.len());
+        for pb in self.blocks {
+            let term = pb.terminator.ok_or_else(|| {
+                ProgramError::new(format!("{} was never terminated", pb.id))
+            })?;
+            blocks.push(BasicBlock::new(pb.id, pb.function, pb.instrs, term));
+        }
+        let program = Program::new(self.name, self.modules, self.functions, blocks, entry);
+        program.validate()?;
+        Ok(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbbp_isa::instruction::build::*;
+    use hbbp_isa::Reg;
+
+    #[test]
+    fn build_two_function_program() {
+        let mut b = ProgramBuilder::new("t");
+        let m = b.module("t.bin", Ring::User);
+        let main = b.function(m, "main");
+        let helper = b.function(m, "helper");
+
+        let h0 = b.block(helper);
+        b.push(h0, rr(Mnemonic::Add, Reg::gpr(0), Reg::gpr(1)));
+        b.terminate_ret(h0);
+
+        let b0 = b.block(main);
+        let b1 = b.block(main);
+        b.push(b0, ri(Mnemonic::Mov, Reg::gpr(0), 1));
+        b.terminate_call(b0, helper, b1);
+        b.terminate_exit(b1, bare(Mnemonic::Syscall));
+
+        let p = b.build(main).expect("valid");
+        assert_eq!(p.block_count(), 3);
+        assert_eq!(p.functions().len(), 2);
+        assert_eq!(p.function(main).name(), "main");
+        assert_eq!(p.entry(), main);
+        // Call block ends with CALL_NEAR.
+        let call_block = p.block(b0);
+        assert_eq!(call_block.last_instr().unwrap().mnemonic(), Mnemonic::CallNear);
+    }
+
+    #[test]
+    fn unterminated_block_rejected() {
+        let mut b = ProgramBuilder::new("t");
+        let m = b.module("t.bin", Ring::User);
+        let f = b.function(m, "main");
+        let blk = b.block(f);
+        b.push(blk, bare(Mnemonic::Nop));
+        assert!(b.build(f).is_err());
+    }
+
+    #[test]
+    fn branch_fallthrough_must_be_adjacent() {
+        let mut b = ProgramBuilder::new("t");
+        let m = b.module("t.bin", Ring::User);
+        let f = b.function(m, "main");
+        let b0 = b.block(f);
+        let b1 = b.block(f);
+        let b2 = b.block(f);
+        // b0 branches with fallthrough b2, but b1 is next in layout: invalid.
+        b.terminate_branch(b0, Mnemonic::Jnz, b1, b2);
+        b.terminate_exit(b1, bare(Mnemonic::Nop));
+        b.terminate_exit(b2, bare(Mnemonic::Nop));
+        assert!(b.build(f).is_err());
+    }
+
+    #[test]
+    fn valid_loop_shape() {
+        let mut b = ProgramBuilder::new("loop");
+        let m = b.module("loop.bin", Ring::User);
+        let f = b.function(m, "main");
+        let head = b.block(f);
+        let exit = b.block(f);
+        b.push(head, ri(Mnemonic::Add, Reg::gpr(0), 1));
+        // Loop: taken -> back to head, fallthrough -> exit (next in layout).
+        b.terminate_branch(head, Mnemonic::Jnz, head, exit);
+        b.terminate_exit(exit, bare(Mnemonic::Syscall));
+        let p = b.build(f).expect("valid loop");
+        assert_eq!(p.block(head).len(), 2);
+    }
+
+    #[test]
+    fn tracepoint_registers_site_and_nop() {
+        let mut b = ProgramBuilder::new("k");
+        let m = b.module("probe.ko", Ring::Kernel);
+        let f = b.function(m, "probed");
+        let b0 = b.block(f);
+        b.push(b0, rr(Mnemonic::Add, Reg::gpr(0), Reg::gpr(1)));
+        b.tracepoint(b0);
+        b.push(b0, rr(Mnemonic::Sub, Reg::gpr(0), Reg::gpr(1)));
+        b.terminate_ret(b0);
+        let p = b.build(f).unwrap();
+        let sites = p.module(m).tracepoints();
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].instr_index, 1);
+        assert_eq!(
+            p.block(b0).instrs()[1].mnemonic(),
+            Mnemonic::NopMulti
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already terminated")]
+    fn push_after_terminate_panics() {
+        let mut b = ProgramBuilder::new("t");
+        let m = b.module("t.bin", Ring::User);
+        let f = b.function(m, "main");
+        let blk = b.block(f);
+        b.terminate_ret(blk);
+        b.push(blk, bare(Mnemonic::Nop));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a conditional branch")]
+    fn non_jcc_branch_mnemonic_panics() {
+        let mut b = ProgramBuilder::new("t");
+        let m = b.module("t.bin", Ring::User);
+        let f = b.function(m, "main");
+        let b0 = b.block(f);
+        let b1 = b.block(f);
+        b.terminate_branch(b0, Mnemonic::Add, b1, b1);
+    }
+}

@@ -1,0 +1,89 @@
+//! Typed identifiers for program entities.
+
+use std::fmt;
+
+/// Identifier of a basic block within a [`crate::Program`].
+///
+/// Blocks live in a single arena per program; the id is the arena index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub(crate) u32);
+
+impl BlockId {
+    /// Arena index of the block.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a raw arena index (for tables indexed by block).
+    pub fn from_index(index: usize) -> BlockId {
+        BlockId(index as u32)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// Identifier of a function within a [`crate::Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FunctionId(pub(crate) u32);
+
+impl FunctionId {
+    /// Arena index of the function.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a raw arena index.
+    pub fn from_index(index: usize) -> FunctionId {
+        FunctionId(index as u32)
+    }
+}
+
+impl fmt::Display for FunctionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn{}", self.0)
+    }
+}
+
+/// Identifier of a module (binary / shared object / kernel module).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ModuleId(pub(crate) u16);
+
+impl ModuleId {
+    /// Arena index of the module.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a raw arena index.
+    pub fn from_index(index: usize) -> ModuleId {
+        ModuleId(index as u16)
+    }
+}
+
+impl fmt::Display for ModuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mod{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index_roundtrip() {
+        assert_eq!(BlockId::from_index(7).to_string(), "bb7");
+        assert_eq!(BlockId::from_index(7).index(), 7);
+        assert_eq!(FunctionId::from_index(3).to_string(), "fn3");
+        assert_eq!(ModuleId::from_index(1).to_string(), "mod1");
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(BlockId::from_index(1) < BlockId::from_index(2));
+    }
+}

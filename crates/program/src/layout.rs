@@ -1,0 +1,416 @@
+//! Address layout: assigns virtual addresses to modules, blocks and
+//! instructions, and patches branch displacement immediates.
+//!
+//! User modules load at the canonical 0x400000-style low range; kernel
+//! modules load in the high half, mirroring Linux. Everything downstream —
+//! samples, LBR records, block maps — speaks virtual addresses.
+
+use crate::{BlockId, ModuleId, Program, ProgramError, Ring, Terminator};
+use hbbp_isa::{Instruction, Operand};
+
+/// Base address of the first user-mode module.
+pub const USER_BASE: u64 = 0x0040_0000;
+/// Spacing between user module bases.
+pub const USER_STRIDE: u64 = 0x0100_0000;
+/// Base address of the first kernel module.
+pub const KERNEL_BASE: u64 = 0xFFFF_FFFF_8100_0000;
+/// Spacing between kernel module bases.
+pub const KERNEL_STRIDE: u64 = 0x0010_0000;
+/// Number of multi-byte NOPs forming a module's probe-stub region.
+pub const STUB_NOPS: usize = 4;
+
+/// Computed addresses for a program.
+///
+/// Obtained from [`Layout::compute`], which also patches the displacement
+/// immediates of all terminator branches in the program (so encoded images
+/// carry real targets).
+#[derive(Debug, Clone)]
+pub struct Layout {
+    block_addr: Vec<u64>,
+    block_bytes: Vec<u32>,
+    instr_offsets: Vec<Vec<u32>>,
+    module_range: Vec<(u64, u64)>,
+    stub_addr: Vec<Option<u64>>,
+    // Blocks sorted by start address, for locate().
+    sorted_blocks: Vec<(u64, BlockId)>,
+    symbols: Vec<SymbolInfo>,
+}
+
+/// A laid-out symbol (function) for address→name resolution.
+#[derive(Debug, Clone)]
+pub struct SymbolInfo {
+    /// Start address of the function's first block.
+    pub addr: u64,
+    /// Total byte size of the function.
+    pub size: u64,
+    /// Function name.
+    pub name: String,
+    /// Owning module.
+    pub module: ModuleId,
+    /// Function id.
+    pub function: crate::FunctionId,
+}
+
+impl Layout {
+    /// Assign addresses to every module/function/block of `program` and
+    /// patch branch displacements in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a branch displacement overflows 32 bits (cannot
+    /// happen with realistic module sizes).
+    pub fn compute(program: &mut Program) -> Result<Layout, ProgramError> {
+        let nblocks = program.block_count();
+        let mut block_addr = vec![0u64; nblocks];
+        let mut block_bytes = vec![0u32; nblocks];
+        let mut instr_offsets: Vec<Vec<u32>> = vec![Vec::new(); nblocks];
+        let mut module_range = Vec::new();
+        let mut stub_addr = Vec::new();
+        let mut symbols = Vec::new();
+
+        let mut next_user = USER_BASE;
+        let mut next_kernel = KERNEL_BASE;
+
+        let module_ids: Vec<ModuleId> = program.modules().iter().map(|m| m.id()).collect();
+        for mid in module_ids {
+            let (ring, function_ids, has_tracepoints) = {
+                let m = program.module(mid);
+                (m.ring(), m.functions().to_vec(), !m.tracepoints().is_empty())
+            };
+            let base = match ring {
+                Ring::User => {
+                    let b = next_user;
+                    next_user += USER_STRIDE;
+                    b
+                }
+                Ring::Kernel => {
+                    let b = next_kernel;
+                    next_kernel += KERNEL_STRIDE;
+                    b
+                }
+            };
+            let mut cursor = base;
+            for fid in function_ids {
+                let fstart = cursor;
+                let block_ids = program.function(fid).blocks().to_vec();
+                for bid in block_ids {
+                    let block = program.block(bid);
+                    let mut offsets = Vec::with_capacity(block.len());
+                    let mut off = 0u32;
+                    for instr in block.instrs() {
+                        offsets.push(off);
+                        off += instr.encoded_len();
+                    }
+                    block_addr[bid.index()] = cursor;
+                    block_bytes[bid.index()] = off;
+                    instr_offsets[bid.index()] = offsets;
+                    cursor += off as u64;
+                }
+                let name = program.function(fid).name().to_owned();
+                symbols.push(SymbolInfo {
+                    addr: fstart,
+                    size: cursor - fstart,
+                    name,
+                    module: mid,
+                    function: fid,
+                });
+            }
+            let stub = if has_tracepoints {
+                let s = cursor;
+                let stub_nop = Instruction::with_operands(
+                    hbbp_isa::Mnemonic::NopMulti,
+                    vec![Operand::Imm(0)],
+                );
+                cursor += (stub_nop.encoded_len() as u64) * STUB_NOPS as u64;
+                Some(s)
+            } else {
+                None
+            };
+            stub_addr.push(stub);
+            module_range.push((base, cursor));
+        }
+
+        let mut layout = Layout {
+            block_addr,
+            block_bytes,
+            instr_offsets,
+            module_range,
+            stub_addr,
+            sorted_blocks: Vec::new(),
+            symbols,
+        };
+        layout.patch_branches(program)?;
+        let mut sorted: Vec<(u64, BlockId)> = (0..nblocks)
+            .map(|i| (layout.block_addr[i], BlockId::from_index(i)))
+            .collect();
+        sorted.sort_unstable();
+        layout.sorted_blocks = sorted;
+        layout.symbols.sort_by_key(|s| s.addr);
+        Ok(layout)
+    }
+
+    /// Patch every terminator branch's displacement immediate to point at
+    /// its laid-out target.
+    fn patch_branches(&self, program: &mut Program) -> Result<(), ProgramError> {
+        let nblocks = program.block_count();
+        for i in 0..nblocks {
+            let bid = BlockId::from_index(i);
+            let term = program.block(bid).terminator();
+            let target_addr = match term {
+                Terminator::Jump(t) => Some(self.block_start(t)),
+                Terminator::Branch { taken, .. } => Some(self.block_start(taken)),
+                Terminator::Call { callee, .. } => {
+                    let entry = program.function(callee).entry();
+                    Some(self.block_start(entry))
+                }
+                Terminator::Ret | Terminator::Exit => None,
+            };
+            let Some(target) = target_addr else { continue };
+            let term_idx = program.block(bid).len() - 1;
+            let next_addr = self.block_end(bid);
+            let disp = target as i64 - next_addr as i64;
+            let disp32 = i32::try_from(disp).map_err(|_| {
+                ProgramError::new(format!("{bid}: branch displacement {disp} overflows i32"))
+            })?;
+            let block = program.block_mut(bid);
+            let old = &block.instrs()[term_idx];
+            let patched = patch_imm(old, disp32);
+            block.instrs_mut()[term_idx] = patched;
+        }
+        Ok(())
+    }
+
+    /// Start address of a block.
+    pub fn block_start(&self, b: BlockId) -> u64 {
+        self.block_addr[b.index()]
+    }
+
+    /// End address (exclusive) of a block.
+    pub fn block_end(&self, b: BlockId) -> u64 {
+        self.block_addr[b.index()] + self.block_bytes[b.index()] as u64
+    }
+
+    /// Byte size of a block.
+    pub fn block_bytes(&self, b: BlockId) -> u32 {
+        self.block_bytes[b.index()]
+    }
+
+    /// Address of instruction `idx` within block `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn instr_addr(&self, b: BlockId, idx: usize) -> u64 {
+        self.block_addr[b.index()] + self.instr_offsets[b.index()][idx] as u64
+    }
+
+    /// Address of a block's terminator (last) instruction.
+    pub fn terminator_addr(&self, b: BlockId) -> u64 {
+        let offs = &self.instr_offsets[b.index()];
+        self.block_addr[b.index()] + *offs.last().expect("non-empty block") as u64
+    }
+
+    /// Per-instruction byte offsets within a block.
+    pub fn instr_offsets(&self, b: BlockId) -> &[u32] {
+        &self.instr_offsets[b.index()]
+    }
+
+    /// Address range `[base, end)` of a module's text.
+    pub fn module_range(&self, m: ModuleId) -> (u64, u64) {
+        self.module_range[m.index()]
+    }
+
+    /// Address of a module's probe-stub region, if it has tracepoints.
+    pub fn stub_addr(&self, m: ModuleId) -> Option<u64> {
+        self.stub_addr[m.index()]
+    }
+
+    /// Locate the block and instruction index containing `addr`.
+    ///
+    /// Returns `None` for addresses outside any block (e.g. stub regions).
+    pub fn locate(&self, addr: u64) -> Option<(BlockId, usize)> {
+        let pos = self
+            .sorted_blocks
+            .partition_point(|&(start, _)| start <= addr);
+        if pos == 0 {
+            return None;
+        }
+        let (start, bid) = self.sorted_blocks[pos - 1];
+        let len = self.block_bytes[bid.index()] as u64;
+        if addr >= start + len {
+            return None;
+        }
+        let off = (addr - start) as u32;
+        let offs = &self.instr_offsets[bid.index()];
+        let idx = offs.partition_point(|&o| o <= off) - 1;
+        Some((bid, idx))
+    }
+
+    /// Symbols sorted by address.
+    pub fn symbols(&self) -> &[SymbolInfo] {
+        &self.symbols
+    }
+
+    /// Resolve an address to its enclosing symbol.
+    pub fn symbolize(&self, addr: u64) -> Option<&SymbolInfo> {
+        let pos = self.symbols.partition_point(|s| s.addr <= addr);
+        if pos == 0 {
+            return None;
+        }
+        let sym = &self.symbols[pos - 1];
+        (addr < sym.addr + sym.size).then_some(sym)
+    }
+}
+
+/// Rebuild an instruction with its (single) immediate operand replaced.
+fn patch_imm(instr: &Instruction, imm: i32) -> Instruction {
+    let ops: Vec<Operand> = instr
+        .operands()
+        .iter()
+        .map(|op| match op {
+            Operand::Imm(_) => Operand::Imm(imm),
+            other => *other,
+        })
+        .collect();
+    let mut out = Instruction::with_operands(instr.mnemonic(), ops);
+    if instr.is_locked() {
+        out = out.locked();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+    use hbbp_isa::instruction::build::*;
+    use hbbp_isa::{Mnemonic, Reg};
+
+    fn sample_program() -> (Program, Layout, Vec<BlockId>) {
+        let mut b = ProgramBuilder::new("t");
+        let m = b.module("t.bin", Ring::User);
+        let f = b.function(m, "main");
+        let g = b.function(m, "leaf");
+
+        let g0 = b.block(g);
+        b.push(g0, rr(Mnemonic::Add, Reg::gpr(0), Reg::gpr(1)));
+        b.terminate_ret(g0);
+
+        let b0 = b.block(f);
+        let b1 = b.block(f);
+        let b2 = b.block(f);
+        b.push(b0, ri(Mnemonic::Mov, Reg::gpr(0), 5));
+        b.terminate_call(b0, g, b1);
+        b.push(b1, rr(Mnemonic::Sub, Reg::gpr(0), Reg::gpr(1)));
+        b.terminate_branch(b1, Mnemonic::Jnz, b1, b2);
+        b.terminate_exit(b2, bare(Mnemonic::Syscall));
+
+        let mut p = b.build(f).unwrap();
+        let layout = Layout::compute(&mut p).unwrap();
+        (p, layout, vec![g0, b0, b1, b2])
+    }
+
+    #[test]
+    fn addresses_are_contiguous_within_function() {
+        let (p, layout, ids) = sample_program();
+        let (g0, b0, b1, b2) = (ids[0], ids[1], ids[2], ids[3]);
+        // Functions are laid out in creation order: main(f) first, leaf(g)
+        // second, regardless of block creation order.
+        assert_eq!(layout.block_start(b0), USER_BASE);
+        assert!(layout.block_start(b0) < layout.block_start(g0));
+        assert_eq!(layout.block_end(b0), layout.block_start(b1));
+        assert_eq!(layout.block_end(b1), layout.block_start(b2));
+        let _ = p;
+    }
+
+    #[test]
+    fn call_displacement_points_at_callee_entry() {
+        let (p, layout, ids) = sample_program();
+        let (g0, b0) = (ids[0], ids[1]);
+        let call_block = p.block(b0);
+        let call = call_block.last_instr().unwrap();
+        let hbbp_isa::Operand::Imm(disp) = call.operands()[0] else {
+            panic!("call has no imm");
+        };
+        let next = layout.block_end(b0);
+        assert_eq!(
+            (next as i64 + disp as i64) as u64,
+            layout.block_start(g0),
+            "call target mismatch"
+        );
+    }
+
+    #[test]
+    fn branch_displacement_points_at_taken_target() {
+        let (p, layout, ids) = sample_program();
+        let b1 = ids[2];
+        let br = p.block(b1).last_instr().unwrap();
+        let hbbp_isa::Operand::Imm(disp) = br.operands()[0] else {
+            panic!("no imm")
+        };
+        let next = layout.block_end(b1);
+        // taken target is b1 itself (self loop)
+        assert_eq!((next as i64 + disp as i64) as u64, layout.block_start(b1));
+    }
+
+    #[test]
+    fn locate_finds_every_instruction() {
+        let (p, layout, _) = sample_program();
+        for block in p.blocks() {
+            for (idx, _instr) in block.instrs().iter().enumerate() {
+                let addr = layout.instr_addr(block.id(), idx);
+                assert_eq!(layout.locate(addr), Some((block.id(), idx)));
+            }
+        }
+    }
+
+    #[test]
+    fn locate_rejects_gap_addresses() {
+        let (_, layout, ids) = sample_program();
+        let last = ids[0]; // g0 laid out last
+        assert_eq!(layout.locate(layout.block_end(last) + 100), None);
+        assert_eq!(layout.locate(USER_BASE - 1), None);
+    }
+
+    #[test]
+    fn symbolize_resolves_functions() {
+        let (p, layout, ids) = sample_program();
+        let b0 = ids[1];
+        let sym = layout.symbolize(layout.block_start(b0)).unwrap();
+        assert_eq!(sym.name, "main");
+        let g0 = ids[0];
+        let sym = layout.symbolize(layout.terminator_addr(g0)).unwrap();
+        assert_eq!(sym.name, "leaf");
+        let _ = p;
+    }
+
+    #[test]
+    fn kernel_modules_go_high() {
+        let mut b = ProgramBuilder::new("k");
+        let km = b.module("hello.ko", Ring::Kernel);
+        let f = b.function(km, "hello_k");
+        let b0 = b.block(f);
+        b.push(b0, bare(Mnemonic::Nop));
+        b.terminate_ret(b0);
+        let mut p = b.build(f).unwrap();
+        let layout = Layout::compute(&mut p).unwrap();
+        assert!(layout.block_start(b0) >= KERNEL_BASE);
+        assert_eq!(layout.module_range(km).0, KERNEL_BASE);
+    }
+
+    #[test]
+    fn stub_region_present_only_with_tracepoints() {
+        let mut b = ProgramBuilder::new("k");
+        let km = b.module("hello.ko", Ring::Kernel);
+        let f = b.function(km, "hello_k");
+        let b0 = b.block(f);
+        b.tracepoint(b0);
+        b.terminate_ret(b0);
+        let mut p = b.build(f).unwrap();
+        let layout = Layout::compute(&mut p).unwrap();
+        let stub = layout.stub_addr(km).expect("stub");
+        assert_eq!(stub, layout.block_end(b0));
+        let (_, end) = layout.module_range(km);
+        assert!(end > stub);
+    }
+}

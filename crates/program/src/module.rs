@@ -1,0 +1,194 @@
+//! Functions, modules and privilege rings.
+
+use crate::{BlockId, FunctionId, ModuleId};
+use std::fmt;
+
+/// Privilege ring a module executes in.
+///
+/// The paper's headline coverage claim is that PMU profiling, unlike
+/// software instrumentation, sees Ring 0: "Both the user space (Rings 1-3)
+/// and the kernel (Ring 0) are monitored" (§V.A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Ring {
+    /// User-mode code (instrumentable by SDE/PIN).
+    #[default]
+    User,
+    /// Kernel-mode code (invisible to software instrumentation).
+    Kernel,
+}
+
+impl Ring {
+    /// Short label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Ring::User => "user",
+            Ring::Kernel => "kernel",
+        }
+    }
+}
+
+impl fmt::Display for Ring {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A function: a named, contiguous sequence of basic blocks.
+#[derive(Debug, Clone)]
+pub struct Function {
+    id: FunctionId,
+    module: ModuleId,
+    name: String,
+    blocks: Vec<BlockId>,
+}
+
+impl Function {
+    pub(crate) fn new(id: FunctionId, module: ModuleId, name: String) -> Function {
+        Function {
+            id,
+            module,
+            name,
+            blocks: Vec::new(),
+        }
+    }
+
+    /// The function's id.
+    pub fn id(&self) -> FunctionId {
+        self.id
+    }
+
+    /// The module containing this function.
+    pub fn module(&self) -> ModuleId {
+        self.module
+    }
+
+    /// Symbol name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Blocks in layout order; the first is the entry block.
+    pub fn blocks(&self) -> &[BlockId] {
+        &self.blocks
+    }
+
+    /// The entry block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function has no blocks (cannot happen in a validated
+    /// program).
+    pub fn entry(&self) -> BlockId {
+        self.blocks[0]
+    }
+
+    pub(crate) fn push_block(&mut self, block: BlockId) {
+        self.blocks.push(block);
+    }
+}
+
+/// A tracepoint site inside a kernel module.
+///
+/// The on-disk text holds an unconditional `JMP` to an out-of-line probe
+/// stub; the live kernel patches the site to a NOP when tracing is disabled
+/// (paper §III.C). The program's *logical* instruction at the site is the
+/// NOP (that is what executes); images encode the site differently for the
+/// disk and live views.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TracepointSite {
+    /// Block containing the tracepoint.
+    pub block: BlockId,
+    /// Instruction index of the patched NOP within the block.
+    pub instr_index: usize,
+}
+
+/// A module: an executable image (main binary, shared object, or kernel
+/// module) with its functions and ring level.
+#[derive(Debug, Clone)]
+pub struct Module {
+    id: ModuleId,
+    name: String,
+    ring: Ring,
+    functions: Vec<FunctionId>,
+    tracepoints: Vec<TracepointSite>,
+}
+
+impl Module {
+    pub(crate) fn new(id: ModuleId, name: String, ring: Ring) -> Module {
+        Module {
+            id,
+            name,
+            ring,
+            functions: Vec::new(),
+            tracepoints: Vec::new(),
+        }
+    }
+
+    /// The module's id.
+    pub fn id(&self) -> ModuleId {
+        self.id
+    }
+
+    /// Module (file) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Privilege ring.
+    pub fn ring(&self) -> Ring {
+        self.ring
+    }
+
+    /// Functions in layout order.
+    pub fn functions(&self) -> &[FunctionId] {
+        &self.functions
+    }
+
+    /// Tracepoint sites (kernel self-modifying text).
+    pub fn tracepoints(&self) -> &[TracepointSite] {
+        &self.tracepoints
+    }
+
+    pub(crate) fn push_function(&mut self, f: FunctionId) {
+        self.functions.push(f);
+    }
+
+    pub(crate) fn push_tracepoint(&mut self, t: TracepointSite) {
+        self.tracepoints.push(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_labels() {
+        assert_eq!(Ring::User.to_string(), "user");
+        assert_eq!(Ring::Kernel.to_string(), "kernel");
+        assert_eq!(Ring::default(), Ring::User);
+    }
+
+    #[test]
+    fn function_blocks_ordered() {
+        let mut f = Function::new(FunctionId(0), ModuleId(0), "main".into());
+        f.push_block(BlockId(3));
+        f.push_block(BlockId(5));
+        assert_eq!(f.entry(), BlockId(3));
+        assert_eq!(f.blocks(), &[BlockId(3), BlockId(5)]);
+        assert_eq!(f.name(), "main");
+    }
+
+    #[test]
+    fn module_accumulates_functions_and_tracepoints() {
+        let mut m = Module::new(ModuleId(0), "vmlinux".into(), Ring::Kernel);
+        m.push_function(FunctionId(0));
+        m.push_tracepoint(TracepointSite {
+            block: BlockId(0),
+            instr_index: 2,
+        });
+        assert_eq!(m.functions().len(), 1);
+        assert_eq!(m.tracepoints().len(), 1);
+        assert_eq!(m.ring(), Ring::Kernel);
+    }
+}

@@ -1,0 +1,241 @@
+//! The [`Program`] arena: modules, functions and blocks of one workload.
+
+use crate::{BasicBlock, BlockId, Function, FunctionId, Module, ModuleId, Ring, Terminator};
+use std::fmt;
+
+/// A complete program: one or more modules (user binaries and/or kernel
+/// modules) with their functions and basic blocks.
+///
+/// Programs are built with [`crate::ProgramBuilder`], validated on
+/// [`crate::ProgramBuilder::build`], and assigned addresses by
+/// [`crate::Layout::compute`].
+#[derive(Debug, Clone)]
+pub struct Program {
+    name: String,
+    modules: Vec<Module>,
+    functions: Vec<Function>,
+    blocks: Vec<BasicBlock>,
+    entry: FunctionId,
+}
+
+impl Program {
+    pub(crate) fn new(
+        name: String,
+        modules: Vec<Module>,
+        functions: Vec<Function>,
+        blocks: Vec<BasicBlock>,
+        entry: FunctionId,
+    ) -> Program {
+        Program {
+            name,
+            modules,
+            functions,
+            blocks,
+            entry,
+        }
+    }
+
+    /// Program name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All modules.
+    pub fn modules(&self) -> &[Module] {
+        &self.modules
+    }
+
+    /// All functions.
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// Number of basic blocks in the program.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Iterate over all blocks.
+    pub fn blocks(&self) -> impl Iterator<Item = &BasicBlock> {
+        self.blocks.iter()
+    }
+
+    /// The program's entry function (execution starts at its entry block).
+    pub fn entry(&self) -> FunctionId {
+        self.entry
+    }
+
+    /// Look up a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this program.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    pub(crate) fn block_mut(&mut self, id: BlockId) -> &mut BasicBlock {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Look up a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this program.
+    pub fn function(&self, id: FunctionId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// Look up a module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this program.
+    pub fn module(&self, id: ModuleId) -> &Module {
+        &self.modules[id.index()]
+    }
+
+    /// The module containing a block.
+    pub fn module_of_block(&self, id: BlockId) -> &Module {
+        let f = self.block(id).function();
+        self.module(self.function(f).module())
+    }
+
+    /// The ring a block executes in.
+    pub fn ring_of_block(&self, id: BlockId) -> Ring {
+        self.module_of_block(id).ring()
+    }
+
+    /// Total static instruction count.
+    pub fn instr_count(&self) -> usize {
+        self.blocks.iter().map(BasicBlock::len).sum()
+    }
+
+    /// Distribution summary of block lengths (min, mean, max) — the feature
+    /// HBBP's learned rule keys on.
+    pub fn block_length_stats(&self) -> (usize, f64, usize) {
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        let mut sum = 0usize;
+        for b in &self.blocks {
+            min = min.min(b.len());
+            max = max.max(b.len());
+            sum += b.len();
+        }
+        if self.blocks.is_empty() {
+            (0, 0.0, 0)
+        } else {
+            (min, sum as f64 / self.blocks.len() as f64, max)
+        }
+    }
+
+    /// Validate structural invariants (block shape, terminator targets,
+    /// fallthrough adjacency, entry reachability of functions).
+    pub fn validate(&self) -> Result<(), ProgramError> {
+        if self.functions.get(self.entry.index()).is_none() {
+            return Err(ProgramError::new("entry function does not exist"));
+        }
+        for f in &self.functions {
+            if f.blocks().is_empty() {
+                return Err(ProgramError::new(format!(
+                    "function `{}` has no blocks",
+                    f.name()
+                )));
+            }
+        }
+        for (fi, f) in self.functions.iter().enumerate() {
+            for (pos, &bid) in f.blocks().iter().enumerate() {
+                let block = self
+                    .blocks
+                    .get(bid.index())
+                    .ok_or_else(|| ProgramError::new(format!("{bid} out of range")))?;
+                if block.function().index() != fi {
+                    return Err(ProgramError::new(format!(
+                        "{bid} listed in `{}` but owned by {}",
+                        f.name(),
+                        block.function()
+                    )));
+                }
+                block.validate().map_err(ProgramError::new)?;
+                self.validate_terminator(f, pos, block)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_terminator(
+        &self,
+        f: &Function,
+        pos: usize,
+        block: &BasicBlock,
+    ) -> Result<(), ProgramError> {
+        let same_function = |target: BlockId| -> Result<(), ProgramError> {
+            let tb = self
+                .blocks
+                .get(target.index())
+                .ok_or_else(|| ProgramError::new(format!("target {target} out of range")))?;
+            if tb.function() != block.function() {
+                return Err(ProgramError::new(format!(
+                    "{}: branch target {target} is in another function",
+                    block.id()
+                )));
+            }
+            Ok(())
+        };
+        let next_in_layout = f.blocks().get(pos + 1).copied();
+        match block.terminator() {
+            Terminator::Jump(t) => same_function(t),
+            Terminator::Branch { taken, fallthrough } => {
+                same_function(taken)?;
+                same_function(fallthrough)?;
+                if next_in_layout != Some(fallthrough) {
+                    return Err(ProgramError::new(format!(
+                        "{}: fallthrough {fallthrough} is not the next block in layout",
+                        block.id()
+                    )));
+                }
+                Ok(())
+            }
+            Terminator::Call { callee, return_to } => {
+                if self.functions.get(callee.index()).is_none() {
+                    return Err(ProgramError::new(format!(
+                        "{}: call target {callee} does not exist",
+                        block.id()
+                    )));
+                }
+                same_function(return_to)?;
+                if next_in_layout != Some(return_to) {
+                    return Err(ProgramError::new(format!(
+                        "{}: call return block {return_to} is not the next block in layout",
+                        block.id()
+                    )));
+                }
+                Ok(())
+            }
+            Terminator::Ret | Terminator::Exit => Ok(()),
+        }
+    }
+}
+
+/// Error describing a structural problem in a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramError {
+    message: String,
+}
+
+impl ProgramError {
+    pub(crate) fn new(message: impl Into<String>) -> ProgramError {
+        ProgramError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid program: {}", self.message)
+    }
+}
+
+impl std::error::Error for ProgramError {}

@@ -1,0 +1,295 @@
+//! Deterministic execution walking.
+//!
+//! A [`Walker`] enumerates the dynamic basic-block sequence of a program
+//! run, consulting an [`ExecutionOracle`] at conditional branches. The same
+//! seeded oracle drives both the CPU/PMU simulator and the software
+//! instrumenter, so the PMU's view and the ground truth describe the exact
+//! same execution — the property the paper gets by running the real
+//! workload under both collectors.
+
+use crate::{BlockId, Program, Terminator};
+use std::collections::HashMap;
+
+/// Decides conditional-branch outcomes during a walk.
+pub trait ExecutionOracle {
+    /// Whether the conditional branch ending `block` is taken this time.
+    fn branch_taken(&mut self, block: BlockId) -> bool;
+}
+
+impl<F: FnMut(BlockId) -> bool> ExecutionOracle for F {
+    fn branch_taken(&mut self, block: BlockId) -> bool {
+        self(block)
+    }
+}
+
+/// Oracle that always takes (or never takes) branches.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstOracle(pub bool);
+
+impl ExecutionOracle for ConstOracle {
+    fn branch_taken(&mut self, _block: BlockId) -> bool {
+        self.0
+    }
+}
+
+/// Oracle for counted loops: the branch ending a block is taken `trips - 1`
+/// consecutive times, then falls through once, then the counter resets —
+/// the shape of a `do { … } while (--n)` loop executing `trips` iterations
+/// per entry. Blocks without an entry take the default.
+#[derive(Debug, Clone)]
+pub struct TripCountOracle {
+    trips: HashMap<BlockId, u64>,
+    state: HashMap<BlockId, u64>,
+    default_trips: u64,
+}
+
+impl TripCountOracle {
+    /// Create an oracle with a default trip count for unlisted blocks.
+    pub fn new(default_trips: u64) -> TripCountOracle {
+        TripCountOracle {
+            trips: HashMap::new(),
+            state: HashMap::new(),
+            default_trips: default_trips.max(1),
+        }
+    }
+
+    /// Set the trip count of a specific loop block.
+    pub fn with_trips(mut self, block: BlockId, trips: u64) -> TripCountOracle {
+        self.trips.insert(block, trips.max(1));
+        self
+    }
+}
+
+impl ExecutionOracle for TripCountOracle {
+    fn branch_taken(&mut self, block: BlockId) -> bool {
+        let trips = self.trips.get(&block).copied().unwrap_or(self.default_trips);
+        let count = self.state.entry(block).or_insert(0);
+        *count += 1;
+        if *count >= trips {
+            *count = 0;
+            false
+        } else {
+            true
+        }
+    }
+}
+
+/// Why a walk ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkEnd {
+    /// The program reached an exit block.
+    Exited,
+    /// A return executed with an empty call stack (treated as thread exit).
+    ReturnedFromEntry,
+    /// The safety valve tripped.
+    BlockLimit,
+    /// The walk is still in progress.
+    Running,
+}
+
+/// Iterator over the dynamic block sequence of one program run.
+#[derive(Debug)]
+pub struct Walker<'p, O> {
+    program: &'p Program,
+    oracle: O,
+    current: Option<BlockId>,
+    stack: Vec<BlockId>,
+    started: bool,
+    max_blocks: u64,
+    executed: u64,
+    end: WalkEnd,
+}
+
+/// Default safety valve: no realistic workload in this repo exceeds it.
+pub const DEFAULT_MAX_BLOCKS: u64 = 2_000_000_000;
+
+impl<'p, O: ExecutionOracle> Walker<'p, O> {
+    /// Start a walk at the program's entry function.
+    pub fn new(program: &'p Program, oracle: O) -> Walker<'p, O> {
+        let entry = program.function(program.entry()).entry();
+        Walker {
+            program,
+            oracle,
+            current: Some(entry),
+            stack: Vec::new(),
+            started: false,
+            max_blocks: DEFAULT_MAX_BLOCKS,
+            executed: 0,
+            end: WalkEnd::Running,
+        }
+    }
+
+    /// Override the safety valve.
+    pub fn with_max_blocks(mut self, max_blocks: u64) -> Walker<'p, O> {
+        self.max_blocks = max_blocks;
+        self
+    }
+
+    /// Number of blocks yielded so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// How the walk ended ([`WalkEnd::Running`] while in progress).
+    pub fn end(&self) -> WalkEnd {
+        self.end
+    }
+
+    /// Advance to the next executed block.
+    pub fn next_block(&mut self) -> Option<BlockId> {
+        if self.executed >= self.max_blocks {
+            self.end = WalkEnd::BlockLimit;
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            self.executed += 1;
+            return self.current;
+        }
+        let current = self.current?;
+        let next = match self.program.block(current).terminator() {
+            Terminator::Jump(t) => Some(t),
+            Terminator::Branch { taken, fallthrough } => {
+                if self.oracle.branch_taken(current) {
+                    Some(taken)
+                } else {
+                    Some(fallthrough)
+                }
+            }
+            Terminator::Call { callee, return_to } => {
+                self.stack.push(return_to);
+                Some(self.program.function(callee).entry())
+            }
+            Terminator::Ret => match self.stack.pop() {
+                Some(ret) => Some(ret),
+                None => {
+                    self.end = WalkEnd::ReturnedFromEntry;
+                    None
+                }
+            },
+            Terminator::Exit => {
+                self.end = WalkEnd::Exited;
+                None
+            }
+        };
+        self.current = next;
+        if next.is_some() {
+            self.executed += 1;
+        }
+        next
+    }
+}
+
+impl<O: ExecutionOracle> Iterator for Walker<'_, O> {
+    type Item = BlockId;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_block()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProgramBuilder, Ring};
+    use hbbp_isa::instruction::build::*;
+    use hbbp_isa::{Mnemonic, Reg};
+
+    /// `main: b0 -> call leaf -> b1(loop) -> b2(exit)`.
+    fn program() -> (Program, Vec<BlockId>) {
+        let mut b = ProgramBuilder::new("w");
+        let m = b.module("w.bin", Ring::User);
+        let main = b.function(m, "main");
+        let leaf = b.function(m, "leaf");
+
+        let l0 = b.block(leaf);
+        b.push(l0, rr(Mnemonic::Add, Reg::gpr(0), Reg::gpr(1)));
+        b.terminate_ret(l0);
+
+        let b0 = b.block(main);
+        let b1 = b.block(main);
+        let b2 = b.block(main);
+        b.push(b0, ri(Mnemonic::Mov, Reg::gpr(0), 3));
+        b.terminate_call(b0, leaf, b1);
+        b.push(b1, rr(Mnemonic::Sub, Reg::gpr(0), Reg::gpr(1)));
+        b.terminate_branch(b1, Mnemonic::Jnz, b1, b2);
+        b.terminate_exit(b2, bare(Mnemonic::Syscall));
+
+        let p = b.build(main).unwrap();
+        (p, vec![l0, b0, b1, b2])
+    }
+
+    use crate::Program;
+
+    #[test]
+    fn walk_visits_call_and_loop() {
+        let (p, ids) = program();
+        let (l0, b0, b1, b2) = (ids[0], ids[1], ids[2], ids[3]);
+        let oracle = TripCountOracle::new(1).with_trips(b1, 3);
+        let seq: Vec<BlockId> = Walker::new(&p, oracle).collect();
+        assert_eq!(seq, vec![b0, l0, b1, b1, b1, b2]);
+    }
+
+    #[test]
+    fn walk_end_reason() {
+        let (p, ids) = program();
+        let b1 = ids[2];
+        let mut w = Walker::new(&p, TripCountOracle::new(1).with_trips(b1, 2));
+        while w.next_block().is_some() {}
+        assert_eq!(w.end(), WalkEnd::Exited);
+        assert_eq!(w.executed(), 5);
+    }
+
+    #[test]
+    fn block_limit_stops_infinite_loops() {
+        let (p, ids) = program();
+        let b1 = ids[2];
+        // Loop forever.
+        let oracle = move |b: BlockId| b == b1;
+        let mut w = Walker::new(&p, oracle).with_max_blocks(100);
+        let mut n = 0;
+        while w.next_block().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 100);
+        assert_eq!(w.end(), WalkEnd::BlockLimit);
+    }
+
+    #[test]
+    fn const_oracle_never_taken_exits_quickly() {
+        let (p, ids) = program();
+        let seq: Vec<BlockId> = Walker::new(&p, ConstOracle(false)).collect();
+        assert_eq!(seq, vec![ids[1], ids[0], ids[2], ids[3]]);
+    }
+
+    #[test]
+    fn trip_counts_reset_between_entries() {
+        let mut o = TripCountOracle::new(3);
+        let b = BlockId::from_index(0);
+        // First entry: taken, taken, not-taken.
+        assert!(o.branch_taken(b));
+        assert!(o.branch_taken(b));
+        assert!(!o.branch_taken(b));
+        // Second entry: same pattern.
+        assert!(o.branch_taken(b));
+        assert!(o.branch_taken(b));
+        assert!(!o.branch_taken(b));
+    }
+
+    #[test]
+    fn closure_oracle_works() {
+        let (p, ids) = program();
+        let b1 = ids[2];
+        let mut countdown = 2;
+        let oracle = move |b: BlockId| {
+            if b == b1 && countdown > 0 {
+                countdown -= 1;
+                true
+            } else {
+                false
+            }
+        };
+        let seq: Vec<BlockId> = Walker::new(&p, oracle).collect();
+        assert_eq!(seq.iter().filter(|&&b| b == b1).count(), 3);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests: random well-formed programs must lay out, encode,
+//! and rediscover consistently.
+
+use hbbp_isa::instruction::build;
+use hbbp_isa::{Mnemonic, Reg};
+use hbbp_program::{
+    BlockMap, ImageView, Layout, ProgramBuilder, Ring, TextImage, TripCountOracle, Walker,
+};
+use proptest::prelude::*;
+
+/// A recipe for one generated function: a chain of blocks, each with a
+/// body length and a flag for whether it loops back on itself.
+#[derive(Debug, Clone)]
+struct FnRecipe {
+    blocks: Vec<(u8, bool)>,
+}
+
+fn arb_fn() -> impl Strategy<Value = FnRecipe> {
+    proptest::collection::vec((1u8..20, any::<bool>()), 1..8)
+        .prop_map(|blocks| FnRecipe { blocks })
+}
+
+fn filler(i: usize) -> hbbp_isa::Instruction {
+    match i % 4 {
+        0 => build::rr(Mnemonic::Add, Reg::gpr((i % 16) as u8), Reg::gpr(1)),
+        1 => build::rr(Mnemonic::Mov, Reg::gpr(2), Reg::gpr((i % 16) as u8)),
+        2 => build::ri(Mnemonic::Cmp, Reg::gpr(0), i as i32),
+        _ => build::rr(Mnemonic::Xor, Reg::gpr(3), Reg::gpr(4)),
+    }
+}
+
+/// Build a program from recipes: function 0 is the entry; every other
+/// function is called once from the entry chain.
+fn build_program(recipes: &[FnRecipe]) -> hbbp_program::Program {
+    let mut b = ProgramBuilder::new("prop");
+    let m = b.module("prop.bin", Ring::User);
+    let fids: Vec<_> = (0..recipes.len())
+        .map(|i| b.function(m, format!("f{i}")))
+        .collect();
+
+    for (fi, recipe) in recipes.iter().enumerate() {
+        let bids: Vec<_> = recipe.blocks.iter().map(|_| b.block(fids[fi])).collect();
+        for (bi, &(len, self_loop)) in recipe.blocks.iter().enumerate() {
+            let bid = bids[bi];
+            for k in 0..len {
+                b.push(bid, filler(k as usize + bi));
+            }
+            let is_last = bi + 1 == recipe.blocks.len();
+            if is_last {
+                if fi == 0 {
+                    b.terminate_exit(bid, build::bare(Mnemonic::Syscall));
+                } else {
+                    b.terminate_ret(bid);
+                }
+            } else if self_loop {
+                b.terminate_branch(bid, Mnemonic::Jnz, bid, bids[bi + 1]);
+            } else if fi == 0 && bi < recipes.len() - 1 && bi + 1 < recipe.blocks.len() {
+                // Entry function calls other functions along its chain.
+                let callee = fids[(bi + 1) % recipes.len()];
+                if callee != fids[0] {
+                    b.terminate_call(bid, callee, bids[bi + 1]);
+                } else {
+                    b.terminate_jump(bid, bids[bi + 1]);
+                }
+            } else {
+                b.terminate_jump(bid, bids[bi + 1]);
+            }
+        }
+    }
+    b.build(fids[0]).expect("valid generated program")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn discovery_reproduces_program_blocks(recipes in proptest::collection::vec(arb_fn(), 1..5)) {
+        let mut p = build_program(&recipes);
+        let layout = Layout::compute(&mut p).unwrap();
+        let images: Vec<TextImage> = p
+            .modules()
+            .iter()
+            .map(|m| TextImage::encode(&p, &layout, m.id(), ImageView::Disk))
+            .collect();
+        let map = BlockMap::discover(&images, layout.symbols()).unwrap();
+        prop_assert_eq!(map.len(), p.block_count());
+        for block in p.blocks() {
+            let start = layout.block_start(block.id());
+            let idx = map.at_start(start);
+            prop_assert!(idx.is_some(), "block at {:#x} missing", start);
+            let sb = &map.blocks()[idx.unwrap()];
+            prop_assert_eq!(sb.len(), block.len());
+            prop_assert_eq!(sb.instrs.as_slice(), block.instrs());
+        }
+    }
+
+    #[test]
+    fn locate_total_on_instruction_addrs(recipes in proptest::collection::vec(arb_fn(), 1..4)) {
+        let mut p = build_program(&recipes);
+        let layout = Layout::compute(&mut p).unwrap();
+        for block in p.blocks() {
+            for idx in 0..block.len() {
+                let addr = layout.instr_addr(block.id(), idx);
+                prop_assert_eq!(layout.locate(addr), Some((block.id(), idx)));
+            }
+        }
+    }
+
+    #[test]
+    fn walker_terminates_and_counts(recipes in proptest::collection::vec(arb_fn(), 1..4), trips in 1u64..5) {
+        let mut p = build_program(&recipes);
+        let _ = Layout::compute(&mut p).unwrap();
+        let mut walker = Walker::new(&p, TripCountOracle::new(trips)).with_max_blocks(100_000);
+        let mut count = 0u64;
+        while walker.next_block().is_some() {
+            count += 1;
+        }
+        prop_assert_eq!(count, walker.executed());
+        prop_assert!(count >= 1);
+    }
+
+    #[test]
+    fn every_stream_walk_within_a_block_succeeds(recipes in proptest::collection::vec(arb_fn(), 1..4)) {
+        let mut p = build_program(&recipes);
+        let layout = Layout::compute(&mut p).unwrap();
+        let images: Vec<TextImage> = p
+            .modules()
+            .iter()
+            .map(|m| TextImage::encode(&p, &layout, m.id(), ImageView::Live))
+            .collect();
+        let map = BlockMap::discover(&images, layout.symbols()).unwrap();
+        for block in p.blocks() {
+            let start = layout.block_start(block.id());
+            let term = layout.terminator_addr(block.id());
+            let walk = map.walk_stream(start, term);
+            prop_assert!(!walk.derailed);
+            prop_assert_eq!(walk.blocks.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Instruction-specific PMU event support across processor generations.
+//!
+//! Table 2 of the paper documents the *decline* of instruction-specific
+//! computational events on Intel server PMUs ("dictated by a general trend
+//! of reducing PMU complexity", §II.B): Westmere could count most
+//! instruction classes directly, Haswell almost none — which is precisely
+//! why a general mechanism like HBBP is needed. The exact per-cell marks of
+//! the table do not survive text extraction; this matrix encodes the
+//! documented trend (monotone shrinkage, AVX absent before it existed) and
+//! is what `experiments table2` prints.
+
+use crate::EventKind;
+use std::fmt;
+
+/// A simulated PMU generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PmuGeneration {
+    /// Westmere (2010).
+    Westmere,
+    /// Ivy Bridge (2013) — the paper's evaluation machine.
+    IvyBridge,
+    /// Haswell (2015).
+    Haswell,
+}
+
+impl PmuGeneration {
+    /// All generations in chronological order.
+    pub const ALL: [PmuGeneration; 3] = [
+        PmuGeneration::Westmere,
+        PmuGeneration::IvyBridge,
+        PmuGeneration::Haswell,
+    ];
+
+    /// Display name with year, as in Table 2's header.
+    pub fn name(self) -> &'static str {
+        match self {
+            PmuGeneration::Westmere => "Westmere (2010)",
+            PmuGeneration::IvyBridge => "Ivy Bridge (2013)",
+            PmuGeneration::Haswell => "Haswell (2015)",
+        }
+    }
+
+    /// Support status of an instruction-specific event on this generation.
+    pub fn supports(self, event: EventKind) -> Support {
+        use EventKind::*;
+        use PmuGeneration::*;
+        use Support::*;
+        match (self, event) {
+            // Architectural events are always available.
+            (_, InstRetired) | (_, CpuClkUnhalted) => Supported,
+            (_, BrInstRetiredNearTaken) | (_, BrInstRetiredAll) => Supported,
+            // DIV busy cycles: present on Westmere/Ivy Bridge, gone on Haswell.
+            (Westmere, ArithDivCycles) | (IvyBridge, ArithDivCycles) => Supported,
+            (Haswell, ArithDivCycles) => Dropped,
+            // Math SSE FP: counted until Haswell.
+            (Westmere, FpCompOpsSse) | (IvyBridge, FpCompOpsSse) => Supported,
+            (Haswell, FpCompOpsSse) => Dropped,
+            // Math AVX FP: no AVX hardware on Westmere; counted on Ivy
+            // Bridge; dropped on Haswell.
+            (Westmere, SimdFpAvx) => NotApplicable,
+            (IvyBridge, SimdFpAvx) => Supported,
+            (Haswell, SimdFpAvx) => Dropped,
+            // INT SIMD: Westmere only.
+            (Westmere, SimdIntOps) => Supported,
+            (IvyBridge, SimdIntOps) | (Haswell, SimdIntOps) => Dropped,
+            // X87: Westmere and Ivy Bridge.
+            (Westmere, X87Ops) | (IvyBridge, X87Ops) => Supported,
+            (Haswell, X87Ops) => Dropped,
+        }
+    }
+
+    /// Number of instruction-specific events this generation can count.
+    pub fn instruction_specific_count(self) -> usize {
+        EventKind::ALL
+            .iter()
+            .filter(|e| e.is_instruction_specific())
+            .filter(|e| self.supports(**e) == Support::Supported)
+            .count()
+    }
+}
+
+impl fmt::Display for PmuGeneration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Support status of an event on a generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Support {
+    /// The event exists and counts correctly.
+    Supported,
+    /// The event was removed from this generation's PMU.
+    Dropped,
+    /// The instruction class does not exist on this generation.
+    NotApplicable,
+}
+
+impl Support {
+    /// Table-cell mark, Table 2 style.
+    pub fn mark(self) -> &'static str {
+        match self {
+            Support::Supported => "yes",
+            Support::Dropped => "-",
+            Support::NotApplicable => "N/A",
+        }
+    }
+}
+
+impl fmt::Display for Support {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mark())
+    }
+}
+
+/// Render the Table 2 capability matrix as text.
+pub fn capability_table() -> String {
+    let rows: [(&str, EventKind); 5] = [
+        ("DIV (cycles)", EventKind::ArithDivCycles),
+        ("Math SSE FP", EventKind::FpCompOpsSse),
+        ("Math AVX FP", EventKind::SimdFpAvx),
+        ("INT SIMD", EventKind::SimdIntOps),
+        ("X87", EventKind::X87Ops),
+    ];
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:>16} {:>18} {:>15}\n",
+        "", "Westmere (2010)", "Ivy Bridge (2013)", "Haswell (2015)"
+    ));
+    for (label, event) in rows {
+        out.push_str(&format!(
+            "{:<14} {:>16} {:>18} {:>15}\n",
+            label,
+            PmuGeneration::Westmere.supports(event),
+            PmuGeneration::IvyBridge.supports(event),
+            PmuGeneration::Haswell.supports(event),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn support_shrinks_monotonically() {
+        // The documented trend: later generations support fewer
+        // instruction-specific events.
+        let w = PmuGeneration::Westmere.instruction_specific_count();
+        let i = PmuGeneration::IvyBridge.instruction_specific_count();
+        let h = PmuGeneration::Haswell.instruction_specific_count();
+        assert!(w >= i, "Westmere {w} < IvyBridge {i}");
+        assert!(i > h, "IvyBridge {i} <= Haswell {h}");
+        assert_eq!(h, 0, "Haswell should have lost all of them");
+    }
+
+    #[test]
+    fn avx_not_applicable_before_avx_existed() {
+        assert_eq!(
+            PmuGeneration::Westmere.supports(EventKind::SimdFpAvx),
+            Support::NotApplicable
+        );
+        assert_eq!(
+            PmuGeneration::IvyBridge.supports(EventKind::SimdFpAvx),
+            Support::Supported
+        );
+    }
+
+    #[test]
+    fn architectural_events_always_supported() {
+        for gen in PmuGeneration::ALL {
+            assert_eq!(gen.supports(EventKind::InstRetired), Support::Supported);
+            assert_eq!(
+                gen.supports(EventKind::BrInstRetiredNearTaken),
+                Support::Supported
+            );
+        }
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let t = capability_table();
+        for label in ["DIV (cycles)", "Math SSE FP", "Math AVX FP", "INT SIMD", "X87"] {
+            assert!(t.contains(label), "missing row {label}");
+        }
+        assert!(t.contains("N/A"));
+    }
+}

@@ -1,0 +1,735 @@
+//! The CPU execution engine: runs a program, advances time, drives the PMU.
+//!
+//! Execution is *block-stepped*: per-block totals (cycles, event
+//! increments) are precomputed so that blocks in which no counter can
+//! overflow and no sample is in flight cost O(1). Blocks near an overflow,
+//! or traversed while a skidding sample / delayed PMI is pending, fall back
+//! to instruction-level stepping, where the skid/shadow and LBR-delay
+//! models operate.
+
+use crate::{
+    EventCounts, EventKind, LbrEntry, LbrRing, PmuConfig, PmuError, SampleRecord, MAX_COUNTERS,
+};
+use hbbp_isa::{BranchKind, LatencyModel};
+use hbbp_program::{BlockId, ExecutionOracle, Layout, Program, Ring, Terminator, WalkEnd, Walker};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const N_EVENTS: usize = EventKind::ALL.len();
+
+/// Machine-level configuration: frequency and the stabilization knobs the
+/// paper turns off for benchmarking (§VII.A: "we disable frequency scaling,
+/// 'turbo mode' and C-states"; §VII.B: "We disable the NMI watchdog").
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Nominal core frequency in GHz.
+    pub freq_ghz: f64,
+    /// Turbo mode: run-to-run frequency wander (destabilizes timings).
+    pub turbo: bool,
+    /// C-states: wakeup latency noise added to runtimes.
+    pub cstates: bool,
+    /// NMI watchdog: occupies one PMU counter when enabled.
+    pub nmi_watchdog: bool,
+}
+
+impl Default for SystemConfig {
+    /// The paper's stabilized Ivy Bridge: 2.4 GHz, everything noisy off.
+    fn default() -> SystemConfig {
+        SystemConfig {
+            freq_ghz: 2.4,
+            turbo: false,
+            cstates: false,
+            nmi_watchdog: false,
+        }
+    }
+}
+
+/// The simulated CPU.
+#[derive(Debug, Clone, Default)]
+pub struct Cpu {
+    /// System-level configuration.
+    pub system: SystemConfig,
+    /// Instruction timing model.
+    pub latency: LatencyModel,
+    /// Seed for all stochastic hardware behaviour (skid draws, PMI delays,
+    /// LBR quirk, turbo wander). Same seed + same oracle ⇒ identical run.
+    pub seed: u64,
+    /// Thread id stamped into samples.
+    pub tid: u32,
+}
+
+impl Cpu {
+    /// A CPU with a specific seed.
+    pub fn with_seed(seed: u64) -> Cpu {
+        Cpu {
+            seed,
+            ..Cpu::default()
+        }
+    }
+
+    /// Run `program` to completion under `oracle`, with the PMU programmed
+    /// per `pmu`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmuError`] if the PMU programming is invalid (counter
+    /// limits, unsupported events, or the NMI watchdog stealing the last
+    /// counter).
+    pub fn run<O: ExecutionOracle>(
+        &self,
+        program: &Program,
+        layout: &Layout,
+        oracle: O,
+        pmu: &PmuConfig,
+    ) -> Result<RunResult, PmuError> {
+        pmu.validate()?;
+        if self.system.nmi_watchdog && pmu.counters.len() + 1 > MAX_COUNTERS {
+            return Err(PmuError::TooManyCounters {
+                requested: pmu.counters.len() + 1,
+            });
+        }
+        let profs = build_profiles(program, layout, &self.latency);
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let freq_ghz = if self.system.turbo {
+            self.system.freq_ghz * (1.0 + 0.12 * rng.random::<f64>())
+        } else {
+            self.system.freq_ghz
+        };
+        let min_gap_cycles = pmu
+            .max_sample_rate
+            .map(|rate| ((freq_ghz * 1e9) / rate as f64) as u64);
+
+        let mut ctrs: Vec<CtrState> = pmu
+            .counters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| CtrState {
+                index: i as u8,
+                event: c.event,
+                kind_idx: c.event.kind.index(),
+                period: c.period,
+                collect_lbr: c.collect_lbr,
+                value: 0,
+                pending: None,
+                last_sample_cycles: None,
+            })
+            .collect();
+
+        let mut ring = LbrRing::new(pmu.lbr.clone());
+        let mut counts = [0u64; N_EVENTS];
+        let mut out = RunResult {
+            samples: Vec::new(),
+            counts: EventCounts::new(),
+            cycles: 0,
+            overhead_cycles: 0,
+            instructions: 0,
+            taken_branches: 0,
+            blocks_executed: 0,
+            throttled: 0,
+            freq_ghz,
+            end: WalkEnd::Running,
+        };
+        let mut prev_long = false;
+        // Whether the current block was entered through a taken branch
+        // (program entry counts as taken — it is a control transfer).
+        let mut entered_taken = true;
+
+        let mut walker = Walker::new(program, oracle);
+        let mut cur = walker.next_block();
+        while let Some(bid) = cur {
+            let next = walker.next_block();
+            let prof = &profs[bid.index()];
+            out.blocks_executed += 1;
+
+            // Resolve the dynamic branch outcome from the walk itself.
+            let (taken, to_addr) = match prof.term_kind {
+                None => (false, 0),
+                Some(BranchKind::Conditional) => {
+                    let t = next.is_some() && next == prof.taken_target;
+                    let addr = if t {
+                        profs[next.expect("taken").index()].start
+                    } else {
+                        0
+                    };
+                    (t, addr)
+                }
+                Some(_) => match next {
+                    Some(n) => (true, profs[n.index()].start),
+                    None => (false, 0),
+                },
+            };
+
+            let needs_slow = ctrs.iter().any(|c| {
+                c.pending.is_some() || c.value + c.max_increment(prof) >= c.period
+            });
+
+            if !needs_slow {
+                // Fast path: whole-block accounting.
+                out.cycles += prof.cycles;
+                out.instructions += prof.len as u64;
+                for k in 0..N_EVENTS {
+                    counts[k] += prof.incr[k];
+                }
+                if taken {
+                    counts[EventKind::BrInstRetiredNearTaken.index()] += 1;
+                    out.taken_branches += 1;
+                    ring.push(
+                        LbrEntry {
+                            from: prof.term_addr,
+                            to: to_addr,
+                        },
+                        prof.sticky,
+                    );
+                }
+                for c in ctrs.iter_mut() {
+                    c.value += c.block_increment(prof, taken);
+                }
+                prev_long = prof.last_long;
+            } else {
+                // Slow path: instruction-level stepping.
+                let block = program.block(bid);
+                let n = prof.len as usize;
+                for i in 0..n {
+                    let instr = &block.instrs()[i];
+                    let icyc = prof.instr_cycles[i] as u64;
+                    out.cycles += icyc;
+                    out.instructions += 1;
+                    let instr_taken = taken && i == n - 1;
+                    if instr_taken {
+                        out.taken_branches += 1;
+                        ring.push(
+                            LbrEntry {
+                                from: prof.term_addr,
+                                to: to_addr,
+                            },
+                            prof.sticky,
+                        );
+                    }
+                    for kind in EventKind::ALL {
+                        counts[kind.index()] += kind.increment(instr, instr_taken, icyc);
+                    }
+                    for c in ctrs.iter_mut() {
+                        // 1. Let a pending sample resolve on this instruction.
+                        match &mut c.pending {
+                            Some(Pending::Skid { remaining }) => {
+                                let capture = *remaining == 0
+                                    || (i == 0
+                                        && entered_taken
+                                        && pmu.skid.branch_target_captures(&mut rng))
+                                    || pmu.skid.shadow_captures(prev_long, &mut rng);
+                                if capture {
+                                    emit_sample(
+                                        &mut out,
+                                        c,
+                                        prof.instr_addrs[i],
+                                        prof.ring,
+                                        self.tid,
+                                        &ring,
+                                        min_gap_cycles,
+                                        pmu.pmi_cost_cycles,
+                                        &mut rng,
+                                    );
+                                } else {
+                                    *remaining -= 1;
+                                }
+                            }
+                            Some(Pending::LbrDelay { remaining }) => {
+                                if instr_taken {
+                                    if *remaining == 0 {
+                                        emit_sample(
+                                            &mut out,
+                                            c,
+                                            prof.term_addr,
+                                            prof.ring,
+                                            self.tid,
+                                            &ring,
+                                            min_gap_cycles,
+                                            pmu.pmi_cost_cycles,
+                                            &mut rng,
+                                        );
+                                    } else {
+                                        *remaining -= 1;
+                                    }
+                                }
+                            }
+                            None => {}
+                        }
+                        // 2. Advance the counter and arm on overflow.
+                        let inc = c.event.kind.increment(instr, instr_taken, icyc);
+                        c.value += inc;
+                        if inc > 0 && c.value >= c.period {
+                            c.value -= c.period;
+                            if c.pending.is_none() {
+                                c.pending = Some(match c.event.kind {
+                                    EventKind::InstRetired => Pending::Skid {
+                                        remaining: pmu.skid.draw(c.event.precise, &mut rng),
+                                    },
+                                    EventKind::BrInstRetiredNearTaken
+                                    | EventKind::BrInstRetiredAll => Pending::LbrDelay {
+                                        remaining: rng.random_range(0..=2),
+                                    },
+                                    // Other events: PMI attributed right here.
+                                    _ => {
+                                        emit_sample(
+                                            &mut out,
+                                            c,
+                                            prof.instr_addrs[i],
+                                            prof.ring,
+                                            self.tid,
+                                            &ring,
+                                            min_gap_cycles,
+                                            pmu.pmi_cost_cycles,
+                                            &mut rng,
+                                        );
+                                        continue;
+                                    }
+                                });
+                            }
+                        }
+                    }
+                    prev_long = prof.long_lat[i];
+                }
+            }
+            entered_taken = taken;
+            cur = next;
+        }
+        out.end = walker.end();
+
+        if self.system.cstates {
+            // Wakeup latency noise: up to 0.4% extra wall time.
+            let noise = (out.cycles as f64 * 0.004 * rng.random::<f64>()) as u64;
+            out.cycles += noise;
+        }
+        for (kind, total) in EventKind::ALL.iter().zip(counts) {
+            out.counts.add(*kind, total);
+        }
+        Ok(out)
+    }
+
+    /// Run without any sampling (a "clean" run for baseline timing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PmuError`] (cannot occur with the empty configuration).
+    pub fn run_clean<O: ExecutionOracle>(
+        &self,
+        program: &Program,
+        layout: &Layout,
+        oracle: O,
+    ) -> Result<RunResult, PmuError> {
+        self.run(program, layout, oracle, &PmuConfig::counting_only())
+    }
+}
+
+/// Everything one simulated run produces.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Recorded samples, in time order.
+    pub samples: Vec<SampleRecord>,
+    /// Whole-run event totals (counting mode; the PMU cross-check).
+    pub counts: EventCounts,
+    /// Core cycles of the workload itself.
+    pub cycles: u64,
+    /// Extra cycles spent in PMI handlers (collection overhead).
+    pub overhead_cycles: u64,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Retired taken branches.
+    pub taken_branches: u64,
+    /// Executed basic blocks.
+    pub blocks_executed: u64,
+    /// Samples dropped by the rate throttle.
+    pub throttled: u64,
+    /// Effective frequency of this run (GHz; wanders when turbo is on).
+    pub freq_ghz: f64,
+    /// How execution ended.
+    pub end: WalkEnd,
+}
+
+impl RunResult {
+    /// Wall-clock seconds of the *uninstrumented* workload.
+    pub fn clean_seconds(&self) -> f64 {
+        self.cycles as f64 / (self.freq_ghz * 1e9)
+    }
+
+    /// Wall-clock seconds including collection overhead.
+    pub fn wall_seconds(&self) -> f64 {
+        (self.cycles + self.overhead_cycles) as f64 / (self.freq_ghz * 1e9)
+    }
+
+    /// Collection overhead as a fraction of clean runtime.
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.overhead_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Samples produced by counter `index`.
+    pub fn samples_for(&self, index: u8) -> impl Iterator<Item = &SampleRecord> {
+        self.samples.iter().filter(move |s| s.counter == index)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Pending {
+    Skid { remaining: u32 },
+    LbrDelay { remaining: u32 },
+}
+
+#[derive(Debug)]
+struct CtrState {
+    index: u8,
+    event: crate::EventSpec,
+    kind_idx: usize,
+    period: u64,
+    collect_lbr: bool,
+    value: u64,
+    pending: Option<Pending>,
+    last_sample_cycles: Option<u64>,
+}
+
+impl CtrState {
+    /// Largest possible increment this block (fast-path guard).
+    fn max_increment(&self, prof: &Prof) -> u64 {
+        match EventKind::ALL[self.kind_idx] {
+            EventKind::InstRetired => prof.len as u64,
+            EventKind::CpuClkUnhalted => prof.cycles,
+            EventKind::BrInstRetiredNearTaken | EventKind::BrInstRetiredAll => 1,
+            _ => prof.incr[self.kind_idx],
+        }
+    }
+
+    /// Exact whole-block increment on the fast path.
+    fn block_increment(&self, prof: &Prof, taken: bool) -> u64 {
+        match EventKind::ALL[self.kind_idx] {
+            EventKind::BrInstRetiredNearTaken => taken as u64,
+            _ => prof.incr[self.kind_idx],
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_sample(
+    out: &mut RunResult,
+    c: &mut CtrState,
+    ip: u64,
+    ring_level: Ring,
+    tid: u32,
+    lbr: &LbrRing,
+    min_gap_cycles: Option<u64>,
+    pmi_cost: u64,
+    rng: &mut SmallRng,
+) {
+    c.pending = None;
+    if let (Some(gap), Some(last)) = (min_gap_cycles, c.last_sample_cycles) {
+        if out.cycles.saturating_sub(last) < gap {
+            out.throttled += 1;
+            return;
+        }
+    }
+    c.last_sample_cycles = Some(out.cycles);
+    out.overhead_cycles += pmi_cost;
+    out.samples.push(SampleRecord {
+        counter: c.index,
+        event: c.event,
+        ip,
+        time_cycles: out.cycles,
+        ring: ring_level,
+        tid,
+        lbr: c.collect_lbr.then(|| lbr.snapshot(rng)),
+    });
+}
+
+/// Precomputed per-block execution profile.
+struct Prof {
+    start: u64,
+    term_addr: u64,
+    len: u32,
+    cycles: u64,
+    ring: Ring,
+    term_kind: Option<BranchKind>,
+    taken_target: Option<BlockId>,
+    sticky: bool,
+    last_long: bool,
+    incr: [u64; N_EVENTS],
+    instr_addrs: Vec<u64>,
+    instr_cycles: Vec<u32>,
+    long_lat: Vec<bool>,
+}
+
+fn build_profiles(program: &Program, layout: &Layout, latency: &LatencyModel) -> Vec<Prof> {
+    let mut profs = Vec::with_capacity(program.block_count());
+    for block in program.blocks() {
+        let bid = block.id();
+        let n = block.len();
+        let mut instr_addrs = Vec::with_capacity(n);
+        let mut instr_cycles = Vec::with_capacity(n);
+        let mut long_lat = Vec::with_capacity(n);
+        let mut incr = [0u64; N_EVENTS];
+        let mut cycles = 0u64;
+        let term_kind = block.last_instr().and_then(|i| i.branch_kind());
+        for (i, instr) in block.instrs().iter().enumerate() {
+            let icyc = latency.pipelined_cost(instr);
+            instr_addrs.push(layout.instr_addr(bid, i));
+            instr_cycles.push(icyc);
+            long_lat.push(latency.is_long_latency(instr));
+            cycles += icyc as u64;
+            // Static increments: taken-ness resolved at runtime, so the
+            // taken-branch event is excluded here. For the static table we
+            // treat branches as not-taken.
+            for kind in EventKind::ALL {
+                if kind != EventKind::BrInstRetiredNearTaken {
+                    incr[kind.index()] += kind.increment(instr, false, icyc as u64);
+                }
+            }
+        }
+        let taken_target = match block.terminator() {
+            Terminator::Branch { taken, .. } => Some(taken),
+            _ => None,
+        };
+        let term_addr = layout.terminator_addr(bid);
+        let sticky = term_kind == Some(BranchKind::Conditional)
+            && crate::lbr::is_sticky_branch(term_addr);
+        profs.push(Prof {
+            start: layout.block_start(bid),
+            term_addr,
+            len: n as u32,
+            cycles,
+            ring: program.ring_of_block(bid),
+            term_kind,
+            taken_target,
+            sticky,
+            last_long: long_lat.last().copied().unwrap_or(false),
+            incr,
+            instr_addrs,
+            instr_cycles,
+            long_lat,
+        });
+    }
+    profs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CounterConfig, EventSpec};
+    use hbbp_isa::instruction::build::*;
+    use hbbp_isa::{Mnemonic, Reg};
+    use hbbp_program::{ProgramBuilder, TripCountOracle};
+
+    /// A simple loop program: entry -> loop (body_len instrs, `trips`
+    /// iterations) -> exit.
+    fn loop_program(body_len: usize) -> (Program, Layout, BlockId) {
+        let mut b = ProgramBuilder::new("loop");
+        let m = b.module("loop.bin", hbbp_program::Ring::User);
+        let f = b.function(m, "main");
+        let head = b.block(f);
+        let exit = b.block(f);
+        for i in 0..body_len {
+            b.push(head, rr(Mnemonic::Add, Reg::gpr((i % 8) as u8), Reg::gpr(9)));
+        }
+        b.terminate_branch(head, Mnemonic::Jnz, head, exit);
+        b.terminate_exit(exit, bare(Mnemonic::Syscall));
+        let mut p = b.build(f).unwrap();
+        let layout = Layout::compute(&mut p).unwrap();
+        (p, layout, head)
+    }
+
+    #[test]
+    fn instruction_counts_are_exact() {
+        let (p, layout, head) = loop_program(9);
+        let cpu = Cpu::with_seed(1);
+        let trips = 1000;
+        let oracle = TripCountOracle::new(1).with_trips(head, trips);
+        let r = cpu.run_clean(&p, &layout, oracle).unwrap();
+        // head has 10 instrs (9 + Jnz), executed `trips` times; exit has 1.
+        assert_eq!(r.instructions, trips * 10 + 1);
+        assert_eq!(r.counts.get(EventKind::InstRetired), r.instructions);
+        assert_eq!(r.taken_branches, trips - 1);
+        assert_eq!(
+            r.counts.get(EventKind::BrInstRetiredNearTaken),
+            r.taken_branches
+        );
+        assert_eq!(r.counts.get(EventKind::BrInstRetiredAll), trips);
+        assert_eq!(r.blocks_executed, trips + 1);
+        assert_eq!(r.end, WalkEnd::Exited);
+        assert!(r.samples.is_empty());
+    }
+
+    #[test]
+    fn sampling_produces_expected_sample_count() {
+        let (p, layout, head) = loop_program(9);
+        let cpu = Cpu::with_seed(2);
+        let trips = 100_000;
+        let oracle = TripCountOracle::new(1).with_trips(head, trips);
+        let period = 1009;
+        let pmu = PmuConfig {
+            counters: vec![CounterConfig::new(
+                EventSpec::inst_retired_prec_dist(),
+                period,
+            )],
+            max_sample_rate: None,
+            ..PmuConfig::default()
+        };
+        let r = cpu.run(&p, &layout, oracle, &pmu).unwrap();
+        let expected = r.instructions / period;
+        let got = r.samples.len() as u64 + r.throttled;
+        let diff = (expected as i64 - got as i64).abs();
+        assert!(
+            diff <= 2,
+            "expected ≈{expected} samples, got {got} (skid tails can drop a couple)"
+        );
+    }
+
+    #[test]
+    fn fast_and_slow_paths_agree_on_counts() {
+        // Same program: run once with no sampling (all fast path) and once
+        // with period 1 (all slow path); event totals must be identical.
+        let (p, layout, head) = loop_program(7);
+        let cpu = Cpu::with_seed(3);
+        let mk_oracle = || TripCountOracle::new(1).with_trips(head, 500);
+        let clean = cpu.run_clean(&p, &layout, mk_oracle()).unwrap();
+        let pmu = PmuConfig {
+            counters: vec![CounterConfig::new(
+                EventSpec::plain(EventKind::InstRetired),
+                7, // frequent overflow → slow path dominates
+            )],
+            max_sample_rate: Some(10), // throttle hard so sample count is small
+            ..PmuConfig::default()
+        };
+        let sampled = cpu.run(&p, &layout, mk_oracle(), &pmu).unwrap();
+        assert_eq!(clean.instructions, sampled.instructions);
+        assert_eq!(clean.cycles, sampled.cycles);
+        for kind in EventKind::ALL {
+            assert_eq!(
+                clean.counts.get(kind),
+                sampled.counts.get(kind),
+                "{kind} differs between fast and slow paths"
+            );
+        }
+    }
+
+    #[test]
+    fn lbr_samples_carry_stacks() {
+        let (p, layout, head) = loop_program(5);
+        let cpu = Cpu::with_seed(4);
+        let oracle = TripCountOracle::new(1).with_trips(head, 50_000);
+        let pmu = PmuConfig::hbbp_collector(5003, 701);
+        let r = cpu.run(&p, &layout, oracle, &pmu).unwrap();
+        let lbr_samples: Vec<_> = r.samples_for(1).collect();
+        assert!(!lbr_samples.is_empty());
+        for s in &lbr_samples {
+            let stack = s.lbr.as_ref().expect("LBR collected");
+            assert!(stack.len() <= pmu.lbr.stack_depth);
+            assert!(!stack.is_empty());
+            // All branches in this program come from the loop head.
+            for e in stack {
+                assert_eq!(e.from, layout.terminator_addr(head));
+            }
+        }
+        // EBS samples also carry (to-be-discarded) stacks.
+        let ebs: Vec<_> = r.samples_for(0).collect();
+        assert!(!ebs.is_empty());
+        assert!(ebs.iter().all(|s| s.lbr.is_some()));
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_runs() {
+        let (p, layout, head) = loop_program(6);
+        let pmu = PmuConfig::hbbp_collector(997, 199);
+        let run = |seed| {
+            let cpu = Cpu::with_seed(seed);
+            let oracle = TripCountOracle::new(1).with_trips(head, 20_000);
+            cpu.run(&p, &layout, oracle, &pmu).unwrap()
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.cycles, b.cycles);
+        let c = run(8);
+        assert_ne!(a.samples, c.samples, "different seed should perturb");
+    }
+
+    #[test]
+    fn throttle_drops_samples() {
+        let (p, layout, head) = loop_program(5);
+        let cpu = Cpu::with_seed(5);
+        let oracle = TripCountOracle::new(1).with_trips(head, 50_000);
+        let pmu = PmuConfig {
+            counters: vec![CounterConfig::new(
+                EventSpec::inst_retired_prec_dist(),
+                503,
+            )],
+            max_sample_rate: Some(1_000), // very low rate limit
+            ..PmuConfig::default()
+        };
+        let r = cpu.run(&p, &layout, oracle, &pmu).unwrap();
+        assert!(r.throttled > 0, "expected throttling");
+    }
+
+    #[test]
+    fn overhead_scales_with_samples() {
+        let (p, layout, head) = loop_program(9);
+        let cpu = Cpu::with_seed(6);
+        let mk = || TripCountOracle::new(1).with_trips(head, 100_000);
+        let sparse = cpu
+            .run(&p, &layout, mk(), &PmuConfig::hbbp_collector(100_003, 10_007))
+            .unwrap();
+        let dense = cpu
+            .run(&p, &layout, mk(), &PmuConfig::hbbp_collector(1_009, 211))
+            .unwrap();
+        assert!(dense.samples.len() > sparse.samples.len());
+        assert!(dense.overhead_fraction() > sparse.overhead_fraction());
+        assert!(sparse.wall_seconds() > sparse.clean_seconds());
+    }
+
+    #[test]
+    fn turbo_wanders_frequency_and_nmi_steals_a_counter() {
+        let (p, layout, head) = loop_program(4);
+        let mut cpu = Cpu::with_seed(9);
+        cpu.system.turbo = true;
+        let oracle = TripCountOracle::new(1).with_trips(head, 100);
+        let r = cpu.run_clean(&p, &layout, oracle).unwrap();
+        assert!(r.freq_ghz > 2.4);
+
+        cpu.system.nmi_watchdog = true;
+        let mut pmu = PmuConfig::hbbp_collector(1000, 100);
+        pmu.counters.push(CounterConfig::new(
+            EventSpec::plain(EventKind::CpuClkUnhalted),
+            100_000,
+        ));
+        pmu.counters.push(CounterConfig::new(
+            EventSpec::plain(EventKind::FpCompOpsSse),
+            100_000,
+        ));
+        let oracle = TripCountOracle::new(1).with_trips(head, 100);
+        assert!(matches!(
+            cpu.run(&p, &layout, oracle, &pmu),
+            Err(PmuError::TooManyCounters { .. })
+        ));
+    }
+
+    #[test]
+    fn kernel_blocks_sampled_with_kernel_ring() {
+        let mut b = ProgramBuilder::new("k");
+        let km = b.module("prime.ko", hbbp_program::Ring::Kernel);
+        let f = b.function(km, "hello_k");
+        let head = b.block(f);
+        let exit = b.block(f);
+        for i in 0..6 {
+            b.push(head, rr(Mnemonic::Add, Reg::gpr(i), Reg::gpr(7)));
+        }
+        b.terminate_branch(head, Mnemonic::Jnz, head, exit);
+        b.terminate_exit(exit, bare(Mnemonic::Nop));
+        let mut p = b.build(f).unwrap();
+        let layout = Layout::compute(&mut p).unwrap();
+        let cpu = Cpu::with_seed(10);
+        let oracle = TripCountOracle::new(1).with_trips(head, 50_000);
+        let pmu = PmuConfig::hbbp_collector(997, 199);
+        let r = cpu.run(&p, &layout, oracle, &pmu).unwrap();
+        assert!(!r.samples.is_empty());
+        assert!(r.samples.iter().all(|s| s.ring == Ring::Kernel));
+    }
+}

@@ -1,0 +1,334 @@
+//! PMU events and the libpfm4-style event-string parser.
+//!
+//! The paper's tool "optionally works with the libpfm4 library, translating
+//! user-friendly strings to performance event codes" (§V). This module is
+//! that translation layer for the simulated PMU: `"INST_RETIRED:PREC_DIST"`
+//! and `"BR_INST_RETIRED:NEAR_TAKEN"` — the two events HBBP's collector
+//! programs (§V.A) — parse to [`EventSpec`]s.
+
+use hbbp_isa::{Category, Extension, Instruction, Packing};
+use std::fmt;
+use std::str::FromStr;
+
+/// A hardware performance event of the simulated PMU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventKind {
+    /// Every retired instruction.
+    InstRetired,
+    /// Unhalted core cycles.
+    CpuClkUnhalted,
+    /// Retired taken near branches (the LBR sampling event).
+    BrInstRetiredNearTaken,
+    /// All retired near branches, taken or not.
+    BrInstRetiredAll,
+    /// Computational SSE FP operations ("Math SSE FP" row of Table 2).
+    FpCompOpsSse,
+    /// Computational AVX FP operations ("Math AVX FP" row of Table 2).
+    SimdFpAvx,
+    /// Divider busy cycles ("DIV (cycles)" row of Table 2).
+    ArithDivCycles,
+    /// Packed integer SIMD operations ("INT SIMD" row of Table 2).
+    SimdIntOps,
+    /// x87 computational operations ("X87" row of Table 2).
+    X87Ops,
+}
+
+impl EventKind {
+    /// All event kinds.
+    pub const ALL: [EventKind; 9] = [
+        EventKind::InstRetired,
+        EventKind::CpuClkUnhalted,
+        EventKind::BrInstRetiredNearTaken,
+        EventKind::BrInstRetiredAll,
+        EventKind::FpCompOpsSse,
+        EventKind::SimdFpAvx,
+        EventKind::ArithDivCycles,
+        EventKind::SimdIntOps,
+        EventKind::X87Ops,
+    ];
+
+    /// Dense index of this event in [`EventKind::ALL`] (used for per-block
+    /// increment tables in the simulator's fast path).
+    pub fn index(self) -> usize {
+        match self {
+            EventKind::InstRetired => 0,
+            EventKind::CpuClkUnhalted => 1,
+            EventKind::BrInstRetiredNearTaken => 2,
+            EventKind::BrInstRetiredAll => 3,
+            EventKind::FpCompOpsSse => 4,
+            EventKind::SimdFpAvx => 5,
+            EventKind::ArithDivCycles => 6,
+            EventKind::SimdIntOps => 7,
+            EventKind::X87Ops => 8,
+        }
+    }
+
+    /// Canonical event-string name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::InstRetired => "INST_RETIRED",
+            EventKind::CpuClkUnhalted => "CPU_CLK_UNHALTED",
+            EventKind::BrInstRetiredNearTaken => "BR_INST_RETIRED:NEAR_TAKEN",
+            EventKind::BrInstRetiredAll => "BR_INST_RETIRED:ALL_BRANCHES",
+            EventKind::FpCompOpsSse => "FP_COMP_OPS_EXE:SSE_FP",
+            EventKind::SimdFpAvx => "SIMD_FP_256:PACKED",
+            EventKind::ArithDivCycles => "ARITH:FPU_DIV_ACTIVE",
+            EventKind::SimdIntOps => "SIMD_INT_128:ALL",
+            EventKind::X87Ops => "FP_COMP_OPS_EXE:X87",
+        }
+    }
+
+    /// Whether this is one of the instruction-specific computational events
+    /// whose availability Table 2 tracks across PMU generations.
+    pub fn is_instruction_specific(self) -> bool {
+        matches!(
+            self,
+            EventKind::FpCompOpsSse
+                | EventKind::SimdFpAvx
+                | EventKind::ArithDivCycles
+                | EventKind::SimdIntOps
+                | EventKind::X87Ops
+        )
+    }
+
+    /// How much this event's counter advances when `instr` retires.
+    ///
+    /// `branch_taken` reports whether the instruction was a taken branch
+    /// (only meaningful for branch instructions); `cycles` is the
+    /// instruction's cycle cost under the active latency model.
+    pub fn increment(self, instr: &Instruction, branch_taken: bool, cycles: u64) -> u64 {
+        match self {
+            EventKind::InstRetired => 1,
+            EventKind::CpuClkUnhalted => cycles,
+            EventKind::BrInstRetiredNearTaken => (instr.is_branch() && branch_taken) as u64,
+            EventKind::BrInstRetiredAll => instr.is_branch() as u64,
+            EventKind::FpCompOpsSse => {
+                (instr.extension() == Extension::Sse
+                    && instr.category().is_computational()
+                    && instr.element().is_float()) as u64
+            }
+            EventKind::SimdFpAvx => {
+                (instr.extension() == Extension::Avx
+                    && instr.category().is_computational()
+                    && instr.packing() == Packing::Packed) as u64
+            }
+            EventKind::ArithDivCycles => {
+                if instr.category() == Category::Div {
+                    cycles
+                } else {
+                    0
+                }
+            }
+            EventKind::SimdIntOps => {
+                ((instr.extension() == Extension::Sse || instr.extension() == Extension::Avx2)
+                    && instr.packing() == Packing::Packed
+                    && !instr.element().is_float()
+                    && instr.category().is_computational()) as u64
+            }
+            EventKind::X87Ops => {
+                (instr.extension() == Extension::X87 && instr.category().is_computational())
+                    as u64
+            }
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fully specified event: kind plus the precision flag.
+///
+/// On the simulated PMU, as on real hardware, only `INST_RETIRED` offers a
+/// precisely-distributed variant (`:PREC_DIST`), and the paper notes it
+/// "can only be enabled on one of the available PMU counters" — a
+/// constraint [`crate::Pmu`] enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventSpec {
+    /// The event to count.
+    pub kind: EventKind,
+    /// Request the precise (PEBS/PREC_DIST-style) variant.
+    pub precise: bool,
+}
+
+impl EventSpec {
+    /// Plain (imprecise) event.
+    pub fn plain(kind: EventKind) -> EventSpec {
+        EventSpec {
+            kind,
+            precise: false,
+        }
+    }
+
+    /// Precise variant of an event.
+    pub fn precise(kind: EventKind) -> EventSpec {
+        EventSpec {
+            kind,
+            precise: true,
+        }
+    }
+
+    /// The paper's EBS collection event: `INST_RETIRED:PREC_DIST`.
+    pub fn inst_retired_prec_dist() -> EventSpec {
+        EventSpec::precise(EventKind::InstRetired)
+    }
+
+    /// The paper's LBR collection event: `BR_INST_RETIRED:NEAR_TAKEN`.
+    pub fn br_inst_retired_near_taken() -> EventSpec {
+        EventSpec::plain(EventKind::BrInstRetiredNearTaken)
+    }
+}
+
+impl fmt::Display for EventSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.precise && self.kind == EventKind::InstRetired {
+            write!(f, "INST_RETIRED:PREC_DIST")
+        } else if self.precise {
+            write!(f, "{}:PRECISE", self.kind)
+        } else {
+            write!(f, "{}", self.kind)
+        }
+    }
+}
+
+/// Error from parsing an event string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEventError {
+    spelling: String,
+}
+
+impl fmt::Display for ParseEventError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown event string `{}`", self.spelling)
+    }
+}
+
+impl std::error::Error for ParseEventError {}
+
+impl FromStr for EventSpec {
+    type Err = ParseEventError;
+
+    /// Parse a libpfm4-style event string.
+    ///
+    /// ```
+    /// use hbbp_sim::EventSpec;
+    /// let ebs: EventSpec = "INST_RETIRED:PREC_DIST".parse()?;
+    /// assert!(ebs.precise);
+    /// let lbr: EventSpec = "BR_INST_RETIRED:NEAR_TAKEN".parse()?;
+    /// assert!(!lbr.precise);
+    /// # Ok::<(), hbbp_sim::ParseEventError>(())
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseEventError {
+            spelling: s.to_owned(),
+        };
+        match s {
+            "INST_RETIRED" | "INST_RETIRED:ANY" => Ok(EventSpec::plain(EventKind::InstRetired)),
+            "INST_RETIRED:PREC_DIST" => Ok(EventSpec::precise(EventKind::InstRetired)),
+            "CPU_CLK_UNHALTED" | "CPU_CLK_UNHALTED:THREAD" => {
+                Ok(EventSpec::plain(EventKind::CpuClkUnhalted))
+            }
+            "BR_INST_RETIRED:NEAR_TAKEN" => {
+                Ok(EventSpec::plain(EventKind::BrInstRetiredNearTaken))
+            }
+            "BR_INST_RETIRED:ALL_BRANCHES" => Ok(EventSpec::plain(EventKind::BrInstRetiredAll)),
+            "FP_COMP_OPS_EXE:SSE_FP" => Ok(EventSpec::plain(EventKind::FpCompOpsSse)),
+            "SIMD_FP_256:PACKED" | "SIMD_FP_256:PACKED_SINGLE" => {
+                Ok(EventSpec::plain(EventKind::SimdFpAvx))
+            }
+            "ARITH:FPU_DIV_ACTIVE" | "ARITH:DIV" => Ok(EventSpec::plain(EventKind::ArithDivCycles)),
+            "SIMD_INT_128:ALL" => Ok(EventSpec::plain(EventKind::SimdIntOps)),
+            "FP_COMP_OPS_EXE:X87" => Ok(EventSpec::plain(EventKind::X87Ops)),
+            _ => Err(err()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbbp_isa::instruction::build::*;
+    use hbbp_isa::{Mnemonic, Reg};
+
+    #[test]
+    fn paper_events_parse() {
+        assert_eq!(
+            "INST_RETIRED:PREC_DIST".parse::<EventSpec>().unwrap(),
+            EventSpec::inst_retired_prec_dist()
+        );
+        assert_eq!(
+            "BR_INST_RETIRED:NEAR_TAKEN".parse::<EventSpec>().unwrap(),
+            EventSpec::br_inst_retired_near_taken()
+        );
+        assert!("NOT_AN_EVENT".parse::<EventSpec>().is_err());
+    }
+
+    #[test]
+    fn display_roundtrip_for_paper_events() {
+        let e = EventSpec::inst_retired_prec_dist();
+        assert_eq!(e.to_string().parse::<EventSpec>().unwrap(), e);
+        let b = EventSpec::br_inst_retired_near_taken();
+        assert_eq!(b.to_string().parse::<EventSpec>().unwrap(), b);
+    }
+
+    #[test]
+    fn inst_retired_counts_everything() {
+        let add = rr(Mnemonic::Add, Reg::gpr(0), Reg::gpr(1));
+        assert_eq!(EventKind::InstRetired.increment(&add, false, 1), 1);
+        let jz = bare(Mnemonic::Jz);
+        assert_eq!(EventKind::InstRetired.increment(&jz, true, 1), 1);
+    }
+
+    #[test]
+    fn taken_branch_event_requires_taken() {
+        let jz = bare(Mnemonic::Jz);
+        assert_eq!(
+            EventKind::BrInstRetiredNearTaken.increment(&jz, true, 1),
+            1
+        );
+        assert_eq!(
+            EventKind::BrInstRetiredNearTaken.increment(&jz, false, 1),
+            0
+        );
+        let add = rr(Mnemonic::Add, Reg::gpr(0), Reg::gpr(1));
+        assert_eq!(
+            EventKind::BrInstRetiredNearTaken.increment(&add, true, 1),
+            0
+        );
+        assert_eq!(EventKind::BrInstRetiredAll.increment(&jz, false, 1), 1);
+    }
+
+    #[test]
+    fn instruction_specific_events_filter_by_class() {
+        let addps = rr(Mnemonic::Addps, Reg::xmm(0), Reg::xmm(1));
+        let vaddps = rr(Mnemonic::Vaddps, Reg::ymm(0), Reg::ymm(1));
+        let fadd = rr(Mnemonic::Fadd, Reg::st(0), Reg::st(1));
+        let paddd = rr(Mnemonic::Paddd, Reg::xmm(0), Reg::xmm(1));
+        let movaps = rr(Mnemonic::Movaps, Reg::xmm(0), Reg::xmm(1));
+
+        assert_eq!(EventKind::FpCompOpsSse.increment(&addps, false, 3), 1);
+        assert_eq!(EventKind::FpCompOpsSse.increment(&vaddps, false, 3), 0);
+        assert_eq!(EventKind::FpCompOpsSse.increment(&movaps, false, 1), 0);
+        assert_eq!(EventKind::SimdFpAvx.increment(&vaddps, false, 3), 1);
+        assert_eq!(EventKind::X87Ops.increment(&fadd, false, 5), 1);
+        assert_eq!(EventKind::SimdIntOps.increment(&paddd, false, 1), 1);
+        assert_eq!(EventKind::SimdIntOps.increment(&addps, false, 3), 0);
+    }
+
+    #[test]
+    fn div_event_counts_cycles() {
+        let div = bare(Mnemonic::Idiv);
+        assert_eq!(EventKind::ArithDivCycles.increment(&div, false, 26), 26);
+        let add = bare(Mnemonic::Add);
+        assert_eq!(EventKind::ArithDivCycles.increment(&add, false, 1), 0);
+    }
+
+    #[test]
+    fn cycles_event_counts_cycles() {
+        let add = bare(Mnemonic::Add);
+        assert_eq!(EventKind::CpuClkUnhalted.increment(&add, false, 7), 7);
+    }
+
+}

@@ -1,0 +1,368 @@
+//! The Last Branch Record facility, including the entry[0] bias quirk.
+//!
+//! Paper §III.B-C: the LBR is "a circular hardware buffer, continually
+//! filled with executed branches"; a snapshot is "a stack of 16 entries",
+//! each a source→target pair. The paper's key discovery is an anomaly:
+//! "a particular branch occurring a disproportionate number of times (even
+//! up to 50% of the time) in entry[0] of the LBR stack", whose stream
+//! (`<Target[-1], Source[0]>` does not exist) must be dropped, distorting
+//! BBECs.¹
+//!
+//! The quirk is modelled mechanistically: the hardware keeps a deeper
+//! internal history than it reports; branches with a *sticky*
+//! micro-architectural property (short backward conditional branches at
+//! unlucky code alignments — a deterministic predicate over the laid-out
+//! code, standing in for the real erratum) cause the reported 16-entry
+//! window to align on them with configurable probability, which puts the
+//! sticky branch in entry[0] (the oldest reported slot).
+//!
+//! ¹ The paper notes the anomaly was reported to the manufacturer and fixed
+//! in later designs; [`LbrQuirk::disabled`] models those.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// One LBR record: a taken branch's source and target addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LbrEntry {
+    /// Address of the branch instruction.
+    pub from: u64,
+    /// Address execution landed on.
+    pub to: u64,
+}
+
+/// Cache-line-ish granularity of the sticky-branch erratum.
+pub const STICKY_ALIGN: u64 = 64;
+/// Width of the unlucky alignment window within [`STICKY_ALIGN`].
+pub const STICKY_WINDOW: u64 = 8;
+
+/// The *sticky* micro-architectural predicate: conditional branches
+/// sitting at an unlucky code alignment trigger the entry\[0\] capture
+/// quirk. Deterministic over the laid-out code, standing in for the
+/// physical erratum the paper reported to the manufacturer (§III.C
+/// footnote).
+pub fn is_sticky_branch(branch_addr: u64) -> bool {
+    branch_addr % STICKY_ALIGN < STICKY_WINDOW
+}
+
+/// Parameters of the entry[0] bias quirk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LbrQuirk {
+    /// Whether the quirk is active (Ivy Bridge-era hardware: yes).
+    pub enabled: bool,
+    /// Probability that a sticky branch in the eligible region captures
+    /// entry[0] of a snapshot (the paper observed rates up to ~50%).
+    pub entry0_prob: f64,
+    /// How many positions before the default window the hardware may
+    /// mis-align by.
+    pub window_slack: usize,
+    /// The erratum fires only when the sticky branch's record is about to
+    /// age out of the internal buffer: at most this many occurrences in
+    /// the ring. Tight loops (many fresh duplicates) are immune; long
+    /// loop bodies are exposed.
+    pub max_ring_occurrences: usize,
+}
+
+impl Default for LbrQuirk {
+    fn default() -> LbrQuirk {
+        LbrQuirk {
+            enabled: true,
+            entry0_prob: 0.6,
+            window_slack: 15,
+            max_ring_occurrences: 5,
+        }
+    }
+}
+
+impl LbrQuirk {
+    /// Fixed hardware (post-erratum designs): no bias.
+    pub fn disabled() -> LbrQuirk {
+        LbrQuirk {
+            enabled: false,
+            ..LbrQuirk::default()
+        }
+    }
+}
+
+/// LBR configuration: reported depth plus the quirk model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LbrConfig {
+    /// Entries per reported stack (16 on the paper's hardware; 8/32 in
+    /// ablations).
+    pub stack_depth: usize,
+    /// The bias quirk.
+    pub quirk: LbrQuirk,
+}
+
+impl Default for LbrConfig {
+    fn default() -> LbrConfig {
+        LbrConfig {
+            stack_depth: 16,
+            quirk: LbrQuirk::default(),
+        }
+    }
+}
+
+/// The in-flight LBR ring: deeper than the reported stack so the quirk can
+/// mis-align the reported window.
+#[derive(Debug, Clone)]
+pub struct LbrRing {
+    entries: Vec<(LbrEntry, bool)>, // (entry, sticky)
+    head: usize,
+    len: usize,
+    capacity: usize,
+    config: LbrConfig,
+}
+
+impl LbrRing {
+    /// Create an empty ring for the given configuration.
+    pub fn new(config: LbrConfig) -> LbrRing {
+        let capacity = config.stack_depth + config.quirk.window_slack + 1;
+        LbrRing {
+            entries: vec![
+                (
+                    LbrEntry { from: 0, to: 0 },
+                    false
+                );
+                capacity
+            ],
+            head: 0,
+            len: 0,
+            capacity,
+            config,
+        }
+    }
+
+    /// Record a retired taken branch.
+    pub fn push(&mut self, entry: LbrEntry, sticky: bool) {
+        self.entries[self.head] = (entry, sticky);
+        self.head = (self.head + 1) % self.capacity;
+        if self.len < self.capacity {
+            self.len += 1;
+        }
+    }
+
+    /// Number of branches currently recorded (saturates at capacity).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no branches have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Entry at logical position `i` (0 = oldest retained).
+    fn at(&self, i: usize) -> (LbrEntry, bool) {
+        debug_assert!(i < self.len);
+        let idx = (self.head + self.capacity - self.len + i) % self.capacity;
+        self.entries[idx]
+    }
+
+    /// Take a snapshot as delivered by the PMI handler: up to
+    /// `stack_depth` entries, **oldest first** (entry[0] = oldest), with
+    /// the bias quirk applied.
+    pub fn snapshot(&self, rng: &mut SmallRng) -> Vec<LbrEntry> {
+        let depth = self.config.stack_depth;
+        if self.len == 0 {
+            return Vec::new();
+        }
+        let n = self.len;
+        let reported = depth.min(n);
+        // Default window: the newest `reported` entries.
+        let mut start = n - reported;
+        if self.config.quirk.enabled && n > reported {
+            // Eligible region: up to `window_slack` positions older than the
+            // default window start. A sticky branch grabs the window with
+            // the configured probability — but only when its record is
+            // about to age out of the internal buffer (≤ 2 occurrences):
+            // branches that dominate the ring (tight loops) have fresh
+            // duplicates and are unaffected, which is why the paper's
+            // anomaly surfaces on long loop bodies.
+            let oldest = start.saturating_sub(self.config.quirk.window_slack);
+            for p in oldest..start {
+                let (entry, sticky) = self.at(p);
+                if !sticky {
+                    continue;
+                }
+                let occurrences = (0..n).filter(|&i| self.at(i).0.from == entry.from).count();
+                if occurrences <= self.config.quirk.max_ring_occurrences
+                    && rng.random::<f64>() < self.config.quirk.entry0_prob
+                {
+                    start = p;
+                    break;
+                }
+            }
+        }
+        (start..start + reported).map(|i| self.at(i).0).collect()
+    }
+
+    /// The configuration this ring was built with.
+    pub fn config(&self) -> &LbrConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn entry(i: u64) -> LbrEntry {
+        LbrEntry {
+            from: 0x1000 + i * 0x10,
+            to: 0x2000 + i * 0x10,
+        }
+    }
+
+    #[test]
+    fn snapshot_is_oldest_first_last_16() {
+        let mut ring = LbrRing::new(LbrConfig {
+            quirk: LbrQuirk::disabled(),
+            ..LbrConfig::default()
+        });
+        for i in 0..40 {
+            ring.push(entry(i), false);
+        }
+        let mut rng = SmallRng::seed_from_u64(0);
+        let snap = ring.snapshot(&mut rng);
+        assert_eq!(snap.len(), 16);
+        // Newest entry is number 39; oldest reported is 24.
+        assert_eq!(snap[0], entry(24));
+        assert_eq!(snap[15], entry(39));
+    }
+
+    #[test]
+    fn partial_ring_reports_what_exists() {
+        let mut ring = LbrRing::new(LbrConfig::default());
+        for i in 0..5 {
+            ring.push(entry(i), false);
+        }
+        let mut rng = SmallRng::seed_from_u64(0);
+        let snap = ring.snapshot(&mut rng);
+        assert_eq!(snap.len(), 5);
+        assert_eq!(snap[0], entry(0));
+        assert_eq!(snap[4], entry(4));
+    }
+
+    #[test]
+    fn empty_ring_snapshot_is_empty() {
+        let ring = LbrRing::new(LbrConfig::default());
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(ring.snapshot(&mut rng).is_empty());
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn sticky_branch_dominates_entry0() {
+        // A long loop body of 24 distinct branches, one sticky: the sticky
+        // record appears 1-2 times in the internal ring (about to age out),
+        // which is the regime the erratum fires in. It should then occupy
+        // entry[0] far more often than the fair share of 1/24.
+        let config = LbrConfig::default();
+        let mut ring = LbrRing::new(config);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let sticky_id = 3u64;
+        let mut entry0_sticky = 0;
+        let rounds = 4000;
+        for r in 0..rounds {
+            // push one loop iteration (24 branches)
+            for i in 0..24u64 {
+                ring.push(entry(i), i == sticky_id);
+            }
+            if r < 3 {
+                continue; // warm up
+            }
+            let snap = ring.snapshot(&mut rng);
+            assert_eq!(snap.len(), 16);
+            if snap[0] == entry(sticky_id) {
+                entry0_sticky += 1;
+            }
+        }
+        // With the default quirk (p=0.6, slack 15) the capture rate lands
+        // near the quirk probability when the sticky branch sits in the
+        // eligible region — the paper's "up to 50% of the time".
+        let rate = entry0_sticky as f64 / (rounds - 3) as f64;
+        assert!(
+            rate > 0.30,
+            "sticky entry0 rate {rate} too low for bias detection"
+        );
+        assert!(rate < 0.95, "sticky entry0 rate {rate} implausibly high");
+    }
+
+    #[test]
+    fn tight_loop_sticky_branch_is_immune() {
+        // In a 4-branch loop the sticky record has many fresh duplicates in
+        // the ring, so the erratum does not fire and entry[0] occupancy
+        // stays at its structural value.
+        let mut ring = LbrRing::new(LbrConfig::default());
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut with_quirk = 0u32;
+        let rounds = 2000;
+        for r in 0..rounds {
+            for i in 0..4u64 {
+                ring.push(entry(i), i == 1);
+            }
+            if r < 8 {
+                continue;
+            }
+            // Compare against a quirk-disabled ring fed identically.
+            let snap = ring.snapshot(&mut rng);
+            if snap[0] == entry(1) {
+                with_quirk += 1;
+            }
+        }
+        // 16 % 4 == 0 → the default window always starts at the same loop
+        // position; the quirk must not perturb it.
+        let rate = with_quirk as f64 / (rounds - 8) as f64;
+        assert!(
+            rate == 0.0 || rate == 1.0,
+            "tight-loop entry0 must stay deterministic, got {rate}"
+        );
+    }
+
+    #[test]
+    fn no_quirk_no_bias() {
+        let config = LbrConfig {
+            quirk: LbrQuirk::disabled(),
+            ..LbrConfig::default()
+        };
+        let mut ring = LbrRing::new(config);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut entry0_sticky = 0;
+        let rounds = 4000;
+        for r in 0..rounds {
+            for i in 0..8u64 {
+                ring.push(entry(i), i == 3);
+            }
+            if r < 3 {
+                continue;
+            }
+            let snap = ring.snapshot(&mut rng);
+            if snap[0] == entry(3) {
+                entry0_sticky += 1;
+            }
+        }
+        // 16 % 8 == 0, so the default window always starts at the same loop
+        // position; what matters is the rate differs hugely from the quirky
+        // case only through alignment, never through stickiness. With 8
+        // branches per iteration and depth 16, entry[0] is always the same
+        // branch modulo alignment — make sure stickiness specifically did
+        // not shift the window (the window start is deterministic).
+        let rate = entry0_sticky as f64 / (rounds - 3) as f64;
+        assert!(rate == 0.0 || rate == 1.0, "deterministic without quirk");
+    }
+
+    #[test]
+    fn custom_depth_respected() {
+        let mut ring = LbrRing::new(LbrConfig {
+            stack_depth: 8,
+            quirk: LbrQuirk::disabled(),
+        });
+        for i in 0..30 {
+            ring.push(entry(i), false);
+        }
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(ring.snapshot(&mut rng).len(), 8);
+    }
+}

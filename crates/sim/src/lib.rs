@@ -1,0 +1,41 @@
+//! # hbbp-sim — the simulated CPU and Performance Monitoring Unit
+//!
+//! The paper's measurements run on a physical Ivy Bridge Xeon; this crate
+//! is that machine's stand-in. It executes [`hbbp_program::Program`]s
+//! block-by-block with a coarse cycle model and implements the PMU
+//! behaviours HBBP exists to correct for:
+//!
+//! * **EBS skid & shadowing** ([`SkidModel`]): sampled IPs are displaced
+//!   forward along the retirement stream and pile up after long-latency
+//!   instructions (§III.A of the paper);
+//! * **LBR and its entry\[0\] bias** ([`LbrRing`], [`LbrQuirk`]): 16-entry
+//!   source→target stacks whose oldest reported entry is disproportionately
+//!   captured by "sticky" branches (§III.C);
+//! * **event programming** ([`EventSpec`], libpfm4-style string parsing)
+//!   with per-generation capability validation ([`PmuGeneration`],
+//!   Table 2), counter limits, precise-event exclusivity, PMI cost
+//!   accounting and sample-rate throttling ([`PmuConfig`]);
+//! * **system stabilization** ([`SystemConfig`]): turbo, C-states and the
+//!   NMI watchdog, which the paper disables for its experiments (§VII).
+//!
+//! Everything is deterministic per seed, so the collector and the
+//! instrumentation ground truth observe the same execution.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod capabilities;
+pub mod cpu;
+pub mod event;
+pub mod lbr;
+pub mod pmu;
+pub mod skid;
+
+pub use capabilities::{capability_table, PmuGeneration, Support};
+pub use cpu::{Cpu, RunResult, SystemConfig};
+pub use event::{EventKind, EventSpec, ParseEventError};
+pub use lbr::{is_sticky_branch, LbrConfig, LbrEntry, LbrQuirk, LbrRing, STICKY_ALIGN, STICKY_WINDOW};
+pub use pmu::{
+    CounterConfig, EventCounts, PmuConfig, PmuError, SampleRecord, MAX_COUNTERS,
+};
+pub use skid::SkidModel;

@@ -1,0 +1,335 @@
+//! PMU programming: counters, sampling configuration, sample records.
+
+use crate::{EventKind, EventSpec, LbrConfig, LbrEntry, PmuGeneration, SkidModel, Support};
+use hbbp_program::Ring;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Number of general-purpose counters per core (Ivy Bridge has 4 with
+/// hyper-threading enabled).
+pub const MAX_COUNTERS: usize = 4;
+
+/// One programmed sampling counter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterConfig {
+    /// Event to sample on.
+    pub event: EventSpec,
+    /// Sampling period (overflow threshold).
+    pub period: u64,
+    /// Capture LBR stacks with each sample (the paper runs *both* its
+    /// collections in LBR mode, §V.A).
+    pub collect_lbr: bool,
+}
+
+impl CounterConfig {
+    /// Sample `event` every `period` occurrences, without LBR capture.
+    pub fn new(event: EventSpec, period: u64) -> CounterConfig {
+        CounterConfig {
+            event,
+            period,
+            collect_lbr: false,
+        }
+    }
+
+    /// Enable LBR capture on this counter.
+    pub fn with_lbr(mut self) -> CounterConfig {
+        self.collect_lbr = true;
+        self
+    }
+}
+
+/// Full PMU programming for a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PmuConfig {
+    /// Sampling counters (≤ [`MAX_COUNTERS`], ≤ 1 precise).
+    pub counters: Vec<CounterConfig>,
+    /// LBR facility configuration.
+    pub lbr: LbrConfig,
+    /// EBS skid/shadow model.
+    pub skid: SkidModel,
+    /// Per-counter sample-rate throttle (samples/second of simulated time),
+    /// mirroring `perf_event_max_sample_rate`. The paper §VII.B: "we adjust
+    /// the maximum sample rate of perf in order to avoid overloading the
+    /// system with samples (throttling), which could generate incorrect
+    /// results".
+    pub max_sample_rate: Option<u64>,
+    /// PMU generation (validates instruction-specific events, Table 2).
+    pub generation: PmuGeneration,
+    /// Cycle cost of one Performance Monitoring Interrupt (collection
+    /// overhead accounting).
+    pub pmi_cost_cycles: u64,
+}
+
+impl Default for PmuConfig {
+    fn default() -> PmuConfig {
+        PmuConfig {
+            counters: Vec::new(),
+            lbr: LbrConfig::default(),
+            skid: SkidModel::default(),
+            max_sample_rate: Some(100_000),
+            generation: PmuGeneration::IvyBridge,
+            pmi_cost_cycles: 2_400, // ~1 µs at 2.4 GHz
+        }
+    }
+}
+
+impl PmuConfig {
+    /// No sampling at all (a "clean" run).
+    pub fn counting_only() -> PmuConfig {
+        PmuConfig::default()
+    }
+
+    /// The paper's HBBP collector setup (§V.A): two counters, both in LBR
+    /// mode — `INST_RETIRED:PREC_DIST` (EBS source; stacks discarded at
+    /// analysis) and `BR_INST_RETIRED:NEAR_TAKEN` (LBR source; eventing IP
+    /// discarded at analysis).
+    ///
+    /// The throttle is lifted, mirroring §VII.B: "we adjust the maximum
+    /// sample rate of perf in order to avoid overloading the system with
+    /// samples (throttling), which could generate incorrect results".
+    pub fn hbbp_collector(ebs_period: u64, lbr_period: u64) -> PmuConfig {
+        PmuConfig {
+            counters: vec![
+                CounterConfig::new(EventSpec::inst_retired_prec_dist(), ebs_period).with_lbr(),
+                CounterConfig::new(EventSpec::br_inst_retired_near_taken(), lbr_period)
+                    .with_lbr(),
+            ],
+            max_sample_rate: None,
+            ..PmuConfig::default()
+        }
+    }
+
+    /// Validate counter constraints against the PMU model.
+    ///
+    /// # Errors
+    ///
+    /// * more than [`MAX_COUNTERS`] counters;
+    /// * more than one precise counter (the paper: precise events "can only
+    ///   be enabled on one of the available PMU counters");
+    /// * a zero period;
+    /// * an event the configured generation cannot count.
+    pub fn validate(&self) -> Result<(), PmuError> {
+        if self.counters.len() > MAX_COUNTERS {
+            return Err(PmuError::TooManyCounters {
+                requested: self.counters.len(),
+            });
+        }
+        let precise = self.counters.iter().filter(|c| c.event.precise).count();
+        if precise > 1 {
+            return Err(PmuError::MultiplePrecise { requested: precise });
+        }
+        for c in &self.counters {
+            if c.period == 0 {
+                return Err(PmuError::ZeroPeriod { event: c.event });
+            }
+            if self.generation.supports(c.event.kind) != Support::Supported {
+                return Err(PmuError::UnsupportedEvent {
+                    event: c.event,
+                    generation: self.generation,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// PMU programming errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PmuError {
+    /// More counters than the hardware has.
+    TooManyCounters {
+        /// Number of counters requested.
+        requested: usize,
+    },
+    /// More than one precise event requested.
+    MultiplePrecise {
+        /// Number of precise counters requested.
+        requested: usize,
+    },
+    /// A counter with period zero.
+    ZeroPeriod {
+        /// The offending event.
+        event: EventSpec,
+    },
+    /// The generation cannot count this event (Table 2).
+    UnsupportedEvent {
+        /// The offending event.
+        event: EventSpec,
+        /// The PMU generation.
+        generation: PmuGeneration,
+    },
+}
+
+impl fmt::Display for PmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmuError::TooManyCounters { requested } => {
+                write!(f, "requested {requested} counters, hardware has {MAX_COUNTERS}")
+            }
+            PmuError::MultiplePrecise { requested } => {
+                write!(
+                    f,
+                    "requested {requested} precise counters, hardware supports 1"
+                )
+            }
+            PmuError::ZeroPeriod { event } => write!(f, "zero sampling period for {event}"),
+            PmuError::UnsupportedEvent { event, generation } => {
+                write!(f, "event {event} is not supported on {generation}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PmuError {}
+
+/// One recorded sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleRecord {
+    /// Index of the counter that fired.
+    pub counter: u8,
+    /// The sampled event.
+    pub event: EventSpec,
+    /// The eventing IP (skid-displaced for EBS-style events).
+    pub ip: u64,
+    /// Timestamp in core cycles.
+    pub time_cycles: u64,
+    /// Ring level at sample time.
+    pub ring: Ring,
+    /// Thread id.
+    pub tid: u32,
+    /// LBR stack (oldest first), if the counter collects LBR.
+    pub lbr: Option<Vec<LbrEntry>>,
+}
+
+/// Whole-run event totals (PMU counting mode) — the cross-check facility
+/// the paper uses to validate SDE and catch its x264ref bug (§VII.B,
+/// footnote 2).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    counts: BTreeMap<EventKind, u64>,
+}
+
+impl EventCounts {
+    /// Empty counts.
+    pub fn new() -> EventCounts {
+        EventCounts::default()
+    }
+
+    /// Add to an event's total.
+    pub fn add(&mut self, kind: EventKind, n: u64) {
+        if n > 0 {
+            *self.counts.entry(kind).or_insert(0) += n;
+        }
+    }
+
+    /// Total for an event.
+    pub fn get(&self, kind: EventKind) -> u64 {
+        self.counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Iterate `(event, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (EventKind, u64)> + '_ {
+        self.counts.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hbbp_collector_is_valid() {
+        let cfg = PmuConfig::hbbp_collector(1_000_037, 100_003);
+        cfg.validate().expect("valid");
+        assert_eq!(cfg.counters.len(), 2);
+        assert!(cfg.counters.iter().all(|c| c.collect_lbr));
+        assert!(cfg.counters[0].event.precise);
+        assert!(!cfg.counters[1].event.precise);
+    }
+
+    #[test]
+    fn too_many_counters_rejected() {
+        let mut cfg = PmuConfig::default();
+        for _ in 0..5 {
+            cfg.counters
+                .push(CounterConfig::new(EventSpec::plain(EventKind::InstRetired), 1000));
+        }
+        assert!(matches!(
+            cfg.validate(),
+            Err(PmuError::TooManyCounters { requested: 5 })
+        ));
+    }
+
+    #[test]
+    fn multiple_precise_rejected() {
+        let mut cfg = PmuConfig::default();
+        cfg.counters
+            .push(CounterConfig::new(EventSpec::inst_retired_prec_dist(), 1000));
+        cfg.counters
+            .push(CounterConfig::new(EventSpec::inst_retired_prec_dist(), 2000));
+        assert!(matches!(
+            cfg.validate(),
+            Err(PmuError::MultiplePrecise { requested: 2 })
+        ));
+    }
+
+    #[test]
+    fn zero_period_rejected() {
+        let mut cfg = PmuConfig::default();
+        cfg.counters
+            .push(CounterConfig::new(EventSpec::plain(EventKind::InstRetired), 0));
+        assert!(matches!(cfg.validate(), Err(PmuError::ZeroPeriod { .. })));
+    }
+
+    #[test]
+    fn haswell_rejects_instruction_specific_events() {
+        let mut cfg = PmuConfig {
+            generation: PmuGeneration::Haswell,
+            ..PmuConfig::default()
+        };
+        cfg.counters
+            .push(CounterConfig::new(EventSpec::plain(EventKind::FpCompOpsSse), 1000));
+        assert!(matches!(
+            cfg.validate(),
+            Err(PmuError::UnsupportedEvent { .. })
+        ));
+        // But Ivy Bridge accepts the same programming.
+        let cfg = PmuConfig {
+            counters: vec![CounterConfig::new(
+                EventSpec::plain(EventKind::FpCompOpsSse),
+                1000,
+            )],
+            ..PmuConfig::default()
+        };
+        cfg.validate().expect("ivy bridge supports SSE FP event");
+    }
+
+    #[test]
+    fn event_counts_accumulate() {
+        let mut c = EventCounts::new();
+        c.add(EventKind::InstRetired, 10);
+        c.add(EventKind::InstRetired, 5);
+        c.add(EventKind::X87Ops, 0);
+        assert_eq!(c.get(EventKind::InstRetired), 15);
+        assert_eq!(c.get(EventKind::X87Ops), 0);
+        assert_eq!(c.iter().count(), 1);
+    }
+
+    #[test]
+    fn error_messages_nonempty() {
+        let errs = [
+            PmuError::TooManyCounters { requested: 9 },
+            PmuError::MultiplePrecise { requested: 2 },
+            PmuError::ZeroPeriod {
+                event: EventSpec::inst_retired_prec_dist(),
+            },
+            PmuError::UnsupportedEvent {
+                event: EventSpec::plain(EventKind::X87Ops),
+                generation: PmuGeneration::Haswell,
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

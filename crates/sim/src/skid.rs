@@ -1,0 +1,173 @@
+//! The EBS skid/shadow model.
+//!
+//! Paper §III.A: "'Skid' causes the reported IP to be different from the
+//! code location that causes the counter overflow … 'Shadowing' causes
+//! samples to disproportionately represent instructions following
+//! long-latency instructions in the execution chain." Both artefacts are
+//! modelled as a forward displacement of the sample IP along the *actual*
+//! retirement stream:
+//!
+//! * a geometric base displacement (smaller for precise `PREC_DIST`
+//!   events), which leaks samples out of short blocks — the error decays
+//!   roughly like `skid / block_length`, which is what makes block length
+//!   the decisive HBBP feature;
+//! * a capture rule: while a sample is in flight, the instruction right
+//!   after a long-latency instruction grabs it with high probability
+//!   (the "shadow").
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Parameters of the skid/shadow model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkidModel {
+    /// Mean displacement (instructions) for precise events.
+    pub precise_mean: f64,
+    /// Mean displacement for imprecise events.
+    pub imprecise_mean: f64,
+    /// Probability that an instruction in a long-latency shadow captures an
+    /// in-flight sample.
+    pub shadow_capture_prob: f64,
+    /// Probability that a *branch target* (the first instruction executed
+    /// after a taken branch) captures an in-flight sample. This is the
+    /// "trap" the paper describes — "additional samples tend to pile up in
+    /// the same code traps as before" (§III.A): PMIs prefer to land on the
+    /// instruction boundary right after a control transfer, systematically
+    /// inflating branch-target blocks and starving fallthrough blocks.
+    pub branch_target_capture_prob: f64,
+    /// Hard cap on drawn displacement.
+    pub max_skid: u32,
+}
+
+impl Default for SkidModel {
+    fn default() -> SkidModel {
+        SkidModel {
+            precise_mean: 2.2,
+            imprecise_mean: 5.0,
+            shadow_capture_prob: 0.85,
+            branch_target_capture_prob: 0.65,
+            max_skid: 14,
+        }
+    }
+}
+
+impl SkidModel {
+    /// A model with no skid and no shadowing (ideal PMU, used in ablations).
+    pub fn ideal() -> SkidModel {
+        SkidModel {
+            precise_mean: 0.0,
+            imprecise_mean: 0.0,
+            shadow_capture_prob: 0.0,
+            branch_target_capture_prob: 0.0,
+            max_skid: 0,
+        }
+    }
+
+    /// Whether an in-flight sample is captured at a taken-branch target.
+    pub fn branch_target_captures(&self, rng: &mut SmallRng) -> bool {
+        self.branch_target_capture_prob > 0.0
+            && rng.random::<f64>() < self.branch_target_capture_prob
+    }
+
+    /// Draw a displacement (in retired instructions) for one sample.
+    pub fn draw(&self, precise: bool, rng: &mut SmallRng) -> u32 {
+        let mean = if precise {
+            self.precise_mean
+        } else {
+            self.imprecise_mean
+        };
+        if mean <= 0.0 || self.max_skid == 0 {
+            return 0;
+        }
+        // Geometric distribution with the requested mean: p = 1/(mean+1).
+        let p = 1.0 / (mean + 1.0);
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let k = (u.ln() / (1.0 - p).ln()).floor();
+        (k as u32).min(self.max_skid)
+    }
+
+    /// Whether an in-flight sample is captured by an instruction sitting in
+    /// the shadow of a long-latency predecessor.
+    pub fn shadow_captures(&self, prev_was_long: bool, rng: &mut SmallRng) -> bool {
+        prev_was_long
+            && self.shadow_capture_prob > 0.0
+            && rng.random::<f64>() < self.shadow_capture_prob
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_model_never_skids() {
+        let m = SkidModel::ideal();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(m.draw(true, &mut rng), 0);
+            assert_eq!(m.draw(false, &mut rng), 0);
+            assert!(!m.shadow_captures(true, &mut rng));
+        }
+    }
+
+    #[test]
+    fn precise_skid_is_smaller_on_average() {
+        let m = SkidModel::default();
+        let mut rng = SmallRng::seed_from_u64(42);
+        let n = 20_000;
+        let mut sum_p = 0u64;
+        let mut sum_i = 0u64;
+        for _ in 0..n {
+            sum_p += m.draw(true, &mut rng) as u64;
+            sum_i += m.draw(false, &mut rng) as u64;
+        }
+        let mean_p = sum_p as f64 / n as f64;
+        let mean_i = sum_i as f64 / n as f64;
+        assert!(mean_p < mean_i, "precise {mean_p} !< imprecise {mean_i}");
+        // Means should be in the ballpark of the configured values
+        // (the cap trims the tail slightly).
+        assert!((mean_p - m.precise_mean).abs() < 0.5, "mean_p={mean_p}");
+        assert!((mean_i - m.imprecise_mean).abs() < 1.0, "mean_i={mean_i}");
+    }
+
+    #[test]
+    fn skid_respects_cap() {
+        let m = SkidModel {
+            max_skid: 3,
+            ..SkidModel::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(m.draw(false, &mut rng) <= 3);
+        }
+    }
+
+    #[test]
+    fn shadow_capture_requires_long_latency_predecessor() {
+        let m = SkidModel::default();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert!(!m.shadow_captures(false, &mut rng));
+        }
+        let captures = (0..10_000)
+            .filter(|_| m.shadow_captures(true, &mut rng))
+            .count();
+        let rate = captures as f64 / 10_000.0;
+        assert!((rate - m.shadow_capture_prob).abs() < 0.03, "rate={rate}");
+    }
+
+    #[test]
+    fn draws_are_deterministic_per_seed() {
+        let m = SkidModel::default();
+        let a: Vec<u32> = {
+            let mut rng = SmallRng::seed_from_u64(9);
+            (0..50).map(|_| m.draw(true, &mut rng)).collect()
+        };
+        let b: Vec<u32> = {
+            let mut rng = SmallRng::seed_from_u64(9);
+            (0..50).map(|_| m.draw(true, &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

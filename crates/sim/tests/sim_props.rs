@@ -1,0 +1,190 @@
+//! Property tests for the CPU/PMU simulator: conservation laws that must
+//! hold for any program, period and seed.
+
+use hbbp_isa::instruction::build;
+use hbbp_isa::{Mnemonic, Reg};
+use hbbp_program::{Layout, Program, ProgramBuilder, Ring, TripCountOracle};
+use hbbp_sim::{
+    Cpu, EventKind, EventSpec, LbrConfig, LbrEntry, LbrQuirk, LbrRing, PmuConfig, SkidModel,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A loop program parameterized by body length and loop structure.
+fn loop_program(body: usize, extra_blocks: usize) -> (Program, Layout, Vec<hbbp_program::BlockId>) {
+    let mut b = ProgramBuilder::new("prop");
+    let m = b.module("prop.bin", Ring::User);
+    let f = b.function(m, "main");
+    let mut ids = Vec::new();
+    let head = b.block(f);
+    ids.push(head);
+    for i in 0..body {
+        b.push(head, build::rr(Mnemonic::Add, Reg::gpr((i % 8) as u8), Reg::gpr(9)));
+    }
+    // A chain of extra blocks after the loop.
+    let mut chain = Vec::new();
+    for _ in 0..extra_blocks {
+        chain.push(b.block(f));
+    }
+    let exit = b.block(f);
+    b.terminate_branch(head, Mnemonic::Jnz, head, *chain.first().unwrap_or(&exit));
+    for (i, &blk) in chain.iter().enumerate() {
+        b.push(blk, build::rr(Mnemonic::Sub, Reg::gpr(1), Reg::gpr(2)));
+        let next = chain.get(i + 1).copied().unwrap_or(exit);
+        b.terminate_jump(blk, next);
+        ids.push(blk);
+    }
+    b.terminate_exit(exit, build::bare(Mnemonic::Syscall));
+    ids.push(exit);
+    let mut p = b.build(f).unwrap();
+    let layout = Layout::compute(&mut p).unwrap();
+    (p, layout, ids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Event totals are independent of sampling configuration: counting is
+    /// exact no matter how often the slow path runs.
+    #[test]
+    fn counting_is_invariant_under_sampling(
+        body in 1usize..24,
+        extra in 0usize..4,
+        trips in 1u64..2_000,
+        period in 2u64..5_000,
+        seed in 0u64..1_000,
+    ) {
+        let (p, layout, ids) = loop_program(body, extra);
+        let head = ids[0];
+        let cpu = Cpu::with_seed(seed);
+        let clean = cpu
+            .run_clean(&p, &layout, TripCountOracle::new(1).with_trips(head, trips))
+            .unwrap();
+        let pmu = PmuConfig::hbbp_collector(period, (period / 7).max(2));
+        let sampled = cpu
+            .run(&p, &layout, TripCountOracle::new(1).with_trips(head, trips), &pmu)
+            .unwrap();
+        prop_assert_eq!(clean.instructions, sampled.instructions);
+        prop_assert_eq!(clean.cycles, sampled.cycles);
+        prop_assert_eq!(clean.taken_branches, sampled.taken_branches);
+        for kind in EventKind::ALL {
+            prop_assert_eq!(clean.counts.get(kind), sampled.counts.get(kind));
+        }
+    }
+
+    /// EBS sample counts track instructions/period (within skid-tail loss).
+    #[test]
+    fn sample_counts_track_period(
+        body in 4usize..20,
+        trips in 500u64..5_000,
+        period in 50u64..2_000,
+        seed in 0u64..100,
+    ) {
+        let (p, layout, ids) = loop_program(body, 0);
+        let head = ids[0];
+        let cpu = Cpu::with_seed(seed);
+        let mut pmu = PmuConfig::hbbp_collector(period, u64::MAX / 2);
+        pmu.max_sample_rate = None;
+        let r = cpu
+            .run(&p, &layout, TripCountOracle::new(1).with_trips(head, trips), &pmu)
+            .unwrap();
+        let expected = r.instructions / period;
+        let got = r
+            .samples
+            .iter()
+            .filter(|s| s.event == EventSpec::inst_retired_prec_dist())
+            .count() as u64;
+        // A couple of samples can be lost to in-flight skid at exit.
+        prop_assert!(got <= expected + 1, "got {got} expected {expected}");
+        prop_assert!(got + 3 >= expected, "got {got} expected {expected}");
+    }
+
+    /// Identical seeds give identical runs; sample IPs always fall inside
+    /// the program's address space.
+    #[test]
+    fn determinism_and_ip_validity(
+        body in 2usize..16,
+        trips in 100u64..2_000,
+        seed in 0u64..50,
+    ) {
+        let (p, layout, ids) = loop_program(body, 1);
+        let head = ids[0];
+        let pmu = PmuConfig::hbbp_collector(211, 31);
+        let run = |s| {
+            Cpu::with_seed(s)
+                .run(&p, &layout, TripCountOracle::new(1).with_trips(head, trips), &pmu)
+                .unwrap()
+        };
+        let a = run(seed);
+        let b = run(seed);
+        prop_assert_eq!(&a.samples, &b.samples);
+        let (lo, hi) = layout.module_range(p.modules()[0].id());
+        for s in &a.samples {
+            prop_assert!(s.ip >= lo && s.ip < hi, "ip {:#x} outside module", s.ip);
+            if let Some(stack) = &s.lbr {
+                for e in stack {
+                    prop_assert!(e.from >= lo && e.from < hi);
+                    prop_assert!(e.to >= lo && e.to < hi);
+                }
+            }
+        }
+    }
+
+    /// The LBR ring reports at most `depth` entries, oldest-first, and the
+    /// reported window is always a contiguous run of the pushed sequence.
+    #[test]
+    fn lbr_snapshot_is_contiguous_window(
+        pushes in 1usize..200,
+        depth in 1usize..32,
+        slack in 0usize..16,
+        seed in 0u64..50,
+        sticky_every in 1usize..12,
+    ) {
+        let config = LbrConfig {
+            stack_depth: depth,
+            quirk: LbrQuirk {
+                enabled: true,
+                entry0_prob: 0.5,
+                window_slack: slack,
+                max_ring_occurrences: 5,
+            },
+        };
+        let mut ring = LbrRing::new(config);
+        for i in 0..pushes {
+            ring.push(
+                LbrEntry {
+                    from: 0x1000 + i as u64,
+                    to: 0x2000 + i as u64,
+                },
+                i % sticky_every == 0,
+            );
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let snap = ring.snapshot(&mut rng);
+        prop_assert!(snap.len() <= depth);
+        prop_assert!(!snap.is_empty());
+        // Contiguity: consecutive `from` addresses differ by exactly 1.
+        for w in snap.windows(2) {
+            prop_assert_eq!(w[1].from, w[0].from + 1);
+        }
+        // The newest reported entry is never newer than the newest pushed.
+        prop_assert!(snap.last().unwrap().from < 0x1000 + pushes as u64);
+    }
+
+    /// Skid draws respect the configured cap and ideal() never displaces.
+    #[test]
+    fn skid_bounds(mean in 0.0f64..8.0, cap in 0u32..20, seed in 0u64..50) {
+        let model = SkidModel {
+            precise_mean: mean,
+            imprecise_mean: mean * 2.0,
+            max_skid: cap,
+            ..SkidModel::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!(model.draw(true, &mut rng) <= cap);
+            prop_assert!(model.draw(false, &mut rng) <= cap);
+        }
+    }
+}

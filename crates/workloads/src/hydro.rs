@@ -1,0 +1,66 @@
+//! Hydro-post — the extreme-slowdown benchmark of Table 1 (76.6× under
+//! SDE).
+//!
+//! A post-processing stage of a hydrodynamics simulation: dense packed FP
+//! with gather-style memory access, which the emulator must interpret —
+//! hence the enormous instrumentation cost and the paper's argument that
+//! such codes cannot be profiled with SDE in production.
+
+use crate::synth::{InstrClass, MixProfile};
+use crate::workload::{generate, GenSpec, Scale, Workload};
+use hbbp_instrument::CostModel;
+
+/// Generate the Hydro-post workload.
+pub fn hydro_post(scale: Scale) -> Workload {
+    generate(
+        &GenSpec {
+            name: "hydro-post",
+            mix: MixProfile::new(vec![
+                (InstrClass::AvxPacked, 22.0),
+                (InstrClass::AvxFma, 10.0),
+                (InstrClass::AvxMove, 14.0),
+                (InstrClass::AvxDivSqrt, 2.5),
+                (InstrClass::Load, 9.0),
+                (InstrClass::Store, 5.0),
+                (InstrClass::IntAlu, 7.0),
+                (InstrClass::Compare, 4.0),
+            ]),
+            block_len: (14, 34),
+            n_hot_fns: 4,
+            segments_per_fn: 6,
+            loop_trips: (60, 400),
+            diamond_frac: 0.1,
+            call_frac: 0.1,
+            outer_iterations: 100,
+            sde_cost: CostModel {
+                per_block_cycles: 12.0,
+                per_instr_cycles: 3.0,
+                per_fp_cycles: 14.0,
+                per_branch_cycles: 5.0,
+                // SDE interprets the wide-vector code path instruction by
+                // instruction.
+                emulation_multiplier: 6.5,
+            },
+            seed: 0x44D0_9057,
+            ..GenSpec::default()
+        },
+        scale,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbbp_instrument::Instrumenter;
+
+    #[test]
+    fn slowdown_is_extreme() {
+        let w = hydro_post(Scale::Tiny);
+        let truth = Instrumenter::new()
+            .with_cost(w.sde_cost().clone())
+            .run(w.program(), w.layout(), w.oracle());
+        let s = truth.slowdown();
+        assert!(s > 40.0, "Hydro-post slowdown {s} should be extreme");
+        assert!(s < 150.0, "Hydro-post slowdown {s} implausibly high");
+    }
+}

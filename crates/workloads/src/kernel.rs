@@ -1,0 +1,301 @@
+//! The synthetic kernel benchmark of paper §VIII.D.
+//!
+//! "We construct a small synthetic prime number search benchmark in user
+//! space. We then insert the same code into a live kernel as a device
+//! driver module, and trigger it from user space by reads. Calls to kernel
+//! code are separated in time to simulate real behavior."
+//!
+//! `hello_u` (user binary) and `hello_k` (in `hello.ko`, ring 0) are
+//! emitted from the same template, so their mixes are directly comparable
+//! (Table 7). The kernel module carries tracepoint sites — self-modifying
+//! text — so the workload also exercises the paper's §III.C kernel-image
+//! patching requirement.
+
+use crate::synth::{Behavior, BehaviorMap};
+use crate::workload::{Scale, Workload};
+use hbbp_instrument::CostModel;
+use hbbp_isa::{instruction::build, BranchKind, Mnemonic, Reg};
+use hbbp_program::{FunctionId, ProgramBuilder, Ring};
+use hbbp_sim::lbr::{is_sticky_branch, STICKY_ALIGN};
+
+/// Iterations of the user driver loop at `Scale::Tiny`.
+pub const BASE_READS: u64 = 300;
+
+/// Emit the prime-search function body (identical for user and kernel).
+///
+/// The mnemonic population is Table 7's: `ADD CDQE CMP IMUL JLE JNLE JNZ JZ
+/// MOV MOVSXD SUB TEST`, structured as three nested loops plus a parity
+/// diamond. When `tracepoints` is set, two probe sites are inserted (the
+/// kernel build).
+fn emit_prime_fn(
+    b: &mut ProgramBuilder,
+    f: FunctionId,
+    behaviors: &mut BehaviorMap,
+    tracepoints: bool,
+) {
+    let g = Reg::gpr;
+    // Outer loop over prime candidates.
+    let outer = b.block(f);
+    b.push(outer, build::rr(Mnemonic::Mov, g(0), g(8)));
+    b.push(outer, build::bare(Mnemonic::Cdqe));
+    b.push(outer, build::rr(Mnemonic::Imul, g(1), g(0)));
+    b.push(outer, build::rr(Mnemonic::Mov, g(2), g(1)));
+    if tracepoints {
+        b.tracepoint(outer);
+    }
+
+    // Middle loop over divisor strides.
+    let mid = b.block(f);
+    b.terminate_jump(outer, mid);
+    b.push(mid, build::rr(Mnemonic::Movsxd, g(3), g(2)));
+    b.push(mid, build::rr(Mnemonic::Sub, g(0), g(3)));
+    b.push(mid, build::rr(Mnemonic::Mov, g(4), g(0)));
+    b.push(mid, build::rr(Mnemonic::Add, g(4), g(3)));
+
+    // Inner trial loop (hottest).
+    let inner = b.block(f);
+    b.terminate_jump(mid, inner);
+    b.push(inner, build::rr(Mnemonic::Add, g(5), g(4)));
+    b.push(inner, build::rr(Mnemonic::Add, g(5), g(3)));
+    b.push(inner, build::rr(Mnemonic::Mov, g(6), g(5)));
+    b.push(inner, build::rr(Mnemonic::Cmp, g(6), g(0)));
+    let after_inner = b.block(f);
+    b.terminate_branch(inner, Mnemonic::Jnz, inner, after_inner);
+    behaviors.set(inner, Behavior::Trips(4));
+
+    // Parity diamond: TEST + JZ.
+    b.push(after_inner, build::rr(Mnemonic::Test, g(6), g(6)));
+    let odd = b.block(f);
+    let even = b.block(f);
+    let join = b.block(f);
+    b.terminate_branch(after_inner, Mnemonic::Jz, even, odd);
+    behaviors.set(after_inner, Behavior::Prob(0.5));
+    b.push(odd, build::rr(Mnemonic::Add, g(7), g(6)));
+    if tracepoints {
+        b.tracepoint(odd);
+    }
+    b.push(odd, build::rr(Mnemonic::Cmp, g(7), g(0)));
+    b.terminate_jump(odd, join);
+    b.push(even, build::rr(Mnemonic::Mov, g(7), g(6)));
+    b.push(even, build::rr(Mnemonic::Sub, g(7), g(3)));
+    b.terminate_jump(even, join);
+
+    // Close the middle loop.
+    b.push(join, build::rr(Mnemonic::Add, g(2), g(3)));
+    b.push(join, build::rr(Mnemonic::Cmp, g(2), g(1)));
+    let after_mid = b.block(f);
+    b.terminate_branch(join, Mnemonic::Jle, mid, after_mid);
+    behaviors.set(join, Behavior::Trips(3));
+
+    // Close the outer loop.
+    b.push(after_mid, build::rr(Mnemonic::Add, g(8), g(3)));
+    b.push(after_mid, build::rr(Mnemonic::Cmp, g(8), g(9)));
+    let done = b.block(f);
+    b.terminate_branch(after_mid, Mnemonic::Jnle, outer, done);
+    behaviors.set(after_mid, Behavior::Trips(3));
+
+    b.push(done, build::rr(Mnemonic::Mov, g(10), g(7)));
+    b.terminate_ret(done);
+}
+
+/// Build the kernel benchmark workload: a user binary `hello` (with
+/// `hello_u`) and a kernel module `hello.ko` (with `hello_k`), driven by a
+/// user loop that alternates user work, a kernel "read" and a spacing spin
+/// loop.
+///
+/// Both modules are alignment-padded so no conditional branch lands in
+/// the LBR sticky window — Table 7 demonstrates ring coverage, not the
+/// bias anomaly (which Table 3 covers).
+pub fn kernel_benchmark(scale: Scale) -> Workload {
+    let probe = build_kernel(scale, 0, 0);
+    let cond_addrs = |w: &Workload, module_name: &str| -> Vec<u64> {
+        let module = w
+            .program()
+            .modules()
+            .iter()
+            .find(|m| m.name() == module_name)
+            .expect("module");
+        let mut addrs = Vec::new();
+        for &fid in module.functions() {
+            for &bid in w.program().function(fid).blocks() {
+                let block = w.program().block(bid);
+                if block.last_instr().and_then(|i| i.branch_kind())
+                    == Some(BranchKind::Conditional)
+                {
+                    addrs.push(w.layout().terminator_addr(bid));
+                }
+            }
+        }
+        addrs
+    };
+    // 3-byte NOP padding shifts every later address by 3k; find shifts
+    // under which no conditional branch is alignment-sticky.
+    let find_pad = |addrs: &[u64]| -> usize {
+        (0..STICKY_ALIGN as usize)
+            .find(|k| {
+                addrs
+                    .iter()
+                    .all(|a| !is_sticky_branch(a + 3 * *k as u64))
+            })
+            .unwrap_or(0)
+    };
+    let pad_u = find_pad(&cond_addrs(&probe, "hello"));
+    let pad_k = find_pad(&cond_addrs(&probe, "hello.ko"));
+    if pad_u == 0 && pad_k == 0 {
+        return probe;
+    }
+    build_kernel(scale, pad_u, pad_k)
+}
+
+fn build_kernel(scale: Scale, pad_u: usize, pad_k: usize) -> Workload {
+    let mut b = ProgramBuilder::new("kernel-prime");
+    let user = b.module("hello", Ring::User);
+    let kmod = b.module("hello.ko", Ring::Kernel);
+    let mut behaviors = BehaviorMap::new();
+
+    // Alignment shims (never executed; laid out first in each module).
+    for (module, pad) in [(user, pad_u), (kmod, pad_k)] {
+        let f = b.function(module, "__alignment_pad");
+        let blk = b.block(f);
+        for _ in 0..pad {
+            b.push(blk, build::bare(Mnemonic::Nop));
+        }
+        b.terminate_ret(blk);
+    }
+
+    let hello_u = b.function(user, "hello_u");
+    emit_prime_fn(&mut b, hello_u, &mut behaviors, false);
+    let hello_k = b.function(kmod, "hello_k");
+    emit_prime_fn(&mut b, hello_k, &mut behaviors, true);
+
+    let main = b.function(user, "main");
+    let entry = b.block(main);
+    b.push(entry, build::ri(Mnemonic::Mov, Reg::gpr(8), 3));
+    b.push(entry, build::ri(Mnemonic::Mov, Reg::gpr(9), 1000));
+    let loop_head = b.block(main);
+    b.terminate_jump(entry, loop_head);
+    b.push(loop_head, build::rr(Mnemonic::Add, Reg::gpr(11), Reg::gpr(8)));
+    let r0 = b.block(main);
+    b.terminate_call(loop_head, hello_u, r0);
+    // The "read" that traps into the kernel module.
+    b.push(r0, build::rr(Mnemonic::Mov, Reg::gpr(12), Reg::gpr(11)));
+    let r1 = b.block(main);
+    b.terminate_call(r0, hello_k, r1);
+    // Spacing spin loop: separates kernel calls in time (paper §VIII.D).
+    let spin = b.block(main);
+    b.terminate_jump(r1, spin);
+    b.push(spin, build::rr(Mnemonic::Add, Reg::gpr(13), Reg::gpr(8)));
+    b.push(spin, build::rr(Mnemonic::Cmp, Reg::gpr(13), Reg::gpr(9)));
+    let after_spin = b.block(main);
+    b.terminate_branch(spin, Mnemonic::Jnz, spin, after_spin);
+    behaviors.set(spin, Behavior::Trips(12));
+    b.push(after_spin, build::rr(Mnemonic::Test, Reg::gpr(11), Reg::gpr(11)));
+    let exit = b.block(main);
+    b.terminate_branch(after_spin, Mnemonic::Jnz, loop_head, exit);
+    behaviors.set(after_spin, Behavior::Trips(BASE_READS * scale.multiplier()));
+    b.terminate_exit(exit, build::bare(Mnemonic::Syscall));
+
+    let program = b.build(main).expect("kernel benchmark valid");
+    Workload::from_program(
+        "kernel-prime",
+        program,
+        behaviors,
+        0xC0DE_1234,
+        CostModel::default(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbbp_instrument::Instrumenter;
+    use hbbp_program::{ImageView, Ring};
+    use hbbp_sim::Cpu;
+
+    #[test]
+    fn user_and_kernel_functions_have_identical_shape() {
+        let w = kernel_benchmark(Scale::Tiny);
+        let p = w.program();
+        let fu = p
+            .functions()
+            .iter()
+            .find(|f| f.name() == "hello_u")
+            .unwrap();
+        let fk = p
+            .functions()
+            .iter()
+            .find(|f| f.name() == "hello_k")
+            .unwrap();
+        assert_eq!(fu.blocks().len(), fk.blocks().len());
+        for (&bu, &bk) in fu.blocks().iter().zip(fk.blocks()) {
+            // Kernel blocks may carry extra tracepoint NOPs.
+            let iu: Vec<_> = p
+                .block(bu)
+                .instrs()
+                .iter()
+                .map(|i| i.mnemonic())
+                .collect();
+            let ik: Vec<_> = p
+                .block(bk)
+                .instrs()
+                .iter()
+                .filter(|i| i.mnemonic() != Mnemonic::NopMulti)
+                .map(|i| i.mnemonic())
+                .collect();
+            assert_eq!(iu, ik);
+        }
+    }
+
+    #[test]
+    fn only_table7_mnemonics_in_prime_fn() {
+        let w = kernel_benchmark(Scale::Tiny);
+        let p = w.program();
+        let allowed = [
+            "ADD", "CDQE", "CMP", "IMUL", "JLE", "JNLE", "JNZ", "JZ", "MOV", "MOVSXD", "SUB",
+            "TEST", "RET_NEAR", "JMP", "NOP_MULTI",
+        ];
+        for f in p.functions().iter().filter(|f| f.name().starts_with("hello_")) {
+            for &bid in f.blocks() {
+                for i in p.block(bid).instrs() {
+                    assert!(
+                        allowed.contains(&i.mnemonic().name()),
+                        "{} contains {}",
+                        f.name(),
+                        i.mnemonic()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_module_has_tracepoints_and_ring0() {
+        let w = kernel_benchmark(Scale::Tiny);
+        let km = w
+            .program()
+            .modules()
+            .iter()
+            .find(|m| m.name() == "hello.ko")
+            .unwrap();
+        assert_eq!(km.ring(), Ring::Kernel);
+        assert_eq!(km.tracepoints().len(), 2);
+        // Disk and live views differ.
+        let disk = w.images(ImageView::Disk);
+        let live = w.images(ImageView::Live);
+        let kd = disk.iter().find(|i| i.name() == "hello.ko").unwrap();
+        let kl = live.iter().find(|i| i.name() == "hello.ko").unwrap();
+        assert_ne!(kd.bytes(), kl.bytes());
+    }
+
+    #[test]
+    fn instrumenter_sees_only_user_half() {
+        let w = kernel_benchmark(Scale::Tiny);
+        let truth = Instrumenter::new().run(w.program(), w.layout(), w.oracle());
+        assert!(truth.kernel_blocks_invisible > 0);
+        let run = Cpu::with_seed(1)
+            .run_clean(w.program(), w.layout(), w.oracle())
+            .unwrap();
+        // PMU sees more instructions than the instrumenter.
+        assert!(run.instructions as f64 > truth.instructions * 1.2);
+    }
+}

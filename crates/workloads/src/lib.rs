@@ -1,0 +1,43 @@
+//! # hbbp-workloads — the benchmark programs of the evaluation
+//!
+//! Deterministic synthetic equivalents of every workload in the paper's
+//! evaluation (§VII-§VIII):
+//!
+//! * [`spec`] — 29 SPEC CPU2006-named benchmarks with per-benchmark
+//!   block-length, loop and mix characters (Figure 2, Table 1);
+//! * [`test40`] — the Geant4-like OO particle simulation (Table 5,
+//!   Figures 3-4);
+//! * [`fitter`] — the track-fitting kernel in x87/SSE/AVX builds plus the
+//!   broken-inlining AVX build and its fix (Tables 3 and 6);
+//! * [`kernel`] — the prime-search kernel-module benchmark with
+//!   tracepoints (Table 7);
+//! * [`clforward`] — the vectorization before/after pair (Table 8);
+//! * [`hydro`] — the 76× instrumentation-slowdown extreme (Table 1);
+//! * [`training`] — the ≈1,100-block non-SPEC training population for the
+//!   HBBP rule (§IV.B, Figure 1).
+//!
+//! All are built from the [`synth`] toolkit and wrapped as [`Workload`]s:
+//! program + layout + a seeded branch oracle replayable by both the CPU
+//! simulator and the instrumentation ground truth.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod clforward;
+pub mod fitter;
+pub mod hydro;
+pub mod kernel;
+pub mod spec;
+pub mod synth;
+pub mod test40;
+pub mod training;
+pub mod workload;
+
+pub use clforward::{clforward, ClVariant};
+pub use fitter::{fitter, FitterVariant};
+pub use hydro::hydro_post;
+pub use kernel::kernel_benchmark;
+pub use synth::{Behavior, BehaviorMap, InstrClass, MixProfile, Segment, SynthOracle};
+pub use test40::test40;
+pub use training::training_suite;
+pub use workload::{generate, GenSpec, Scale, Workload};

@@ -1,0 +1,95 @@
+//! Test40 — the Geant4-like particle simulation workload (paper §VIII.B).
+//!
+//! "It represents an important class of complex, object-oriented workloads
+//! … It is also an appropriate test: it is difficult to deal with using
+//! EBS, because its methods are short." The generator therefore produces
+//! many small functions with short blocks (3–8 instructions), deep call
+//! chains and a physics-flavoured FP sprinkle, with an SDE cost profile
+//! targeting the paper's ≈9× slowdown (Table 5).
+
+use crate::synth::{InstrClass, MixProfile};
+use crate::workload::{generate, GenSpec, Scale, Workload};
+use hbbp_instrument::CostModel;
+
+/// Instruction mix of the simulated Geant4 stepping loop: pointer-chasing
+/// OO code with scalar FP physics.
+pub fn mix() -> MixProfile {
+    MixProfile::new(vec![
+        (InstrClass::Load, 20.0),
+        (InstrClass::IntAlu, 14.0),
+        (InstrClass::Compare, 12.0),
+        (InstrClass::Store, 8.0),
+        (InstrClass::Stack, 8.0),
+        (InstrClass::Lea, 6.0),
+        (InstrClass::SseScalar, 9.0),
+        (InstrClass::SseMove, 6.0),
+        (InstrClass::SseConvert, 2.0),
+        (InstrClass::IntConvert, 4.0),
+        (InstrClass::SseDivSqrt, 1.2),
+    ])
+}
+
+/// Generate the Test40 workload.
+pub fn test40(scale: Scale) -> Workload {
+    generate(
+        &GenSpec {
+            name: "test40",
+            mix: mix(),
+            block_len: (3, 8),
+            n_hot_fns: 14,
+            segments_per_fn: 5,
+            loop_trips: (4, 28),
+            diamond_frac: 0.3,
+            call_frac: 0.4,
+            long_block_frac: 0.12,
+            chain_frac: 0.3,
+            chain_blocks: (3, 5),
+            n_leaf_fns: 16,
+            leaf_len: (2, 6),
+            outer_iterations: 150,
+            sde_cost: CostModel {
+                per_block_cycles: 11.0,
+                per_instr_cycles: 3.4,
+                per_fp_cycles: 9.0,
+                per_branch_cycles: 5.0,
+                emulation_multiplier: 1.5,
+            },
+            seed: 0x6EA4_7400,
+        },
+        scale,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbbp_instrument::Instrumenter;
+    use hbbp_sim::Cpu;
+
+    #[test]
+    fn blocks_are_short() {
+        let w = test40(Scale::Tiny);
+        let (_, mean, _) = w.program().block_length_stats();
+        assert!(mean < 9.0, "Test40 mean block length {mean} too long");
+    }
+
+    #[test]
+    fn sde_slowdown_near_nine_x() {
+        let w = test40(Scale::Tiny);
+        let truth = Instrumenter::new()
+            .with_cost(w.sde_cost().clone())
+            .run(w.program(), w.layout(), w.oracle());
+        let s = truth.slowdown();
+        assert!((6.0..14.0).contains(&s), "Test40 slowdown {s} not near 9-10x");
+    }
+
+    #[test]
+    fn runs_to_completion() {
+        let w = test40(Scale::Tiny);
+        let r = Cpu::with_seed(1)
+            .run_clean(w.program(), w.layout(), w.oracle())
+            .unwrap();
+        assert!(r.instructions > 100_000);
+        assert!(r.taken_branches > 10_000);
+    }
+}

@@ -1,0 +1,200 @@
+//! Non-SPEC training workloads for learning the HBBP rule.
+//!
+//! The paper: "We train our classification trees on approximately 1,100
+//! basic blocks of training input from non-SPEC benchmarks" (§IV.B). This
+//! module generates a deliberately diverse set of small programs — short
+//! and long blocks, every ISA flavour, loopy and branchy shapes — whose
+//! pooled blocks form that training population.
+
+use crate::synth::{InstrClass, MixProfile};
+use crate::workload::{generate, GenSpec, Scale, Workload};
+use hbbp_instrument::CostModel;
+
+/// Names of the training workloads.
+pub const TRAINING_NAMES: [&str; 12] = [
+    "train-int-short",
+    "train-int-long",
+    "train-sse-short",
+    "train-sse-long",
+    "train-avx-short",
+    "train-avx-long",
+    "train-x87",
+    "train-mem",
+    "train-oo",
+    "train-branchy",
+    "train-div-heavy",
+    "train-mixed",
+];
+
+fn base(name: &'static str, seed_off: u64) -> GenSpec {
+    GenSpec {
+        name,
+        n_hot_fns: 5,
+        segments_per_fn: 5,
+        n_leaf_fns: 3,
+        outer_iterations: 80,
+        sde_cost: CostModel::default(),
+        seed: 0x7124_1000 + seed_off * 0x1357,
+        ..GenSpec::default()
+    }
+}
+
+/// The spec for one training workload.
+///
+/// # Panics
+///
+/// Panics if `name` is not in [`TRAINING_NAMES`].
+pub fn training_spec(name: &str) -> GenSpec {
+    let idx = TRAINING_NAMES
+        .iter()
+        .position(|n| *n == name)
+        .unwrap_or_else(|| panic!("unknown training workload `{name}`"));
+    let idx_u = idx as u64;
+    match name {
+        "train-int-short" => GenSpec {
+            mix: MixProfile::int_heavy(),
+            block_len: (3, 8),
+            loop_trips: (30, 200),
+            ..base("train-int-short", idx_u)
+        },
+        "train-int-long" => GenSpec {
+            mix: MixProfile::int_heavy(),
+            block_len: (20, 40),
+            loop_trips: (30, 200),
+            ..base("train-int-long", idx_u)
+        },
+        "train-sse-short" => GenSpec {
+            mix: MixProfile::fp_sse_packed(),
+            block_len: (4, 10),
+            loop_trips: (40, 250),
+            ..base("train-sse-short", idx_u)
+        },
+        "train-sse-long" => GenSpec {
+            mix: MixProfile::fp_sse_packed(),
+            block_len: (20, 44),
+            loop_trips: (40, 250),
+            ..base("train-sse-long", idx_u)
+        },
+        "train-avx-short" => GenSpec {
+            mix: MixProfile::fp_avx(),
+            block_len: (4, 12),
+            loop_trips: (40, 200),
+            ..base("train-avx-short", idx_u)
+        },
+        "train-avx-long" => GenSpec {
+            mix: MixProfile::fp_avx(),
+            block_len: (19, 40),
+            loop_trips: (40, 200),
+            ..base("train-avx-long", idx_u)
+        },
+        "train-x87" => GenSpec {
+            mix: MixProfile::x87(),
+            block_len: (8, 24),
+            loop_trips: (30, 150),
+            ..base("train-x87", idx_u)
+        },
+        "train-mem" => GenSpec {
+            mix: MixProfile::mem_heavy(),
+            block_len: (6, 18),
+            loop_trips: (50, 300),
+            ..base("train-mem", idx_u)
+        },
+        "train-oo" => GenSpec {
+            mix: MixProfile::oo_code(),
+            block_len: (3, 7),
+            call_frac: 0.4,
+            n_leaf_fns: 8,
+            leaf_len: (2, 6),
+            loop_trips: (4, 30),
+            ..base("train-oo", idx_u)
+        },
+        "train-branchy" => GenSpec {
+            mix: MixProfile::int_heavy(),
+            block_len: (4, 12),
+            diamond_frac: 0.55,
+            loop_trips: (5, 40),
+            ..base("train-branchy", idx_u)
+        },
+        "train-div-heavy" => GenSpec {
+            mix: MixProfile::new(vec![
+                (InstrClass::IntAlu, 16.0),
+                (InstrClass::IntDiv, 6.0),
+                (InstrClass::SseDivSqrt, 5.0),
+                (InstrClass::Load, 12.0),
+                (InstrClass::Compare, 8.0),
+                (InstrClass::SsePacked, 8.0),
+            ]),
+            block_len: (6, 26),
+            loop_trips: (30, 150),
+            ..base("train-div-heavy", idx_u)
+        },
+        "train-mixed" => GenSpec {
+            mix: MixProfile::new(vec![
+                (InstrClass::IntAlu, 14.0),
+                (InstrClass::SsePacked, 10.0),
+                (InstrClass::AvxPacked, 8.0),
+                (InstrClass::X87Arith, 6.0),
+                (InstrClass::Load, 12.0),
+                (InstrClass::Store, 6.0),
+                (InstrClass::Compare, 8.0),
+                (InstrClass::Stack, 4.0),
+            ]),
+            block_len: (3, 36),
+            diamond_frac: 0.3,
+            loop_trips: (10, 200),
+            ..base("train-mixed", idx_u)
+        },
+        _ => unreachable!("name checked above"),
+    }
+}
+
+/// Generate the full training suite.
+pub fn training_suite(scale: Scale) -> Vec<Workload> {
+    TRAINING_NAMES
+        .iter()
+        .map(|n| generate(&training_spec(n), scale))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_roughly_1100_blocks() {
+        // The paper trains on ≈1,100 basic blocks.
+        let total: usize = training_suite(Scale::Tiny)
+            .iter()
+            .map(|w| w.program().block_count())
+            .sum();
+        assert!(
+            (700..1600).contains(&total),
+            "training suite has {total} blocks, expected ≈1100"
+        );
+    }
+
+    #[test]
+    fn lengths_span_the_cutoff_region() {
+        let suite = training_suite(Scale::Tiny);
+        let mut short = 0usize;
+        let mut long = 0usize;
+        for w in &suite {
+            for block in w.program().blocks() {
+                if block.len() <= 18 {
+                    short += 1;
+                } else {
+                    long += 1;
+                }
+            }
+        }
+        assert!(short > 100, "short blocks: {short}");
+        assert!(long > 100, "long blocks: {long}");
+    }
+
+    #[test]
+    fn every_training_workload_generates() {
+        for w in training_suite(Scale::Tiny) {
+            assert!(w.program().block_count() > 20, "{}", w.name());
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! The [`Workload`] type and the generic benchmark generator.
+
+use crate::synth::{emit_function, Behavior, BehaviorMap, MixProfile, Segment, SynthOracle};
+use hbbp_instrument::{CostModel, MiscountFault};
+use hbbp_isa::instruction::build;
+use hbbp_isa::Mnemonic;
+use hbbp_program::{
+    BlockMap, FunctionId, ImageView, Layout, Program, ProgramBuilder, Ring, TextImage,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How big a workload run should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scale {
+    /// Minimal: for unit tests (≈10⁵ dynamic instructions).
+    Tiny,
+    /// Default for experiments (≈10⁶–10⁷ dynamic instructions).
+    #[default]
+    Small,
+    /// Long runs (≈10⁸ dynamic instructions); closest to paper conditions.
+    Full,
+}
+
+impl Scale {
+    /// Multiplier applied to outer iteration counts.
+    pub fn multiplier(self) -> u64 {
+        match self {
+            Scale::Tiny => 1,
+            Scale::Small => 10,
+            Scale::Full => 120,
+        }
+    }
+}
+
+/// A fully generated workload: program, layout, branch behaviours and the
+/// instrumentation cost profile.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    name: String,
+    program: Program,
+    layout: Layout,
+    behaviors: BehaviorMap,
+    oracle_seed: u64,
+    sde_cost: CostModel,
+    sde_fault: Option<MiscountFault>,
+}
+
+impl Workload {
+    /// Wrap a built (unlaid-out) program into a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if layout fails (displacement overflow — generated programs
+    /// never trigger it).
+    pub fn from_program(
+        name: impl Into<String>,
+        mut program: Program,
+        behaviors: BehaviorMap,
+        oracle_seed: u64,
+        sde_cost: CostModel,
+    ) -> Workload {
+        let layout = Layout::compute(&mut program).expect("layout");
+        Workload {
+            name: name.into(),
+            program,
+            layout,
+            behaviors,
+            oracle_seed,
+            sde_cost,
+            sde_fault: None,
+        }
+    }
+
+    /// Attach an instrumentation defect (the x264ref SDE bug).
+    pub fn with_sde_fault(mut self, fault: MiscountFault) -> Workload {
+        self.sde_fault = Some(fault);
+        self
+    }
+
+    /// Workload name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The address layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Fresh oracle replaying this workload's execution.
+    pub fn oracle(&self) -> SynthOracle {
+        self.behaviors.oracle(self.oracle_seed)
+    }
+
+    /// Branch behaviour map (for inspection/tests).
+    pub fn behaviors(&self) -> &BehaviorMap {
+        &self.behaviors
+    }
+
+    /// Instrumentation cost profile for this workload.
+    pub fn sde_cost(&self) -> &CostModel {
+        &self.sde_cost
+    }
+
+    /// Injected instrumentation defect, if any.
+    pub fn sde_fault(&self) -> Option<MiscountFault> {
+        self.sde_fault
+    }
+
+    /// Encode all module text images in the given view.
+    pub fn images(&self, view: ImageView) -> Vec<TextImage> {
+        self.program
+            .modules()
+            .iter()
+            .map(|m| TextImage::encode(&self.program, &self.layout, m.id(), view))
+            .collect()
+    }
+
+    /// Discover the static block map from the given image view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the images fail to decode (impossible for generated
+    /// programs).
+    pub fn block_map(&self, view: ImageView) -> BlockMap {
+        BlockMap::discover(&self.images(view), self.layout.symbols()).expect("discover")
+    }
+}
+
+/// Spec for the generic benchmark generator.
+#[derive(Debug, Clone)]
+pub struct GenSpec {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Instruction mix of generated bodies.
+    pub mix: MixProfile,
+    /// Inclusive range of loop/straight body lengths (instructions).
+    pub block_len: (usize, usize),
+    /// Number of hot functions.
+    pub n_hot_fns: usize,
+    /// Structural segments per hot function.
+    pub segments_per_fn: usize,
+    /// Inclusive range of loop trip counts.
+    pub loop_trips: (u64, u64),
+    /// Fraction of segments that are if/else diamonds.
+    pub diamond_frac: f64,
+    /// Fraction of segments that call a leaf function.
+    pub call_frac: f64,
+    /// Fraction of loop segments whose bodies are long (22–34
+    /// instructions) regardless of `block_len` — math kernels inside
+    /// otherwise short-block code.
+    pub long_block_frac: f64,
+    /// Fraction of long-bodied loops emitted as chained multi-block loops
+    /// (the Table 3 shape) instead of single self-loops.
+    pub chain_frac: f64,
+    /// Inclusive range of chain lengths for chained loops.
+    pub chain_blocks: (usize, usize),
+    /// Number of leaf functions.
+    pub n_leaf_fns: usize,
+    /// Inclusive range of leaf body lengths.
+    pub leaf_len: (usize, usize),
+    /// Driver-loop iterations at Scale::Tiny.
+    pub outer_iterations: u64,
+    /// Instrumentation cost profile.
+    pub sde_cost: CostModel,
+    /// Generation seed (distinct per benchmark).
+    pub seed: u64,
+}
+
+impl Default for GenSpec {
+    fn default() -> GenSpec {
+        GenSpec {
+            name: "generic",
+            mix: MixProfile::int_heavy(),
+            block_len: (6, 18),
+            n_hot_fns: 4,
+            segments_per_fn: 5,
+            loop_trips: (8, 64),
+            diamond_frac: 0.25,
+            call_frac: 0.15,
+            long_block_frac: 0.0,
+            chain_frac: 0.35,
+            chain_blocks: (3, 5),
+            n_leaf_fns: 3,
+            leaf_len: (3, 10),
+            outer_iterations: 120,
+            sde_cost: CostModel::default(),
+            seed: 0xABCD,
+        }
+    }
+}
+
+/// Generate a workload from a spec at a scale.
+pub fn generate(spec: &GenSpec, scale: Scale) -> Workload {
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let mut b = ProgramBuilder::new(spec.name);
+    let module = b.module(format!("{}.bin", spec.name), Ring::User);
+    let mut behaviors = BehaviorMap::new();
+
+    // Leaf functions.
+    let leaves: Vec<FunctionId> = (0..spec.n_leaf_fns)
+        .map(|i| {
+            let f = b.function(module, format!("leaf_{i}"));
+            let len = rng.random_range(spec.leaf_len.0..=spec.leaf_len.1);
+            emit_function(
+                &mut b,
+                f,
+                &[Segment::Straight { len }],
+                &spec.mix,
+                &mut behaviors,
+                &mut rng,
+            );
+            f
+        })
+        .collect();
+
+    // Hot functions.
+    let hot: Vec<FunctionId> = (0..spec.n_hot_fns)
+        .map(|i| {
+            let f = b.function(module, format!("hot_{i}"));
+            let segments: Vec<Segment> = (0..spec.segments_per_fn)
+                .map(|_| {
+                    let roll: f64 = rng.random();
+                    let len = rng.random_range(spec.block_len.0..=spec.block_len.1);
+                    if roll < spec.diamond_frac {
+                        Segment::Diamond {
+                            then_len: len,
+                            else_len: rng.random_range(spec.block_len.0..=spec.block_len.1),
+                            taken_prob: rng.random_range(0.15..0.85),
+                        }
+                    } else if roll < spec.diamond_frac + spec.call_frac && !leaves.is_empty() {
+                        Segment::Call {
+                            callee: leaves[rng.random_range(0..leaves.len())],
+                        }
+                    } else {
+                        let body_len = if rng.random::<f64>() < spec.long_block_frac {
+                            rng.random_range(22..=34)
+                        } else {
+                            len
+                        };
+                        let trips = rng.random_range(spec.loop_trips.0..=spec.loop_trips.1);
+                        if body_len > 20 && rng.random::<f64>() < spec.chain_frac {
+                            Segment::ChainLoop {
+                                body_len,
+                                trips,
+                                blocks: rng
+                                    .random_range(spec.chain_blocks.0..=spec.chain_blocks.1),
+                            }
+                        } else {
+                            Segment::Loop { body_len, trips }
+                        }
+                    }
+                })
+                .collect();
+            emit_function(&mut b, f, &segments, &spec.mix, &mut behaviors, &mut rng);
+            f
+        })
+        .collect();
+
+    // Driver: main calls every hot function per outer iteration.
+    let main = b.function(module, "main");
+    let entry = b.block(main);
+    b.push_all(entry, spec.mix.gen_block_body(3, &mut rng));
+    let loop_head = b.block(main);
+    b.terminate_jump(entry, loop_head);
+    b.push_all(loop_head, spec.mix.gen_block_body(2, &mut rng));
+    let mut current = loop_head;
+    for &f in &hot {
+        let ret_to = b.block(main);
+        b.terminate_call(current, f, ret_to);
+        b.push_all(ret_to, spec.mix.gen_block_body(1, &mut rng));
+        current = ret_to;
+    }
+    let exit = b.block(main);
+    let trips = spec.outer_iterations * scale.multiplier();
+    b.terminate_branch(current, Mnemonic::Jnz, loop_head, exit);
+    behaviors.set(current, Behavior::Trips(trips.max(1)));
+    b.terminate_exit(exit, build::bare(Mnemonic::Syscall));
+
+    let program = b.build(main).expect("generated program is valid");
+    Workload::from_program(spec.name, program, behaviors, spec.seed ^ 0x5eed, spec.sde_cost.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbbp_instrument::Instrumenter;
+    use hbbp_sim::Cpu;
+
+    #[test]
+    fn generated_workload_runs_and_matches_ground_truth() {
+        let w = generate(&GenSpec::default(), Scale::Tiny);
+        let truth = Instrumenter::new()
+            .with_cost(w.sde_cost().clone())
+            .run(w.program(), w.layout(), w.oracle());
+        let run = Cpu::with_seed(1)
+            .run_clean(w.program(), w.layout(), w.oracle())
+            .unwrap();
+        assert_eq!(truth.instructions as u64, run.instructions);
+        assert!(run.instructions > 50_000, "too small: {}", run.instructions);
+        assert!(truth.slowdown() > 1.5);
+    }
+
+    #[test]
+    fn scale_multiplies_work() {
+        let tiny = generate(&GenSpec::default(), Scale::Tiny);
+        let small = generate(&GenSpec::default(), Scale::Small);
+        let rt = Cpu::with_seed(1)
+            .run_clean(tiny.program(), tiny.layout(), tiny.oracle())
+            .unwrap();
+        let rs = Cpu::with_seed(1)
+            .run_clean(small.program(), small.layout(), small.oracle())
+            .unwrap();
+        assert!(rs.instructions > 5 * rt.instructions);
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let a = generate(&GenSpec::default(), Scale::Tiny);
+        let b = generate(&GenSpec::default(), Scale::Tiny);
+        let ra = Cpu::with_seed(3)
+            .run_clean(a.program(), a.layout(), a.oracle())
+            .unwrap();
+        let rb = Cpu::with_seed(3)
+            .run_clean(b.program(), b.layout(), b.oracle())
+            .unwrap();
+        assert_eq!(ra.instructions, rb.instructions);
+        assert_eq!(ra.cycles, rb.cycles);
+    }
+
+    #[test]
+    fn block_map_discovery_round_trips() {
+        let w = generate(&GenSpec::default(), Scale::Tiny);
+        let map = w.block_map(ImageView::Disk);
+        assert_eq!(map.len(), w.program().block_count());
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: profile a workload with HBBP and print its instruction mix.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hbbp::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Test40 — the Geant4-like particle-physics workload of paper §VIII.B.
+    let workload = hbbp::workloads::test40(Scale::Small);
+
+    // End-to-end HBBP: clean baseline run, Table 4 period policy, one
+    // dual-LBR collection run, kernel text patching, and the per-block
+    // EBS/LBR hybrid.
+    let profiler = HbbpProfiler::new(Cpu::with_seed(42));
+    let result = profiler.profile(&workload)?;
+
+    println!("workload: {}", workload.name());
+    println!(
+        "clean runtime: {:.2} ms | with HBBP collection: {:.2} ms ({:.2}% overhead)",
+        result.clean_seconds() * 1e3,
+        result.collection_seconds() * 1e3,
+        result.overhead_fraction() * 100.0
+    );
+    println!(
+        "sampling: {} ({} EBS samples, {} LBR stacks)",
+        result.periods,
+        result.analysis.ebs.samples_used,
+        result.analysis.lbr.stacks
+    );
+    let (ebs_blocks, lbr_blocks) = result.analysis.hbbp.choice_counts();
+    println!("rule choices: {ebs_blocks} blocks from EBS, {lbr_blocks} from LBR\n");
+
+    // The instruction mix, like the paper's "top mnemonics" view.
+    let mix = result.hbbp_mix();
+    println!("{:<14} {:>14} {:>8}", "mnemonic", "executions", "share");
+    for (mnemonic, count) in mix.top(15) {
+        println!(
+            "{:<14} {:>14.0} {:>7.2}%",
+            mnemonic.name(),
+            count,
+            count / mix.total() * 100.0
+        );
+    }
+
+    // Compare against software-instrumentation ground truth (SDE-like).
+    let truth = Instrumenter::new()
+        .with_cost(workload.sde_cost().clone())
+        .run(workload.program(), workload.layout(), workload.oracle());
+    let cmp = MixComparison::compare(&truth.mix, &result.hbbp_mix_for_ring(Ring::User));
+    println!(
+        "\nSDE would have taken {:.2} ms ({:.1}x slowdown); HBBP's avg weighted error: {:.2}%",
+        truth.instrumented_seconds(2.4) * 1e3,
+        truth.slowdown(),
+        cmp.avg_weighted_error() * 100.0
+    );
+    Ok(())
+}

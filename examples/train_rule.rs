@@ -1,0 +1,42 @@
+//! The HBBP criteria search — paper §IV.B / Figure 1.
+//!
+//! Trains a classification tree on ≈1,100 basic blocks from the non-SPEC
+//! training suite (labels: whichever of EBS/LBR lands closer to
+//! instrumentation ground truth, weighted by execution count), prints the
+//! scikit-style tree, and deploys both the tree and its distilled
+//! length-cutoff rule on a workload the training never saw.
+//!
+//! ```text
+//! cargo run --release --example train_rule
+//! ```
+
+use hbbp::core::{train_rule, TrainingConfig};
+use hbbp::prelude::*;
+use hbbp::workloads::{spec, training_suite};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("training on the non-SPEC suite (paper §IV.B)…\n");
+    let workloads = training_suite(Scale::Tiny);
+    let outcome = train_rule(&workloads, &TrainingConfig::default())?;
+    println!("{outcome}");
+
+    // Deploy on an unseen workload and compare rules.
+    let target = spec::workload_for("hmmer", Scale::Small);
+    let truth = Instrumenter::new().run(target.program(), target.layout(), target.oracle());
+    for (label, rule) in [
+        ("paper rule (len<=18)", HybridRule::paper_default()),
+        ("trained tree", outcome.rule()),
+        ("always EBS", HybridRule::AlwaysEbs),
+        ("always LBR", HybridRule::AlwaysLbr),
+    ] {
+        let result = HbbpProfiler::new(Cpu::with_seed(99))
+            .with_rule(rule)
+            .profile(&target)?;
+        let cmp = MixComparison::compare(&truth.mix, &result.hbbp_mix_for_ring(Ring::User));
+        println!(
+            "hmmer with {label:<22} avg weighted error: {:.2}%",
+            cmp.avg_weighted_error() * 100.0
+        );
+    }
+    Ok(())
+}

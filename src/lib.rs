@@ -1,0 +1,72 @@
+//! # hbbp — Hybrid Basic Block Profiling
+//!
+//! A complete, self-contained reproduction of **"Low-Overhead Dynamic
+//! Instruction Mix Generation using Hybrid Basic Block Profiling"**
+//! (Nowak, Yasin, Szostek, Zwaenepoel — ISPASS 2018), in pure Rust.
+//!
+//! HBBP produces dynamic instruction mixes from basic block execution
+//! counts gathered by the CPU's performance monitoring unit: it combines
+//! Event Based Sampling (accurate on long blocks) with Last Branch Records
+//! (accurate on short blocks, modulo an entry\[0\] hardware bias) through a
+//! learned per-block rule — *block length ≤ 18 → LBR, otherwise EBS* — at
+//! under 2% runtime overhead versus 4–76× for software instrumentation.
+//!
+//! This umbrella crate re-exports the whole stack:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`isa`] | synthetic x86-like ISA + byte-exact codec (XED stand-in) |
+//! | [`program`] | blocks, CFGs, layouts, text images, block maps |
+//! | [`sim`] | CPU + PMU simulator (skid, shadowing, LBR bias quirk) |
+//! | [`perf`] | perf.data-like records and the dual-event collector |
+//! | [`instrument`] | SDE/PIN-like ground truth with slowdown model |
+//! | [`mltree`] | CART classification trees (scikit stand-in) |
+//! | [`workloads`] | SPEC-like suite, Test40, Fitter, kernel module, … |
+//! | [`core`] | HBBP itself: estimators, hybrid rule, analyzer, training |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hbbp::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A workload from the paper's evaluation (scaled down for this doc test).
+//! let workload = hbbp::workloads::test40(Scale::Tiny);
+//!
+//! // Profile it end to end: clean run, period policy, dual-LBR
+//! // collection, kernel patching, EBS/LBR/HBBP analysis.
+//! let profiler = HbbpProfiler::new(Cpu::with_seed(42));
+//! let result = profiler.profile(&workload)?;
+//!
+//! println!("collection overhead: {:.2}%", result.overhead_fraction() * 100.0);
+//! for (mnemonic, count) in result.hbbp_mix().top(5) {
+//!     println!("{mnemonic:>12}  {count:>12.0}");
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use hbbp_core as core;
+pub use hbbp_instrument as instrument;
+pub use hbbp_isa as isa;
+pub use hbbp_mltree as mltree;
+pub use hbbp_perf as perf;
+pub use hbbp_program as program;
+pub use hbbp_sim as sim;
+pub use hbbp_workloads as workloads;
+
+/// The names most sessions need, in one import.
+pub mod prelude {
+    pub use hbbp_core::{
+        Analyzer, Choice, Field, HbbpProfiler, HybridRule, LbrOptions, MixComparison,
+        ProfileResult, SamplingPeriods,
+    };
+    pub use hbbp_instrument::{cross_check, CostModel, Instrumenter};
+    pub use hbbp_isa::{Instruction, Mnemonic, Taxonomy};
+    pub use hbbp_program::{Bbec, BlockMap, ImageView, MnemonicMix, Ring};
+    pub use hbbp_sim::{Cpu, EventSpec, PmuConfig, SystemConfig};
+    pub use hbbp_workloads::{Scale, Workload};
+}

@@ -1,0 +1,111 @@
+//! Integration tests over the hardware knobs the paper's evaluation turns:
+//! LBR depth, the entry[0] erratum, system stabilization and throttling.
+
+use hbbp::prelude::*;
+use hbbp::sim::{LbrQuirk, PmuGeneration};
+use hbbp::workloads::{fitter, generate, FitterVariant, GenSpec};
+
+#[test]
+fn deeper_lbr_stacks_carry_more_streams() {
+    let w = generate(&GenSpec::default(), Scale::Tiny);
+    let mut streams_per_stack = Vec::new();
+    for depth in [8usize, 16, 32] {
+        let mut profiler = HbbpProfiler::new(Cpu::with_seed(21));
+        profiler.pmu_template.lbr.stack_depth = depth;
+        let r = profiler.profile(&w).unwrap();
+        streams_per_stack
+            .push(r.analysis.lbr.streams as f64 / r.analysis.lbr.stacks.max(1) as f64);
+    }
+    assert!(streams_per_stack[0] < streams_per_stack[1]);
+    assert!(streams_per_stack[1] < streams_per_stack[2]);
+    // N entries yield N-1 streams.
+    assert!((streams_per_stack[1] - 15.0).abs() < 0.5);
+}
+
+#[test]
+fn quirk_free_hardware_fixes_lbr_but_not_hbbp_much() {
+    // The paper's footnote: the erratum was fixed in later designs.
+    let w = fitter(FitterVariant::Sse, Scale::Tiny);
+    let truth = Instrumenter::new().run(w.program(), w.layout(), w.oracle());
+    let run = |quirk: LbrQuirk| {
+        let mut profiler = HbbpProfiler::new(Cpu::with_seed(31));
+        profiler.pmu_template.lbr.quirk = quirk;
+        let r = profiler.profile(&w).unwrap();
+        let lbr = MixComparison::compare(
+            &truth.mix,
+            &r.analyzer.mix_for_ring(&r.analysis.lbr.bbec, Ring::User),
+        )
+        .avg_weighted_error();
+        let hbbp = MixComparison::compare(&truth.mix, &r.hbbp_mix_for_ring(Ring::User))
+            .avg_weighted_error();
+        (lbr, hbbp)
+    };
+    let (lbr_bad, hbbp_with) = run(LbrQuirk::default());
+    let (lbr_good, hbbp_without) = run(LbrQuirk::disabled());
+    assert!(
+        lbr_bad > 2.0 * lbr_good,
+        "erratum must hurt LBR: {lbr_bad:.4} vs {lbr_good:.4}"
+    );
+    // HBBP routed those blocks to EBS, so it barely notices either way.
+    assert!(hbbp_with < 0.6 * lbr_bad, "HBBP {hbbp_with:.4} must dodge LBR {lbr_bad:.4}");
+    assert!(hbbp_without <= lbr_bad);
+}
+
+#[test]
+fn unstabilized_system_perturbs_timings() {
+    // §VII.A: the paper disables turbo for benchmarking. With turbo on,
+    // wall-clock measurements wander run to run; instruction counts don't.
+    let w = generate(&GenSpec::default(), Scale::Tiny);
+    let mut cpu = Cpu::with_seed(41);
+    cpu.system.turbo = true;
+    let a = cpu.run_clean(w.program(), w.layout(), w.oracle()).unwrap();
+    assert!(a.freq_ghz > 2.4, "turbo must raise the clock");
+    cpu.seed = 42;
+    let b = cpu.run_clean(w.program(), w.layout(), w.oracle()).unwrap();
+    assert_ne!(a.freq_ghz, b.freq_ghz, "turbo wanders across runs");
+    assert_eq!(a.instructions, b.instructions, "work is unchanged");
+}
+
+#[test]
+fn throttled_collection_loses_samples_and_reports_it() {
+    use hbbp::perf::PerfSession;
+    let w = generate(&GenSpec::default(), Scale::Tiny);
+    let mut session = PerfSession::hbbp(Cpu::with_seed(51), 101, 31);
+    session.pmu.max_sample_rate = Some(2_000); // absurdly low limit
+    let rec = session
+        .record(w.program(), w.layout(), w.oracle())
+        .unwrap();
+    assert!(rec.run.throttled > 0);
+    // The loss is visible in the data stream as a LOST record.
+    assert_eq!(rec.data.lost(), rec.run.throttled);
+}
+
+#[test]
+fn older_generations_count_what_newer_ones_cannot() {
+    use hbbp::sim::{CounterConfig, EventKind, EventSpec, PmuConfig};
+    let w = generate(&GenSpec::default(), Scale::Tiny);
+    // Ivy Bridge (the paper's machine) can still count SSE FP directly.
+    let pmu = PmuConfig {
+        counters: vec![CounterConfig::new(
+            EventSpec::plain(EventKind::FpCompOpsSse),
+            1_000_000,
+        )],
+        generation: PmuGeneration::IvyBridge,
+        ..PmuConfig::default()
+    };
+    Cpu::with_seed(61)
+        .run(w.program(), w.layout(), w.oracle(), &pmu)
+        .expect("ivy bridge supports the event");
+    // Haswell cannot — the Table 2 decline that motivates HBBP.
+    let pmu = PmuConfig {
+        counters: vec![CounterConfig::new(
+            EventSpec::plain(EventKind::FpCompOpsSse),
+            1_000_000,
+        )],
+        generation: PmuGeneration::Haswell,
+        ..PmuConfig::default()
+    };
+    assert!(Cpu::with_seed(61)
+        .run(w.program(), w.layout(), w.oracle(), &pmu)
+        .is_err());
+}

@@ -1,0 +1,80 @@
+//! Integration tests of the kernel-mode coverage story (paper §III.C and
+//! §VIII.D): instrumentation blindness, HBBP ring coverage, self-modifying
+//! text patching.
+
+use hbbp::prelude::*;
+use hbbp::workloads::kernel_benchmark;
+
+#[test]
+fn instrumentation_is_blind_to_ring0_hbbp_is_not() {
+    let w = kernel_benchmark(Scale::Tiny);
+    let truth = Instrumenter::new().run(w.program(), w.layout(), w.oracle());
+    assert!(truth.kernel_blocks_invisible > 0, "kernel code must execute");
+
+    let result = HbbpProfiler::new(Cpu::with_seed(2)).profile(&w).unwrap();
+    let kernel_mix = result.hbbp_mix_for_ring(Ring::Kernel);
+    assert!(
+        kernel_mix.total() > 0.0,
+        "HBBP must attribute kernel instructions"
+    );
+    // The instrumenter's mix has no kernel-module instructions at all.
+    let imul_kernel = result
+        .analyzer
+        .mix_where(&result.analysis.hbbp.bbec, |b| {
+            b.symbol.as_deref() == Some("hello_k")
+        });
+    assert!(imul_kernel.get(Mnemonic::Imul) > 0.0);
+}
+
+#[test]
+fn user_and_kernel_mixes_agree() {
+    // Table 7: the same code profiled in both rings gives matching counts.
+    let w = kernel_benchmark(Scale::Tiny);
+    let result = HbbpProfiler::new(Cpu::with_seed(2)).profile(&w).unwrap();
+    let user = result.analyzer.mix_where(&result.analysis.hbbp.bbec, |b| {
+        b.symbol.as_deref() == Some("hello_u")
+    });
+    let kernel = result.analyzer.mix_where(&result.analysis.hbbp.bbec, |b| {
+        b.symbol.as_deref() == Some("hello_k")
+    });
+    let deviation = (user.total() - kernel.total()).abs() / user.total();
+    assert!(
+        deviation < 0.10,
+        "user/kernel totals deviate {:.1}%",
+        deviation * 100.0
+    );
+}
+
+#[test]
+fn stale_kernel_text_derails_streams_patching_fixes_them() {
+    let w = kernel_benchmark(Scale::Tiny);
+    let patched = HbbpProfiler::new(Cpu::with_seed(4)).profile(&w).unwrap();
+    let stale = HbbpProfiler::new(Cpu::with_seed(4))
+        .without_kernel_patching()
+        .profile(&w)
+        .unwrap();
+    assert_eq!(
+        patched.analysis.lbr.derailed_streams, 0,
+        "patched text must walk cleanly"
+    );
+    assert!(
+        stale.analysis.lbr.derailed_streams > 0,
+        "stale tracepoint JMPs must derail streams"
+    );
+    // And the stale map splits blocks at phantom jumps.
+    assert!(stale.analyzer.map().len() > patched.analyzer.map().len());
+}
+
+#[test]
+fn pmu_counting_reconciles_rings() {
+    // PMU totals = user (instrumentable) + kernel (invisible) instructions.
+    let w = kernel_benchmark(Scale::Tiny);
+    let truth = Instrumenter::new().run(w.program(), w.layout(), w.oracle());
+    let clean = Cpu::with_seed(1)
+        .run_clean(w.program(), w.layout(), w.oracle())
+        .unwrap();
+    let kernel_instrs = clean.instructions - truth.instructions as u64;
+    assert!(kernel_instrs > 0);
+    let check = cross_check(&truth, &clean.counts, kernel_instrs);
+    assert!(check.agrees(1e-9), "{check}");
+}

@@ -1,0 +1,111 @@
+//! Integration tests pinning the *shapes* of the paper's evaluation:
+//! slowdown bands, the vectorization case study, and the criteria search.
+
+use hbbp::core::{train_rule, TrainingConfig};
+use hbbp::prelude::*;
+use hbbp::workloads::{
+    clforward, fitter, hydro_post, spec, test40, training_suite, ClVariant, FitterVariant,
+};
+
+#[test]
+fn instrumentation_slowdowns_span_the_paper_band() {
+    // Table 1: ~4x for plain integer code up to ~76x for Hydro-post.
+    let plain = spec::workload_for("bzip2", Scale::Tiny);
+    let t = Instrumenter::new()
+        .with_cost(plain.sde_cost().clone())
+        .run(plain.program(), plain.layout(), plain.oracle());
+    assert!((2.0..8.0).contains(&t.slowdown()), "bzip2 {:.1}x", t.slowdown());
+
+    let hydro = hydro_post(Scale::Tiny);
+    let t = Instrumenter::new()
+        .with_cost(hydro.sde_cost().clone())
+        .run(hydro.program(), hydro.layout(), hydro.oracle());
+    assert!(t.slowdown() > 40.0, "hydro {:.1}x", t.slowdown());
+
+    let povray = spec::workload_for("povray", Scale::Tiny);
+    let t_povray = Instrumenter::new()
+        .with_cost(povray.sde_cost().clone())
+        .run(povray.program(), povray.layout(), povray.oracle());
+    assert!(
+        t_povray.slowdown() > 9.0,
+        "povray should be the worst SPEC slowdown: {:.1}x",
+        t_povray.slowdown()
+    );
+}
+
+#[test]
+fn hbbp_overhead_stays_in_paper_band() {
+    // §VIII: HBBP collection overhead ≈0.5% (SPEC) to 2.3% (Test40).
+    for w in [test40(Scale::Tiny), spec::workload_for("milc", Scale::Tiny)] {
+        let r = HbbpProfiler::new(Cpu::with_seed(1)).profile(&w).unwrap();
+        let ovh = r.overhead_fraction();
+        assert!(
+            (0.0..0.05).contains(&ovh),
+            "{}: overhead {:.2}%",
+            w.name(),
+            ovh * 100.0
+        );
+    }
+}
+
+#[test]
+fn broken_inlining_shows_the_call_explosion() {
+    // Table 6 / §VIII.C: CALLs explode, AVX emission stays plausible.
+    let broken = fitter(FitterVariant::AvxBroken, Scale::Tiny);
+    let fixed = fitter(FitterVariant::AvxFix, Scale::Tiny);
+    let tb = Instrumenter::new().run(broken.program(), broken.layout(), broken.oracle());
+    let tf = Instrumenter::new().run(fixed.program(), fixed.layout(), fixed.oracle());
+    let calls_ratio = tb.mix.get(Mnemonic::CallNear) / tf.mix.get(Mnemonic::CallNear);
+    assert!(calls_ratio > 30.0, "calls ratio {calls_ratio:.0}x");
+    let avx = |m: &MnemonicMix| -> f64 {
+        m.iter()
+            .filter(|(mn, _)| mn.extension() == hbbp::isa::Extension::Avx)
+            .map(|(_, c)| c)
+            .sum()
+    };
+    let avx_ratio = avx(&tb.mix) / avx(&tf.mix);
+    assert!(
+        (0.5..4.0).contains(&avx_ratio),
+        "AVX counts should stay unsuspicious, got {avx_ratio:.1}x"
+    );
+    // Time per track blows up.
+    assert!(tb.native_cycles > 4 * tf.native_cycles);
+}
+
+#[test]
+fn clforward_vectorization_view() {
+    // Table 8: scalar-dominated before, packed-dominated after, fewer
+    // total instructions, better runtime.
+    let before = clforward(ClVariant::Before, Scale::Tiny);
+    let after = clforward(ClVariant::After, Scale::Tiny);
+    let tb = Instrumenter::new().run(before.program(), before.layout(), before.oracle());
+    let ta = Instrumenter::new().run(after.program(), after.layout(), after.oracle());
+    assert!(ta.mix.total() < tb.mix.total());
+    assert!(ta.native_cycles < tb.native_cycles);
+}
+
+#[test]
+fn criteria_search_recovers_a_length_rule() {
+    // Figure 1 / §IV.B on a reduced training set (speed): block length must
+    // dominate and the cutoff must land near the paper's 18.
+    let suite: Vec<_> = training_suite(Scale::Tiny).into_iter().take(6).collect();
+    let outcome = train_rule(&suite, &TrainingConfig::default()).unwrap();
+    assert!(outcome.rows > 150, "{} rows", outcome.rows);
+    assert_eq!(outcome.importances[0].0, "block_len");
+    assert!(outcome.importances[0].1 > 0.4);
+    let cutoff = outcome.cutoff.expect("root splits on block_len");
+    assert!(
+        (10.0..32.0).contains(&cutoff),
+        "cutoff {cutoff} far from the paper's 18"
+    );
+}
+
+#[test]
+fn pmu_capability_matrix_shrinks_over_generations() {
+    use hbbp::sim::PmuGeneration;
+    let counts: Vec<usize> = PmuGeneration::ALL
+        .iter()
+        .map(|g| g.instruction_specific_count())
+        .collect();
+    assert!(counts[0] >= counts[1] && counts[1] > counts[2]);
+}

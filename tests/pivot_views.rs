@@ -1,0 +1,84 @@
+//! Integration tests of the analyzer's pivot-table views — the paper's
+//! §V.B analysis surface ("top functions, top mnemonics, or instruction
+//! family breakdowns, are produced in a few clicks").
+
+use hbbp::prelude::*;
+use hbbp::workloads::{clforward, generate, ClVariant, GenSpec};
+
+fn profiled() -> ProfileResult {
+    let w = generate(&GenSpec::default(), Scale::Tiny);
+    HbbpProfiler::new(Cpu::with_seed(77)).profile(&w).unwrap()
+}
+
+#[test]
+fn pivot_totals_are_consistent_across_groupings() {
+    let r = profiled();
+    let bbec = &r.analysis.hbbp.bbec;
+    let by_mnemonic = r.analyzer.pivot(bbec, &[Field::Mnemonic]);
+    let by_symbol = r.analyzer.pivot(bbec, &[Field::Symbol]);
+    let by_ext = r.analyzer.pivot(bbec, &[Field::Extension]);
+    let by_sym_and_cat = r.analyzer.pivot(bbec, &[Field::Symbol, Field::Category]);
+    // Every grouping partitions the same weighted instruction population.
+    let t = by_mnemonic.total();
+    for p in [&by_symbol, &by_ext, &by_sym_and_cat] {
+        assert!((p.total() - t).abs() < 1e-6 * t);
+    }
+    // And matches the mix total.
+    assert!((r.hbbp_mix().total() - t).abs() < 1e-6 * t);
+}
+
+#[test]
+fn pivot_rows_are_sorted_and_csv_exports() {
+    let r = profiled();
+    let table = r
+        .analyzer
+        .pivot(&r.analysis.hbbp.bbec, &[Field::Mnemonic]);
+    let rows = table.rows();
+    for w in rows.windows(2) {
+        assert!(w[0].count >= w[1].count, "rows must sort descending");
+    }
+    let csv = table.to_csv();
+    assert!(csv.starts_with("mnemonic,count\n"));
+    assert_eq!(csv.lines().count(), rows.len() + 1);
+}
+
+#[test]
+fn taxonomy_pivot_reproduces_table8_buckets() {
+    let w = clforward(ClVariant::After, Scale::Tiny);
+    let r = HbbpProfiler::new(Cpu::with_seed(78)).profile(&w).unwrap();
+    let table = r.analyzer.pivot(
+        &r.analysis.hbbp.bbec,
+        &[Field::Taxon(Taxonomy::ext_packing())],
+    );
+    assert!(table.get(&["AVX/PACKED"]) > 0.0);
+    assert!(table.get(&["AVX/NONE"]) > 0.0, "vzeroupper bucket");
+    assert_eq!(table.get(&["AVX/SCALAR"]), 0.0, "after the fix");
+}
+
+#[test]
+fn custom_taxonomy_long_latency_view() {
+    // The paper's user-defined "long latency instructions" group, on a
+    // divide-heavy workload.
+    let w = generate(
+        &hbbp::workloads::training::training_spec("train-div-heavy"),
+        Scale::Tiny,
+    );
+    let r = HbbpProfiler::new(Cpu::with_seed(80)).profile(&w).unwrap();
+    let table = r.analyzer.pivot(
+        &r.analysis.hbbp.bbec,
+        &[Field::Taxon(Taxonomy::long_latency())],
+    );
+    let long = table.get(&["long latency"]);
+    let rest = table.get(&["-"]);
+    assert!(long > 0.0, "div-heavy workload has long-latency ops");
+    assert!(rest > long, "long-latency ops are the minority");
+}
+
+#[test]
+fn ring_field_splits_user_and_kernel() {
+    let w = hbbp::workloads::kernel_benchmark(Scale::Tiny);
+    let r = HbbpProfiler::new(Cpu::with_seed(79)).profile(&w).unwrap();
+    let table = r.analyzer.pivot(&r.analysis.hbbp.bbec, &[Field::Ring]);
+    assert!(table.get(&["user"]) > 0.0);
+    assert!(table.get(&["kernel"]) > 0.0);
+}
