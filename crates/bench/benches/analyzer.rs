@@ -19,31 +19,47 @@ fn bench_analyzer(c: &mut Criterion) {
         .instructions;
     let periods = SamplingPeriods::scaled_for(instructions);
     let session = PerfSession::hbbp(cpu, periods.ebs, periods.lbr);
-    let rec = session
-        .record(w.program(), w.layout(), w.oracle())
-        .unwrap();
-    let analyzer =
-        Analyzer::from_images(&w.images(hbbp_program::ImageView::Live), w.layout().symbols())
-            .unwrap();
+    let rec = session.record(w.program(), w.layout(), w.oracle()).unwrap();
+    let analyzer = Analyzer::from_images(
+        &w.images(hbbp_program::ImageView::Live),
+        w.layout().symbols(),
+    )
+    .unwrap();
 
     let mut group = c.benchmark_group("analyzer");
     group.sample_size(30);
 
     group.bench_function("ebs_estimate", |b| {
-        b.iter(|| black_box(ebs::estimate(&rec.data, analyzer.map(), periods.ebs).bbec.total()))
-    });
-    group.bench_function("lbr_estimate_with_bias_detection", |b| {
         b.iter(|| {
             black_box(
-                lbr::estimate(&rec.data, analyzer.map(), periods.lbr, &LbrOptions::default())
+                ebs::estimate(&rec.data, analyzer.map(), periods.ebs)
                     .bbec
                     .total(),
             )
         })
     });
+    group.bench_function("lbr_estimate_with_bias_detection", |b| {
+        b.iter(|| {
+            black_box(
+                lbr::estimate(
+                    &rec.data,
+                    analyzer.map(),
+                    periods.lbr,
+                    &LbrOptions::default(),
+                )
+                .bbec
+                .total(),
+            )
+        })
+    });
 
     let e = ebs::estimate(&rec.data, analyzer.map(), periods.ebs);
-    let l = lbr::estimate(&rec.data, analyzer.map(), periods.lbr, &LbrOptions::default());
+    let l = lbr::estimate(
+        &rec.data,
+        analyzer.map(),
+        periods.lbr,
+        &LbrOptions::default(),
+    );
     let rule = HybridRule::paper_default();
     group.bench_function("hybrid_combine", |b| {
         b.iter(|| black_box(hybrid::combine(analyzer.map(), &e, &l, &rule).bbec.total()))

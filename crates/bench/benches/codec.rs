@@ -36,9 +36,7 @@ fn bench_perf_codec(c: &mut Criterion) {
         .instructions;
     let periods = SamplingPeriods::scaled_for(instructions);
     let session = PerfSession::hbbp(cpu, periods.ebs, periods.lbr);
-    let rec = session
-        .record(w.program(), w.layout(), w.oracle())
-        .unwrap();
+    let rec = session.record(w.program(), w.layout(), w.oracle()).unwrap();
     let bytes = hbbp_perf::codec::write(&rec.data);
 
     let mut group = c.benchmark_group("perf_codec");

@@ -22,9 +22,7 @@ fn bench_collector(c: &mut Criterion) {
 
     group.bench_function("clean_run", |b| {
         b.iter(|| {
-            let r = cpu
-                .run_clean(w.program(), w.layout(), w.oracle())
-                .unwrap();
+            let r = cpu.run_clean(w.program(), w.layout(), w.oracle()).unwrap();
             black_box(r.cycles)
         })
     });
@@ -33,9 +31,7 @@ fn bench_collector(c: &mut Criterion) {
     let pmu = PmuConfig::hbbp_collector(periods.ebs, periods.lbr);
     group.bench_function("hbbp_dual_lbr_collection", |b| {
         b.iter(|| {
-            let r = cpu
-                .run(w.program(), w.layout(), w.oracle(), &pmu)
-                .unwrap();
+            let r = cpu.run(w.program(), w.layout(), w.oracle(), &pmu).unwrap();
             black_box(r.samples.len())
         })
     });

@@ -26,7 +26,14 @@ fn bench_discovery(c: &mut Criterion) {
 fn bench_tree_training(c: &mut Criterion) {
     // A synthetic criteria-search dataset: 1,100 blocks, 6 features.
     let mut data = Dataset::new(
-        ["block_len", "bias", "exec", "long_lat", "mean_lat", "backward"],
+        [
+            "block_len",
+            "bias",
+            "exec",
+            "long_lat",
+            "mean_lat",
+            "backward",
+        ],
         ["EBS", "LBR"],
     );
     for i in 0..1100usize {
@@ -64,13 +71,14 @@ fn bench_error_metrics(c: &mut Criterion) {
     let mut measured = truth.mix.clone();
     measured.scale(1.02);
     c.bench_function("avg_weighted_error", |b| {
-        b.iter(|| {
-            black_box(
-                MixComparison::compare(&truth.mix, &measured).avg_weighted_error(),
-            )
-        })
+        b.iter(|| black_box(MixComparison::compare(&truth.mix, &measured).avg_weighted_error()))
     });
 }
 
-criterion_group!(benches, bench_discovery, bench_tree_training, bench_error_metrics);
+criterion_group!(
+    benches,
+    bench_discovery,
+    bench_tree_training,
+    bench_error_metrics
+);
 criterion_main!(benches);

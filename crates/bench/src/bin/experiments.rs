@@ -5,6 +5,9 @@ use hbbp_core::HybridRule;
 use hbbp_workloads::Scale;
 use std::time::Instant;
 
+/// An experiment entry: subcommand name plus the function regenerating it.
+type Experiment = (&'static str, fn(&ExpOptions) -> String);
+
 fn usage() -> ! {
     eprintln!(
         "usage: experiments <cmd> [--scale tiny|small|full] [--seed N] [--rule paper|cutoff=N|always-ebs|always-lbr]\n\
@@ -35,7 +38,10 @@ fn main() {
             }
             "--seed" => {
                 i += 1;
-                opts.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                opts.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--rule" => {
                 i += 1;
@@ -43,12 +49,10 @@ fn main() {
                     Some("paper") => HybridRule::paper_default(),
                     Some("always-ebs") => HybridRule::AlwaysEbs,
                     Some("always-lbr") => HybridRule::AlwaysLbr,
-                    Some(s) if s.starts_with("cutoff=") => {
-                        match s["cutoff=".len()..].parse() {
-                            Ok(c) => HybridRule::LengthCutoff(c),
-                            Err(_) => usage(),
-                        }
-                    }
+                    Some(s) if s.starts_with("cutoff=") => match s["cutoff=".len()..].parse() {
+                        Ok(c) => HybridRule::LengthCutoff(c),
+                        Err(_) => usage(),
+                    },
                     _ => usage(),
                 };
             }
@@ -57,7 +61,7 @@ fn main() {
         i += 1;
     }
 
-    let experiments: Vec<(&str, fn(&ExpOptions) -> String)> = vec![
+    let experiments: Vec<Experiment> = vec![
         ("table1", tables::table1),
         ("table2", tables::table2),
         ("table3", tables::table3),

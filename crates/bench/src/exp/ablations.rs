@@ -47,7 +47,8 @@ pub fn ablate_cutoff(opts: &ExpOptions) -> String {
         let _ = write!(out, "{:<12}", cutoff);
         let mut sum = 0.0;
         for (r, truth) in &per_workload {
-            let combined = hybrid::combine(r.analyzer.map(), &r.analysis.ebs, &r.analysis.lbr, &rule);
+            let combined =
+                hybrid::combine(r.analyzer.map(), &r.analysis.ebs, &r.analysis.lbr, &rule);
             let mix = r.analyzer.mix_for_ring(&combined.bbec, Ring::User);
             let err = MixComparison::compare(&truth.mix, &mix).avg_weighted_error();
             sum += err;
@@ -168,7 +169,10 @@ pub fn ablate_quirk(opts: &ExpOptions) -> String {
         "workload", "quirk", "err LBR", "err HBBP"
     );
     for w in &workloads {
-        for (quirk, label) in [(LbrQuirk::default(), "present"), (LbrQuirk::disabled(), "fixed")] {
+        for (quirk, label) in [
+            (LbrQuirk::default(), "present"),
+            (LbrQuirk::disabled(), "fixed"),
+        ] {
             let mut profiler =
                 HbbpProfiler::new(Cpu::with_seed(opts.seed)).with_rule(opts.rule.clone());
             profiler.pmu_template.lbr.quirk = quirk;
@@ -205,7 +209,8 @@ pub fn ablate_kernel_patch(opts: &ExpOptions) -> String {
     );
     let mut patched_total = 0.0f64;
     for (patch, label) in [(true, "patched"), (false, "stale")] {
-        let mut profiler = HbbpProfiler::new(Cpu::with_seed(opts.seed)).with_rule(opts.rule.clone());
+        let mut profiler =
+            HbbpProfiler::new(Cpu::with_seed(opts.seed)).with_rule(opts.rule.clone());
         if !patch {
             profiler = profiler.without_kernel_patching();
         }

@@ -33,8 +33,8 @@ pub fn fig2(opts: &ExpOptions) -> String {
     );
     let _ = writeln!(
         out,
-        "{:<12} {:>8} {:>9} {:>9} {:>9} {:>9}  {}",
-        "benchmark", "SDE x", "HBBP ovh", "err HBBP", "err LBR", "err EBS", "notes"
+        "{:<12} {:>8} {:>9} {:>9} {:>9} {:>9}  notes",
+        "benchmark", "SDE x", "HBBP ovh", "err HBBP", "err LBR", "err EBS"
     );
     let mut outcomes: Vec<BenchOutcome> = Vec::new();
     for name in spec::SPEC_NAMES {
@@ -77,10 +77,7 @@ pub fn fig2(opts: &ExpOptions) -> String {
         out,
         "  SDE slowdown: mean {:.2}x, max {:.2}x | HBBP overhead: mean {}",
         mean(|o| o.sde_slowdown),
-        valid
-            .iter()
-            .map(|o| o.sde_slowdown)
-            .fold(0.0f64, f64::max),
+        valid.iter().map(|o| o.sde_slowdown).fold(0.0f64, f64::max),
         pct(mean(|o| o.hbbp_overhead))
     );
     let worse2x = valid

@@ -6,7 +6,9 @@ use hbbp_core::{period_table, Field};
 use hbbp_isa::{Extension, Mnemonic, Taxonomy};
 use hbbp_program::Ring;
 use hbbp_sim::capability_table;
-use hbbp_workloads::{clforward, fitter, hydro_post, kernel_benchmark, spec, ClVariant, FitterVariant};
+use hbbp_workloads::{
+    clforward, fitter, hydro_post, kernel_benchmark, spec, ClVariant, FitterVariant,
+};
 use std::fmt::Write as _;
 
 /// Table 1: wall-clock runtimes, clean vs SDE.
@@ -41,7 +43,12 @@ pub fn table1(opts: &ExpOptions) -> String {
     row(&mut out, "SPEC all", total_clean, total_sde);
     for name in ["povray", "omnetpp"] {
         let o = outcomes.iter().find(|o| o.name == name).expect("present");
-        row(&mut out, &format!("SPEC {name}"), o.clean_seconds, o.sde_seconds);
+        row(
+            &mut out,
+            &format!("SPEC {name}"),
+            o.clean_seconds,
+            o.sde_seconds,
+        );
     }
     let rest_clean: f64 = outcomes
         .iter()
@@ -132,7 +139,10 @@ pub fn table3(opts: &ExpOptions) -> String {
 /// Table 4: EBS and LBR sampling periods.
 pub fn table4(_opts: &ExpOptions) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table 4: EBS and LBR sampling periods in HBBP (paper values).\n");
+    let _ = writeln!(
+        out,
+        "Table 4: EBS and LBR sampling periods in HBBP (paper values).\n"
+    );
     out.push_str(&period_table());
     let _ = writeln!(
         out,
@@ -248,7 +258,13 @@ pub fn table6(opts: &ExpOptions) -> String {
         out,
         "Table 6: expected vs measured (HBBP) values for the Fitter benchmark.\n'AVX-broken' is the compiler regression (inlining lost); 'AVX fix' the repaired build.\n"
     );
-    let rows = ["x87 inst", "SSE inst", "AVX inst", "CALLs", "time/track(us)"];
+    let rows = [
+        "x87 inst",
+        "SSE inst",
+        "AVX inst",
+        "CALLs",
+        "time/track(us)",
+    ];
     let _ = write!(out, "{:<10} {:<16}", "", "");
     for c in &cols {
         let _ = write!(out, "{:>13}", c.label);
@@ -410,7 +426,10 @@ pub fn table8(opts: &ExpOptions) -> String {
     let _ = writeln!(
         out,
         "{:<10} {:<10} {:>16.0} {:>16.0}",
-        "TOTAL", "", before.total(), after.total()
+        "TOTAL",
+        "",
+        before.total(),
+        after.total()
     );
     let _ = writeln!(
         out,

@@ -12,7 +12,9 @@
 use crate::{ebs, hybrid, lbr, EbsEstimate, HbbpEstimate, HybridRule, LbrEstimate, LbrOptions};
 use crate::{Field, PivotTable, SamplingPeriods};
 use hbbp_perf::PerfData;
-use hbbp_program::{Bbec, BlockMap, DiscoverError, MnemonicMix, Ring, StaticBlock, SymbolInfo, TextImage};
+use hbbp_program::{
+    Bbec, BlockMap, DiscoverError, MnemonicMix, Ring, StaticBlock, SymbolInfo, TextImage,
+};
 use std::collections::HashMap;
 
 /// The analysis engine for one workload's images.
@@ -62,7 +64,10 @@ impl Analyzer {
     }
 
     /// Build an analyzer over an existing block map.
-    pub fn from_map(map: BlockMap, module_names: HashMap<hbbp_program::ModuleId, String>) -> Analyzer {
+    pub fn from_map(
+        map: BlockMap,
+        module_names: HashMap<hbbp_program::ModuleId, String>,
+    ) -> Analyzer {
         Analyzer {
             map,
             module_names,
@@ -82,7 +87,12 @@ impl Analyzer {
     }
 
     /// Run all three estimators over a recording.
-    pub fn analyze(&self, data: &PerfData, periods: SamplingPeriods, rule: &HybridRule) -> Analysis {
+    pub fn analyze(
+        &self,
+        data: &PerfData,
+        periods: SamplingPeriods,
+        rule: &HybridRule,
+    ) -> Analysis {
         let ebs = ebs::estimate(data, &self.map, periods.ebs);
         let lbr = lbr::estimate(data, &self.map, periods.lbr, &self.lbr_options);
         let hbbp = hybrid::combine(&self.map, &ebs, &lbr, rule);

@@ -124,8 +124,7 @@ impl HbbpProfiler {
         pmu.counters[1].period = periods.lbr;
         // PMI cost is anchored to the *policy* period so that overriding
         // periods (denser sampling) visibly trades overhead for accuracy.
-        pmu.pmi_cost_cycles =
-            ((policy.ebs as f64 * self.pmi_period_fraction).ceil() as u64).max(1);
+        pmu.pmi_cost_cycles = ((policy.ebs as f64 * self.pmi_period_fraction).ceil() as u64).max(1);
         let session = PerfSession {
             cpu: self.cpu.clone(),
             pmu,
@@ -239,7 +238,9 @@ mod tests {
         assert!(!result.analysis.hbbp.bbec.is_empty());
         // Total instruction estimates should be within a few percent of
         // the true count.
-        let total = result.analyzer.total_instructions(&result.analysis.hbbp.bbec);
+        let total = result
+            .analyzer
+            .total_instructions(&result.analysis.hbbp.bbec);
         let truth = result.clean.instructions as f64;
         let err = (total - truth).abs() / truth;
         assert!(err < 0.15, "total estimate off by {:.1}%", err * 100.0);
@@ -261,7 +262,10 @@ mod tests {
     #[test]
     fn fixed_periods_respected() {
         let w = generate(&GenSpec::default(), Scale::Tiny);
-        let periods = SamplingPeriods { ebs: 4001, lbr: 563 };
+        let periods = SamplingPeriods {
+            ebs: 4001,
+            lbr: 563,
+        };
         let result = HbbpProfiler::new(Cpu::with_seed(9))
             .with_periods(periods)
             .profile(&w)

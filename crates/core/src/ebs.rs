@@ -67,10 +67,10 @@ pub fn estimate(data: &PerfData, map: &BlockMap, period: u64) -> EbsEstimate {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hbbp_perf::{PerfRecord, PerfSample};
-    use hbbp_program::{ImageView, Layout, ProgramBuilder, Ring, TextImage};
     use hbbp_isa::instruction::build;
     use hbbp_isa::{Mnemonic, Reg};
+    use hbbp_perf::{PerfRecord, PerfSample};
+    use hbbp_program::{ImageView, Layout, ProgramBuilder, Ring, TextImage};
 
     /// One 5-instruction block + exit block.
     fn map_fixture() -> (BlockMap, u64, u64) {
@@ -88,11 +88,7 @@ mod tests {
         let layout = Layout::compute(&mut p).unwrap();
         let image = TextImage::encode(&p, &layout, p.modules()[0].id(), ImageView::Disk);
         let map = BlockMap::discover(&[image], layout.symbols()).unwrap();
-        (
-            map,
-            layout.block_start(b0),
-            layout.instr_addr(b0, 2),
-        )
+        (map, layout.block_start(b0), layout.instr_addr(b0, 2))
     }
 
     fn sample_at(ip: u64) -> PerfRecord {

@@ -40,21 +40,12 @@ pub struct BlockFeatures {
 
 impl BlockFeatures {
     /// Extract features for the block at index `bi` of `map`.
-    pub fn extract(
-        block: &StaticBlock,
-        ebs: &EbsEstimate,
-        lbr: &LbrEstimate,
-    ) -> BlockFeatures {
+    pub fn extract(block: &StaticBlock, ebs: &EbsEstimate, lbr: &LbrEstimate) -> BlockFeatures {
         let exec = ebs.count(block.start).max(lbr.count(block.start));
         let mean_latency = if block.instrs.is_empty() {
             0.0
         } else {
-            block
-                .instrs
-                .iter()
-                .map(|i| i.latency() as f64)
-                .sum::<f64>()
-                / block.instrs.len() as f64
+            block.instrs.iter().map(|i| i.latency() as f64).sum::<f64>() / block.instrs.len() as f64
         };
         BlockFeatures {
             block_len: block.len() as f64,
@@ -90,10 +81,10 @@ impl BlockFeatures {
 mod tests {
     use super::*;
     use crate::{ebs, lbr, LbrOptions};
-    use hbbp_perf::PerfData;
-    use hbbp_program::{BlockMap, ImageView, Layout, ProgramBuilder, Ring, TextImage};
     use hbbp_isa::instruction::build;
     use hbbp_isa::{Mnemonic, Reg};
+    use hbbp_perf::PerfData;
+    use hbbp_program::{BlockMap, ImageView, Layout, ProgramBuilder, Ring, TextImage};
 
     fn fixture() -> (BlockMap, u64) {
         let mut b = ProgramBuilder::new("f");

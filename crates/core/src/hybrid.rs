@@ -110,11 +110,7 @@ impl HbbpEstimate {
 
     /// How many blocks chose each source.
     pub fn choice_counts(&self) -> (usize, usize) {
-        let ebs = self
-            .choices
-            .values()
-            .filter(|c| **c == Choice::Ebs)
-            .count();
+        let ebs = self.choices.values().filter(|c| **c == Choice::Ebs).count();
         (ebs, self.choices.len() - ebs)
     }
 }

@@ -21,13 +21,13 @@
 //! * [`errors`] — the paper's error metrics (§VI): per-mnemonic error and
 //!   the average weighted error.
 //!
-//! ```no_run
+//! ```
 //! use hbbp_core::{HbbpProfiler, HybridRule};
 //! use hbbp_sim::Cpu;
 //! use hbbp_workloads::{test40, Scale};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let workload = test40(Scale::Small);
+//! let workload = test40(Scale::Tiny);
 //! let profiler = HbbpProfiler::new(Cpu::with_seed(42))
 //!     .with_rule(HybridRule::paper_default());
 //! let result = profiler.profile(&workload)?;

@@ -119,7 +119,12 @@ pub fn period_table() -> String {
     ));
     for class in RuntimeClass::ALL {
         let p = SamplingPeriods::paper(class);
-        out.push_str(&format!("{:<26} {:>18} {:>18}\n", class.label(), p.ebs, p.lbr));
+        out.push_str(&format!(
+            "{:<26} {:>18} {:>18}\n",
+            class.label(),
+            p.ebs,
+            p.lbr
+        ));
     }
     out
 }
@@ -139,12 +144,12 @@ fn is_prime(n: u64) -> bool {
     if n < 2 {
         return false;
     }
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         return n == 2;
     }
     let mut d = 3u64;
     while d.saturating_mul(d) <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             return false;
         }
         d += 2;

@@ -103,7 +103,11 @@ impl PivotTable {
             .into_iter()
             .map(|(keys, count)| PivotRow { keys, count })
             .collect();
-        rows.sort_by(|a, b| b.count.partial_cmp(&a.count).unwrap_or(std::cmp::Ordering::Equal));
+        rows.sort_by(|a, b| {
+            b.count
+                .partial_cmp(&a.count)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         PivotTable {
             headers: fields.iter().map(|f| f.header().to_owned()).collect(),
             rows,

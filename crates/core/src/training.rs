@@ -63,7 +63,8 @@ impl TrainingOutcome {
     /// The distilled cutoff rule, when the tree's root splits on block
     /// length (the form the paper ships).
     pub fn distilled_rule(&self) -> Option<HybridRule> {
-        self.cutoff.map(|c| HybridRule::LengthCutoff(c.floor() as usize))
+        self.cutoff
+            .map(|c| HybridRule::LengthCutoff(c.floor() as usize))
     }
 
     /// Scikit-style tree dump (Figure 1).
@@ -110,11 +111,8 @@ pub fn train_rule(
     for (i, workload) in workloads.iter().enumerate() {
         let profiler = HbbpProfiler::new(Cpu::with_seed(config.cpu_seed ^ (i as u64) << 8));
         let result = profiler.profile(workload)?;
-        let truth = Instrumenter::new().run(
-            workload.program(),
-            workload.layout(),
-            workload.oracle(),
-        );
+        let truth =
+            Instrumenter::new().run(workload.program(), workload.layout(), workload.oracle());
         let total_truth = truth.bbec.total().max(1.0);
         for block in result.analyzer.map().blocks() {
             let t = truth.bbec.get(block.start);

@@ -23,7 +23,10 @@ fn fixture(body: usize) -> Fx {
     let b0 = b.block(f);
     let b1 = b.block(f);
     for i in 0..body {
-        b.push(b0, build::rr(Mnemonic::Add, Reg::gpr((i % 8) as u8), Reg::gpr(9)));
+        b.push(
+            b0,
+            build::rr(Mnemonic::Add, Reg::gpr((i % 8) as u8), Reg::gpr(9)),
+        );
     }
     b.terminate_branch(b0, Mnemonic::Jnz, b0, b1);
     b.terminate_exit(b1, build::bare(Mnemonic::Syscall));

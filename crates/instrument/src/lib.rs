@@ -225,7 +225,14 @@ impl Instrumenter {
             if true_count > 0.0 {
                 let mut faulty = MnemonicMix::new();
                 for (m, c) in mix.iter() {
-                    faulty.add(m, if m == fault.mnemonic { c * fault.factor } else { c });
+                    faulty.add(
+                        m,
+                        if m == fault.mnemonic {
+                            c * fault.factor
+                        } else {
+                            c
+                        },
+                    );
                 }
                 mix = faulty;
             }
@@ -286,11 +293,7 @@ impl fmt::Display for CrossCheck {
 /// `kernel_instructions` is the number of ring-0 instructions in the PMU
 /// total (the instrumenter cannot see them); pass 0 for pure user-mode
 /// workloads.
-pub fn cross_check(
-    truth: &GroundTruth,
-    pmu: &EventCounts,
-    kernel_instructions: u64,
-) -> CrossCheck {
+pub fn cross_check(truth: &GroundTruth, pmu: &EventCounts, kernel_instructions: u64) -> CrossCheck {
     let pmu_total = pmu.get(EventKind::InstRetired);
     let comparable = pmu_total.saturating_sub(kernel_instructions) as f64;
     let relative_error = if comparable > 0.0 {
@@ -340,11 +343,8 @@ mod tests {
     fn counts_are_exact() {
         let (p, layout, head) = two_block_loop(false);
         let trips = 1234;
-        let truth = Instrumenter::new().run(
-            &p,
-            &layout,
-            TripCountOracle::new(1).with_trips(head, trips),
-        );
+        let truth =
+            Instrumenter::new().run(&p, &layout, TripCountOracle::new(1).with_trips(head, trips));
         assert_eq!(truth.bbec.get(layout.block_start(head)), trips as f64);
         assert_eq!(truth.mix.get(Mnemonic::Add), (trips * 6) as f64);
         assert_eq!(truth.mix.get(Mnemonic::Jnz), trips as f64);

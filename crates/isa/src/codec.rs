@@ -95,7 +95,12 @@ impl std::error::Error for DecodeError {}
 
 /// Encoded length of an instruction in bytes.
 pub fn encoded_len(instr: &Instruction) -> u32 {
-    HEADER_LEN + instr.operands().iter().map(Operand::encoded_len).sum::<u32>()
+    HEADER_LEN
+        + instr
+            .operands()
+            .iter()
+            .map(Operand::encoded_len)
+            .sum::<u32>()
 }
 
 /// Append the encoding of `instr` to `out`. Returns the number of bytes
@@ -200,8 +205,8 @@ pub fn decode_one(bytes: &[u8], offset: usize) -> Result<(Instruction, usize), D
                 let b = *bytes.get(pos).ok_or(DecodeError::Truncated { at })?;
                 pos += 1;
                 let class = class_from_code(b >> 6);
-                let access =
-                    access_from_code((b >> 4) & 0b11).ok_or(DecodeError::BadOperand { at, index: i })?;
+                let access = access_from_code((b >> 4) & 0b11)
+                    .ok_or(DecodeError::BadOperand { at, index: i })?;
                 let index = b & 0b1111;
                 if index >= class.count() {
                     return Err(DecodeError::BadOperand { at, index: i });
@@ -351,7 +356,11 @@ mod tests {
             bare(Mnemonic::Nop),
             bare(Mnemonic::RetNear),
             rr(Mnemonic::Add, Reg::gpr(0), Reg::gpr(15)),
-            rm(Mnemonic::Mov, Reg::gpr(3), MemRef::base_disp(Reg::gpr(4), -128)),
+            rm(
+                Mnemonic::Mov,
+                Reg::gpr(3),
+                MemRef::base_disp(Reg::gpr(4), -128),
+            ),
             mr(Mnemonic::Mov, MemRef::absolute(32), Reg::gpr(7)),
             ri(Mnemonic::Cmp, Reg::gpr(1), 1_000_000),
             rr(Mnemonic::Vfmadd231ps, Reg::ymm(2), Reg::ymm(9)),
@@ -397,7 +406,10 @@ mod tests {
     fn unknown_opcode_detected() {
         let bytes = [0xFF, 0x00, 0x00];
         let err = decode_one(&bytes, 0).unwrap_err();
-        assert!(matches!(err, DecodeError::UnknownOpcode { opcode: 0xFF, .. }));
+        assert!(matches!(
+            err,
+            DecodeError::UnknownOpcode { opcode: 0xFF, .. }
+        ));
     }
 
     #[test]

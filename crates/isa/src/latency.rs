@@ -125,14 +125,8 @@ mod tests {
     #[test]
     fn default_model_uses_table_latency() {
         let m = LatencyModel::new();
-        assert_eq!(
-            m.mnemonic_latency(Mnemonic::Add),
-            Mnemonic::Add.latency()
-        );
-        assert_eq!(
-            m.mnemonic_latency(Mnemonic::Fsin),
-            Mnemonic::Fsin.latency()
-        );
+        assert_eq!(m.mnemonic_latency(Mnemonic::Add), Mnemonic::Add.latency());
+        assert_eq!(m.mnemonic_latency(Mnemonic::Fsin), Mnemonic::Fsin.latency());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! streams must round-trip byte-exactly, and decoding must never panic on
 //! arbitrary byte soup.
 
-use hbbp_isa::{codec, Access, Instruction, MemRef, Mnemonic, Operand, Reg, RegClass};
+use hbbp_isa::{codec, Access, Instruction, MemRef, Mnemonic, Operand, Reg};
 use proptest::prelude::*;
 
 fn arb_access() -> impl Strategy<Value = Access> {

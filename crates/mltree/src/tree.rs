@@ -323,19 +323,14 @@ fn best_split(data: &Dataset, config: &TrainConfig, rows: &[usize]) -> Option<Be
             if left_weight < config.min_leaf_weight || right_weight < config.min_leaf_weight {
                 continue;
             }
-            let right: Vec<f64> = parent_value
-                .iter()
-                .zip(&left)
-                .map(|(p, l)| p - l)
-                .collect();
-            let weighted_child_gini = (left_weight * gini(&left)
-                + right_weight * gini(&right))
-                / parent_weight;
+            let right: Vec<f64> = parent_value.iter().zip(&left).map(|(p, l)| p - l).collect();
+            let weighted_child_gini =
+                (left_weight * gini(&left) + right_weight * gini(&right)) / parent_weight;
             let decrease = (parent_gini - weighted_child_gini) * parent_weight;
             if decrease < config.min_impurity_decrease - 1e-12 {
                 continue;
             }
-            if best.as_ref().map_or(true, |b| decrease > b.decrease) {
+            if best.as_ref().is_none_or(|b| decrease > b.decrease) {
                 let threshold = (v + v_next) / 2.0;
                 best = Some(BestSplit {
                     feature,
@@ -637,7 +632,11 @@ mod tests {
                 .unwrap();
         }
         let tree = DecisionTree::train(&d, &TrainConfig::default()).unwrap();
-        assert_eq!(tree.predict(&[2.0]), 1, "heavy class must win where it dominates");
+        assert_eq!(
+            tree.predict(&[2.0]),
+            1,
+            "heavy class must win where it dominates"
+        );
         assert_eq!(tree.predict(&[9.0]), 0);
     }
 

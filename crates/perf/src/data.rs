@@ -65,7 +65,10 @@ impl PerfData {
     pub fn mmaps(&self) -> impl Iterator<Item = (&str, u64, u64)> {
         self.records.iter().filter_map(|r| match r {
             PerfRecord::Mmap {
-                filename, addr, len, ..
+                filename,
+                addr,
+                len,
+                ..
             } => Some((filename.as_str(), *addr, *len)),
             _ => None,
         })

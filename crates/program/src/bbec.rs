@@ -77,7 +77,12 @@ impl Bbec {
 
     /// Block addresses present in either table.
     pub fn union_addrs<'a>(&'a self, other: &'a Bbec) -> impl Iterator<Item = u64> + 'a {
-        let mut addrs: Vec<u64> = self.counts.keys().chain(other.counts.keys()).copied().collect();
+        let mut addrs: Vec<u64> = self
+            .counts
+            .keys()
+            .chain(other.counts.keys())
+            .copied()
+            .collect();
         addrs.sort_unstable();
         addrs.dedup();
         addrs.into_iter()
@@ -176,7 +181,12 @@ impl MnemonicMix {
 
     /// Mnemonics present in either mix.
     pub fn union_mnemonics<'a>(&'a self, other: &'a MnemonicMix) -> Vec<Mnemonic> {
-        let mut v: Vec<Mnemonic> = self.counts.keys().chain(other.counts.keys()).copied().collect();
+        let mut v: Vec<Mnemonic> = self
+            .counts
+            .keys()
+            .chain(other.counts.keys())
+            .copied()
+            .collect();
         v.sort_unstable();
         v.dedup();
         v

@@ -210,10 +210,7 @@ mod tests {
 
     #[test]
     fn terminator_mismatch_rejected() {
-        let b = bb(
-            vec![bare(Mnemonic::RetNear)],
-            Terminator::Jump(BlockId(1)),
-        );
+        let b = bb(vec![bare(Mnemonic::RetNear)], Terminator::Jump(BlockId(1)));
         assert!(b.validate().is_err());
     }
 

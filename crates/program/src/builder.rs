@@ -144,7 +144,10 @@ impl ProgramBuilder {
             hbbp_isa::Category::CondBranch,
             "{jcc} is not a conditional branch"
         );
-        self.push(block, Instruction::with_operands(jcc, vec![Operand::Imm(0)]));
+        self.push(
+            block,
+            Instruction::with_operands(jcc, vec![Operand::Imm(0)]),
+        );
         self.set_terminator(block, Terminator::Branch { taken, fallthrough });
     }
 
@@ -204,9 +207,9 @@ impl ProgramBuilder {
     pub fn build(self, entry: FunctionId) -> Result<Program, ProgramError> {
         let mut blocks = Vec::with_capacity(self.blocks.len());
         for pb in self.blocks {
-            let term = pb.terminator.ok_or_else(|| {
-                ProgramError::new(format!("{} was never terminated", pb.id))
-            })?;
+            let term = pb
+                .terminator
+                .ok_or_else(|| ProgramError::new(format!("{} was never terminated", pb.id)))?;
             blocks.push(BasicBlock::new(pb.id, pb.function, pb.instrs, term));
         }
         let program = Program::new(self.name, self.modules, self.functions, blocks, entry);
@@ -245,7 +248,10 @@ mod tests {
         assert_eq!(p.entry(), main);
         // Call block ends with CALL_NEAR.
         let call_block = p.block(b0);
-        assert_eq!(call_block.last_instr().unwrap().mnemonic(), Mnemonic::CallNear);
+        assert_eq!(
+            call_block.last_instr().unwrap().mnemonic(),
+            Mnemonic::CallNear
+        );
     }
 
     #[test]
@@ -302,10 +308,7 @@ mod tests {
         let sites = p.module(m).tracepoints();
         assert_eq!(sites.len(), 1);
         assert_eq!(sites[0].instr_index, 1);
-        assert_eq!(
-            p.block(b0).instrs()[1].mnemonic(),
-            Mnemonic::NopMulti
-        );
+        assert_eq!(p.block(b0).instrs()[1].mnemonic(), Mnemonic::NopMulti);
     }
 
     #[test]

@@ -35,7 +35,12 @@ pub struct TextImage {
 
 impl TextImage {
     /// Encode a module's text from a laid-out program.
-    pub fn encode(program: &Program, layout: &Layout, module: ModuleId, view: ImageView) -> TextImage {
+    pub fn encode(
+        program: &Program,
+        layout: &Layout,
+        module: ModuleId,
+        view: ImageView,
+    ) -> TextImage {
         let m = program.module(module);
         let (base, end) = layout.module_range(module);
         let mut bytes = Vec::with_capacity((end - base) as usize);
@@ -65,8 +70,7 @@ impl TextImage {
             }
         }
         if layout.stub_addr(module).is_some() {
-            let stub_nop =
-                Instruction::with_operands(Mnemonic::NopMulti, vec![Operand::Imm(0)]);
+            let stub_nop = Instruction::with_operands(Mnemonic::NopMulti, vec![Operand::Imm(0)]);
             for _ in 0..crate::layout::STUB_NOPS {
                 codec::encode_into(&stub_nop, &mut bytes);
             }
@@ -122,7 +126,9 @@ impl TextImage {
     ///
     /// Fails if the images cover different modules or address ranges.
     pub fn patch_from(&mut self, live: &TextImage) -> Result<usize, PatchError> {
-        if self.module != live.module || self.base != live.base || self.bytes.len() != live.bytes.len()
+        if self.module != live.module
+            || self.base != live.base
+            || self.bytes.len() != live.bytes.len()
         {
             return Err(PatchError {
                 expected: (self.module, self.base, self.bytes.len()),
@@ -261,14 +267,16 @@ impl BlockMap {
     /// # Errors
     ///
     /// Fails if an image's bytes do not decode.
-    pub fn discover(images: &[TextImage], symbols: &[crate::SymbolInfo]) -> Result<BlockMap, DiscoverError> {
+    pub fn discover(
+        images: &[TextImage],
+        symbols: &[crate::SymbolInfo],
+    ) -> Result<BlockMap, DiscoverError> {
         let mut blocks = Vec::new();
         for image in images {
-            Self::discover_module(image, symbols, &mut blocks)
-                .map_err(|source| DiscoverError {
-                    module: image.module(),
-                    source,
-                })?;
+            Self::discover_module(image, symbols, &mut blocks).map_err(|source| DiscoverError {
+                module: image.module(),
+                source,
+            })?;
         }
         blocks.sort_by_key(|b: &StaticBlock| b.start);
         // Annotate blocks with their enclosing symbol.
@@ -397,9 +405,7 @@ impl BlockMap {
 
     /// Index of the block starting exactly at `addr`.
     pub fn at_start(&self, addr: u64) -> Option<usize> {
-        self.blocks
-            .binary_search_by_key(&addr, |b| b.start)
-            .ok()
+        self.blocks.binary_search_by_key(&addr, |b| b.start).ok()
     }
 
     /// Block + instruction index for an exact instruction address.

@@ -75,7 +75,11 @@ impl Layout {
         for mid in module_ids {
             let (ring, function_ids, has_tracepoints) = {
                 let m = program.module(mid);
-                (m.ring(), m.functions().to_vec(), !m.tracepoints().is_empty())
+                (
+                    m.ring(),
+                    m.functions().to_vec(),
+                    !m.tracepoints().is_empty(),
+                )
             };
             let base = match ring {
                 Ring::User => {
@@ -117,10 +121,8 @@ impl Layout {
             }
             let stub = if has_tracepoints {
                 let s = cursor;
-                let stub_nop = Instruction::with_operands(
-                    hbbp_isa::Mnemonic::NopMulti,
-                    vec![Operand::Imm(0)],
-                );
+                let stub_nop =
+                    Instruction::with_operands(hbbp_isa::Mnemonic::NopMulti, vec![Operand::Imm(0)]);
                 cursor += (stub_nop.encoded_len() as u64) * STUB_NOPS as u64;
                 Some(s)
             } else {

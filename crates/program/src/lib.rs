@@ -38,7 +38,9 @@ pub use bbec::{Bbec, MnemonicMix};
 pub use block::{BasicBlock, Terminator};
 pub use builder::ProgramBuilder;
 pub use ids::{BlockId, FunctionId, ModuleId};
-pub use image::{BlockMap, DiscoverError, ImageView, PatchError, StaticBlock, StreamWalk, TextImage};
+pub use image::{
+    BlockMap, DiscoverError, ImageView, PatchError, StaticBlock, StreamWalk, TextImage,
+};
 pub use layout::{Layout, SymbolInfo, KERNEL_BASE, USER_BASE};
 pub use module::{Function, Module, Ring, TracepointSite};
 pub use program::{Program, ProgramError};

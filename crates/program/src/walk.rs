@@ -62,7 +62,11 @@ impl TripCountOracle {
 
 impl ExecutionOracle for TripCountOracle {
     fn branch_taken(&mut self, block: BlockId) -> bool {
-        let trips = self.trips.get(&block).copied().unwrap_or(self.default_trips);
+        let trips = self
+            .trips
+            .get(&block)
+            .copied()
+            .unwrap_or(self.default_trips);
         let count = self.state.entry(block).or_insert(0);
         *count += 1;
         if *count >= trips {

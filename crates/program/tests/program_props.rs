@@ -16,8 +16,7 @@ struct FnRecipe {
 }
 
 fn arb_fn() -> impl Strategy<Value = FnRecipe> {
-    proptest::collection::vec((1u8..20, any::<bool>()), 1..8)
-        .prop_map(|blocks| FnRecipe { blocks })
+    proptest::collection::vec((1u8..20, any::<bool>()), 1..8).prop_map(|blocks| FnRecipe { blocks })
 }
 
 fn filler(i: usize) -> hbbp_isa::Instruction {

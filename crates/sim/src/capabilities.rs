@@ -181,7 +181,13 @@ mod tests {
     #[test]
     fn table_renders_all_rows() {
         let t = capability_table();
-        for label in ["DIV (cycles)", "Math SSE FP", "Math AVX FP", "INT SIMD", "X87"] {
+        for label in [
+            "DIV (cycles)",
+            "Math SSE FP",
+            "Math AVX FP",
+            "INT SIMD",
+            "X87",
+        ] {
             assert!(t.contains(label), "missing row {label}");
         }
         assert!(t.contains("N/A"));

@@ -159,16 +159,16 @@ impl Cpu {
                 },
             };
 
-            let needs_slow = ctrs.iter().any(|c| {
-                c.pending.is_some() || c.value + c.max_increment(prof) >= c.period
-            });
+            let needs_slow = ctrs
+                .iter()
+                .any(|c| c.pending.is_some() || c.value + c.max_increment(prof) >= c.period);
 
             if !needs_slow {
                 // Fast path: whole-block accounting.
                 out.cycles += prof.cycles;
                 out.instructions += prof.len as u64;
-                for k in 0..N_EVENTS {
-                    counts[k] += prof.incr[k];
+                for (count, incr) in counts.iter_mut().zip(&prof.incr[..N_EVENTS]) {
+                    *count += incr;
                 }
                 if taken {
                     counts[EventKind::BrInstRetiredNearTaken.index()] += 1;
@@ -233,25 +233,24 @@ impl Cpu {
                                     *remaining -= 1;
                                 }
                             }
-                            Some(Pending::LbrDelay { remaining }) => {
-                                if instr_taken {
-                                    if *remaining == 0 {
-                                        emit_sample(
-                                            &mut out,
-                                            c,
-                                            prof.term_addr,
-                                            prof.ring,
-                                            self.tid,
-                                            &ring,
-                                            min_gap_cycles,
-                                            pmu.pmi_cost_cycles,
-                                            &mut rng,
-                                        );
-                                    } else {
-                                        *remaining -= 1;
-                                    }
+                            Some(Pending::LbrDelay { remaining }) if instr_taken => {
+                                if *remaining == 0 {
+                                    emit_sample(
+                                        &mut out,
+                                        c,
+                                        prof.term_addr,
+                                        prof.ring,
+                                        self.tid,
+                                        &ring,
+                                        min_gap_cycles,
+                                        pmu.pmi_cost_cycles,
+                                        &mut rng,
+                                    );
+                                } else {
+                                    *remaining -= 1;
                                 }
                             }
+                            Some(Pending::LbrDelay { .. }) => {}
                             None => {}
                         }
                         // 2. Advance the counter and arm on overflow.
@@ -490,8 +489,8 @@ fn build_profiles(program: &Program, layout: &Layout, latency: &LatencyModel) ->
             _ => None,
         };
         let term_addr = layout.terminator_addr(bid);
-        let sticky = term_kind == Some(BranchKind::Conditional)
-            && crate::lbr::is_sticky_branch(term_addr);
+        let sticky =
+            term_kind == Some(BranchKind::Conditional) && crate::lbr::is_sticky_branch(term_addr);
         profs.push(Prof {
             start: layout.block_start(bid),
             term_addr,
@@ -528,7 +527,10 @@ mod tests {
         let head = b.block(f);
         let exit = b.block(f);
         for i in 0..body_len {
-            b.push(head, rr(Mnemonic::Add, Reg::gpr((i % 8) as u8), Reg::gpr(9)));
+            b.push(
+                head,
+                rr(Mnemonic::Add, Reg::gpr((i % 8) as u8), Reg::gpr(9)),
+            );
         }
         b.terminate_branch(head, Mnemonic::Jnz, head, exit);
         b.terminate_exit(exit, bare(Mnemonic::Syscall));
@@ -658,10 +660,7 @@ mod tests {
         let cpu = Cpu::with_seed(5);
         let oracle = TripCountOracle::new(1).with_trips(head, 50_000);
         let pmu = PmuConfig {
-            counters: vec![CounterConfig::new(
-                EventSpec::inst_retired_prec_dist(),
-                503,
-            )],
+            counters: vec![CounterConfig::new(EventSpec::inst_retired_prec_dist(), 503)],
             max_sample_rate: Some(1_000), // very low rate limit
             ..PmuConfig::default()
         };
@@ -675,7 +674,12 @@ mod tests {
         let cpu = Cpu::with_seed(6);
         let mk = || TripCountOracle::new(1).with_trips(head, 100_000);
         let sparse = cpu
-            .run(&p, &layout, mk(), &PmuConfig::hbbp_collector(100_003, 10_007))
+            .run(
+                &p,
+                &layout,
+                mk(),
+                &PmuConfig::hbbp_collector(100_003, 10_007),
+            )
             .unwrap();
         let dense = cpu
             .run(&p, &layout, mk(), &PmuConfig::hbbp_collector(1_009, 211))

@@ -126,8 +126,7 @@ impl EventKind {
                     && instr.category().is_computational()) as u64
             }
             EventKind::X87Ops => {
-                (instr.extension() == Extension::X87 && instr.category().is_computational())
-                    as u64
+                (instr.extension() == Extension::X87 && instr.category().is_computational()) as u64
             }
         }
     }
@@ -230,9 +229,7 @@ impl FromStr for EventSpec {
             "CPU_CLK_UNHALTED" | "CPU_CLK_UNHALTED:THREAD" => {
                 Ok(EventSpec::plain(EventKind::CpuClkUnhalted))
             }
-            "BR_INST_RETIRED:NEAR_TAKEN" => {
-                Ok(EventSpec::plain(EventKind::BrInstRetiredNearTaken))
-            }
+            "BR_INST_RETIRED:NEAR_TAKEN" => Ok(EventSpec::plain(EventKind::BrInstRetiredNearTaken)),
             "BR_INST_RETIRED:ALL_BRANCHES" => Ok(EventSpec::plain(EventKind::BrInstRetiredAll)),
             "FP_COMP_OPS_EXE:SSE_FP" => Ok(EventSpec::plain(EventKind::FpCompOpsSse)),
             "SIMD_FP_256:PACKED" | "SIMD_FP_256:PACKED_SINGLE" => {
@@ -284,10 +281,7 @@ mod tests {
     #[test]
     fn taken_branch_event_requires_taken() {
         let jz = bare(Mnemonic::Jz);
-        assert_eq!(
-            EventKind::BrInstRetiredNearTaken.increment(&jz, true, 1),
-            1
-        );
+        assert_eq!(EventKind::BrInstRetiredNearTaken.increment(&jz, true, 1), 1);
         assert_eq!(
             EventKind::BrInstRetiredNearTaken.increment(&jz, false, 1),
             0
@@ -330,5 +324,4 @@ mod tests {
         let add = bare(Mnemonic::Add);
         assert_eq!(EventKind::CpuClkUnhalted.increment(&add, false, 7), 7);
     }
-
 }

@@ -119,13 +119,7 @@ impl LbrRing {
     pub fn new(config: LbrConfig) -> LbrRing {
         let capacity = config.stack_depth + config.quirk.window_slack + 1;
         LbrRing {
-            entries: vec![
-                (
-                    LbrEntry { from: 0, to: 0 },
-                    false
-                );
-                capacity
-            ],
+            entries: vec![(LbrEntry { from: 0, to: 0 }, false); capacity],
             head: 0,
             len: 0,
             capacity,

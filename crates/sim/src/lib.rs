@@ -34,8 +34,8 @@ pub mod skid;
 pub use capabilities::{capability_table, PmuGeneration, Support};
 pub use cpu::{Cpu, RunResult, SystemConfig};
 pub use event::{EventKind, EventSpec, ParseEventError};
-pub use lbr::{is_sticky_branch, LbrConfig, LbrEntry, LbrQuirk, LbrRing, STICKY_ALIGN, STICKY_WINDOW};
-pub use pmu::{
-    CounterConfig, EventCounts, PmuConfig, PmuError, SampleRecord, MAX_COUNTERS,
+pub use lbr::{
+    is_sticky_branch, LbrConfig, LbrEntry, LbrQuirk, LbrRing, STICKY_ALIGN, STICKY_WINDOW,
 };
+pub use pmu::{CounterConfig, EventCounts, PmuConfig, PmuError, SampleRecord, MAX_COUNTERS};
 pub use skid::SkidModel;

@@ -91,8 +91,7 @@ impl PmuConfig {
         PmuConfig {
             counters: vec![
                 CounterConfig::new(EventSpec::inst_retired_prec_dist(), ebs_period).with_lbr(),
-                CounterConfig::new(EventSpec::br_inst_retired_near_taken(), lbr_period)
-                    .with_lbr(),
+                CounterConfig::new(EventSpec::br_inst_retired_near_taken(), lbr_period).with_lbr(),
             ],
             max_sample_rate: None,
             ..PmuConfig::default()
@@ -164,7 +163,10 @@ impl fmt::Display for PmuError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PmuError::TooManyCounters { requested } => {
-                write!(f, "requested {requested} counters, hardware has {MAX_COUNTERS}")
+                write!(
+                    f,
+                    "requested {requested} counters, hardware has {MAX_COUNTERS}"
+                )
             }
             PmuError::MultiplePrecise { requested } => {
                 write!(
@@ -251,8 +253,10 @@ mod tests {
     fn too_many_counters_rejected() {
         let mut cfg = PmuConfig::default();
         for _ in 0..5 {
-            cfg.counters
-                .push(CounterConfig::new(EventSpec::plain(EventKind::InstRetired), 1000));
+            cfg.counters.push(CounterConfig::new(
+                EventSpec::plain(EventKind::InstRetired),
+                1000,
+            ));
         }
         assert!(matches!(
             cfg.validate(),
@@ -263,10 +267,14 @@ mod tests {
     #[test]
     fn multiple_precise_rejected() {
         let mut cfg = PmuConfig::default();
-        cfg.counters
-            .push(CounterConfig::new(EventSpec::inst_retired_prec_dist(), 1000));
-        cfg.counters
-            .push(CounterConfig::new(EventSpec::inst_retired_prec_dist(), 2000));
+        cfg.counters.push(CounterConfig::new(
+            EventSpec::inst_retired_prec_dist(),
+            1000,
+        ));
+        cfg.counters.push(CounterConfig::new(
+            EventSpec::inst_retired_prec_dist(),
+            2000,
+        ));
         assert!(matches!(
             cfg.validate(),
             Err(PmuError::MultiplePrecise { requested: 2 })
@@ -276,8 +284,10 @@ mod tests {
     #[test]
     fn zero_period_rejected() {
         let mut cfg = PmuConfig::default();
-        cfg.counters
-            .push(CounterConfig::new(EventSpec::plain(EventKind::InstRetired), 0));
+        cfg.counters.push(CounterConfig::new(
+            EventSpec::plain(EventKind::InstRetired),
+            0,
+        ));
         assert!(matches!(cfg.validate(), Err(PmuError::ZeroPeriod { .. })));
     }
 
@@ -287,8 +297,10 @@ mod tests {
             generation: PmuGeneration::Haswell,
             ..PmuConfig::default()
         };
-        cfg.counters
-            .push(CounterConfig::new(EventSpec::plain(EventKind::FpCompOpsSse), 1000));
+        cfg.counters.push(CounterConfig::new(
+            EventSpec::plain(EventKind::FpCompOpsSse),
+            1000,
+        ));
         assert!(matches!(
             cfg.validate(),
             Err(PmuError::UnsupportedEvent { .. })

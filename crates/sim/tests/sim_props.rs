@@ -20,7 +20,10 @@ fn loop_program(body: usize, extra_blocks: usize) -> (Program, Layout, Vec<hbbp_
     let head = b.block(f);
     ids.push(head);
     for i in 0..body {
-        b.push(head, build::rr(Mnemonic::Add, Reg::gpr((i % 8) as u8), Reg::gpr(9)));
+        b.push(
+            head,
+            build::rr(Mnemonic::Add, Reg::gpr((i % 8) as u8), Reg::gpr(9)),
+        );
     }
     // A chain of extra blocks after the loop.
     let mut chain = Vec::new();

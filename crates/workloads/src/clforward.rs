@@ -58,7 +58,11 @@ fn scalar_loop_body() -> Vec<Instruction> {
 fn packed_loop_body() -> Vec<Instruction> {
     // Same 8 lanes in one packed iteration.
     vec![
-        build::rm(Mnemonic::Vmovaps, Reg::ymm(0), MemRef::base_disp(Reg::gpr(1), 0)),
+        build::rm(
+            Mnemonic::Vmovaps,
+            Reg::ymm(0),
+            MemRef::base_disp(Reg::gpr(1), 0),
+        ),
         build::rr(Mnemonic::Vmulps, Reg::ymm(0), Reg::ymm(2)),
         build::rr(Mnemonic::Vaddps, Reg::ymm(3), Reg::ymm(0)),
         build::ri(Mnemonic::Add, Reg::gpr(1), 32),
@@ -89,7 +93,10 @@ pub fn clforward(variant: ClVariant, scale: Scale) -> Workload {
             b.terminate_branch(head, Mnemonic::Jnz, head, tail);
             behaviors.set(head, Behavior::Trips(32));
             // Horizontal reduction + ABI transition housekeeping.
-            b.push(tail, build::rr(Mnemonic::Vextractf128, Reg::xmm(4), Reg::ymm(3)));
+            b.push(
+                tail,
+                build::rr(Mnemonic::Vextractf128, Reg::xmm(4), Reg::ymm(3)),
+            );
             b.push(tail, build::rr(Mnemonic::Vaddps, Reg::ymm(3), Reg::ymm(4)));
             b.push(tail, build::bare(Mnemonic::Vzeroupper));
             b.push(tail, build::rr(Mnemonic::Mov, Reg::gpr(0), Reg::gpr(1)));
@@ -102,7 +109,10 @@ pub fn clforward(variant: ClVariant, scale: Scale) -> Workload {
     b.push(entry, build::ri(Mnemonic::Mov, Reg::gpr(1), 0x100));
     let loop_head = b.block(main);
     b.terminate_jump(entry, loop_head);
-    b.push(loop_head, build::rr(Mnemonic::Add, Reg::gpr(5), Reg::gpr(6)));
+    b.push(
+        loop_head,
+        build::rr(Mnemonic::Add, Reg::gpr(5), Reg::gpr(6)),
+    );
     let r0 = b.block(main);
     b.terminate_call(loop_head, kernel, r0);
     b.push(r0, build::rr(Mnemonic::Cmp, Reg::gpr(5), Reg::gpr(7)));
@@ -163,7 +173,10 @@ mod tests {
         assert!(p_a > 5.0 * s_a, "after: scalar {s_a} packed {p_a}");
         assert!(n_a > 0.0, "after must show AVX/NONE (vzeroupper)");
         // Fewer total instructions after vectorization.
-        assert!(total_a < 0.7 * total_b, "after {total_a} vs before {total_b}");
+        assert!(
+            total_a < 0.7 * total_b,
+            "after {total_a} vs before {total_b}"
+        );
     }
 
     #[test]

@@ -186,12 +186,20 @@ const SSE_CHAIN: usize = 24;
 /// the next block — the EBS-hostile placement).
 fn avx_body() -> Vec<Instruction> {
     vec![
-        build::rm(Mnemonic::Vmovaps, Reg::ymm(0), MemRef::base_disp(Reg::gpr(1), 0)),
+        build::rm(
+            Mnemonic::Vmovaps,
+            Reg::ymm(0),
+            MemRef::base_disp(Reg::gpr(1), 0),
+        ),
         build::rr(Mnemonic::Vmulps, Reg::ymm(1), Reg::ymm(0)),
         build::rr(Mnemonic::Vfmadd231ps, Reg::ymm(2), Reg::ymm(1)),
         build::rr(Mnemonic::Vaddps, Reg::ymm(3), Reg::ymm(2)),
         build::rr(Mnemonic::Vmaxps, Reg::ymm(4), Reg::ymm(3)),
-        build::mr(Mnemonic::Vmovaps, MemRef::base_disp(Reg::gpr(2), 0), Reg::ymm(5)),
+        build::mr(
+            Mnemonic::Vmovaps,
+            MemRef::base_disp(Reg::gpr(2), 0),
+            Reg::ymm(5),
+        ),
         build::ri(Mnemonic::Add, Reg::gpr(1), 32),
         build::ri(Mnemonic::Add, Reg::gpr(2), 32),
         build::rr(Mnemonic::Vdivps, Reg::ymm(5), Reg::ymm(4)),
@@ -206,13 +214,21 @@ fn avx_body() -> Vec<Instruction> {
 fn pre_body(sse: bool) -> Vec<Instruction> {
     if sse {
         vec![
-            build::rm(Mnemonic::Movaps, Reg::xmm(14), MemRef::base_disp(Reg::gpr(1), -16)),
+            build::rm(
+                Mnemonic::Movaps,
+                Reg::xmm(14),
+                MemRef::base_disp(Reg::gpr(1), -16),
+            ),
             build::ri(Mnemonic::Add, Reg::gpr(4), 1),
             build::rr(Mnemonic::Test, Reg::gpr(4), Reg::gpr(4)),
         ]
     } else {
         vec![
-            build::rm(Mnemonic::Vmovaps, Reg::ymm(14), MemRef::base_disp(Reg::gpr(1), -32)),
+            build::rm(
+                Mnemonic::Vmovaps,
+                Reg::ymm(14),
+                MemRef::base_disp(Reg::gpr(1), -32),
+            ),
             build::ri(Mnemonic::Add, Reg::gpr(4), 1),
             build::rr(Mnemonic::Test, Reg::gpr(4), Reg::gpr(4)),
         ]
@@ -229,11 +245,19 @@ fn x87_body() -> Vec<Instruction> {
         build::rr(Mnemonic::Fsub, Reg::st(0), Reg::st(3)),
         build::rr(Mnemonic::Fmul, Reg::st(0), Reg::st(2)),
         build::rr(Mnemonic::Fdiv, Reg::st(0), Reg::st(4)),
-        build::mr(Mnemonic::Fstp, MemRef::base_disp(Reg::gpr(2), 0), Reg::st(0)),
+        build::mr(
+            Mnemonic::Fstp,
+            MemRef::base_disp(Reg::gpr(2), 0),
+            Reg::st(0),
+        ),
         build::rm(Mnemonic::Fld, Reg::st(0), MemRef::base_disp(Reg::gpr(1), 8)),
         build::rr(Mnemonic::Fadd, Reg::st(0), Reg::st(1)),
         build::rr(Mnemonic::Fmul, Reg::st(0), Reg::st(3)),
-        build::mr(Mnemonic::Fstp, MemRef::base_disp(Reg::gpr(2), 8), Reg::st(0)),
+        build::mr(
+            Mnemonic::Fstp,
+            MemRef::base_disp(Reg::gpr(2), 8),
+            Reg::st(0),
+        ),
         build::ri(Mnemonic::Add, Reg::gpr(1), 16),
         build::ri(Mnemonic::Add, Reg::gpr(2), 16),
         build::rr(Mnemonic::Cmp, Reg::gpr(1), Reg::gpr(3)),
@@ -266,7 +290,14 @@ fn build(variant: FitterVariant, scale: Scale, pad: usize) -> (Workload, BlockId
                 let blk = b.block(f);
                 b.push(blk, build::r(Mnemonic::Push, Reg::gpr(5)));
                 for s in 0..3i16 {
-                    b.push(blk, build::mr(Mnemonic::Fstp, MemRef::base_disp(Reg::gpr(5), -16 - 8 * s), Reg::st(s as u8)));
+                    b.push(
+                        blk,
+                        build::mr(
+                            Mnemonic::Fstp,
+                            MemRef::base_disp(Reg::gpr(5), -16 - 8 * s),
+                            Reg::st(s as u8),
+                        ),
+                    );
                 }
                 // One AVX op per out-of-line call — vector *emission* stays
                 // unsuspicious (the paper's point); the packed VDIVPS of the
@@ -280,7 +311,14 @@ fn build(variant: FitterVariant, scale: Scale, pad: usize) -> (Workload, BlockId
                     },
                 );
                 for s in 0..3i16 {
-                    b.push(blk, build::rm(Mnemonic::Fld, Reg::st(s as u8), MemRef::base_disp(Reg::gpr(5), -16 - 8 * s)));
+                    b.push(
+                        blk,
+                        build::rm(
+                            Mnemonic::Fld,
+                            Reg::st(s as u8),
+                            MemRef::base_disp(Reg::gpr(5), -16 - 8 * s),
+                        ),
+                    );
                 }
                 b.push(blk, build::r(Mnemonic::Pop, Reg::gpr(5)));
                 b.terminate_ret(blk);
@@ -326,7 +364,14 @@ fn build(variant: FitterVariant, scale: Scale, pad: usize) -> (Workload, BlockId
                 }
             }
             for (k, &fx) in fixups.iter().enumerate() {
-                b.push(fx, build::rm(Mnemonic::Movups, Reg::xmm(13), MemRef::base_disp(Reg::gpr(1), -32)));
+                b.push(
+                    fx,
+                    build::rm(
+                        Mnemonic::Movups,
+                        Reg::xmm(13),
+                        MemRef::base_disp(Reg::gpr(1), -32),
+                    ),
+                );
                 b.push(fx, build::rr(Mnemonic::Minps, Reg::xmm(13), Reg::xmm(12)));
                 b.terminate_jump(fx, chain[k + 1]);
             }
@@ -334,7 +379,10 @@ fn build(variant: FitterVariant, scale: Scale, pad: usize) -> (Workload, BlockId
             // Short reduction loop (stays on the LBR side of the rule).
             b.push(reduce, build::rr(Mnemonic::Addss, Reg::xmm(0), Reg::xmm(1)));
             b.push(reduce, build::rr(Mnemonic::Mulss, Reg::xmm(0), Reg::xmm(2)));
-            b.push(reduce, build::rr(Mnemonic::Movaps, Reg::xmm(1), Reg::xmm(3)));
+            b.push(
+                reduce,
+                build::rr(Mnemonic::Movaps, Reg::xmm(1), Reg::xmm(3)),
+            );
             b.push(reduce, build::ri(Mnemonic::Add, Reg::gpr(4), 4));
             b.push(reduce, build::rr(Mnemonic::Cmp, Reg::gpr(4), Reg::gpr(3)));
             b.terminate_branch(reduce, Mnemonic::Jnz, reduce, tail);
@@ -354,7 +402,10 @@ fn build(variant: FitterVariant, scale: Scale, pad: usize) -> (Workload, BlockId
             // needs 2x fewer instructions, so keep iterations similar.
             behaviors.set(main_blk, Behavior::Trips(FIT_ITERS));
             hot = main_blk;
-            b.push(tail, build::rr(Mnemonic::Vucomiss, Reg::xmm(0), Reg::xmm(1)));
+            b.push(
+                tail,
+                build::rr(Mnemonic::Vucomiss, Reg::xmm(0), Reg::xmm(1)),
+            );
             b.push(tail, build::rr(Mnemonic::Fadd, Reg::st(0), Reg::st(1)));
             b.push(tail, build::bare(Mnemonic::Vzeroupper));
             b.terminate_ret(tail);
@@ -371,7 +422,14 @@ fn build(variant: FitterVariant, scale: Scale, pad: usize) -> (Workload, BlockId
             for f in vecops.iter().chain(vecops.iter()) {
                 let ret_to = b.block(fit);
                 b.terminate_call(cur, *f, ret_to);
-                b.push(ret_to, build::rm(Mnemonic::Fld, Reg::st(0), MemRef::base_disp(Reg::gpr(5), -24)));
+                b.push(
+                    ret_to,
+                    build::rm(
+                        Mnemonic::Fld,
+                        Reg::st(0),
+                        MemRef::base_disp(Reg::gpr(5), -24),
+                    ),
+                );
                 b.push(ret_to, build::rr(Mnemonic::Fxch, Reg::st(0), Reg::st(1)));
                 cur = ret_to;
             }

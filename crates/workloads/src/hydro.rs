@@ -56,9 +56,11 @@ mod tests {
     #[test]
     fn slowdown_is_extreme() {
         let w = hydro_post(Scale::Tiny);
-        let truth = Instrumenter::new()
-            .with_cost(w.sde_cost().clone())
-            .run(w.program(), w.layout(), w.oracle());
+        let truth = Instrumenter::new().with_cost(w.sde_cost().clone()).run(
+            w.program(),
+            w.layout(),
+            w.oracle(),
+        );
         let s = truth.slowdown();
         assert!(s > 40.0, "Hydro-post slowdown {s} should be extreme");
         assert!(s < 150.0, "Hydro-post slowdown {s} implausibly high");

@@ -119,8 +119,7 @@ pub fn kernel_benchmark(scale: Scale) -> Workload {
         for &fid in module.functions() {
             for &bid in w.program().function(fid).blocks() {
                 let block = w.program().block(bid);
-                if block.last_instr().and_then(|i| i.branch_kind())
-                    == Some(BranchKind::Conditional)
+                if block.last_instr().and_then(|i| i.branch_kind()) == Some(BranchKind::Conditional)
                 {
                     addrs.push(w.layout().terminator_addr(bid));
                 }
@@ -132,11 +131,7 @@ pub fn kernel_benchmark(scale: Scale) -> Workload {
     // under which no conditional branch is alignment-sticky.
     let find_pad = |addrs: &[u64]| -> usize {
         (0..STICKY_ALIGN as usize)
-            .find(|k| {
-                addrs
-                    .iter()
-                    .all(|a| !is_sticky_branch(a + 3 * *k as u64))
-            })
+            .find(|k| addrs.iter().all(|a| !is_sticky_branch(a + 3 * *k as u64)))
             .unwrap_or(0)
     };
     let pad_u = find_pad(&cond_addrs(&probe, "hello"));
@@ -174,7 +169,10 @@ fn build_kernel(scale: Scale, pad_u: usize, pad_k: usize) -> Workload {
     b.push(entry, build::ri(Mnemonic::Mov, Reg::gpr(9), 1000));
     let loop_head = b.block(main);
     b.terminate_jump(entry, loop_head);
-    b.push(loop_head, build::rr(Mnemonic::Add, Reg::gpr(11), Reg::gpr(8)));
+    b.push(
+        loop_head,
+        build::rr(Mnemonic::Add, Reg::gpr(11), Reg::gpr(8)),
+    );
     let r0 = b.block(main);
     b.terminate_call(loop_head, hello_u, r0);
     // The "read" that traps into the kernel module.
@@ -189,7 +187,10 @@ fn build_kernel(scale: Scale, pad_u: usize, pad_k: usize) -> Workload {
     let after_spin = b.block(main);
     b.terminate_branch(spin, Mnemonic::Jnz, spin, after_spin);
     behaviors.set(spin, Behavior::Trips(12));
-    b.push(after_spin, build::rr(Mnemonic::Test, Reg::gpr(11), Reg::gpr(11)));
+    b.push(
+        after_spin,
+        build::rr(Mnemonic::Test, Reg::gpr(11), Reg::gpr(11)),
+    );
     let exit = b.block(main);
     b.terminate_branch(after_spin, Mnemonic::Jnz, loop_head, exit);
     behaviors.set(after_spin, Behavior::Trips(BASE_READS * scale.multiplier()));
@@ -229,12 +230,7 @@ mod tests {
         assert_eq!(fu.blocks().len(), fk.blocks().len());
         for (&bu, &bk) in fu.blocks().iter().zip(fk.blocks()) {
             // Kernel blocks may carry extra tracepoint NOPs.
-            let iu: Vec<_> = p
-                .block(bu)
-                .instrs()
-                .iter()
-                .map(|i| i.mnemonic())
-                .collect();
+            let iu: Vec<_> = p.block(bu).instrs().iter().map(|i| i.mnemonic()).collect();
             let ik: Vec<_> = p
                 .block(bk)
                 .instrs()
@@ -251,10 +247,27 @@ mod tests {
         let w = kernel_benchmark(Scale::Tiny);
         let p = w.program();
         let allowed = [
-            "ADD", "CDQE", "CMP", "IMUL", "JLE", "JNLE", "JNZ", "JZ", "MOV", "MOVSXD", "SUB",
-            "TEST", "RET_NEAR", "JMP", "NOP_MULTI",
+            "ADD",
+            "CDQE",
+            "CMP",
+            "IMUL",
+            "JLE",
+            "JNLE",
+            "JNZ",
+            "JZ",
+            "MOV",
+            "MOVSXD",
+            "SUB",
+            "TEST",
+            "RET_NEAR",
+            "JMP",
+            "NOP_MULTI",
         ];
-        for f in p.functions().iter().filter(|f| f.name().starts_with("hello_")) {
+        for f in p
+            .functions()
+            .iter()
+            .filter(|f| f.name().starts_with("hello_"))
+        {
             for &bid in f.blocks() {
                 for i in p.block(bid).instrs() {
                     assert!(

@@ -16,10 +16,35 @@ use hbbp_isa::Mnemonic;
 
 /// Names of all simulated SPEC benchmarks, in reporting order.
 pub const SPEC_NAMES: [&str; 29] = [
-    "perlbench", "bzip2", "gcc", "mcf", "gobmk", "hmmer", "sjeng", "libquantum", "x264ref",
-    "omnetpp", "astar", "xalancbmk", "bwaves", "gamess", "milc", "zeusmp", "gromacs",
-    "cactusADM", "leslie3d", "namd", "dealII", "soplex", "povray", "calculix", "GemsFDTD",
-    "tonto", "lbm", "wrf", "sphinx3",
+    "perlbench",
+    "bzip2",
+    "gcc",
+    "mcf",
+    "gobmk",
+    "hmmer",
+    "sjeng",
+    "libquantum",
+    "x264ref",
+    "omnetpp",
+    "astar",
+    "xalancbmk",
+    "bwaves",
+    "gamess",
+    "milc",
+    "zeusmp",
+    "gromacs",
+    "cactusADM",
+    "leslie3d",
+    "namd",
+    "dealII",
+    "soplex",
+    "povray",
+    "calculix",
+    "GemsFDTD",
+    "tonto",
+    "lbm",
+    "wrf",
+    "sphinx3",
 ];
 
 fn cost(per_instr: f64, per_fp: f64, mult: f64) -> CostModel {
@@ -205,7 +230,7 @@ pub fn spec_for(name: &str) -> GenSpec {
             chain_frac: 1.0,
             chain_blocks: (6, 9),
             sde_cost: cost(2.2, 8.0, 1.1),
-            seed: 0xA11C_E5,
+            seed: 0xA11CE5,
             ..d()
         },
         "milc" => GenSpec {

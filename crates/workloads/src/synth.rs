@@ -76,11 +76,27 @@ pub fn gen_instr(class: InstrClass, rng: &mut SmallRng) -> Instruction {
     let x = |rng: &mut SmallRng| Reg::xmm(rng.random_range(0..14));
     let y = |rng: &mut SmallRng| Reg::ymm(rng.random_range(0..14));
     let st = |rng: &mut SmallRng| Reg::st(rng.random_range(0..7));
-    let mem = |rng: &mut SmallRng| MemRef::base_disp(Reg::gpr(rng.random_range(0..14)), rng.random_range(-512..512));
+    let mem = |rng: &mut SmallRng| {
+        MemRef::base_disp(
+            Reg::gpr(rng.random_range(0..14)),
+            rng.random_range(-512..512),
+        )
+    };
     let pick = |rng: &mut SmallRng, options: &[Mnemonic]| *options.choose(rng).expect("non-empty");
     match class {
         InstrClass::IntAlu => build::rr(
-            pick(rng, &[Mnemonic::Add, Mnemonic::Sub, Mnemonic::And, Mnemonic::Or, Mnemonic::Xor, Mnemonic::Shl, Mnemonic::Sar]),
+            pick(
+                rng,
+                &[
+                    Mnemonic::Add,
+                    Mnemonic::Sub,
+                    Mnemonic::And,
+                    Mnemonic::Or,
+                    Mnemonic::Xor,
+                    Mnemonic::Shl,
+                    Mnemonic::Sar,
+                ],
+            ),
             g(rng),
             g(rng),
         ),
@@ -89,11 +105,9 @@ pub fn gen_instr(class: InstrClass, rng: &mut SmallRng) -> Instruction {
         InstrClass::Load => build::rm(Mnemonic::Mov, g(rng), mem(rng)),
         InstrClass::Store => build::mr(Mnemonic::Mov, mem(rng), g(rng)),
         InstrClass::Lea => build::rm(Mnemonic::Lea, g(rng), mem(rng)),
-        InstrClass::Compare => build::rr(
-            pick(rng, &[Mnemonic::Cmp, Mnemonic::Test]),
-            g(rng),
-            g(rng),
-        ),
+        InstrClass::Compare => {
+            build::rr(pick(rng, &[Mnemonic::Cmp, Mnemonic::Test]), g(rng), g(rng))
+        }
         InstrClass::IntConvert => match rng.random_range(0..3) {
             0 => build::bare(Mnemonic::Cdqe),
             1 => build::rr(Mnemonic::Movsxd, g(rng), g(rng)),
@@ -112,34 +126,93 @@ pub fn gen_instr(class: InstrClass, rng: &mut SmallRng) -> Instruction {
             }
         }
         InstrClass::SseScalar => build::rr(
-            pick(rng, &[Mnemonic::Addss, Mnemonic::Mulss, Mnemonic::Subss, Mnemonic::Addsd, Mnemonic::Mulsd, Mnemonic::Maxss]),
+            pick(
+                rng,
+                &[
+                    Mnemonic::Addss,
+                    Mnemonic::Mulss,
+                    Mnemonic::Subss,
+                    Mnemonic::Addsd,
+                    Mnemonic::Mulsd,
+                    Mnemonic::Maxss,
+                ],
+            ),
             x(rng),
             x(rng),
         ),
         InstrClass::SsePacked => build::rr(
-            pick(rng, &[Mnemonic::Addps, Mnemonic::Mulps, Mnemonic::Subps, Mnemonic::Maxps, Mnemonic::Minps, Mnemonic::Addpd, Mnemonic::Mulpd, Mnemonic::Shufps]),
+            pick(
+                rng,
+                &[
+                    Mnemonic::Addps,
+                    Mnemonic::Mulps,
+                    Mnemonic::Subps,
+                    Mnemonic::Maxps,
+                    Mnemonic::Minps,
+                    Mnemonic::Addpd,
+                    Mnemonic::Mulpd,
+                    Mnemonic::Shufps,
+                ],
+            ),
             x(rng),
             x(rng),
         ),
         InstrClass::SseDivSqrt => build::rr(
-            pick(rng, &[Mnemonic::Divps, Mnemonic::Divss, Mnemonic::Sqrtps, Mnemonic::Sqrtsd, Mnemonic::Divpd]),
+            pick(
+                rng,
+                &[
+                    Mnemonic::Divps,
+                    Mnemonic::Divss,
+                    Mnemonic::Sqrtps,
+                    Mnemonic::Sqrtsd,
+                    Mnemonic::Divpd,
+                ],
+            ),
             x(rng),
             x(rng),
         ),
         InstrClass::SseMove => {
             if rng.random_bool(0.4) {
-                build::rm(pick(rng, &[Mnemonic::Movaps, Mnemonic::Movups]), x(rng), mem(rng))
+                build::rm(
+                    pick(rng, &[Mnemonic::Movaps, Mnemonic::Movups]),
+                    x(rng),
+                    mem(rng),
+                )
             } else {
-                build::rr(pick(rng, &[Mnemonic::Movaps, Mnemonic::Movss, Mnemonic::MovsdXmm]), x(rng), x(rng))
+                build::rr(
+                    pick(
+                        rng,
+                        &[Mnemonic::Movaps, Mnemonic::Movss, Mnemonic::MovsdXmm],
+                    ),
+                    x(rng),
+                    x(rng),
+                )
             }
         }
         InstrClass::SseConvert => build::rr(
-            pick(rng, &[Mnemonic::Cvtsi2sd, Mnemonic::Cvtsi2ss, Mnemonic::Cvtss2sd, Mnemonic::Cvttsd2si]),
+            pick(
+                rng,
+                &[
+                    Mnemonic::Cvtsi2sd,
+                    Mnemonic::Cvtsi2ss,
+                    Mnemonic::Cvtss2sd,
+                    Mnemonic::Cvttsd2si,
+                ],
+            ),
             x(rng),
             g(rng),
         ),
         InstrClass::SseInt => build::rr(
-            pick(rng, &[Mnemonic::Paddd, Mnemonic::Pmulld, Mnemonic::Pand, Mnemonic::Pxor, Mnemonic::Pcmpeqd]),
+            pick(
+                rng,
+                &[
+                    Mnemonic::Paddd,
+                    Mnemonic::Pmulld,
+                    Mnemonic::Pand,
+                    Mnemonic::Pxor,
+                    Mnemonic::Pcmpeqd,
+                ],
+            ),
             x(rng),
             x(rng),
         ),
@@ -149,7 +222,17 @@ pub fn gen_instr(class: InstrClass, rng: &mut SmallRng) -> Instruction {
             x(rng),
         ),
         InstrClass::AvxPacked => build::rr(
-            pick(rng, &[Mnemonic::Vaddps, Mnemonic::Vmulps, Mnemonic::Vsubps, Mnemonic::Vmaxps, Mnemonic::Vminps, Mnemonic::Vshufps]),
+            pick(
+                rng,
+                &[
+                    Mnemonic::Vaddps,
+                    Mnemonic::Vmulps,
+                    Mnemonic::Vsubps,
+                    Mnemonic::Vmaxps,
+                    Mnemonic::Vminps,
+                    Mnemonic::Vshufps,
+                ],
+            ),
             y(rng),
             y(rng),
         ),
@@ -159,7 +242,14 @@ pub fn gen_instr(class: InstrClass, rng: &mut SmallRng) -> Instruction {
             y(rng),
         ),
         InstrClass::AvxFma => build::rr(
-            pick(rng, &[Mnemonic::Vfmadd132ps, Mnemonic::Vfmadd213ps, Mnemonic::Vfmadd231ps]),
+            pick(
+                rng,
+                &[
+                    Mnemonic::Vfmadd132ps,
+                    Mnemonic::Vfmadd213ps,
+                    Mnemonic::Vfmadd231ps,
+                ],
+            ),
             y(rng),
             y(rng),
         ),
@@ -167,18 +257,38 @@ pub fn gen_instr(class: InstrClass, rng: &mut SmallRng) -> Instruction {
             if rng.random_bool(0.3) {
                 build::rr(Mnemonic::Vbroadcastss, y(rng), x(rng))
             } else if rng.random_bool(0.4) {
-                build::rm(pick(rng, &[Mnemonic::Vmovaps, Mnemonic::Vmovups]), y(rng), mem(rng))
+                build::rm(
+                    pick(rng, &[Mnemonic::Vmovaps, Mnemonic::Vmovups]),
+                    y(rng),
+                    mem(rng),
+                )
             } else {
                 build::rr(Mnemonic::Vmovaps, y(rng), y(rng))
             }
         }
         InstrClass::X87Arith => build::rr(
-            pick(rng, &[Mnemonic::Fadd, Mnemonic::Fmul, Mnemonic::Fsub, Mnemonic::Fsubr]),
+            pick(
+                rng,
+                &[
+                    Mnemonic::Fadd,
+                    Mnemonic::Fmul,
+                    Mnemonic::Fsub,
+                    Mnemonic::Fsubr,
+                ],
+            ),
             st(rng),
             st(rng),
         ),
         InstrClass::X87Long => build::rr(
-            pick(rng, &[Mnemonic::Fdiv, Mnemonic::Fsqrt, Mnemonic::Fsin, Mnemonic::Fptan]),
+            pick(
+                rng,
+                &[
+                    Mnemonic::Fdiv,
+                    Mnemonic::Fsqrt,
+                    Mnemonic::Fsin,
+                    Mnemonic::Fptan,
+                ],
+            ),
             st(rng),
             st(rng),
         ),
@@ -187,12 +297,9 @@ pub fn gen_instr(class: InstrClass, rng: &mut SmallRng) -> Instruction {
             1 => build::mr(Mnemonic::Fstp, mem(rng), st(rng)),
             _ => build::rr(Mnemonic::Fxch, st(rng), st(rng)),
         },
-        InstrClass::Sync => build::ri(
-            pick(rng, &[Mnemonic::Xadd, Mnemonic::Cmpxchg]),
-            g(rng),
-            1,
-        )
-        .locked(),
+        InstrClass::Sync => {
+            build::ri(pick(rng, &[Mnemonic::Xadd, Mnemonic::Cmpxchg]), g(rng), 1).locked()
+        }
         InstrClass::Nop => build::bare(Mnemonic::Nop),
     }
 }
@@ -594,16 +701,10 @@ pub fn emit_function(
                     b.push_all(head, mix.gen_block_body((*body_len).max(1), rng));
                     b.terminate_branch(head, jcc(rng), else_blk, then_blk);
                     behaviors.set(head, Behavior::Prob(rng.random_range(0.10..0.40)));
-                    b.push_all(
-                        then_blk,
-                        mix.gen_block_body((*body_len).max(2) - 1, rng),
-                    );
+                    b.push_all(then_blk, mix.gen_block_body((*body_len).max(2) - 1, rng));
                     b.terminate_jump(then_blk, latch);
                     // The rarely-taken arm is bookkeeping-flavoured code.
-                    b.push_all(
-                        else_blk,
-                        cold.gen_block_body((*body_len / 2).max(1), rng),
-                    );
+                    b.push_all(else_blk, cold.gen_block_body((*body_len / 2).max(1), rng));
                     b.terminate_jump(else_blk, latch);
                     b.push_all(latch, mix.gen_block_body(2, rng));
                     b.terminate_branch(latch, jcc(rng), head, after);
@@ -674,10 +775,7 @@ mod tests {
 
     #[test]
     fn mix_profile_sampling_tracks_weights() {
-        let profile = MixProfile::new(vec![
-            (InstrClass::IntAlu, 9.0),
-            (InstrClass::Load, 1.0),
-        ]);
+        let profile = MixProfile::new(vec![(InstrClass::IntAlu, 9.0), (InstrClass::Load, 1.0)]);
         let mut rng = SmallRng::seed_from_u64(2);
         let n = 10_000;
         let alu = (0..n)

@@ -76,11 +76,16 @@ mod tests {
     #[test]
     fn sde_slowdown_near_nine_x() {
         let w = test40(Scale::Tiny);
-        let truth = Instrumenter::new()
-            .with_cost(w.sde_cost().clone())
-            .run(w.program(), w.layout(), w.oracle());
+        let truth = Instrumenter::new().with_cost(w.sde_cost().clone()).run(
+            w.program(),
+            w.layout(),
+            w.oracle(),
+        );
         let s = truth.slowdown();
-        assert!((6.0..14.0).contains(&s), "Test40 slowdown {s} not near 9-10x");
+        assert!(
+            (6.0..14.0).contains(&s),
+            "Test40 slowdown {s} not near 9-10x"
+        );
     }
 
     #[test]

@@ -249,8 +249,7 @@ pub fn generate(spec: &GenSpec, scale: Scale) -> Workload {
                             Segment::ChainLoop {
                                 body_len,
                                 trips,
-                                blocks: rng
-                                    .random_range(spec.chain_blocks.0..=spec.chain_blocks.1),
+                                blocks: rng.random_range(spec.chain_blocks.0..=spec.chain_blocks.1),
                             }
                         } else {
                             Segment::Loop { body_len, trips }
@@ -284,7 +283,13 @@ pub fn generate(spec: &GenSpec, scale: Scale) -> Workload {
     b.terminate_exit(exit, build::bare(Mnemonic::Syscall));
 
     let program = b.build(main).expect("generated program is valid");
-    Workload::from_program(spec.name, program, behaviors, spec.seed ^ 0x5eed, spec.sde_cost.clone())
+    Workload::from_program(
+        spec.name,
+        program,
+        behaviors,
+        spec.seed ^ 0x5eed,
+        spec.sde_cost.clone(),
+    )
 }
 
 #[cfg(test)]
@@ -296,9 +301,11 @@ mod tests {
     #[test]
     fn generated_workload_runs_and_matches_ground_truth() {
         let w = generate(&GenSpec::default(), Scale::Tiny);
-        let truth = Instrumenter::new()
-            .with_cost(w.sde_cost().clone())
-            .run(w.program(), w.layout(), w.oracle());
+        let truth = Instrumenter::new().with_cost(w.sde_cost().clone()).run(
+            w.program(),
+            w.layout(),
+            w.oracle(),
+        );
         let run = Cpu::with_seed(1)
             .run_clean(w.program(), w.layout(), w.oracle())
             .unwrap();

@@ -21,19 +21,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // With the paper's remedy: kernel text patched from the live image.
     let result = HbbpProfiler::new(Cpu::with_seed(3)).profile(&workload)?;
-    let user = result
-        .analyzer
-        .mix_where(&result.analysis.hbbp.bbec, |b| {
-            b.symbol.as_deref() == Some("hello_u")
-        });
-    let kernel = result
-        .analyzer
-        .mix_where(&result.analysis.hbbp.bbec, |b| {
-            b.symbol.as_deref() == Some("hello_k")
-        });
+    let user = result.analyzer.mix_where(&result.analysis.hbbp.bbec, |b| {
+        b.symbol.as_deref() == Some("hello_u")
+    });
+    let kernel = result.analyzer.mix_where(&result.analysis.hbbp.bbec, |b| {
+        b.symbol.as_deref() == Some("hello_k")
+    });
 
     println!("prime-search benchmark: same code in user space and in hello.ko\n");
-    println!("{:<10} {:>14} {:>14}", "mnemonic", "hello_u(user)", "hello_k(ring0)");
+    println!(
+        "{:<10} {:>14} {:>14}",
+        "mnemonic", "hello_u(user)", "hello_k(ring0)"
+    );
     for (m, u) in user.top(12) {
         println!("{:<10} {:>14.0} {:>14.0}", m.name(), u, kernel.get(m));
     }

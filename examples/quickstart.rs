@@ -25,9 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "sampling: {} ({} EBS samples, {} LBR stacks)",
-        result.periods,
-        result.analysis.ebs.samples_used,
-        result.analysis.lbr.stacks
+        result.periods, result.analysis.ebs.samples_used, result.analysis.lbr.stacks
     );
     let (ebs_blocks, lbr_blocks) = result.analysis.hbbp.choice_counts();
     println!("rule choices: {ebs_blocks} blocks from EBS, {lbr_blocks} from LBR\n");

@@ -17,7 +17,9 @@ use hbbp::prelude::*;
 use hbbp::workloads::{fitter, FitterVariant};
 use hbbp_isa::Extension;
 
-fn profile(variant: FitterVariant) -> Result<(Workload, ProfileResult), Box<dyn std::error::Error>> {
+fn profile(
+    variant: FitterVariant,
+) -> Result<(Workload, ProfileResult), Box<dyn std::error::Error>> {
     let w = fitter(variant, Scale::Small);
     let result = HbbpProfiler::new(Cpu::with_seed(7)).profile(&w)?;
     Ok((w, result))
@@ -36,10 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tracks = hbbp::workloads::fitter::tracks(Scale::Small) as f64;
 
     println!("Fitter AVX build: slow (regression) vs fixed\n");
-    println!(
-        "{:<26} {:>14} {:>14}",
-        "", "slow build", "fixed build"
-    );
+    println!("{:<26} {:>14} {:>14}", "", "slow build", "fixed build");
     let row = |label: &str, a: f64, b: f64| {
         println!("{label:<26} {a:>14.0} {b:>14.0}");
     };
@@ -48,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Step 1 of the paper's diagnosis: vector instruction counts are NOT
     // suspicious — AVX math is still being emitted.
-    row("AVX instructions", ext_total(&bm, Extension::Avx), ext_total(&fm, Extension::Avx));
+    row(
+        "AVX instructions",
+        ext_total(&bm, Extension::Avx),
+        ext_total(&fm, Extension::Avx),
+    );
 
     // Step 2: but CALLs exploded, and x87 spill traffic appeared.
     row(
@@ -56,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         bm.get(Mnemonic::CallNear),
         fm.get(Mnemonic::CallNear),
     );
-    row("x87 instructions", ext_total(&bm, Extension::X87), ext_total(&fm, Extension::X87));
+    row(
+        "x87 instructions",
+        ext_total(&bm, Extension::X87),
+        ext_total(&fm, Extension::X87),
+    );
 
     println!(
         "{:<26} {:>13.2}us {:>13.2}us",

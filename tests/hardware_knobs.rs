@@ -13,8 +13,7 @@ fn deeper_lbr_stacks_carry_more_streams() {
         let mut profiler = HbbpProfiler::new(Cpu::with_seed(21));
         profiler.pmu_template.lbr.stack_depth = depth;
         let r = profiler.profile(&w).unwrap();
-        streams_per_stack
-            .push(r.analysis.lbr.streams as f64 / r.analysis.lbr.stacks.max(1) as f64);
+        streams_per_stack.push(r.analysis.lbr.streams as f64 / r.analysis.lbr.stacks.max(1) as f64);
     }
     assert!(streams_per_stack[0] < streams_per_stack[1]);
     assert!(streams_per_stack[1] < streams_per_stack[2]);
@@ -47,7 +46,10 @@ fn quirk_free_hardware_fixes_lbr_but_not_hbbp_much() {
         "erratum must hurt LBR: {lbr_bad:.4} vs {lbr_good:.4}"
     );
     // HBBP routed those blocks to EBS, so it barely notices either way.
-    assert!(hbbp_with < 0.6 * lbr_bad, "HBBP {hbbp_with:.4} must dodge LBR {lbr_bad:.4}");
+    assert!(
+        hbbp_with < 0.6 * lbr_bad,
+        "HBBP {hbbp_with:.4} must dodge LBR {lbr_bad:.4}"
+    );
     assert!(hbbp_without <= lbr_bad);
 }
 
@@ -72,9 +74,7 @@ fn throttled_collection_loses_samples_and_reports_it() {
     let w = generate(&GenSpec::default(), Scale::Tiny);
     let mut session = PerfSession::hbbp(Cpu::with_seed(51), 101, 31);
     session.pmu.max_sample_rate = Some(2_000); // absurdly low limit
-    let rec = session
-        .record(w.program(), w.layout(), w.oracle())
-        .unwrap();
+    let rec = session.record(w.program(), w.layout(), w.oracle()).unwrap();
     assert!(rec.run.throttled > 0);
     // The loss is visible in the data stream as a LOST record.
     assert_eq!(rec.data.lost(), rec.run.throttled);

@@ -9,7 +9,10 @@ use hbbp::workloads::kernel_benchmark;
 fn instrumentation_is_blind_to_ring0_hbbp_is_not() {
     let w = kernel_benchmark(Scale::Tiny);
     let truth = Instrumenter::new().run(w.program(), w.layout(), w.oracle());
-    assert!(truth.kernel_blocks_invisible > 0, "kernel code must execute");
+    assert!(
+        truth.kernel_blocks_invisible > 0,
+        "kernel code must execute"
+    );
 
     let result = HbbpProfiler::new(Cpu::with_seed(2)).profile(&w).unwrap();
     let kernel_mix = result.hbbp_mix_for_ring(Ring::Kernel);
@@ -18,11 +21,9 @@ fn instrumentation_is_blind_to_ring0_hbbp_is_not() {
         "HBBP must attribute kernel instructions"
     );
     // The instrumenter's mix has no kernel-module instructions at all.
-    let imul_kernel = result
-        .analyzer
-        .mix_where(&result.analysis.hbbp.bbec, |b| {
-            b.symbol.as_deref() == Some("hello_k")
-        });
+    let imul_kernel = result.analyzer.mix_where(&result.analysis.hbbp.bbec, |b| {
+        b.symbol.as_deref() == Some("hello_k")
+    });
     assert!(imul_kernel.get(Mnemonic::Imul) > 0.0);
 }
 

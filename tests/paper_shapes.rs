@@ -11,15 +11,23 @@ use hbbp::workloads::{
 fn instrumentation_slowdowns_span_the_paper_band() {
     // Table 1: ~4x for plain integer code up to ~76x for Hydro-post.
     let plain = spec::workload_for("bzip2", Scale::Tiny);
-    let t = Instrumenter::new()
-        .with_cost(plain.sde_cost().clone())
-        .run(plain.program(), plain.layout(), plain.oracle());
-    assert!((2.0..8.0).contains(&t.slowdown()), "bzip2 {:.1}x", t.slowdown());
+    let t = Instrumenter::new().with_cost(plain.sde_cost().clone()).run(
+        plain.program(),
+        plain.layout(),
+        plain.oracle(),
+    );
+    assert!(
+        (2.0..8.0).contains(&t.slowdown()),
+        "bzip2 {:.1}x",
+        t.slowdown()
+    );
 
     let hydro = hydro_post(Scale::Tiny);
-    let t = Instrumenter::new()
-        .with_cost(hydro.sde_cost().clone())
-        .run(hydro.program(), hydro.layout(), hydro.oracle());
+    let t = Instrumenter::new().with_cost(hydro.sde_cost().clone()).run(
+        hydro.program(),
+        hydro.layout(),
+        hydro.oracle(),
+    );
     assert!(t.slowdown() > 40.0, "hydro {:.1}x", t.slowdown());
 
     let povray = spec::workload_for("povray", Scale::Tiny);
@@ -86,9 +94,11 @@ fn clforward_vectorization_view() {
 
 #[test]
 fn criteria_search_recovers_a_length_rule() {
-    // Figure 1 / §IV.B on a reduced training set (speed): block length must
-    // dominate and the cutoff must land near the paper's 18.
-    let suite: Vec<_> = training_suite(Scale::Tiny).into_iter().take(6).collect();
+    // Figure 1 / §IV.B: on the full Tiny training suite (≈1,100 blocks,
+    // matching the paper's training-set size) block length must dominate
+    // and the cutoff must land near the paper's 18. A 6-workload subset is
+    // too seed-sensitive: the root split wanders outside the paper band.
+    let suite = training_suite(Scale::Tiny);
     let outcome = train_rule(&suite, &TrainingConfig::default()).unwrap();
     assert!(outcome.rows > 150, "{} rows", outcome.rows);
     assert_eq!(outcome.importances[0].0, "block_len");

@@ -42,7 +42,10 @@ fn hbbp_accuracy_envelope() {
         result.overhead_fraction()
     );
     // HBBP must not be dramatically worse than the best single method.
-    assert!(hbbp <= 1.8 * lbr.min(ebs) + 0.005, "hbbp {hbbp} lbr {lbr} ebs {ebs}");
+    assert!(
+        hbbp <= 1.8 * lbr.min(ebs) + 0.005,
+        "hbbp {hbbp} lbr {lbr} ebs {ebs}"
+    );
 }
 
 #[test]
@@ -95,11 +98,10 @@ fn perf_data_roundtrips_through_binary_codec() {
     let back = hbbp::perf::codec::read(&bytes).expect("read back");
     assert_eq!(back, result.recording.data);
     // And the decoded stream supports the same analysis.
-    let re = result.analyzer.analyze(&back, result.periods, &HybridRule::paper_default());
-    assert_eq!(
-        re.hbbp.bbec.total(),
-        result.analysis.hbbp.bbec.total()
-    );
+    let re = result
+        .analyzer
+        .analyze(&back, result.periods, &HybridRule::paper_default());
+    assert_eq!(re.hbbp.bbec.total(), result.analysis.hbbp.bbec.total());
 }
 
 #[test]

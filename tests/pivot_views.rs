@@ -30,9 +30,7 @@ fn pivot_totals_are_consistent_across_groupings() {
 #[test]
 fn pivot_rows_are_sorted_and_csv_exports() {
     let r = profiled();
-    let table = r
-        .analyzer
-        .pivot(&r.analysis.hbbp.bbec, &[Field::Mnemonic]);
+    let table = r.analyzer.pivot(&r.analysis.hbbp.bbec, &[Field::Mnemonic]);
     let rows = table.rows();
     for w in rows.windows(2) {
         assert!(w[0].count >= w[1].count, "rows must sort descending");

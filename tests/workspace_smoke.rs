@@ -1,0 +1,31 @@
+//! Workspace-level smoke test: the end-to-end HBBP pipeline on a tiny
+//! Test40 workload, touching every crate the umbrella re-exports — the
+//! cheapest possible "is the whole stack wired together" check.
+
+use hbbp::prelude::*;
+
+#[test]
+fn end_to_end_pipeline_on_tiny_test40() {
+    let workload = hbbp::workloads::test40(Scale::Tiny);
+
+    let profiler = HbbpProfiler::new(Cpu::with_seed(42));
+    let result = profiler.profile(&workload).expect("profile succeeds");
+
+    // A non-empty instruction mix with positive counts.
+    let mix = result.hbbp_mix();
+    assert!(mix.total() > 0.0, "instruction mix is empty");
+    let top = mix.top(5);
+    assert!(!top.is_empty(), "no top mnemonics");
+    assert!(
+        top.iter().all(|(_, count)| *count > 0.0),
+        "non-positive top counts: {top:?}"
+    );
+
+    // Collection overhead is a fraction strictly inside (0, 1) — sampling
+    // costs something, but nothing like instrumentation's 4-76x.
+    let overhead = result.overhead_fraction();
+    assert!(
+        overhead > 0.0 && overhead < 1.0,
+        "overhead fraction {overhead} outside (0, 1)"
+    );
+}

@@ -1,0 +1,199 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! crate.
+//!
+//! The build environment has no network access to a cargo registry, so this
+//! vendored crate implements the API subset `hbbp-bench` uses:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! [`BenchmarkGroup::throughput`] / [`BenchmarkGroup::sample_size`], the
+//! [`criterion_group!`] / [`criterion_main!`] macros, and [`Throughput`].
+//!
+//! Measurement is intentionally simple: each benchmark is calibrated to a
+//! stable batch size, then timed over a fixed wall-clock budget and
+//! reported as a mean ns/iter, with elements/bytes throughput derived when
+//! configured. `sample_size` is accepted for API parity only. There are no
+//! HTML reports or statistical regressions — just stable
+//! `name ... ns/iter` lines on stdout, enough for the BENCH_*.json
+//! trajectory tooling to parse.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Units for reporting work performed per iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it enough times for a stable reading.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: find an iteration count that runs ≥ ~5 ms.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            if start.elapsed() >= Duration::from_millis(5) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        // Measurement: a fixed wall-clock budget at the calibrated size.
+        // The loop body always runs at least once (elapsed ≈ 0 < budget on
+        // entry), so `iters` ends positive.
+        let budget = Duration::from_millis(25);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget {
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            iters += batch;
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+
+    fn ns_per_iter(&self) -> f64 {
+        self.elapsed.as_nanos() as f64 / self.iters as f64
+    }
+}
+
+fn report(group: Option<&str>, name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let full = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    let ns = bencher.ns_per_iter();
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (ns * 1e-9);
+            println!("bench: {full:<48} {ns:>14.1} ns/iter ({rate:>12.0} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (ns * 1e-9) / (1024.0 * 1024.0);
+            println!("bench: {full:<48} {ns:>14.1} ns/iter ({rate:>10.1} MiB/s)");
+        }
+        None => println!("bench: {full:<48} {ns:>14.1} ns/iter"),
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        report(None, name, &bencher, None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Report results in terms of this much work per iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Hint at how many samples to take (accepted for API parity).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        report(Some(&self.name), name, &bencher, self.throughput);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Re-export matching the real crate's `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Bencher, Criterion, Throughput};
+
+    #[test]
+    fn bencher_times_something() {
+        let mut b = Bencher::default();
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.ns_per_iter() > 0.0);
+    }
+
+    #[test]
+    fn group_api_flows() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(100));
+        group.sample_size(5);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+        c.bench_function("top_level", |b| b.iter(|| 2 + 2));
+    }
+}

@@ -1,0 +1,276 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment has no network access to a cargo registry, so this
+//! vendored crate provides the exact API subset the workspace uses — the
+//! rand 0.9 method names (`random`, `random_bool`, `random_range`,
+//! `seq::IndexedRandom::choose`) and a deterministic [`rngs::SmallRng`]
+//! backed by xoshiro256++ seeded through SplitMix64. It is not a
+//! cryptographic RNG and makes no distribution-quality claims beyond what
+//! the simulator and workload generators need: uniform, seed-stable
+//! streams.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A random number generator: a `u64` source plus the derived sampling
+/// methods the workspace calls.
+pub trait Rng {
+    /// Produce the next raw 64-bit value from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a value of type `T` from its natural uniform distribution.
+    fn random<T: Random>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::random(self)
+    }
+
+    /// Return `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let p = p.clamp(0.0, 1.0);
+        self.random::<f64>() < p
+    }
+
+    /// Sample uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+/// Types that can be sampled uniformly from a raw `u64` stream.
+pub trait Random {
+    /// Draw one value from `rng`.
+    fn random<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Random for f64 {
+    fn random<R: Rng>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    fn random<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Random for u64 {
+    fn random<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for u32 {
+    fn random<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Random for bool {
+    fn random<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A range from which [`Rng::random_range`] can sample a `T`.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample<R: Rng>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        self.start + rng.random::<f64>() * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    fn sample<R: Rng>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample from empty range");
+        lo + rng.random::<f64>() * (hi - lo)
+    }
+}
+
+/// Construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            SmallRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related sampling helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// Uniform selection from indexable collections (slices).
+    pub trait IndexedRandom {
+        /// The element type.
+        type Item;
+
+        /// Choose one element uniformly at random, or `None` if empty.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> IndexedRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let idx = (rng.next_u64() % self.len() as u64) as usize;
+                self.get(idx)
+            }
+        }
+    }
+}
+
+/// Re-export of the prelude-ish names some code imports directly.
+pub mod prelude {
+    pub use super::rngs::SmallRng;
+    pub use super::seq::IndexedRandom;
+    pub use super::{Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::IndexedRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn determinism() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(-512..512);
+            assert!((-512..512).contains(&v));
+            let u = rng.random_range(3u64..=9);
+            assert!((3..=9).contains(&u));
+            let f = rng.random_range(0.15..0.85);
+            assert!((0.15..0.85).contains(&f));
+            let x = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn choose_uniformish() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let options = [1, 2, 3];
+        assert!(options.choose(&mut rng).is_some());
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}
