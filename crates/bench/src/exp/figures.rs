@@ -1,7 +1,7 @@
 //! Regeneration of the paper's Figures 1–4 (as text/series output).
 
 use super::{pct, ExpOptions};
-use crate::runner::{evaluate, BenchOutcome};
+use crate::runner::{evaluate, evaluate_suite, BenchOutcome};
 use hbbp_core::{train_rule, TrainingConfig};
 use hbbp_workloads::{spec, test40, training_suite};
 use std::fmt::Write as _;
@@ -36,10 +36,12 @@ pub fn fig2(opts: &ExpOptions) -> String {
         "{:<12} {:>8} {:>9} {:>9} {:>9} {:>9}  notes",
         "benchmark", "SDE x", "HBBP ovh", "err HBBP", "err LBR", "err EBS"
     );
-    let mut outcomes: Vec<BenchOutcome> = Vec::new();
-    for name in spec::SPEC_NAMES {
-        let w = spec::workload_for(name, opts.scale);
-        let o = evaluate(&w, opts.seed, &opts.rule);
+    let suite: Vec<_> = spec::SPEC_NAMES
+        .iter()
+        .map(|name| spec::workload_for(name, opts.scale))
+        .collect();
+    let outcomes: Vec<BenchOutcome> = evaluate_suite(&suite, opts.seed, &opts.rule);
+    for o in &outcomes {
         let note = if o.sde_unreliable {
             "SDE unreliable (PMU check) - excluded"
         } else {
@@ -56,7 +58,6 @@ pub fn fig2(opts: &ExpOptions) -> String {
             pct(o.err_ebs),
             note
         );
-        outcomes.push(o);
     }
     let valid: Vec<&BenchOutcome> = outcomes.iter().filter(|o| !o.sde_unreliable).collect();
     let n = valid.len() as f64;

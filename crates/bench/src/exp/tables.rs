@@ -1,7 +1,7 @@
 //! Regeneration of the paper's Tables 1–8.
 
 use super::{pct, secs, ExpOptions};
-use crate::runner::{evaluate, BenchOutcome};
+use crate::runner::{evaluate, evaluate_suite, BenchOutcome};
 use hbbp_core::{period_table, Field};
 use hbbp_isa::{Extension, Mnemonic, Taxonomy};
 use hbbp_program::Ring;
@@ -24,10 +24,11 @@ pub fn table1(opts: &ExpOptions) -> String {
         "Benchmark", "(1) Clean", "(2) SDE", "factor"
     );
 
-    let outcomes: Vec<BenchOutcome> = spec::SPEC_NAMES
+    let suite: Vec<_> = spec::SPEC_NAMES
         .iter()
-        .map(|n| evaluate(&spec::workload_for(n, opts.scale), opts.seed, &opts.rule))
+        .map(|n| spec::workload_for(n, opts.scale))
         .collect();
+    let outcomes: Vec<BenchOutcome> = evaluate_suite(&suite, opts.seed, &opts.rule);
     let total_clean: f64 = outcomes.iter().map(|o| o.clean_seconds).sum();
     let total_sde: f64 = outcomes.iter().map(|o| o.sde_seconds).sum();
     let row = |out: &mut String, name: &str, clean: f64, sde: f64| {

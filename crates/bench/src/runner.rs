@@ -7,6 +7,8 @@ use hbbp_instrument::{cross_check, GroundTruth, Instrumenter};
 use hbbp_program::{MnemonicMix, Ring};
 use hbbp_sim::Cpu;
 use hbbp_workloads::Workload;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Everything the evaluation of one benchmark produces.
 #[derive(Debug)]
@@ -95,6 +97,47 @@ pub fn evaluate(workload: &Workload, seed: u64, rule: &HybridRule) -> BenchOutco
     }
 }
 
+/// Evaluate a whole suite, fanning workloads out across OS threads.
+///
+/// Each workload is fully independent (its own program, oracle, simulated
+/// CPU and analyzer), so the suite is embarrassingly parallel: workers
+/// pull indices from a shared atomic counter inside a
+/// [`std::thread::scope`] — no extra dependencies, no unsafe. Results come
+/// back in input order and are identical to a sequential
+/// `workloads.iter().map(|w| evaluate(w, seed, rule))` run.
+pub fn evaluate_suite(workloads: &[Workload], seed: u64, rule: &HybridRule) -> Vec<BenchOutcome> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(workloads.len().max(1));
+    if threads <= 1 {
+        return workloads.iter().map(|w| evaluate(w, seed, rule)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<BenchOutcome>>> =
+        workloads.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(workload) = workloads.get(i) else {
+                    break;
+                };
+                let outcome = evaluate(workload, seed, rule);
+                *slots[i].lock().expect("result slot poisoned") = Some(outcome);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
 fn truth_bbec_total(truth: &GroundTruth) -> hbbp_program::Bbec {
     truth.bbec.clone()
 }
@@ -118,6 +161,33 @@ mod tests {
         assert!(o.err_hbbp < 0.25, "err_hbbp {}", o.err_hbbp);
         assert!(!o.sde_unreliable);
         assert!(o.sde_seconds > o.clean_seconds);
+    }
+
+    #[test]
+    fn parallel_suite_matches_sequential() {
+        let suite: Vec<_> = [("p0", 0xABCu64), ("p1", 0xABD), ("p2", 0xABE)]
+            .into_iter()
+            .map(|(name, seed)| {
+                let spec = GenSpec {
+                    name,
+                    seed,
+                    ..GenSpec::default()
+                };
+                generate(&spec, Scale::Tiny)
+            })
+            .collect();
+        let rule = HybridRule::paper_default();
+        let par = evaluate_suite(&suite, 7, &rule);
+        let seq: Vec<_> = suite.iter().map(|w| evaluate(w, 7, &rule)).collect();
+        assert_eq!(par.len(), seq.len());
+        for (p, s) in par.iter().zip(&seq) {
+            assert_eq!(p.name, s.name);
+            assert_eq!(p.err_hbbp, s.err_hbbp);
+            assert_eq!(p.err_lbr, s.err_lbr);
+            assert_eq!(p.err_ebs, s.err_ebs);
+            assert_eq!(p.clean_seconds, s.clean_seconds);
+            assert_eq!(p.profile.analysis.hbbp.bbec, s.profile.analysis.hbbp.bbec);
+        }
     }
 
     #[test]

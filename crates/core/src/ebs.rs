@@ -4,17 +4,27 @@
 //! of the enclosing basic block. … To obtain proper instruction counts, we
 //! must then divide the number of samples recorded for a basic block by
 //! the instruction length of that block."
+//!
+//! The production path ([`estimate`] / [`EbsAccum`]) works in the block
+//! **index** coordinate system: raw sample tallies live in a plain vector
+//! indexed by [`BlockMap`] block index and IPs resolve through a
+//! [`hbbp_program::BlockCursor`], so the hot loop performs no hashing.
+//! [`estimate_ref`] preserves the original address-keyed implementation as
+//! the equivalence/benchmark reference.
 
-use hbbp_perf::PerfData;
-use hbbp_program::{Bbec, BlockMap};
+use hbbp_perf::{PerfData, PerfSample};
+use hbbp_program::{Bbec, BlockCursor, BlockMap, DenseBbec};
 use hbbp_sim::EventSpec;
 use std::collections::HashMap;
 
 /// Result of EBS estimation.
 #[derive(Debug, Clone)]
 pub struct EbsEstimate {
-    /// Estimated per-block execution counts.
+    /// Estimated per-block execution counts (address-keyed).
     pub bbec: Bbec,
+    /// The same counts in the block-index coordinate system of the map
+    /// the estimate was built over.
+    pub dense: DenseBbec,
     /// Raw IP-sample counts per block (keyed by block start).
     pub samples_per_block: HashMap<u64, u64>,
     /// Samples whose IP fell inside the block map.
@@ -30,18 +40,105 @@ impl EbsEstimate {
     pub fn count(&self, addr: u64) -> f64 {
         self.bbec.get(addr)
     }
+
+    /// Estimated executions of the block at map index `bi`.
+    pub fn count_idx(&self, bi: usize) -> f64 {
+        self.dense.get(bi)
+    }
+}
+
+/// Streaming EBS accumulator: feed it `INST_RETIRED:PREC_DIST` samples one
+/// at a time (event filtering is the caller's job), then [`finish`] into
+/// an [`EbsEstimate`]. This is the building block the fused single-pass
+/// analyzer dispatches into.
+///
+/// [`finish`]: EbsAccum::finish
+#[derive(Debug, Clone)]
+pub(crate) struct EbsAccum<'m> {
+    map: &'m BlockMap,
+    cursor: BlockCursor<'m>,
+    samples: Vec<u64>,
+    used: u64,
+    unmapped: u64,
+    period: u64,
+}
+
+impl<'m> EbsAccum<'m> {
+    pub(crate) fn new(map: &'m BlockMap, period: u64) -> EbsAccum<'m> {
+        EbsAccum {
+            map,
+            cursor: map.cursor(),
+            samples: vec![0; map.len()],
+            used: 0,
+            unmapped: 0,
+            period,
+        }
+    }
+
+    /// Attribute one sample's eventing IP. Attached LBR stacks are
+    /// **discarded** (paper §V.A).
+    pub(crate) fn observe(&mut self, sample: &PerfSample) {
+        match self.cursor.enclosing(sample.ip) {
+            Some(bi) => {
+                self.samples[bi] += 1;
+                self.used += 1;
+            }
+            None => self.unmapped += 1,
+        }
+    }
+
+    pub(crate) fn finish(self) -> EbsEstimate {
+        let mut dense = DenseBbec::for_map(self.map);
+        let mut bbec = Bbec::new();
+        let mut samples_per_block = HashMap::new();
+        for (bi, &n) in self.samples.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let block = &self.map.blocks()[bi];
+            samples_per_block.insert(block.start, n);
+            let len = block.len().max(1) as f64;
+            let value = n as f64 * self.period as f64 / len;
+            dense.set(bi, value);
+            // Built directly (not via `to_bbec`) so a sampled block keeps
+            // its entry even when a degenerate period of 0 zeroes the
+            // value — exactly what the seed implementation produces.
+            bbec.set(block.start, value);
+        }
+        EbsEstimate {
+            bbec,
+            dense,
+            samples_per_block,
+            samples_used: self.used,
+            samples_unmapped: self.unmapped,
+            period: self.period,
+        }
+    }
 }
 
 /// Build the EBS estimate from the eventing IPs of
 /// `INST_RETIRED:PREC_DIST` samples. LBR stacks attached to those samples
 /// are **discarded** (paper §V.A).
 pub fn estimate(data: &PerfData, map: &BlockMap, period: u64) -> EbsEstimate {
+    let mut acc = EbsAccum::new(map, period);
+    for sample in data.samples_of(EventSpec::inst_retired_prec_dist()) {
+        acc.observe(sample);
+    }
+    acc.finish()
+}
+
+/// The seed address-keyed implementation of [`estimate`], kept as the
+/// reference for equivalence property tests and the `BENCH_pipeline.json`
+/// perf trajectory. Produces bit-identical results; lookups go through the
+/// seed's whole-map binary search ([`BlockMap::enclosing_seed`]), so this
+/// measures the true pre-index baseline.
+pub fn estimate_ref(data: &PerfData, map: &BlockMap, period: u64) -> EbsEstimate {
     let event = EventSpec::inst_retired_prec_dist();
     let mut samples_per_block: HashMap<u64, u64> = HashMap::new();
     let mut used = 0u64;
     let mut unmapped = 0u64;
     for sample in data.samples_of(event) {
-        match map.enclosing(sample.ip) {
+        match map.enclosing_seed(sample.ip) {
             Some(bi) => {
                 *samples_per_block.entry(map.blocks()[bi].start).or_insert(0) += 1;
                 used += 1;
@@ -55,8 +152,10 @@ pub fn estimate(data: &PerfData, map: &BlockMap, period: u64) -> EbsEstimate {
         let len = map.blocks()[bi].len().max(1) as f64;
         bbec.set(start, n as f64 * period as f64 / len);
     }
+    let dense = DenseBbec::from_bbec(&bbec, map);
     EbsEstimate {
         bbec,
+        dense,
         samples_per_block,
         samples_used: used,
         samples_unmapped: unmapped,
@@ -156,5 +255,23 @@ mod tests {
         let est = estimate(&PerfData::new(), &map, 100);
         assert!(est.bbec.is_empty());
         assert_eq!(est.samples_used + est.samples_unmapped, 0);
+    }
+
+    #[test]
+    fn index_and_reference_paths_agree() {
+        let (map, b0_start, mid_ip) = map_fixture();
+        let mut data = PerfData::new();
+        for ip in [b0_start, mid_ip, 0xdead_beef, b0_start, mid_ip + 2] {
+            data.push(sample_at(ip));
+        }
+        let fast = estimate(&data, &map, 733);
+        let seed = estimate_ref(&data, &map, 733);
+        assert_eq!(fast.bbec, seed.bbec);
+        assert_eq!(fast.dense, seed.dense);
+        assert_eq!(fast.samples_per_block, seed.samples_per_block);
+        assert_eq!(fast.samples_used, seed.samples_used);
+        assert_eq!(fast.samples_unmapped, seed.samples_unmapped);
+        let bi = map.at_start(b0_start).unwrap();
+        assert_eq!(fast.count_idx(bi), fast.count(b0_start));
     }
 }

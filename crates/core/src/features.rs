@@ -39,9 +39,29 @@ pub struct BlockFeatures {
 }
 
 impl BlockFeatures {
-    /// Extract features for the block at index `bi` of `map`.
+    /// Extract features for `block` using address-keyed estimate lookups.
+    ///
+    /// Prefer [`BlockFeatures::extract_indexed`] on hot paths where the
+    /// block's map index is already at hand — it produces the same values
+    /// without touching the sparse tables.
     pub fn extract(block: &StaticBlock, ebs: &EbsEstimate, lbr: &LbrEstimate) -> BlockFeatures {
         let exec = ebs.count(block.start).max(lbr.count(block.start));
+        Self::from_parts(block, exec, lbr.is_biased(block.start))
+    }
+
+    /// Extract features for the block at map index `bi` (`block` must be
+    /// `map.blocks()[bi]`), using dense index-addressed estimate lookups.
+    pub fn extract_indexed(
+        block: &StaticBlock,
+        bi: usize,
+        ebs: &EbsEstimate,
+        lbr: &LbrEstimate,
+    ) -> BlockFeatures {
+        let exec = ebs.count_idx(bi).max(lbr.count_idx(bi));
+        Self::from_parts(block, exec, lbr.is_biased_idx(bi))
+    }
+
+    fn from_parts(block: &StaticBlock, exec: f64, bias: bool) -> BlockFeatures {
         let mean_latency = if block.instrs.is_empty() {
             0.0
         } else {
@@ -49,7 +69,7 @@ impl BlockFeatures {
         };
         BlockFeatures {
             block_len: block.len() as f64,
-            bias: lbr.is_biased(block.start),
+            bias,
             exec_estimate_log10: if exec > 0.0 { exec.log10() } else { 0.0 },
             has_long_latency: block.instrs.iter().any(Instruction::is_long_latency),
             mean_latency,
@@ -113,6 +133,8 @@ mod tests {
         let l = lbr::estimate(&empty, &map, 50, &LbrOptions::default());
         let bi = map.at_start(b0).unwrap();
         let feats = BlockFeatures::extract(&map.blocks()[bi], &e, &l);
+        let feats_idx = BlockFeatures::extract_indexed(&map.blocks()[bi], bi, &e, &l);
+        assert_eq!(feats, feats_idx, "address and index paths must agree");
         assert_eq!(feats.block_len, 5.0);
         assert!(feats.has_long_latency, "IDIV present");
         assert!(feats.backward_branch, "self-loop Jnz");

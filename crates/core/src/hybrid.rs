@@ -9,7 +9,7 @@
 
 use crate::{BlockFeatures, EbsEstimate, LbrEstimate};
 use hbbp_mltree::DecisionTree;
-use hbbp_program::{Bbec, BlockMap};
+use hbbp_program::{Bbec, BlockMap, DenseBbec};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -75,6 +75,37 @@ impl HybridRule {
             HybridRule::AlwaysLbr => Choice::Lbr,
         }
     }
+
+    /// Decide the data source for the block at map index `bi`, extracting
+    /// the full feature vector only when the rule actually consumes it (a
+    /// tree). The cutoff and ablation rules read nothing but the block
+    /// length, so the hot combine loop skips the per-instruction latency
+    /// scan for them. Same result as `choose(&extract(..))` for every
+    /// rule.
+    fn choose_indexed(
+        &self,
+        block: &hbbp_program::StaticBlock,
+        bi: usize,
+        ebs: &EbsEstimate,
+        lbr: &LbrEstimate,
+    ) -> Choice {
+        match self {
+            HybridRule::LengthCutoff(cutoff) => {
+                // block_len is compared as f64 in `choose`; both lengths
+                // are far below 2^53, so the integer compare is identical.
+                if block.len() <= *cutoff {
+                    Choice::Lbr
+                } else {
+                    Choice::Ebs
+                }
+            }
+            HybridRule::AlwaysEbs => Choice::Ebs,
+            HybridRule::AlwaysLbr => Choice::Lbr,
+            HybridRule::Tree(_) => {
+                self.choose(&BlockFeatures::extract_indexed(block, bi, ebs, lbr))
+            }
+        }
+    }
 }
 
 impl fmt::Display for HybridRule {
@@ -96,8 +127,11 @@ impl fmt::Display for HybridRule {
 /// The combined HBBP estimate.
 #[derive(Debug, Clone)]
 pub struct HbbpEstimate {
-    /// Combined per-block execution counts.
+    /// Combined per-block execution counts (address-keyed).
     pub bbec: Bbec,
+    /// The same counts in the block-index coordinate system of the map
+    /// they were combined over.
+    pub dense: DenseBbec,
     /// Per-block source choice (keyed by block start).
     pub choices: HashMap<u64, Choice>,
 }
@@ -106,6 +140,11 @@ impl HbbpEstimate {
     /// Estimated executions of the block starting at `addr`.
     pub fn count(&self, addr: u64) -> f64 {
         self.bbec.get(addr)
+    }
+
+    /// Estimated executions of the block at map index `bi`.
+    pub fn count_idx(&self, bi: usize) -> f64 {
+        self.dense.get(bi)
     }
 
     /// How many blocks chose each source.
@@ -121,7 +160,46 @@ impl HbbpEstimate {
 /// exactly one of the two estimates is consulted per block, per the paper
 /// ("HBBP does not fix the problems with the individual use of EBS and
 /// LBR", §IV.A).
+///
+/// Works entirely in block-index coordinates: per-block counts and bias
+/// flags come from the estimates' dense tables, so the per-block loop does
+/// no hashing or tree walks. [`combine_ref`] keeps the seed address-keyed
+/// version for equivalence testing.
 pub fn combine(
+    map: &BlockMap,
+    ebs: &EbsEstimate,
+    lbr: &LbrEstimate,
+    rule: &HybridRule,
+) -> HbbpEstimate {
+    let mut dense = DenseBbec::for_map(map);
+    let mut choices = HashMap::new();
+    for (bi, block) in map.blocks().iter().enumerate() {
+        let e = ebs.count_idx(bi);
+        let l = lbr.count_idx(bi);
+        if e == 0.0 && l == 0.0 {
+            continue;
+        }
+        let choice = rule.choose_indexed(block, bi, ebs, lbr);
+        let value = match choice {
+            Choice::Ebs => e,
+            Choice::Lbr => l,
+        };
+        choices.insert(block.start, choice);
+        if value > 0.0 {
+            dense.set(bi, value);
+        }
+    }
+    HbbpEstimate {
+        bbec: dense.to_bbec(map),
+        dense,
+        choices,
+    }
+}
+
+/// The seed address-keyed implementation of [`combine`], kept as the
+/// reference for equivalence property tests and the `BENCH_pipeline.json`
+/// perf trajectory. Produces bit-identical results.
+pub fn combine_ref(
     map: &BlockMap,
     ebs: &EbsEstimate,
     lbr: &LbrEstimate,
@@ -146,7 +224,12 @@ pub fn combine(
             bbec.set(block.start, value);
         }
     }
-    HbbpEstimate { bbec, choices }
+    let dense = DenseBbec::from_bbec(&bbec, map);
+    HbbpEstimate {
+        bbec,
+        dense,
+        choices,
+    }
 }
 
 #[cfg(test)]

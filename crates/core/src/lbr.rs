@@ -5,10 +5,21 @@
 //! is credited. Bias detection identifies branches that occupy `entry[0]`
 //! disproportionately (their terminating streams are structurally dropped)
 //! and flags the blocks whose LBR evidence depends on them.
+//!
+//! The production path ([`estimate`] / [`LbrAccum`]) interns branch source
+//! addresses into dense ids once and keeps every per-branch statistic in a
+//! plain vector; per-stack dedup uses an epoch-stamped bitset (O(1) per
+//! entry, replacing the seed's linear `contains` scan); per-block weights
+//! are vectors indexed by [`BlockMap`] block index; stream walks reuse one
+//! buffer through a locality [`hbbp_program::BlockCursor`], with small
+//! direct-mapped branch and stream caches in front of the hot lookups. The
+//! seed
+//! address-keyed implementation survives as [`estimate_ref`] for
+//! equivalence property tests and the perf trajectory benchmark.
 
-use hbbp_perf::PerfData;
-use hbbp_program::{Bbec, BlockMap};
-use hbbp_sim::EventSpec;
+use hbbp_perf::{PerfData, PerfSample};
+use hbbp_program::{Bbec, BlockCursor, BlockMap, DenseBbec};
+use hbbp_sim::{EventSpec, LbrEntry};
 use std::collections::{HashMap, HashSet};
 
 /// Tunables for LBR analysis.
@@ -40,10 +51,15 @@ impl Default for LbrOptions {
 /// Result of LBR estimation.
 #[derive(Debug, Clone)]
 pub struct LbrEstimate {
-    /// Estimated per-block execution counts.
+    /// Estimated per-block execution counts (address-keyed).
     pub bbec: Bbec,
+    /// The same counts in the block-index coordinate system of the map
+    /// the estimate was built over.
+    pub dense: DenseBbec,
     /// Blocks flagged with the paper's "bias" marker (block start addrs).
     pub biased_blocks: HashSet<u64>,
+    /// Per-block-index bias flags (same membership as `biased_blocks`).
+    pub biased_idx: Vec<bool>,
     /// Branch source addresses judged biased.
     pub biased_branches: HashSet<u64>,
     /// Per-block fraction of weight carried by biased-branch streams.
@@ -65,9 +81,19 @@ impl LbrEstimate {
         self.bbec.get(addr)
     }
 
+    /// Estimated executions of the block at map index `bi`.
+    pub fn count_idx(&self, bi: usize) -> f64 {
+        self.dense.get(bi)
+    }
+
     /// Whether the block starting at `addr` carries the bias flag.
     pub fn is_biased(&self, addr: u64) -> bool {
         self.biased_blocks.contains(&addr)
+    }
+
+    /// Whether the block at map index `bi` carries the bias flag.
+    pub fn is_biased_idx(&self, bi: usize) -> bool {
+        self.biased_idx.get(bi).copied().unwrap_or(false)
     }
 
     /// Fraction of streams that derailed.
@@ -80,9 +106,354 @@ impl LbrEstimate {
     }
 }
 
+/// Direct-mapped cache sizes for the LBR hot loops (power-of-two slots).
+const BRANCH_CACHE_BITS: u32 = 10;
+const STREAM_CACHE_BITS: u32 = 10;
+
+/// Streaming LBR accumulator: feed it `BR_INST_RETIRED:NEAR_TAKEN` samples
+/// (event filtering is the caller's job), then [`finish`] into an
+/// [`LbrEstimate`].
+///
+/// Pass-1 statistics (entry\[0\] occupancy, appearances, per-stack
+/// presence) stream as samples arrive; stacks are buffered by reference so
+/// pass 2 (stream attribution, which needs the finished bias verdicts)
+/// revisits only LBR stacks rather than rescanning the whole recording.
+///
+/// Branch identity exploits the block map: a well-formed LBR source is a
+/// block **terminator** address, so its block index doubles as its branch
+/// id — resolved through a locality cursor with no hashing at all. Only
+/// sources that are not a terminator of any mapped block (garbage streams,
+/// unmapped modules) fall back to a hash-interned overflow id space above
+/// `map.len()`.
+///
+/// [`finish`]: LbrAccum::finish
+#[derive(Debug, Clone)]
+pub(crate) struct LbrAccum<'m, 'd> {
+    map: &'m BlockMap,
+    cursor: BlockCursor<'m>,
+    options: LbrOptions,
+    period: u64,
+    /// Non-terminator branch source address → overflow ordinal (the branch
+    /// id is `map.len() + ordinal`).
+    overflow_ids: HashMap<u64, u32>,
+    /// Overflow ordinal → address.
+    overflow_addrs: Vec<u64>,
+    /// Snapshots with this branch at `entry[0]`, by branch id.
+    entry0: Vec<u64>,
+    /// Total stack entries of this branch, by branch id.
+    appearances: Vec<u64>,
+    /// Stacks containing this branch at least once, by branch id.
+    stacks_containing: Vec<u64>,
+    /// Total entries of stacks containing this branch, by branch id.
+    entries_alongside: Vec<u64>,
+    /// Epoch stamps (stack ordinal of last sighting), by branch id — the
+    /// O(1) per-stack dedup replacing the seed's `contains` scan.
+    last_stack: Vec<u64>,
+    /// Last interned `(addr, id)` — loop-dominated stacks repeat the same
+    /// branch back to back, so this memo skips most lookups.
+    memo: Option<(u64, u32)>,
+    /// Direct-mapped `(addr, id)` cache behind the memo: stacks cycle
+    /// through a handful of hot branches, so nearly every non-consecutive
+    /// re-sighting hits here instead of re-resolving through the map. A
+    /// slot with `id == u32::MAX` is empty.
+    branch_cache: Vec<(u64, u32)>,
+    stacks: u64,
+    buffered: Vec<&'d [LbrEntry]>,
+}
+
+impl<'m, 'd> LbrAccum<'m, 'd> {
+    pub(crate) fn new(map: &'m BlockMap, period: u64, options: LbrOptions) -> LbrAccum<'m, 'd> {
+        let n = map.len();
+        LbrAccum {
+            map,
+            cursor: map.cursor(),
+            options,
+            period,
+            overflow_ids: HashMap::new(),
+            overflow_addrs: Vec::new(),
+            entry0: vec![0; n],
+            appearances: vec![0; n],
+            stacks_containing: vec![0; n],
+            entries_alongside: vec![0; n],
+            last_stack: vec![0; n],
+            memo: None,
+            branch_cache: vec![(0, u32::MAX); 1 << BRANCH_CACHE_BITS],
+            stacks: 0,
+            buffered: Vec::new(),
+        }
+    }
+
+    fn intern(&mut self, addr: u64) -> usize {
+        if let Some((memo_addr, id)) = self.memo {
+            if memo_addr == addr {
+                return id as usize;
+            }
+        }
+        let slot_idx =
+            (addr.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - BRANCH_CACHE_BITS)) as usize;
+        let slot = self.branch_cache[slot_idx];
+        if slot.0 == addr && slot.1 != u32::MAX {
+            self.memo = Some(slot);
+            return slot.1 as usize;
+        }
+        let id = match self.cursor.enclosing(addr) {
+            Some(bi) if self.map.blocks()[bi].terminator_addr() == addr => bi,
+            _ => {
+                let base = self.map.len();
+                match self.overflow_ids.entry(addr) {
+                    std::collections::hash_map::Entry::Occupied(o) => base + *o.get() as usize,
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        let ordinal = self.overflow_addrs.len();
+                        v.insert(ordinal as u32);
+                        self.overflow_addrs.push(addr);
+                        self.entry0.push(0);
+                        self.appearances.push(0);
+                        self.stacks_containing.push(0);
+                        self.entries_alongside.push(0);
+                        self.last_stack.push(0);
+                        base + ordinal
+                    }
+                }
+            }
+        };
+        self.memo = Some((addr, id as u32));
+        self.branch_cache[slot_idx] = (addr, id as u32);
+        id
+    }
+
+    /// Address of a branch id (inverse of [`LbrAccum::intern`]).
+    fn id_addr(&self, id: usize) -> u64 {
+        match id.checked_sub(self.map.len()) {
+            Some(ordinal) => self.overflow_addrs[ordinal],
+            None => self.map.blocks()[id].terminator_addr(),
+        }
+    }
+
+    /// Ingest one sample's LBR stack (its eventing IP is **discarded**,
+    /// paper §V.A).
+    pub(crate) fn observe(&mut self, sample: &'d PerfSample) {
+        let entries = &sample.lbr;
+        if entries.is_empty() {
+            return;
+        }
+        self.stacks += 1;
+        // Stack ordinal doubles as the dedup epoch (0 = never seen).
+        let epoch = self.stacks;
+        let e0 = self.intern(entries[0].from);
+        self.entry0[e0] += 1;
+        let stack_len = entries.len() as u64;
+        // A loop iterating under the snapshot fills the stack with runs of
+        // the same branch; all per-branch statistics are integers, so one
+        // batched update per run is exact.
+        let mut i = 0;
+        while i < entries.len() {
+            let from = entries[i].from;
+            let mut j = i + 1;
+            while j < entries.len() && entries[j].from == from {
+                j += 1;
+            }
+            let id = self.intern(from);
+            self.appearances[id] += (j - i) as u64;
+            if self.last_stack[id] != epoch {
+                self.last_stack[id] = epoch;
+                self.stacks_containing[id] += 1;
+                self.entries_alongside[id] += stack_len;
+            }
+            i = j;
+        }
+        if entries.len() >= 2 {
+            self.buffered.push(entries);
+        }
+    }
+
+    pub(crate) fn finish(self) -> LbrEstimate {
+        let map = self.map;
+        // Bias judgement per branch (same rule as the seed: occupancy and
+        // fair share conditional on presence, §III.C).
+        let mut branch_biased = vec![false; self.entry0.len()];
+        let mut biased_branches = HashSet::new();
+        for (id, biased) in branch_biased.iter_mut().enumerate() {
+            let total = self.appearances[id];
+            // Never-seen branch ids (blocks without sampled terminators)
+            // have total = present = 0 and fall through both guards.
+            if total < self.options.min_branch_occurrences {
+                continue;
+            }
+            let present = self.stacks_containing[id];
+            let alongside = self.entries_alongside[id];
+            if present == 0 || alongside == 0 {
+                continue;
+            }
+            let entry0_share = self.entry0[id] as f64 / present as f64;
+            let fair_share = total as f64 / alongside as f64;
+            if entry0_share - fair_share >= self.options.entry0_excess_threshold {
+                *biased = true;
+                biased_branches.insert(self.id_addr(id));
+            }
+        }
+
+        // Pass 2: stream decomposition and attribution over the buffered
+        // stacks, all in block-index coordinates.
+        let mut weight = vec![0.0f64; map.len()];
+        let mut biased_weight = vec![0.0f64; map.len()];
+        let mut derailed = 0u64;
+        let mut streams = 0u64;
+        let mut cursor = map.cursor();
+        // Direct-mapped stream cache: a recording's streams are drawn from
+        // the few hot loops' branch pairs over and over, so most walks can
+        // be replayed from a tiny cache keyed by `<target, source>`. A
+        // cached walk is a pure function of the pair, so replaying it is
+        // exact.
+        struct StreamSlot {
+            filled: bool,
+            target: u64,
+            source: u64,
+            derailed: bool,
+            blocks: Vec<usize>,
+        }
+        let mut stream_cache: Vec<StreamSlot> = (0..1usize << STREAM_CACHE_BITS)
+            .map(|_| StreamSlot {
+                filled: false,
+                target: 0,
+                source: 0,
+                derailed: false,
+                blocks: Vec::new(),
+            })
+            .collect();
+        let slot_of = |target: u64, source: u64| -> usize {
+            let mixed = (target ^ source.rotate_left(32)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            (mixed >> (64 - STREAM_CACHE_BITS)) as usize
+        };
+        // When nothing is biased (the common case), skip the per-stream
+        // source lookup entirely; otherwise memoize the last verdict —
+        // consecutive streams usually share their terminating branch.
+        let any_biased = branch_biased.iter().any(|&b| b);
+        let mut bias_memo: Option<(u64, bool)> = None;
+        for stack in &self.buffered {
+            let n = stack.len();
+            let w = 1.0 / (n - 1) as f64;
+            // A loop iterating under a snapshot fills the stack with
+            // identical entries, so its streams come in **runs** of the
+            // same `<target, source>` pair: walk and classify once per
+            // run, then replay the per-block `+= w` the run's length
+            // times. Each weight slot sees exactly the per-stream add
+            // sequence the seed performs, so results stay bit-identical.
+            let mut i = 1;
+            while i < n {
+                let target = stack[i - 1].to;
+                let source = stack[i].from;
+                let mut j = i + 1;
+                while j < n && stack[j - 1].to == target && stack[j].from == source {
+                    j += 1;
+                }
+                let run = (j - i) as u64;
+                streams += run;
+                let slot = &mut stream_cache[slot_of(target, source)];
+                if !slot.filled || slot.target != target || slot.source != source {
+                    slot.derailed = cursor.walk_stream_into(target, source, &mut slot.blocks);
+                    slot.filled = true;
+                    slot.target = target;
+                    slot.source = source;
+                }
+                if slot.derailed {
+                    derailed += run;
+                }
+                let source_biased = any_biased
+                    && match bias_memo {
+                        Some((memo_source, verdict)) if memo_source == source => verdict,
+                        _ => {
+                            let id = match cursor.enclosing(source) {
+                                Some(bi) if map.blocks()[bi].terminator_addr() == source => {
+                                    Some(bi)
+                                }
+                                _ => self
+                                    .overflow_ids
+                                    .get(&source)
+                                    .map(|&o| map.len() + o as usize),
+                            };
+                            let verdict = id.is_some_and(|id| branch_biased[id]);
+                            bias_memo = Some((source, verdict));
+                            verdict
+                        }
+                    };
+                for &bi in &slot.blocks {
+                    let mut acc = weight[bi];
+                    for _ in 0..run {
+                        acc += w;
+                    }
+                    weight[bi] = acc;
+                    if source_biased {
+                        let mut acc = biased_weight[bi];
+                        for _ in 0..run {
+                            acc += w;
+                        }
+                        biased_weight[bi] = acc;
+                    }
+                }
+                i = j;
+            }
+        }
+
+        let mut dense = DenseBbec::for_map(map);
+        let mut bbec = Bbec::new();
+        let mut biased_weight_fraction = HashMap::new();
+        let mut biased_blocks = HashSet::new();
+        let mut biased_idx = vec![false; map.len()];
+        for (bi, &w) in weight.iter().enumerate() {
+            if w == 0.0 {
+                continue;
+            }
+            let value = w * self.period as f64;
+            dense.set(bi, value);
+            let start = map.blocks()[bi].start;
+            // Built directly (not via `to_bbec`) so a credited block keeps
+            // its entry even when a degenerate period of 0 zeroes the
+            // value — exactly what the seed implementation produces.
+            bbec.set(start, value);
+            let frac = biased_weight[bi] / w;
+            biased_weight_fraction.insert(start, frac);
+            if frac >= self.options.biased_weight_threshold {
+                biased_blocks.insert(start);
+                biased_idx[bi] = true;
+            }
+        }
+        LbrEstimate {
+            bbec,
+            dense,
+            biased_blocks,
+            biased_idx,
+            biased_branches,
+            biased_weight_fraction,
+            stacks: self.stacks,
+            derailed_streams: derailed,
+            streams,
+            period: self.period,
+        }
+    }
+}
+
 /// Build the LBR estimate from the stacks of `BR_INST_RETIRED:NEAR_TAKEN`
 /// samples. Eventing IPs of those samples are **discarded** (paper §V.A).
 pub fn estimate(data: &PerfData, map: &BlockMap, period: u64, options: &LbrOptions) -> LbrEstimate {
+    let mut acc = LbrAccum::new(map, period, options.clone());
+    for sample in data.samples_of(EventSpec::br_inst_retired_near_taken()) {
+        acc.observe(sample);
+    }
+    acc.finish()
+}
+
+/// The seed address-keyed implementation of [`estimate`], kept as the
+/// reference for equivalence property tests and the `BENCH_pipeline.json`
+/// perf trajectory. Produces bit-identical results. Its per-stack dedup is
+/// the original O(stack²) scan and its walks go through the seed's
+/// whole-map binary searches ([`BlockMap::walk_stream_seed`]) — it
+/// measures the true pre-index baseline; do not use it on hot paths.
+pub fn estimate_ref(
+    data: &PerfData,
+    map: &BlockMap,
+    period: u64,
+    options: &LbrOptions,
+) -> LbrEstimate {
     let event = EventSpec::br_inst_retired_near_taken();
 
     // Pass 1: entry[0] occupancy statistics per branch source address,
@@ -148,7 +519,7 @@ pub fn estimate(data: &PerfData, map: &BlockMap, period: u64, options: &LbrOptio
             streams += 1;
             let target = sample.lbr[i - 1].to;
             let source = sample.lbr[i].from;
-            let walk = map.walk_stream(target, source);
+            let walk = map.walk_stream_seed(target, source);
             if walk.derailed {
                 derailed += 1;
             }
@@ -175,9 +546,15 @@ pub fn estimate(data: &PerfData, map: &BlockMap, period: u64, options: &LbrOptio
             biased_blocks.insert(start);
         }
     }
+    let dense = DenseBbec::from_bbec(&bbec, map);
+    let biased_idx = (0..map.len())
+        .map(|bi| biased_blocks.contains(&map.blocks()[bi].start))
+        .collect();
     LbrEstimate {
         bbec,
+        dense,
         biased_blocks,
+        biased_idx,
         biased_branches,
         biased_weight_fraction,
         stacks,
@@ -334,5 +711,37 @@ mod tests {
         let est = estimate(&data, &fx.map, 100, &LbrOptions::default());
         assert_eq!(est.streams, 0);
         assert!(est.bbec.is_empty());
+    }
+
+    #[test]
+    fn index_and_reference_paths_agree() {
+        let fx = fixture();
+        let a = loop_entry(&fx);
+        let b = LbrEntry {
+            from: fx.head_term + 1,
+            to: fx.head_start,
+        };
+        let mut data = PerfData::new();
+        for i in 0..40 {
+            let stack = if i % 3 == 0 {
+                vec![a, b, b, b, a, b]
+            } else if i % 3 == 1 {
+                vec![a; 6]
+            } else {
+                vec![b, a, a, b]
+            };
+            data.push(stack_sample(stack));
+        }
+        let fast = estimate(&data, &fx.map, 250, &LbrOptions::default());
+        let seed = estimate_ref(&data, &fx.map, 250, &LbrOptions::default());
+        assert_eq!(fast.bbec, seed.bbec);
+        assert_eq!(fast.dense, seed.dense);
+        assert_eq!(fast.biased_blocks, seed.biased_blocks);
+        assert_eq!(fast.biased_idx, seed.biased_idx);
+        assert_eq!(fast.biased_branches, seed.biased_branches);
+        assert_eq!(fast.biased_weight_fraction, seed.biased_weight_fraction);
+        assert_eq!(fast.stacks, seed.stacks);
+        assert_eq!(fast.streams, seed.streams);
+        assert_eq!(fast.derailed_streams, seed.derailed_streams);
     }
 }

@@ -15,7 +15,13 @@
 //!   instrumentation ground truth, train a CART tree, distil the cutoff
 //!   (§IV.B, Figure 1);
 //! * [`Analyzer`] — static block maps, instruction mixes, pivot tables,
-//!   ring filtering and the kernel-text patch step (§V.B, §III.C);
+//!   ring filtering and the kernel-text patch step (§V.B, §III.C). The
+//!   estimation pipeline runs in **block-index coordinates**
+//!   ([`hbbp_program::DenseBbec`]) and [`Analyzer::analyze_fused`]
+//!   dispatches each perf record to the EBS/LBR accumulators in a single
+//!   pass; the seed address-keyed implementations remain available as
+//!   `*_ref` functions for equivalence tests and perf trajectory
+//!   benchmarks;
 //! * [`HbbpProfiler`] — the end-to-end tool: clean run, Table 4 period
 //!   policy ([`periods`]), single-run dual-LBR collection, analysis;
 //! * [`errors`] — the paper's error metrics (§VI): per-mnemonic error and

@@ -114,13 +114,13 @@ pub fn train_rule(
         let truth =
             Instrumenter::new().run(workload.program(), workload.layout(), workload.oracle());
         let total_truth = truth.bbec.total().max(1.0);
-        for block in result.analyzer.map().blocks() {
+        for (bi, block) in result.analyzer.map().blocks().iter().enumerate() {
             let t = truth.bbec.get(block.start);
             if t < config.min_truth_execs {
                 continue;
             }
-            let e = result.analysis.ebs.count(block.start);
-            let l = result.analysis.lbr.count(block.start);
+            let e = result.analysis.ebs.count_idx(bi);
+            let l = result.analysis.lbr.count_idx(bi);
             let ebs_err = (e - t).abs() / t;
             let lbr_err = (l - t).abs() / t;
             let label = usize::from(lbr_err < ebs_err);
@@ -129,8 +129,12 @@ pub fn train_rule(
             } else {
                 lbr_rows += 1;
             }
-            let features =
-                BlockFeatures::extract(block, &result.analysis.ebs, &result.analysis.lbr);
+            let features = BlockFeatures::extract_indexed(
+                block,
+                bi,
+                &result.analysis.ebs,
+                &result.analysis.lbr,
+            );
             // Weight by the block's share of the workload's executions,
             // normalized across workloads.
             let weight = t / total_truth * 1_000.0;

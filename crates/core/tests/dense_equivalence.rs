@@ -1,0 +1,247 @@
+//! Equivalence property tests: the dense block-index estimator pipeline
+//! (and the fused single-pass analyzer built on it) must produce
+//! **bit-identical** results to the seed address-keyed implementations on
+//! arbitrary sample streams — mapped, unmapped, derailing and biased alike.
+
+use hbbp_core::{ebs, hybrid, lbr, Analyzer, HybridRule, LbrOptions, SamplingPeriods};
+use hbbp_isa::instruction::build;
+use hbbp_isa::{Mnemonic, Reg};
+use hbbp_perf::{PerfData, PerfRecord, PerfSample};
+use hbbp_program::{BlockMap, ImageView, Layout, ProgramBuilder, Ring, TextImage};
+use hbbp_sim::{EventSpec, LbrEntry};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A chain of loop blocks with the given body lengths, ending in an exit
+/// block, plus a pool of interesting addresses to sample from.
+struct Fx {
+    map: BlockMap,
+    /// Mapped and unmapped addresses: block starts, terminators, interior
+    /// and out-of-range points.
+    pool: Vec<u64>,
+}
+
+fn fixture(bodies: &[usize]) -> Fx {
+    let mut b = ProgramBuilder::new("f");
+    let m = b.module("f.bin", Ring::User);
+    let f = b.function(m, "main");
+    let bids: Vec<_> = bodies.iter().map(|_| b.block(f)).collect();
+    let exit = b.block(f);
+    for (i, &body) in bodies.iter().enumerate() {
+        let bid = bids[i];
+        for k in 0..body {
+            b.push(
+                bid,
+                build::rr(Mnemonic::Add, Reg::gpr((k % 8) as u8), Reg::gpr(9)),
+            );
+        }
+        let next = *bids.get(i + 1).unwrap_or(&exit);
+        b.terminate_branch(bid, Mnemonic::Jnz, bid, next);
+    }
+    b.terminate_exit(exit, build::bare(Mnemonic::Syscall));
+    let mut p = b.build(f).unwrap();
+    let layout = Layout::compute(&mut p).unwrap();
+    let image = TextImage::encode(&p, &layout, p.modules()[0].id(), ImageView::Disk);
+    let map = BlockMap::discover(&[image], layout.symbols()).unwrap();
+
+    let mut pool = vec![0u64, 0xdead_beef, u64::MAX];
+    for block in map.blocks() {
+        pool.extend([
+            block.start,
+            block.start + 1,
+            block.terminator_addr(),
+            block.end(),
+            block.end() + 3,
+        ]);
+    }
+    Fx { map, pool }
+}
+
+fn ebs_sample(ip: u64) -> PerfRecord {
+    PerfRecord::Sample(PerfSample {
+        counter: 0,
+        event: EventSpec::inst_retired_prec_dist(),
+        ip,
+        time_cycles: 0,
+        pid: 1,
+        tid: 1,
+        ring: Ring::User,
+        lbr: vec![],
+    })
+}
+
+fn lbr_sample(entries: Vec<LbrEntry>) -> PerfRecord {
+    PerfRecord::Sample(PerfSample {
+        counter: 1,
+        event: EventSpec::br_inst_retired_near_taken(),
+        ip: 0,
+        time_cycles: 0,
+        pid: 1,
+        tid: 1,
+        ring: Ring::User,
+        lbr: entries,
+    })
+}
+
+/// Build an interleaved recording from pool picks: EBS IPs and LBR stacks
+/// of `(from, to)` pool indices.
+fn build_data(fx: &Fx, ips: &[usize], stacks: &[Vec<(usize, usize)>]) -> PerfData {
+    let pick = |i: usize| fx.pool[i % fx.pool.len()];
+    let mut data = PerfData::new();
+    let mut stacks_iter = stacks.iter();
+    for (i, &ip) in ips.iter().enumerate() {
+        data.push(ebs_sample(pick(ip)));
+        // Interleave so the fused dispatch sees mixed event order.
+        if i % 2 == 0 {
+            if let Some(stack) = stacks_iter.next() {
+                data.push(lbr_sample(
+                    stack
+                        .iter()
+                        .map(|&(from, to)| LbrEntry {
+                            from: pick(from),
+                            to: pick(to),
+                        })
+                        .collect(),
+                ));
+            }
+        }
+    }
+    for stack in stacks_iter {
+        data.push(lbr_sample(
+            stack
+                .iter()
+                .map(|&(from, to)| LbrEntry {
+                    from: pick(from),
+                    to: pick(to),
+                })
+                .collect(),
+        ));
+    }
+    data
+}
+
+fn arb_stacks() -> impl Strategy<Value = Vec<Vec<(usize, usize)>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0usize..4096, 0usize..4096), 0..9),
+        0..30,
+    )
+}
+
+/// Loose LBR options so the bias machinery actually fires on small inputs.
+fn twitchy_options() -> LbrOptions {
+    LbrOptions {
+        entry0_excess_threshold: 0.05,
+        min_branch_occurrences: 2,
+        biased_weight_threshold: 0.10,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `ebs::estimate` (index path) ≡ `ebs::estimate_ref` (seed path).
+    #[test]
+    fn ebs_dense_path_matches_seed(
+        bodies in proptest::collection::vec(1usize..28, 1..5),
+        ips in proptest::collection::vec(0usize..4096, 0..150),
+        period in 0u64..100_000,
+    ) {
+        let fx = fixture(&bodies);
+        let data = build_data(&fx, &ips, &[]);
+        let fast = ebs::estimate(&data, &fx.map, period);
+        let seed = ebs::estimate_ref(&data, &fx.map, period);
+        prop_assert_eq!(&fast.bbec, &seed.bbec);
+        prop_assert_eq!(&fast.dense, &seed.dense);
+        prop_assert_eq!(&fast.samples_per_block, &seed.samples_per_block);
+        prop_assert_eq!(fast.samples_used, seed.samples_used);
+        prop_assert_eq!(fast.samples_unmapped, seed.samples_unmapped);
+        // The dense table is exactly the bbec re-coordinated (to_bbec
+        // drops zero entries, so only meaningful for a nonzero period).
+        if period > 0 {
+            prop_assert_eq!(fast.dense.to_bbec(&fx.map), fast.bbec);
+        }
+    }
+
+    /// `lbr::estimate` (index path) ≡ `lbr::estimate_ref` (seed path),
+    /// including all bias statistics.
+    #[test]
+    fn lbr_dense_path_matches_seed(
+        bodies in proptest::collection::vec(1usize..28, 1..5),
+        stacks in arb_stacks(),
+        period in 0u64..100_000,
+    ) {
+        let fx = fixture(&bodies);
+        let data = build_data(&fx, &[], &stacks);
+        let options = twitchy_options();
+        let fast = lbr::estimate(&data, &fx.map, period, &options);
+        let seed = lbr::estimate_ref(&data, &fx.map, period, &options);
+        prop_assert_eq!(&fast.bbec, &seed.bbec);
+        prop_assert_eq!(&fast.dense, &seed.dense);
+        prop_assert_eq!(&fast.biased_blocks, &seed.biased_blocks);
+        prop_assert_eq!(&fast.biased_idx, &seed.biased_idx);
+        prop_assert_eq!(&fast.biased_branches, &seed.biased_branches);
+        prop_assert_eq!(&fast.biased_weight_fraction, &seed.biased_weight_fraction);
+        prop_assert_eq!(fast.stacks, seed.stacks);
+        prop_assert_eq!(fast.streams, seed.streams);
+        prop_assert_eq!(fast.derailed_streams, seed.derailed_streams);
+        if period > 0 {
+            prop_assert_eq!(fast.dense.to_bbec(&fx.map), fast.bbec);
+        }
+    }
+
+    /// The fused single-pass analyzer ≡ the seed two-scan pipeline:
+    /// bit-identical BBECs and identical per-block choices.
+    #[test]
+    fn analyze_fused_matches_seed_pipeline(
+        bodies in proptest::collection::vec(1usize..28, 1..5),
+        ips in proptest::collection::vec(0usize..4096, 0..120),
+        stacks in arb_stacks(),
+        ebs_period in 1u64..50_000,
+        lbr_period in 1u64..50_000,
+        cutoff in 0usize..40,
+    ) {
+        let fx = fixture(&bodies);
+        let data = build_data(&fx, &ips, &stacks);
+        let analyzer = Analyzer::from_map(fx.map.clone(), HashMap::new())
+            .with_lbr_options(twitchy_options());
+        let periods = SamplingPeriods { ebs: ebs_period, lbr: lbr_period };
+        let rule = HybridRule::LengthCutoff(cutoff);
+        let fused = analyzer.analyze_fused(&data, periods, &rule);
+        let seed = analyzer.analyze_ref(&data, periods, &rule);
+        prop_assert_eq!(&fused.ebs.bbec, &seed.ebs.bbec);
+        prop_assert_eq!(&fused.lbr.bbec, &seed.lbr.bbec);
+        prop_assert_eq!(&fused.hbbp.bbec, &seed.hbbp.bbec);
+        prop_assert_eq!(&fused.hbbp.dense, &seed.hbbp.dense);
+        prop_assert_eq!(&fused.hbbp.choices, &seed.hbbp.choices);
+        // `analyze` is a thin wrapper over the fused path.
+        let via_analyze = analyzer.analyze(&data, periods, &rule);
+        prop_assert_eq!(&via_analyze.hbbp.bbec, &fused.hbbp.bbec);
+        prop_assert_eq!(&via_analyze.hbbp.choices, &fused.hbbp.choices);
+    }
+
+    /// `hybrid::combine` on dense estimates ≡ `hybrid::combine_ref` on the
+    /// same estimates, across every rule variant.
+    #[test]
+    fn combine_dense_matches_seed(
+        bodies in proptest::collection::vec(1usize..28, 1..5),
+        ips in proptest::collection::vec(0usize..4096, 0..80),
+        stacks in arb_stacks(),
+        cutoff in 0usize..40,
+    ) {
+        let fx = fixture(&bodies);
+        let data = build_data(&fx, &ips, &stacks);
+        let e = ebs::estimate(&data, &fx.map, 1000);
+        let l = lbr::estimate(&data, &fx.map, 300, &twitchy_options());
+        for rule in [
+            HybridRule::LengthCutoff(cutoff),
+            HybridRule::AlwaysEbs,
+            HybridRule::AlwaysLbr,
+        ] {
+            let fast = hybrid::combine(&fx.map, &e, &l, &rule);
+            let seed = hybrid::combine_ref(&fx.map, &e, &l, &rule);
+            prop_assert_eq!(&fast.bbec, &seed.bbec);
+            prop_assert_eq!(&fast.dense, &seed.dense);
+            prop_assert_eq!(&fast.choices, &seed.choices);
+        }
+    }
+}

@@ -75,17 +75,29 @@ impl Bbec {
         }
     }
 
-    /// Block addresses present in either table.
+    /// Block addresses present in either table, ascending.
+    ///
+    /// Both key streams are already sorted (`BTreeMap` iteration order), so
+    /// this is a lazy two-pointer merge — no intermediate collect, sort or
+    /// dedup.
     pub fn union_addrs<'a>(&'a self, other: &'a Bbec) -> impl Iterator<Item = u64> + 'a {
-        let mut addrs: Vec<u64> = self
-            .counts
-            .keys()
-            .chain(other.counts.keys())
-            .copied()
-            .collect();
-        addrs.sort_unstable();
-        addrs.dedup();
-        addrs.into_iter()
+        let mut a = self.counts.keys().copied().peekable();
+        let mut b = other.counts.keys().copied().peekable();
+        std::iter::from_fn(move || match (a.peek(), b.peek()) {
+            (Some(&x), Some(&y)) => {
+                if x < y {
+                    a.next()
+                } else if y < x {
+                    b.next()
+                } else {
+                    b.next();
+                    a.next()
+                }
+            }
+            (Some(_), None) => a.next(),
+            (None, Some(_)) => b.next(),
+            (None, None) => None,
+        })
     }
 }
 

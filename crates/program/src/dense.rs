@@ -1,0 +1,235 @@
+//! Dense, index-addressed basic block execution counts.
+//!
+//! [`crate::Bbec`] keys counts by block **start address** — the coordinate
+//! system shared with ground truth, perf data and external consumers. The
+//! analysis hot path, however, already knows every block's position in the
+//! sorted [`BlockMap`](crate::BlockMap), so it can use the **block index**
+//! as the coordinate instead and replace every `BTreeMap`/`HashMap` lookup
+//! with direct vector indexing. [`DenseBbec`] is that representation: a
+//! `Vec<f64>` with one slot per block of a specific block map.
+//!
+//! Use [`DenseBbec`] inside estimator/combiner loops; convert to [`Bbec`]
+//! with [`DenseBbec::to_bbec`] at API boundaries where the address keyed
+//! form is expected (serialization, cross-recording merges, ground-truth
+//! comparisons). Conversions preserve values bit-for-bit; entries that are
+//! exactly `0.0` are treated as "absent", matching the sparse tables'
+//! convention that `Bbec::get` returns `0.0` for missing blocks.
+
+use crate::{Bbec, BlockMap};
+
+/// Per-basic-block execution counts, indexed by [`BlockMap`] block index.
+///
+/// A `DenseBbec` is only meaningful relative to the block map it was sized
+/// for: index `i` refers to `map.blocks()[i]`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DenseBbec {
+    counts: Vec<f64>,
+}
+
+impl DenseBbec {
+    /// A zeroed table with `n` block slots.
+    pub fn zeros(n: usize) -> DenseBbec {
+        DenseBbec {
+            counts: vec![0.0; n],
+        }
+    }
+
+    /// A zeroed table with one slot per block of `map`.
+    pub fn for_map(map: &BlockMap) -> DenseBbec {
+        DenseBbec::zeros(map.len())
+    }
+
+    /// Number of block slots (equals the block map's length, not the
+    /// number of nonzero entries).
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the table has no slots at all.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Add `weight` executions to the block at index `idx`.
+    pub fn add(&mut self, idx: usize, weight: f64) {
+        self.counts[idx] += weight;
+    }
+
+    /// Set the count of the block at index `idx`.
+    pub fn set(&mut self, idx: usize, count: f64) {
+        self.counts[idx] = count;
+    }
+
+    /// Count of the block at index `idx` (0 for out-of-range indices, so
+    /// the API mirrors `Bbec::get` on absent blocks).
+    pub fn get(&self, idx: usize) -> f64 {
+        self.counts.get(idx).copied().unwrap_or(0.0)
+    }
+
+    /// Raw count slice, one slot per block.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.counts
+    }
+
+    /// Iterate `(block_index, count)` over nonzero entries, in index
+    /// (= address) order.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0.0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Number of nonzero entries.
+    pub fn nonzero_len(&self) -> usize {
+        self.counts.iter().filter(|&&c| c != 0.0).count()
+    }
+
+    /// Sum of all counts.
+    pub fn total(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+
+    /// Multiply every count by `factor`.
+    pub fn scale(&mut self, factor: f64) {
+        for v in &mut self.counts {
+            *v *= factor;
+        }
+    }
+
+    /// Merge another dense table into this one (summing counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tables were sized for different block maps.
+    pub fn merge(&mut self, other: &DenseBbec) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "dense BBEC size mismatch"
+        );
+        for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+    }
+
+    /// Convert to the address-keyed form, using `map` (which must be the
+    /// map this table was sized for) to translate indices into block start
+    /// addresses. Zero entries are skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is longer than the map.
+    pub fn to_bbec(&self, map: &BlockMap) -> Bbec {
+        assert!(
+            self.counts.len() <= map.len(),
+            "dense BBEC larger than block map"
+        );
+        let mut bbec = Bbec::new();
+        for (i, c) in self.iter_nonzero() {
+            bbec.set(map.blocks()[i].start, c);
+        }
+        bbec
+    }
+
+    /// Build the dense form of an address-keyed table over `map`.
+    ///
+    /// Entries whose address is not a block start of `map` are dropped —
+    /// they have no index in this coordinate system.
+    pub fn from_bbec(bbec: &Bbec, map: &BlockMap) -> DenseBbec {
+        let mut dense = DenseBbec::for_map(map);
+        for (addr, c) in bbec.iter() {
+            if let Some(i) = map.at_start(addr) {
+                dense.counts[i] = c;
+            }
+        }
+        dense
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ImageView, Layout, ProgramBuilder, Ring, TextImage};
+    use hbbp_isa::instruction::build::*;
+    use hbbp_isa::{Mnemonic, Reg};
+
+    fn small_map() -> BlockMap {
+        let mut b = ProgramBuilder::new("d");
+        let m = b.module("d.bin", Ring::User);
+        let f = b.function(m, "main");
+        let b0 = b.block(f);
+        let b1 = b.block(f);
+        let b2 = b.block(f);
+        b.push(b0, rr(Mnemonic::Add, Reg::gpr(0), Reg::gpr(1)));
+        b.terminate_branch(b0, Mnemonic::Jnz, b0, b1);
+        b.push(b1, rr(Mnemonic::Sub, Reg::gpr(0), Reg::gpr(1)));
+        b.terminate_jump(b1, b2);
+        b.terminate_exit(b2, bare(Mnemonic::Syscall));
+        let mut p = b.build(f).unwrap();
+        let layout = Layout::compute(&mut p).unwrap();
+        let image = TextImage::encode(&p, &layout, p.modules()[0].id(), ImageView::Disk);
+        BlockMap::discover(&[image], layout.symbols()).unwrap()
+    }
+
+    #[test]
+    fn accumulate_and_total() {
+        let mut d = DenseBbec::zeros(3);
+        d.add(0, 1.0);
+        d.add(0, 2.5);
+        d.set(2, 4.0);
+        assert_eq!(d.get(0), 3.5);
+        assert_eq!(d.get(1), 0.0);
+        assert_eq!(d.get(99), 0.0);
+        assert_eq!(d.nonzero_len(), 2);
+        assert!((d.total() - 7.5).abs() < 1e-12);
+        d.scale(2.0);
+        assert_eq!(d.get(2), 8.0);
+    }
+
+    #[test]
+    fn merge_sums_slots() {
+        let mut a = DenseBbec::zeros(2);
+        a.set(0, 1.0);
+        let mut b = DenseBbec::zeros(2);
+        b.set(0, 2.0);
+        b.set(1, 5.0);
+        a.merge(&b);
+        assert_eq!(a.get(0), 3.0);
+        assert_eq!(a.get(1), 5.0);
+    }
+
+    #[test]
+    fn bbec_roundtrip_over_map() {
+        let map = small_map();
+        let mut d = DenseBbec::for_map(&map);
+        d.set(0, 10.0);
+        d.set(map.len() - 1, 0.25);
+        let bbec = d.to_bbec(&map);
+        assert_eq!(bbec.len(), 2);
+        assert_eq!(bbec.get(map.blocks()[0].start), 10.0);
+        let back = DenseBbec::from_bbec(&bbec, &map);
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn from_bbec_drops_unmapped_addrs() {
+        let map = small_map();
+        let mut bbec = Bbec::new();
+        bbec.set(0xdead_beef, 7.0);
+        bbec.set(map.blocks()[0].start, 1.0);
+        let d = DenseBbec::from_bbec(&bbec, &map);
+        assert_eq!(d.nonzero_len(), 1);
+        assert_eq!(d.get(0), 1.0);
+    }
+
+    #[test]
+    fn iter_nonzero_in_index_order() {
+        let mut d = DenseBbec::zeros(4);
+        d.set(3, 1.0);
+        d.set(1, 2.0);
+        let got: Vec<(usize, f64)> = d.iter_nonzero().collect();
+        assert_eq!(got, vec![(1, 2.0), (3, 1.0)]);
+    }
+}

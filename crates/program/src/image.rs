@@ -231,9 +231,157 @@ pub struct StreamWalk {
 
 /// The static basic-block map: every discovered block of every module,
 /// sorted by address, with fast address lookup.
+///
+/// A discovered map also carries a page-granular lookup index (see
+/// [`PageIndex`]) so [`BlockMap::enclosing`] resolves an instruction
+/// pointer with a handful of comparisons instead of a binary search over
+/// every block, and hands out [`BlockCursor`]s exploiting the temporal
+/// locality of profiling samples.
 #[derive(Debug, Clone)]
 pub struct BlockMap {
     blocks: Vec<StaticBlock>,
+    pages: PageIndex,
+}
+
+/// Log2 of the page granularity of [`PageIndex`] (256-byte pages — small
+/// enough that a page holds only a few blocks, so the residual search
+/// after the page lookup touches at most a cache line or two).
+const PAGE_SHIFT: u32 = 8;
+
+/// A hole of at least this many pages between consecutive blocks starts a
+/// new [`PageSegment`] instead of extending the current one, keeping the
+/// index compact across the user/kernel address-space split.
+const SEGMENT_GAP_PAGES: u64 = 64;
+
+/// One contiguous run of indexed pages.
+#[derive(Debug, Clone)]
+struct PageSegment {
+    /// First page (address >> [`PAGE_SHIFT`]) covered by this segment.
+    first_page: u64,
+    /// `first_block[slot]` is the index of the first block whose `end()`
+    /// lies beyond the base address of page `first_page + slot` — the
+    /// lowest block that could contain an address in that page.
+    first_block: Vec<u32>,
+    /// One past the index of the last block starting inside this segment.
+    end_block: u32,
+}
+
+/// Page-granular accelerator for IP → block lookups.
+///
+/// The sorted block vector alone answers `enclosing` in `O(log n)`; the
+/// page index narrows the candidate range to the handful of blocks
+/// overlapping one 256-byte page first, making lookups effectively `O(log
+/// #segments)` — and segments are one-per-module in practice. Blocks never
+/// overlap (they partition decoded text), which is what makes the
+/// per-page `[first_block[p], first_block[p+1]]` candidate window exact.
+#[derive(Debug, Clone, Default)]
+struct PageIndex {
+    segments: Vec<PageSegment>,
+}
+
+impl PageIndex {
+    fn build(blocks: &[StaticBlock]) -> PageIndex {
+        let mut segments: Vec<PageSegment> = Vec::new();
+        for (i, block) in blocks.iter().enumerate() {
+            let start_page = block.start >> PAGE_SHIFT;
+            let end_page = (block.end() - 1) >> PAGE_SHIFT;
+            let open_new = match segments.last() {
+                Some(seg) => {
+                    let next_uncovered = seg.first_page + seg.first_block.len() as u64;
+                    start_page >= next_uncovered.saturating_add(SEGMENT_GAP_PAGES)
+                }
+                None => true,
+            };
+            if open_new {
+                segments.push(PageSegment {
+                    first_page: start_page,
+                    first_block: Vec::new(),
+                    end_block: i as u32,
+                });
+            }
+            let seg = segments.last_mut().expect("segment just ensured");
+            // Every not-yet-covered page up to the block's last page sees
+            // this block as the first one ending beyond its base (earlier
+            // blocks all end at or before the previous covered page).
+            while seg.first_page + (seg.first_block.len() as u64) <= end_page {
+                seg.first_block.push(i as u32);
+            }
+            seg.end_block = (i + 1) as u32;
+        }
+        PageIndex { segments }
+    }
+
+    /// Candidate block range `[lo, hi)` for `addr`, or `None` when no
+    /// block can contain it.
+    fn candidates(&self, addr: u64) -> Option<(usize, usize)> {
+        let page = addr >> PAGE_SHIFT;
+        let si = self.segments.partition_point(|s| s.first_page <= page);
+        let seg = &self.segments[si.checked_sub(1)?];
+        let slot = (page - seg.first_page) as usize;
+        if slot >= seg.first_block.len() {
+            return None;
+        }
+        let lo = seg.first_block[slot] as usize;
+        // Blocks past `first_block[slot + 1]` start beyond the next page
+        // base (> addr); blocks past `end_block` start beyond the segment.
+        let hi = match seg.first_block.get(slot + 1) {
+            Some(&next) => (next as usize + 1).min(seg.end_block as usize),
+            None => seg.end_block as usize,
+        };
+        Some((lo, hi))
+    }
+}
+
+/// A stateful IP → block lookup handle over one [`BlockMap`].
+///
+/// Profiling samples are highly local: consecutive IPs usually land in the
+/// same block or the next one. The cursor checks its last hit (and the
+/// following block) before falling back to the map's indexed lookup, so
+/// hot loops resolve in a couple of comparisons. Lookups through a cursor
+/// return exactly what [`BlockMap::enclosing`] returns.
+#[derive(Debug, Clone)]
+pub struct BlockCursor<'a> {
+    map: &'a BlockMap,
+    last: usize,
+}
+
+impl<'a> BlockCursor<'a> {
+    /// The map this cursor reads.
+    pub fn map(&self) -> &'a BlockMap {
+        self.map
+    }
+
+    /// Index of the block containing `addr` (same result as
+    /// [`BlockMap::enclosing`], usually much cheaper).
+    pub fn enclosing(&mut self, addr: u64) -> Option<usize> {
+        let blocks = self.map.blocks();
+        if let Some(block) = blocks.get(self.last) {
+            if addr >= block.start && addr < block.end() {
+                return Some(self.last);
+            }
+            if let Some(next) = blocks.get(self.last + 1) {
+                if addr >= next.start && addr < next.end() {
+                    self.last += 1;
+                    return Some(self.last);
+                }
+            }
+        }
+        let idx = self.map.enclosing(addr)?;
+        self.last = idx;
+        Some(idx)
+    }
+
+    /// Walk an LBR stream like [`BlockMap::walk_stream`], but resolve the
+    /// stream target through the cursor's locality cache and append the
+    /// covered block indices to `covered` (cleared first) instead of
+    /// allocating. Returns whether the walk derailed.
+    pub fn walk_stream_into(&mut self, target: u64, source: u64, covered: &mut Vec<usize>) -> bool {
+        covered.clear();
+        let Some(idx) = self.enclosing(target) else {
+            return true;
+        };
+        self.map.walk_from(idx, target, source, covered)
+    }
 }
 
 /// Error from static block discovery (decode failure inside an image).
@@ -291,7 +439,8 @@ impl BlockMap {
                 }
             }
         }
-        Ok(BlockMap { blocks })
+        let pages = PageIndex::build(&blocks);
+        Ok(BlockMap { blocks, pages })
     }
 
     fn discover_module(
@@ -394,13 +543,52 @@ impl BlockMap {
     }
 
     /// Index of the block containing `addr`.
+    ///
+    /// The page index narrows the search to the few blocks overlapping
+    /// `addr`'s 256-byte page before the final `partition_point`, so this
+    /// is effectively constant-time for any map built by
+    /// [`BlockMap::discover`].
     pub fn enclosing(&self, addr: u64) -> Option<usize> {
+        let found = self.enclosing_indexed(addr);
+        debug_assert_eq!(found, self.enclosing_unindexed(addr));
+        found
+    }
+
+    fn enclosing_indexed(&self, addr: u64) -> Option<usize> {
+        let (lo, hi) = self.pages.candidates(addr)?;
+        let pos = lo + self.blocks[lo..hi].partition_point(|b| b.start <= addr);
+        if pos == lo {
+            return None;
+        }
+        let idx = pos - 1;
+        (addr < self.blocks[idx].end()).then_some(idx)
+    }
+
+    /// Reference lookup over the full sorted block vector (the seed
+    /// implementation, a whole-map binary search per call). Kept as the
+    /// oracle for the page index — `enclosing` must agree with it on every
+    /// address — and as the baseline the `BENCH_pipeline.json` perf
+    /// trajectory measures the indexed pipeline against.
+    pub fn enclosing_seed(&self, addr: u64) -> Option<usize> {
         let pos = self.blocks.partition_point(|b| b.start <= addr);
         if pos == 0 {
             return None;
         }
         let idx = pos - 1;
         (addr < self.blocks[idx].end()).then_some(idx)
+    }
+
+    fn enclosing_unindexed(&self, addr: u64) -> Option<usize> {
+        self.enclosing_seed(addr)
+    }
+
+    /// A stateful lookup handle exploiting sample locality (last-hit
+    /// cache in front of the indexed lookup).
+    pub fn cursor(&self) -> BlockCursor<'_> {
+        BlockCursor {
+            map: self,
+            last: usize::MAX,
+        }
     }
 
     /// Index of the block starting exactly at `addr`.
@@ -428,7 +616,33 @@ impl BlockMap {
     /// stop it.
     pub fn walk_stream(&self, target: u64, source: u64) -> StreamWalk {
         let mut covered = Vec::new();
-        let Some(mut idx) = self.enclosing(target) else {
+        let derailed = self.walk_stream_into(target, source, &mut covered);
+        StreamWalk {
+            blocks: covered,
+            derailed,
+        }
+    }
+
+    /// Allocation-free form of [`BlockMap::walk_stream`]: append the
+    /// covered block indices to `covered` (cleared first) and return
+    /// whether the walk derailed. Hot callers reuse one buffer across
+    /// streams.
+    pub fn walk_stream_into(&self, target: u64, source: u64, covered: &mut Vec<usize>) -> bool {
+        covered.clear();
+        let Some(idx) = self.enclosing(target) else {
+            return true;
+        };
+        self.walk_from(idx, target, source, covered)
+    }
+
+    /// Seed-faithful stream walk: whole-map binary searches for the target
+    /// lookup and for every mid-stream block transition (`at_start`), with
+    /// a fresh allocation per call — exactly the seed implementation.
+    /// Same results as [`BlockMap::walk_stream`]; kept for the reference
+    /// estimators the perf trajectory benchmark compares against.
+    pub fn walk_stream_seed(&self, target: u64, source: u64) -> StreamWalk {
+        let mut covered = Vec::new();
+        let Some(mut idx) = self.enclosing_seed(target) else {
             return StreamWalk {
                 blocks: covered,
                 derailed: true,
@@ -444,21 +658,14 @@ impl BlockMap {
             let block = &self.blocks[idx];
             covered.push(idx);
             if source >= block.start && source < block.end() {
-                // Stream ends inside this block.
                 return StreamWalk {
                     blocks: covered,
                     derailed: false,
                 };
             }
-            // Mid-stream: execution must continue at block.end().
             let consistent = match block.term_kind {
-                // A conditional branch falls through mid-stream.
                 Some(BranchKind::Conditional) | None => true,
-                // An unconditional jump is fine only if it targets the next
-                // address (e.g. a jump-to-next); otherwise the stream claims
-                // execution ignored the jump — the stale-text signature.
                 Some(BranchKind::Unconditional) => block.term_target == Some(block.end()),
-                // Calls and returns always divert; a stream cannot cross them.
                 Some(BranchKind::Call) | Some(BranchKind::Return) => false,
             };
             if !consistent {
@@ -475,6 +682,47 @@ impl BlockMap {
                         derailed: true,
                     }
                 }
+            }
+        }
+    }
+
+    /// Shared walk body: `idx` must be the block enclosing `target`.
+    fn walk_from(
+        &self,
+        mut idx: usize,
+        target: u64,
+        source: u64,
+        covered: &mut Vec<usize>,
+    ) -> bool {
+        if source < target {
+            return true;
+        }
+        loop {
+            let block = &self.blocks[idx];
+            covered.push(idx);
+            if source >= block.start && source < block.end() {
+                // Stream ends inside this block.
+                return false;
+            }
+            // Mid-stream: execution must continue at block.end().
+            let consistent = match block.term_kind {
+                // A conditional branch falls through mid-stream.
+                Some(BranchKind::Conditional) | None => true,
+                // An unconditional jump is fine only if it targets the next
+                // address (e.g. a jump-to-next); otherwise the stream claims
+                // execution ignored the jump — the stale-text signature.
+                Some(BranchKind::Unconditional) => block.term_target == Some(block.end()),
+                // Calls and returns always divert; a stream cannot cross them.
+                Some(BranchKind::Call) | Some(BranchKind::Return) => false,
+            };
+            if !consistent {
+                return true;
+            }
+            // Blocks are sorted and non-overlapping, so a block starting at
+            // `block.end()` can only be the next one in the vector.
+            match self.blocks.get(idx + 1) {
+                Some(next) if next.start == block.end() => idx += 1,
+                _ => return true,
             }
         }
     }

@@ -15,10 +15,12 @@
 //!   paper), plus [`TextImage::patch_from`], the paper's kernel-text patch
 //!   step.
 //! * [`BlockMap`] — static basic-block discovery over images ("static basic
-//!   block maps", §V.B) with address lookup and LBR stream walking.
+//!   block maps", §V.B) with page-indexed address lookup ([`BlockCursor`])
+//!   and LBR stream walking.
 //! * [`Walker`] / [`ExecutionOracle`] — deterministic dynamic execution,
 //!   shared by the CPU simulator and the instrumentation ground truth.
-//! * [`Bbec`] / [`MnemonicMix`] — block execution counts and the derived
+//! * [`Bbec`] / [`DenseBbec`] / [`MnemonicMix`] — block execution counts in
+//!   the address-keyed and block-index coordinate systems, and the derived
 //!   instruction mixes.
 
 #![warn(missing_docs)]
@@ -27,6 +29,7 @@
 mod bbec;
 mod block;
 mod builder;
+mod dense;
 mod ids;
 mod image;
 pub mod layout;
@@ -37,9 +40,10 @@ pub mod walk;
 pub use bbec::{Bbec, MnemonicMix};
 pub use block::{BasicBlock, Terminator};
 pub use builder::ProgramBuilder;
+pub use dense::DenseBbec;
 pub use ids::{BlockId, FunctionId, ModuleId};
 pub use image::{
-    BlockMap, DiscoverError, ImageView, PatchError, StaticBlock, StreamWalk, TextImage,
+    BlockCursor, BlockMap, DiscoverError, ImageView, PatchError, StaticBlock, StreamWalk, TextImage,
 };
 pub use layout::{Layout, SymbolInfo, KERNEL_BASE, USER_BASE};
 pub use module::{Function, Module, Ring, TracepointSite};

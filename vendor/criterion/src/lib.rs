@@ -12,8 +12,9 @@
 //! reported as a mean ns/iter, with elements/bytes throughput derived when
 //! configured. `sample_size` is accepted for API parity only. There are no
 //! HTML reports or statistical regressions — just stable
-//! `name ... ns/iter` lines on stdout, enough for the BENCH_*.json
-//! trajectory tooling to parse.
+//! `name ... ns/iter` lines on stdout, plus a [`Criterion::measurements`]
+//! accessor (a deliberate extension over the real crate) so bench targets
+//! with a custom `main` can emit BENCH_*.json trajectory files directly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,10 +31,21 @@ pub enum Throughput {
 }
 
 /// Timing loop handle passed to benchmark closures.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Bencher {
     iters: u64,
     elapsed: Duration,
+    min_iters: u64,
+}
+
+impl Default for Bencher {
+    fn default() -> Bencher {
+        Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+            min_iters: 1,
+        }
+    }
 }
 
 impl Bencher {
@@ -51,13 +63,16 @@ impl Bencher {
             }
             batch *= 4;
         }
-        // Measurement: a fixed wall-clock budget at the calibrated size.
-        // The loop body always runs at least once (elapsed ≈ 0 < budget on
-        // entry), so `iters` ends positive.
+        // Measurement: a fixed wall-clock budget at the calibrated size,
+        // but never fewer than `min_iters` iterations — a routine slower
+        // than the whole budget would otherwise be judged on a single run
+        // (see `BenchmarkGroup::sample_size`). The loop body always runs at
+        // least once (elapsed ≈ 0 < budget on entry), so `iters` ends
+        // positive.
         let budget = Duration::from_millis(25);
         let start = Instant::now();
         let mut iters = 0u64;
-        while start.elapsed() < budget {
+        while start.elapsed() < budget || iters < self.min_iters {
             for _ in 0..batch {
                 std::hint::black_box(routine());
             }
@@ -72,29 +87,21 @@ impl Bencher {
     }
 }
 
-fn report(group: Option<&str>, name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
-    let full = match group {
-        Some(g) => format!("{g}/{name}"),
-        None => name.to_string(),
-    };
-    let ns = bencher.ns_per_iter();
-    match throughput {
-        Some(Throughput::Elements(n)) => {
-            let rate = n as f64 / (ns * 1e-9);
-            println!("bench: {full:<48} {ns:>14.1} ns/iter ({rate:>12.0} elem/s)");
-        }
-        Some(Throughput::Bytes(n)) => {
-            let rate = n as f64 / (ns * 1e-9) / (1024.0 * 1024.0);
-            println!("bench: {full:<48} {ns:>14.1} ns/iter ({rate:>10.1} MiB/s)");
-        }
-        None => println!("bench: {full:<48} {ns:>14.1} ns/iter"),
-    }
+/// One recorded benchmark result (an extension over the real criterion
+/// API: custom `main`s use it to emit machine-readable BENCH_*.json
+/// trajectory files without re-measuring).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Full benchmark name (`group/name` when grouped).
+    pub name: String,
+    /// Mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
 }
 
 /// The benchmark driver.
 #[derive(Debug, Default)]
 pub struct Criterion {
-    _private: (),
+    measurements: Vec<Measurement>,
 }
 
 impl Criterion {
@@ -102,25 +109,59 @@ impl Criterion {
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         let mut bencher = Bencher::default();
         f(&mut bencher);
-        report(None, name, &bencher, None);
+        self.record(None, name, &bencher, None);
         self
     }
 
     /// Open a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
-            _criterion: self,
             name: name.to_string(),
+            criterion: self,
             throughput: None,
             sample_size: 10,
         }
+    }
+
+    /// All results recorded so far, in execution order.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    fn record(
+        &mut self,
+        group: Option<&str>,
+        name: &str,
+        bencher: &Bencher,
+        throughput: Option<Throughput>,
+    ) {
+        let full = match group {
+            Some(g) => format!("{g}/{name}"),
+            None => name.to_string(),
+        };
+        let ns = bencher.ns_per_iter();
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / (ns * 1e-9);
+                println!("bench: {full:<48} {ns:>14.1} ns/iter ({rate:>12.0} elem/s)");
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 / (ns * 1e-9) / (1024.0 * 1024.0);
+                println!("bench: {full:<48} {ns:>14.1} ns/iter ({rate:>10.1} MiB/s)");
+            }
+            None => println!("bench: {full:<48} {ns:>14.1} ns/iter"),
+        }
+        self.measurements.push(Measurement {
+            name: full,
+            ns_per_iter: ns,
+        });
     }
 }
 
 /// A group of related benchmarks sharing throughput/sample settings.
 #[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
     name: String,
     throughput: Option<Throughput>,
     sample_size: usize,
@@ -133,7 +174,9 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    /// Hint at how many samples to take (accepted for API parity).
+    /// Lower bound on measured iterations (the real criterion's sample
+    /// count). Routines slower than the wall-clock budget still measure at
+    /// least this many runs, so one noisy run cannot decide the result.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n;
         self
@@ -141,9 +184,15 @@ impl BenchmarkGroup<'_> {
 
     /// Run one named benchmark within the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        let mut bencher = Bencher::default();
+        let mut bencher = Bencher {
+            min_iters: self.sample_size as u64,
+            ..Bencher::default()
+        };
         f(&mut bencher);
-        report(Some(&self.name), name, &bencher, self.throughput);
+        let throughput = self.throughput;
+        let group = self.name.clone();
+        self.criterion
+            .record(Some(&group), name, &bencher, throughput);
         self
     }
 
@@ -195,5 +244,8 @@ mod tests {
         group.bench_function("noop", |b| b.iter(|| 1 + 1));
         group.finish();
         c.bench_function("top_level", |b| b.iter(|| 2 + 2));
+        let names: Vec<&str> = c.measurements().iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["g/noop", "top_level"]);
+        assert!(c.measurements().iter().all(|m| m.ns_per_iter > 0.0));
     }
 }
