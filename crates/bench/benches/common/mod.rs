@@ -1,0 +1,48 @@
+//! Plumbing shared by the `BENCH_*.json`-emitting bench binaries
+//! (`pipeline.rs`, `streaming.rs`): quick-mode detection, JSON escaping,
+//! the criterion-results block, and the workspace-root write. One place to
+//! change the trajectory-file schema.
+
+use criterion::Criterion;
+use std::path::Path;
+
+/// Whether the named quick-mode env toggle is set (any value except empty
+/// or `"0"`).
+pub fn quick_mode(var: &str) -> bool {
+    std::env::var(var).is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Minimal JSON string escaping (no serde in this environment).
+pub fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render every criterion measurement as the shared `"results"` block
+/// (no trailing comma or newline; embed with surrounding punctuation).
+pub fn results_block(c: &Criterion) -> String {
+    let rows: Vec<String> = c
+        .measurements()
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{ \"name\": \"{}\", \"ns_per_iter\": {:.1} }}",
+                json_escape(&m.name),
+                m.ns_per_iter
+            )
+        })
+        .collect();
+    format!("  \"results\": [\n{}\n  ]", rows.join(",\n"))
+}
+
+/// Write a trajectory file at the workspace root. Cargo runs benches with
+/// the package directory as cwd, so the path is anchored off this crate's
+/// manifest instead.
+pub fn write_workspace_root(filename: &str, json: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(filename);
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

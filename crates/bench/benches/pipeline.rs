@@ -9,6 +9,9 @@
 //! perf trajectory to beat. Set `PIPELINE_BENCH_QUICK=1` to evaluate a
 //! two-workload subset (CI smoke mode; the JSON records which mode ran).
 
+mod common;
+
+use common::{quick_mode, results_block, write_workspace_root};
 use criterion::{black_box, Criterion};
 use hbbp_core::{Analysis, Analyzer, HybridRule, SamplingPeriods};
 use hbbp_perf::{PerfData, PerfSession};
@@ -172,10 +175,6 @@ fn paired_speedup(cases: &[Case], rounds: u32) -> (f64, f64) {
     )
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
 /// Hand-rolled emitter (no serde in this environment): the headline
 /// paired seed-vs-fused speedup plus one entry per criterion measurement.
 fn emit_json(c: &Criterion, quick: bool, n_workloads: usize, paired: (f64, f64)) -> String {
@@ -195,25 +194,13 @@ fn emit_json(c: &Criterion, quick: bool, n_workloads: usize, paired: (f64, f64))
     out.push_str(&format!(
         "  \"paired\": {{ \"analyze_seed_ns\": {seed_ns:.1}, \"analyze_fused_ns\": {fused_ns:.1} }},\n"
     ));
-    out.push_str("  \"results\": [\n");
-    let rows: Vec<String> = c
-        .measurements()
-        .iter()
-        .map(|m| {
-            format!(
-                "    {{ \"name\": \"{}\", \"ns_per_iter\": {:.1} }}",
-                json_escape(&m.name),
-                m.ns_per_iter
-            )
-        })
-        .collect();
-    out.push_str(&rows.join(",\n"));
-    out.push_str("\n  ]\n}\n");
+    out.push_str(&results_block(c));
+    out.push_str("\n}\n");
     out
 }
 
 fn main() {
-    let quick = std::env::var("PIPELINE_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+    let quick = quick_mode("PIPELINE_BENCH_QUICK");
     let cases = build_cases(quick);
     let mut criterion = Criterion::default();
     bench_pipeline(&mut criterion, &cases);
@@ -225,11 +212,5 @@ fn main() {
         paired.0 / paired.1
     );
     let json = emit_json(&criterion, quick, cases.len(), paired);
-    // Cargo runs benches with the package directory as cwd; anchor the
-    // trajectory file at the workspace root instead.
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
-    match std::fs::write(path, &json) {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
-    }
+    write_workspace_root("BENCH_pipeline.json", &json);
 }

@@ -1,0 +1,210 @@
+//! The streaming-path bench: batch analysis of a materialized recording
+//! vs the online analyzer fed record by record, plus batch vs chunked
+//! stream decoding — on the phase-switching `phased` workload.
+//!
+//! Besides the usual `bench: … ns/iter` lines, a run writes
+//! `BENCH_streaming.json` to the workspace root: the timings, the
+//! **deterministic** memory accounting (whole-recording footprint vs the
+//! windowed analyzer's bounded peak) and the deterministic multi-window
+//! mix timeline of the `mix-timeline` experiment. Set
+//! `STREAMING_BENCH_QUICK=1` for the CI smoke mode (fewer iterations; the
+//! JSON records which mode ran).
+
+mod common;
+
+use common::{quick_mode, results_block, write_workspace_root};
+use criterion::{black_box, Criterion};
+use hbbp_bench::exp::streaming::{timeline, TimelineOutcome};
+use hbbp_bench::exp::ExpOptions;
+use hbbp_core::{Analyzer, HybridRule, OnlineAnalyzer, SamplingPeriods, Window};
+use hbbp_perf::{codec, PerfData, PerfRecord, PerfSession, StreamDecoder};
+use hbbp_program::ImageView;
+use hbbp_sim::Cpu;
+use hbbp_workloads::{phased, Scale};
+
+struct Case {
+    analyzer: Analyzer,
+    data: PerfData,
+    bytes: Vec<u8>,
+    periods: SamplingPeriods,
+}
+
+fn build_case() -> Case {
+    let w = phased(Scale::Tiny);
+    let cpu = Cpu::with_seed(11);
+    let instructions = cpu
+        .run_clean(w.program(), w.layout(), w.oracle())
+        .expect("clean run")
+        .instructions;
+    let periods = SamplingPeriods::scaled_for(instructions);
+    let session = PerfSession::hbbp(cpu, periods.ebs, periods.lbr);
+    let rec = session
+        .record(w.program(), w.layout(), w.oracle())
+        .expect("recording");
+    let analyzer =
+        Analyzer::from_images(&w.images(ImageView::Disk), w.layout().symbols()).expect("discovery");
+    let bytes = codec::write(&rec.data).to_vec();
+    Case {
+        analyzer,
+        data: rec.data,
+        bytes,
+        periods,
+    }
+}
+
+fn bench_streaming(c: &mut Criterion, case: &Case, quick: bool) {
+    let rule = HybridRule::paper_default();
+    let mut group = c.benchmark_group("streaming");
+    group.sample_size(if quick { 10 } else { 30 });
+    group.bench_function("analyze_batch", |b| {
+        b.iter(|| {
+            black_box(
+                case.analyzer
+                    .analyze_fused(&case.data, case.periods, &rule)
+                    .hbbp
+                    .bbec
+                    .total(),
+            )
+        })
+    });
+    group.bench_function("analyze_online", |b| {
+        b.iter(|| {
+            let mut online = OnlineAnalyzer::new(&case.analyzer, case.periods, rule.clone());
+            for record in case.data.records() {
+                online.push_record(record);
+            }
+            let analysis = online.finish().into_analysis().expect("unwindowed");
+            black_box(analysis.hbbp.bbec.total())
+        })
+    });
+    group.bench_function("analyze_online_windowed", |b| {
+        b.iter(|| {
+            let mut online = OnlineAnalyzer::new(&case.analyzer, case.periods, rule.clone())
+                .with_window(Window::Samples(200));
+            for record in case.data.records() {
+                online.push_record(record);
+            }
+            black_box(online.finish().windows.len())
+        })
+    });
+    group.bench_function("decode_batch", |b| {
+        b.iter(|| black_box(codec::read(&case.bytes).expect("valid").len()))
+    });
+    group.bench_function("decode_chunked_4k", |b| {
+        b.iter(|| {
+            let mut decoder = StreamDecoder::new();
+            let mut n = 0usize;
+            for chunk in case.bytes.chunks(4096) {
+                decoder.feed(chunk);
+                while let Some(record) = decoder.next_record().expect("valid") {
+                    black_box(&record);
+                    n += 1;
+                }
+            }
+            decoder.finish().expect("clean end");
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+/// Deterministic memory accounting: what the batch path must hold (the
+/// whole serialized recording plus every LBR stack) vs the windowed online
+/// analyzer's peak buffer.
+struct MemoryFacts {
+    recording_bytes: usize,
+    recording_records: usize,
+    recording_lbr_entries: usize,
+    streaming_peak_entries: usize,
+    streaming_windows: usize,
+}
+
+fn memory_facts(case: &Case) -> MemoryFacts {
+    let recording_lbr_entries: usize = case
+        .data
+        .records()
+        .iter()
+        .map(|r| match r {
+            PerfRecord::Sample(s) => s.lbr.len(),
+            _ => 0,
+        })
+        .sum();
+    let mut online = OnlineAnalyzer::new(&case.analyzer, case.periods, HybridRule::paper_default())
+        .with_window(Window::Samples(200));
+    for record in case.data.records() {
+        online.push_record(record);
+    }
+    let outcome = online.finish();
+    MemoryFacts {
+        recording_bytes: case.bytes.len(),
+        recording_records: case.data.len(),
+        recording_lbr_entries,
+        streaming_peak_entries: outcome.peak_buffered_entries,
+        streaming_windows: outcome.windows.len(),
+    }
+}
+
+fn emit_json(c: &Criterion, quick: bool, mem: &MemoryFacts, tl: &TimelineOutcome) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"streaming\",\n");
+    out.push_str("  \"suite\": \"phased(Tiny)\",\n");
+    out.push_str(&format!("  \"quick_mode\": {quick},\n"));
+    out.push_str(&format!(
+        "  \"memory\": {{ \"recording_bytes\": {}, \"recording_records\": {}, \"recording_lbr_entries\": {}, \"streaming_peak_lbr_entries\": {}, \"streaming_windows\": {} }},\n",
+        mem.recording_bytes,
+        mem.recording_records,
+        mem.recording_lbr_entries,
+        mem.streaming_peak_entries,
+        mem.streaming_windows
+    ));
+    out.push_str(&format!(
+        "  \"timeline\": {{ \"windows\": {}, \"samples\": {}, \"peak_buffered_entries\": {}, \"total_instructions\": {:.0}, \"rows\": [\n",
+        tl.windows.len(),
+        tl.samples_seen,
+        tl.peak_buffered_entries,
+        tl.total_instructions
+    ));
+    let rows: Vec<String> = tl
+        .windows
+        .iter()
+        .map(|w| {
+            format!(
+                "    {{ \"win\": {}, \"start_cycles\": {}, \"end_cycles\": {}, \"ebs\": {}, \"lbr\": {}, \"instructions\": {:.0}, \"int_frac\": {:.4}, \"sse_frac\": {:.4}, \"avx_frac\": {:.4}, \"dominant\": \"{}\" }}",
+                w.index,
+                w.start_cycles,
+                w.end_cycles,
+                w.ebs_samples,
+                w.lbr_samples,
+                w.instructions,
+                w.other_frac,
+                w.sse_frac,
+                w.avx_frac,
+                w.dominant
+            )
+        })
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ] },\n");
+    out.push_str(&results_block(c));
+    out.push_str("\n}\n");
+    out
+}
+
+fn main() {
+    let quick = quick_mode("STREAMING_BENCH_QUICK");
+    let case = build_case();
+    let mut criterion = Criterion::default();
+    bench_streaming(&mut criterion, &case, quick);
+    let mem = memory_facts(&case);
+    println!(
+        "memory: recording {} bytes / {} LBR entries  vs  streaming peak {} entries over {} windows",
+        mem.recording_bytes,
+        mem.recording_lbr_entries,
+        mem.streaming_peak_entries,
+        mem.streaming_windows
+    );
+    // The deterministic timeline (same as `experiments mix-timeline`).
+    let tl = timeline(&ExpOptions::default_tiny(), 12);
+    let json = emit_json(&criterion, quick, &mem, &tl);
+    write_workspace_root("BENCH_streaming.json", &json);
+}

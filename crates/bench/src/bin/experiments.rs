@@ -1,6 +1,6 @@
 //! Regenerate every table and figure of the paper.
 
-use hbbp_bench::exp::{ablations, figures, tables, ExpOptions};
+use hbbp_bench::exp::{ablations, figures, streaming, tables, ExpOptions};
 use hbbp_core::HybridRule;
 use hbbp_workloads::Scale;
 use std::time::Instant;
@@ -11,7 +11,7 @@ type Experiment = (&'static str, fn(&ExpOptions) -> String);
 fn usage() -> ! {
     eprintln!(
         "usage: experiments <cmd> [--scale tiny|small|full] [--seed N] [--rule paper|cutoff=N|always-ebs|always-lbr]\n\
-         cmds: all, table1..table8, fig1..fig4,\n\
+         cmds: all, table1..table8, fig1..fig4, mix-timeline,\n\
                ablate-cutoff, ablate-stack, ablate-periods, ablate-quirk, ablate-kernel-patch"
     );
     std::process::exit(2);
@@ -74,6 +74,7 @@ fn main() {
         ("table6", tables::table6),
         ("table7", tables::table7),
         ("table8", tables::table8),
+        ("mix-timeline", streaming::mix_timeline),
         ("ablate-cutoff", ablations::ablate_cutoff),
         ("ablate-stack", ablations::ablate_stack_depth),
         ("ablate-periods", ablations::ablate_periods),

@@ -3,6 +3,7 @@
 
 pub mod ablations;
 pub mod figures;
+pub mod streaming;
 pub mod tables;
 
 use hbbp_core::HybridRule;
@@ -25,6 +26,17 @@ impl Default for ExpOptions {
             scale: Scale::Small,
             seed: 0xE4A,
             rule: HybridRule::paper_default(),
+        }
+    }
+}
+
+impl ExpOptions {
+    /// Default options at [`Scale::Tiny`] — what CI smoke runs and the
+    /// golden-fixture tests use.
+    pub fn default_tiny() -> ExpOptions {
+        ExpOptions {
+            scale: Scale::Tiny,
+            ..ExpOptions::default()
         }
     }
 }

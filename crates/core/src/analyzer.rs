@@ -87,6 +87,11 @@ impl Analyzer {
         &self.map
     }
 
+    /// The LBR analysis options in effect.
+    pub fn lbr_options(&self) -> &LbrOptions {
+        &self.lbr_options
+    }
+
     /// Run all three estimators over a recording.
     ///
     /// Thin wrapper over [`Analyzer::analyze_fused`]; results are

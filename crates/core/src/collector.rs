@@ -70,6 +70,8 @@ pub struct HbbpProfiler {
     /// on the paper's hardware one PMI (~2,400 cycles) costs ≈0.2–0.7% of
     /// an EBS sampling period. See DESIGN.md ("wall-clock comparisons").
     pub pmi_period_fraction: f64,
+    /// Pid stamped into every record of the collection stream.
+    pub pid: u32,
 }
 
 impl HbbpProfiler {
@@ -82,12 +84,19 @@ impl HbbpProfiler {
             periods: None,
             pmu_template: PmuConfig::hbbp_collector(1, 1),
             pmi_period_fraction: 0.004,
+            pid: 1000,
         }
     }
 
     /// Use a specific decision rule.
     pub fn with_rule(mut self, rule: HybridRule) -> HbbpProfiler {
         self.rule = rule;
+        self
+    }
+
+    /// Record under a specific pid.
+    pub fn with_pid(mut self, pid: u32) -> HbbpProfiler {
+        self.pid = pid;
         self
     }
 
@@ -128,7 +137,7 @@ impl HbbpProfiler {
         let session = PerfSession {
             cpu: self.cpu.clone(),
             pmu,
-            pid: 1000,
+            pid: self.pid,
         };
         let recording = session.record(workload.program(), workload.layout(), workload.oracle())?;
 
@@ -257,6 +266,33 @@ mod tests {
             overhead * 100.0
         );
         assert!(result.collection_seconds() > result.clean_seconds());
+    }
+
+    #[test]
+    fn configured_pid_reaches_every_record() {
+        let w = generate(&GenSpec::default(), Scale::Tiny);
+        let result = HbbpProfiler::new(Cpu::with_seed(7))
+            .with_pid(31337)
+            .profile(&w)
+            .unwrap();
+        for record in result.recording.data.records() {
+            let pid = match record {
+                hbbp_perf::PerfRecord::Comm { pid, .. }
+                | hbbp_perf::PerfRecord::Exit { pid, .. } => *pid,
+                hbbp_perf::PerfRecord::Mmap { pid, ring, .. } => {
+                    if *ring == Ring::Kernel {
+                        continue;
+                    }
+                    *pid
+                }
+                hbbp_perf::PerfRecord::Sample(s) => {
+                    assert_eq!(s.tid, 31337);
+                    s.pid
+                }
+                _ => continue,
+            };
+            assert_eq!(pid, 31337);
+        }
     }
 
     #[test]

@@ -110,14 +110,18 @@ impl LbrEstimate {
 const BRANCH_CACHE_BITS: u32 = 10;
 const STREAM_CACHE_BITS: u32 = 10;
 
-/// Streaming LBR accumulator: feed it `BR_INST_RETIRED:NEAR_TAKEN` samples
-/// (event filtering is the caller's job), then [`finish`] into an
-/// [`LbrEstimate`].
+/// The resumable heart of LBR estimation: pass-1 statistics (entry\[0\]
+/// occupancy, appearances, per-stack presence) stream in through
+/// [`LbrStats::observe_stack`]; pass 2 (stream decomposition and
+/// attribution, which needs the finished bias verdicts) runs in
+/// [`LbrStats::finish`] over whatever stack storage the caller kept.
 ///
-/// Pass-1 statistics (entry\[0\] occupancy, appearances, per-stack
-/// presence) stream as samples arrive; stacks are buffered by reference so
-/// pass 2 (stream attribution, which needs the finished bias verdicts)
-/// revisits only LBR stacks rather than rescanning the whole recording.
+/// Two callers wrap it: [`LbrAccum`] buffers stacks **by reference** (the
+/// whole recording is in memory anyway — the fused batch path), and the
+/// online analyzer buffers **owned** copies of just the stacks (the
+/// bounded-memory streaming path, where the recording itself is never
+/// materialized). Both feed `finish` the same stack sequence, so results
+/// are bit-identical.
 ///
 /// Branch identity exploits the block map: a well-formed LBR source is a
 /// block **terminator** address, so its block index doubles as its branch
@@ -125,10 +129,8 @@ const STREAM_CACHE_BITS: u32 = 10;
 /// sources that are not a terminator of any mapped block (garbage streams,
 /// unmapped modules) fall back to a hash-interned overflow id space above
 /// `map.len()`.
-///
-/// [`finish`]: LbrAccum::finish
 #[derive(Debug, Clone)]
-pub(crate) struct LbrAccum<'m, 'd> {
+pub(crate) struct LbrStats<'m> {
     map: &'m BlockMap,
     cursor: BlockCursor<'m>,
     options: LbrOptions,
@@ -158,13 +160,12 @@ pub(crate) struct LbrAccum<'m, 'd> {
     /// slot with `id == u32::MAX` is empty.
     branch_cache: Vec<(u64, u32)>,
     stacks: u64,
-    buffered: Vec<&'d [LbrEntry]>,
 }
 
-impl<'m, 'd> LbrAccum<'m, 'd> {
-    pub(crate) fn new(map: &'m BlockMap, period: u64, options: LbrOptions) -> LbrAccum<'m, 'd> {
+impl<'m> LbrStats<'m> {
+    pub(crate) fn new(map: &'m BlockMap, period: u64, options: LbrOptions) -> LbrStats<'m> {
         let n = map.len();
-        LbrAccum {
+        LbrStats {
             map,
             cursor: map.cursor(),
             options,
@@ -179,7 +180,6 @@ impl<'m, 'd> LbrAccum<'m, 'd> {
             memo: None,
             branch_cache: vec![(0, u32::MAX); 1 << BRANCH_CACHE_BITS],
             stacks: 0,
-            buffered: Vec::new(),
         }
     }
 
@@ -229,12 +229,13 @@ impl<'m, 'd> LbrAccum<'m, 'd> {
         }
     }
 
-    /// Ingest one sample's LBR stack (its eventing IP is **discarded**,
-    /// paper §V.A).
-    pub(crate) fn observe(&mut self, sample: &'d PerfSample) {
-        let entries = &sample.lbr;
+    /// Ingest one stack's pass-1 statistics (the sample's eventing IP is
+    /// **discarded**, paper §V.A). Returns `true` when the stack is usable
+    /// for pass-2 stream attribution (≥ 2 entries) — the caller must then
+    /// keep the stack and replay it to [`LbrStats::finish`].
+    pub(crate) fn observe_stack(&mut self, entries: &[LbrEntry]) -> bool {
         if entries.is_empty() {
-            return;
+            return false;
         }
         self.stacks += 1;
         // Stack ordinal doubles as the dedup epoch (0 = never seen).
@@ -261,12 +262,17 @@ impl<'m, 'd> LbrAccum<'m, 'd> {
             }
             i = j;
         }
-        if entries.len() >= 2 {
-            self.buffered.push(entries);
-        }
+        entries.len() >= 2
     }
 
-    pub(crate) fn finish(self) -> LbrEstimate {
+    /// Pass 2: judge branch bias from the pass-1 statistics, then walk and
+    /// attribute the streams of `stacks` — which must be exactly the
+    /// stacks [`LbrStats::observe_stack`] returned `true` for, in
+    /// observation order.
+    pub(crate) fn finish<'a, I>(self, stacks: I) -> LbrEstimate
+    where
+        I: IntoIterator<Item = &'a [LbrEntry]>,
+    {
         let map = self.map;
         // Bias judgement per branch (same rule as the seed: occupancy and
         // fair share conditional on presence, §III.C).
@@ -329,7 +335,7 @@ impl<'m, 'd> LbrAccum<'m, 'd> {
         // consecutive streams usually share their terminating branch.
         let any_biased = branch_biased.iter().any(|&b| b);
         let mut bias_memo: Option<(u64, bool)> = None;
-        for stack in &self.buffered {
+        for stack in stacks {
             let n = stack.len();
             let w = 1.0 / (n - 1) as f64;
             // A loop iterating under a snapshot fills the stack with
@@ -429,6 +435,41 @@ impl<'m, 'd> LbrAccum<'m, 'd> {
             streams,
             period: self.period,
         }
+    }
+}
+
+/// Streaming LBR accumulator over an in-memory recording: feed it
+/// `BR_INST_RETIRED:NEAR_TAKEN` samples (event filtering is the caller's
+/// job), then [`finish`] into an [`LbrEstimate`]. Usable stacks are
+/// buffered **by reference** into the recording — zero copies; the
+/// bounded-memory owned-buffer variant lives in
+/// [`crate::online::OnlineAnalyzer`].
+///
+/// [`finish`]: LbrAccum::finish
+#[derive(Debug, Clone)]
+pub(crate) struct LbrAccum<'m, 'd> {
+    stats: LbrStats<'m>,
+    buffered: Vec<&'d [LbrEntry]>,
+}
+
+impl<'m, 'd> LbrAccum<'m, 'd> {
+    pub(crate) fn new(map: &'m BlockMap, period: u64, options: LbrOptions) -> LbrAccum<'m, 'd> {
+        LbrAccum {
+            stats: LbrStats::new(map, period, options),
+            buffered: Vec::new(),
+        }
+    }
+
+    /// Ingest one sample's LBR stack (its eventing IP is **discarded**,
+    /// paper §V.A).
+    pub(crate) fn observe(&mut self, sample: &'d PerfSample) {
+        if self.stats.observe_stack(&sample.lbr) {
+            self.buffered.push(&sample.lbr);
+        }
+    }
+
+    pub(crate) fn finish(self) -> LbrEstimate {
+        self.stats.finish(self.buffered)
     }
 }
 

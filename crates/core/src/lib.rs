@@ -22,6 +22,11 @@
 //!   pass; the seed address-keyed implementations remain available as
 //!   `*_ref` functions for equivalence tests and perf trajectory
 //!   benchmarks;
+//! * [`online`] — streaming analysis: [`OnlineAnalyzer`] consumes one
+//!   record at a time (bit-identical to the batch pipeline when
+//!   unwindowed) and optional time/sample windows turn long runs into
+//!   per-phase instruction-mix timelines with memory bounded by the
+//!   window, not the run;
 //! * [`HbbpProfiler`] — the end-to-end tool: clean run, Table 4 period
 //!   policy ([`periods`]), single-run dual-LBR collection, analysis;
 //! * [`errors`] — the paper's error metrics (§VI): per-mnemonic error and
@@ -53,6 +58,7 @@ pub mod errors;
 mod features;
 pub mod hybrid;
 pub mod lbr;
+pub mod online;
 pub mod periods;
 mod pivot;
 pub mod training;
@@ -64,6 +70,7 @@ pub use errors::{MixComparison, MixErrorRow};
 pub use features::{BlockFeatures, FEATURE_NAMES};
 pub use hybrid::{Choice, HbbpEstimate, HybridRule, PAPER_CUTOFF};
 pub use lbr::{LbrEstimate, LbrOptions};
+pub use online::{OnlineAnalyzer, OnlineOutcome, Window, WindowedAnalysis};
 pub use periods::{period_table, RuntimeClass, SamplingPeriods};
 pub use pivot::{Field, PivotRow, PivotTable};
 pub use training::{train_rule, TrainingConfig, TrainingOutcome};

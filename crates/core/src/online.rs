@@ -1,0 +1,623 @@
+//! Online (streaming) analysis with optional windowing.
+//!
+//! [`crate::Analyzer::analyze_fused`] needs the whole recording in memory;
+//! [`OnlineAnalyzer`] consumes one [`PerfRecord`] at a time — straight off
+//! a collection session or a [`hbbp_perf::StreamDecoder`] — and keeps only
+//! what estimation fundamentally requires: the per-branch pass-1
+//! statistics plus owned copies of the LBR stacks of the **current
+//! window**. Memory is bounded by window size, not run length, which is
+//! what makes long-running, phase-varying workloads profileable at all.
+//!
+//! Two consumption modes:
+//!
+//! * **Unwindowed** — one analysis of the whole stream. Pinned
+//!   bit-identical to [`crate::Analyzer::analyze_fused`] by the property
+//!   suite in `crates/core/tests/streaming_equivalence.rs`, under any
+//!   chunking of the record stream.
+//! * **Windowed** ([`Window::Samples`] / [`Window::TimeCycles`]) — each
+//!   closed window emits a [`WindowedAnalysis`]: the three estimates, the
+//!   HBBP instruction mix, raw sample tallies and the window bounds. A
+//!   window is analyzed exactly as if its records were a recording of
+//!   their own, so per-window results compose into instruction-mix
+//!   **timelines** (see the `mix_timeline` experiment in `hbbp-bench`).
+//!
+//! ```
+//! use hbbp_core::{Analyzer, HybridRule, OnlineAnalyzer, SamplingPeriods};
+//! use hbbp_perf::PerfData;
+//! # fn demo(analyzer: &Analyzer, data: &PerfData) {
+//! let periods = SamplingPeriods { ebs: 1009, lbr: 211 };
+//! let mut online = OnlineAnalyzer::new(analyzer, periods, HybridRule::paper_default());
+//! for record in data.records() {
+//!     online.push_record(record);
+//! }
+//! let analysis = online.finish().into_analysis().unwrap();
+//! # let _ = analysis;
+//! # }
+//! ```
+
+use crate::ebs::EbsAccum;
+use crate::lbr::LbrStats;
+use crate::{hybrid, Analysis, Analyzer, HybridRule, SamplingPeriods};
+use hbbp_perf::{PerfRecord, PerfSample, RecordSink};
+use hbbp_program::MnemonicMix;
+use hbbp_sim::{EventSpec, LbrEntry};
+
+/// Windowing policy for online analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Window {
+    /// Close a window after this many profiled samples (samples of the two
+    /// collector events; other records do not advance the window).
+    Samples(u64),
+    /// Fixed wall-time windows of this width in core cycles, aligned at
+    /// cycle 0: a sample with timestamp `t` belongs to window `t / width`.
+    /// Empty windows (time ranges with no samples) are not emitted.
+    TimeCycles(u64),
+}
+
+/// One closed window's analysis: a self-contained per-phase view of the
+/// stream.
+#[derive(Debug, Clone)]
+pub struct WindowedAnalysis {
+    /// Emission order (0-based).
+    pub index: usize,
+    /// Window start in core cycles — nominal (`k * width`) for
+    /// [`Window::TimeCycles`], the first sample's timestamp otherwise.
+    pub start_cycles: u64,
+    /// Window end in core cycles — nominal (exclusive, `(k + 1) * width`)
+    /// for [`Window::TimeCycles`], the last sample's timestamp otherwise.
+    pub end_cycles: u64,
+    /// EBS-event samples observed in the window (mapped or not).
+    pub ebs_samples: u64,
+    /// LBR-event samples observed in the window (usable stacks or not).
+    pub lbr_samples: u64,
+    /// The three estimates over exactly this window's samples.
+    pub analysis: Analysis,
+    /// HBBP instruction mix of the window.
+    pub mix: MnemonicMix,
+}
+
+/// Everything an online run produces.
+#[derive(Debug, Clone)]
+pub struct OnlineOutcome {
+    /// The emitted windows, in order. Exactly one for an unwindowed run.
+    pub windows: Vec<WindowedAnalysis>,
+    /// Whether the run used a [`Window`] policy (per-window analyses) or
+    /// produced one whole-stream analysis.
+    pub windowed: bool,
+    /// Records pushed (all types).
+    pub records_seen: u64,
+    /// Profiled samples pushed (both collector events).
+    pub samples_seen: u64,
+    /// High-water mark of buffered LBR stack entries — the analyzer's
+    /// dominant memory term; bounded by the densest window, not the run.
+    pub peak_buffered_entries: usize,
+}
+
+impl OnlineOutcome {
+    /// The single whole-stream analysis of an **unwindowed** run; `None`
+    /// when the run was windowed (which emits per-window analyses
+    /// instead, even when only one window happened to close).
+    pub fn into_analysis(self) -> Option<Analysis> {
+        if self.windowed {
+            return None;
+        }
+        let mut windows = self.windows;
+        debug_assert_eq!(windows.len(), 1, "unwindowed run emits one window");
+        windows.pop().map(|w| w.analysis)
+    }
+}
+
+/// Either a borrowed stack (cloned on buffer) or one already carved out of
+/// an owned record (moved on buffer).
+enum StackIn<'s> {
+    Borrowed(&'s [LbrEntry]),
+    Owned(Vec<LbrEntry>),
+}
+
+/// Streaming analyzer: [`push_record`](OnlineAnalyzer::push_record) the
+/// stream in any chunking, then [`finish`](OnlineAnalyzer::finish).
+///
+/// Also a [`RecordSink`], so it can terminate
+/// [`hbbp_perf::PerfSession::record_streaming`] directly — collection into
+/// analysis with no intermediate [`hbbp_perf::PerfData`] at all.
+#[derive(Debug)]
+pub struct OnlineAnalyzer<'a> {
+    analyzer: &'a Analyzer,
+    periods: SamplingPeriods,
+    rule: HybridRule,
+    window: Option<Window>,
+    ebs_event: EventSpec,
+    lbr_event: EventSpec,
+    // Current-window accumulators.
+    ebs: EbsAccum<'a>,
+    lbr: LbrStats<'a>,
+    stacks: Vec<Box<[LbrEntry]>>,
+    // Current-window bookkeeping.
+    win_samples: u64,
+    win_ebs: u64,
+    win_lbr: u64,
+    win_first_time: Option<u64>,
+    win_last_time: u64,
+    /// For [`Window::TimeCycles`]: the `t / width` key of the current
+    /// window, set by its first sample.
+    time_key: Option<u64>,
+    buffered_entries: usize,
+    // Whole-run bookkeeping.
+    windows: Vec<WindowedAnalysis>,
+    records_seen: u64,
+    samples_seen: u64,
+    peak_buffered_entries: usize,
+}
+
+impl<'a> OnlineAnalyzer<'a> {
+    /// Unwindowed online analyzer (one whole-stream analysis,
+    /// bit-identical to [`Analyzer::analyze_fused`]).
+    pub fn new(
+        analyzer: &'a Analyzer,
+        periods: SamplingPeriods,
+        rule: HybridRule,
+    ) -> OnlineAnalyzer<'a> {
+        let map = analyzer.map();
+        OnlineAnalyzer {
+            ebs: EbsAccum::new(map, periods.ebs),
+            lbr: LbrStats::new(map, periods.lbr, analyzer.lbr_options().clone()),
+            analyzer,
+            periods,
+            rule,
+            window: None,
+            ebs_event: EventSpec::inst_retired_prec_dist(),
+            lbr_event: EventSpec::br_inst_retired_near_taken(),
+            stacks: Vec::new(),
+            win_samples: 0,
+            win_ebs: 0,
+            win_lbr: 0,
+            win_first_time: None,
+            win_last_time: 0,
+            time_key: None,
+            buffered_entries: 0,
+            windows: Vec::new(),
+            records_seen: 0,
+            samples_seen: 0,
+            peak_buffered_entries: 0,
+        }
+    }
+
+    /// Emit per-window analyses under the given policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-length window.
+    pub fn with_window(mut self, window: Window) -> OnlineAnalyzer<'a> {
+        match window {
+            Window::Samples(n) => assert!(n > 0, "window needs at least one sample"),
+            Window::TimeCycles(w) => assert!(w > 0, "window needs a nonzero width"),
+        }
+        self.window = Some(window);
+        self
+    }
+
+    /// Windows closed so far (the current, still-open window excluded).
+    pub fn windows_closed(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Consume one record by reference (LBR stacks are copied into the
+    /// window buffer; use [`push_owned`](OnlineAnalyzer::push_owned) when
+    /// the record can be given away, e.g. from a decoder or a sink).
+    pub fn push_record(&mut self, record: &PerfRecord) {
+        self.records_seen += 1;
+        if let PerfRecord::Sample(s) = record {
+            self.ingest(s, StackIn::Borrowed(&s.lbr));
+        }
+    }
+
+    /// Consume one owned record, moving its LBR stack into the window
+    /// buffer instead of cloning it.
+    pub fn push_owned(&mut self, record: PerfRecord) {
+        self.records_seen += 1;
+        if let PerfRecord::Sample(mut s) = record {
+            let lbr = std::mem::take(&mut s.lbr);
+            self.ingest(&s, StackIn::Owned(lbr));
+        }
+    }
+
+    fn ingest(&mut self, sample: &PerfSample, stack: StackIn<'_>) {
+        let is_ebs = sample.event == self.ebs_event;
+        let is_lbr = sample.event == self.lbr_event;
+        if !is_ebs && !is_lbr {
+            return;
+        }
+        self.roll_window(sample.time_cycles);
+        self.samples_seen += 1;
+        self.win_samples += 1;
+        self.win_first_time.get_or_insert(sample.time_cycles);
+        self.win_last_time = sample.time_cycles;
+        if is_ebs {
+            self.win_ebs += 1;
+            self.ebs.observe(sample);
+        } else {
+            self.win_lbr += 1;
+            let entries: &[LbrEntry] = match &stack {
+                StackIn::Borrowed(e) => e,
+                StackIn::Owned(e) => e,
+            };
+            if self.lbr.observe_stack(entries) {
+                let boxed: Box<[LbrEntry]> = match stack {
+                    StackIn::Borrowed(e) => e.into(),
+                    StackIn::Owned(e) => e.into_boxed_slice(),
+                };
+                self.buffered_entries += boxed.len();
+                self.peak_buffered_entries = self.peak_buffered_entries.max(self.buffered_entries);
+                self.stacks.push(boxed);
+            }
+        }
+    }
+
+    /// Close the current window if `time` falls outside it.
+    fn roll_window(&mut self, time: u64) {
+        match self.window {
+            None => {}
+            Some(Window::Samples(n)) if self.win_samples >= n => self.close_window(),
+            Some(Window::Samples(_)) => {}
+            Some(Window::TimeCycles(width)) => {
+                let key = time / width;
+                if self.win_samples > 0 && self.time_key != Some(key) {
+                    self.close_window();
+                }
+                self.time_key = Some(key);
+            }
+        }
+    }
+
+    /// Finish the current accumulators into a [`WindowedAnalysis`] and
+    /// start fresh ones.
+    fn close_window(&mut self) {
+        let map = self.analyzer.map();
+        let ebs = std::mem::replace(&mut self.ebs, EbsAccum::new(map, self.periods.ebs)).finish();
+        let lbr_stats = std::mem::replace(
+            &mut self.lbr,
+            LbrStats::new(map, self.periods.lbr, self.analyzer.lbr_options().clone()),
+        );
+        let stacks = std::mem::take(&mut self.stacks);
+        let lbr = lbr_stats.finish(stacks.iter().map(|s| &**s));
+        let hbbp = hybrid::combine(map, &ebs, &lbr, &self.rule);
+        let analysis = Analysis { ebs, lbr, hbbp };
+        let mix = self.analyzer.mix(&analysis.hbbp.bbec);
+        let (start_cycles, end_cycles) = match (self.window, self.time_key) {
+            (Some(Window::TimeCycles(width)), Some(key)) => (key * width, (key + 1) * width),
+            _ => (self.win_first_time.unwrap_or(0), self.win_last_time),
+        };
+        self.windows.push(WindowedAnalysis {
+            index: self.windows.len(),
+            start_cycles,
+            end_cycles,
+            ebs_samples: self.win_ebs,
+            lbr_samples: self.win_lbr,
+            analysis,
+            mix,
+        });
+        self.win_samples = 0;
+        self.win_ebs = 0;
+        self.win_lbr = 0;
+        self.win_first_time = None;
+        self.win_last_time = 0;
+        self.time_key = None;
+        self.buffered_entries = 0;
+    }
+
+    /// End the stream: close the open window (an unwindowed run always
+    /// emits its single whole-stream window, even when empty) and return
+    /// everything produced.
+    pub fn finish(mut self) -> OnlineOutcome {
+        if self.window.is_none() || self.win_samples > 0 {
+            self.close_window();
+        }
+        OnlineOutcome {
+            windows: self.windows,
+            windowed: self.window.is_some(),
+            records_seen: self.records_seen,
+            samples_seen: self.samples_seen,
+            peak_buffered_entries: self.peak_buffered_entries,
+        }
+    }
+}
+
+impl RecordSink for OnlineAnalyzer<'_> {
+    fn record(&mut self, record: PerfRecord) {
+        self.push_owned(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbbp_isa::instruction::build;
+    use hbbp_isa::{Mnemonic, Reg};
+    use hbbp_perf::PerfData;
+    use hbbp_program::{ImageView, Layout, ProgramBuilder, Ring, TextImage};
+    use std::collections::HashMap;
+
+    /// Short loop + long loop + exit, with known addresses.
+    fn fixture() -> (Analyzer, u64, u64, u64, u64) {
+        let mut b = ProgramBuilder::new("f");
+        let m = b.module("f.bin", Ring::User);
+        let f = b.function(m, "main");
+        let s = b.block(f);
+        let l = b.block(f);
+        let exit = b.block(f);
+        for i in 0..4 {
+            b.push(s, build::rr(Mnemonic::Add, Reg::gpr(i), Reg::gpr(9)));
+        }
+        b.terminate_branch(s, Mnemonic::Jnz, s, l);
+        for i in 0..22 {
+            b.push(l, build::rr(Mnemonic::Sub, Reg::gpr(i % 8), Reg::gpr(9)));
+        }
+        b.terminate_branch(l, Mnemonic::Jnz, l, exit);
+        b.terminate_exit(exit, build::bare(Mnemonic::Syscall));
+        let mut p = b.build(f).unwrap();
+        let layout = Layout::compute(&mut p).unwrap();
+        let images: Vec<TextImage> = p
+            .modules()
+            .iter()
+            .map(|m| TextImage::encode(&p, &layout, m.id(), ImageView::Disk))
+            .collect();
+        let analyzer = Analyzer::from_images(&images, layout.symbols()).unwrap();
+        (
+            analyzer,
+            layout.block_start(s),
+            layout.terminator_addr(s),
+            layout.block_start(l),
+            layout.terminator_addr(l),
+        )
+    }
+
+    fn ebs_at(ip: u64, t: u64) -> PerfRecord {
+        PerfRecord::Sample(PerfSample {
+            counter: 0,
+            event: EventSpec::inst_retired_prec_dist(),
+            ip,
+            time_cycles: t,
+            pid: 1,
+            tid: 1,
+            ring: Ring::User,
+            lbr: vec![],
+        })
+    }
+
+    fn lbr_at(from: u64, to: u64, n: usize, t: u64) -> PerfRecord {
+        PerfRecord::Sample(PerfSample {
+            counter: 1,
+            event: EventSpec::br_inst_retired_near_taken(),
+            ip: 0,
+            time_cycles: t,
+            pid: 1,
+            tid: 1,
+            ring: Ring::User,
+            lbr: vec![LbrEntry { from, to }; n],
+        })
+    }
+
+    fn periods() -> SamplingPeriods {
+        SamplingPeriods {
+            ebs: 1000,
+            lbr: 300,
+        }
+    }
+
+    fn mixed_stream(fx: &(Analyzer, u64, u64, u64, u64)) -> PerfData {
+        let (_, s_start, s_term, l_start, _) = *fx;
+        let mut data = PerfData::new();
+        data.push(PerfRecord::Comm {
+            pid: 1,
+            tid: 1,
+            name: "f".into(),
+        });
+        for i in 0..30u64 {
+            data.push(ebs_at(if i % 2 == 0 { s_start } else { l_start }, i * 10));
+            if i % 3 == 0 {
+                data.push(lbr_at(s_term, s_start, 5, i * 10 + 1));
+            }
+        }
+        data.push(PerfRecord::Exit {
+            pid: 1,
+            time_cycles: 400,
+        });
+        data
+    }
+
+    #[test]
+    fn unwindowed_matches_analyze_fused() {
+        let fx = fixture();
+        let data = mixed_stream(&fx);
+        let analyzer = &fx.0;
+        let batch = analyzer.analyze_fused(&data, periods(), &HybridRule::paper_default());
+        let mut online = OnlineAnalyzer::new(analyzer, periods(), HybridRule::paper_default());
+        for r in data.records() {
+            online.push_record(r);
+        }
+        let outcome = online.finish();
+        assert_eq!(outcome.records_seen, data.len() as u64);
+        let analysis = outcome.into_analysis().expect("unwindowed");
+        assert_eq!(analysis.ebs.bbec, batch.ebs.bbec);
+        assert_eq!(analysis.lbr.bbec, batch.lbr.bbec);
+        assert_eq!(analysis.hbbp.bbec, batch.hbbp.bbec);
+        assert_eq!(analysis.hbbp.choices, batch.hbbp.choices);
+    }
+
+    #[test]
+    fn push_owned_matches_push_record() {
+        let fx = fixture();
+        let data = mixed_stream(&fx);
+        let analyzer = &fx.0;
+        let run = |owned: bool| {
+            let mut online = OnlineAnalyzer::new(analyzer, periods(), HybridRule::paper_default());
+            for r in data.records() {
+                if owned {
+                    online.push_owned(r.clone());
+                } else {
+                    online.push_record(r);
+                }
+            }
+            online.finish().into_analysis().unwrap()
+        };
+        let by_ref = run(false);
+        let by_val = run(true);
+        assert_eq!(by_ref.hbbp.bbec, by_val.hbbp.bbec);
+        assert_eq!(by_ref.lbr.biased_blocks, by_val.lbr.biased_blocks);
+    }
+
+    #[test]
+    fn empty_stream_yields_one_empty_window() {
+        let fx = fixture();
+        let online = OnlineAnalyzer::new(&fx.0, periods(), HybridRule::paper_default());
+        let outcome = online.finish();
+        assert_eq!(outcome.windows.len(), 1);
+        assert_eq!(outcome.samples_seen, 0);
+        let analysis = outcome.into_analysis().unwrap();
+        assert!(analysis.hbbp.bbec.is_empty());
+    }
+
+    #[test]
+    fn windowed_run_with_one_window_is_still_windowed() {
+        // A windowed run whose samples all land in one window must not be
+        // mistaken for an unwindowed whole-stream analysis.
+        let fx = fixture();
+        let (_, s_start, ..) = fx;
+        let mut online = OnlineAnalyzer::new(&fx.0, periods(), HybridRule::paper_default())
+            .with_window(Window::TimeCycles(1_000_000));
+        online.push_record(&ebs_at(s_start, 5));
+        let outcome = online.finish();
+        assert!(outcome.windowed);
+        assert_eq!(outcome.windows.len(), 1);
+        assert!(outcome.into_analysis().is_none());
+    }
+
+    #[test]
+    fn sample_count_windows_partition_the_stream() {
+        let fx = fixture();
+        let (_, s_start, ..) = fx;
+        let analyzer = &fx.0;
+        let mut online = OnlineAnalyzer::new(analyzer, periods(), HybridRule::paper_default())
+            .with_window(Window::Samples(7));
+        for i in 0..23u64 {
+            online.push_record(&ebs_at(s_start, i));
+        }
+        let outcome = online.finish();
+        // 23 samples in windows of 7: 7 + 7 + 7 + 2.
+        assert_eq!(outcome.windows.len(), 4);
+        let sizes: Vec<u64> = outcome.windows.iter().map(|w| w.ebs_samples).collect();
+        assert_eq!(sizes, vec![7, 7, 7, 2]);
+        let total: u64 = sizes.iter().sum();
+        assert_eq!(total, outcome.samples_seen);
+    }
+
+    #[test]
+    fn time_windows_have_nominal_bounds_and_skip_gaps() {
+        let fx = fixture();
+        let (_, s_start, ..) = fx;
+        let analyzer = &fx.0;
+        let mut online = OnlineAnalyzer::new(analyzer, periods(), HybridRule::paper_default())
+            .with_window(Window::TimeCycles(100));
+        // Samples in windows 0, 0, 2 (window 1 is an empty gap).
+        for t in [10u64, 90, 250] {
+            online.push_record(&ebs_at(s_start, t));
+        }
+        let outcome = online.finish();
+        assert_eq!(outcome.windows.len(), 2);
+        assert_eq!(
+            (
+                outcome.windows[0].start_cycles,
+                outcome.windows[0].end_cycles
+            ),
+            (0, 100)
+        );
+        assert_eq!(
+            (
+                outcome.windows[1].start_cycles,
+                outcome.windows[1].end_cycles
+            ),
+            (200, 300)
+        );
+        assert_eq!(outcome.windows[0].ebs_samples, 2);
+        assert_eq!(outcome.windows[1].ebs_samples, 1);
+    }
+
+    #[test]
+    fn windowed_mixes_reflect_per_phase_content() {
+        let fx = fixture();
+        let (_, s_start, s_term, l_start, l_term) = fx;
+        let analyzer = &fx.0;
+        let mut online = OnlineAnalyzer::new(analyzer, periods(), HybridRule::paper_default())
+            .with_window(Window::TimeCycles(1000));
+        // Phase 1 (t < 1000): short-loop activity (ADDs via LBR).
+        for i in 0..20u64 {
+            online.push_record(&lbr_at(s_term, s_start, 5, i * 40));
+        }
+        // Phase 2 (t >= 1000): long-loop activity (SUBs via EBS).
+        for i in 0..20u64 {
+            online.push_record(&ebs_at(l_start, 1000 + i * 40));
+        }
+        // LBR evidence for the long block too, so the hybrid has choices.
+        online.push_record(&lbr_at(l_term, l_start, 5, 1990));
+        let outcome = online.finish();
+        assert_eq!(outcome.windows.len(), 2);
+        let w0 = &outcome.windows[0];
+        let w1 = &outcome.windows[1];
+        assert!(w0.mix.get(Mnemonic::Add) > 0.0);
+        assert_eq!(w0.mix.get(Mnemonic::Sub), 0.0);
+        assert!(w1.mix.get(Mnemonic::Sub) > 0.0);
+        assert_eq!(w1.mix.get(Mnemonic::Add), 0.0);
+    }
+
+    #[test]
+    fn peak_buffer_is_bounded_by_window_not_run() {
+        let fx = fixture();
+        let (_, s_start, s_term, ..) = fx;
+        let analyzer = &fx.0;
+        let run = |window: Option<Window>| {
+            let mut online = OnlineAnalyzer::new(analyzer, periods(), HybridRule::paper_default());
+            if let Some(w) = window {
+                online = online.with_window(w);
+            }
+            for i in 0..200u64 {
+                online.push_record(&lbr_at(s_term, s_start, 8, i * 10));
+            }
+            online.finish().peak_buffered_entries
+        };
+        let unbounded = run(None);
+        let windowed = run(Some(Window::Samples(10)));
+        assert_eq!(unbounded, 200 * 8);
+        assert_eq!(windowed, 10 * 8);
+    }
+
+    #[test]
+    fn record_sink_feeds_the_analyzer() {
+        let fx = fixture();
+        let data = mixed_stream(&fx);
+        let analyzer = &fx.0;
+        let mut online = OnlineAnalyzer::new(analyzer, periods(), HybridRule::paper_default());
+        {
+            let sink: &mut dyn RecordSink = &mut online;
+            for r in data.records() {
+                sink.record(r.clone());
+            }
+        }
+        let outcome = online.finish();
+        assert_eq!(outcome.records_seen, data.len() as u64);
+    }
+
+    #[test]
+    fn from_map_analyzer_works_online() {
+        // OnlineAnalyzer over an Analyzer built from an existing map.
+        let fx = fixture();
+        let analyzer = Analyzer::from_map(fx.0.map().clone(), HashMap::new());
+        let data = mixed_stream(&fx);
+        let mut online = OnlineAnalyzer::new(&analyzer, periods(), HybridRule::paper_default());
+        for r in data.records() {
+            online.push_record(r);
+        }
+        let analysis = online.finish().into_analysis().unwrap();
+        let batch = analyzer.analyze_fused(&data, periods(), &HybridRule::paper_default());
+        assert_eq!(analysis.hbbp.bbec, batch.hbbp.bbec);
+    }
+}

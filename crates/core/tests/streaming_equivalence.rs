@@ -1,0 +1,351 @@
+//! Streaming equivalence properties: the online analyzer fed any chunking
+//! of a record stream — whole-batch, one record at a time, or through the
+//! byte-level [`StreamDecoder`] with random chunk splits — must produce
+//! **bit-identical** results to [`Analyzer::analyze_fused`]; windowed runs
+//! must partition the stream (window sums equal whole-run totals) and each
+//! window must equal the batch analysis of exactly its slice.
+
+use hbbp_core::{Analyzer, HybridRule, LbrOptions, OnlineAnalyzer, SamplingPeriods, Window};
+use hbbp_isa::instruction::build;
+use hbbp_isa::{Mnemonic, Reg};
+use hbbp_perf::{codec, PerfData, PerfRecord, PerfSample, StreamDecoder};
+use hbbp_program::{BlockMap, ImageView, Layout, ProgramBuilder, Ring, TextImage};
+use hbbp_sim::{EventSpec, LbrEntry};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A chain of loop blocks with the given body lengths, ending in an exit
+/// block, plus a pool of interesting addresses to sample from.
+struct Fx {
+    map: BlockMap,
+    pool: Vec<u64>,
+}
+
+fn fixture(bodies: &[usize]) -> Fx {
+    let mut b = ProgramBuilder::new("f");
+    let m = b.module("f.bin", Ring::User);
+    let f = b.function(m, "main");
+    let bids: Vec<_> = bodies.iter().map(|_| b.block(f)).collect();
+    let exit = b.block(f);
+    for (i, &body) in bodies.iter().enumerate() {
+        let bid = bids[i];
+        for k in 0..body {
+            b.push(
+                bid,
+                build::rr(Mnemonic::Add, Reg::gpr((k % 8) as u8), Reg::gpr(9)),
+            );
+        }
+        let next = *bids.get(i + 1).unwrap_or(&exit);
+        b.terminate_branch(bid, Mnemonic::Jnz, bid, next);
+    }
+    b.terminate_exit(exit, build::bare(Mnemonic::Syscall));
+    let mut p = b.build(f).unwrap();
+    let layout = Layout::compute(&mut p).unwrap();
+    let image = TextImage::encode(&p, &layout, p.modules()[0].id(), ImageView::Disk);
+    let map = BlockMap::discover(&[image], layout.symbols()).unwrap();
+
+    let mut pool = vec![0u64, 0xdead_beef, u64::MAX];
+    for block in map.blocks() {
+        pool.extend([
+            block.start,
+            block.start + 1,
+            block.terminator_addr(),
+            block.end(),
+            block.end() + 3,
+        ]);
+    }
+    Fx { map, pool }
+}
+
+fn ebs_sample(ip: u64, t: u64) -> PerfRecord {
+    PerfRecord::Sample(PerfSample {
+        counter: 0,
+        event: EventSpec::inst_retired_prec_dist(),
+        ip,
+        time_cycles: t,
+        pid: 1,
+        tid: 1,
+        ring: Ring::User,
+        lbr: vec![],
+    })
+}
+
+fn lbr_sample(entries: Vec<LbrEntry>, t: u64) -> PerfRecord {
+    PerfRecord::Sample(PerfSample {
+        counter: 1,
+        event: EventSpec::br_inst_retired_near_taken(),
+        ip: 0,
+        time_cycles: t,
+        pid: 1,
+        tid: 1,
+        ring: Ring::User,
+        lbr: entries,
+    })
+}
+
+/// Build an interleaved recording with monotone timestamps (how a real
+/// collection session orders samples), bracketed by process records the
+/// analyzer must ignore.
+fn build_data(fx: &Fx, ips: &[usize], stacks: &[Vec<(usize, usize)>]) -> PerfData {
+    let pick = |i: usize| fx.pool[i % fx.pool.len()];
+    let mut t = 0u64;
+    let mut data = PerfData::new();
+    data.push(PerfRecord::Comm {
+        pid: 1,
+        tid: 1,
+        name: "f".into(),
+    });
+    let mut stacks_iter = stacks.iter();
+    for (i, &ip) in ips.iter().enumerate() {
+        t += 17;
+        data.push(ebs_sample(pick(ip), t));
+        if i % 2 == 0 {
+            if let Some(stack) = stacks_iter.next() {
+                t += 5;
+                data.push(lbr_sample(
+                    stack
+                        .iter()
+                        .map(|&(from, to)| LbrEntry {
+                            from: pick(from),
+                            to: pick(to),
+                        })
+                        .collect(),
+                    t,
+                ));
+            }
+        }
+    }
+    for stack in stacks_iter {
+        t += 23;
+        data.push(lbr_sample(
+            stack
+                .iter()
+                .map(|&(from, to)| LbrEntry {
+                    from: pick(from),
+                    to: pick(to),
+                })
+                .collect(),
+            t,
+        ));
+    }
+    data.push(PerfRecord::Exit {
+        pid: 1,
+        time_cycles: t + 1,
+    });
+    data
+}
+
+fn arb_stacks() -> impl Strategy<Value = Vec<Vec<(usize, usize)>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0usize..4096, 0usize..4096), 0..9),
+        0..30,
+    )
+}
+
+/// Loose LBR options so the bias machinery actually fires on small inputs.
+fn twitchy_options() -> LbrOptions {
+    LbrOptions {
+        entry0_excess_threshold: 0.05,
+        min_branch_occurrences: 2,
+        biased_weight_threshold: 0.10,
+    }
+}
+
+fn analyzer_for(fx: &Fx) -> Analyzer {
+    Analyzer::from_map(fx.map.clone(), HashMap::new()).with_lbr_options(twitchy_options())
+}
+
+/// Assert two analyses are bit-identical in every estimate and statistic.
+fn assert_analysis_eq(a: &hbbp_core::Analysis, b: &hbbp_core::Analysis) {
+    prop_assert_eq!(&a.ebs.bbec, &b.ebs.bbec);
+    prop_assert_eq!(&a.ebs.dense, &b.ebs.dense);
+    prop_assert_eq!(&a.ebs.samples_per_block, &b.ebs.samples_per_block);
+    prop_assert_eq!(a.ebs.samples_used, b.ebs.samples_used);
+    prop_assert_eq!(a.ebs.samples_unmapped, b.ebs.samples_unmapped);
+    prop_assert_eq!(&a.lbr.bbec, &b.lbr.bbec);
+    prop_assert_eq!(&a.lbr.dense, &b.lbr.dense);
+    prop_assert_eq!(&a.lbr.biased_blocks, &b.lbr.biased_blocks);
+    prop_assert_eq!(&a.lbr.biased_idx, &b.lbr.biased_idx);
+    prop_assert_eq!(&a.lbr.biased_branches, &b.lbr.biased_branches);
+    prop_assert_eq!(&a.lbr.biased_weight_fraction, &b.lbr.biased_weight_fraction);
+    prop_assert_eq!(a.lbr.stacks, b.lbr.stacks);
+    prop_assert_eq!(a.lbr.streams, b.lbr.streams);
+    prop_assert_eq!(a.lbr.derailed_streams, b.lbr.derailed_streams);
+    prop_assert_eq!(&a.hbbp.bbec, &b.hbbp.bbec);
+    prop_assert_eq!(&a.hbbp.dense, &b.hbbp.dense);
+    prop_assert_eq!(&a.hbbp.choices, &b.hbbp.choices);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// One record at a time through `OnlineAnalyzer` ≡ `analyze_fused`.
+    #[test]
+    fn record_at_a_time_matches_batch(
+        bodies in proptest::collection::vec(1usize..28, 1..5),
+        ips in proptest::collection::vec(0usize..4096, 0..120),
+        stacks in arb_stacks(),
+        ebs_period in 1u64..50_000,
+        lbr_period in 1u64..50_000,
+        cutoff in 0usize..40,
+    ) {
+        let fx = fixture(&bodies);
+        let data = build_data(&fx, &ips, &stacks);
+        let analyzer = analyzer_for(&fx);
+        let periods = SamplingPeriods { ebs: ebs_period, lbr: lbr_period };
+        let rule = HybridRule::LengthCutoff(cutoff);
+        let batch = analyzer.analyze_fused(&data, periods, &rule);
+        let mut online = OnlineAnalyzer::new(&analyzer, periods, rule);
+        for record in data.records() {
+            online.push_record(record);
+        }
+        let streamed = online.finish().into_analysis().expect("unwindowed");
+        assert_analysis_eq(&streamed, &batch);
+    }
+
+    /// The full wire path — encode, split into random byte chunks, stream
+    /// decode, push owned records — ≡ `analyze_fused` on the original.
+    #[test]
+    fn chunked_wire_stream_matches_batch(
+        bodies in proptest::collection::vec(1usize..28, 1..5),
+        ips in proptest::collection::vec(0usize..4096, 0..100),
+        stacks in arb_stacks(),
+        cuts in proptest::collection::vec(0usize..1_000_000, 0..10),
+        cutoff in 0usize..40,
+    ) {
+        let fx = fixture(&bodies);
+        let data = build_data(&fx, &ips, &stacks);
+        let analyzer = analyzer_for(&fx);
+        let periods = SamplingPeriods { ebs: 733, lbr: 211 };
+        let rule = HybridRule::LengthCutoff(cutoff);
+        let batch = analyzer.analyze_fused(&data, periods, &rule);
+
+        let bytes = codec::write(&data);
+        let mut points: Vec<usize> = cuts.iter().map(|&c| c % bytes.len()).collect();
+        points.sort_unstable();
+        points.dedup();
+        points.push(bytes.len());
+        let mut online = OnlineAnalyzer::new(&analyzer, periods, rule);
+        let mut decoder = StreamDecoder::new();
+        let mut prev = 0;
+        for p in points {
+            decoder.feed(&bytes[prev..p]);
+            prev = p;
+            while let Some(record) = decoder.next_record().expect("valid stream") {
+                online.push_owned(record);
+            }
+        }
+        decoder.finish().expect("clean end of stream");
+        let streamed = online.finish().into_analysis().expect("unwindowed");
+        assert_analysis_eq(&streamed, &batch);
+    }
+
+    /// Windowed runs partition the stream: per-window sample tallies sum
+    /// to the whole-run totals, and each window's analysis is bit-identical
+    /// to `analyze_fused` over exactly that window's records.
+    #[test]
+    fn window_sums_equal_totals(
+        bodies in proptest::collection::vec(1usize..28, 1..4),
+        ips in proptest::collection::vec(0usize..4096, 1..100),
+        stacks in arb_stacks(),
+        window_samples in 1u64..40,
+    ) {
+        let fx = fixture(&bodies);
+        let data = build_data(&fx, &ips, &stacks);
+        let analyzer = analyzer_for(&fx);
+        let periods = SamplingPeriods { ebs: 733, lbr: 211 };
+        let rule = HybridRule::paper_default();
+        let mut online = OnlineAnalyzer::new(&analyzer, periods, rule.clone())
+            .with_window(Window::Samples(window_samples));
+        for record in data.records() {
+            online.push_record(record);
+        }
+        let outcome = online.finish();
+
+        // Sample-count partition (exact integer invariant).
+        let total_ebs: u64 = outcome.windows.iter().map(|w| w.ebs_samples).sum();
+        let total_lbr: u64 = outcome.windows.iter().map(|w| w.lbr_samples).sum();
+        let batch = analyzer.analyze_fused(&data, periods, &rule);
+        prop_assert_eq!(
+            total_ebs,
+            batch.ebs.samples_used + batch.ebs.samples_unmapped
+        );
+        let lbr_in_stream = data
+            .samples_of(EventSpec::br_inst_retired_near_taken())
+            .count() as u64;
+        prop_assert_eq!(total_lbr, lbr_in_stream);
+        prop_assert_eq!(total_ebs + total_lbr, outcome.samples_seen);
+
+        // Estimator statistics partition too.
+        let stacks_sum: u64 = outcome.windows.iter().map(|w| w.analysis.lbr.stacks).sum();
+        let streams_sum: u64 = outcome.windows.iter().map(|w| w.analysis.lbr.streams).sum();
+        prop_assert_eq!(stacks_sum, batch.lbr.stacks);
+        prop_assert_eq!(streams_sum, batch.lbr.streams);
+
+        // EBS extrapolation is linear, so windowed totals recompose to the
+        // batch total (up to float summation order).
+        let windowed_total: f64 = outcome.windows.iter().map(|w| w.analysis.ebs.bbec.total()).sum();
+        let batch_total = batch.ebs.bbec.total();
+        let tol = 1e-9 * batch_total.abs().max(1.0);
+        prop_assert!(
+            (windowed_total - batch_total).abs() <= tol,
+            "windowed {} vs batch {}",
+            windowed_total,
+            batch_total
+        );
+
+        // Every window ≡ the batch analysis of exactly its slice.
+        let mut remaining: Vec<&PerfRecord> = data
+            .records()
+            .iter()
+            .filter(|r| match r {
+                PerfRecord::Sample(s) => {
+                    s.event == EventSpec::inst_retired_prec_dist()
+                        || s.event == EventSpec::br_inst_retired_near_taken()
+                }
+                _ => false,
+            })
+            .collect();
+        for w in &outcome.windows {
+            let n = (w.ebs_samples + w.lbr_samples) as usize;
+            let slice: PerfData = remaining.drain(..n).cloned().collect();
+            let slice_batch = analyzer.analyze_fused(&slice, periods, &rule);
+            assert_analysis_eq(&w.analysis, &slice_batch);
+        }
+        prop_assert!(remaining.is_empty());
+    }
+
+    /// Time windows also partition the stream (bounds disjoint, ordered,
+    /// tallies summing to totals).
+    #[test]
+    fn time_windows_partition_stream(
+        bodies in proptest::collection::vec(1usize..28, 1..4),
+        ips in proptest::collection::vec(0usize..4096, 1..80),
+        stacks in arb_stacks(),
+        width in 1u64..500,
+    ) {
+        let fx = fixture(&bodies);
+        let data = build_data(&fx, &ips, &stacks);
+        let analyzer = analyzer_for(&fx);
+        let periods = SamplingPeriods { ebs: 733, lbr: 211 };
+        let mut online = OnlineAnalyzer::new(&analyzer, periods, HybridRule::paper_default())
+            .with_window(Window::TimeCycles(width));
+        for record in data.records() {
+            online.push_record(record);
+        }
+        let outcome = online.finish();
+        let total: u64 = outcome
+            .windows
+            .iter()
+            .map(|w| w.ebs_samples + w.lbr_samples)
+            .sum();
+        prop_assert_eq!(total, outcome.samples_seen);
+        for pair in outcome.windows.windows(2) {
+            prop_assert!(pair[0].end_cycles <= pair[1].start_cycles);
+        }
+        for w in &outcome.windows {
+            prop_assert_eq!(w.end_cycles - w.start_cycles, width);
+            prop_assert!(w.ebs_samples + w.lbr_samples > 0);
+        }
+    }
+}

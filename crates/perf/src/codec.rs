@@ -16,8 +16,9 @@ use hbbp_program::Ring;
 use hbbp_sim::{EventKind, EventSpec, LbrEntry};
 use std::fmt;
 
-const MAGIC: &[u8; 8] = b"HBBPPERF";
-const VERSION: u32 = 1;
+pub(crate) const MAGIC: &[u8; 8] = b"HBBPPERF";
+pub(crate) const VERSION: u32 = 1;
+pub(crate) const HEADER_LEN: usize = MAGIC.len() + 4;
 
 const T_COMM: u8 = 1;
 const T_MMAP: u8 = 2;
@@ -184,7 +185,13 @@ fn encode_payload(record: &PerfRecord) -> BytesMut {
     buf
 }
 
-fn decode_payload(rtype: u8, mut p: &[u8]) -> Result<Option<PerfRecord>, ()> {
+/// Whether `rtype` is a record type this codec version can decode (used
+/// by the stream decoder's resync scan to judge candidate frames).
+pub(crate) fn is_known_type(rtype: u8) -> bool {
+    (T_COMM..=T_LOST).contains(&rtype)
+}
+
+pub(crate) fn decode_payload(rtype: u8, mut p: &[u8]) -> Result<Option<PerfRecord>, ()> {
     fn need(p: &[u8], n: usize) -> Result<(), ()> {
         if p.remaining() < n {
             Err(())
@@ -277,6 +284,13 @@ fn decode_payload(rtype: u8, mut p: &[u8]) -> Result<Option<PerfRecord>, ()> {
         }
         _ => return Ok(None),
     };
+    // A frame whose declared length exceeds what its payload actually
+    // encodes is malformed (most likely a corrupted length prefix): a
+    // decode must consume the payload exactly. This is also what lets the
+    // stream decoder's resync scan reject false re-anchors.
+    if p.has_remaining() {
+        return Err(());
+    }
     Ok(Some(record))
 }
 

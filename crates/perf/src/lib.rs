@@ -3,11 +3,14 @@
 //! Stand-in for Linux `perf`: record types ([`PerfRecord`]) including
 //! samples with eventing IPs and LBR stacks, process events and memory
 //! maps; an in-memory file ([`PerfData`]); a binary [`codec`] that survives
-//! truncation and unknown record types; and the dual-event collection
-//! [`PerfSession`] implementing the paper's single-run HBBP collector
-//! (§V.A): two counters, both in LBR mode, one on
-//! `INST_RETIRED:PREC_DIST` (the EBS source) and one on
-//! `BR_INST_RETIRED:NEAR_TAKEN` (the LBR source).
+//! truncation and unknown record types; an incremental [`StreamDecoder`]
+//! that decodes the same format from byte chunks with bounded memory; and
+//! the dual-event collection [`PerfSession`] implementing the paper's
+//! single-run HBBP collector (§V.A): two counters, both in LBR mode, one
+//! on `INST_RETIRED:PREC_DIST` (the EBS source) and one on
+//! `BR_INST_RETIRED:NEAR_TAKEN` (the LBR source). Collection can either
+//! materialize a file ([`PerfSession::record`]) or feed a [`RecordSink`]
+//! online ([`PerfSession::record_streaming`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -16,8 +19,10 @@ pub mod codec;
 mod data;
 mod record;
 mod session;
+mod stream;
 
 pub use codec::ReadError;
 pub use data::PerfData;
 pub use record::{PerfRecord, PerfSample};
-pub use session::{PerfSession, Recording};
+pub use session::{PerfSession, RecordSink, Recording};
+pub use stream::{StreamDecoder, StreamStats};

@@ -22,6 +22,29 @@ pub struct PerfSession {
     pub pid: u32,
 }
 
+/// Consumer of a perf record stream.
+///
+/// [`PerfSession::record_streaming`] pushes records into a sink as they
+/// are produced instead of materializing a [`PerfData`]; any online
+/// consumer (a windowed analyzer, an encoder writing to a socket, a
+/// filter) implements this one method.
+pub trait RecordSink {
+    /// Accept the next record of the stream.
+    fn record(&mut self, record: PerfRecord);
+}
+
+impl RecordSink for PerfData {
+    fn record(&mut self, record: PerfRecord) {
+        self.push(record);
+    }
+}
+
+impl RecordSink for Vec<PerfRecord> {
+    fn record(&mut self, record: PerfRecord) {
+        self.push(record);
+    }
+}
+
 /// Everything one recording produces: the perf data file plus the run's
 /// timing/counting facts (used for overhead accounting and PMU
 /// cross-checks).
@@ -34,7 +57,8 @@ pub struct Recording {
 }
 
 impl PerfSession {
-    /// Session with the paper's dual-LBR HBBP collector.
+    /// Session with the paper's dual-LBR HBBP collector and the default
+    /// pid of 1000 (override with [`PerfSession::with_pid`]).
     pub fn hbbp(cpu: Cpu, ebs_period: u64, lbr_period: u64) -> PerfSession {
         PerfSession {
             cpu,
@@ -43,7 +67,17 @@ impl PerfSession {
         }
     }
 
+    /// Record under a specific pid. Every record of the stream — COMM,
+    /// user MMAPs, samples, EXIT — carries it.
+    pub fn with_pid(mut self, pid: u32) -> PerfSession {
+        self.pid = pid;
+        self
+    }
+
     /// Run the workload once and capture a perf data stream.
+    ///
+    /// Equivalent to [`PerfSession::record_streaming`] with a [`PerfData`]
+    /// sink; the materialized records are identical.
     ///
     /// # Errors
     ///
@@ -54,16 +88,42 @@ impl PerfSession {
         layout: &Layout,
         oracle: O,
     ) -> Result<Recording, PmuError> {
-        let run = self.cpu.run(program, layout, oracle, &self.pmu)?;
         let mut data = PerfData::new();
-        data.push(PerfRecord::Comm {
+        let run = self.record_streaming(program, layout, oracle, &mut data)?;
+        Ok(Recording { data, run })
+    }
+
+    /// Run the workload once, pushing each record into `sink` as it is
+    /// produced instead of materializing a [`PerfData`]. This is the
+    /// bounded-memory collection path: an online consumer (e.g. a
+    /// windowed analyzer) never holds the whole stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmuError`] if the PMU programming is invalid.
+    pub fn record_streaming<O: ExecutionOracle, S: RecordSink + ?Sized>(
+        &self,
+        program: &Program,
+        layout: &Layout,
+        oracle: O,
+        sink: &mut S,
+    ) -> Result<RunResult, PmuError> {
+        // A session records one single-threaded process: when the machine
+        // was left at its default tid of 0, stamp samples with the session
+        // pid so sample tids agree with the COMM record.
+        let mut cpu = self.cpu.clone();
+        if cpu.tid == 0 {
+            cpu.tid = self.pid;
+        }
+        let run = cpu.run(program, layout, oracle, &self.pmu)?;
+        sink.record(PerfRecord::Comm {
             pid: self.pid,
             tid: self.pid,
             name: program.name().to_owned(),
         });
         for module in program.modules() {
             let (base, end) = layout.module_range(module.id());
-            data.push(PerfRecord::Mmap {
+            sink.record(PerfRecord::Mmap {
                 pid: match module.ring() {
                     hbbp_program::Ring::User => self.pid,
                     hbbp_program::Ring::Kernel => 0,
@@ -75,7 +135,7 @@ impl PerfSession {
             });
         }
         for s in &run.samples {
-            data.push(PerfRecord::Sample(PerfSample {
+            sink.record(PerfRecord::Sample(PerfSample {
                 counter: s.counter,
                 event: s.event,
                 ip: s.ip,
@@ -87,15 +147,15 @@ impl PerfSession {
             }));
         }
         if run.throttled > 0 {
-            data.push(PerfRecord::Lost {
+            sink.record(PerfRecord::Lost {
                 count: run.throttled,
             });
         }
-        data.push(PerfRecord::Exit {
+        sink.record(PerfRecord::Exit {
             pid: self.pid,
             time_cycles: run.cycles,
         });
-        Ok(Recording { data, run })
+        Ok(run)
     }
 }
 
@@ -153,6 +213,63 @@ mod tests {
         let tags: Vec<_> = rec.data.records().iter().map(|r| r.tag()).collect();
         assert_eq!(tags.first(), Some(&"COMM"));
         assert_eq!(tags.last(), Some(&"EXIT"));
+    }
+
+    #[test]
+    fn streaming_sink_sees_exactly_the_batch_records() {
+        let (p, layout, head) = loop_program();
+        let session = PerfSession::hbbp(Cpu::with_seed(3), 1009, 211);
+        let oracle = TripCountOracle::new(1).with_trips(head, 20_000);
+        let rec = session.record(&p, &layout, oracle.clone()).unwrap();
+        let mut sunk: Vec<PerfRecord> = Vec::new();
+        let run = session
+            .record_streaming(&p, &layout, oracle, &mut sunk)
+            .unwrap();
+        assert_eq!(sunk, rec.data.records());
+        assert_eq!(run.cycles, rec.run.cycles);
+        assert_eq!(run.samples.len(), rec.run.samples.len());
+    }
+
+    #[test]
+    fn pid_is_configurable_and_consistent_across_records() {
+        let (p, layout, head) = loop_program();
+        let session = PerfSession::hbbp(Cpu::with_seed(4), 1009, 211).with_pid(4242);
+        let oracle = TripCountOracle::new(1).with_trips(head, 10_000);
+        let rec = session.record(&p, &layout, oracle).unwrap();
+        for record in rec.data.records() {
+            match record {
+                PerfRecord::Comm { pid, tid, .. } => {
+                    assert_eq!((*pid, *tid), (4242, 4242));
+                }
+                PerfRecord::Mmap { pid, ring, .. } => {
+                    let expect = if *ring == hbbp_program::Ring::Kernel {
+                        0
+                    } else {
+                        4242
+                    };
+                    assert_eq!(*pid, expect);
+                }
+                PerfRecord::Sample(s) => {
+                    assert_eq!(s.pid, 4242);
+                    // Single-threaded process: sample tid follows the pid
+                    // (unless the Cpu sets an explicit tid).
+                    assert_eq!(s.tid, 4242);
+                }
+                PerfRecord::Exit { pid, .. } => assert_eq!(*pid, 4242),
+                PerfRecord::Fork { .. } | PerfRecord::Lost { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_cpu_tid_wins_over_pid_stamping() {
+        let (p, layout, head) = loop_program();
+        let mut cpu = Cpu::with_seed(5);
+        cpu.tid = 77;
+        let session = PerfSession::hbbp(cpu, 1009, 211).with_pid(4242);
+        let oracle = TripCountOracle::new(1).with_trips(head, 10_000);
+        let rec = session.record(&p, &layout, oracle).unwrap();
+        assert!(rec.data.samples().all(|s| s.tid == 77 && s.pid == 4242));
     }
 
     #[test]

@@ -1,0 +1,624 @@
+//! Incremental decoding of perf data streams.
+//!
+//! [`codec::read`](crate::codec::read) needs the whole file in memory;
+//! [`StreamDecoder`] decodes the same format from byte chunks of arbitrary
+//! size as they arrive — from a socket, a pipe, or a file tailed while the
+//! collector is still writing. Partial records carry over between chunks,
+//! the internal buffer never holds more than the current partial record
+//! plus the newest chunk, and (in resilient mode) a corrupt region is
+//! skipped by resynchronizing on the next plausible record frame.
+//!
+//! Decode semantics are shared with the batch reader (both dispatch into
+//! the same frame parser), and the property suite in
+//! `crates/perf/tests/stream_props.rs` pins them equal: feeding a valid
+//! encoded file through any chunking yields exactly the records
+//! [`codec::read`](crate::codec::read) produces, and a truncated tail
+//! fails with the same [`ReadError`].
+//!
+//! ```
+//! use hbbp_perf::{codec, PerfData, PerfRecord, StreamDecoder};
+//!
+//! let mut data = PerfData::new();
+//! data.push(PerfRecord::Lost { count: 3 });
+//! let bytes = codec::write(&data);
+//!
+//! let mut decoder = StreamDecoder::new();
+//! let mut back = PerfData::new();
+//! for chunk in bytes.chunks(5) {
+//!     decoder.feed(chunk);
+//!     while let Some(record) = decoder.next_record().unwrap() {
+//!         back.push(record);
+//!     }
+//! }
+//! decoder.finish().unwrap();
+//! assert_eq!(back, data);
+//! ```
+
+use crate::codec::{self, ReadError};
+use crate::PerfRecord;
+
+/// Frames longer than this are treated as corruption in resilient mode
+/// (the largest legal payload — a sample with a full 65,535-entry LBR
+/// stack — is just over 1 MiB).
+const MAX_RESILIENT_PAYLOAD: usize = 2 << 20;
+
+/// Decoder progress counters, returned by [`StreamDecoder::finish`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Records decoded and yielded.
+    pub records: u64,
+    /// Frames of unknown record type skipped (forward compatibility).
+    pub unknown_skipped: u64,
+    /// Corrupt frames skipped (resilient mode only; strict mode fails).
+    pub corrupt_skipped: u64,
+    /// Bytes discarded while hunting for the next frame after corruption
+    /// (resilient mode only).
+    pub resync_bytes: u64,
+    /// Unconsumed tail bytes dropped at [`finish`](StreamDecoder::finish)
+    /// (resilient mode only; strict mode fails with `Truncated`).
+    pub dropped_tail_bytes: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Identical verdicts to the batch reader: corrupt or truncated input
+    /// is an error.
+    Strict,
+    /// Keep decoding past damage: skip corrupt frames, resync on absurd
+    /// frame lengths, drop a truncated tail. For tailing live files.
+    Resilient,
+}
+
+#[derive(Debug, Clone)]
+enum State {
+    /// Waiting for the 12-byte magic + version header.
+    Header,
+    /// Framed records.
+    Records,
+    /// A fatal error was diagnosed; it is returned on every further call.
+    Failed(ReadError),
+}
+
+/// Incremental perf-stream decoder: [`feed`](StreamDecoder::feed) byte
+/// chunks, drain records with [`next_record`](StreamDecoder::next_record),
+/// then [`finish`](StreamDecoder::finish) to validate end-of-stream.
+#[derive(Debug, Clone)]
+pub struct StreamDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted away on the next feed).
+    pos: usize,
+    state: State,
+    mode: Mode,
+    /// Frame boundaries were lost to corruption (resilient mode): only a
+    /// frame that fully decodes re-anchors the scan.
+    resyncing: bool,
+    stats: StreamStats,
+}
+
+impl Default for StreamDecoder {
+    fn default() -> StreamDecoder {
+        StreamDecoder::new()
+    }
+}
+
+impl StreamDecoder {
+    /// A strict decoder: same verdicts as [`codec::read`], incrementally.
+    pub fn new() -> StreamDecoder {
+        StreamDecoder {
+            buf: Vec::new(),
+            pos: 0,
+            state: State::Header,
+            mode: Mode::Strict,
+            resyncing: false,
+            stats: StreamStats::default(),
+        }
+    }
+
+    /// A resilient decoder: recovers from mid-stream corruption by
+    /// scanning forward one byte at a time until a frame of a known type
+    /// fully decodes again. The damaged frame's length prefix is **not**
+    /// trusted to delimit it (it may itself be the corrupted bytes — a
+    /// plausible-but-wrong length would swallow valid frames), so when the
+    /// length was in fact honest the scan simply slides through the
+    /// corrupt payload to the next frame. The header must still be valid —
+    /// a stream that is not a perf stream at all is an error, not
+    /// something to scan through.
+    pub fn resilient() -> StreamDecoder {
+        StreamDecoder {
+            mode: Mode::Resilient,
+            ..StreamDecoder::new()
+        }
+    }
+
+    /// Append a chunk of stream bytes.
+    ///
+    /// The consumed prefix of the internal buffer is compacted away first,
+    /// so the buffer is bounded by the largest single record plus the
+    /// newest chunk — independent of total stream length.
+    pub fn feed(&mut self, chunk: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Bytes currently buffered and not yet consumed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn compact(&mut self) {
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    fn fail(&mut self, error: ReadError) -> Result<Option<PerfRecord>, ReadError> {
+        self.state = State::Failed(error.clone());
+        Err(error)
+    }
+
+    /// Decode the next complete record from the buffered bytes.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed (call
+    /// [`feed`](StreamDecoder::feed) and retry).
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`ReadError`] verdicts as [`codec::read`]: a bad
+    /// magic/version is always fatal; a corrupt frame is fatal in strict
+    /// mode and skipped in resilient mode. Once an error is returned, the
+    /// decoder is poisoned and repeats it.
+    pub fn next_record(&mut self) -> Result<Option<PerfRecord>, ReadError> {
+        loop {
+            match &self.state {
+                State::Failed(e) => return Err(e.clone()),
+                State::Header => {
+                    let avail = &self.buf[self.pos..];
+                    // Reject a wrong magic as soon as the prefix diverges;
+                    // a partial-but-matching prefix waits for more bytes.
+                    let n = avail.len().min(codec::MAGIC.len());
+                    if avail[..n] != codec::MAGIC[..n] {
+                        return self.fail(ReadError::BadMagic);
+                    }
+                    if avail.len() < codec::HEADER_LEN {
+                        return Ok(None);
+                    }
+                    let version = u32::from_le_bytes(
+                        avail[codec::MAGIC.len()..codec::HEADER_LEN]
+                            .try_into()
+                            .expect("4 header bytes"),
+                    );
+                    if version != codec::VERSION {
+                        return self.fail(ReadError::BadVersion { found: version });
+                    }
+                    self.pos += codec::HEADER_LEN;
+                    self.state = State::Records;
+                }
+                State::Records => {
+                    let avail = &self.buf[self.pos..];
+                    if avail.len() < 5 {
+                        return Ok(None);
+                    }
+                    let rtype = avail[0];
+                    let len = u32::from_le_bytes(avail[1..5].try_into().expect("4 length bytes"))
+                        as usize;
+                    if self.resyncing {
+                        // Frame boundaries are lost: candidate bytes only
+                        // re-anchor the scan when they look like a frame
+                        // of a known type AND its payload decodes. Anything
+                        // less slides the scan window by one byte.
+                        if !codec::is_known_type(rtype) || len > MAX_RESILIENT_PAYLOAD {
+                            self.pos += 1;
+                            self.stats.resync_bytes += 1;
+                            continue;
+                        }
+                        if avail.len() < 5 + len {
+                            return Ok(None);
+                        }
+                        match codec::decode_payload(rtype, &avail[5..5 + len]) {
+                            Ok(Some(record)) => {
+                                self.pos += 5 + len;
+                                self.resyncing = false;
+                                self.stats.records += 1;
+                                return Ok(Some(record));
+                            }
+                            _ => {
+                                self.pos += 1;
+                                self.stats.resync_bytes += 1;
+                            }
+                        }
+                        continue;
+                    }
+                    if self.mode == Mode::Resilient && len > MAX_RESILIENT_PAYLOAD {
+                        // The length prefix itself is garbage: the frame
+                        // boundary is lost, start hunting for the next
+                        // decodable frame.
+                        self.pos += 1;
+                        self.resyncing = true;
+                        self.stats.resync_bytes += 1;
+                        continue;
+                    }
+                    if avail.len() < 5 + len {
+                        return Ok(None);
+                    }
+                    let payload = &avail[5..5 + len];
+                    match codec::decode_payload(rtype, payload) {
+                        Ok(Some(record)) => {
+                            self.pos += 5 + len;
+                            self.stats.records += 1;
+                            return Ok(Some(record));
+                        }
+                        Ok(None) => {
+                            self.pos += 5 + len;
+                            self.stats.unknown_skipped += 1;
+                        }
+                        Err(()) => {
+                            if self.mode == Mode::Strict {
+                                return self.fail(ReadError::Corrupt { record_type: rtype });
+                            }
+                            // A failed decode means either the payload or
+                            // the length prefix is damaged — the length
+                            // cannot be trusted to delimit the frame, so
+                            // hunt for the next decodable frame instead of
+                            // skipping blind (a corrupted length would
+                            // swallow valid frames). When the length WAS
+                            // honest, the scan slides through the corrupt
+                            // payload and lands on the next frame anyway.
+                            self.pos += 1;
+                            self.resyncing = true;
+                            self.stats.corrupt_skipped += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Declare end-of-stream and validate what remains buffered.
+    ///
+    /// # Errors
+    ///
+    /// In strict mode, mirrors [`codec::read`] on a truncated input: an
+    /// incomplete header is `BadMagic`, a partial record is `Truncated`,
+    /// and a previously diagnosed fatal error is repeated. Resilient mode
+    /// only repeats fatal header errors; a partial trailing record is
+    /// dropped and counted in [`StreamStats::dropped_tail_bytes`]. (This
+    /// is the one unrecoverable corruption shape: a length prefix
+    /// corrupted to a plausible value near the end of the stream is
+    /// indistinguishable from a genuine mid-record cut, so the decoder
+    /// waits for bytes that never come and any valid frames inside the
+    /// claimed span are dropped with the tail.)
+    pub fn finish(mut self) -> Result<StreamStats, ReadError> {
+        match self.state {
+            State::Failed(e) => Err(e),
+            State::Header => Err(ReadError::BadMagic),
+            State::Records => {
+                let tail = (self.buf.len() - self.pos) as u64;
+                if tail == 0 {
+                    return Ok(self.stats);
+                }
+                match self.mode {
+                    Mode::Strict => Err(ReadError::Truncated),
+                    Mode::Resilient => {
+                        self.stats.dropped_tail_bytes = tail;
+                        Ok(self.stats)
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{codec, PerfData, PerfSample};
+    use hbbp_program::Ring;
+    use hbbp_sim::{EventSpec, LbrEntry};
+
+    fn sample_data() -> PerfData {
+        let mut d = PerfData::new();
+        d.push(PerfRecord::Comm {
+            pid: 7,
+            tid: 7,
+            name: "stream".into(),
+        });
+        d.push(PerfRecord::Mmap {
+            pid: 7,
+            addr: 0x400000,
+            len: 0x1000,
+            filename: "stream.bin".into(),
+            ring: Ring::User,
+        });
+        for i in 0..5u64 {
+            d.push(PerfRecord::Sample(PerfSample {
+                counter: (i % 2) as u8,
+                event: if i % 2 == 0 {
+                    EventSpec::inst_retired_prec_dist()
+                } else {
+                    EventSpec::br_inst_retired_near_taken()
+                },
+                ip: 0x400100 + i,
+                time_cycles: 100 * i,
+                pid: 7,
+                tid: 7,
+                ring: Ring::User,
+                lbr: vec![
+                    LbrEntry {
+                        from: 0x400120,
+                        to: 0x400100
+                    };
+                    i as usize
+                ],
+            }));
+        }
+        d.push(PerfRecord::Exit {
+            pid: 7,
+            time_cycles: 999,
+        });
+        d
+    }
+
+    fn drain(decoder: &mut StreamDecoder) -> Vec<PerfRecord> {
+        let mut out = Vec::new();
+        while let Some(r) = decoder.next_record().expect("no decode error") {
+            out.push(r);
+        }
+        out
+    }
+
+    #[test]
+    fn whole_stream_in_one_chunk() {
+        let data = sample_data();
+        let bytes = codec::write(&data);
+        let mut dec = StreamDecoder::new();
+        dec.feed(&bytes);
+        let records = drain(&mut dec);
+        assert_eq!(records, data.records());
+        let stats = dec.finish().unwrap();
+        assert_eq!(stats.records, data.len() as u64);
+    }
+
+    #[test]
+    fn byte_at_a_time_chunking() {
+        let data = sample_data();
+        let bytes = codec::write(&data);
+        let mut dec = StreamDecoder::new();
+        let mut records = Vec::new();
+        for &b in bytes.iter() {
+            dec.feed(&[b]);
+            records.extend(drain(&mut dec));
+            // The buffer never accumulates consumed bytes.
+            assert!(dec.buffered() <= bytes.len());
+        }
+        assert_eq!(records, data.records());
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn buffer_stays_bounded_by_partial_record() {
+        let data = sample_data();
+        let bytes = codec::write(&data);
+        let mut dec = StreamDecoder::new();
+        let mut max_buffered = 0;
+        for chunk in bytes.chunks(3) {
+            dec.feed(chunk);
+            let _ = drain(&mut dec);
+            max_buffered = max_buffered.max(dec.buffered());
+        }
+        // Largest single frame in the fixture is well under 200 bytes; the
+        // buffer must never approach the whole-stream size.
+        assert!(max_buffered < 200, "buffered {max_buffered}");
+        assert!(bytes.len() > 200);
+    }
+
+    #[test]
+    fn bad_magic_is_fatal_and_sticky() {
+        let mut dec = StreamDecoder::new();
+        dec.feed(b"NOTAPERF");
+        assert_eq!(dec.next_record(), Err(ReadError::BadMagic));
+        assert_eq!(dec.next_record(), Err(ReadError::BadMagic));
+        assert_eq!(dec.finish(), Err(ReadError::BadMagic));
+    }
+
+    #[test]
+    fn early_magic_mismatch_detected_on_first_byte() {
+        let mut dec = StreamDecoder::new();
+        dec.feed(b"X");
+        assert_eq!(dec.next_record(), Err(ReadError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = codec::write(&sample_data()).to_vec();
+        bytes[8] = 42;
+        let mut dec = StreamDecoder::new();
+        dec.feed(&bytes);
+        assert_eq!(dec.next_record(), Err(ReadError::BadVersion { found: 42 }));
+    }
+
+    #[test]
+    fn truncated_tail_matches_batch_reader() {
+        let data = sample_data();
+        let bytes = codec::write(&data);
+        for cut in 0..bytes.len() {
+            let mut dec = StreamDecoder::new();
+            dec.feed(&bytes[..cut]);
+            let mut records = Vec::new();
+            let decode_err = loop {
+                match dec.next_record() {
+                    Ok(Some(r)) => records.push(r),
+                    Ok(None) => break None,
+                    Err(e) => break Some(e),
+                }
+            };
+            assert_eq!(decode_err, None, "valid prefix never errors mid-decode");
+            let finish = dec.finish();
+            match codec::read(&bytes[..cut]) {
+                Ok(batch) => {
+                    assert_eq!(records, batch.records(), "cut={cut}");
+                    assert!(finish.is_ok(), "cut={cut}");
+                }
+                Err(e) => {
+                    // The streaming decoder yields the valid record prefix,
+                    // then reports the identical verdict at finish.
+                    assert_eq!(finish, Err(e), "cut={cut}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_record_types_skipped() {
+        let mut bytes = codec::write(&sample_data()).to_vec();
+        bytes.push(200);
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.extend_from_slice(&[1, 2, 3]);
+        let mut dec = StreamDecoder::new();
+        dec.feed(&bytes);
+        let records = drain(&mut dec);
+        assert_eq!(records.len(), sample_data().len());
+        let stats = dec.finish().unwrap();
+        assert_eq!(stats.unknown_skipped, 1);
+    }
+
+    #[test]
+    fn strict_mode_fails_on_corrupt_frame() {
+        let mut d = PerfData::new();
+        d.push(PerfRecord::Lost { count: 1 });
+        let mut bytes = codec::write(&d).to_vec();
+        bytes[codec::HEADER_LEN] = 5; // retype the LOST frame as SAMPLE
+        let mut dec = StreamDecoder::new();
+        dec.feed(&bytes);
+        assert_eq!(
+            dec.next_record(),
+            Err(ReadError::Corrupt { record_type: 5 })
+        );
+    }
+
+    #[test]
+    fn resilient_mode_skips_corrupt_frame() {
+        let mut d = PerfData::new();
+        d.push(PerfRecord::Lost { count: 1 });
+        d.push(PerfRecord::Exit {
+            pid: 1,
+            time_cycles: 5,
+        });
+        let mut bytes = codec::write(&d).to_vec();
+        bytes[codec::HEADER_LEN] = 5; // corrupt the first frame
+        let mut dec = StreamDecoder::resilient();
+        dec.feed(&bytes);
+        let records = drain(&mut dec);
+        assert_eq!(
+            records,
+            &[PerfRecord::Exit {
+                pid: 1,
+                time_cycles: 5
+            }]
+        );
+        let stats = dec.finish().unwrap();
+        assert_eq!(stats.corrupt_skipped, 1);
+        assert_eq!(stats.records, 1);
+    }
+
+    #[test]
+    fn resilient_mode_resyncs_after_garbage_length() {
+        let data = {
+            let mut d = PerfData::new();
+            d.push(PerfRecord::Exit {
+                pid: 9,
+                time_cycles: 77,
+            });
+            d
+        };
+        let good = codec::write(&data);
+        // Header, then a frame whose length prefix is absurd, then the
+        // valid EXIT frame.
+        let mut bytes = good[..codec::HEADER_LEN].to_vec();
+        bytes.push(4); // plausible type...
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // ...absurd length
+        bytes.extend_from_slice(&good[codec::HEADER_LEN..]);
+        let mut dec = StreamDecoder::resilient();
+        dec.feed(&bytes);
+        let records = drain(&mut dec);
+        assert_eq!(records, data.records());
+        let stats = dec.finish().unwrap();
+        assert!(stats.resync_bytes > 0);
+    }
+
+    #[test]
+    fn resilient_mode_recovers_from_plausible_corrupt_length() {
+        // The corrupted length (24 bytes, well under MAX_RESILIENT_PAYLOAD)
+        // claims to reach into the valid frames that follow; trusting it
+        // would swallow the first of them. The resync scan must recover
+        // all three.
+        let data = {
+            let mut d = PerfData::new();
+            d.push(PerfRecord::Fork {
+                parent_pid: 1,
+                child_pid: 2,
+                time_cycles: 3,
+            });
+            d.push(PerfRecord::Lost { count: 4 });
+            d.push(PerfRecord::Exit {
+                pid: 1,
+                time_cycles: 5,
+            });
+            d
+        };
+        let good = codec::write(&data);
+        let mut bytes = good[..codec::HEADER_LEN].to_vec();
+        bytes.push(3); // FORK — a known type...
+        bytes.extend_from_slice(&24u32.to_le_bytes()); // ...plausible bogus length
+        bytes.extend_from_slice(&[0xAB; 4]); // a stub of damaged payload
+        bytes.extend_from_slice(&good[codec::HEADER_LEN..]);
+        let mut dec = StreamDecoder::resilient();
+        dec.feed(&bytes);
+        let records = drain(&mut dec);
+        assert_eq!(records, data.records());
+        let stats = dec.finish().unwrap();
+        assert_eq!(stats.corrupt_skipped, 1);
+        assert_eq!(stats.records, 3);
+    }
+
+    #[test]
+    fn strict_mode_rejects_overlong_length_prefix() {
+        // A frame whose declared length exceeds its actual payload is
+        // Corrupt for both readers (the decode must consume it exactly).
+        let mut d = PerfData::new();
+        d.push(PerfRecord::Lost { count: 9 });
+        let mut bytes = codec::write(&d).to_vec();
+        // LOST payload is 8 bytes; declare 10 and pad with two junk bytes.
+        let len_at = codec::HEADER_LEN + 1;
+        bytes[len_at..len_at + 4].copy_from_slice(&10u32.to_le_bytes());
+        bytes.extend_from_slice(&[0, 0]);
+        assert_eq!(
+            codec::read(&bytes),
+            Err(ReadError::Corrupt { record_type: 6 })
+        );
+        let mut dec = StreamDecoder::new();
+        dec.feed(&bytes);
+        assert_eq!(
+            dec.next_record(),
+            Err(ReadError::Corrupt { record_type: 6 })
+        );
+    }
+
+    #[test]
+    fn resilient_mode_drops_truncated_tail() {
+        let bytes = codec::write(&sample_data());
+        let cut = bytes.len() - 3;
+        let mut dec = StreamDecoder::resilient();
+        dec.feed(&bytes[..cut]);
+        let _ = drain(&mut dec);
+        let stats = dec.finish().unwrap();
+        assert!(stats.dropped_tail_bytes > 0);
+    }
+
+    #[test]
+    fn empty_stream_is_bad_magic_like_batch() {
+        let dec = StreamDecoder::new();
+        assert_eq!(dec.finish(), Err(ReadError::BadMagic));
+        assert_eq!(codec::read(b""), Err(ReadError::BadMagic));
+    }
+}

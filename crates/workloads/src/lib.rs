@@ -13,6 +13,8 @@
 //!   tracepoints (Table 7);
 //! * [`clforward`] — the vectorization before/after pair (Table 8);
 //! * [`hydro`] — the 76× instrumentation-slowdown extreme (Table 1);
+//! * [`phased`](mod@phased) — a phase-switching workload (integer / SSE /
+//!   AVX kernels in long dwells) for windowed streaming analysis;
 //! * [`training`] — the ≈1,100-block non-SPEC training population for the
 //!   HBBP rule (§IV.B, Figure 1).
 //!
@@ -27,6 +29,7 @@ pub mod clforward;
 pub mod fitter;
 pub mod hydro;
 pub mod kernel;
+pub mod phased;
 pub mod spec;
 pub mod synth;
 pub mod test40;
@@ -37,6 +40,7 @@ pub use clforward::{clforward, ClVariant};
 pub use fitter::{fitter, FitterVariant};
 pub use hydro::hydro_post;
 pub use kernel::kernel_benchmark;
+pub use phased::{phased, phased_with};
 pub use synth::{Behavior, BehaviorMap, InstrClass, MixProfile, Segment, SynthOracle};
 pub use test40::test40;
 pub use training::training_suite;

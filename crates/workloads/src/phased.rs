@@ -1,0 +1,213 @@
+//! A phase-switching workload for windowed/streaming analysis.
+//!
+//! Real long-running programs move through phases — an integer-heavy setup
+//! loop, a vectorized math kernel, an AVX hot section — and a whole-run
+//! instruction mix averages them away. This workload makes the phases
+//! explicit: execution dwells in one kernel at a time and cycles through
+//! all of them repeatedly, so a **windowed** online analysis
+//! ([`hbbp_core::OnlineAnalyzer`] with a time window narrower than one
+//! phase) resolves a mix *timeline* that a batch analysis cannot.
+
+use crate::synth::{emit_function, Behavior, BehaviorMap, InstrClass, MixProfile, Segment};
+use crate::workload::{Scale, Workload};
+use hbbp_instrument::CostModel;
+use hbbp_isa::instruction::build;
+use hbbp_isa::Mnemonic;
+use hbbp_program::{FunctionId, ProgramBuilder, Ring};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// How many distinct phases [`phased`] cycles through per outer round.
+pub const PHASE_KINDS: usize = 3;
+
+/// The phase-switching benchmark: three kernels with starkly different
+/// mixes (integer ALU, packed SSE, packed AVX), each executed in a long
+/// dwell loop, cycled `3 × phase_rounds` times. [`Scale`] multiplies the
+/// dwell (phase *length*), not the phase count, so the timeline shape is
+/// scale-invariant.
+pub fn phased(scale: Scale) -> Workload {
+    phased_with(scale, 2)
+}
+
+/// [`phased`] with an explicit number of outer rounds (each round passes
+/// through all [`PHASE_KINDS`] phases once).
+pub fn phased_with(scale: Scale, phase_rounds: u64) -> Workload {
+    let mut rng = SmallRng::seed_from_u64(0x9A5E);
+    let mut b = ProgramBuilder::new("phased");
+    let module = b.module("phased.bin", Ring::User);
+    let mut behaviors = BehaviorMap::new();
+
+    // One kernel function per phase: a long straight body inside a
+    // self-loop (the long-block shape keeps each phase's mix pure).
+    let kernels: [(&str, MixProfile); PHASE_KINDS] = [
+        ("kernel_int", MixProfile::int_heavy()),
+        ("kernel_sse", MixProfile::fp_sse_packed()),
+        (
+            "kernel_avx",
+            MixProfile::dominated_by(InstrClass::AvxPacked),
+        ),
+    ];
+    let kernel_fns: Vec<FunctionId> = kernels
+        .iter()
+        .map(|(name, mix)| {
+            let f = b.function(module, *name);
+            emit_function(
+                &mut b,
+                f,
+                &[
+                    Segment::Loop {
+                        body_len: 24,
+                        trips: 12,
+                    },
+                    Segment::Loop {
+                        body_len: 28,
+                        trips: 9,
+                    },
+                ],
+                mix,
+                &mut behaviors,
+                &mut rng,
+            );
+            f
+        })
+        .collect();
+
+    // Driver: per outer round, dwell in each kernel `dwell` calls before
+    // moving to the next — long homogeneous stretches of machine time.
+    let dwell = 24 * scale.multiplier();
+    let main = b.function(module, "main");
+    let entry = b.block(main);
+    b.push_all(entry, MixProfile::int_heavy().gen_block_body(2, &mut rng));
+    let round_head = b.block(main);
+    b.terminate_jump(entry, round_head);
+    b.push_all(
+        round_head,
+        MixProfile::int_heavy().gen_block_body(1, &mut rng),
+    );
+    let mut current = round_head;
+    for &kernel in &kernel_fns {
+        // Dwell loop: call the kernel, loop back `dwell` times.
+        let call_site = current;
+        let ret_to = b.block(main);
+        b.terminate_call(call_site, kernel, ret_to);
+        let next_phase = b.block(main);
+        b.push_all(ret_to, MixProfile::int_heavy().gen_block_body(1, &mut rng));
+        b.terminate_branch(ret_to, Mnemonic::Jnz, call_site, next_phase);
+        behaviors.set(ret_to, Behavior::Trips(dwell.max(1)));
+        b.push_all(
+            next_phase,
+            MixProfile::int_heavy().gen_block_body(1, &mut rng),
+        );
+        current = next_phase;
+    }
+    let exit = b.block(main);
+    b.terminate_branch(current, Mnemonic::Jnz, round_head, exit);
+    behaviors.set(current, Behavior::Trips(phase_rounds.max(1)));
+    b.terminate_exit(exit, build::bare(Mnemonic::Syscall));
+
+    let program = b.build(main).expect("phased program is valid");
+    Workload::from_program(
+        "phased",
+        program,
+        behaviors,
+        0x9A5E ^ 0x5eed,
+        CostModel::default(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbbp_isa::Extension;
+    use hbbp_program::Walker;
+    use hbbp_sim::Cpu;
+
+    #[test]
+    fn phased_runs_and_is_deterministic() {
+        let a = phased(Scale::Tiny);
+        let b = phased(Scale::Tiny);
+        let ra = Cpu::with_seed(3)
+            .run_clean(a.program(), a.layout(), a.oracle())
+            .unwrap();
+        let rb = Cpu::with_seed(3)
+            .run_clean(b.program(), b.layout(), b.oracle())
+            .unwrap();
+        assert_eq!(ra.instructions, rb.instructions);
+        assert_eq!(ra.cycles, rb.cycles);
+        assert!(ra.instructions > 50_000, "too small: {}", ra.instructions);
+    }
+
+    #[test]
+    fn execution_alternates_between_phase_kernels() {
+        // Walk the program and record which kernel function owns each
+        // executed block; phases must appear as long homogeneous runs.
+        let w = phased_with(Scale::Tiny, 2);
+        let p = w.program();
+        let owner: Vec<Option<&str>> = (0..p.block_count())
+            .map(|i| {
+                let bid = hbbp_program::BlockId::from_index(i);
+                p.functions()
+                    .iter()
+                    .find(|f| f.blocks().contains(&bid))
+                    .map(|f| f.name())
+            })
+            .collect();
+        let mut walker = Walker::new(p, w.oracle());
+        let mut runs: Vec<(&str, u64)> = Vec::new();
+        while let Some(bid) = walker.next_block() {
+            let Some(name) = owner[bid.index()] else {
+                continue;
+            };
+            if !name.starts_with("kernel_") {
+                continue;
+            }
+            match runs.last_mut() {
+                Some((last, n)) if *last == name => *n += 1,
+                _ => runs.push((name, 1)),
+            }
+        }
+        // 2 rounds × 3 phases = 6 homogeneous kernel runs.
+        let names: Vec<&str> = runs.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec![
+                "kernel_int",
+                "kernel_sse",
+                "kernel_avx",
+                "kernel_int",
+                "kernel_sse",
+                "kernel_avx"
+            ]
+        );
+        // Each dwell is long: thousands of blocks per phase.
+        assert!(runs.iter().all(|(_, n)| *n > 500), "runs: {runs:?}");
+    }
+
+    #[test]
+    fn phase_kernels_have_distinct_static_mixes() {
+        let w = phased(Scale::Tiny);
+        let p = w.program();
+        let ext_frac = |fn_name: &str, ext: Extension| -> f64 {
+            let f = p
+                .functions()
+                .iter()
+                .find(|f| f.name() == fn_name)
+                .expect("kernel exists");
+            let mut total = 0.0;
+            let mut hit = 0.0;
+            for &bid in f.blocks() {
+                for instr in p.block(bid).instrs() {
+                    total += 1.0;
+                    if instr.extension() == ext {
+                        hit += 1.0;
+                    }
+                }
+            }
+            hit / total
+        };
+        assert!(ext_frac("kernel_sse", Extension::Sse) > 0.3);
+        assert!(ext_frac("kernel_avx", Extension::Avx) > 0.5);
+        assert!(ext_frac("kernel_int", Extension::Sse) < 0.05);
+        assert!(ext_frac("kernel_int", Extension::Avx) < 0.05);
+    }
+}

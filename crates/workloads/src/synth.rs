@@ -420,6 +420,13 @@ impl MixProfile {
         ])
     }
 
+    /// A profile dominated by a single flavour (nine parts `class`, one
+    /// part loads for realism) — maximally distinguishable phases for
+    /// windowed/streaming timeline workloads.
+    pub fn dominated_by(class: InstrClass) -> MixProfile {
+        MixProfile::new(vec![(class, 9.0), (InstrClass::Load, 1.0)])
+    }
+
     /// Branch-heavy object-oriented profile (omnetpp/xalancbmk-ish bodies:
     /// the branchiness itself comes from short blocks, not from the mix).
     pub fn oo_code() -> MixProfile {

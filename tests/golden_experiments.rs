@@ -1,0 +1,76 @@
+//! Golden-file pins for the paper-number experiments.
+//!
+//! `table1` and `fig2` aggregate the whole SPEC-like suite; they are the
+//! outputs most likely to drift silently when the collection/analysis
+//! pipeline is refactored. Each test regenerates the experiment at
+//! `Scale::Tiny` with the default seed and compares **byte-for-byte**
+//! against the committed fixture under `tests/golden/`.
+//!
+//! When a change intentionally moves the numbers, regenerate the fixtures
+//! and review the diff like any other code change:
+//!
+//! ```sh
+//! BLESS=1 cargo test --test golden_experiments
+//! git diff tests/golden/
+//! ```
+
+use hbbp_bench::exp::{figures, tables, ExpOptions};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+/// Compare `actual` to the committed fixture (or rewrite it under
+/// `BLESS=1`), with a first-divergence diagnostic on mismatch.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("BLESS").is_ok_and(|v| !v.is_empty() && v != "0") {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); generate it with \
+             BLESS=1 cargo test --test golden_experiments",
+            path.display()
+        )
+    });
+    if expected == actual {
+        return;
+    }
+    let diverge = expected
+        .lines()
+        .zip(actual.lines())
+        .position(|(e, a)| e != a)
+        .unwrap_or_else(|| expected.lines().count().min(actual.lines().count()));
+    let exp_line = expected.lines().nth(diverge).unwrap_or("<eof>");
+    let act_line = actual.lines().nth(diverge).unwrap_or("<eof>");
+    panic!(
+        "{name} drifted from tests/golden/{name}.txt at line {}:\n  expected: {exp_line}\n  actual:   {act_line}\n\
+         If the change is intentional, re-bless with BLESS=1 cargo test --test golden_experiments",
+        diverge + 1
+    );
+}
+
+#[test]
+fn table1_matches_golden() {
+    assert_golden("table1_tiny", &tables::table1(&ExpOptions::default_tiny()));
+}
+
+#[test]
+fn fig2_matches_golden() {
+    assert_golden("fig2_tiny", &figures::fig2(&ExpOptions::default_tiny()));
+}
+
+#[test]
+fn mix_timeline_matches_golden() {
+    use hbbp_bench::exp::streaming;
+    assert_golden(
+        "mix_timeline_tiny",
+        &streaming::mix_timeline(&ExpOptions::default_tiny()),
+    );
+}
