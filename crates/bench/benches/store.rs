@@ -1,0 +1,212 @@
+//! The store/daemon bench: ingest throughput of `hbbpd` at 1/4/8
+//! concurrent clients (loopback TCP, wire decode + online analysis +
+//! segment-log append per client), plus store merge and aggregate-fold
+//! cost.
+//!
+//! A run writes `BENCH_store.json` to the workspace root: the timings
+//! plus the deterministic per-client stream facts (bytes, records) that
+//! turn `ns/iter` into throughput. Set `STORE_BENCH_QUICK=1` for the CI
+//! smoke mode (fewer iterations; the JSON records which mode ran).
+
+mod common;
+
+use common::{quick_mode, results_block, write_workspace_root};
+use criterion::{black_box, Criterion};
+use hbbp_core::{Analyzer, HybridRule, SamplingPeriods, Window};
+use hbbp_perf::PerfSession;
+use hbbp_program::{Bbec, ImageView};
+use hbbp_sim::Cpu;
+use hbbp_store::{DaemonConfig, DaemonHandle, ProfileStore, Snapshot, StoreIdentity};
+use hbbp_workloads::{phased_client, Scale};
+use std::path::PathBuf;
+
+const MAX_CLIENTS: u32 = 8;
+const PERIODS: SamplingPeriods = SamplingPeriods {
+    ebs: 1009,
+    lbr: 211,
+};
+
+struct Case {
+    /// Pre-encoded wire bytes per client.
+    streams: Vec<Vec<u8>>,
+    /// Records per client stream.
+    records: Vec<u64>,
+    /// Per-client batch analysis (for the merge/fold benches).
+    bbecs: Vec<Bbec>,
+    identity: StoreIdentity,
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hbbp-store-bench-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir
+}
+
+fn build_case() -> Case {
+    let mut streams = Vec::new();
+    let mut records = Vec::new();
+    let mut bbecs = Vec::new();
+    let mut identity = None;
+    let rule = HybridRule::paper_default();
+    for c in 0..MAX_CLIENTS {
+        let w = phased_client(Scale::Tiny, c);
+        let session =
+            PerfSession::hbbp(Cpu::with_seed(40 + u64::from(c)), PERIODS.ebs, PERIODS.lbr)
+                .with_pid(1000 + c);
+        let rec = session
+            .record(w.program(), w.layout(), w.oracle())
+            .expect("recording");
+        let analyzer = Analyzer::from_images(&w.images(ImageView::Disk), w.layout().symbols())
+            .expect("discovery");
+        if identity.is_none() {
+            identity = Some(StoreIdentity::of_workload(&w, analyzer.map()));
+        }
+        bbecs.push(analyzer.analyze_fused(&rec.data, PERIODS, &rule).hbbp.bbec);
+        records.push(rec.data.len() as u64);
+        streams.push(hbbp_perf::codec::write(&rec.data).to_vec());
+    }
+    Case {
+        streams,
+        records,
+        bbecs,
+        identity: identity.expect("at least one client"),
+    }
+}
+
+fn spawn_daemon(case: &Case, tag: &str) -> DaemonHandle {
+    let w = phased_client(Scale::Tiny, 0);
+    let analyzer =
+        Analyzer::from_images(&w.images(ImageView::Disk), w.layout().symbols()).expect("discovery");
+    hbbp_store::spawn(DaemonConfig {
+        analyzer,
+        identity: case.identity.clone(),
+        periods: PERIODS,
+        rule: HybridRule::paper_default(),
+        window: Some(Window::Samples(256)),
+        shards: 4,
+        dir: tmp_dir(tag),
+    })
+    .expect("daemon")
+}
+
+/// One ingest round: `n` clients stream concurrently; returns records
+/// ingested.
+fn ingest_round(handle: &DaemonHandle, case: &Case, n: u32) -> u64 {
+    let client = handle.client();
+    std::thread::scope(|scope| {
+        let joins: Vec<_> = (0..n)
+            .map(|c| {
+                let bytes = &case.streams[c as usize];
+                scope.spawn(move || {
+                    client
+                        .stream_bytes(c, bytes)
+                        .expect("stream to daemon")
+                        .records
+                })
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().expect("client")).sum()
+    })
+}
+
+fn bench_store(c: &mut Criterion, case: &Case, quick: bool) {
+    let mut group = c.benchmark_group("store");
+    group.sample_size(if quick { 5 } else { 15 });
+    for clients in [1u32, 4, 8] {
+        let handle = spawn_daemon(case, &format!("ingest{clients}"));
+        group.bench_function(&format!("ingest_{clients}_clients"), |b| {
+            b.iter(|| black_box(ingest_round(&handle, case, clients)))
+        });
+        handle.shutdown().expect("shutdown");
+    }
+    group.bench_function("merge_two_stores", |b| {
+        let dir = tmp_dir("merge");
+        let snapshot_b = Snapshot {
+            identity: Some(case.identity.clone()),
+            counts: {
+                let path = dir.join("seed-b.hbbp");
+                let mut s =
+                    ProfileStore::open_with_identity(&path, case.identity.clone()).expect("open");
+                for (i, bbec) in case.bbecs.iter().enumerate() {
+                    s.append_counts(i as u32, 1, 1, bbec.clone())
+                        .expect("append");
+                }
+                s.snapshot().counts
+            },
+            windows: vec![],
+        };
+        let mut round = 0u32;
+        b.iter(|| {
+            let path = dir.join(format!("merge-{round}.hbbp"));
+            round += 1;
+            let mut a =
+                ProfileStore::open_with_identity(&path, case.identity.clone()).expect("open");
+            a.merge_from(&snapshot_b).expect("merge");
+            let total = black_box(a.aggregate().total());
+            let _ = std::fs::remove_file(&path);
+            total
+        });
+    });
+    group.bench_function("aggregate_fold_8", |b| {
+        let snapshot = Snapshot {
+            identity: Some(case.identity.clone()),
+            counts: case
+                .bbecs
+                .iter()
+                .enumerate()
+                .map(|(i, bbec)| hbbp_store::CountsRecord {
+                    source: i as u32,
+                    seq: 0,
+                    ebs_samples: 1,
+                    lbr_samples: 1,
+                    bbec: bbec.clone(),
+                })
+                .collect(),
+            windows: vec![],
+        };
+        b.iter(|| black_box(snapshot.aggregate().total()))
+    });
+    group.finish();
+}
+
+fn emit_json(c: &Criterion, quick: bool, case: &Case) -> String {
+    let total_bytes: usize = case.streams.iter().map(Vec::len).sum();
+    let total_records: u64 = case.records.iter().sum();
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"store\",\n");
+    out.push_str("  \"suite\": \"phased_client(Tiny) x 8\",\n");
+    out.push_str(&format!("  \"quick_mode\": {quick},\n"));
+    out.push_str(&format!(
+        "  \"streams\": {{ \"clients\": {}, \"total_bytes\": {total_bytes}, \"total_records\": {total_records}, \"per_client_bytes\": [{}], \"per_client_records\": [{}] }},\n",
+        case.streams.len(),
+        case.streams
+            .iter()
+            .map(|s| s.len().to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        case.records
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
+    ));
+    out.push_str(&results_block(c));
+    out.push_str("\n}\n");
+    out
+}
+
+fn main() {
+    let quick = quick_mode("STORE_BENCH_QUICK");
+    let case = build_case();
+    let mut criterion = Criterion::default();
+    bench_store(&mut criterion, &case, quick);
+    println!(
+        "streams: {} clients, {} wire bytes, {} records",
+        case.streams.len(),
+        case.streams.iter().map(Vec::len).sum::<usize>(),
+        case.records.iter().sum::<u64>()
+    );
+    let json = emit_json(&criterion, quick, &case);
+    write_workspace_root("BENCH_store.json", &json);
+}

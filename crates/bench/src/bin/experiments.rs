@@ -1,6 +1,6 @@
 //! Regenerate every table and figure of the paper.
 
-use hbbp_bench::exp::{ablations, figures, streaming, tables, ExpOptions};
+use hbbp_bench::exp::{ablations, figures, fleet, streaming, tables, ExpOptions};
 use hbbp_core::HybridRule;
 use hbbp_workloads::Scale;
 use std::time::Instant;
@@ -8,11 +8,46 @@ use std::time::Instant;
 /// An experiment entry: subcommand name plus the function regenerating it.
 type Experiment = (&'static str, fn(&ExpOptions) -> String);
 
+/// Every experiment this binary can regenerate, in the paper's order.
+fn registry() -> Vec<Experiment> {
+    vec![
+        ("table1", tables::table1),
+        ("table2", tables::table2),
+        ("table3", tables::table3),
+        ("table4", tables::table4),
+        ("fig1", figures::fig1),
+        ("fig2", figures::fig2),
+        ("table5", tables::table5),
+        ("fig3", figures::fig3),
+        ("fig4", figures::fig4),
+        ("table6", tables::table6),
+        ("table7", tables::table7),
+        ("table8", tables::table8),
+        ("mix-timeline", streaming::mix_timeline),
+        ("fleet-aggregation", fleet::fleet_aggregation),
+        ("ablate-cutoff", ablations::ablate_cutoff),
+        ("ablate-stack", ablations::ablate_stack_depth),
+        ("ablate-periods", ablations::ablate_periods),
+        ("ablate-quirk", ablations::ablate_quirk),
+        ("ablate-kernel-patch", ablations::ablate_kernel_patch),
+    ]
+}
+
+/// Render the full experiment listing, one name per line.
+fn listing() -> String {
+    let mut out = String::from("available experiments:\n  all\n");
+    for (name, _) in registry() {
+        out.push_str("  ");
+        out.push_str(name);
+        out.push('\n');
+    }
+    out
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <cmd> [--scale tiny|small|full] [--seed N] [--rule paper|cutoff=N|always-ebs|always-lbr]\n\
-         cmds: all, table1..table8, fig1..fig4, mix-timeline,\n\
-               ablate-cutoff, ablate-stack, ablate-periods, ablate-quirk, ablate-kernel-patch"
+        "usage: experiments <cmd> [--scale tiny|small|full] [--seed N] [--rule paper|cutoff=N|always-ebs|always-lbr]\n{}",
+        listing()
     );
     std::process::exit(2);
 }
@@ -61,27 +96,7 @@ fn main() {
         i += 1;
     }
 
-    let experiments: Vec<Experiment> = vec![
-        ("table1", tables::table1),
-        ("table2", tables::table2),
-        ("table3", tables::table3),
-        ("table4", tables::table4),
-        ("fig1", figures::fig1),
-        ("fig2", figures::fig2),
-        ("table5", tables::table5),
-        ("fig3", figures::fig3),
-        ("fig4", figures::fig4),
-        ("table6", tables::table6),
-        ("table7", tables::table7),
-        ("table8", tables::table8),
-        ("mix-timeline", streaming::mix_timeline),
-        ("ablate-cutoff", ablations::ablate_cutoff),
-        ("ablate-stack", ablations::ablate_stack_depth),
-        ("ablate-periods", ablations::ablate_periods),
-        ("ablate-quirk", ablations::ablate_quirk),
-        ("ablate-kernel-patch", ablations::ablate_kernel_patch),
-    ];
-
+    let experiments = registry();
     let run = |name: &str, f: fn(&ExpOptions) -> String, opts: &ExpOptions| {
         let t0 = Instant::now();
         let output = f(opts);
@@ -98,6 +113,11 @@ fn main() {
     }
     match experiments.iter().find(|(n, _)| *n == cmd) {
         Some((name, f)) => run(name, *f, &opts),
-        None => usage(),
+        None => {
+            // An unknown experiment name gets the listing, not a bare
+            // usage error — `experiments help` style discoverability.
+            eprintln!("unknown experiment `{cmd}`\n{}", listing());
+            std::process::exit(2);
+        }
     }
 }

@@ -3,6 +3,7 @@
 
 pub mod ablations;
 pub mod figures;
+pub mod fleet;
 pub mod streaming;
 pub mod tables;
 

@@ -80,6 +80,9 @@ pub struct WindowedAnalysis {
 #[derive(Debug, Clone)]
 pub struct OnlineOutcome {
     /// The emitted windows, in order. Exactly one for an unwindowed run.
+    /// Windows drained early through
+    /// [`OnlineAnalyzer::take_closed_windows`] are not repeated here —
+    /// only the windows closed since the last drain remain.
     pub windows: Vec<WindowedAnalysis>,
     /// Whether the run used a [`Window`] policy (per-window analyses) or
     /// produced one whole-stream analysis.
@@ -144,6 +147,10 @@ pub struct OnlineAnalyzer<'a> {
     buffered_entries: usize,
     // Whole-run bookkeeping.
     windows: Vec<WindowedAnalysis>,
+    /// Windows closed over the whole run, including ones already drained
+    /// through [`OnlineAnalyzer::take_closed_windows`] — the source of the
+    /// monotonically increasing `WindowedAnalysis::index`.
+    emitted: usize,
     records_seen: u64,
     samples_seen: u64,
     peak_buffered_entries: usize,
@@ -176,6 +183,7 @@ impl<'a> OnlineAnalyzer<'a> {
             time_key: None,
             buffered_entries: 0,
             windows: Vec::new(),
+            emitted: 0,
             records_seen: 0,
             samples_seen: 0,
             peak_buffered_entries: 0,
@@ -196,9 +204,25 @@ impl<'a> OnlineAnalyzer<'a> {
         self
     }
 
-    /// Windows closed so far (the current, still-open window excluded).
+    /// Windows closed so far (the current, still-open window excluded),
+    /// including windows already drained through
+    /// [`take_closed_windows`](OnlineAnalyzer::take_closed_windows).
     pub fn windows_closed(&self) -> usize {
-        self.windows.len()
+        self.emitted
+    }
+
+    /// Drain the windows closed since the last drain — the **flush hook**
+    /// for long-running consumers (e.g. a collection daemon periodically
+    /// persisting timeline records) that must not hold every closed window
+    /// until [`finish`](OnlineAnalyzer::finish).
+    ///
+    /// Windows drained here no longer appear in
+    /// [`OnlineOutcome::windows`]; concatenating every drain with the
+    /// final outcome's windows reproduces the undrained run exactly
+    /// (indices stay monotonic across drains). The current, still-open
+    /// window is never drained.
+    pub fn take_closed_windows(&mut self) -> Vec<WindowedAnalysis> {
+        std::mem::take(&mut self.windows)
     }
 
     /// Consume one record by reference (LBR stacks are copied into the
@@ -288,7 +312,7 @@ impl<'a> OnlineAnalyzer<'a> {
             _ => (self.win_first_time.unwrap_or(0), self.win_last_time),
         };
         self.windows.push(WindowedAnalysis {
-            index: self.windows.len(),
+            index: self.emitted,
             start_cycles,
             end_cycles,
             ebs_samples: self.win_ebs,
@@ -296,6 +320,7 @@ impl<'a> OnlineAnalyzer<'a> {
             analysis,
             mix,
         });
+        self.emitted += 1;
         self.win_samples = 0;
         self.win_ebs = 0;
         self.win_lbr = 0;
@@ -604,6 +629,63 @@ mod tests {
         }
         let outcome = online.finish();
         assert_eq!(outcome.records_seen, data.len() as u64);
+    }
+
+    #[test]
+    fn draining_closed_windows_preserves_the_run() {
+        // Flush-hook invariant: drains interleaved with pushes, then the
+        // final outcome, reproduce exactly the undrained window sequence.
+        let fx = fixture();
+        let (_, s_start, ..) = fx;
+        let analyzer = &fx.0;
+        let run_undrained = || {
+            let mut online = OnlineAnalyzer::new(analyzer, periods(), HybridRule::paper_default())
+                .with_window(Window::Samples(5));
+            for i in 0..23u64 {
+                online.push_record(&ebs_at(s_start, i));
+            }
+            online.finish()
+        };
+        let full = run_undrained();
+
+        let mut online = OnlineAnalyzer::new(analyzer, periods(), HybridRule::paper_default())
+            .with_window(Window::Samples(5));
+        let mut drained = Vec::new();
+        for i in 0..23u64 {
+            online.push_record(&ebs_at(s_start, i));
+            if i % 7 == 0 {
+                drained.extend(online.take_closed_windows());
+            }
+        }
+        assert_eq!(online.windows_closed(), 4, "counter includes drained");
+        let outcome = online.finish();
+        drained.extend(outcome.windows);
+        assert_eq!(drained.len(), full.windows.len());
+        for (d, f) in drained.iter().zip(&full.windows) {
+            assert_eq!(d.index, f.index);
+            assert_eq!(d.ebs_samples, f.ebs_samples);
+            assert_eq!(
+                (d.start_cycles, d.end_cycles),
+                (f.start_cycles, f.end_cycles)
+            );
+            assert_eq!(d.analysis.hbbp.bbec, f.analysis.hbbp.bbec);
+            assert_eq!(d.mix, f.mix);
+        }
+    }
+
+    #[test]
+    fn draining_an_unwindowed_run_yields_nothing_early() {
+        let fx = fixture();
+        let (_, s_start, ..) = fx;
+        let mut online = OnlineAnalyzer::new(&fx.0, periods(), HybridRule::paper_default());
+        for i in 0..10u64 {
+            online.push_record(&ebs_at(s_start, i));
+        }
+        assert!(online.take_closed_windows().is_empty());
+        assert_eq!(online.windows_closed(), 0);
+        // The whole-stream window still closes at finish.
+        let analysis = online.finish().into_analysis().expect("unwindowed");
+        assert!(!analysis.ebs.bbec.is_empty());
     }
 
     #[test]

@@ -115,6 +115,98 @@ pub fn read(mut bytes: &[u8]) -> Result<PerfData, ReadError> {
     Ok(data)
 }
 
+/// Incremental encoder of the perf stream format onto any
+/// [`std::io::Write`] — the write-side twin of [`crate::StreamDecoder`].
+///
+/// [`codec::write`](write) needs the whole [`PerfData`] in memory;
+/// `StreamEncoder` emits the identical bytes one record at a time, so a
+/// collection session can stream straight onto a socket or a file that a
+/// decoder tails concurrently. Byte-identity with the batch writer is
+/// pinned by this module's tests.
+///
+/// As a [`crate::RecordSink`] it can terminate
+/// [`crate::PerfSession::record_streaming`] directly; I/O errors raised
+/// inside the sink callback are sticky and surface at
+/// [`finish`](StreamEncoder::finish) (further records are dropped once an
+/// error is recorded).
+#[derive(Debug)]
+pub struct StreamEncoder<W: std::io::Write> {
+    writer: W,
+    error: Option<std::io::Error>,
+    records: u64,
+}
+
+impl<W: std::io::Write> StreamEncoder<W> {
+    /// Start a stream: writes the magic + version header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the header write failure.
+    pub fn new(mut writer: W) -> std::io::Result<StreamEncoder<W>> {
+        writer.write_all(MAGIC)?;
+        writer.write_all(&VERSION.to_le_bytes())?;
+        Ok(StreamEncoder {
+            writer,
+            error: None,
+            records: 0,
+        })
+    }
+
+    /// Encode one record frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying write failure; the same error is also
+    /// kept sticky for [`finish`](StreamEncoder::finish).
+    pub fn write_record(&mut self, record: &PerfRecord) -> std::io::Result<()> {
+        if let Some(e) = &self.error {
+            return Err(std::io::Error::new(e.kind(), e.to_string()));
+        }
+        let payload = encode_payload(record);
+        let frame = |w: &mut W| -> std::io::Result<()> {
+            w.write_all(&[record_type(record)])?;
+            w.write_all(&(payload.len() as u32).to_le_bytes())?;
+            w.write_all(&payload)
+        };
+        match frame(&mut self.writer) {
+            Ok(()) => {
+                self.records += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.error = Some(std::io::Error::new(e.kind(), e.to_string()));
+                Err(e)
+            }
+        }
+    }
+
+    /// Records successfully encoded so far.
+    pub fn records_written(&self) -> u64 {
+        self.records
+    }
+
+    /// End the stream: flush and hand the writer back, or report the
+    /// first error swallowed by the [`crate::RecordSink`] path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the sticky error from a failed [`crate::RecordSink`]
+    /// delivery, or the flush failure.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: std::io::Write> crate::RecordSink for StreamEncoder<W> {
+    fn record(&mut self, record: PerfRecord) {
+        let _ = self.write_record(&record);
+    }
+}
+
 fn record_type(record: &PerfRecord) -> u8 {
     match record {
         PerfRecord::Comm { .. } => T_COMM,
@@ -378,6 +470,49 @@ mod tests {
     fn bad_magic_rejected() {
         assert_eq!(read(b"NOTPERF!"), Err(ReadError::BadMagic));
         assert_eq!(read(b""), Err(ReadError::BadMagic));
+    }
+
+    #[test]
+    fn stream_encoder_is_byte_identical_to_batch_writer() {
+        let data = sample_data();
+        let mut enc = StreamEncoder::new(Vec::new()).expect("header");
+        for record in data.records() {
+            enc.write_record(record).expect("frame");
+        }
+        assert_eq!(enc.records_written(), data.len() as u64);
+        let bytes = enc.finish().expect("finish");
+        assert_eq!(bytes, write(&data).to_vec());
+    }
+
+    #[test]
+    fn stream_encoder_sink_errors_are_sticky_and_surface_at_finish() {
+        /// Writer that accepts the header, then fails every write.
+        #[derive(Debug)]
+        struct Failing {
+            budget: usize,
+        }
+        impl std::io::Write for Failing {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if self.budget >= buf.len() {
+                    self.budget -= buf.len();
+                    Ok(buf.len())
+                } else {
+                    Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "down"))
+                }
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut enc = StreamEncoder::new(Failing { budget: HEADER_LEN }).expect("header fits");
+        {
+            let sink: &mut dyn crate::RecordSink = &mut enc;
+            sink.record(PerfRecord::Lost { count: 1 });
+            sink.record(PerfRecord::Lost { count: 2 });
+        }
+        assert_eq!(enc.records_written(), 0);
+        let err = enc.finish().expect_err("sticky error");
+        assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
     }
 
     #[test]

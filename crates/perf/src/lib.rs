@@ -21,8 +21,8 @@ mod record;
 mod session;
 mod stream;
 
-pub use codec::ReadError;
+pub use codec::{ReadError, StreamEncoder};
 pub use data::PerfData;
 pub use record::{PerfRecord, PerfSample};
-pub use session::{PerfSession, RecordSink, Recording};
+pub use session::{PerfSession, RecordError, RecordSink, Recording};
 pub use stream::{StreamDecoder, StreamStats};

@@ -7,9 +7,44 @@
 //! be run only once, the performance impact of the collection remains low,
 //! and the output file contains the required two types of data."
 
+use crate::codec::StreamEncoder;
 use crate::{PerfData, PerfRecord, PerfSample};
 use hbbp_program::{ExecutionOracle, Layout, Program};
 use hbbp_sim::{Cpu, PmuConfig, PmuError, RunResult};
+use std::fmt;
+
+/// Errors from a collection session that encodes onto a writer
+/// ([`PerfSession::record_to_sink`]).
+#[derive(Debug)]
+pub enum RecordError {
+    /// The PMU programming was invalid.
+    Pmu(PmuError),
+    /// Encoding onto the writer failed (e.g. the peer closed a socket).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordError::Pmu(e) => write!(f, "PMU programming error: {e}"),
+            RecordError::Io(e) => write!(f, "perf stream write failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+impl From<PmuError> for RecordError {
+    fn from(e: PmuError) -> RecordError {
+        RecordError::Pmu(e)
+    }
+}
+
+impl From<std::io::Error> for RecordError {
+    fn from(e: std::io::Error) -> RecordError {
+        RecordError::Io(e)
+    }
+}
 
 /// A configured collection session.
 #[derive(Debug, Clone)]
@@ -157,6 +192,32 @@ impl PerfSession {
         });
         Ok(run)
     }
+
+    /// Run the workload once, encoding the record stream onto `writer` in
+    /// the binary perf format as it is produced — the wire-facing
+    /// collection path: hand it a `TcpStream` and the recording streams
+    /// to a collection daemon without ever materializing in memory.
+    ///
+    /// The bytes written are identical to
+    /// `codec::write(&self.record(..)?.data)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecordError::Pmu`] for invalid PMU programming and
+    /// [`RecordError::Io`] when any write (header, frame, or final flush)
+    /// fails.
+    pub fn record_to_sink<O: ExecutionOracle, W: std::io::Write>(
+        &self,
+        program: &Program,
+        layout: &Layout,
+        oracle: O,
+        writer: W,
+    ) -> Result<(RunResult, W), RecordError> {
+        let mut encoder = StreamEncoder::new(writer)?;
+        let run = self.record_streaming(program, layout, oracle, &mut encoder)?;
+        let writer = encoder.finish()?;
+        Ok((run, writer))
+    }
 }
 
 #[cfg(test)]
@@ -270,6 +331,20 @@ mod tests {
         let oracle = TripCountOracle::new(1).with_trips(head, 10_000);
         let rec = session.record(&p, &layout, oracle).unwrap();
         assert!(rec.data.samples().all(|s| s.tid == 77 && s.pid == 4242));
+    }
+
+    #[test]
+    fn record_to_sink_writes_the_batch_encoding() {
+        let (p, layout, head) = loop_program();
+        let session = PerfSession::hbbp(Cpu::with_seed(6), 1009, 211);
+        let oracle = TripCountOracle::new(1).with_trips(head, 20_000);
+        let rec = session.record(&p, &layout, oracle.clone()).unwrap();
+        let (run, bytes) = session
+            .record_to_sink(&p, &layout, oracle, Vec::new())
+            .unwrap();
+        assert_eq!(run.cycles, rec.run.cycles);
+        assert_eq!(bytes, crate::codec::write(&rec.data).to_vec());
+        assert_eq!(crate::codec::read(&bytes).unwrap(), rec.data);
     }
 
     #[test]

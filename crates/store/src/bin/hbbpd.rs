@@ -1,0 +1,98 @@
+//! The `hbbpd` collection daemon binary.
+//!
+//! Serves the store/daemon stack for one workload's address space:
+//! clients stream perf recordings of that workload over loopback TCP and
+//! query the aggregate mix back. The simulated-world equivalent of
+//! running a fleet profile collector.
+
+use hbbp_core::{Analyzer, HybridRule, SamplingPeriods, Window};
+use hbbp_program::ImageView;
+use hbbp_store::{DaemonConfig, StoreIdentity};
+use hbbp_workloads::{phased, test40, Scale, Workload};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hbbpd [--workload phased|test40] [--scale tiny|small|full]\n\
+         \x20            [--shards N] [--dir PATH] [--window-samples N]\n\
+         \x20            [--ebs-period N] [--lbr-period N]\n\
+         Serves on a loopback ephemeral port (printed on stdout). Stop it\n\
+         with an OP_SHUTDOWN message (StoreClient::shutdown)."
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workload_name = "phased".to_owned();
+    let mut scale = Scale::Tiny;
+    let mut shards = 4usize;
+    let mut dir = PathBuf::from("hbbpd-store");
+    let mut window_samples = Some(512u64);
+    let mut periods = SamplingPeriods {
+        ebs: 1009,
+        lbr: 211,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--workload" => workload_name = value(&mut i),
+            "--scale" => {
+                scale = match value(&mut i).as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    _ => usage(),
+                }
+            }
+            "--shards" => shards = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--dir" => dir = PathBuf::from(value(&mut i)),
+            "--window-samples" => {
+                let n: u64 = value(&mut i).parse().unwrap_or_else(|_| usage());
+                window_samples = (n > 0).then_some(n);
+            }
+            "--ebs-period" => periods.ebs = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--lbr-period" => periods.lbr = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let workload: Workload = match workload_name.as_str() {
+        "phased" => phased(scale),
+        "test40" => test40(scale),
+        _ => usage(),
+    };
+    let analyzer = Analyzer::from_images(
+        &workload.images(ImageView::Disk),
+        workload.layout().symbols(),
+    )
+    .expect("static discovery");
+    let identity = StoreIdentity::of_workload(&workload, analyzer.map());
+    let handle = hbbp_store::spawn(DaemonConfig {
+        analyzer,
+        identity,
+        periods,
+        rule: HybridRule::paper_default(),
+        window: window_samples.map(Window::Samples),
+        shards,
+        dir,
+    })
+    .expect("daemon spawn");
+    println!("hbbpd listening on {}", handle.addr());
+    println!(
+        "workload={} scale={:?} shards={} periods=ebs:{}/lbr:{}",
+        workload.name(),
+        scale,
+        shards,
+        periods.ebs,
+        periods.lbr
+    );
+    // Serve until a client sends OP_SHUTDOWN.
+    handle.wait();
+    println!("hbbpd stopped");
+}

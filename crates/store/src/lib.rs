@@ -1,0 +1,86 @@
+//! # hbbp-store — persistent mergeable profile store + collection daemon
+//!
+//! HBBP profiles become fleet-scale infrastructure only once they outlive
+//! a single process: production profile-guided systems aggregate hardware
+//! profiles from many runs and machines before acting on them. This crate
+//! adds the two missing layers:
+//!
+//! * **[`ProfileStore`]** — an append-only, CRC-framed segment log on
+//!   disk holding per-recording execution counts ([`CountsRecord`],
+//!   varint/delta-encoded, `f64` bits preserved exactly) and per-window
+//!   instruction-mix timeline records ([`WindowRecord`]), keyed by a
+//!   program/module [`StoreIdentity`]. A torn write or bit flip is caught
+//!   by the frame checksums and truncated away on
+//!   [`open`](ProfileStore::open); merge
+//!   ([`merge_from`](ProfileStore::merge_from)) is lossless, and the
+//!   aggregate profile is a canonical `(source, seq)`-ordered fold that
+//!   is **bit-identical** to folding per-recording batch analyses;
+//! * **`hbbpd`** (the [`daemon`] module and the binary of the same name)
+//!   — a thread-per-connection TCP daemon over sharded
+//!   `Mutex<ProfileStore>` partitions. Collectors stream perf records in
+//!   the `hbbp-perf` wire codec ([`StoreClient::stream_session`] collects
+//!   straight onto the socket); each connection is analyzed online
+//!   ([`hbbp_core::OnlineAnalyzer`]) with closed windows flushed into the
+//!   store mid-stream, and mix/top-K queries answer from the canonical
+//!   aggregate.
+//!
+//! ## Quickstart: a store on disk, written, merged, recovered
+//!
+//! ```
+//! use hbbp_program::Bbec;
+//! use hbbp_store::{ModuleSpan, ProfileStore, StoreIdentity};
+//! use hbbp_program::Ring;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let dir = std::env::temp_dir().join(format!("hbbp-store-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir)?;
+//! let path = dir.join("quickstart.hbbp");
+//! # let _ = std::fs::remove_file(&path);
+//!
+//! let identity = StoreIdentity {
+//!     program: "phased".into(),
+//!     block_count: 2,
+//!     modules: vec![ModuleSpan {
+//!         name: "phased.bin".into(),
+//!         base: 0x400000,
+//!         len: 0x1000,
+//!         ring: Ring::User,
+//!     }],
+//! };
+//!
+//! // Two recordings of the same binary append their analyzed counts.
+//! let mut store = ProfileStore::open_with_identity(&path, identity)?;
+//! let run1: Bbec = [(0x400000u64, 1000.0), (0x400040u64, 10.0)].into_iter().collect();
+//! let run2: Bbec = [(0x400000u64, 500.0)].into_iter().collect();
+//! store.append_counts(1, 120, 80, run1)?;
+//! store.append_counts(2, 60, 40, run2)?;
+//!
+//! // The aggregate is the canonical (source, seq)-ordered fold.
+//! assert_eq!(store.aggregate().get(0x400000), 1500.0);
+//!
+//! // Reopening replays the log; a torn tail would be truncated here.
+//! drop(store);
+//! let store = ProfileStore::open(&path)?;
+//! assert_eq!(store.counts().len(), 2);
+//! assert_eq!(store.aggregate().get(0x400040), 10.0);
+//! # std::fs::remove_file(&path)?;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The on-disk format is documented on the frame codec (see the
+//! repository README's architecture section for the diagram), the wire
+//! protocol in [`wire`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod daemon;
+mod frame;
+mod store;
+pub mod wire;
+
+pub use daemon::{spawn, DaemonConfig, DaemonHandle};
+pub use frame::{CountsRecord, Frame, ModuleSpan, StoreIdentity, WindowRecord};
+pub use store::{OpenReport, ProfileStore, Snapshot, StoreError, COMPACTED_SOURCE};
+pub use wire::{DaemonStats, IngestReply, StoreClient, WireError};

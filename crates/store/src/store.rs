@@ -1,0 +1,711 @@
+//! The persistent profile store: an append-only, CRC-framed segment log.
+//!
+//! A [`ProfileStore`] is one file holding one program's profiles: an
+//! identity header, any number of per-recording [`CountsRecord`] frames
+//! and per-window [`WindowRecord`] timeline frames. Appends go straight
+//! to the end of the file; nothing is ever rewritten in place, so a crash
+//! can only damage the **tail**, and [`ProfileStore::open`] recovers by
+//! truncating at the first frame that fails its checksum or ends early —
+//! the file-layer version of the perf stream decoder's resilience.
+//!
+//! ## Merge semantics (what "lossless" means here)
+//!
+//! The aggregate profile of a store is a **deterministic fold**: counts
+//! records sorted by `(source, seq)`, merged left to right with
+//! [`Bbec::merge`]. Merging two stores appends the other store's frames,
+//! so no information is destroyed, and because each frame carries the
+//! exact `f64` bits of one recording's analysis, the merged aggregate is
+//! **bit-identical** to folding the per-recording batch analyses
+//! (`Analyzer::analyze_fused`) in the same canonical order — the property
+//! pinned by `crates/store/tests/fleet.rs`. [`ProfileStore::compact`]
+//! replaces the counts frames with their fold, which preserves the
+//! aggregate bitwise while shrinking the log.
+
+use crate::frame::{
+    encode_frame, read_frame, CountsRecord, Frame, FrameOutcome, ModuleSpan, StoreIdentity,
+    WindowRecord, HEADER_LEN, MAGIC, VERSION,
+};
+use hbbp_program::{Bbec, BlockMap};
+use hbbp_workloads::Workload;
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Source id used for the fold frame written by
+/// [`ProfileStore::compact`]. `u32::MAX` sorts after every live source,
+/// so post-compaction appends keep a deterministic fold order.
+pub const COMPACTED_SOURCE: u32 = u32::MAX;
+
+/// Errors opening or writing a profile store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// File I/O failed.
+    Io(std::io::Error),
+    /// The file exists but does not start with the store magic.
+    NotAStore,
+    /// The file is a store of an unsupported format version.
+    BadVersion(u32),
+    /// An append or merge was attempted before an identity was set.
+    MissingIdentity,
+    /// Two different program identities met (append to a foreign store,
+    /// or a merge across programs).
+    IdentityMismatch,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::NotAStore => write!(f, "not a profile store (bad magic)"),
+            StoreError::BadVersion(v) => write!(f, "unsupported store version {v}"),
+            StoreError::MissingIdentity => write!(f, "store has no program identity yet"),
+            StoreError::IdentityMismatch => write!(f, "program identities differ"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+/// What [`ProfileStore::open`] found and did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpenReport {
+    /// Frames recovered (all types, including skipped unknown ones).
+    pub frames: usize,
+    /// Bytes cut off the tail (torn write / corruption); 0 for a clean
+    /// open.
+    pub truncated_bytes: u64,
+    /// Whether the file existed before this open.
+    pub existed: bool,
+}
+
+/// An immutable, in-memory view of a store's contents — what queries,
+/// merges and differential tests consume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// The store's program identity, if one was ever written.
+    pub identity: Option<StoreIdentity>,
+    /// Every counts frame, in log order.
+    pub counts: Vec<CountsRecord>,
+    /// Every window timeline frame, in log order.
+    pub windows: Vec<WindowRecord>,
+}
+
+impl Snapshot {
+    /// The canonical aggregate: counts records sorted by `(source, seq)`,
+    /// folded left to right with [`Bbec::merge`]. Deterministic for any
+    /// arrival interleaving of the same recordings.
+    pub fn aggregate(&self) -> Bbec {
+        let mut order: Vec<&CountsRecord> = self.counts.iter().collect();
+        order.sort_by_key(|r| (r.source, r.seq));
+        let mut acc = Bbec::new();
+        for rec in order {
+            acc.merge(&rec.bbec);
+        }
+        acc
+    }
+
+    /// Total `(ebs, lbr)` samples over all counts records.
+    pub fn total_samples(&self) -> (u64, u64) {
+        self.counts
+            .iter()
+            .fold((0, 0), |(e, l), r| (e + r.ebs_samples, l + r.lbr_samples))
+    }
+
+    /// Distinct source ids across counts records.
+    pub fn sources(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.counts.iter().map(|r| r.source).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// An open, append-only profile store file. See the module docs for the
+/// format and the merge semantics.
+#[derive(Debug)]
+pub struct ProfileStore {
+    path: PathBuf,
+    file: File,
+    /// Byte length of the valid log (appends start here).
+    len: u64,
+    identity: Option<StoreIdentity>,
+    counts: Vec<CountsRecord>,
+    windows: Vec<WindowRecord>,
+    next_seq: HashMap<u32, u32>,
+    report: OpenReport,
+}
+
+impl ProfileStore {
+    /// Open (or create) the store at `path`, recovering from a torn tail:
+    /// the log is replayed frame by frame and truncated at the first
+    /// frame whose checksum fails or that ends mid-frame. Every complete,
+    /// checksum-valid frame before that point survives.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a file that is not a store, or an unsupported
+    /// version. Corruption is **not** an error — it is truncated away and
+    /// reported in [`ProfileStore::open_report`].
+    pub fn open(path: impl AsRef<Path>) -> Result<ProfileStore, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let existed = !bytes.is_empty();
+
+        let mut store = ProfileStore {
+            path,
+            file,
+            len: 0,
+            identity: None,
+            counts: Vec::new(),
+            windows: Vec::new(),
+            next_seq: HashMap::new(),
+            report: OpenReport {
+                frames: 0,
+                truncated_bytes: 0,
+                existed,
+            },
+        };
+
+        if !existed {
+            store.file.write_all(MAGIC)?;
+            store.file.write_all(&VERSION.to_le_bytes())?;
+            store.file.flush()?;
+            store.len = HEADER_LEN as u64;
+            return Ok(store);
+        }
+
+        // Header: a short file that is a prefix of a valid header is a
+        // torn header write — restart the file; anything else is foreign.
+        if bytes.len() < HEADER_LEN {
+            let n = bytes.len().min(MAGIC.len());
+            if bytes[..n] != MAGIC[..n] {
+                return Err(StoreError::NotAStore);
+            }
+            store.report.truncated_bytes = bytes.len() as u64;
+            store.file.set_len(0)?;
+            store.file.seek(SeekFrom::Start(0))?;
+            store.file.write_all(MAGIC)?;
+            store.file.write_all(&VERSION.to_le_bytes())?;
+            store.file.flush()?;
+            store.len = HEADER_LEN as u64;
+            return Ok(store);
+        }
+        if &bytes[..MAGIC.len()] != MAGIC {
+            return Err(StoreError::NotAStore);
+        }
+        let version = u32::from_le_bytes(
+            bytes[MAGIC.len()..HEADER_LEN]
+                .try_into()
+                .expect("4 version bytes"),
+        );
+        if version != VERSION {
+            return Err(StoreError::BadVersion(version));
+        }
+
+        // Replay frames; stop (and truncate) at the first bad one.
+        let mut pos = HEADER_LEN;
+        while pos < bytes.len() {
+            match read_frame(&bytes[pos..]) {
+                FrameOutcome::Frame { frame, consumed } => {
+                    if let Some(frame) = frame {
+                        if store.apply(frame).is_err() {
+                            // An identity conflict mid-log is corruption in
+                            // the same sense as a failed checksum: keep the
+                            // consistent prefix.
+                            break;
+                        }
+                    }
+                    store.report.frames += 1;
+                    pos += consumed;
+                }
+                FrameOutcome::Incomplete | FrameOutcome::Corrupt => break,
+            }
+        }
+        store.report.truncated_bytes = (bytes.len() - pos) as u64;
+        store.len = pos as u64;
+        store.file.set_len(store.len)?;
+        store.file.seek(SeekFrom::Start(store.len))?;
+        Ok(store)
+    }
+
+    /// [`ProfileStore::open`], then set or verify the program identity:
+    /// a fresh store adopts `identity`; an existing one must match it.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ProfileStore::open`] returns, plus
+    /// [`StoreError::IdentityMismatch`] when the file already belongs to
+    /// a different program.
+    pub fn open_with_identity(
+        path: impl AsRef<Path>,
+        identity: StoreIdentity,
+    ) -> Result<ProfileStore, StoreError> {
+        let mut store = ProfileStore::open(path)?;
+        match &store.identity {
+            Some(existing) if *existing == identity => {}
+            Some(_) => return Err(StoreError::IdentityMismatch),
+            None => store.set_identity(identity)?,
+        }
+        Ok(store)
+    }
+
+    /// Apply a replayed frame to the in-memory mirror.
+    fn apply(&mut self, frame: Frame) -> Result<(), StoreError> {
+        match frame {
+            Frame::Identity(id) => match &self.identity {
+                Some(existing) if *existing != id => return Err(StoreError::IdentityMismatch),
+                _ => self.identity = Some(id),
+            },
+            Frame::Counts(rec) => {
+                let next = self.next_seq.entry(rec.source).or_insert(0);
+                *next = (*next).max(rec.seq + 1);
+                self.counts.push(rec);
+            }
+            Frame::Window(rec) => self.windows.push(rec),
+        }
+        Ok(())
+    }
+
+    /// Append one frame to the log. The frame is handed to the OS before
+    /// returning, but **not fsynced** — a host crash can lose recently
+    /// appended frames (they reappear as a clean or torn tail that
+    /// [`ProfileStore::open`] recovers from; per-frame `sync_all` would
+    /// dominate ingest cost). [`ProfileStore::compact`] is the fsync
+    /// point.
+    fn append_frame(&mut self, frame: &Frame) -> Result<(), StoreError> {
+        let bytes = encode_frame(frame);
+        self.file.write_all(&bytes)?;
+        self.file.flush()?;
+        self.len += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// The file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Byte length of the valid log.
+    pub fn file_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// What [`ProfileStore::open`] found and did.
+    pub fn open_report(&self) -> &OpenReport {
+        &self.report
+    }
+
+    /// The program identity, if one was written.
+    pub fn identity(&self) -> Option<&StoreIdentity> {
+        self.identity.as_ref()
+    }
+
+    /// Write the identity header. Only valid once per store.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::IdentityMismatch`] if a different identity is
+    /// already set; I/O errors from the append.
+    pub fn set_identity(&mut self, identity: StoreIdentity) -> Result<(), StoreError> {
+        match &self.identity {
+            Some(existing) if *existing == identity => Ok(()),
+            Some(_) => Err(StoreError::IdentityMismatch),
+            None => {
+                self.append_frame(&Frame::Identity(identity.clone()))?;
+                self.identity = Some(identity);
+                Ok(())
+            }
+        }
+    }
+
+    /// Append one recording's counts, assigning the next sequence number
+    /// for `source`. Returns the assigned `seq`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::MissingIdentity`] before an identity is set; I/O
+    /// errors from the append.
+    pub fn append_counts(
+        &mut self,
+        source: u32,
+        ebs_samples: u64,
+        lbr_samples: u64,
+        bbec: Bbec,
+    ) -> Result<u32, StoreError> {
+        if self.identity.is_none() {
+            return Err(StoreError::MissingIdentity);
+        }
+        let next = self.next_seq.entry(source).or_insert(0);
+        let seq = *next;
+        *next += 1;
+        let rec = CountsRecord {
+            source,
+            seq,
+            ebs_samples,
+            lbr_samples,
+            bbec,
+        };
+        self.append_frame(&Frame::Counts(rec.clone()))?;
+        self.counts.push(rec);
+        Ok(seq)
+    }
+
+    /// Append one window timeline record.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::MissingIdentity`] before an identity is set; I/O
+    /// errors from the append.
+    pub fn append_window(&mut self, record: WindowRecord) -> Result<(), StoreError> {
+        if self.identity.is_none() {
+            return Err(StoreError::MissingIdentity);
+        }
+        self.append_frame(&Frame::Window(record.clone()))?;
+        self.windows.push(record);
+        Ok(())
+    }
+
+    /// Counts frames in log order.
+    pub fn counts(&self) -> &[CountsRecord] {
+        &self.counts
+    }
+
+    /// Window timeline frames in log order.
+    pub fn windows(&self) -> &[WindowRecord] {
+        &self.windows
+    }
+
+    /// An immutable view of the current contents.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            identity: self.identity.clone(),
+            counts: self.counts.clone(),
+            windows: self.windows.clone(),
+        }
+    }
+
+    /// The canonical aggregate profile (see [`Snapshot::aggregate`]).
+    pub fn aggregate(&self) -> Bbec {
+        self.snapshot().aggregate()
+    }
+
+    /// Merge another store's contents into this one — lossless: every
+    /// counts and window frame of `other` is appended (counts are
+    /// re-sequenced per source so per-source order is preserved without
+    /// colliding with frames already present).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::IdentityMismatch`] when the identities differ (or
+    /// [`StoreError::MissingIdentity`] when either side has none); I/O
+    /// errors from the appends.
+    pub fn merge_from(&mut self, other: &Snapshot) -> Result<(), StoreError> {
+        let (Some(mine), Some(theirs)) = (&self.identity, &other.identity) else {
+            return Err(StoreError::MissingIdentity);
+        };
+        if mine != theirs {
+            return Err(StoreError::IdentityMismatch);
+        }
+        let mut in_order: Vec<&CountsRecord> = other.counts.iter().collect();
+        in_order.sort_by_key(|r| (r.source, r.seq));
+        for rec in in_order {
+            self.append_counts(
+                rec.source,
+                rec.ebs_samples,
+                rec.lbr_samples,
+                rec.bbec.clone(),
+            )?;
+        }
+        for w in &other.windows {
+            self.append_window(w.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Rewrite the log as identity + one folded counts frame + the window
+    /// timeline, atomically (temp file + rename). The aggregate is
+    /// preserved **bit-exactly** — the fold frame is the canonical
+    /// aggregate itself, written under [`COMPACTED_SOURCE`] — but
+    /// per-recording provenance of the folded frames is given up.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::MissingIdentity`] on an identity-less store; I/O
+    /// errors from writing or renaming the temp file.
+    pub fn compact(&mut self) -> Result<(), StoreError> {
+        let Some(identity) = self.identity.clone() else {
+            return Err(StoreError::MissingIdentity);
+        };
+        let snapshot = self.snapshot();
+        let (ebs, lbr) = snapshot.total_samples();
+        let folded = CountsRecord {
+            source: COMPACTED_SOURCE,
+            seq: self.next_seq.get(&COMPACTED_SOURCE).copied().unwrap_or(0),
+            ebs_samples: ebs,
+            lbr_samples: lbr,
+            bbec: snapshot.aggregate(),
+        };
+
+        let tmp_path = self.path.with_extension("tmp");
+        let mut tmp = File::create(&tmp_path)?;
+        tmp.write_all(MAGIC)?;
+        tmp.write_all(&VERSION.to_le_bytes())?;
+        let mut len = HEADER_LEN as u64;
+        let write = |file: &mut File, frame: &Frame| -> Result<u64, StoreError> {
+            let bytes = encode_frame(frame);
+            file.write_all(&bytes)?;
+            Ok(bytes.len() as u64)
+        };
+        len += write(&mut tmp, &Frame::Identity(identity))?;
+        len += write(&mut tmp, &Frame::Counts(folded.clone()))?;
+        for w in &self.windows {
+            len += write(&mut tmp, &Frame::Window(w.clone()))?;
+        }
+        tmp.sync_all()?;
+        drop(tmp);
+        std::fs::rename(&tmp_path, &self.path)?;
+
+        self.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        self.file.seek(SeekFrom::End(0))?;
+        self.len = len;
+        self.counts = vec![folded];
+        self.next_seq = HashMap::from([(COMPACTED_SOURCE, 1)]);
+        Ok(())
+    }
+}
+
+impl StoreIdentity {
+    /// The identity of a workload's address space: program name, block
+    /// count of `map`, and every module's load span.
+    pub fn of_workload(workload: &Workload, map: &BlockMap) -> StoreIdentity {
+        StoreIdentity {
+            program: workload.program().name().to_owned(),
+            block_count: map.len() as u32,
+            modules: workload
+                .program()
+                .modules()
+                .iter()
+                .map(|m| {
+                    let (base, end) = workload.layout().module_range(m.id());
+                    ModuleSpan {
+                        name: m.name().to_owned(),
+                        base,
+                        len: end - base,
+                        ring: m.ring(),
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbbp_program::Ring;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hbbp-store-unit-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn identity() -> StoreIdentity {
+        StoreIdentity {
+            program: "p".into(),
+            block_count: 3,
+            modules: vec![ModuleSpan {
+                name: "p.bin".into(),
+                base: 0x400000,
+                len: 0x1000,
+                ring: Ring::User,
+            }],
+        }
+    }
+
+    fn bbec(entries: &[(u64, f64)]) -> Bbec {
+        entries.iter().copied().collect()
+    }
+
+    #[test]
+    fn append_reopen_roundtrip() {
+        let path = tmp("roundtrip.hbbp");
+        {
+            let mut s = ProfileStore::open_with_identity(&path, identity()).unwrap();
+            assert!(!s.open_report().existed);
+            let seq0 = s
+                .append_counts(1, 10, 5, bbec(&[(0x400000, 2.5), (0x400010, 1.0)]))
+                .unwrap();
+            let seq1 = s.append_counts(1, 4, 2, bbec(&[(0x400000, 0.5)])).unwrap();
+            assert_eq!((seq0, seq1), (0, 1));
+            s.append_window(WindowRecord {
+                source: 1,
+                index: 0,
+                start_cycles: 0,
+                end_cycles: 100,
+                ebs_samples: 10,
+                lbr_samples: 5,
+                mix: MnemonicMix::new(),
+            })
+            .unwrap();
+        }
+        let s = ProfileStore::open(&path).unwrap();
+        assert!(s.open_report().existed);
+        assert_eq!(s.open_report().truncated_bytes, 0);
+        assert_eq!(s.identity(), Some(&identity()));
+        assert_eq!(s.counts().len(), 2);
+        assert_eq!(s.windows().len(), 1);
+        assert_eq!(s.aggregate().get(0x400000), 3.0);
+        assert_eq!(s.snapshot().total_samples(), (14, 7));
+    }
+
+    use hbbp_program::MnemonicMix;
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_continue() {
+        let path = tmp("torn.hbbp");
+        {
+            let mut s = ProfileStore::open_with_identity(&path, identity()).unwrap();
+            s.append_counts(1, 1, 1, bbec(&[(0x400000, 1.0)])).unwrap();
+            s.append_counts(2, 1, 1, bbec(&[(0x400010, 2.0)])).unwrap();
+        }
+        // Simulate a torn write: chop bytes off the tail.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 7]).unwrap();
+        let mut s = ProfileStore::open(&path).unwrap();
+        assert!(s.open_report().truncated_bytes > 0);
+        assert_eq!(s.counts().len(), 1, "only the intact frame survives");
+        // The log is consistent again: appends work and a further reopen
+        // is clean.
+        s.append_counts(2, 1, 1, bbec(&[(0x400010, 4.0)])).unwrap();
+        drop(s);
+        let s = ProfileStore::open(&path).unwrap();
+        assert_eq!(s.open_report().truncated_bytes, 0);
+        assert_eq!(s.counts().len(), 2);
+        assert_eq!(s.aggregate().get(0x400010), 4.0);
+    }
+
+    #[test]
+    fn aggregate_fold_is_arrival_order_independent() {
+        let a = CountsRecord {
+            source: 1,
+            seq: 0,
+            ebs_samples: 0,
+            lbr_samples: 0,
+            bbec: bbec(&[(0x400000, 0.1), (0x400010, 7.0)]),
+        };
+        let b = CountsRecord {
+            source: 2,
+            seq: 0,
+            ebs_samples: 0,
+            lbr_samples: 0,
+            bbec: bbec(&[(0x400000, 0.2)]),
+        };
+        let snap = |counts: Vec<CountsRecord>| Snapshot {
+            identity: None,
+            counts,
+            windows: vec![],
+        };
+        let ab = snap(vec![a.clone(), b.clone()]).aggregate();
+        let ba = snap(vec![b, a]).aggregate();
+        assert_eq!(ab, ba);
+        // Bitwise, not just approximately.
+        assert_eq!(ab.get(0x400000).to_bits(), ba.get(0x400000).to_bits());
+    }
+
+    #[test]
+    fn merge_is_lossless_and_identity_checked() {
+        let pa = tmp("merge-a.hbbp");
+        let pb = tmp("merge-b.hbbp");
+        let mut a = ProfileStore::open_with_identity(&pa, identity()).unwrap();
+        let mut b = ProfileStore::open_with_identity(&pb, identity()).unwrap();
+        a.append_counts(1, 1, 0, bbec(&[(0x400000, 1.0)])).unwrap();
+        b.append_counts(2, 2, 0, bbec(&[(0x400000, 2.0)])).unwrap();
+        b.append_counts(2, 3, 0, bbec(&[(0x400020, 8.0)])).unwrap();
+        a.merge_from(&b.snapshot()).unwrap();
+        assert_eq!(a.counts().len(), 3);
+        assert_eq!(a.aggregate().get(0x400000), 3.0);
+        assert_eq!(a.snapshot().sources(), vec![1, 2]);
+
+        let mut other = identity();
+        other.program = "q".into();
+        let pc = tmp("merge-c.hbbp");
+        let c = ProfileStore::open_with_identity(&pc, other).unwrap();
+        assert!(matches!(
+            a.merge_from(&c.snapshot()),
+            Err(StoreError::IdentityMismatch)
+        ));
+    }
+
+    #[test]
+    fn compact_preserves_aggregate_bitwise_and_shrinks() {
+        let path = tmp("compact.hbbp");
+        let mut s = ProfileStore::open_with_identity(&path, identity()).unwrap();
+        for i in 0..20u32 {
+            s.append_counts(
+                i % 3,
+                1,
+                1,
+                bbec(&[(0x400000 + u64::from(i) * 16, 1.0 / f64::from(i + 3))]),
+            )
+            .unwrap();
+        }
+        let before = s.aggregate();
+        let bytes_before = s.file_bytes();
+        s.compact().unwrap();
+        assert_eq!(s.counts().len(), 1);
+        assert_eq!(s.counts()[0].source, COMPACTED_SOURCE);
+        assert!(s.file_bytes() < bytes_before);
+        let after = s.aggregate();
+        for (addr, count) in before.iter() {
+            assert_eq!(after.get(addr).to_bits(), count.to_bits(), "addr {addr:#x}");
+        }
+        // Reopen sees the compacted log; appends still work.
+        drop(s);
+        let mut s = ProfileStore::open(&path).unwrap();
+        assert_eq!(s.counts().len(), 1);
+        s.append_counts(5, 1, 1, bbec(&[(0x400000, 1.0)])).unwrap();
+        assert_eq!(s.counts().len(), 2);
+    }
+
+    #[test]
+    fn foreign_files_are_rejected_not_clobbered() {
+        let path = tmp("foreign.hbbp");
+        std::fs::write(&path, b"definitely not a store file").unwrap();
+        assert!(matches!(
+            ProfileStore::open(&path),
+            Err(StoreError::NotAStore)
+        ));
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            b"definitely not a store file"
+        );
+    }
+
+    #[test]
+    fn appends_require_identity() {
+        let path = tmp("noident.hbbp");
+        let mut s = ProfileStore::open(&path).unwrap();
+        assert!(matches!(
+            s.append_counts(1, 0, 0, Bbec::new()),
+            Err(StoreError::MissingIdentity)
+        ));
+    }
+}

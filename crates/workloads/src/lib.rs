@@ -40,7 +40,7 @@ pub use clforward::{clforward, ClVariant};
 pub use fitter::{fitter, FitterVariant};
 pub use hydro::hydro_post;
 pub use kernel::kernel_benchmark;
-pub use phased::{phased, phased_with};
+pub use phased::{phased, phased_client, phased_with};
 pub use synth::{Behavior, BehaviorMap, InstrClass, MixProfile, Segment, SynthOracle};
 pub use test40::test40;
 pub use training::training_suite;

@@ -29,6 +29,22 @@ pub fn phased(scale: Scale) -> Workload {
     phased_with(scale, 2)
 }
 
+/// One client of a **fleet** running the phased binary: the same program
+/// as [`phased`] — identical text images, layout and block map, which is
+/// what lets a profile store merge the clients' profiles — but a
+/// per-client run length: client `c` performs `1 + (c mod 3)` outer
+/// rounds. Because every phased branch is trip-driven, the oracle seed
+/// (also varied per client, for workloads that grow probabilistic
+/// behaviours) does not change the execution: clients with equal
+/// `c mod 3` replay the same run, and fleet scenarios differentiate them
+/// further through the collection-time hardware seed (PMU skid/jitter
+/// draws). Used by the multi-client daemon scenarios (`hbbp-store`
+/// loopback tests, the `fleet-aggregation` experiment).
+pub fn phased_client(scale: Scale, client: u32) -> Workload {
+    phased_with(scale, 1 + u64::from(client) % 3)
+        .with_oracle_seed(0x9A5E ^ 0x5eed ^ (u64::from(client) << 32))
+}
+
 /// [`phased`] with an explicit number of outer rounds (each round passes
 /// through all [`PHASE_KINDS`] phases once).
 pub fn phased_with(scale: Scale, phase_rounds: u64) -> Workload {
@@ -181,6 +197,35 @@ mod tests {
         );
         // Each dwell is long: thousands of blocks per phase.
         assert!(runs.iter().all(|(_, n)| *n > 500), "runs: {runs:?}");
+    }
+
+    #[test]
+    fn fleet_clients_share_the_binary_but_not_the_run() {
+        use hbbp_program::ImageView;
+        let a = phased_client(Scale::Tiny, 0);
+        let b = phased_client(Scale::Tiny, 1);
+        let c = phased_client(Scale::Tiny, 3);
+        // Identical static side: same images byte for byte, same layout.
+        let img = |w: &Workload| {
+            w.images(ImageView::Disk)
+                .iter()
+                .map(|i| i.bytes().to_vec())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(img(&a), img(&b));
+        assert_eq!(img(&a), img(&c));
+        // Different dynamic side: rounds differ between clients 0 and 1.
+        let run = |w: &Workload| {
+            Cpu::with_seed(3)
+                .run_clean(w.program(), w.layout(), w.oracle())
+                .unwrap()
+                .instructions
+        };
+        let (ra, rb, rc) = (run(&a), run(&b), run(&c));
+        assert!(rb > ra, "client 1 runs 2 rounds vs client 0's 1: {ra} {rb}");
+        // Clients 0 and 3 share the round count but not the oracle seed.
+        assert_eq!(a.behaviors().map(), c.behaviors().map());
+        assert_eq!(ra, rc, "trip-driven phased runs are seed-invariant");
     }
 
     #[test]

@@ -78,6 +78,16 @@ impl Workload {
         self
     }
 
+    /// Replay the same program under a different branch-oracle seed — one
+    /// *binary*, many *runs*: the text images and block map stay
+    /// identical while any probabilistic branch behaviours
+    /// ([`Behavior`]s that draw from the oracle's RNG) diverge per seed.
+    /// Purely trip-driven workloads are seed-invariant.
+    pub fn with_oracle_seed(mut self, seed: u64) -> Workload {
+        self.oracle_seed = seed;
+        self
+    }
+
     /// Workload name.
     pub fn name(&self) -> &str {
         &self.name

@@ -23,6 +23,7 @@
 //! | [`mltree`] | CART classification trees (scikit stand-in) |
 //! | [`workloads`] | SPEC-like suite, Test40, Fitter, kernel module, … |
 //! | [`core`] | HBBP itself: estimators, hybrid rule, analyzer, training |
+//! | [`store`] | persistent mergeable profile store + `hbbpd` collection daemon |
 //!
 //! ## Quickstart
 //!
@@ -56,6 +57,7 @@ pub use hbbp_mltree as mltree;
 pub use hbbp_perf as perf;
 pub use hbbp_program as program;
 pub use hbbp_sim as sim;
+pub use hbbp_store as store;
 pub use hbbp_workloads as workloads;
 
 /// The names most sessions need, in one import.

@@ -74,3 +74,12 @@ fn mix_timeline_matches_golden() {
         &streaming::mix_timeline(&ExpOptions::default_tiny()),
     );
 }
+
+#[test]
+fn fleet_aggregation_matches_golden() {
+    use hbbp_bench::exp::fleet;
+    assert_golden(
+        "fleet_aggregation_tiny",
+        &fleet::fleet_aggregation(&ExpOptions::default_tiny()),
+    );
+}
