@@ -100,8 +100,9 @@ fn main() {
     let run = |name: &str, f: fn(&ExpOptions) -> String, opts: &ExpOptions| {
         let t0 = Instant::now();
         let output = f(opts);
-        println!("==== {name} ====\n");
-        println!("{output}");
+        // Section framing shared with the `hbbp` CLI renderer, so every
+        // tool in the workspace prints experiment output identically.
+        print!("{}", hbbp_cli::render::section(name, &output));
         eprintln!("[{name} took {:.1}s]", t0.elapsed().as_secs_f64());
     };
 

@@ -1,5 +1,5 @@
 //! Ablation experiments for the design choices DESIGN.md calls out:
-//! the length cutoff, LBR stack depth, sampling periods, the entry[0]
+//! the length cutoff, LBR stack depth, sampling periods, the entry\[0\]
 //! quirk, and the kernel text patch.
 
 use super::{pct, ExpOptions};
@@ -151,7 +151,7 @@ pub fn ablate_periods(opts: &ExpOptions) -> String {
     out
 }
 
-/// Toggle the LBR entry[0] quirk (the paper notes the erratum was fixed in
+/// Toggle the LBR entry\[0\] quirk (the paper notes the erratum was fixed in
 /// later processor designs after their report).
 pub fn ablate_quirk(opts: &ExpOptions) -> String {
     let workloads = [

@@ -1,7 +1,7 @@
 //! The streaming experiment: a per-phase instruction-mix **timeline**.
 //!
 //! Batch analysis compresses a whole run into one mix; this experiment
-//! runs the phase-switching [`hbbp_workloads::phased`] workload through
+//! runs the phase-switching [`hbbp_workloads::phased()`] workload through
 //! [`OnlineAnalyzer`] with a time window narrower than one phase, so the
 //! alternating integer / SSE / AVX kernels reappear as alternating
 //! windows. The records never materialize as a [`hbbp_perf::PerfData`]:

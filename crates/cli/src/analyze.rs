@@ -1,0 +1,374 @@
+//! `hbbp analyze` — instruction mixes from a recording: batch
+//! (`Analyzer::analyze_fused`) or windowed (`OnlineAnalyzer` timelines).
+
+use crate::args::{invalid, parse_all, CliError};
+use crate::common::{analyzer_for, parse_rule, parse_window, WorkloadOptions};
+use crate::registry;
+use crate::render::{self, Format, TimelineRow};
+use hbbp_core::{Analysis, HybridRule, OnlineAnalyzer, Window};
+use hbbp_perf::{PerfData, StreamDecoder};
+use hbbp_sim::EventSpec;
+use hbbp_workloads::Workload;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Which estimate to render.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Estimator {
+    /// The combined HBBP estimate (the paper's result).
+    #[default]
+    Hbbp,
+    /// EBS-only.
+    Ebs,
+    /// LBR-only.
+    Lbr,
+}
+
+impl Estimator {
+    fn parse(value: &str) -> Result<Estimator, CliError> {
+        match value {
+            "hbbp" => Ok(Estimator::Hbbp),
+            "ebs" => Ok(Estimator::Ebs),
+            "lbr" => Ok(Estimator::Lbr),
+            _ => Err(invalid("--estimator", value, "hbbp|ebs|lbr")),
+        }
+    }
+
+    fn pick<'a>(&self, analysis: &'a Analysis) -> &'a hbbp_program::Bbec {
+        match self {
+            Estimator::Hbbp => &analysis.hbbp.bbec,
+            Estimator::Ebs => &analysis.ebs.bbec,
+            Estimator::Lbr => &analysis.lbr.bbec,
+        }
+    }
+}
+
+/// Parsed `hbbp analyze` options.
+#[derive(Debug, Clone)]
+pub struct AnalyzeOptions {
+    /// The recording file to analyze.
+    pub recording: PathBuf,
+    /// Workload the recording was collected from (for the static block
+    /// map); periods must match the collection.
+    pub workload: WorkloadOptions,
+    /// `None` = one whole-recording batch analysis; `Some` = per-window
+    /// timeline.
+    pub window: Option<Window>,
+    /// The hybrid decision rule.
+    pub rule: HybridRule,
+    /// Output format.
+    pub format: Format,
+    /// Mix rows to list in text/csv output (0 = all).
+    pub top: usize,
+    /// Which estimate to render.
+    pub estimator: Estimator,
+}
+
+/// Usage text for `hbbp analyze`.
+pub fn usage() -> String {
+    format!(
+        "usage: hbbp analyze RECORDING [options]\n\
+         \n\
+         Produce instruction mixes from a perf recording. Without --window this\n\
+         is one whole-recording batch analysis (Analyzer::analyze_fused); with\n\
+         --window the recording streams through the online analyzer and each\n\
+         window becomes one row of a mix timeline.\n\
+         \n\
+         options:\n\
+         \x20 --window samples:<n>|cycles:<n>\n\
+         \x20                     per-window timeline instead of one analysis\n\
+         \x20 --rule paper|cutoff=<n>|always-ebs|always-lbr\n\
+         \x20                     hybrid decision rule (default paper)\n\
+         \x20 --estimator hbbp|ebs|lbr\n\
+         \x20                     which estimate to render (default hbbp)\n\
+         \x20 --format text|json|csv (default text)\n\
+         \x20 --top N             mnemonics to list in text/csv (default 20, 0 = all)\n\
+         {}\n\
+         \n\
+         The workload (and scale) must match what `hbbp record` ran: the\n\
+         recording's memory map is checked against the workload layout.\n\
+         \n\
+         {}",
+        WorkloadOptions::usage_lines(),
+        registry::registry_help()
+    )
+}
+
+impl AnalyzeOptions {
+    /// Parse the subcommand arguments.
+    pub fn parse(args: &[String]) -> Result<AnalyzeOptions, CliError> {
+        let mut workload = WorkloadOptions::default();
+        let mut recording: Option<PathBuf> = None;
+        let mut window = None;
+        let mut rule = HybridRule::paper_default();
+        let mut format = Format::Text;
+        let mut top = 20usize;
+        let mut estimator = Estimator::Hbbp;
+        parse_all(args, |flag, s| {
+            if workload.accept(flag, s)? {
+                return Ok(Some(()));
+            }
+            match flag {
+                "--window" => window = Some(parse_window(&s.value("--window")?)?),
+                "--rule" => rule = parse_rule(&s.value("--rule")?)?,
+                "--format" => format = Format::parse(&s.value("--format")?)?,
+                "--top" => top = s.value_parsed("--top", "a row count")?,
+                "--estimator" => estimator = Estimator::parse(&s.value("--estimator")?)?,
+                other if !other.starts_with("--") => {
+                    if recording.replace(PathBuf::from(other)).is_some() {
+                        return Err(CliError::Usage(format!(
+                            "unexpected extra operand `{other}` (one recording per run)"
+                        )));
+                    }
+                }
+                other => return Err(s.unknown(other)),
+            }
+            Ok(Some(()))
+        })?;
+        let Some(recording) = recording else {
+            return Err(CliError::Usage(
+                "analyze needs a RECORDING file operand".into(),
+            ));
+        };
+        Ok(AnalyzeOptions {
+            recording,
+            workload,
+            window,
+            rule,
+            format,
+            top,
+            estimator,
+        })
+    }
+
+    /// Execute: returns the rendered output.
+    pub fn run(&self) -> Result<String, CliError> {
+        let w = self.workload.build()?;
+        let analyzer = analyzer_for(&w)?;
+        match self.window {
+            None => {
+                let bytes = std::fs::read(&self.recording).map_err(|e| {
+                    CliError::Failed(format!("cannot read {}: {e}", self.recording.display()))
+                })?;
+                let data = hbbp_perf::codec::read(&bytes).map_err(|e| {
+                    CliError::Failed(format!(
+                        "{} is not a decodable recording: {e}",
+                        self.recording.display()
+                    ))
+                })?;
+                verify_layout(&data, &w)?;
+                let analysis = analyzer.analyze_fused(&data, self.workload.periods, &self.rule);
+                let mix = analyzer.mix(self.estimator.pick(&analysis));
+                let ebs_event = EventSpec::inst_retired_prec_dist();
+                let lbr_event = EventSpec::br_inst_retired_near_taken();
+                let ebs = data.samples().filter(|s| s.event == ebs_event).count();
+                let lbr = data.samples().filter(|s| s.event == lbr_event).count();
+                Ok(match self.format {
+                    Format::Text => {
+                        let mut out = String::new();
+                        let _ = writeln!(
+                            out,
+                            "analysis of {} ({} records, ebs {ebs} / lbr {lbr} samples)",
+                            self.recording.display(),
+                            data.len(),
+                        );
+                        let _ = writeln!(
+                            out,
+                            "estimated instructions: {:.1}\n",
+                            analyzer.total_instructions(self.estimator.pick(&analysis))
+                        );
+                        out.push_str(&render::render_mix(&mix, self.top, Format::Text));
+                        out
+                    }
+                    Format::Json => format!(
+                        "{{\"records\": {}, \"ebs_samples\": {ebs}, \"lbr_samples\": {lbr}, \
+                         \"total\": {}, \"mnemonics\": {}}}\n",
+                        data.len(),
+                        render::json_f64(mix.total()),
+                        render::mix_json_entries(&mix)
+                    ),
+                    Format::Csv => render::render_mix(&mix, self.top, Format::Csv),
+                })
+            }
+            Some(window) => {
+                let rows = self.windowed_rows(&analyzer, window, &w)?;
+                Ok(render::render_timeline(&rows, self.format))
+            }
+        }
+    }
+
+    /// Stream the recording through the windowed online analyzer,
+    /// reading the file in fixed-size chunks — peak memory stays bounded
+    /// by the current window, never the recording.
+    fn windowed_rows(
+        &self,
+        analyzer: &hbbp_core::Analyzer,
+        window: Window,
+        w: &Workload,
+    ) -> Result<Vec<TimelineRow>, CliError> {
+        use std::io::Read as _;
+        let file = std::fs::File::open(&self.recording).map_err(|e| {
+            CliError::Failed(format!("cannot read {}: {e}", self.recording.display()))
+        })?;
+        let mut reader = std::io::BufReader::new(file);
+        let expected = expected_modules(w);
+        let mut online = OnlineAnalyzer::new(analyzer, self.workload.periods, self.rule.clone())
+            .with_window(window);
+        let mut decoder = StreamDecoder::new();
+        let mut buf = vec![0u8; 64 * 1024];
+        loop {
+            let n = reader.read(&mut buf).map_err(|e| {
+                CliError::Failed(format!("cannot read {}: {e}", self.recording.display()))
+            })?;
+            if n == 0 {
+                break;
+            }
+            decoder.feed(&buf[..n]);
+            loop {
+                match decoder.next_record() {
+                    Ok(Some(record)) => {
+                        if let hbbp_perf::PerfRecord::Mmap {
+                            addr,
+                            len,
+                            filename,
+                            ..
+                        } = &record
+                        {
+                            check_mmap(&expected, filename, *addr, *len, w)?;
+                        }
+                        online.push_owned(record);
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        return Err(CliError::Failed(format!(
+                            "{} is not a decodable recording: {e}",
+                            self.recording.display()
+                        )))
+                    }
+                }
+            }
+        }
+        decoder.finish().map_err(|e| {
+            CliError::Failed(format!("{} ends mid-record: {e}", self.recording.display()))
+        })?;
+        let outcome = online.finish();
+        Ok(outcome
+            .windows
+            .iter()
+            .map(|win| TimelineRow {
+                index: win.index as u64,
+                start_cycles: win.start_cycles,
+                end_cycles: win.end_cycles,
+                ebs_samples: win.ebs_samples,
+                lbr_samples: win.lbr_samples,
+                mix: analyzer.mix(self.estimator.pick(&win.analysis)),
+            })
+            .collect())
+    }
+}
+
+/// The workload's `(module name, base, len)` spans — what every MMAP
+/// record of a matching recording must name.
+fn expected_modules(w: &Workload) -> Vec<(String, u64, u64)> {
+    w.program()
+        .modules()
+        .iter()
+        .map(|m| {
+            let (base, end) = w.layout().module_range(m.id());
+            (m.name().to_owned(), base, end - base)
+        })
+        .collect()
+}
+
+/// Reject an MMAP record that names a module span the workload does not
+/// have — a mismatched `--workload`/`--scale` would silently produce an
+/// empty or wrong mix otherwise.
+fn check_mmap(
+    expected: &[(String, u64, u64)],
+    name: &str,
+    base: u64,
+    len: u64,
+    w: &Workload,
+) -> Result<(), CliError> {
+    if expected
+        .iter()
+        .any(|(n, b, l)| n == name && *b == base && *l == len)
+    {
+        return Ok(());
+    }
+    Err(CliError::Failed(format!(
+        "recording maps module {name} at {base:#x}+{len:#x}, which does not match \
+         workload `{}` — wrong --workload or --scale?",
+        w.name()
+    )))
+}
+
+/// Check a materialized recording's memory map against the workload
+/// layout (the batch-path twin of the streaming check in
+/// [`AnalyzeOptions::windowed_rows`]).
+pub(crate) fn verify_layout(data: &PerfData, w: &Workload) -> Result<(), CliError> {
+    let expected = expected_modules(w);
+    for (name, base, len) in data.mmaps() {
+        check_mmap(&expected, name, base, len, w)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn recording_operand_is_required() {
+        let err = AnalyzeOptions::parse(&raw(&["--format", "json"])).unwrap_err();
+        assert!(err.to_string().contains("RECORDING"));
+    }
+
+    #[test]
+    fn one_recording_only() {
+        let err = AnalyzeOptions::parse(&raw(&["a.bin", "b.bin"])).unwrap_err();
+        assert!(err.to_string().contains("extra operand `b.bin`"));
+    }
+
+    #[test]
+    fn window_flag_flows_through() {
+        let opts = AnalyzeOptions::parse(&raw(&["p.bin", "--window", "samples:1000"])).unwrap();
+        assert_eq!(opts.window, Some(Window::Samples(1000)));
+        assert_eq!(opts.recording, PathBuf::from("p.bin"));
+    }
+
+    #[test]
+    fn wrong_workload_is_detected_in_both_batch_and_windowed_modes() {
+        // Record phased, analyze as test40: the mmap check must fire on
+        // the batch path AND the streaming (windowed) path.
+        let dir = std::env::temp_dir().join(format!("hbbp-cli-mismatch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.bin");
+        crate::record::RecordOptions::parse(&raw(&[
+            "--workload",
+            "phased",
+            "--out",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap()
+        .run()
+        .unwrap();
+        for extra in [&[][..], &["--window", "samples:100"][..]] {
+            let mut argv = vec![path.to_str().unwrap(), "--workload", "test40"];
+            argv.extend_from_slice(extra);
+            let err = AnalyzeOptions::parse(&raw(&argv))
+                .unwrap()
+                .run()
+                .unwrap_err();
+            assert!(
+                err.to_string().contains("wrong --workload or --scale?"),
+                "mode {extra:?}: {err}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,322 @@
+//! A tiny std-only flag parser shared by every subcommand.
+//!
+//! The grammar is deliberately small: positional operands, `--flag value`,
+//! `--flag=value`, boolean `--flag`, and `--help`/`-h` anywhere. Every
+//! subcommand declares its flags against an [`ArgStream`] and gets
+//! consistent error messages ("unknown flag", "missing value", "invalid
+//! value") for free; the table-driven tests in `tests/cli_args.rs` pin the
+//! exact wording per subcommand.
+
+use std::fmt;
+
+/// Everything a CLI entry point can fail with.
+#[derive(Debug)]
+pub enum CliError {
+    /// The arguments did not parse; the message names the offending flag
+    /// or operand. Callers print it together with the subcommand usage
+    /// and exit 2.
+    Usage(String),
+    /// `--help` was requested: print usage and exit 0.
+    Help,
+    /// The command ran and failed (I/O, wire, corrupt input, …); exit 1.
+    Failed(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Help => write!(f, "help requested"),
+            CliError::Failed(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> CliError {
+        CliError::Failed(format!("I/O error: {e}"))
+    }
+}
+
+/// Build a [`CliError::Usage`] for a malformed flag value.
+pub(crate) fn invalid(flag: &str, value: &str, expected: &str) -> CliError {
+    CliError::Usage(format!(
+        "invalid value `{value}` for {flag}: expected {expected}"
+    ))
+}
+
+/// One parsed argument: a flag (with optional inline `=value`) or a
+/// positional operand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Arg {
+    Flag {
+        name: String,
+        inline: Option<String>,
+    },
+    Positional(String),
+}
+
+/// A forward-only stream of arguments for one subcommand.
+///
+/// ```
+/// use hbbp_cli::args::ArgStream;
+///
+/// let mut args = ArgStream::new(&["p.bin".into(), "--top=5".into()]);
+/// let mut top = 10u32;
+/// let mut file = None;
+/// while let Some(()) = args
+///     .next_with(|a, s| {
+///         Ok(Some(match a {
+///             "--top" => top = s.value_parsed("--top", "a count")?,
+///             _ => file = Some(s.positional(a)?),
+///         }))
+///     })
+///     .unwrap()
+/// {}
+/// assert_eq!((file.as_deref(), top), (Some("p.bin"), 5));
+/// ```
+#[derive(Debug)]
+pub struct ArgStream {
+    args: Vec<Arg>,
+    pos: usize,
+    /// Pending inline `=value` of the flag currently being dispatched.
+    inline: Option<String>,
+    /// The flag currently being dispatched (for error messages).
+    current: Option<String>,
+}
+
+impl ArgStream {
+    /// Wrap a subcommand's raw arguments.
+    pub fn new(raw: &[String]) -> ArgStream {
+        let args = raw
+            .iter()
+            .map(|a| {
+                if let Some(rest) = a.strip_prefix("--") {
+                    if rest.is_empty() {
+                        return Arg::Positional(a.clone());
+                    }
+                    match rest.split_once('=') {
+                        Some((name, value)) => Arg::Flag {
+                            name: format!("--{name}"),
+                            inline: Some(value.to_owned()),
+                        },
+                        None => Arg::Flag {
+                            name: a.clone(),
+                            inline: None,
+                        },
+                    }
+                } else {
+                    Arg::Positional(a.clone())
+                }
+            })
+            .collect();
+        ArgStream {
+            args,
+            pos: 0,
+            inline: None,
+            current: None,
+        }
+    }
+
+    /// Dispatch the next argument through `f`. Flags arrive as their
+    /// `--name`; positionals arrive verbatim (route them through
+    /// [`ArgStream::positional`]). `--help`/`-h` short-circuit to
+    /// [`CliError::Help`]. Returns `Ok(None)` when the stream is
+    /// exhausted.
+    pub fn next_with<F>(&mut self, f: F) -> Result<Option<()>, CliError>
+    where
+        F: FnOnce(&str, &mut ArgStream) -> Result<Option<()>, CliError>,
+    {
+        let Some(arg) = self.args.get(self.pos).cloned() else {
+            return Ok(None);
+        };
+        self.pos += 1;
+        match arg {
+            Arg::Flag { name, inline } => {
+                if name == "--help" {
+                    return Err(CliError::Help);
+                }
+                self.inline = inline;
+                self.current = Some(name.clone());
+                let r = f(&name, self);
+                let unconsumed = self.inline.take();
+                self.current = None;
+                // An inline value the handler never consumed is an error:
+                // `--compact=yes` on a boolean flag must not pass silently.
+                // The handler's own error wins, though — an unknown flag
+                // written as `--flag=value` must still say "unknown flag".
+                if r.is_ok() {
+                    if let Some(v) = unconsumed {
+                        return Err(CliError::Usage(format!(
+                            "flag {name} takes no value (got `{v}`)"
+                        )));
+                    }
+                }
+                r
+            }
+            Arg::Positional(p) => {
+                if p == "-h" {
+                    return Err(CliError::Help);
+                }
+                f(&p, self)
+            }
+        }
+    }
+
+    /// The value of the flag currently being dispatched: its inline
+    /// `=value` if present, otherwise the next argument.
+    pub fn value(&mut self, flag: &str) -> Result<String, CliError> {
+        if let Some(v) = self.inline.take() {
+            return Ok(v);
+        }
+        match self.args.get(self.pos) {
+            Some(Arg::Positional(p)) => {
+                self.pos += 1;
+                Ok(p.clone())
+            }
+            Some(Arg::Flag { name, .. }) => Err(CliError::Usage(format!(
+                "flag {flag} expects a value, got flag `{name}`"
+            ))),
+            None => Err(CliError::Usage(format!("flag {flag} expects a value"))),
+        }
+    }
+
+    /// The flag's value parsed via [`std::str::FromStr`], with a uniform
+    /// "invalid value" message naming `expected` on failure.
+    pub fn value_parsed<T: std::str::FromStr>(
+        &mut self,
+        flag: &str,
+        expected: &str,
+    ) -> Result<T, CliError> {
+        let raw = self.value(flag)?;
+        raw.parse().map_err(|_| invalid(flag, &raw, expected))
+    }
+
+    /// Accept `arg` as a positional operand; rejects stray flags (an
+    /// unknown `--flag` routed here gets an "unknown flag" error, not a
+    /// silent positional).
+    pub fn positional(&self, arg: &str) -> Result<String, CliError> {
+        if arg.starts_with("--") && self.current.is_some() {
+            return Err(CliError::Usage(format!("unknown flag `{arg}`")));
+        }
+        Ok(arg.to_owned())
+    }
+
+    /// The canonical "unknown flag" rejection for a subcommand's final
+    /// match arm.
+    pub fn unknown(&self, arg: &str) -> CliError {
+        if arg.starts_with("--") {
+            CliError::Usage(format!("unknown flag `{arg}`"))
+        } else {
+            CliError::Usage(format!("unexpected operand `{arg}`"))
+        }
+    }
+}
+
+/// Drive a subcommand's whole flag matrix: calls `f` per argument until
+/// the stream ends or errors.
+pub fn parse_all<F>(raw: &[String], mut f: F) -> Result<(), CliError>
+where
+    F: FnMut(&str, &mut ArgStream) -> Result<Option<()>, CliError>,
+{
+    let mut stream = ArgStream::new(raw);
+    while stream.next_with(&mut f)?.is_some() {}
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn inline_and_separate_values_agree() {
+        for argv in [&["--top", "7"][..], &["--top=7"][..]] {
+            let mut top = 0u32;
+            parse_all(&raw(argv), |a, s| {
+                match a {
+                    "--top" => top = s.value_parsed("--top", "a count")?,
+                    other => return Err(s.unknown(other)),
+                }
+                Ok(Some(()))
+            })
+            .unwrap();
+            assert_eq!(top, 7);
+        }
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        for argv in [&["--help"][..], &["-h"][..], &["--top", "3", "--help"][..]] {
+            let err = parse_all(&raw(argv), |a, s| {
+                match a {
+                    "--top" => {
+                        s.value("--top")?;
+                    }
+                    other => return Err(s.unknown(other)),
+                }
+                Ok(Some(()))
+            })
+            .unwrap_err();
+            assert!(matches!(err, CliError::Help), "{argv:?}");
+        }
+    }
+
+    #[test]
+    fn missing_value_is_a_usage_error() {
+        let err = parse_all(&raw(&["--top"]), |a, s| {
+            match a {
+                "--top" => {
+                    s.value("--top")?;
+                }
+                other => return Err(s.unknown(other)),
+            }
+            Ok(Some(()))
+        })
+        .unwrap_err();
+        assert_eq!(err.to_string(), "flag --top expects a value");
+    }
+
+    #[test]
+    fn flag_as_value_is_rejected() {
+        let err = parse_all(&raw(&["--top", "--fast"]), |a, s| {
+            match a {
+                "--top" => {
+                    s.value("--top")?;
+                }
+                other => return Err(s.unknown(other)),
+            }
+            Ok(Some(()))
+        })
+        .unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "flag --top expects a value, got flag `--fast`"
+        );
+    }
+
+    #[test]
+    fn unconsumed_inline_value_is_rejected() {
+        let err = parse_all(&raw(&["--flag=yes"]), |a, _| {
+            match a {
+                "--flag" => {}
+                _ => unreachable!(),
+            }
+            Ok(Some(()))
+        })
+        .unwrap_err();
+        assert_eq!(err.to_string(), "flag --flag takes no value (got `yes`)");
+    }
+
+    #[test]
+    fn unknown_flag_and_operand_messages() {
+        let s = ArgStream::new(&[]);
+        assert_eq!(s.unknown("--nope").to_string(), "unknown flag `--nope`");
+        assert_eq!(s.unknown("nope").to_string(), "unexpected operand `nope`");
+    }
+}

@@ -1,0 +1,6 @@
+//! The `hbbp` binary: a shim over [`hbbp_cli::main_impl`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(hbbp_cli::main_impl(&args));
+}

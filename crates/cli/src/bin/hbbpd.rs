@@ -1,0 +1,27 @@
+//! The standalone `hbbpd` collection daemon binary — a shim over
+//! `hbbp serve` so the daemon gets the same flag parser, `--help`, and
+//! wire-protocol usage block as the rest of the CLI.
+
+use hbbp_cli::args::CliError;
+use hbbp_cli::serve::{self, ServeOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match ServeOptions::parse(&args).and_then(|opts| opts.run()) {
+        Ok(()) => 0,
+        Err(CliError::Help) => {
+            print!("{}", serve::usage("hbbpd"));
+            0
+        }
+        Err(CliError::Usage(message)) => {
+            eprintln!("hbbpd: {message}");
+            eprint!("\n{}", serve::usage("hbbpd"));
+            2
+        }
+        Err(CliError::Failed(message)) => {
+            eprintln!("hbbpd: {message}");
+            1
+        }
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,193 @@
+//! # hbbp-cli — the `hbbp` command-line driver
+//!
+//! One binary over the whole profiling stack, composing the existing
+//! crates into the paper's operational loop:
+//!
+//! * [`record`] — run a registry workload under the dual-event HBBP
+//!   collector ([`hbbp_perf::PerfSession`]), to a file or streamed live
+//!   onto a daemon socket;
+//! * [`analyze`] — batch ([`hbbp_core::Analyzer::analyze_fused`]) or
+//!   windowed ([`hbbp_core::OnlineAnalyzer`]) analysis of a recording;
+//! * [`serve`] — the `hbbpd` collection daemon with real flag parsing
+//!   (the standalone `hbbpd` binary is a shim over this module);
+//! * [`query`] — mix / top-K / stats / compact / shutdown against a
+//!   running daemon ([`hbbp_store::StoreClient`]);
+//! * [`store_cmd`] — offline [`hbbp_store::ProfileStore`] maintenance
+//!   (`stats`, `merge`, `compact`);
+//! * [`report`] — mix tables and per-window timelines from recordings or
+//!   store segments, as text, JSON or CSV ([`render`]).
+//!
+//! Every subcommand is a thin, testable library type (`XxxOptions::parse`
+//! plus `run`) with the binary as a shim; the flag grammar lives in
+//! [`args`], the workload name index in [`registry`]. `docs/CLI.md` is
+//! generated from [`cli_reference`] and golden-pinned so help text and
+//! documentation cannot drift.
+//!
+//! ```text
+//! hbbp record --workload phased --out p.bin
+//! hbbp analyze p.bin --window samples:1000 --format json
+//! hbbp serve --workload phased --dir /tmp/store     # prints ADDR
+//! hbbp record --workload phased --daemon ADDR
+//! hbbp query mix --addr ADDR
+//! hbbp report --store /tmp/store/part-0.hbbp --timeline
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analyze;
+pub mod args;
+pub mod common;
+pub mod query;
+pub mod record;
+pub mod registry;
+pub mod render;
+pub mod report;
+pub mod serve;
+pub mod store_cmd;
+
+use args::CliError;
+
+/// The top-level usage text (`hbbp --help`).
+pub fn main_usage() -> String {
+    "usage: hbbp <command> [options]   (try `hbbp <command> --help`)\n\
+     \n\
+     The hybrid basic block profiling toolkit: record workloads under the\n\
+     dual-event collector, produce instruction mixes, run and query the\n\
+     collection daemon, and maintain on-disk profile stores.\n\
+     \n\
+     commands:\n\
+     \x20 record    run a workload under the collector, to file or daemon\n\
+     \x20 analyze   instruction mixes from a recording (batch or windowed)\n\
+     \x20 serve     run the hbbpd collection daemon\n\
+     \x20 query     mix | top | stats | compact | shutdown against a daemon\n\
+     \x20 store     offline store maintenance: stats | merge | compact\n\
+     \x20 report    mix table or window timeline from a recording or store\n\
+     \x20 help      this text\n"
+        .to_owned()
+}
+
+/// The usage text of one subcommand, if the name is known.
+pub fn usage_for(command: &str) -> Option<String> {
+    Some(match command {
+        "record" => record::usage(),
+        "analyze" => analyze::usage(),
+        "serve" => serve::usage("hbbp serve"),
+        "query" => query::usage(),
+        "store" => store_cmd::usage(),
+        "report" => report::usage(),
+        _ => return None,
+    })
+}
+
+/// Run one subcommand; `Ok(Some(text))` is the output to print,
+/// `Ok(None)` means the command printed as it ran (only `serve`).
+pub fn run_command(command: &str, args: &[String]) -> Result<Option<String>, CliError> {
+    match command {
+        "record" => record::RecordOptions::parse(args)?.run().map(Some),
+        "analyze" => analyze::AnalyzeOptions::parse(args)?.run().map(Some),
+        "serve" => serve::ServeOptions::parse(args)?.run().map(|()| None),
+        "query" => query::QueryOptions::parse(args)?.run().map(Some),
+        "store" => store_cmd::StoreOptions::parse(args)?.run().map(Some),
+        "report" => report::ReportOptions::parse(args)?.run().map(Some),
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+/// The whole `hbbp` entry point: parse, dispatch, print, and return the
+/// process exit code. The binary is a one-line shim over this (kept in
+/// the library so integration tests drive exactly what users run).
+pub fn main_impl(args: &[String]) -> i32 {
+    let Some(command) = args.first().map(String::as_str) else {
+        eprint!("{}", main_usage());
+        return 2;
+    };
+    if command == "help" || command == "--help" || command == "-h" {
+        print!("{}", main_usage());
+        return 0;
+    }
+    if command == "--version" {
+        println!("hbbp {}", env!("CARGO_PKG_VERSION"));
+        return 0;
+    }
+    match run_command(command, &args[1..]) {
+        Ok(Some(output)) => {
+            print!("{output}");
+            0
+        }
+        Ok(None) => 0,
+        Err(CliError::Help) => {
+            // usage_for covers every dispatchable command.
+            print!("{}", usage_for(command).unwrap_or_else(main_usage));
+            0
+        }
+        Err(CliError::Usage(message)) => {
+            eprintln!("hbbp {command}: {message}");
+            match usage_for(command) {
+                Some(usage) => eprint!("\n{usage}"),
+                None => eprint!("\n{}", main_usage()),
+            }
+            2
+        }
+        Err(CliError::Failed(message)) => {
+            eprintln!("hbbp {command}: {message}");
+            1
+        }
+    }
+}
+
+/// The generated CLI reference (`docs/CLI.md`): every subcommand's help
+/// text, content-matched to `--help` output and golden-pinned by
+/// `tests/cli_reference.rs` so the docs cannot drift from the binary.
+pub fn cli_reference() -> String {
+    let mut out = String::from(
+        "# `hbbp` CLI reference\n\
+         \n\
+         > Generated from the CLI's own usage text: `hbbp_cli::cli_reference()`.\n\
+         > Golden-pinned by `crates/cli/tests/cli_reference.rs` — regenerate with\n\
+         > `BLESS=1 cargo test -p hbbp-cli --test cli_reference` after changing\n\
+         > any usage string.\n\n",
+    );
+    out.push_str("## `hbbp`\n\n```text\n");
+    out.push_str(&main_usage());
+    out.push_str("```\n");
+    for cmd in ["record", "analyze", "serve", "query", "store", "report"] {
+        out.push_str(&format!("\n## `hbbp {cmd}`\n\n```text\n"));
+        out.push_str(&usage_for(cmd).expect("known command"));
+        out.push_str("```\n");
+    }
+    out.push_str("\n## `hbbpd`\n\n```text\n");
+    out.push_str(&serve::usage("hbbpd"));
+    out.push_str("```\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_command_has_usage() {
+        for cmd in ["record", "analyze", "serve", "query", "store", "report"] {
+            let usage = usage_for(cmd).unwrap();
+            assert!(usage.starts_with("usage:"), "{cmd}");
+            assert!(main_usage().contains(cmd), "main usage must list {cmd}");
+        }
+        assert!(usage_for("nope").is_none());
+    }
+
+    #[test]
+    fn unknown_command_is_a_usage_error() {
+        let err = run_command("frobnicate", &[]).unwrap_err();
+        assert_eq!(err.to_string(), "unknown command `frobnicate`");
+    }
+
+    #[test]
+    fn reference_covers_all_commands() {
+        let reference = cli_reference();
+        for cmd in ["record", "analyze", "serve", "query", "store", "report"] {
+            assert!(reference.contains(&format!("## `hbbp {cmd}`")));
+        }
+        assert!(reference.contains("## `hbbpd`"));
+    }
+}

@@ -1,0 +1,218 @@
+//! `hbbp query` — speak the wire protocol to a running daemon: aggregate
+//! mix, top-K, stats, compact, shutdown.
+
+use crate::args::{parse_all, CliError};
+use crate::render::{self, Format};
+use hbbp_store::StoreClient;
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+
+/// What to ask the daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryAction {
+    /// The aggregate instruction mix.
+    Mix,
+    /// The `k` most-executed mnemonics.
+    Top,
+    /// Daemon/store statistics.
+    Stats,
+    /// Compact every partition log.
+    Compact,
+    /// Stop the daemon.
+    Shutdown,
+}
+
+/// Parsed `hbbp query` options.
+#[derive(Debug, Clone)]
+pub struct QueryOptions {
+    /// The request to issue.
+    pub action: QueryAction,
+    /// Daemon address.
+    pub addr: SocketAddr,
+    /// `k` for [`QueryAction::Top`].
+    pub k: u32,
+    /// Output format.
+    pub format: Format,
+    /// Mix rows to list in text output (0 = all).
+    pub top: usize,
+}
+
+/// Usage text for `hbbp query`.
+pub fn usage() -> String {
+    "usage: hbbp query <mix|top|stats|compact|shutdown> --addr HOST:PORT [options]\n\
+     \n\
+     Query a running daemon (`hbbp serve`) over its wire protocol.\n\
+     \n\
+     actions:\n\
+     \x20 mix                 the aggregate instruction mix (canonical fold)\n\
+     \x20 top                 the --k most-executed mnemonics\n\
+     \x20 stats               shards, frame counts, sources, store bytes\n\
+     \x20 compact             compact every partition log\n\
+     \x20 shutdown            stop the daemon\n\
+     \n\
+     options:\n\
+     \x20 --addr HOST:PORT    daemon address (required)\n\
+     \x20 --k N               mnemonics for `top` (default 10)\n\
+     \x20 --top N             mnemonics to list for `mix` text output (default 20, 0 = all)\n\
+     \x20 --format text|json|csv (default text)\n"
+        .to_owned()
+}
+
+impl QueryOptions {
+    /// Parse the subcommand arguments.
+    pub fn parse(args: &[String]) -> Result<QueryOptions, CliError> {
+        let mut action: Option<QueryAction> = None;
+        let mut addr: Option<SocketAddr> = None;
+        let mut k = 10u32;
+        let mut format = Format::Text;
+        let mut top = 20usize;
+        parse_all(args, |flag, s| {
+            match flag {
+                "--addr" => {
+                    addr = Some(s.value_parsed("--addr", "a socket address (host:port)")?);
+                }
+                "--k" => k = s.value_parsed("--k", "a count")?,
+                "--top" => top = s.value_parsed("--top", "a row count")?,
+                "--format" => format = Format::parse(&s.value("--format")?)?,
+                "mix" | "top" | "stats" | "compact" | "shutdown" if action.is_none() => {
+                    action = Some(match flag {
+                        "mix" => QueryAction::Mix,
+                        "top" => QueryAction::Top,
+                        "stats" => QueryAction::Stats,
+                        "compact" => QueryAction::Compact,
+                        _ => QueryAction::Shutdown,
+                    });
+                }
+                other => return Err(s.unknown(other)),
+            }
+            Ok(Some(()))
+        })?;
+        let Some(action) = action else {
+            return Err(CliError::Usage(
+                "query needs an action: mix|top|stats|compact|shutdown".into(),
+            ));
+        };
+        let Some(addr) = addr else {
+            return Err(CliError::Usage(
+                "query needs --addr HOST:PORT (the address `hbbp serve` printed)".into(),
+            ));
+        };
+        Ok(QueryOptions {
+            action,
+            addr,
+            k,
+            format,
+            top,
+        })
+    }
+
+    /// Execute: returns the rendered reply.
+    pub fn run(&self) -> Result<String, CliError> {
+        let client = StoreClient::new(self.addr);
+        let fail = |e: hbbp_store::WireError| CliError::Failed(format!("daemon query failed: {e}"));
+        match self.action {
+            QueryAction::Mix => {
+                let mix = client.query_mix().map_err(fail)?;
+                Ok(render::render_mix(&mix, self.top, self.format))
+            }
+            QueryAction::Top => {
+                let rows = client.query_top(self.k).map_err(fail)?;
+                Ok(match self.format {
+                    Format::Text => {
+                        let mut out = String::new();
+                        for (m, c) in &rows {
+                            let _ = writeln!(out, "{:<12} {:>16.1}", m.to_string(), c);
+                        }
+                        out
+                    }
+                    Format::Json => {
+                        let mut out = String::from("[");
+                        for (i, (m, c)) in rows.iter().enumerate() {
+                            if i > 0 {
+                                out.push_str(", ");
+                            }
+                            let _ = write!(
+                                out,
+                                "{{\"mnemonic\": \"{}\", \"count\": {}}}",
+                                render::json_escape(&m.to_string()),
+                                render::json_f64(*c)
+                            );
+                        }
+                        out.push_str("]\n");
+                        out
+                    }
+                    Format::Csv => {
+                        let mut out = String::from("mnemonic,count\n");
+                        for (m, c) in &rows {
+                            let _ = writeln!(out, "{m},{c:?}");
+                        }
+                        out
+                    }
+                })
+            }
+            QueryAction::Stats => {
+                let st = client.stats().map_err(fail)?;
+                Ok(match self.format {
+                    Format::Json => format!(
+                        "{{\"shards\": {}, \"counts_frames\": {}, \"window_frames\": {}, \
+                         \"sources\": {}, \"store_bytes\": {}}}\n",
+                        st.shards, st.counts_frames, st.window_frames, st.sources, st.store_bytes
+                    ),
+                    _ => format!(
+                        "shards        {}\ncounts frames {}\nwindow frames {}\nsources       {}\nstore bytes   {}\n",
+                        st.shards, st.counts_frames, st.window_frames, st.sources, st.store_bytes
+                    ),
+                })
+            }
+            QueryAction::Compact => {
+                client.compact().map_err(fail)?;
+                Ok("compacted\n".to_owned())
+            }
+            QueryAction::Shutdown => {
+                client.shutdown().map_err(fail)?;
+                Ok("shutdown sent\n".to_owned())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn action_is_required() {
+        let err = QueryOptions::parse(&raw(&["--addr", "127.0.0.1:9"])).unwrap_err();
+        assert!(err.to_string().contains("needs an action"));
+    }
+
+    #[test]
+    fn missing_addr_is_a_usage_error() {
+        let err = QueryOptions::parse(&raw(&["mix"])).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "query needs --addr HOST:PORT (the address `hbbp serve` printed)"
+        );
+    }
+
+    #[test]
+    fn malformed_addr_is_a_usage_error() {
+        let err = QueryOptions::parse(&raw(&["mix", "--addr", "nonsense"])).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "invalid value `nonsense` for --addr: expected a socket address (host:port)"
+        );
+    }
+
+    #[test]
+    fn top_action_with_k() {
+        let opts =
+            QueryOptions::parse(&raw(&["top", "--addr", "127.0.0.1:9", "--k", "5"])).unwrap();
+        assert_eq!(opts.action, QueryAction::Top);
+        assert_eq!(opts.k, 5);
+    }
+}

@@ -1,0 +1,211 @@
+//! `hbbp record` — run a workload under the dual-event HBBP collector,
+//! writing the perf stream to a file or straight onto a daemon socket.
+
+use crate::args::{parse_all, CliError};
+use crate::common::WorkloadOptions;
+use crate::registry;
+use hbbp_perf::PerfSession;
+use hbbp_sim::{Cpu, EventSpec, RunResult};
+use hbbp_store::StoreClient;
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+
+/// Where the record stream goes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordTarget {
+    /// Encode onto a file (the `perf.data` equivalent).
+    File(PathBuf),
+    /// Stream live onto a running daemon as the given source id.
+    Daemon(SocketAddr, u32),
+}
+
+/// Parsed `hbbp record` options.
+#[derive(Debug, Clone)]
+pub struct RecordOptions {
+    /// Workload + periods selection.
+    pub workload: WorkloadOptions,
+    /// Hardware seed for the simulated machine.
+    pub cpu_seed: u64,
+    /// Pid stamped on every record of the stream.
+    pub pid: u32,
+    /// File or daemon destination.
+    pub target: RecordTarget,
+}
+
+/// Usage text for `hbbp record`.
+pub fn usage() -> String {
+    format!(
+        "usage: hbbp record (--out FILE | --daemon ADDR [--source N]) [options]\n\
+         \n\
+         Run a workload once under the paper's dual-event collector (one counter\n\
+         on INST_RETIRED:PREC_DIST, one on BR_INST_RETIRED:NEAR_TAKEN) and\n\
+         stream the perf records to a file or a running `hbbp serve` daemon.\n\
+         \n\
+         options:\n\
+         \x20 --out FILE          write the binary perf stream to FILE\n\
+         \x20 --daemon ADDR       stream onto the daemon at ADDR (host:port)\n\
+         \x20 --source N          source id for --daemon (default 1)\n\
+         \x20 --cpu-seed N        hardware seed (skid, quirk, jitter; default 3658)\n\
+         \x20 --pid N             pid stamped on the stream (default 1000)\n\
+         {}\n\
+         \n\
+         {}",
+        WorkloadOptions::usage_lines(),
+        registry::registry_help()
+    )
+}
+
+impl RecordOptions {
+    /// Parse the subcommand arguments.
+    pub fn parse(args: &[String]) -> Result<RecordOptions, CliError> {
+        let mut workload = WorkloadOptions::default();
+        let mut cpu_seed = 0xE4Au64;
+        let mut pid = 1000u32;
+        let mut out: Option<PathBuf> = None;
+        let mut daemon: Option<SocketAddr> = None;
+        let mut source = 1u32;
+        parse_all(args, |flag, s| {
+            if workload.accept(flag, s)? {
+                return Ok(Some(()));
+            }
+            match flag {
+                "--out" => out = Some(PathBuf::from(s.value("--out")?)),
+                "--daemon" => {
+                    daemon = Some(s.value_parsed("--daemon", "a socket address (host:port)")?);
+                }
+                "--source" => source = s.value_parsed("--source", "a u32 source id")?,
+                "--cpu-seed" => cpu_seed = s.value_parsed("--cpu-seed", "a u64 seed")?,
+                "--pid" => pid = s.value_parsed("--pid", "a u32 pid")?,
+                other => return Err(s.unknown(other)),
+            }
+            Ok(Some(()))
+        })?;
+        let target = match (out, daemon) {
+            (Some(path), None) => RecordTarget::File(path),
+            (None, Some(addr)) => RecordTarget::Daemon(addr, source),
+            _ => {
+                return Err(CliError::Usage(
+                    "record needs exactly one of --out FILE or --daemon ADDR".into(),
+                ))
+            }
+        };
+        Ok(RecordOptions {
+            workload,
+            cpu_seed,
+            pid,
+            target,
+        })
+    }
+
+    /// Execute: returns the human summary printed on stdout.
+    pub fn run(&self) -> Result<String, CliError> {
+        let w = self.workload.build()?;
+        let periods = self.workload.periods;
+        let session = PerfSession::hbbp(Cpu::with_seed(self.cpu_seed), periods.ebs, periods.lbr)
+            .with_pid(self.pid);
+        let mut out = String::new();
+        match &self.target {
+            RecordTarget::File(path) => {
+                let file = std::fs::File::create(path).map_err(|e| {
+                    CliError::Failed(format!("cannot create {}: {e}", path.display()))
+                })?;
+                let writer = std::io::BufWriter::new(file);
+                let (run, writer) = session
+                    .record_to_sink(w.program(), w.layout(), w.oracle(), writer)
+                    .map_err(|e| CliError::Failed(format!("recording failed: {e}")))?;
+                let file = writer
+                    .into_inner()
+                    .map_err(|e| CliError::Failed(format!("flush failed: {e}")))?;
+                file.sync_all().ok();
+                let bytes = file.metadata().map(|m| m.len()).unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "recorded {} ({:?}) -> {}",
+                    w.name(),
+                    self.workload.scale,
+                    path.display()
+                );
+                summary(&mut out, &run);
+                let _ = writeln!(out, "bytes        {bytes}");
+            }
+            RecordTarget::Daemon(addr, source) => {
+                let client = StoreClient::new(*addr);
+                let (run, reply) = client
+                    .stream_session(*source, &session, &w)
+                    .map_err(|e| CliError::Failed(format!("daemon stream failed: {e}")))?;
+                let _ = writeln!(
+                    out,
+                    "streamed {} ({:?}) -> daemon as source {source}",
+                    w.name(),
+                    self.workload.scale
+                );
+                summary(&mut out, &run);
+                let _ = writeln!(
+                    out,
+                    "ingested     {} records / {} samples, {} windows flushed, counts seq {}",
+                    reply.records, reply.samples, reply.windows_flushed, reply.counts_seq
+                );
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn summary(out: &mut String, run: &RunResult) {
+    let ebs_event = EventSpec::inst_retired_prec_dist();
+    let ebs = run.samples.iter().filter(|s| s.event == ebs_event).count();
+    let lbr = run.samples.len() - ebs;
+    let _ = writeln!(
+        out,
+        "samples      {} (ebs {ebs} / lbr {lbr}, {} throttled)",
+        run.samples.len(),
+        run.throttled
+    );
+    let _ = writeln!(out, "instructions {}", run.instructions);
+    let _ = writeln!(
+        out,
+        "cycles       {} (+{} collection overhead)",
+        run.cycles, run.overhead_cycles
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn requires_exactly_one_target() {
+        let err = RecordOptions::parse(&raw(&["--workload", "phased"])).unwrap_err();
+        assert!(err.to_string().contains("exactly one of"));
+        let err =
+            RecordOptions::parse(&raw(&["--out", "a.bin", "--daemon", "127.0.0.1:9"])).unwrap_err();
+        assert!(err.to_string().contains("exactly one of"));
+    }
+
+    #[test]
+    fn record_to_file_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("hbbp-cli-rec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.bin");
+        let opts = RecordOptions::parse(&raw(&[
+            "--out",
+            path.to_str().unwrap(),
+            "--workload",
+            "phased",
+            "--scale",
+            "tiny",
+        ]))
+        .unwrap();
+        let summary = opts.run().unwrap();
+        assert!(summary.contains("recorded phased"));
+        let bytes = std::fs::read(&path).unwrap();
+        let data = hbbp_perf::codec::read(&bytes).expect("decodable recording");
+        assert!(data.samples().count() > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,118 @@
+//! The named-workload registry: every workload the CLI can record, by the
+//! name users pass to `--workload`.
+//!
+//! The registry is the CLI-facing index over `hbbp-workloads`: the
+//! phase-switching streaming workload, the OO particle simulation, the
+//! fitter and clforward build variants, the kernel-module benchmark, the
+//! hydro extreme, and all 29 SPEC-like suite benchmarks by name.
+
+use crate::args::{invalid, CliError};
+use hbbp_workloads::{
+    clforward, fitter, hydro_post, kernel_benchmark, phased, phased_client, spec, test40,
+    ClVariant, FitterVariant, Scale, Workload,
+};
+
+/// The non-SPEC workload names, in presentation order.
+pub const WORKLOAD_NAMES: [&str; 11] = [
+    "phased",
+    "phased-client:<n>",
+    "test40",
+    "fitter-x87",
+    "fitter-sse",
+    "fitter-avx",
+    "fitter-avx-broken",
+    "fitter-avx-fix",
+    "clforward-before",
+    "clforward-after",
+    "kernel",
+];
+
+/// Resolve a `--scale` value.
+pub fn parse_scale(value: &str) -> Result<Scale, CliError> {
+    match value {
+        "tiny" => Ok(Scale::Tiny),
+        "small" => Ok(Scale::Small),
+        "full" => Ok(Scale::Full),
+        _ => Err(invalid("--scale", value, "tiny|small|full")),
+    }
+}
+
+/// Resolve a workload name (see [`WORKLOAD_NAMES`]; SPEC benchmarks
+/// resolve by their suite name, e.g. `astar` or `x264ref`).
+pub fn resolve(name: &str, scale: Scale) -> Result<Workload, CliError> {
+    let w = match name {
+        "phased" => phased(scale),
+        "test40" => test40(scale),
+        "fitter-x87" => fitter(FitterVariant::X87, scale),
+        "fitter-sse" => fitter(FitterVariant::Sse, scale),
+        "fitter-avx" => fitter(FitterVariant::Avx, scale),
+        "fitter-avx-broken" => fitter(FitterVariant::AvxBroken, scale),
+        "fitter-avx-fix" => fitter(FitterVariant::AvxFix, scale),
+        "clforward-before" => clforward(ClVariant::Before, scale),
+        "clforward-after" => clforward(ClVariant::After, scale),
+        "kernel" => kernel_benchmark(scale),
+        "hydro" => hydro_post(scale),
+        _ => {
+            if let Some(client) = name.strip_prefix("phased-client:") {
+                let n: u32 = client.parse().map_err(|_| {
+                    invalid("--workload", name, "phased-client:<n> with a numeric n")
+                })?;
+                phased_client(scale, n)
+            } else if spec::SPEC_NAMES.contains(&name) {
+                spec::workload_for(name, scale)
+            } else {
+                return Err(CliError::Usage(format!(
+                    "unknown workload `{name}` (see `hbbp record --help` for the registry)"
+                )));
+            }
+        }
+    };
+    Ok(w)
+}
+
+/// The registry block shared by the subcommand usage texts.
+pub fn registry_help() -> String {
+    let mut out = String::from("workloads:\n  ");
+    out.push_str(&WORKLOAD_NAMES.join(" | "));
+    out.push_str(" | hydro\n  plus the SPEC-like suite by name: ");
+    out.push_str(&spec::SPEC_NAMES.join(", "));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_workload_resolves() {
+        for name in WORKLOAD_NAMES {
+            let name = if name.starts_with("phased-client") {
+                "phased-client:3"
+            } else {
+                name
+            };
+            let w = resolve(name, Scale::Tiny).unwrap();
+            assert!(!w.name().is_empty());
+        }
+        assert!(resolve("hydro", Scale::Tiny).is_ok());
+    }
+
+    #[test]
+    fn spec_names_resolve() {
+        let w = resolve("astar", Scale::Tiny).unwrap();
+        assert_eq!(w.name(), "astar");
+    }
+
+    #[test]
+    fn unknown_name_is_a_usage_error() {
+        let err = resolve("nope", Scale::Tiny).unwrap_err();
+        assert!(err.to_string().contains("unknown workload `nope`"));
+    }
+
+    #[test]
+    fn malformed_client_suffix_is_rejected() {
+        let err = resolve("phased-client:x", Scale::Tiny).unwrap_err();
+        assert!(err.to_string().contains("phased-client:<n>"));
+    }
+}

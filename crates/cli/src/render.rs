@@ -1,0 +1,311 @@
+//! Output rendering shared by every subcommand (and by the `experiments`
+//! binary in `hbbp-bench`, which delegates its section framing here).
+//!
+//! Three formats everywhere: human `text` tables, `json` (hand-rolled —
+//! the workspace is std-only — with `f64`s printed in shortest
+//! round-trip form so rendered numbers stay bit-faithful), and `csv`.
+
+use crate::args::{invalid, CliError};
+use hbbp_program::MnemonicMix;
+use std::fmt::Write as _;
+
+/// Output format of a rendering subcommand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Format {
+    /// Human-readable table.
+    #[default]
+    Text,
+    /// JSON object/array on stdout.
+    Json,
+    /// Comma-separated values with a header row.
+    Csv,
+}
+
+impl Format {
+    /// Parse a `--format` value.
+    pub fn parse(value: &str) -> Result<Format, CliError> {
+        match value {
+            "text" => Ok(Format::Text),
+            "json" => Ok(Format::Json),
+            "csv" => Ok(Format::Csv),
+            _ => Err(invalid("--format", value, "text|json|csv")),
+        }
+    }
+}
+
+/// JSON-escape a string (quotes, backslashes, control characters).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` for JSON: shortest round-trip representation
+/// (`1234.0`, not `1234`), `null` for non-finite values.
+pub fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// One `"mnemonics": [...]` JSON array from a mix (opcode order, counts
+/// in shortest round-trip form).
+pub fn mix_json_entries(mix: &MnemonicMix) -> String {
+    let mut out = String::from("[");
+    for (i, (m, c)) in mix.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{\"mnemonic\": \"{}\", \"count\": {}}}",
+            json_escape(&m.to_string()),
+            json_f64(c)
+        );
+    }
+    out.push(']');
+    out
+}
+
+/// Render an instruction mix in the requested format. `top` limits the
+/// listing to the most-executed mnemonics (0 = all, in execution order);
+/// JSON always carries the full mix in opcode order so rendered output
+/// stays a faithful interchange form.
+pub fn render_mix(mix: &MnemonicMix, top: usize, format: Format) -> String {
+    match format {
+        Format::Text => {
+            let total = mix.total();
+            let rows = if top == 0 {
+                mix.top(mix.len())
+            } else {
+                mix.top(top)
+            };
+            let mut out = String::new();
+            let _ = writeln!(out, "{:<12} {:>16} {:>8}", "mnemonic", "count", "share");
+            for (m, c) in &rows {
+                let share = if total > 0.0 { c / total * 100.0 } else { 0.0 };
+                let _ = writeln!(out, "{:<12} {:>16.1} {:>7.2}%", m.to_string(), c, share);
+            }
+            let _ = writeln!(
+                out,
+                "{:<12} {:>16.1} {:>8}",
+                "total",
+                total,
+                format!("({})", mix.len())
+            );
+            out
+        }
+        Format::Json => {
+            let mut out = String::from("{");
+            let _ = write!(
+                out,
+                "\"total\": {}, \"mnemonics\": {}",
+                json_f64(mix.total()),
+                mix_json_entries(mix)
+            );
+            out.push_str("}\n");
+            out
+        }
+        Format::Csv => {
+            let mut out = String::from("mnemonic,count\n");
+            let rows = if top == 0 {
+                mix.top(mix.len())
+            } else {
+                mix.top(top)
+            };
+            for (m, c) in rows {
+                let _ = writeln!(out, "{m},{c:?}");
+            }
+            out
+        }
+    }
+}
+
+/// One window of a rendered timeline — the common shape of a live
+/// windowed analysis and a stored `WindowRecord`.
+#[derive(Debug, Clone)]
+pub struct TimelineRow {
+    /// Emission index.
+    pub index: u64,
+    /// Window start (core cycles).
+    pub start_cycles: u64,
+    /// Window end (core cycles; exclusive for time windows).
+    pub end_cycles: u64,
+    /// EBS-event samples in the window.
+    pub ebs_samples: u64,
+    /// LBR-event samples in the window.
+    pub lbr_samples: u64,
+    /// The window's HBBP instruction mix.
+    pub mix: MnemonicMix,
+}
+
+impl TimelineRow {
+    /// The window's most-executed mnemonic (empty string for an empty
+    /// window).
+    pub fn top_mnemonic(&self) -> String {
+        self.mix
+            .top(1)
+            .first()
+            .map(|(m, _)| m.to_string())
+            .unwrap_or_default()
+    }
+}
+
+/// Render a per-window mix timeline in the requested format.
+pub fn render_timeline(rows: &[TimelineRow], format: Format) -> String {
+    match format {
+        Format::Text => {
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "{:<4} {:>12} {:>12} {:>7} {:>7} {:>16}  top",
+                "win", "start", "end", "ebs", "lbr", "instructions"
+            );
+            for r in rows {
+                let _ = writeln!(
+                    out,
+                    "{:<4} {:>12} {:>12} {:>7} {:>7} {:>16.1}  {}",
+                    r.index,
+                    r.start_cycles,
+                    r.end_cycles,
+                    r.ebs_samples,
+                    r.lbr_samples,
+                    r.mix.total(),
+                    r.top_mnemonic()
+                );
+            }
+            let _ = writeln!(out, "{} windows", rows.len());
+            out
+        }
+        Format::Json => {
+            let mut out = String::from("[");
+            for (i, r) in rows.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(
+                    out,
+                    "{{\"window\": {}, \"start_cycles\": {}, \"end_cycles\": {}, \
+                     \"ebs_samples\": {}, \"lbr_samples\": {}, \"total\": {}, \"mnemonics\": {}}}",
+                    r.index,
+                    r.start_cycles,
+                    r.end_cycles,
+                    r.ebs_samples,
+                    r.lbr_samples,
+                    json_f64(r.mix.total()),
+                    mix_json_entries(&r.mix)
+                );
+            }
+            out.push_str("]\n");
+            out
+        }
+        Format::Csv => {
+            let mut out =
+                String::from("window,start_cycles,end_cycles,ebs_samples,lbr_samples,total,top\n");
+            for r in rows {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{},{:?},{}",
+                    r.index,
+                    r.start_cycles,
+                    r.end_cycles,
+                    r.ebs_samples,
+                    r.lbr_samples,
+                    r.mix.total(),
+                    r.top_mnemonic()
+                );
+            }
+            out
+        }
+    }
+}
+
+/// Frame one experiment/section output the way the `experiments` binary
+/// prints it: `==== name ====`, blank line, body, trailing newline.
+pub fn section(name: &str, body: &str) -> String {
+    format!("==== {name} ====\n\n{body}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbbp_isa::Mnemonic;
+
+    fn mix() -> MnemonicMix {
+        let mut m = MnemonicMix::new();
+        m.add(Mnemonic::Add, 10.0);
+        m.add(Mnemonic::Imul, 2.5);
+        m
+    }
+
+    #[test]
+    fn format_parse_and_errors() {
+        assert_eq!(Format::parse("text").unwrap(), Format::Text);
+        assert_eq!(Format::parse("json").unwrap(), Format::Json);
+        assert_eq!(Format::parse("csv").unwrap(), Format::Csv);
+        let err = Format::parse("xml").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "invalid value `xml` for --format: expected text|json|csv"
+        );
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_f64(2.5), "2.5");
+        assert_eq!(json_f64(10.0), "10.0");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn mix_renders_in_all_formats() {
+        let m = mix();
+        let text = render_mix(&m, 0, Format::Text);
+        assert!(text.contains("mnemonic"));
+        assert!(text.contains("total"));
+        let json = render_mix(&m, 5, Format::Json);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"total\": 12.5"));
+        let csv = render_mix(&m, 0, Format::Csv);
+        assert!(csv.starts_with("mnemonic,count\n"));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn timeline_renders_in_all_formats() {
+        let rows = vec![TimelineRow {
+            index: 0,
+            start_cycles: 0,
+            end_cycles: 100,
+            ebs_samples: 3,
+            lbr_samples: 2,
+            mix: mix(),
+        }];
+        let text = render_timeline(&rows, Format::Text);
+        assert!(text.contains("1 windows"));
+        let json = render_timeline(&rows, Format::Json);
+        assert!(json.starts_with('[') && json.trim_end().ends_with(']'));
+        let csv = render_timeline(&rows, Format::Csv);
+        assert!(csv.starts_with("window,start_cycles"));
+    }
+
+    #[test]
+    fn section_matches_experiments_framing() {
+        assert_eq!(section("t", "body\n"), "==== t ====\n\nbody\n\n");
+    }
+}

@@ -1,0 +1,193 @@
+//! `hbbp serve` — run the `hbbpd` collection daemon with proper flag
+//! parsing (also the implementation behind the standalone `hbbpd`
+//! binary).
+
+use crate::args::{parse_all, CliError};
+use crate::common::{analyzer_for, parse_rule, parse_window, WorkloadOptions};
+use crate::registry;
+use hbbp_core::{HybridRule, Window};
+use hbbp_store::{DaemonConfig, DaemonHandle, StoreIdentity};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Parsed `hbbp serve` options.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Workload whose address space the daemon serves.
+    pub workload: WorkloadOptions,
+    /// Store partitions.
+    pub shards: usize,
+    /// Directory holding the partition files.
+    pub dir: PathBuf,
+    /// Timeline windowing for each connection (`None` disables WINDOW
+    /// frames).
+    pub window: Option<Window>,
+    /// The hybrid decision rule.
+    pub rule: HybridRule,
+}
+
+/// Usage text for `hbbp serve` (and `hbbpd`). `program` names the binary
+/// in the synopsis line.
+pub fn usage(program: &str) -> String {
+    format!(
+        "usage: {program} [options]\n\
+         \n\
+         Serve the collection daemon for one workload's address space on a\n\
+         loopback ephemeral port (printed on stdout). Collectors stream perf\n\
+         recordings in (`hbbp record --daemon`), queries read the canonical\n\
+         aggregate back (`hbbp query`). Stop it with `hbbp query shutdown`.\n\
+         \n\
+         options:\n\
+         \x20 --shards N          store partitions (default 4)\n\
+         \x20 --dir PATH          partition file directory (default hbbpd-store)\n\
+         \x20 --window samples:<n>|cycles:<n>|none\n\
+         \x20                     per-connection timeline windowing (default samples:512)\n\
+         \x20 --rule paper|cutoff=<n>|always-ebs|always-lbr\n\
+         \x20                     hybrid decision rule (default paper)\n\
+         {}\n\
+         \n\
+         wire protocol (length-prefixed `op u8 | len u32 LE | payload`):\n\
+         \x20 STREAM(source u32)  + perf byte stream, then half-close -> INGESTED\n\
+         \x20 QUERY_MIX           aggregate mix                       -> MIX\n\
+         \x20 QUERY_TOP(k u32)    k most-executed mnemonics           -> MIX\n\
+         \x20 STATS               shards/frames/sources/bytes         -> STATS\n\
+         \x20 COMPACT             compact every partition log         -> OK\n\
+         \x20 SHUTDOWN            stop accepting and exit             -> OK\n\
+         \n\
+         {}",
+        WorkloadOptions::usage_lines(),
+        registry::registry_help()
+    )
+}
+
+impl ServeOptions {
+    /// Parse the subcommand arguments.
+    pub fn parse(args: &[String]) -> Result<ServeOptions, CliError> {
+        let mut workload = WorkloadOptions::default();
+        let mut shards = 4usize;
+        let mut dir = PathBuf::from("hbbpd-store");
+        let mut window = Some(Window::Samples(512));
+        let mut rule = HybridRule::paper_default();
+        parse_all(args, |flag, s| {
+            if workload.accept(flag, s)? {
+                return Ok(Some(()));
+            }
+            match flag {
+                "--shards" => {
+                    shards = s.value_parsed("--shards", "a partition count > 0")?;
+                    if shards == 0 {
+                        return Err(CliError::Usage("--shards must be > 0".into()));
+                    }
+                }
+                "--dir" => dir = PathBuf::from(s.value("--dir")?),
+                "--window" => {
+                    let v = s.value("--window")?;
+                    window = if v == "none" {
+                        None
+                    } else {
+                        Some(parse_window(&v)?)
+                    };
+                }
+                "--rule" => rule = parse_rule(&s.value("--rule")?)?,
+                other => return Err(s.unknown(other)),
+            }
+            Ok(Some(()))
+        })?;
+        Ok(ServeOptions {
+            workload,
+            shards,
+            dir,
+            window,
+            rule,
+        })
+    }
+
+    /// Spawn the daemon (non-blocking) and return its handle plus the
+    /// startup banner.
+    pub fn spawn(&self) -> Result<(DaemonHandle, String), CliError> {
+        let w = self.workload.build()?;
+        let analyzer = analyzer_for(&w)?;
+        let identity = StoreIdentity::of_workload(&w, analyzer.map());
+        let handle = hbbp_store::spawn(DaemonConfig {
+            analyzer,
+            identity,
+            periods: self.workload.periods,
+            rule: self.rule.clone(),
+            window: self.window,
+            shards: self.shards,
+            dir: self.dir.clone(),
+        })
+        .map_err(|e| CliError::Failed(format!("daemon spawn failed: {e:?}")))?;
+        let mut banner = String::new();
+        let _ = writeln!(banner, "hbbpd listening on {}", handle.addr());
+        let _ = writeln!(
+            banner,
+            "workload={} scale={:?} shards={} periods=ebs:{}/lbr:{} window={}",
+            w.name(),
+            self.workload.scale,
+            self.shards,
+            self.workload.periods.ebs,
+            self.workload.periods.lbr,
+            match self.window {
+                Some(Window::Samples(n)) => format!("samples:{n}"),
+                Some(Window::TimeCycles(n)) => format!("cycles:{n}"),
+                None => "none".to_owned(),
+            }
+        );
+        Ok((handle, banner))
+    }
+
+    /// Execute: spawn, print the banner, and block until a client sends
+    /// SHUTDOWN.
+    pub fn run(&self) -> Result<(), CliError> {
+        let (handle, banner) = self.spawn()?;
+        print!("{banner}");
+        handle.wait();
+        println!("hbbpd stopped");
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn defaults_match_the_old_hbbpd() {
+        let opts = ServeOptions::parse(&[]).unwrap();
+        assert_eq!(opts.shards, 4);
+        assert_eq!(opts.dir, PathBuf::from("hbbpd-store"));
+        assert_eq!(opts.window, Some(Window::Samples(512)));
+    }
+
+    #[test]
+    fn window_none_disables_timeline() {
+        let opts = ServeOptions::parse(&raw(&["--window", "none"])).unwrap();
+        assert_eq!(opts.window, None);
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        let err = ServeOptions::parse(&raw(&["--shards", "0"])).unwrap_err();
+        assert_eq!(err.to_string(), "--shards must be > 0");
+    }
+
+    #[test]
+    fn usage_lists_the_wire_ops() {
+        let u = usage("hbbpd");
+        for op in [
+            "STREAM",
+            "QUERY_MIX",
+            "QUERY_TOP",
+            "STATS",
+            "COMPACT",
+            "SHUTDOWN",
+        ] {
+            assert!(u.contains(op), "usage must document {op}");
+        }
+    }
+}

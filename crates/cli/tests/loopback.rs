@@ -1,0 +1,310 @@
+//! The end-to-end loopback acceptance scenario, golden-pinned:
+//!
+//! `hbbp record --out` → `hbbp serve` → `hbbp record --daemon` →
+//! `hbbp query mix|top|stats` → `hbbp query shutdown` →
+//! `hbbp store merge|stats` → `hbbp report` (recording and store),
+//! all through the same library entry points the binary dispatches to.
+//!
+//! Two layers of pinning:
+//!
+//! * every subcommand's rendered output (paths normalized) is compared
+//!   byte-for-byte against `tests/golden/loopback_tiny.txt` (re-bless
+//!   with `BLESS=1 cargo test -p hbbp-cli --test loopback`);
+//! * the aggregate mix the daemon reports, and the merged store's
+//!   aggregate, are asserted **bit-identical** (`f64` bits) to
+//!   `Analyzer::analyze_fused` over the same recording.
+
+use hbbp_cli::common::analyzer_for;
+use hbbp_cli::query::QueryOptions;
+use hbbp_cli::record::RecordOptions;
+use hbbp_cli::render;
+use hbbp_cli::report::ReportOptions;
+use hbbp_cli::serve::ServeOptions;
+use hbbp_cli::store_cmd::StoreOptions;
+use hbbp_core::{HybridRule, SamplingPeriods};
+use hbbp_program::MnemonicMix;
+use std::path::PathBuf;
+
+fn raw(args: &[String]) -> Vec<String> {
+    args.to_vec()
+}
+
+fn args(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| (*s).to_owned()).collect()
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/loopback_tiny.txt")
+}
+
+fn assert_golden(actual: &str) {
+    let path = golden_path();
+    if std::env::var("BLESS").is_ok_and(|v| !v.is_empty() && v != "0") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); generate with BLESS=1 cargo test -p hbbp-cli --test loopback",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let diverge = expected
+            .lines()
+            .zip(actual.lines())
+            .position(|(e, a)| e != a)
+            .unwrap_or_else(|| expected.lines().count().min(actual.lines().count()));
+        panic!(
+            "loopback output drifted at line {}:\n  expected: {}\n  actual:   {}\n\
+             Re-bless with BLESS=1 cargo test -p hbbp-cli --test loopback if intentional.",
+            diverge + 1,
+            expected.lines().nth(diverge).unwrap_or("<eof>"),
+            actual.lines().nth(diverge).unwrap_or("<eof>"),
+        );
+    }
+}
+
+fn assert_mix_bit_identical(got: &MnemonicMix, want: &MnemonicMix, what: &str) {
+    let mnems = got.union_mnemonics(want);
+    for m in mnems {
+        assert_eq!(
+            got.get(m).to_bits(),
+            want.get(m).to_bits(),
+            "{what}: {m} differs ({} vs {})",
+            got.get(m),
+            want.get(m)
+        );
+    }
+}
+
+#[test]
+fn record_serve_query_report_loopback() {
+    let tmp = std::env::temp_dir().join(format!("hbbp-cli-loopback-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&tmp).unwrap();
+    let normalize = |s: &str| s.replace(tmp.to_str().unwrap(), "<TMP>");
+    let recording = tmp.join("p.bin");
+    let store_dir = tmp.join("store");
+    let mut transcript = String::new();
+
+    // 1. record → file.
+    let rec = RecordOptions::parse(&args(&[
+        "--workload",
+        "phased",
+        "--scale",
+        "tiny",
+        "--out",
+        recording.to_str().unwrap(),
+    ]))
+    .unwrap();
+    transcript.push_str(&render::section(
+        "record to file",
+        &normalize(&rec.run().unwrap()),
+    ));
+
+    // 2. serve.
+    let serve = ServeOptions::parse(&args(&[
+        "--workload",
+        "phased",
+        "--scale",
+        "tiny",
+        "--shards",
+        "2",
+        "--dir",
+        store_dir.to_str().unwrap(),
+    ]))
+    .unwrap();
+    let (handle, _banner) = serve.spawn().unwrap();
+    let addr = handle.addr().to_string();
+
+    // 3. record → daemon: deterministic seeds, so the stream the daemon
+    // ingests is byte-identical to the file recording.
+    let rec_daemon = RecordOptions::parse(&args(&[
+        "--workload",
+        "phased",
+        "--scale",
+        "tiny",
+        "--daemon",
+        &addr,
+        "--source",
+        "1",
+    ]))
+    .unwrap();
+    transcript.push_str(&render::section(
+        "record to daemon",
+        &normalize(&rec_daemon.run().unwrap()),
+    ));
+
+    // 4. query mix / top / stats.
+    let query = |parts: &[&str]| -> String {
+        let mut argv = args(parts);
+        argv.extend(args(&["--addr", &addr]));
+        QueryOptions::parse(&raw(&argv)).unwrap().run().unwrap()
+    };
+    let mix_text = query(&["mix"]);
+    transcript.push_str(&render::section("query mix", &mix_text));
+    transcript.push_str(&render::section("query top", &query(&["top", "--k", "5"])));
+    transcript.push_str(&render::section("query stats", &query(&["stats"])));
+
+    // Capture the raw aggregate mix before shutting the daemon down.
+    let daemon_mix = hbbp_store::StoreClient::new(handle.addr())
+        .query_mix()
+        .unwrap();
+
+    // 5. shutdown (joins the daemon).
+    transcript.push_str(&render::section("query shutdown", &query(&["shutdown"])));
+    handle.wait();
+
+    // 6. report from the recording.
+    let report_rec = ReportOptions::parse(&args(&[
+        "--recording",
+        recording.to_str().unwrap(),
+        "--workload",
+        "phased",
+        "--scale",
+        "tiny",
+    ]))
+    .unwrap();
+    transcript.push_str(&render::section(
+        "report recording",
+        &normalize(&report_rec.run().unwrap()),
+    ));
+
+    // 7. offline store maintenance: merge both partitions, stat the
+    // result, report its aggregate and timeline.
+    let merged = tmp.join("merged.hbbp");
+    let part = |i: usize| store_dir.join(format!("part-{i}.hbbp"));
+    let merge = StoreOptions::parse(&args(&[
+        "merge",
+        "--into",
+        merged.to_str().unwrap(),
+        part(0).to_str().unwrap(),
+        part(1).to_str().unwrap(),
+    ]))
+    .unwrap();
+    transcript.push_str(&render::section(
+        "store merge",
+        &normalize(&merge.run().unwrap()),
+    ));
+    let stats = StoreOptions::parse(&args(&["stats", merged.to_str().unwrap()])).unwrap();
+    transcript.push_str(&render::section(
+        "store stats",
+        &normalize(&stats.run().unwrap()),
+    ));
+    let report_store = ReportOptions::parse(&args(&[
+        "--store",
+        merged.to_str().unwrap(),
+        "--workload",
+        "phased",
+        "--scale",
+        "tiny",
+    ]))
+    .unwrap();
+    let report_store_text = report_store.run().unwrap();
+    transcript.push_str(&render::section(
+        "report store",
+        &normalize(&report_store_text),
+    ));
+    let timeline = ReportOptions::parse(&args(&[
+        "--store",
+        merged.to_str().unwrap(),
+        "--timeline",
+        "--format",
+        "csv",
+    ]))
+    .unwrap();
+    transcript.push_str(&render::section(
+        "report store timeline (csv)",
+        &timeline.run().unwrap(),
+    ));
+
+    // ---- bit-identity: daemon aggregate == analyze_fused == merged store ----
+    let workload = hbbp_workloads::phased(hbbp_workloads::Scale::Tiny);
+    let analyzer = analyzer_for(&workload).unwrap();
+    let bytes = std::fs::read(&recording).unwrap();
+    let data = hbbp_perf::codec::read(&bytes).unwrap();
+    let periods = SamplingPeriods {
+        ebs: 1009,
+        lbr: 211,
+    };
+    let batch = analyzer.analyze_fused(&data, periods, &HybridRule::paper_default());
+    let expected_mix = analyzer.mix(&batch.hbbp.bbec);
+
+    assert_mix_bit_identical(
+        &daemon_mix,
+        &expected_mix,
+        "daemon aggregate vs analyze_fused",
+    );
+
+    let merged_store = hbbp_store::ProfileStore::open(&merged).unwrap();
+    let merged_mix = analyzer.mix(&merged_store.snapshot().aggregate());
+    assert_mix_bit_identical(&merged_mix, &expected_mix, "merged store vs analyze_fused");
+
+    // The rendered outputs agree too: querying the daemon and rendering
+    // analyze_fused locally produce the same table.
+    assert_eq!(
+        mix_text,
+        render::render_mix(&expected_mix, 20, render::Format::Text),
+        "rendered daemon mix differs from rendered analyze_fused mix"
+    );
+
+    assert_golden(&transcript);
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
+/// The acceptance-criteria command pair, end to end through the real
+/// binary: `hbbp record --workload phased --out p.bin && hbbp analyze
+/// p.bin --window samples:1000 --format json`.
+#[test]
+fn real_binary_record_then_windowed_analyze() {
+    let tmp = std::env::temp_dir().join(format!("hbbp-cli-bin-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&tmp).unwrap();
+    let recording = tmp.join("p.bin");
+    let bin = env!("CARGO_BIN_EXE_hbbp");
+
+    let record = std::process::Command::new(bin)
+        .args(["record", "--workload", "phased", "--out"])
+        .arg(&recording)
+        .output()
+        .unwrap();
+    assert!(
+        record.status.success(),
+        "record failed: {}",
+        String::from_utf8_lossy(&record.stderr)
+    );
+    assert!(String::from_utf8_lossy(&record.stdout).contains("recorded phased"));
+
+    let analyze = std::process::Command::new(bin)
+        .arg("analyze")
+        .arg(&recording)
+        .args(["--window", "samples:1000", "--format", "json"])
+        .output()
+        .unwrap();
+    assert!(
+        analyze.status.success(),
+        "analyze failed: {}",
+        String::from_utf8_lossy(&analyze.stderr)
+    );
+    let json = String::from_utf8_lossy(&analyze.stdout);
+    assert!(json.trim_start().starts_with('['), "timeline JSON array");
+    assert!(json.contains("\"window\": 0"));
+    assert!(json.contains("\"mnemonics\":"));
+
+    // Usage-error and help exit codes through the real binary.
+    let help = std::process::Command::new(bin)
+        .arg("--help")
+        .output()
+        .unwrap();
+    assert!(help.status.success());
+    let bad = std::process::Command::new(bin)
+        .args(["analyze", "p.bin", "--window", "bogus:1"])
+        .output()
+        .unwrap();
+    assert_eq!(bad.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("invalid value `bogus:1` for --window"));
+
+    let _ = std::fs::remove_dir_all(&tmp);
+}

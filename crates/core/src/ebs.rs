@@ -5,7 +5,7 @@
 //! must then divide the number of samples recorded for a basic block by
 //! the instruction length of that block."
 //!
-//! The production path ([`estimate`] / [`EbsAccum`]) works in the block
+//! The production path ([`estimate`] / the crate-internal `EbsAccum`) works in the block
 //! **index** coordinate system: raw sample tallies live in a plain vector
 //! indexed by [`BlockMap`] block index and IPs resolve through a
 //! [`hbbp_program::BlockCursor`], so the hot loop performs no hashing.

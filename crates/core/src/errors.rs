@@ -4,6 +4,22 @@
 //! weighted error**, `Σ_M error(M) · ref(M) / Σ ref` — "the sum of errors
 //! for each mnemonic M multiplied by its frequency of its occurrence in a
 //! given workload".
+//!
+//! ```
+//! use hbbp_core::MixComparison;
+//! use hbbp_isa::Mnemonic;
+//! use hbbp_program::MnemonicMix;
+//!
+//! let mut reference = MnemonicMix::new();
+//! reference.add(Mnemonic::Add, 100.0);
+//! let mut measured = MnemonicMix::new();
+//! measured.add(Mnemonic::Add, 90.0);
+//!
+//! let cmp = MixComparison::compare(&reference, &measured);
+//! assert!((cmp.avg_weighted_error() - 0.10).abs() < 1e-12);
+//! let add_error = cmp.error_for(Mnemonic::Add).unwrap();
+//! assert!((add_error - 0.10).abs() < 1e-12);
+//! ```
 
 use hbbp_isa::Mnemonic;
 use hbbp_program::MnemonicMix;

@@ -6,7 +6,7 @@
 //! disproportionately (their terminating streams are structurally dropped)
 //! and flags the blocks whose LBR evidence depends on them.
 //!
-//! The production path ([`estimate`] / [`LbrAccum`]) interns branch source
+//! The production path ([`estimate`] / the crate-internal `LbrAccum`) interns branch source
 //! addresses into dense ids once and keeps every per-branch statistic in a
 //! plain vector; per-stack dedup uses an epoch-stamped bitset (O(1) per
 //! entry, replacing the seed's linear `contains` scan); per-block weights

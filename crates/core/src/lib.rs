@@ -48,7 +48,7 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod analyzer;

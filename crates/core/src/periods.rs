@@ -11,6 +11,18 @@
 //! periodicities. Simulated runs are orders of magnitude shorter than real
 //! ones, so [`SamplingPeriods::scaled_for`] derives equivalent periods that
 //! keep sample populations statistically comparable.
+//!
+//! ```
+//! use hbbp_core::{RuntimeClass, SamplingPeriods};
+//!
+//! // Table 4: a seconds-class workload samples EBS at ~1M, LBR at ~100k.
+//! let p = SamplingPeriods::paper(RuntimeClass::from_seconds(5.0));
+//! assert_eq!((p.ebs, p.lbr), (1_000_037, 100_003));
+//!
+//! // Simulated runs scale down but keep the LBR period the smaller one.
+//! let scaled = SamplingPeriods::scaled_for(50_000_000);
+//! assert!(scaled.lbr < scaled.ebs);
+//! ```
 
 use std::fmt;
 

@@ -9,6 +9,19 @@
 //! header   "HBBPPERF" (8 bytes)  version u32 LE
 //! record   type u8 | payload_len u32 LE | payload
 //! ```
+//!
+//! ```
+//! use hbbp_perf::{codec, PerfData, PerfRecord};
+//!
+//! let mut data = PerfData::new();
+//! data.push(PerfRecord::Comm { pid: 7, tid: 7, name: "demo".into() });
+//! data.push(PerfRecord::Exit { pid: 7, time_cycles: 1234 });
+//!
+//! // write → read round-trips exactly; StreamEncoder produces the same
+//! // bytes incrementally (see PerfSession::record_to_sink).
+//! let bytes = codec::write(&data);
+//! assert_eq!(codec::read(&bytes).unwrap(), data);
+//! ```
 
 use crate::{PerfData, PerfRecord, PerfSample};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -118,7 +131,7 @@ pub fn read(mut bytes: &[u8]) -> Result<PerfData, ReadError> {
 /// Incremental encoder of the perf stream format onto any
 /// [`std::io::Write`] — the write-side twin of [`crate::StreamDecoder`].
 ///
-/// [`codec::write`](write) needs the whole [`PerfData`] in memory;
+/// [`codec::write`](write()) needs the whole [`PerfData`] in memory;
 /// `StreamEncoder` emits the identical bytes one record at a time, so a
 /// collection session can stream straight onto a socket or a file that a
 /// decoder tails concurrently. Byte-identity with the batch writer is

@@ -12,7 +12,7 @@
 //! materialize a file ([`PerfSession::record`]) or feed a [`RecordSink`]
 //! online ([`PerfSession::record_streaming`]).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod codec;

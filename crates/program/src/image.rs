@@ -233,7 +233,7 @@ pub struct StreamWalk {
 /// sorted by address, with fast address lookup.
 ///
 /// A discovered map also carries a page-granular lookup index (see
-/// [`PageIndex`]) so [`BlockMap::enclosing`] resolves an instruction
+/// `PageIndex`) so [`BlockMap::enclosing`] resolves an instruction
 /// pointer with a handful of comparisons instead of a binary search over
 /// every block, and hands out [`BlockCursor`]s exploiting the temporal
 /// locality of profiling samples.

@@ -143,7 +143,7 @@ impl fmt::Display for EventKind {
 /// On the simulated PMU, as on real hardware, only `INST_RETIRED` offers a
 /// precisely-distributed variant (`:PREC_DIST`), and the paper notes it
 /// "can only be enabled on one of the available PMU counters" — a
-/// constraint [`crate::Pmu`] enforces.
+/// constraint the PMU model enforces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventSpec {
     /// The event to count.

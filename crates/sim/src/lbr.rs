@@ -1,10 +1,10 @@
-//! The Last Branch Record facility, including the entry[0] bias quirk.
+//! The Last Branch Record facility, including the entry\[0\] bias quirk.
 //!
 //! Paper §III.B-C: the LBR is "a circular hardware buffer, continually
 //! filled with executed branches"; a snapshot is "a stack of 16 entries",
 //! each a source→target pair. The paper's key discovery is an anomaly:
 //! "a particular branch occurring a disproportionate number of times (even
-//! up to 50% of the time) in entry[0] of the LBR stack", whose stream
+//! up to 50% of the time) in entry\[0\] of the LBR stack", whose stream
 //! (`<Target[-1], Source[0]>` does not exist) must be dropped, distorting
 //! BBECs.¹
 //!
@@ -14,7 +14,7 @@
 //! unlucky code alignments — a deterministic predicate over the laid-out
 //! code, standing in for the real erratum) cause the reported 16-entry
 //! window to align on them with configurable probability, which puts the
-//! sticky branch in entry[0] (the oldest reported slot).
+//! sticky branch in entry\[0\] (the oldest reported slot).
 //!
 //! ¹ The paper notes the anomaly was reported to the manufacturer and fixed
 //! in later designs; [`LbrQuirk::disabled`] models those.
@@ -45,13 +45,13 @@ pub fn is_sticky_branch(branch_addr: u64) -> bool {
     branch_addr % STICKY_ALIGN < STICKY_WINDOW
 }
 
-/// Parameters of the entry[0] bias quirk.
+/// Parameters of the entry\[0\] bias quirk.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LbrQuirk {
     /// Whether the quirk is active (Ivy Bridge-era hardware: yes).
     pub enabled: bool,
     /// Probability that a sticky branch in the eligible region captures
-    /// entry[0] of a snapshot (the paper observed rates up to ~50%).
+    /// entry\[0\] of a snapshot (the paper observed rates up to ~50%).
     pub entry0_prob: f64,
     /// How many positions before the default window the hardware may
     /// mis-align by.
@@ -154,7 +154,7 @@ impl LbrRing {
     }
 
     /// Take a snapshot as delivered by the PMI handler: up to
-    /// `stack_depth` entries, **oldest first** (entry[0] = oldest), with
+    /// `stack_depth` entries, **oldest first** (entry\[0\] = oldest), with
     /// the bias quirk applied.
     pub fn snapshot(&self, rng: &mut SmallRng) -> Vec<LbrEntry> {
         let depth = self.config.stack_depth;

@@ -5,7 +5,7 @@
 //! `source % shards`) so concurrent collectors contend only when they
 //! hash to the same partition file.
 //!
-//! Each [`OP_STREAM`](crate::wire::OP_STREAM) connection is decoded
+//! Each [`OP_STREAM`] connection is decoded
 //! incrementally (strict [`StreamDecoder`]) and fed through **two**
 //! online analyzers:
 //!

@@ -69,10 +69,10 @@
 //! ```
 //!
 //! The on-disk format is documented on the frame codec (see the
-//! repository README's architecture section for the diagram), the wire
-//! protocol in [`wire`].
+//! repository's `docs/ARCHITECTURE.md` for the framing diagram), the
+//! wire protocol in [`wire`].
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod daemon;

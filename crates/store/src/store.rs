@@ -409,6 +409,33 @@ impl ProfileStore {
     /// re-sequenced per source so per-source order is preserved without
     /// colliding with frames already present).
     ///
+    /// ```
+    /// use hbbp_program::{Bbec, Ring};
+    /// use hbbp_store::{ModuleSpan, ProfileStore, StoreIdentity};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let dir = std::env::temp_dir().join(format!("hbbp-merge-doc-{}", std::process::id()));
+    /// std::fs::create_dir_all(&dir)?;
+    /// let identity = StoreIdentity {
+    ///     program: "demo".into(),
+    ///     block_count: 1,
+    ///     modules: vec![ModuleSpan { name: "demo.bin".into(), base: 0x1000, len: 0x100, ring: Ring::User }],
+    /// };
+    /// let mut a = ProfileStore::open_with_identity(dir.join("a.hbbp"), identity.clone())?;
+    /// let mut b = ProfileStore::open_with_identity(dir.join("b.hbbp"), identity)?;
+    /// a.append_counts(1, 10, 5, [(0x1000u64, 100.0)].into_iter().collect::<Bbec>())?;
+    /// b.append_counts(2, 20, 9, [(0x1000u64, 50.0)].into_iter().collect::<Bbec>())?;
+    ///
+    /// // Lossless: both counts frames survive, and the aggregate is the
+    /// // canonical (source, seq)-ordered fold over the union.
+    /// a.merge_from(&b.snapshot())?;
+    /// assert_eq!(a.counts().len(), 2);
+    /// assert_eq!(a.aggregate().get(0x1000), 150.0);
+    /// # std::fs::remove_dir_all(&dir)?;
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
     /// # Errors
     ///
     /// [`StoreError::IdentityMismatch`] when the identities differ (or

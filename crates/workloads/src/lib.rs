@@ -5,13 +5,13 @@
 //!
 //! * [`spec`] — 29 SPEC CPU2006-named benchmarks with per-benchmark
 //!   block-length, loop and mix characters (Figure 2, Table 1);
-//! * [`test40`] — the Geant4-like OO particle simulation (Table 5,
+//! * [`test40`](mod@test40) — the Geant4-like OO particle simulation (Table 5,
 //!   Figures 3-4);
-//! * [`fitter`] — the track-fitting kernel in x87/SSE/AVX builds plus the
+//! * [`fitter`](mod@fitter) — the track-fitting kernel in x87/SSE/AVX builds plus the
 //!   broken-inlining AVX build and its fix (Tables 3 and 6);
 //! * [`kernel`] — the prime-search kernel-module benchmark with
 //!   tracepoints (Table 7);
-//! * [`clforward`] — the vectorization before/after pair (Table 8);
+//! * [`clforward`](mod@clforward) — the vectorization before/after pair (Table 8);
 //! * [`hydro`] — the 76× instrumentation-slowdown extreme (Table 1);
 //! * [`phased`](mod@phased) — a phase-switching workload (integer / SSE /
 //!   AVX kernels in long dwells) for windowed streaming analysis;

@@ -5,7 +5,7 @@
 //! instruction mix averages them away. This workload makes the phases
 //! explicit: execution dwells in one kernel at a time and cycles through
 //! all of them repeatedly, so a **windowed** online analysis
-//! ([`hbbp_core::OnlineAnalyzer`] with a time window narrower than one
+//! (`hbbp_core::OnlineAnalyzer` with a time window narrower than one
 //! phase) resolves a mix *timeline* that a batch analysis cannot.
 
 use crate::synth::{emit_function, Behavior, BehaviorMap, InstrClass, MixProfile, Segment};

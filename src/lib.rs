@@ -24,6 +24,7 @@
 //! | [`workloads`] | SPEC-like suite, Test40, Fitter, kernel module, … |
 //! | [`core`] | HBBP itself: estimators, hybrid rule, analyzer, training |
 //! | [`store`] | persistent mergeable profile store + `hbbpd` collection daemon |
+//! | [`cli`] | the `hbbp` command-line driver (record, analyze, serve, query, store, report) |
 //!
 //! ## Quickstart
 //!
@@ -50,6 +51,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use hbbp_cli as cli;
 pub use hbbp_core as core;
 pub use hbbp_instrument as instrument;
 pub use hbbp_isa as isa;
