@@ -1,16 +1,20 @@
-//! The store/daemon bench: ingest throughput of `hbbpd` at 1/4/8
-//! concurrent clients (loopback TCP, wire decode + online analysis +
-//! segment-log append per client), plus store merge and aggregate-fold
-//! cost.
+//! The store/daemon bench: ingest round latency of `hbbpd` at
+//! 1/4/8/64/256 concurrent clients (loopback TCP, wire decode + online
+//! analysis + segment-log append per client), plus store merge and
+//! aggregate-fold cost. The headline is the event-driven daemon's
+//! **sub-linear scaling**: past the core count, additional clients cost
+//! only their fair share of each poll loop, so a 64-client round stays
+//! well under 8x an 8-client round.
 //!
-//! A run writes `BENCH_store.json` to the workspace root: the timings
-//! plus the deterministic per-client stream facts (bytes, records) that
-//! turn `ns/iter` into throughput. Set `STORE_BENCH_QUICK=1` for the CI
-//! smoke mode (fewer iterations; the JSON records which mode ran).
+//! A run writes `BENCH_store.json` to the workspace root: the timings,
+//! a derived scaling block, and the deterministic per-client stream
+//! facts (bytes, records) that turn `ns/iter` into throughput. Set
+//! `STORE_BENCH_QUICK=1` for the CI smoke mode (fewer iterations; the
+//! JSON records which mode ran).
 
 mod common;
 
-use common::{quick_mode, results_block, write_workspace_root};
+use common::{json_escape, quick_mode, results_block, write_workspace_root};
 use criterion::{black_box, Criterion};
 use hbbp_core::{Analyzer, HybridRule, SamplingPeriods, Window};
 use hbbp_perf::PerfSession;
@@ -20,7 +24,13 @@ use hbbp_store::{DaemonConfig, DaemonHandle, ProfileStore, Snapshot, StoreIdenti
 use hbbp_workloads::{phased_client, Scale};
 use std::path::PathBuf;
 
-const MAX_CLIENTS: u32 = 8;
+/// Distinct prepared streams; larger fan-outs reuse them cyclically
+/// (source `c` streams `streams[c % DISTINCT_STREAMS]`), so a 256-client
+/// round measures daemon concurrency, not recording-generation cost.
+const DISTINCT_STREAMS: u32 = 8;
+
+/// Concurrent-client counts per ingest round.
+const CLIENT_COUNTS: [u32; 5] = [1, 4, 8, 64, 256];
 const PERIODS: SamplingPeriods = SamplingPeriods {
     ebs: 1009,
     lbr: 211,
@@ -49,7 +59,7 @@ fn build_case() -> Case {
     let mut bbecs = Vec::new();
     let mut identity = None;
     let rule = HybridRule::paper_default();
-    for c in 0..MAX_CLIENTS {
+    for c in 0..DISTINCT_STREAMS {
         let w = phased_client(Scale::Tiny, c);
         let session =
             PerfSession::hbbp(Cpu::with_seed(40 + u64::from(c)), PERIODS.ebs, PERIODS.lbr)
@@ -86,40 +96,92 @@ fn spawn_daemon(case: &Case, tag: &str) -> DaemonHandle {
         window: Some(Window::Samples(256)),
         shards: 4,
         dir: tmp_dir(tag),
+        workers: 0,
+        queue_depth: 0,
     })
     .expect("daemon")
 }
 
-/// One ingest round: `n` clients stream concurrently; returns records
-/// ingested.
-fn ingest_round(handle: &DaemonHandle, case: &Case, n: u32) -> u64 {
-    let client = handle.client();
-    std::thread::scope(|scope| {
-        let joins: Vec<_> = (0..n)
-            .map(|c| {
-                let bytes = &case.streams[c as usize];
-                scope.spawn(move || {
-                    client
-                        .stream_bytes(c, bytes)
+/// A fleet of `n` pre-spawned collector threads, one per source. The
+/// threads outlive the measurement so a round times the daemon — connect,
+/// stream, analysis, group commit, reply — not `thread::spawn` (which
+/// alone costs ~13 ms for 256 threads on this class of machine).
+struct ClientFleet {
+    starts: Vec<std::sync::mpsc::SyncSender<()>>,
+    done: std::sync::mpsc::Receiver<u64>,
+    joins: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ClientFleet {
+    fn new(handle: &DaemonHandle, case: &Case, n: u32) -> ClientFleet {
+        let addr = handle.addr();
+        let (done_tx, done) = std::sync::mpsc::sync_channel(n as usize);
+        let mut starts = Vec::new();
+        let mut joins = Vec::new();
+        for c in 0..n {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<()>(1);
+            starts.push(tx);
+            let bytes = case.streams[c as usize % case.streams.len()].clone();
+            let done_tx = done_tx.clone();
+            joins.push(std::thread::spawn(move || {
+                let client = hbbp_store::StoreClient::new(addr);
+                while rx.recv().is_ok() {
+                    let records = client
+                        .stream_bytes(c, &bytes)
                         .expect("stream to daemon")
-                        .records
-                })
-            })
-            .collect();
-        joins.into_iter().map(|j| j.join().expect("client")).sum()
-    })
+                        .records;
+                    done_tx.send(records).expect("bench alive");
+                }
+            }));
+        }
+        ClientFleet {
+            starts,
+            done,
+            joins,
+        }
+    }
+
+    /// One ingest round: every client streams concurrently; returns
+    /// records ingested.
+    fn round(&self) -> u64 {
+        for tx in &self.starts {
+            tx.send(()).expect("client alive");
+        }
+        (0..self.starts.len())
+            .map(|_| self.done.recv().expect("client round"))
+            .sum()
+    }
+}
+
+impl Drop for ClientFleet {
+    fn drop(&mut self) {
+        self.starts.clear();
+        for j in self.joins.drain(..) {
+            let _ = j.join();
+        }
+    }
 }
 
 fn bench_store(c: &mut Criterion, case: &Case, quick: bool) {
     let mut group = c.benchmark_group("store");
-    group.sample_size(if quick { 5 } else { 15 });
-    for clients in [1u32, 4, 8] {
-        let handle = spawn_daemon(case, &format!("ingest{clients}"));
-        group.bench_function(&format!("ingest_{clients}_clients"), |b| {
-            b.iter(|| black_box(ingest_round(&handle, case, clients)))
+    for clients in CLIENT_COUNTS {
+        // Big fan-outs get fewer samples: one 256-client round is itself
+        // hundreds of concurrent streams' worth of measurement.
+        group.sample_size(match (quick, clients >= 64) {
+            (true, true) => 3,
+            (true, false) => 5,
+            (false, true) => 8,
+            (false, false) => 15,
         });
+        let handle = spawn_daemon(case, &format!("ingest{clients}"));
+        let fleet = ClientFleet::new(&handle, case, clients);
+        group.bench_function(&format!("ingest_{clients}_clients"), |b| {
+            b.iter(|| black_box(fleet.round()))
+        });
+        drop(fleet);
         handle.shutdown().expect("shutdown");
     }
+    group.sample_size(if quick { 5 } else { 15 });
     group.bench_function("merge_two_stores", |b| {
         let dir = tmp_dir("merge");
         let snapshot_b = Snapshot {
@@ -170,6 +232,74 @@ fn bench_store(c: &mut Criterion, case: &Case, quick: bool) {
     group.finish();
 }
 
+/// Derive the scaling headline from the measured ingest rounds: with a
+/// fixed core count, an N-client round should cost well under (N/8)x an
+/// 8-client round once N exceeds the worker pool.
+fn scaling_block(c: &Criterion) -> Option<String> {
+    let round_ns = |clients: u32| {
+        c.measurements()
+            .iter()
+            .find(|m| m.name == format!("store/ingest_{clients}_clients"))
+            .map(|m| m.ns_per_iter)
+    };
+    let rounds: Vec<(u32, f64)> = CLIENT_COUNTS
+        .iter()
+        .filter_map(|&n| round_ns(n).map(|v| (n, v)))
+        .collect();
+    if rounds.len() != CLIENT_COUNTS.len() {
+        return None;
+    }
+    let get = |n: u32| rounds.iter().find(|(c, _)| *c == n).expect("measured").1;
+    let (r1, r8, r64, r256) = (get(1), get(8), get(64), get(256));
+    // The headline chain the daemon is built for: each 8x fan-out costs
+    // less than 8x the previous round (fixed per-round costs amortize,
+    // additional clients pay only their fair share of the poll loops).
+    let x8 = r8 / (8.0 * r1);
+    let x64 = r64 / (8.0 * r8);
+    let x256 = r256 / (4.0 * r64);
+    let mut out = String::from("  \"scaling\": {\n");
+    out.push_str(&format!(
+        "    \"clients\": [{}],\n",
+        CLIENT_COUNTS
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!(
+        "    \"ms_per_round\": [{}],\n",
+        rounds
+            .iter()
+            .map(|(_, ns)| format!("{:.3}", ns / 1e6))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!(
+        "    \"cost_vs_linear_prev\": {{ \"8_vs_1\": {x8:.3}, \"64_vs_8\": {x64:.3}, \"256_vs_64\": {x256:.3} }},\n"
+    ));
+    out.push_str(&format!(
+        "    \"cost_64_vs_linear_from_1\": {:.3},\n",
+        r64 / (64.0 * r1)
+    ));
+    out.push_str(&format!("    \"sub_linear\": {},\n", x8 < 1.0 && x64 < 1.0));
+    out.push_str(&format!(
+        "    \"headline\": \"{}\"\n",
+        json_escape(&format!(
+            "sub-linear 1->8->64: 8 clients = {:.2}ms ({:.0}% of 8x the 1-client round), \
+             64 clients = {:.2}ms ({:.0}% of 8x the 8-client round, {:.0}% of 64x the \
+             1-client round); 256 clients = {:.2}ms",
+            r8 / 1e6,
+            x8 * 100.0,
+            r64 / 1e6,
+            x64 * 100.0,
+            r64 / (64.0 * r1) * 100.0,
+            r256 / 1e6,
+        ))
+    ));
+    out.push_str("  },\n");
+    Some(out)
+}
+
 fn emit_json(c: &Criterion, quick: bool, case: &Case) -> String {
     let total_bytes: usize = case.streams.iter().map(Vec::len).sum();
     let total_records: u64 = case.records.iter().sum();
@@ -191,6 +321,9 @@ fn emit_json(c: &Criterion, quick: bool, case: &Case) -> String {
             .collect::<Vec<_>>()
             .join(", "),
     ));
+    if let Some(scaling) = scaling_block(c) {
+        out.push_str(&scaling);
+    }
     out.push_str(&results_block(c));
     out.push_str("\n}\n");
     out

@@ -109,6 +109,8 @@ pub fn fleet(opts: &ExpOptions, n_clients: u32) -> FleetOutcome {
         window: Some(Window::Samples(256)),
         shards: 2,
         dir: dir.clone(),
+        workers: 0,
+        queue_depth: 0,
     })
     .expect("daemon");
     let client = handle.client();

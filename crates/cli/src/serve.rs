@@ -15,7 +15,7 @@ use std::path::PathBuf;
 pub struct ServeOptions {
     /// Workload whose address space the daemon serves.
     pub workload: WorkloadOptions,
-    /// Store partitions.
+    /// Store partitions (each owned by one writer thread).
     pub shards: usize,
     /// Directory holding the partition files.
     pub dir: PathBuf,
@@ -24,10 +24,16 @@ pub struct ServeOptions {
     pub window: Option<Window>,
     /// The hybrid decision rule.
     pub rule: HybridRule,
+    /// Poll-loop worker threads (`0` = auto-size to the machine).
+    pub workers: usize,
+    /// Per-shard writer queue bound in messages (`0` = built-in default).
+    pub queue_depth: usize,
 }
 
 /// Usage text for `hbbp serve` (and `hbbpd`). `program` names the binary
-/// in the synopsis line.
+/// in the synopsis line. The wire-protocol listing is generated from
+/// `hbbp_store::wire::PROTOCOL_OPS` — the same source of truth behind
+/// `docs/PROTOCOL.md` — so the two binaries and the spec cannot drift.
 pub fn usage(program: &str) -> String {
     format!(
         "usage: {program} [options]\n\
@@ -38,25 +44,26 @@ pub fn usage(program: &str) -> String {
          aggregate back (`hbbp query`). Stop it with `hbbp query shutdown`.\n\
          \n\
          options:\n\
-         \x20 --shards N          store partitions (default 4)\n\
+         \x20 --shards N          store partitions, one writer thread each (default 4)\n\
          \x20 --dir PATH          partition file directory (default hbbpd-store)\n\
+         \x20 --workers N         poll-loop worker threads; 0 = auto (default 0)\n\
+         \x20 --queue-depth N     per-shard writer queue bound in messages;\n\
+         \x20                     0 = default ({queue_depth})\n\
          \x20 --window samples:<n>|cycles:<n>|none\n\
          \x20                     per-connection timeline windowing (default samples:512)\n\
          \x20 --rule paper|cutoff=<n>|always-ebs|always-lbr\n\
          \x20                     hybrid decision rule (default paper)\n\
-         {}\n\
+         {workload}\n\
          \n\
-         wire protocol (length-prefixed `op u8 | len u32 LE | payload`):\n\
-         \x20 STREAM(source u32)  + perf byte stream, then half-close -> INGESTED\n\
-         \x20 QUERY_MIX           aggregate mix                       -> MIX\n\
-         \x20 QUERY_TOP(k u32)    k most-executed mnemonics           -> MIX\n\
-         \x20 STATS               shards/frames/sources/bytes         -> STATS\n\
-         \x20 COMPACT             compact every partition log         -> OK\n\
-         \x20 SHUTDOWN            stop accepting and exit             -> OK\n\
+         wire protocol (length-prefixed `op u8 | len u32 LE | payload`;\n\
+         see docs/PROTOCOL.md for the full spec):\n\
+         {protocol}\
          \n\
-         {}",
-        WorkloadOptions::usage_lines(),
-        registry::registry_help()
+         {registry}",
+        queue_depth = hbbp_store::DEFAULT_QUEUE_DEPTH,
+        workload = WorkloadOptions::usage_lines(),
+        protocol = hbbp_store::wire::protocol_listing(),
+        registry = registry::registry_help()
     )
 }
 
@@ -68,6 +75,8 @@ impl ServeOptions {
         let mut dir = PathBuf::from("hbbpd-store");
         let mut window = Some(Window::Samples(512));
         let mut rule = HybridRule::paper_default();
+        let mut workers = 0usize;
+        let mut queue_depth = 0usize;
         parse_all(args, |flag, s| {
             if workload.accept(flag, s)? {
                 return Ok(Some(()));
@@ -80,6 +89,13 @@ impl ServeOptions {
                     }
                 }
                 "--dir" => dir = PathBuf::from(s.value("--dir")?),
+                "--workers" => {
+                    workers = s.value_parsed("--workers", "a worker count (0 = auto)")?;
+                }
+                "--queue-depth" => {
+                    queue_depth =
+                        s.value_parsed("--queue-depth", "a queue bound in messages (0 = default)")?;
+                }
                 "--window" => {
                     let v = s.value("--window")?;
                     window = if v == "none" {
@@ -99,6 +115,8 @@ impl ServeOptions {
             dir,
             window,
             rule,
+            workers,
+            queue_depth,
         })
     }
 
@@ -116,16 +134,26 @@ impl ServeOptions {
             window: self.window,
             shards: self.shards,
             dir: self.dir.clone(),
+            workers: self.workers,
+            queue_depth: self.queue_depth,
         })
         .map_err(|e| CliError::Failed(format!("daemon spawn failed: {e:?}")))?;
         let mut banner = String::new();
         let _ = writeln!(banner, "hbbpd listening on {}", handle.addr());
         let _ = writeln!(
             banner,
-            "workload={} scale={:?} shards={} periods=ebs:{}/lbr:{} window={}",
+            "workload={} scale={:?} shards={} workers={} queue-depth={} periods=ebs:{}/lbr:{} window={}",
             w.name(),
             self.workload.scale,
             self.shards,
+            match self.workers {
+                0 => "auto".to_owned(),
+                n => n.to_string(),
+            },
+            match self.queue_depth {
+                0 => hbbp_store::DEFAULT_QUEUE_DEPTH,
+                n => n,
+            },
             self.workload.periods.ebs,
             self.workload.periods.lbr,
             match self.window {
@@ -162,6 +190,8 @@ mod tests {
         assert_eq!(opts.shards, 4);
         assert_eq!(opts.dir, PathBuf::from("hbbpd-store"));
         assert_eq!(opts.window, Some(Window::Samples(512)));
+        assert_eq!(opts.workers, 0, "auto-sized pool by default");
+        assert_eq!(opts.queue_depth, 0, "built-in queue bound by default");
     }
 
     #[test]
@@ -177,6 +207,13 @@ mod tests {
     }
 
     #[test]
+    fn pool_flags_parse() {
+        let opts = ServeOptions::parse(&raw(&["--workers", "3", "--queue-depth", "64"])).unwrap();
+        assert_eq!(opts.workers, 3);
+        assert_eq!(opts.queue_depth, 64);
+    }
+
+    #[test]
     fn usage_lists_the_wire_ops() {
         let u = usage("hbbpd");
         for op in [
@@ -189,5 +226,15 @@ mod tests {
         ] {
             assert!(u.contains(op), "usage must document {op}");
         }
+    }
+
+    #[test]
+    fn usage_listing_is_the_protocol_source_of_truth() {
+        // Both binaries print the same generated listing — drift between
+        // `hbbp serve --help`, `hbbpd --help` and the protocol tables is
+        // structurally impossible.
+        let listing = hbbp_store::wire::protocol_listing();
+        assert!(usage("hbbpd").contains(&listing));
+        assert!(usage("hbbp serve").contains(&listing));
     }
 }

@@ -1,0 +1,82 @@
+//! Pins `docs/DAEMON.md` to the `serve` surface it documents: every
+//! flag named in its tuning table must exist in `hbbp serve --help`,
+//! and the anchors other docs link to must keep existing.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+fn read_doc(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../docs")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing docs/{name} ({e})"))
+}
+
+/// All `--flag` tokens appearing in a string.
+fn flags_in(text: &str) -> BTreeSet<String> {
+    let mut flags = BTreeSet::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while let Some(at) = text[i..].find("--") {
+        let start = i + at;
+        let end = bytes[start + 2..]
+            .iter()
+            .position(|b| !(b.is_ascii_alphanumeric() || *b == b'-'))
+            .map_or(text.len(), |n| start + 2 + n);
+        // A flag starts with a letter; table rules like `|---|` do not.
+        if end > start + 2 && bytes[start + 2].is_ascii_alphabetic() {
+            flags.insert(text[start..end].to_owned());
+        }
+        i = end.max(start + 2);
+    }
+    flags
+}
+
+#[test]
+fn daemon_md_tuning_flags_exist_in_serve_usage() {
+    let doc = read_doc("DAEMON.md");
+    let tuning = doc
+        .split("## Tuning")
+        .nth(1)
+        .expect("docs/DAEMON.md lost its Tuning section")
+        .split("\n## ")
+        .next()
+        .unwrap();
+    let documented = flags_in(tuning);
+    assert!(
+        documented.len() >= 4,
+        "tuning table looks empty: {documented:?}"
+    );
+    let usage = hbbp_cli::serve::usage("hbbp serve");
+    for flag in &documented {
+        assert!(
+            usage.contains(flag.as_str()),
+            "docs/DAEMON.md tunes {flag}, but `hbbp serve --help` does not offer it"
+        );
+    }
+}
+
+#[test]
+fn serve_pool_flags_are_documented_in_daemon_md() {
+    // The reverse direction for the daemon-specific knobs: the flags the
+    // concurrency model exposes must be in the doc that explains them.
+    let doc = read_doc("DAEMON.md");
+    for flag in ["--shards", "--workers", "--queue-depth"] {
+        assert!(doc.contains(flag), "docs/DAEMON.md must document {flag}");
+    }
+}
+
+#[test]
+fn cross_doc_anchors_keep_existing() {
+    // PROTOCOL.md links DAEMON.md#shutdown-ordering; DAEMON.md links the
+    // STREAM section of PROTOCOL.md. Renaming either heading silently
+    // breaks the link, so pin both.
+    assert!(
+        read_doc("DAEMON.md").contains("\n## Shutdown ordering"),
+        "docs/DAEMON.md lost the heading PROTOCOL.md links to"
+    );
+    assert!(
+        read_doc("PROTOCOL.md").contains("\n## STREAM"),
+        "docs/PROTOCOL.md lost the heading DAEMON.md links to"
+    );
+}

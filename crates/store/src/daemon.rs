@@ -1,23 +1,29 @@
 //! `hbbpd` — the concurrent collection daemon.
 //!
-//! Thread-per-connection over `std::net::TcpListener`, with the store
-//! sharded into `Mutex<ProfileStore>` partitions (partition =
-//! `source % shards`) so concurrent collectors contend only when they
-//! hash to the same partition file.
+//! Event-driven: one acceptor thread, a small pool of poll-loop workers
+//! (the `server` module) each multiplexing many **nonblocking**
+//! connections, and one single-writer thread per store shard (the
+//! `writer` module). There is no `Mutex<ProfileStore>` anywhere —
+//! each shard file (`part-<i>.hbbp`, shard = `source % shards`) is
+//! owned outright by its writer, which drains a bounded queue and
+//! group-commits batched appends as single file writes.
+//! `docs/DAEMON.md` is the spec for this concurrency model.
 //!
-//! Each [`OP_STREAM`] connection is decoded
-//! incrementally (strict [`StreamDecoder`]) and fed through **two**
-//! online analyzers:
+//! Each [`OP_STREAM`](crate::wire::OP_STREAM) connection is decoded
+//! incrementally (strict [`hbbp_perf::StreamDecoder`], tolerant of
+//! partial reads at any byte boundary) and fed through **two** online
+//! analyzers:
 //!
-//! * an unwindowed [`OnlineAnalyzer`] — its whole-stream analysis is
-//!   bit-identical to `Analyzer::analyze_fused` over the same recording
-//!   (pinned in `hbbp-core`), and becomes the connection's counts frame
-//!   at end of stream. This is what makes a queried aggregate
-//!   bit-identical to folding single-process batch analyses;
+//! * an unwindowed [`hbbp_core::OnlineAnalyzer`] — its whole-stream
+//!   analysis is bit-identical to `Analyzer::analyze_fused` over the
+//!   same recording (pinned in `hbbp-core`), and becomes the
+//!   connection's counts frame at end of stream. This is what makes a
+//!   queried aggregate bit-identical to folding single-process batch
+//!   analyses;
 //! * optionally a windowed one, whose closed windows are drained through
-//!   [`OnlineAnalyzer::take_closed_windows`] and flushed into the store
-//!   **while the stream is still running** — the timeline survives even
-//!   if the daemon is killed mid-connection.
+//!   [`hbbp_core::OnlineAnalyzer::take_closed_windows`] and flushed into
+//!   the store **while the stream is still running** — the timeline
+//!   survives even if the daemon is killed mid-connection.
 //!
 //! A connection that errors (corrupt stream, truncated tail from a dying
 //! client) contributes no **counts**: the COUNTS frame is written only
@@ -27,23 +33,33 @@
 //! timeline survives daemon and client crashes), and timeline consumers
 //! should treat it as an observability stream, not as proof of a
 //! complete recording.
+//!
+//! Shutdown ordering (each arrow is "unblocks / joins"): a client's
+//! SHUTDOWN sets the flag and pokes the acceptor → the acceptor stops
+//! accepting and drops the worker inboxes → workers drain their live
+//! connections (force-dropping stragglers after a grace period) and
+//! drop their writer senders → writers drain their queues, commit their
+//! tails and exit → the acceptor joins workers, then writers → the
+//! [`DaemonHandle`] joins the acceptor.
 
-use crate::frame::{StoreIdentity, WindowRecord};
-use crate::store::{ProfileStore, Snapshot, StoreError};
-use crate::wire::{
-    encode_ingest, encode_mix, encode_stats, read_msg, write_msg, DaemonStats, IngestReply,
-    StoreClient, WireError, OP_COMPACT, OP_QUERY_MIX, OP_QUERY_TOP, OP_SHUTDOWN, OP_STATS,
-    OP_STREAM, RESP_ERR, RESP_INGESTED, RESP_MIX, RESP_OK, RESP_STATS,
-};
-use hbbp_core::{Analyzer, HybridRule, OnlineAnalyzer, SamplingPeriods, Window};
-use hbbp_perf::StreamDecoder;
-use hbbp_program::Bbec;
-use std::io::Read;
+use crate::frame::StoreIdentity;
+use crate::server::worker_loop;
+use crate::store::{ProfileStore, StoreError};
+use crate::wire::{StoreClient, WireError};
+use crate::writer::{writer_loop, WriterMsg};
+use hbbp_core::{Analyzer, HybridRule, SamplingPeriods, Window};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{Sender, SyncSender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Default bound of each shard writer's ingest queue (messages).
+pub const DEFAULT_QUEUE_DEPTH: usize = 256;
+
+/// Cap on the auto-sized worker pool (`workers: 0`).
+const MAX_AUTO_WORKERS: usize = 8;
 
 /// Configuration of a daemon instance.
 #[derive(Debug)]
@@ -60,74 +76,28 @@ pub struct DaemonConfig {
     /// When set, each connection also runs a windowed analyzer and
     /// flushes closed windows into the store as timeline records.
     pub window: Option<Window>,
-    /// Store partitions (files `part-<i>.hbbp` under `dir`).
+    /// Store partitions (files `part-<i>.hbbp` under `dir`), each owned
+    /// by one writer thread.
     pub shards: usize,
     /// Directory holding the partition files (created if absent).
     pub dir: PathBuf,
+    /// Poll-loop worker threads multiplexing connections; `0` sizes the
+    /// pool automatically (available parallelism, capped at 8).
+    pub workers: usize,
+    /// Bound of each shard writer's ingest queue, in messages; `0`
+    /// means [`DEFAULT_QUEUE_DEPTH`]. A full queue exerts backpressure
+    /// on the streams writing to that shard only.
+    pub queue_depth: usize,
 }
 
-struct Shared {
-    analyzer: Analyzer,
-    periods: SamplingPeriods,
-    rule: HybridRule,
-    window: Option<Window>,
-    partitions: Vec<Mutex<ProfileStore>>,
-    addr: SocketAddr,
-    shutdown: AtomicBool,
-}
-
-impl Shared {
-    fn partition(&self, source: u32) -> &Mutex<ProfileStore> {
-        &self.partitions[source as usize % self.partitions.len()]
-    }
-
-    /// Snapshot every partition (locked one at a time) and fold the
-    /// combined counts canonically. Arrival interleaving across
-    /// partitions does not matter: the fold sorts by `(source, seq)`.
-    fn combined(&self) -> Snapshot {
-        let mut counts = Vec::new();
-        let mut windows = Vec::new();
-        let mut identity = None;
-        for p in &self.partitions {
-            let store = p.lock().expect("partition lock");
-            let snap = store.snapshot();
-            identity = identity.or(snap.identity);
-            counts.extend(snap.counts);
-            windows.extend(snap.windows);
-        }
-        Snapshot {
-            identity,
-            counts,
-            windows,
-        }
-    }
-
-    fn aggregate(&self) -> Bbec {
-        self.combined().aggregate()
-    }
-
-    fn stats(&self) -> DaemonStats {
-        let mut counts_frames = 0u64;
-        let mut window_frames = 0u64;
-        let mut store_bytes = 0u64;
-        let mut sources: Vec<u32> = Vec::new();
-        for p in &self.partitions {
-            let store = p.lock().expect("partition lock");
-            counts_frames += store.counts().len() as u64;
-            window_frames += store.windows().len() as u64;
-            store_bytes += store.file_bytes();
-            sources.extend(store.counts().iter().map(|c| c.source));
-        }
-        sources.sort_unstable();
-        sources.dedup();
-        DaemonStats {
-            shards: self.partitions.len() as u32,
-            counts_frames,
-            window_frames,
-            sources: sources.len() as u32,
-            store_bytes,
-        }
-    }
+/// What the connection state machines need from the daemon.
+pub(crate) struct Shared {
+    pub(crate) analyzer: Analyzer,
+    pub(crate) periods: SamplingPeriods,
+    pub(crate) rule: HybridRule,
+    pub(crate) window: Option<Window>,
+    pub(crate) addr: SocketAddr,
+    pub(crate) shutdown: AtomicBool,
 }
 
 /// A running daemon: join handle plus the bound address.
@@ -149,16 +119,16 @@ impl DaemonHandle {
     }
 
     /// Block until the daemon shuts down (a client sends
-    /// [`OP_SHUTDOWN`]), joining the accept loop and every connection
-    /// thread.
+    /// [`OP_SHUTDOWN`](crate::wire::OP_SHUTDOWN)), joining the acceptor
+    /// (which joins the workers and writers).
     pub fn wait(mut self) {
         if let Some(h) = self.accept.take() {
             h.join().expect("accept loop panicked");
         }
     }
 
-    /// Send [`OP_SHUTDOWN`] and join the accept loop (which in turn joins
-    /// every connection thread).
+    /// Send [`OP_SHUTDOWN`](crate::wire::OP_SHUTDOWN) and join the
+    /// acceptor (which in turn joins every worker and shard writer).
     ///
     /// # Errors
     ///
@@ -173,6 +143,46 @@ impl DaemonHandle {
     }
 }
 
+/// Accept backlog requested for the daemon's listener (clamped by the
+/// kernel to `net.core.somaxconn`). `TcpListener::bind` hard-codes a
+/// backlog of 128, which a fleet of collectors connecting at once
+/// overflows — dropped SYNs then cost each affected client a ~1 s
+/// retransmission timeout.
+const ACCEPT_BACKLOG: i32 = 1024;
+
+/// Widen the accept backlog of an already-listening socket.
+///
+/// POSIX allows calling `listen(2)` again on a listening socket, and on
+/// Linux this simply updates the backlog. std offers no way to pass a
+/// backlog, hence the single raw syscall; it cannot create UB (the fd is
+/// valid and owned for the call's duration) and a failure merely leaves
+/// the default backlog in place.
+#[cfg(unix)]
+#[allow(unsafe_code)]
+fn widen_accept_backlog(listener: &TcpListener) {
+    use std::os::fd::AsRawFd;
+    extern "C" {
+        fn listen(fd: std::os::raw::c_int, backlog: std::os::raw::c_int) -> std::os::raw::c_int;
+    }
+    // SAFETY: `listen` neither reads nor writes user memory; the fd is
+    // kept alive by the borrow.
+    let _ = unsafe { listen(listener.as_raw_fd(), ACCEPT_BACKLOG) };
+}
+
+#[cfg(not(unix))]
+fn widen_accept_backlog(_listener: &TcpListener) {}
+
+/// Resolve `workers: 0` to the machine's available parallelism, capped.
+fn auto_workers(configured: usize) -> usize {
+    if configured > 0 {
+        return configured;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_AUTO_WORKERS)
+}
+
 /// Spawn a daemon on a loopback ephemeral port.
 ///
 /// # Errors
@@ -180,42 +190,72 @@ impl DaemonHandle {
 /// Store-opening failures for any partition, or the listener bind.
 pub fn spawn(config: DaemonConfig) -> Result<DaemonHandle, StoreError> {
     std::fs::create_dir_all(&config.dir)?;
-    let mut partitions = Vec::with_capacity(config.shards.max(1));
+    let queue_depth = if config.queue_depth == 0 {
+        DEFAULT_QUEUE_DEPTH
+    } else {
+        config.queue_depth
+    };
+    let mut shard_txs: Vec<SyncSender<WriterMsg>> = Vec::new();
+    let mut writers: Vec<JoinHandle<()>> = Vec::new();
     for i in 0..config.shards.max(1) {
         let path = config.dir.join(format!("part-{i}.hbbp"));
-        partitions.push(Mutex::new(ProfileStore::open_with_identity(
-            path,
-            config.identity.clone(),
-        )?));
+        let store = ProfileStore::open_with_identity(path, config.identity.clone())?;
+        let (tx, rx) = std::sync::mpsc::sync_channel(queue_depth);
+        shard_txs.push(tx);
+        writers.push(std::thread::spawn(move || writer_loop(store, rx)));
     }
+
     let listener = TcpListener::bind("127.0.0.1:0")?;
+    widen_accept_backlog(&listener);
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
         analyzer: config.analyzer,
         periods: config.periods,
         rule: config.rule,
         window: config.window,
-        partitions,
         addr,
         shutdown: AtomicBool::new(false),
     });
 
+    let mut worker_txs: Vec<Sender<TcpStream>> = Vec::new();
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    for _ in 0..auto_workers(config.workers) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        worker_txs.push(tx);
+        let shared = Arc::clone(&shared);
+        let shards = shard_txs.clone();
+        workers.push(std::thread::spawn(move || worker_loop(shared, rx, shards)));
+    }
+    // The workers hold the only long-lived writer senders: when the last
+    // worker drains and exits, the writers see disconnect and exit too.
+    drop(shard_txs);
+
     let accept = std::thread::spawn(move || {
-        let mut conns: Vec<JoinHandle<()>> = Vec::new();
+        let mut next = 0usize;
         for stream in listener.incoming() {
             if shared.shutdown.load(Ordering::SeqCst) {
                 break;
             }
             let Ok(stream) = stream else { continue };
-            let shared = Arc::clone(&shared);
-            conns.push(std::thread::spawn(move || {
-                // A connection failing (I/O, protocol) only drops that
-                // connection; the daemon keeps serving.
-                let _ = handle_connection(&shared, stream);
-            }));
+            // The poll-loop workers require readiness semantics; nodelay
+            // keeps small replies from waiting on Nagle.
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            // Round-robin connection placement across the pool.
+            let _ = worker_txs[next % worker_txs.len()].send(stream);
+            next += 1;
         }
-        for c in conns {
-            let _ = c.join();
+        // Shutdown ordering: close the inboxes so workers drain...
+        drop(worker_txs);
+        for w in workers {
+            let _ = w.join();
+        }
+        // ...then the writers (their queues disconnect once the last
+        // worker drops its senders).
+        for w in writers {
+            let _ = w.join();
         }
     });
 
@@ -223,163 +263,4 @@ pub fn spawn(config: DaemonConfig) -> Result<DaemonHandle, StoreError> {
         addr,
         accept: Some(accept),
     })
-}
-
-fn respond_err(stream: &mut TcpStream, message: &str) -> Result<(), WireError> {
-    write_msg(stream, RESP_ERR, message.as_bytes())?;
-    Ok(())
-}
-
-fn handle_connection(shared: &Shared, mut stream: TcpStream) -> Result<(), WireError> {
-    let Some((op, payload)) = read_msg(&mut stream)? else {
-        return Ok(());
-    };
-    match op {
-        OP_STREAM => {
-            if payload.len() != 4 {
-                return respond_err(&mut stream, "STREAM payload must be a u32 source id");
-            }
-            let source = u32::from_le_bytes(payload.try_into().expect("4 bytes"));
-            match ingest(shared, source, &mut stream) {
-                Ok(reply) => write_msg(&mut stream, RESP_INGESTED, &encode_ingest(&reply))?,
-                Err(e) => respond_err(&mut stream, &e.to_string())?,
-            }
-        }
-        OP_QUERY_MIX => {
-            let mix = shared.analyzer.mix(&shared.aggregate());
-            let entries: Vec<_> = mix.iter().collect();
-            write_msg(&mut stream, RESP_MIX, &encode_mix(&entries))?;
-        }
-        OP_QUERY_TOP => {
-            if payload.len() != 4 {
-                return respond_err(&mut stream, "TOP payload must be a u32 k");
-            }
-            let k = u32::from_le_bytes(payload.try_into().expect("4 bytes"));
-            let mix = shared.analyzer.mix(&shared.aggregate());
-            write_msg(&mut stream, RESP_MIX, &encode_mix(&mix.top(k as usize)))?;
-        }
-        OP_STATS => {
-            write_msg(&mut stream, RESP_STATS, &encode_stats(&shared.stats()))?;
-        }
-        OP_COMPACT => {
-            let mut failed = None;
-            for p in &shared.partitions {
-                if let Err(e) = p.lock().expect("partition lock").compact() {
-                    failed = Some(e.to_string());
-                    break;
-                }
-            }
-            match failed {
-                None => write_msg(&mut stream, RESP_OK, &[])?,
-                Some(m) => respond_err(&mut stream, &m)?,
-            }
-        }
-        OP_SHUTDOWN => {
-            shared.shutdown.store(true, Ordering::SeqCst);
-            write_msg(&mut stream, RESP_OK, &[])?;
-            // Unblock the accept loop so it observes the flag.
-            let _ = TcpStream::connect(shared.addr);
-        }
-        other => respond_err(&mut stream, &format!("unknown op {other}"))?,
-    }
-    Ok(())
-}
-
-/// Decode one client's perf stream and analyze it online; on a complete,
-/// valid stream, flush the results into the client's partition.
-fn ingest(shared: &Shared, source: u32, stream: &mut TcpStream) -> Result<IngestReply, WireError> {
-    let mut whole = OnlineAnalyzer::new(&shared.analyzer, shared.periods, shared.rule.clone());
-    let mut windowed = shared.window.map(|w| {
-        OnlineAnalyzer::new(&shared.analyzer, shared.periods, shared.rule.clone()).with_window(w)
-    });
-    let mut decoder = StreamDecoder::new();
-    let mut pending_windows: Vec<WindowRecord> = Vec::new();
-    let mut windows_flushed = 0u32;
-    let mut buf = [0u8; 8192];
-    loop {
-        let n = stream.read(&mut buf)?;
-        if n == 0 {
-            break;
-        }
-        decoder.feed(&buf[..n]);
-        loop {
-            match decoder.next_record() {
-                Ok(Some(record)) => {
-                    if let Some(w) = &mut windowed {
-                        w.push_record(&record);
-                    }
-                    whole.push_owned(record);
-                }
-                Ok(None) => break,
-                Err(e) => return Err(WireError::Daemon(format!("perf stream: {e}"))),
-            }
-        }
-        if let Some(w) = &mut windowed {
-            // Flush-as-you-go: closed windows land in the store while the
-            // stream is still being collected.
-            for closed in w.take_closed_windows() {
-                pending_windows.push(WindowRecord {
-                    source,
-                    index: closed.index as u32,
-                    start_cycles: closed.start_cycles,
-                    end_cycles: closed.end_cycles,
-                    ebs_samples: closed.ebs_samples,
-                    lbr_samples: closed.lbr_samples,
-                    mix: closed.mix,
-                });
-            }
-            if !pending_windows.is_empty() {
-                let mut store = shared.partition(source).lock().expect("partition lock");
-                windows_flushed += pending_windows.len() as u32;
-                for w in pending_windows.drain(..) {
-                    store.append_window(w).map_err(store_err)?;
-                }
-            }
-        }
-    }
-    decoder
-        .finish()
-        .map_err(|e| WireError::Daemon(format!("perf stream: {e}")))?;
-
-    let outcome = whole.finish();
-    let records = outcome.records_seen;
-    let samples = outcome.samples_seen;
-    let mut windows = outcome.windows;
-    let whole_window = windows.pop().expect("unwindowed run emits one window");
-
-    let mut store = shared.partition(source).lock().expect("partition lock");
-    if let Some(w) = windowed {
-        for closed in w.finish().windows {
-            store
-                .append_window(WindowRecord {
-                    source,
-                    index: closed.index as u32,
-                    start_cycles: closed.start_cycles,
-                    end_cycles: closed.end_cycles,
-                    ebs_samples: closed.ebs_samples,
-                    lbr_samples: closed.lbr_samples,
-                    mix: closed.mix,
-                })
-                .map_err(store_err)?;
-            windows_flushed += 1;
-        }
-    }
-    let counts_seq = store
-        .append_counts(
-            source,
-            whole_window.ebs_samples,
-            whole_window.lbr_samples,
-            whole_window.analysis.hbbp.bbec,
-        )
-        .map_err(store_err)?;
-    Ok(IngestReply {
-        records,
-        samples,
-        windows_flushed,
-        counts_seq,
-    })
-}
-
-fn store_err(e: StoreError) -> WireError {
-    WireError::Daemon(e.to_string())
 }

@@ -16,13 +16,16 @@
 //!   aggregate profile is a canonical `(source, seq)`-ordered fold that
 //!   is **bit-identical** to folding per-recording batch analyses;
 //! * **`hbbpd`** (the [`daemon`] module and the binary of the same name)
-//!   — a thread-per-connection TCP daemon over sharded
-//!   `Mutex<ProfileStore>` partitions. Collectors stream perf records in
+//!   — an event-driven TCP daemon: a poll-loop worker pool multiplexes
+//!   many nonblocking connections per thread, and each store shard is
+//!   owned by a single writer thread that group-commits batched appends
+//!   (no locks on the ingest path). Collectors stream perf records in
 //!   the `hbbp-perf` wire codec ([`StoreClient::stream_session`] collects
 //!   straight onto the socket); each connection is analyzed online
 //!   ([`hbbp_core::OnlineAnalyzer`]) with closed windows flushed into the
 //!   store mid-stream, and mix/top-K queries answer from the canonical
-//!   aggregate.
+//!   aggregate. `docs/PROTOCOL.md` specifies the wire protocol,
+//!   `docs/DAEMON.md` the concurrency model.
 //!
 //! ## Quickstart: a store on disk, written, merged, recovered
 //!
@@ -73,14 +76,20 @@
 //! wire protocol in [`wire`].
 
 #![deny(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the daemon needs exactly one unsafe call — the
+// `listen(2)` re-arm that widens the accept backlog beyond std's
+// hard-coded 128 (see `daemon::widen_accept_backlog`, the only
+// `#[allow(unsafe_code)]` in the crate).
+#![deny(unsafe_code)]
 
 pub mod daemon;
 mod frame;
+mod server;
 mod store;
 pub mod wire;
+mod writer;
 
-pub use daemon::{spawn, DaemonConfig, DaemonHandle};
+pub use daemon::{spawn, DaemonConfig, DaemonHandle, DEFAULT_QUEUE_DEPTH};
 pub use frame::{CountsRecord, Frame, ModuleSpan, StoreIdentity, WindowRecord};
 pub use store::{OpenReport, ProfileStore, Snapshot, StoreError, COMPACTED_SOURCE};
 pub use wire::{DaemonStats, IngestReply, StoreClient, WireError};

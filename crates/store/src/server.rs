@@ -1,0 +1,845 @@
+//! The event-driven connection engine behind `hbbpd`.
+//!
+//! A small pool of workers, each multiplexing many **nonblocking**
+//! connections through a poll loop (std-only readiness: try the socket,
+//! treat `WouldBlock` as "not ready"). Every connection is a state
+//! machine ([`ConnState`]) that tolerates partial reads and writes at
+//! any byte boundary — a client trickling one byte per tick just keeps
+//! its own state machine warm without costing anyone else more than a
+//! failed `read` per tick.
+//!
+//! Fairness and backpressure:
+//!
+//! * each connection gets at most [`READ_BUDGET`] bytes per tick, so a
+//!   fire-hose stream yields to its peers;
+//! * parsed results are handed to the shard writers with non-blocking
+//!   sends; when a shard's bounded queue is full, the connection keeps
+//!   its batch locally and — above [`WINDOW_HIGH_WATER`] — stops
+//!   reading until the queue drains (backpressure propagates to the
+//!   client's socket, never to other streams);
+//! * a client that never reads its response parks in [`ConnState::Flush`]
+//!   with the bytes buffered; the worker moves on.
+//!
+//! Shutdown: once the acceptor closes the inbox, a worker keeps ticking
+//! until its connections finish, force-dropping stragglers after
+//! [`DRAIN_GRACE_TICKS`] ticks without global progress, then drops its
+//! writer senders so the shard writers drain and exit.
+
+use crate::daemon::Shared;
+use crate::frame::WindowRecord;
+use crate::store::Snapshot;
+use crate::wire::{
+    encode_ingest, encode_mix, encode_stats, DaemonStats, IngestReply, MAX_MSG_LEN, OP_COMPACT,
+    OP_QUERY_MIX, OP_QUERY_TOP, OP_SHUTDOWN, OP_STATS, OP_STREAM, RESP_ERR, RESP_INGESTED,
+    RESP_MIX, RESP_OK, RESP_STATS,
+};
+use crate::writer::{ShardStats, WriterMsg};
+use hbbp_core::OnlineAnalyzer;
+use hbbp_perf::StreamDecoder;
+use hbbp_program::Bbec;
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, SyncSender, TryRecvError, TrySendError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-connection, per-tick read budget (bytes): fairness between
+/// streams multiplexed on one worker.
+const READ_BUDGET: usize = 64 * 1024;
+
+/// Window records a connection may buffer locally while its shard queue
+/// is full before its reads are deprioritized (backpressure).
+const WINDOW_HIGH_WATER: usize = 1024;
+
+/// Ticks without any progress before a *draining* worker force-drops
+/// its remaining connections (with the idle sleep this is ≥ ~200 ms of
+/// real time — enough for any live peer to make a byte of progress).
+const DRAIN_GRACE_TICKS: u32 = 2000;
+
+/// Sleep between ticks when a full pass over every connection made no
+/// progress (nothing readable, writable, or received).
+const IDLE_SLEEP: Duration = Duration::from_micros(100);
+
+/// Everything a worker needs to drive its connections.
+struct WorkerCtx<'a> {
+    shared: &'a Shared,
+    shards: &'a [SyncSender<WriterMsg>],
+}
+
+impl WorkerCtx<'_> {
+    fn shard_of(&self, source: u32) -> usize {
+        source as usize % self.shards.len()
+    }
+
+    /// Fan a control message out to every shard writer (the closure gets
+    /// the shard index). Blocking sends: control traffic is rare and a
+    /// writer never blocks on its consumers, so this cannot deadlock —
+    /// at worst it waits for one queue drain.
+    fn fan_out(&self, mut make: impl FnMut(usize) -> WriterMsg) {
+        for (i, tx) in self.shards.iter().enumerate() {
+            let _ = tx.send(make(i));
+        }
+    }
+}
+
+/// What a mix-shaped query renders once all shard snapshots arrive.
+enum SnapQuery {
+    Mix,
+    Top(u32),
+}
+
+/// An `OP_STREAM` connection mid-decode.
+struct Ingest<'a> {
+    source: u32,
+    decoder: StreamDecoder,
+    whole: OnlineAnalyzer<'a>,
+    windowed: Option<OnlineAnalyzer<'a>>,
+    /// Closed windows not yet accepted by the shard writer.
+    pending_windows: Vec<WindowRecord>,
+    windows_flushed: u32,
+}
+
+/// A completed stream handing its results to the shard writer and
+/// waiting for the committed sequence number.
+struct CommitState {
+    windows: Vec<WindowRecord>,
+    counts: Option<(u32, u64, u64, Bbec)>,
+    shard: usize,
+    rx: Option<Receiver<Result<u32, String>>>,
+    records: u64,
+    samples: u64,
+    windows_flushed: u32,
+}
+
+/// The per-connection protocol state machine.
+enum ConnState<'a> {
+    /// Accumulating the `op | len | payload` request message.
+    ReadRequest,
+    /// `OP_STREAM`: decoding the embedded perf byte stream.
+    Ingest(Box<Ingest<'a>>),
+    /// Stream complete: submitting results, awaiting the committed seq.
+    Commit(Box<CommitState>),
+    /// Mix/top query: awaiting one indexed snapshot per shard.
+    Gather {
+        rx: Receiver<(usize, Snapshot)>,
+        want: usize,
+        got: Vec<(usize, Snapshot)>,
+        query: SnapQuery,
+    },
+    /// `OP_STATS`: awaiting one [`ShardStats`] per shard.
+    GatherStats {
+        rx: Receiver<ShardStats>,
+        want: usize,
+        got: Vec<ShardStats>,
+    },
+    /// `OP_COMPACT`: awaiting one ack per shard.
+    GatherCompact {
+        rx: Receiver<Result<(), String>>,
+        want: usize,
+        seen: usize,
+        failed: Option<String>,
+    },
+    /// Response queued; writing it out, then closing.
+    Flush,
+    /// Finished or failed: the connection is dropped by the worker.
+    Done,
+}
+
+/// One multiplexed connection.
+struct Conn<'a> {
+    stream: TcpStream,
+    /// Unparsed request bytes (header + payload accumulate here).
+    inbuf: Vec<u8>,
+    /// Response bytes not yet written.
+    out: Vec<u8>,
+    out_pos: usize,
+    state: ConnState<'a>,
+}
+
+/// What one read pass produced.
+struct ReadPass {
+    bytes: usize,
+    eof: bool,
+    failed: bool,
+}
+
+impl<'a> Conn<'a> {
+    fn new(stream: TcpStream) -> Conn<'a> {
+        Conn {
+            stream,
+            inbuf: Vec::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            state: ConnState::ReadRequest,
+        }
+    }
+
+    fn done(&self) -> bool {
+        matches!(self.state, ConnState::Done)
+    }
+
+    /// Read up to [`READ_BUDGET`] bytes into `inbuf`.
+    fn read_pass(&mut self, scratch: &mut [u8]) -> ReadPass {
+        let mut pass = ReadPass {
+            bytes: 0,
+            eof: false,
+            failed: false,
+        };
+        while pass.bytes < READ_BUDGET {
+            match self.stream.read(scratch) {
+                Ok(0) => {
+                    pass.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.inbuf.extend_from_slice(&scratch[..n]);
+                    pass.bytes += n;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    pass.failed = true;
+                    break;
+                }
+            }
+        }
+        pass
+    }
+
+    /// Queue a response message and move to [`ConnState::Flush`].
+    fn respond(&mut self, op: u8, payload: &[u8]) {
+        self.out.clear();
+        self.out_pos = 0;
+        self.out.push(op);
+        self.out
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.out.extend_from_slice(payload);
+        self.state = ConnState::Flush;
+    }
+
+    fn respond_err(&mut self, message: &str) {
+        self.respond(RESP_ERR, message.as_bytes());
+    }
+
+    /// Drive the connection one step. Returns whether anything moved.
+    fn tick(&mut self, ctx: &WorkerCtx<'a>, scratch: &mut [u8]) -> bool {
+        match &mut self.state {
+            ConnState::ReadRequest => self.tick_read_request(ctx, scratch),
+            ConnState::Ingest(_) => self.tick_ingest(ctx, scratch),
+            ConnState::Commit(_) => self.tick_commit(ctx),
+            ConnState::Gather { .. } => self.tick_gather(ctx),
+            ConnState::GatherStats { .. } => self.tick_gather_stats(ctx),
+            ConnState::GatherCompact { .. } => self.tick_gather_compact(),
+            ConnState::Flush => self.tick_flush(),
+            ConnState::Done => false,
+        }
+    }
+
+    fn tick_read_request(&mut self, ctx: &WorkerCtx<'a>, scratch: &mut [u8]) -> bool {
+        let pass = self.read_pass(scratch);
+        if pass.failed {
+            self.state = ConnState::Done;
+            return true;
+        }
+        if self.inbuf.len() >= 5 {
+            let op = self.inbuf[0];
+            let len =
+                u32::from_le_bytes(self.inbuf[1..5].try_into().expect("4 length bytes")) as usize;
+            if len > MAX_MSG_LEN {
+                self.respond_err(&format!("message of {len} bytes"));
+                return true;
+            }
+            if self.inbuf.len() >= 5 + len {
+                let payload: Vec<u8> = self.inbuf[5..5 + len].to_vec();
+                let leftover: Vec<u8> = self.inbuf[5 + len..].to_vec();
+                self.inbuf.clear();
+                self.dispatch(ctx, op, &payload, leftover, pass.eof);
+                return true;
+            }
+        }
+        if pass.eof {
+            // Clean close before a request, or a header cut short —
+            // either way there is nobody to answer.
+            self.state = ConnState::Done;
+            return true;
+        }
+        pass.bytes > 0
+    }
+
+    /// A complete request message arrived: enter the op's state.
+    fn dispatch(
+        &mut self,
+        ctx: &WorkerCtx<'a>,
+        op: u8,
+        payload: &[u8],
+        leftover: Vec<u8>,
+        eof: bool,
+    ) {
+        match op {
+            OP_STREAM => {
+                let Ok(source) = <[u8; 4]>::try_from(payload) else {
+                    self.respond_err("STREAM payload must be a u32 source id");
+                    return;
+                };
+                let source = u32::from_le_bytes(source);
+                let shared = ctx.shared;
+                let mut ingest = Box::new(Ingest {
+                    source,
+                    decoder: StreamDecoder::new(),
+                    whole: OnlineAnalyzer::new(
+                        &shared.analyzer,
+                        shared.periods,
+                        shared.rule.clone(),
+                    ),
+                    windowed: shared.window.map(|w| {
+                        OnlineAnalyzer::new(&shared.analyzer, shared.periods, shared.rule.clone())
+                            .with_window(w)
+                    }),
+                    pending_windows: Vec::new(),
+                    windows_flushed: 0,
+                });
+                // Stream bytes pipelined behind the request message.
+                if !leftover.is_empty() {
+                    ingest.decoder.feed(&leftover);
+                }
+                self.state = ConnState::Ingest(ingest);
+                if let Err(message) = self.pump_decoder(ctx) {
+                    self.respond_err(&message);
+                    return;
+                }
+                if eof {
+                    self.finish_ingest(ctx);
+                }
+            }
+            OP_QUERY_MIX => self.start_gather(ctx, SnapQuery::Mix),
+            OP_QUERY_TOP => {
+                let Ok(k) = <[u8; 4]>::try_from(payload) else {
+                    self.respond_err("TOP payload must be a u32 k");
+                    return;
+                };
+                self.start_gather(ctx, SnapQuery::Top(u32::from_le_bytes(k)));
+            }
+            OP_STATS => {
+                let (tx, rx) = std::sync::mpsc::channel();
+                ctx.fan_out(|_| WriterMsg::Stats(tx.clone()));
+                self.state = ConnState::GatherStats {
+                    rx,
+                    want: ctx.shards.len(),
+                    got: Vec::new(),
+                };
+            }
+            OP_COMPACT => {
+                let (tx, rx) = std::sync::mpsc::channel();
+                ctx.fan_out(|_| WriterMsg::Compact(tx.clone()));
+                self.state = ConnState::GatherCompact {
+                    rx,
+                    want: ctx.shards.len(),
+                    seen: 0,
+                    failed: None,
+                };
+            }
+            OP_SHUTDOWN => {
+                ctx.shared.shutdown.store(true, Ordering::SeqCst);
+                self.respond(RESP_OK, &[]);
+                // Unblock the acceptor so it observes the flag.
+                let _ = TcpStream::connect(ctx.shared.addr);
+            }
+            other => self.respond_err(&format!("unknown op {other}")),
+        }
+    }
+
+    fn start_gather(&mut self, ctx: &WorkerCtx<'a>, query: SnapQuery) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        ctx.fan_out(|i| WriterMsg::Snapshot(i, tx.clone()));
+        self.state = ConnState::Gather {
+            rx,
+            want: ctx.shards.len(),
+            got: Vec::new(),
+            query,
+        };
+    }
+
+    /// Decode everything buffered in the stream decoder into the online
+    /// analyzers and collect any windows that closed.
+    fn pump_decoder(&mut self, ctx: &WorkerCtx<'a>) -> Result<(), String> {
+        let ConnState::Ingest(ingest) = &mut self.state else {
+            unreachable!("pump_decoder outside Ingest");
+        };
+        loop {
+            match ingest.decoder.next_record() {
+                Ok(Some(record)) => {
+                    if let Some(w) = &mut ingest.windowed {
+                        w.push_record(&record);
+                    }
+                    ingest.whole.push_owned(record);
+                }
+                Ok(None) => break,
+                Err(e) => return Err(format!("perf stream: {e}")),
+            }
+        }
+        if let Some(w) = &mut ingest.windowed {
+            for closed in w.take_closed_windows() {
+                ingest.pending_windows.push(WindowRecord {
+                    source: ingest.source,
+                    index: closed.index as u32,
+                    start_cycles: closed.start_cycles,
+                    end_cycles: closed.end_cycles,
+                    ebs_samples: closed.ebs_samples,
+                    lbr_samples: closed.lbr_samples,
+                    mix: closed.mix,
+                });
+            }
+        }
+        self.flush_windows(ctx);
+        Ok(())
+    }
+
+    /// Offer pending windows to the shard writer without blocking.
+    /// Returns whether anything was accepted.
+    fn flush_windows(&mut self, ctx: &WorkerCtx<'a>) -> bool {
+        let ConnState::Ingest(ingest) = &mut self.state else {
+            return false;
+        };
+        if ingest.pending_windows.is_empty() {
+            return false;
+        }
+        let batch = std::mem::take(&mut ingest.pending_windows);
+        let n = batch.len() as u32;
+        match ctx.shards[ctx.shard_of(ingest.source)].try_send(WriterMsg::Windows(batch)) {
+            Ok(()) => {
+                ingest.windows_flushed += n;
+                true
+            }
+            Err(TrySendError::Full(WriterMsg::Windows(batch)))
+            | Err(TrySendError::Disconnected(WriterMsg::Windows(batch))) => {
+                // Keep the batch; backpressure deprioritizes our reads.
+                ingest.pending_windows = batch;
+                false
+            }
+            Err(_) => unreachable!("windows come back as windows"),
+        }
+    }
+
+    fn tick_ingest(&mut self, ctx: &WorkerCtx<'a>, scratch: &mut [u8]) -> bool {
+        // Backpressure: while the shard queue rejects our windows and the
+        // local buffer is over the high-water mark, do not read — the
+        // client's socket fills up and TCP pushes back, without delaying
+        // any other stream on this worker.
+        let mut progress = self.flush_windows(ctx);
+        let over_high_water = match &self.state {
+            ConnState::Ingest(i) => i.pending_windows.len() >= WINDOW_HIGH_WATER,
+            _ => return true,
+        };
+        if over_high_water {
+            return progress;
+        }
+        let pass = self.read_pass(scratch);
+        progress |= pass.bytes > 0;
+        if pass.failed {
+            self.state = ConnState::Done;
+            return true;
+        }
+        if pass.bytes > 0 {
+            if let ConnState::Ingest(ingest) = &mut self.state {
+                // `read_pass` appended raw stream bytes to `inbuf`; they
+                // belong to the decoder.
+                ingest.decoder.feed(&self.inbuf);
+            }
+            self.inbuf.clear();
+            if let Err(message) = self.pump_decoder(ctx) {
+                self.respond_err(&message);
+                return true;
+            }
+        }
+        if pass.eof {
+            self.finish_ingest(ctx);
+            return true;
+        }
+        progress
+    }
+
+    /// End of stream: close the analyzers and hand everything to the
+    /// shard writer via [`ConnState::Commit`].
+    fn finish_ingest(&mut self, ctx: &WorkerCtx<'a>) {
+        let ConnState::Ingest(ingest) = std::mem::replace(&mut self.state, ConnState::Done) else {
+            unreachable!("finish_ingest outside Ingest");
+        };
+        let Ingest {
+            source,
+            decoder,
+            whole,
+            windowed,
+            mut pending_windows,
+            windows_flushed,
+        } = *ingest;
+        if let Err(e) = decoder.finish() {
+            // Already-flushed timeline windows remain (that is the point
+            // of flush-as-you-go); the counts frame is never written, so
+            // the aggregate cannot see a partial recording.
+            self.respond_err(&format!("perf stream: {e}"));
+            return;
+        }
+        let outcome = whole.finish();
+        let records = outcome.records_seen;
+        let samples = outcome.samples_seen;
+        let mut windows = outcome.windows;
+        let whole_window = windows.pop().expect("unwindowed run emits one window");
+        if let Some(w) = windowed {
+            for closed in w.finish().windows {
+                pending_windows.push(WindowRecord {
+                    source,
+                    index: closed.index as u32,
+                    start_cycles: closed.start_cycles,
+                    end_cycles: closed.end_cycles,
+                    ebs_samples: closed.ebs_samples,
+                    lbr_samples: closed.lbr_samples,
+                    mix: closed.mix,
+                });
+            }
+        }
+        self.state = ConnState::Commit(Box::new(CommitState {
+            windows: pending_windows,
+            counts: Some((
+                source,
+                whole_window.ebs_samples,
+                whole_window.lbr_samples,
+                whole_window.analysis.hbbp.bbec,
+            )),
+            shard: ctx.shard_of(source),
+            rx: None,
+            records,
+            samples,
+            windows_flushed,
+        }));
+        self.tick_commit(ctx);
+    }
+
+    /// Submit remaining windows, then the counts frame, then collect the
+    /// committed sequence number — all without blocking (a full shard
+    /// queue just means this connection retries next tick).
+    fn tick_commit(&mut self, ctx: &WorkerCtx<'a>) -> bool {
+        let ConnState::Commit(commit) = &mut self.state else {
+            return false;
+        };
+        let mut progress = false;
+        if !commit.windows.is_empty() {
+            let batch = std::mem::take(&mut commit.windows);
+            let n = batch.len() as u32;
+            match ctx.shards[commit.shard].try_send(WriterMsg::Windows(batch)) {
+                Ok(()) => {
+                    commit.windows_flushed += n;
+                    progress = true;
+                }
+                Err(TrySendError::Full(WriterMsg::Windows(batch))) => {
+                    commit.windows = batch;
+                    return false;
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.respond_err("shard writer gone");
+                    return true;
+                }
+                Err(_) => unreachable!("windows come back as windows"),
+            }
+        }
+        if let Some((source, ebs, lbr, bbec)) = commit.counts.take() {
+            let (tx, rx) = std::sync::mpsc::channel();
+            match ctx.shards[commit.shard].try_send(WriterMsg::Counts {
+                source,
+                ebs_samples: ebs,
+                lbr_samples: lbr,
+                bbec,
+                reply: tx,
+            }) {
+                Ok(()) => {
+                    commit.rx = Some(rx);
+                    progress = true;
+                }
+                Err(TrySendError::Full(WriterMsg::Counts {
+                    source,
+                    ebs_samples,
+                    lbr_samples,
+                    bbec,
+                    ..
+                })) => {
+                    commit.counts = Some((source, ebs_samples, lbr_samples, bbec));
+                    return progress;
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.respond_err("shard writer gone");
+                    return true;
+                }
+                Err(_) => unreachable!("counts come back as counts"),
+            }
+        }
+        if let Some(rx) = &commit.rx {
+            match rx.try_recv() {
+                Ok(Ok(seq)) => {
+                    let payload = encode_ingest(&IngestReply {
+                        records: commit.records,
+                        samples: commit.samples,
+                        windows_flushed: commit.windows_flushed,
+                        counts_seq: seq,
+                    });
+                    self.respond(RESP_INGESTED, &payload);
+                    return true;
+                }
+                Ok(Err(m)) => {
+                    self.respond_err(&m);
+                    return true;
+                }
+                Err(TryRecvError::Empty) => {}
+                Err(TryRecvError::Disconnected) => {
+                    self.respond_err("shard writer gone");
+                    return true;
+                }
+            }
+        }
+        progress
+    }
+
+    fn tick_gather(&mut self, ctx: &WorkerCtx<'a>) -> bool {
+        let ConnState::Gather {
+            rx,
+            want,
+            got,
+            query,
+        } = &mut self.state
+        else {
+            return false;
+        };
+        let mut progress = false;
+        let mut dead = false;
+        loop {
+            match rx.try_recv() {
+                Ok(snapshot) => {
+                    got.push(snapshot);
+                    progress = true;
+                }
+                Err(TryRecvError::Empty) => break,
+                // All repliers dropped their senders — expected once every
+                // shard has answered; fatal only if one never did.
+                Err(TryRecvError::Disconnected) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        if dead && got.len() < *want {
+            self.respond_err("shard writer gone");
+            return true;
+        }
+        if got.len() == *want {
+            // Shard-index order, not reply-arrival order: compacted fold
+            // frames share one `(source, seq)` key, so the stable
+            // canonical sort would otherwise preserve a racy interleaving.
+            got.sort_by_key(|(i, _)| *i);
+            let mut counts = Vec::new();
+            for (_, snap) in got.drain(..) {
+                counts.extend(snap.counts);
+            }
+            let aggregate = Snapshot {
+                identity: None,
+                counts,
+                windows: Vec::new(),
+            }
+            .aggregate();
+            let mix = ctx.shared.analyzer.mix(&aggregate);
+            let payload = match query {
+                SnapQuery::Mix => {
+                    let entries: Vec<_> = mix.iter().collect();
+                    encode_mix(&entries)
+                }
+                SnapQuery::Top(k) => encode_mix(&mix.top(*k as usize)),
+            };
+            self.respond(RESP_MIX, &payload);
+            return true;
+        }
+        progress
+    }
+
+    fn tick_gather_stats(&mut self, ctx: &WorkerCtx<'a>) -> bool {
+        let ConnState::GatherStats { rx, want, got } = &mut self.state else {
+            return false;
+        };
+        let mut progress = false;
+        let mut dead = false;
+        loop {
+            match rx.try_recv() {
+                Ok(stats) => {
+                    got.push(stats);
+                    progress = true;
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        if dead && got.len() < *want {
+            self.respond_err("shard writer gone");
+            return true;
+        }
+        if got.len() == *want {
+            let mut stats = DaemonStats {
+                shards: ctx.shards.len() as u32,
+                counts_frames: 0,
+                window_frames: 0,
+                sources: 0,
+                store_bytes: 0,
+            };
+            let mut sources: Vec<u32> = Vec::new();
+            for shard in got.drain(..) {
+                stats.counts_frames += shard.counts_frames;
+                stats.window_frames += shard.window_frames;
+                stats.store_bytes += shard.bytes;
+                sources.extend(shard.sources);
+            }
+            sources.sort_unstable();
+            sources.dedup();
+            stats.sources = sources.len() as u32;
+            self.respond(RESP_STATS, &encode_stats(&stats));
+            return true;
+        }
+        progress
+    }
+
+    fn tick_gather_compact(&mut self) -> bool {
+        let ConnState::GatherCompact {
+            rx,
+            want,
+            seen,
+            failed,
+        } = &mut self.state
+        else {
+            return false;
+        };
+        let mut progress = false;
+        let mut dead = false;
+        loop {
+            match rx.try_recv() {
+                Ok(result) => {
+                    *seen += 1;
+                    progress = true;
+                    if let Err(m) = result {
+                        failed.get_or_insert(m);
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        if dead && *seen < *want {
+            self.respond_err("shard writer gone");
+            return true;
+        }
+        if *seen == *want {
+            match failed.take() {
+                Some(m) => self.respond_err(&m),
+                None => self.respond(RESP_OK, &[]),
+            }
+            return true;
+        }
+        progress
+    }
+
+    fn tick_flush(&mut self) -> bool {
+        let mut progress = false;
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => {
+                    self.state = ConnState::Done;
+                    return true;
+                }
+                Ok(n) => {
+                    self.out_pos += n;
+                    progress = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return progress,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.state = ConnState::Done;
+                    return true;
+                }
+            }
+        }
+        let _ = self.stream.flush();
+        self.state = ConnState::Done;
+        true
+    }
+}
+
+/// One worker: adopt connections from the inbox, tick them all, sleep
+/// when idle, drain on shutdown.
+pub(crate) fn worker_loop(
+    shared: Arc<Shared>,
+    inbox: Receiver<TcpStream>,
+    shards: Vec<SyncSender<WriterMsg>>,
+) {
+    let shared: &Shared = &shared;
+    let ctx = WorkerCtx {
+        shared,
+        shards: &shards,
+    };
+    let mut conns: Vec<Conn<'_>> = Vec::new();
+    let mut scratch = vec![0u8; READ_BUDGET];
+    let mut draining = false;
+    let mut idle_ticks = 0u32;
+    let stats = std::env::var("HBBP_WORKER_STATS").is_ok();
+    let mut n_ticks = 0u64;
+    let mut n_conn_ticks = 0u64;
+    let mut n_sleeps = 0u64;
+    loop {
+        n_ticks += 1;
+        let mut progress = false;
+        if !draining {
+            loop {
+                match inbox.try_recv() {
+                    Ok(stream) => {
+                        conns.push(Conn::new(stream));
+                        progress = true;
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        draining = true;
+                        break;
+                    }
+                }
+            }
+        }
+        for conn in &mut conns {
+            n_conn_ticks += 1;
+            progress |= conn.tick(&ctx, &mut scratch);
+        }
+        conns.retain(|c| !c.done());
+        if draining {
+            if conns.is_empty() {
+                break;
+            }
+            if progress {
+                idle_ticks = 0;
+            } else {
+                idle_ticks += 1;
+                if idle_ticks >= DRAIN_GRACE_TICKS {
+                    // Stragglers (stalled clients, never-reading peers)
+                    // are dropped; everything they completed is already
+                    // with the writers.
+                    break;
+                }
+            }
+        }
+        if !progress {
+            n_sleeps += 1;
+            std::thread::sleep(IDLE_SLEEP);
+        }
+    }
+    if stats {
+        eprintln!("worker stats: ticks={n_ticks} conn_ticks={n_conn_ticks} sleeps={n_sleeps}");
+    }
+    // `shards` drops here: when the last worker exits, the writers see
+    // their queues disconnect, commit their tails, and exit.
+}

@@ -136,6 +136,10 @@ pub struct ProfileStore {
     file: File,
     /// Byte length of the valid log (appends start here).
     len: u64,
+    /// Encoded frames accepted by a `*_deferred` append but not yet
+    /// written to the file — flushed as one write by
+    /// [`ProfileStore::commit`] (group commit).
+    pending: Vec<u8>,
     identity: Option<StoreIdentity>,
     counts: Vec<CountsRecord>,
     windows: Vec<WindowRecord>,
@@ -170,6 +174,7 @@ impl ProfileStore {
             path,
             file,
             len: 0,
+            pending: Vec::new(),
             identity: None,
             counts: Vec::new(),
             windows: Vec::new(),
@@ -281,6 +286,11 @@ impl ProfileStore {
         Ok(())
     }
 
+    /// Encode one frame into the pending buffer (not yet in the file).
+    fn buffer_frame(&mut self, frame: &Frame) {
+        self.pending.extend_from_slice(&encode_frame(frame));
+    }
+
     /// Append one frame to the log. The frame is handed to the OS before
     /// returning, but **not fsynced** — a host crash can lose recently
     /// appended frames (they reappear as a clean or torn tail that
@@ -288,11 +298,35 @@ impl ProfileStore {
     /// dominate ingest cost). [`ProfileStore::compact`] is the fsync
     /// point.
     fn append_frame(&mut self, frame: &Frame) -> Result<(), StoreError> {
-        let bytes = encode_frame(frame);
-        self.file.write_all(&bytes)?;
+        self.buffer_frame(frame);
+        self.commit()
+    }
+
+    /// Flush every deferred append to the file as **one** write (group
+    /// commit). A no-op when nothing is pending. On success, everything
+    /// accepted by a `*_deferred` call is in the log (still OS-buffered,
+    /// not fsynced — see [`ProfileStore::compact`] for the fsync point);
+    /// on failure the pending bytes are kept so a retry is possible, but
+    /// the in-memory mirror already reflects the deferred frames, so
+    /// callers that cannot retry should treat the store as poisoned.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures writing the log.
+    pub fn commit(&mut self) -> Result<(), StoreError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        self.file.write_all(&self.pending)?;
         self.file.flush()?;
-        self.len += bytes.len() as u64;
+        self.len += self.pending.len() as u64;
+        self.pending.clear();
         Ok(())
+    }
+
+    /// Bytes accepted by `*_deferred` appends but not yet committed.
+    pub fn pending_bytes(&self) -> usize {
+        self.pending.len()
     }
 
     /// The file path.
@@ -347,6 +381,27 @@ impl ProfileStore {
         lbr_samples: u64,
         bbec: Bbec,
     ) -> Result<u32, StoreError> {
+        let seq = self.append_counts_deferred(source, ebs_samples, lbr_samples, bbec)?;
+        self.commit()?;
+        Ok(seq)
+    }
+
+    /// [`ProfileStore::append_counts`] without the write: the frame is
+    /// buffered until the next [`ProfileStore::commit`] (or any
+    /// non-deferred append), so a writer can batch many appends into one
+    /// file write. The assigned `seq` and the in-memory mirror (and thus
+    /// [`ProfileStore::snapshot`]) reflect the frame immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::MissingIdentity`] before an identity is set.
+    pub fn append_counts_deferred(
+        &mut self,
+        source: u32,
+        ebs_samples: u64,
+        lbr_samples: u64,
+        bbec: Bbec,
+    ) -> Result<u32, StoreError> {
         if self.identity.is_none() {
             return Err(StoreError::MissingIdentity);
         }
@@ -360,7 +415,7 @@ impl ProfileStore {
             lbr_samples,
             bbec,
         };
-        self.append_frame(&Frame::Counts(rec.clone()))?;
+        self.buffer_frame(&Frame::Counts(rec.clone()));
         self.counts.push(rec);
         Ok(seq)
     }
@@ -372,10 +427,22 @@ impl ProfileStore {
     /// [`StoreError::MissingIdentity`] before an identity is set; I/O
     /// errors from the append.
     pub fn append_window(&mut self, record: WindowRecord) -> Result<(), StoreError> {
+        self.append_window_deferred(record)?;
+        self.commit()
+    }
+
+    /// [`ProfileStore::append_window`] without the write — buffered until
+    /// the next [`ProfileStore::commit`], like
+    /// [`ProfileStore::append_counts_deferred`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::MissingIdentity`] before an identity is set.
+    pub fn append_window_deferred(&mut self, record: WindowRecord) -> Result<(), StoreError> {
         if self.identity.is_none() {
             return Err(StoreError::MissingIdentity);
         }
-        self.append_frame(&Frame::Window(record.clone()))?;
+        self.buffer_frame(&Frame::Window(record.clone()));
         self.windows.push(record);
         Ok(())
     }
@@ -451,7 +518,7 @@ impl ProfileStore {
         let mut in_order: Vec<&CountsRecord> = other.counts.iter().collect();
         in_order.sort_by_key(|r| (r.source, r.seq));
         for rec in in_order {
-            self.append_counts(
+            self.append_counts_deferred(
                 rec.source,
                 rec.ebs_samples,
                 rec.lbr_samples,
@@ -459,9 +526,10 @@ impl ProfileStore {
             )?;
         }
         for w in &other.windows {
-            self.append_window(w.clone())?;
+            self.append_window_deferred(w.clone())?;
         }
-        Ok(())
+        // One group commit for the whole merge.
+        self.commit()
     }
 
     /// Rewrite the log as identity + one folded counts frame + the window
@@ -509,6 +577,9 @@ impl ProfileStore {
 
         self.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
         self.file.seek(SeekFrom::End(0))?;
+        // Deferred frames are part of the snapshot just rewritten; the
+        // buffered bytes must not be appended again.
+        self.pending.clear();
         self.len = len;
         self.counts = vec![folded];
         self.next_seq = HashMap::from([(COMPACTED_SOURCE, 1)]);
@@ -710,6 +781,75 @@ mod tests {
         assert_eq!(s.counts().len(), 1);
         s.append_counts(5, 1, 1, bbec(&[(0x400000, 1.0)])).unwrap();
         assert_eq!(s.counts().len(), 2);
+    }
+
+    #[test]
+    fn deferred_appends_group_commit_in_one_write() {
+        let path = tmp("deferred.hbbp");
+        let mut s = ProfileStore::open_with_identity(&path, identity()).unwrap();
+        let base = s.file_bytes();
+        let seq0 = s
+            .append_counts_deferred(1, 1, 1, bbec(&[(0x400000, 1.0)]))
+            .unwrap();
+        s.append_window_deferred(WindowRecord {
+            source: 1,
+            index: 0,
+            start_cycles: 0,
+            end_cycles: 10,
+            ebs_samples: 1,
+            lbr_samples: 1,
+            mix: MnemonicMix::new(),
+        })
+        .unwrap();
+        let seq1 = s
+            .append_counts_deferred(1, 2, 2, bbec(&[(0x400010, 2.0)]))
+            .unwrap();
+        assert_eq!((seq0, seq1), (0, 1));
+        // The mirror sees the frames immediately; the file only after
+        // commit, as one write.
+        assert_eq!(s.counts().len(), 2);
+        assert_eq!(s.file_bytes(), base);
+        assert!(s.pending_bytes() > 0);
+        s.commit().unwrap();
+        assert_eq!(s.pending_bytes(), 0);
+        assert!(s.file_bytes() > base);
+        drop(s);
+        let s = ProfileStore::open(&path).unwrap();
+        assert_eq!(s.open_report().truncated_bytes, 0);
+        assert_eq!(s.counts().len(), 2);
+        assert_eq!(s.windows().len(), 1);
+        assert_eq!(s.aggregate().get(0x400000), 1.0);
+    }
+
+    #[test]
+    fn uncommitted_deferred_frames_never_reach_the_file() {
+        let path = tmp("deferred-drop.hbbp");
+        let mut s = ProfileStore::open_with_identity(&path, identity()).unwrap();
+        s.append_counts(1, 1, 1, bbec(&[(0x400000, 1.0)])).unwrap();
+        s.append_counts_deferred(2, 1, 1, bbec(&[(0x400010, 9.0)]))
+            .unwrap();
+        drop(s); // no commit: the deferred frame is lost, the log stays clean
+        let s = ProfileStore::open(&path).unwrap();
+        assert_eq!(s.open_report().truncated_bytes, 0);
+        assert_eq!(s.counts().len(), 1);
+    }
+
+    #[test]
+    fn compact_absorbs_pending_deferred_frames_exactly_once() {
+        let path = tmp("deferred-compact.hbbp");
+        let mut s = ProfileStore::open_with_identity(&path, identity()).unwrap();
+        s.append_counts(1, 1, 1, bbec(&[(0x400000, 1.0)])).unwrap();
+        s.append_counts_deferred(2, 1, 1, bbec(&[(0x400010, 2.0)]))
+            .unwrap();
+        s.compact().unwrap();
+        assert_eq!(s.pending_bytes(), 0);
+        assert_eq!(s.aggregate().get(0x400010), 2.0);
+        drop(s);
+        let s = ProfileStore::open(&path).unwrap();
+        assert_eq!(s.open_report().truncated_bytes, 0);
+        assert_eq!(s.counts().len(), 1, "one fold frame");
+        assert_eq!(s.aggregate().get(0x400000), 1.0);
+        assert_eq!(s.aggregate().get(0x400010), 2.0);
     }
 
     #[test]

@@ -59,6 +59,137 @@ pub const RESP_ERR: u8 = 199;
 /// set is a few KiB; this is generous headroom, not a real limit).
 pub(crate) const MAX_MSG_LEN: usize = 16 << 20;
 
+/// One operation of the daemon wire protocol — the single source of
+/// truth behind `hbbp serve --help`, the `hbbpd` shim, and the
+/// generated sections of `docs/PROTOCOL.md` (golden-pinned by
+/// `crates/store/tests/protocol_doc.rs`), so the listing cannot drift
+/// between surfaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpSpec {
+    /// The `op` byte on the wire.
+    pub code: u8,
+    /// Protocol name, as printed in help text and docs.
+    pub name: &'static str,
+    /// Request payload (and any trailing byte stream), human-readable.
+    pub request: &'static str,
+    /// The reply message the daemon sends on success.
+    pub reply: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+}
+
+/// Every operation of the protocol, in op-code order (the shutdown op
+/// last, mirroring its out-of-band code).
+pub const PROTOCOL_OPS: &[OpSpec] = &[
+    OpSpec {
+        code: OP_STREAM,
+        name: "STREAM",
+        request: "source u32 LE, then a perf byte stream + half-close",
+        reply: "INGESTED",
+        summary: "ingest one collector's recording",
+    },
+    OpSpec {
+        code: OP_QUERY_MIX,
+        name: "QUERY_MIX",
+        request: "empty",
+        reply: "MIX",
+        summary: "aggregate mix (canonical fold)",
+    },
+    OpSpec {
+        code: OP_QUERY_TOP,
+        name: "QUERY_TOP",
+        request: "k u32 LE",
+        reply: "MIX",
+        summary: "k most-executed mnemonics",
+    },
+    OpSpec {
+        code: OP_STATS,
+        name: "STATS",
+        request: "empty",
+        reply: "STATS",
+        summary: "shards/frames/sources/bytes",
+    },
+    OpSpec {
+        code: OP_COMPACT,
+        name: "COMPACT",
+        request: "empty",
+        reply: "OK",
+        summary: "compact every shard's log",
+    },
+    OpSpec {
+        code: OP_SHUTDOWN,
+        name: "SHUTDOWN",
+        request: "empty",
+        reply: "OK",
+        summary: "stop accepting, drain, exit",
+    },
+];
+
+/// The reply codes, `(code, name, payload)` — same pinning story as
+/// [`PROTOCOL_OPS`].
+pub const PROTOCOL_REPLIES: &[(u8, &str, &str)] = &[
+    (RESP_OK, "OK", "empty"),
+    (
+        RESP_INGESTED,
+        "INGESTED",
+        "records u64, samples u64, windows_flushed u32, counts_seq u32 (all LE)",
+    ),
+    (
+        RESP_MIX,
+        "MIX",
+        "n u32, then n x (opcode u16, count f64 bits) (all LE)",
+    ),
+    (
+        RESP_STATS,
+        "STATS",
+        "shards u32, counts_frames u64, window_frames u64, sources u32, store_bytes u64 (all LE)",
+    ),
+    (RESP_ERR, "ERR", "UTF-8 error message"),
+];
+
+/// The op listing as printed by `hbbp serve --help` and `hbbpd --help`
+/// (one aligned line per op), generated from [`PROTOCOL_OPS`].
+pub fn protocol_listing() -> String {
+    let line = |left: &str, mid: &str, right: &str| format!("  {left:<19} {mid:<35} -> {right}\n");
+    let mut out = String::new();
+    for op in PROTOCOL_OPS {
+        let left = match op.request {
+            "empty" => op.name.to_owned(),
+            _ if op.code == OP_STREAM => format!("{}(source u32)", op.name),
+            _ if op.code == OP_QUERY_TOP => format!("{}(k u32)", op.name),
+            _ => op.name.to_owned(),
+        };
+        let mid = match op.code {
+            OP_STREAM => "+ perf byte stream, then half-close".to_owned(),
+            _ => op.summary.to_owned(),
+        };
+        out.push_str(&line(&left, &mid, op.reply));
+    }
+    out
+}
+
+/// The request/reply tables of `docs/PROTOCOL.md`, as markdown —
+/// generated here and pinned against the document by
+/// `crates/store/tests/protocol_doc.rs`.
+pub fn protocol_tables() -> String {
+    let mut out = String::new();
+    out.push_str("| op | code | request payload | reply | summary |\n");
+    out.push_str("|---|---|---|---|---|\n");
+    for op in PROTOCOL_OPS {
+        out.push_str(&format!(
+            "| `{}` | {} | {} | `{}` | {} |\n",
+            op.name, op.code, op.request, op.reply, op.summary
+        ));
+    }
+    out.push('\n');
+    out.push_str("| reply | code | payload |\n");
+    out.push_str("|---|---|---|\n");
+    for (code, name, payload) in PROTOCOL_REPLIES {
+        out.push_str(&format!("| `{name}` | {code} | {payload} |\n"));
+    }
+    out
+}
+
 /// Errors speaking the daemon protocol.
 #[derive(Debug)]
 pub enum WireError {

@@ -1,0 +1,139 @@
+//! Per-shard single-writer ingest queues.
+//!
+//! Each store shard is owned outright by one writer thread — no
+//! `Mutex<ProfileStore>` anywhere. Workers parse and analyze streams,
+//! then hand *completed* results (window batches, counts frames) over a
+//! **bounded** queue; the writer drains whatever has accumulated and
+//! group-commits the whole batch as a single file write
+//! ([`ProfileStore::commit`]). An ingest reply (the assigned `seq`) is
+//! released only after the commit that made its frame durable, so a
+//! client that has its `INGESTED` reply knows the counts frame is in
+//! the log.
+//!
+//! Queries are serialized through the same queue, which gives them
+//! read-your-writes consistency per shard for free: the writer commits
+//! everything buffered before serving a snapshot.
+//!
+//! Shutdown: the writer exits when every sender is gone (workers drop
+//! their clones as they drain), after committing its tail — the
+//! drain-on-shutdown path.
+
+use crate::frame::WindowRecord;
+use crate::store::{ProfileStore, Snapshot};
+use hbbp_program::Bbec;
+use std::sync::mpsc::{Receiver, Sender};
+
+/// Messages a shard writer consumes, in arrival order.
+pub(crate) enum WriterMsg {
+    /// Closed timeline windows from an in-flight stream (fire and
+    /// forget: the timeline is an observability stream).
+    Windows(Vec<WindowRecord>),
+    /// A completed stream's counts frame; `reply` carries the assigned
+    /// `seq`, sent only after the group commit that durably wrote it.
+    Counts {
+        /// Collector source id.
+        source: u32,
+        /// EBS samples the stream contributed.
+        ebs_samples: u64,
+        /// LBR samples the stream contributed.
+        lbr_samples: u64,
+        /// The whole-stream analysis (bit-exact `f64` counts).
+        bbec: Bbec,
+        /// Where the committed `seq` (or error) goes.
+        reply: Sender<Result<u32, String>>,
+    },
+    /// A consistent view of the shard (pending appends committed first).
+    /// The shard index is echoed back so gathering workers can fold
+    /// partitions in index order — compacted fold frames all share the
+    /// same `(source, seq)` key, so arrival order must not leak into the
+    /// canonical aggregate.
+    Snapshot(usize, Sender<(usize, Snapshot)>),
+    /// Shard statistics (pending appends committed first).
+    Stats(Sender<ShardStats>),
+    /// Compact the shard's log (pending appends absorbed by the rewrite).
+    Compact(Sender<Result<(), String>>),
+}
+
+/// One shard's contribution to [`crate::wire::DaemonStats`].
+pub(crate) struct ShardStats {
+    pub counts_frames: u64,
+    pub window_frames: u64,
+    pub bytes: u64,
+    /// Source ids in this shard's counts frames (deduped globally by the
+    /// gathering worker).
+    pub sources: Vec<u32>,
+}
+
+/// Upper bound on messages folded into one group commit — bounds reply
+/// latency under a sustained ingest firehose.
+const MAX_BATCH: usize = 512;
+
+/// The shard writer: drain the queue, apply appends deferred, group
+/// commit, release replies. Runs until every sender is dropped.
+pub(crate) fn writer_loop(mut store: ProfileStore, rx: Receiver<WriterMsg>) {
+    // Ingest replies withheld until the commit that makes them true.
+    let mut uncommitted: Vec<(Sender<Result<u32, String>>, u32)> = Vec::new();
+    let mut batch: Vec<WriterMsg> = Vec::new();
+    while let Ok(first) = rx.recv() {
+        batch.push(first);
+        while batch.len() < MAX_BATCH {
+            match rx.try_recv() {
+                Ok(msg) => batch.push(msg),
+                Err(_) => break,
+            }
+        }
+        for msg in batch.drain(..) {
+            match msg {
+                WriterMsg::Windows(records) => {
+                    for w in records {
+                        // Cannot fail: the store was opened with an
+                        // identity; I/O is deferred to the commit.
+                        let _ = store.append_window_deferred(w);
+                    }
+                }
+                WriterMsg::Counts {
+                    source,
+                    ebs_samples,
+                    lbr_samples,
+                    bbec,
+                    reply,
+                } => match store.append_counts_deferred(source, ebs_samples, lbr_samples, bbec) {
+                    Ok(seq) => uncommitted.push((reply, seq)),
+                    Err(e) => {
+                        let _ = reply.send(Err(e.to_string()));
+                    }
+                },
+                WriterMsg::Snapshot(shard, reply) => {
+                    commit(&mut store, &mut uncommitted);
+                    let _ = reply.send((shard, store.snapshot()));
+                }
+                WriterMsg::Stats(reply) => {
+                    commit(&mut store, &mut uncommitted);
+                    let _ = reply.send(ShardStats {
+                        counts_frames: store.counts().len() as u64,
+                        window_frames: store.windows().len() as u64,
+                        bytes: store.file_bytes(),
+                        sources: store.counts().iter().map(|c| c.source).collect(),
+                    });
+                }
+                WriterMsg::Compact(reply) => {
+                    commit(&mut store, &mut uncommitted);
+                    let _ = reply.send(store.compact().map_err(|e| e.to_string()));
+                }
+            }
+        }
+        // Group commit: one file write for every append in the batch,
+        // then release the ingest replies it covers.
+        commit(&mut store, &mut uncommitted);
+    }
+    // Drain on shutdown: all senders gone, every queued message already
+    // consumed by the loop above — just make sure the tail is written.
+    let _ = store.commit();
+}
+
+fn commit(store: &mut ProfileStore, uncommitted: &mut Vec<(Sender<Result<u32, String>>, u32)>) {
+    let result = store.commit().map_err(|e| e.to_string());
+    for (reply, seq) in uncommitted.drain(..) {
+        let _ = reply.send(result.clone().map(|()| seq));
+    }
+}

@@ -153,6 +153,8 @@ fn daemon_loopback_four_concurrent_clients_bit_identical_aggregate() {
         window: Some(Window::Samples(256)),
         shards: 4,
         dir: dir.clone(),
+        workers: 0,
+        queue_depth: 0,
     })
     .expect("daemon");
     let client = handle.client();
@@ -276,6 +278,8 @@ fn daemon_rejects_garbage_streams_without_storing_anything() {
         window: None,
         shards: 2,
         dir: dir.clone(),
+        workers: 0,
+        queue_depth: 0,
     })
     .expect("daemon");
     let client = handle.client();

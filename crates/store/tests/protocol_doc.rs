@@ -1,0 +1,59 @@
+//! Pins the generated section of `docs/PROTOCOL.md` to the protocol
+//! tables in `hbbp_store::wire` (`PROTOCOL_OPS` / `PROTOCOL_REPLIES`),
+//! so the spec cannot drift from the code — the same golden mechanism
+//! as `docs/CLI.md`. Re-bless the section with
+//! `BLESS=1 cargo test -p hbbp-store --test protocol_doc`.
+
+use std::path::PathBuf;
+
+const BEGIN: &str = "<!-- generated:protocol-tables:begin -->";
+const END: &str = "<!-- generated:protocol-tables:end -->";
+
+fn docs_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../docs/PROTOCOL.md")
+}
+
+#[test]
+fn protocol_md_tables_match_the_wire_module() {
+    let path = docs_path();
+    let on_disk =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing docs/PROTOCOL.md ({e})"));
+    let begin = on_disk
+        .find(BEGIN)
+        .expect("docs/PROTOCOL.md lost its generated-section begin marker");
+    let end = on_disk
+        .find(END)
+        .expect("docs/PROTOCOL.md lost its generated-section end marker");
+    assert!(begin < end, "markers out of order");
+    let expected = hbbp_store::wire::protocol_tables();
+
+    if std::env::var("BLESS").is_ok_and(|v| !v.is_empty() && v != "0") {
+        let mut blessed = String::new();
+        blessed.push_str(&on_disk[..begin + BEGIN.len()]);
+        blessed.push('\n');
+        blessed.push_str(&expected);
+        blessed.push_str(&on_disk[end..]);
+        std::fs::write(&path, blessed).unwrap();
+        return;
+    }
+
+    let section = &on_disk[begin + BEGIN.len()..end];
+    assert_eq!(
+        section.trim_start_matches('\n'),
+        expected,
+        "docs/PROTOCOL.md tables drifted from wire::PROTOCOL_OPS/PROTOCOL_REPLIES; \
+         regenerate with BLESS=1 cargo test -p hbbp-store --test protocol_doc"
+    );
+}
+
+#[test]
+fn protocol_md_documents_every_op_and_reply() {
+    let on_disk = std::fs::read_to_string(docs_path()).expect("docs/PROTOCOL.md");
+    for op in hbbp_store::wire::PROTOCOL_OPS {
+        assert!(
+            on_disk.contains(op.name),
+            "docs/PROTOCOL.md must document op {}",
+            op.name
+        );
+    }
+}
