@@ -1,6 +1,10 @@
 //! The streaming-path bench: batch analysis of a materialized recording
-//! vs the online analyzer fed record by record, plus batch vs chunked
-//! stream decoding — on the phase-switching `phased` workload.
+//! vs the online analyzer fed record by record, batch vs chunked stream
+//! decoding, and the fused zero-copy decode→analyze pass (wire bytes
+//! straight to a finished analysis, no owned records) — on the
+//! phase-switching `phased` workload. The JSON gains a
+//! `fused_vs_pure_analysis` block relating the fused pass to the two
+//! passes it replaces.
 //!
 //! Besides the usual `bench: … ns/iter` lines, a run writes
 //! `BENCH_streaming.json` to the workspace root: the timings, the
@@ -105,6 +109,36 @@ fn bench_streaming(c: &mut Criterion, case: &Case, quick: bool) {
             black_box(n)
         })
     });
+    // The headline: wire bytes to finished analysis in one fused pass,
+    // decoding borrowed views straight into the online analyzer — the
+    // work `decode_batch` + `analyze_online` do in two materializing
+    // passes.
+    group.bench_function("decode_analyze_fused", |b| {
+        b.iter(|| {
+            let mut online = OnlineAnalyzer::new(&case.analyzer, case.periods, rule.clone());
+            let mut decoder = StreamDecoder::new();
+            for chunk in case.bytes.chunks(64 * 1024) {
+                decoder.feed(chunk);
+                decoder.decode_into(&mut online).expect("valid");
+            }
+            decoder.finish().expect("clean end");
+            let analysis = online.finish().into_analysis().expect("unwindowed");
+            black_box(analysis.hbbp.bbec.total())
+        })
+    });
+    group.bench_function("decode_analyze_fused_windowed", |b| {
+        b.iter(|| {
+            let mut online = OnlineAnalyzer::new(&case.analyzer, case.periods, rule.clone())
+                .with_window(Window::Samples(200));
+            let mut decoder = StreamDecoder::new();
+            for chunk in case.bytes.chunks(64 * 1024) {
+                decoder.feed(chunk);
+                decoder.decode_into(&mut online).expect("valid");
+            }
+            decoder.finish().expect("clean end");
+            black_box(online.finish().windows.len())
+        })
+    });
     group.finish();
 }
 
@@ -142,6 +176,37 @@ fn memory_facts(case: &Case) -> MemoryFacts {
         streaming_peak_entries: outcome.peak_buffered_entries,
         streaming_windows: outcome.windows.len(),
     }
+}
+
+/// Look up one measurement of this run by its full `group/name` key.
+fn ns_of(c: &Criterion, name: &str) -> f64 {
+    c.measurements()
+        .iter()
+        .find(|m| m.name == name)
+        .map(|m| m.ns_per_iter)
+        .unwrap_or(f64::NAN)
+}
+
+/// The PR 7 headline ratio: one fused decode+analyze pass vs the two
+/// materializing passes it replaces, from this run's own measurements.
+fn fused_block(c: &Criterion) -> String {
+    let decode = ns_of(c, "streaming/decode_batch");
+    let analyze = ns_of(c, "streaming/analyze_online");
+    let analyze_batch = ns_of(c, "streaming/analyze_batch");
+    let fused = ns_of(c, "streaming/decode_analyze_fused");
+    format!(
+        "  \"fused_vs_pure_analysis\": {{\n\
+         \x20   \"sum_decode_batch_plus_analyze_online_ns\": {:.1},\n\
+         \x20   \"decode_analyze_fused_ns\": {fused:.1},\n\
+         \x20   \"speedup\": {:.2},\n\
+         \x20   \"fused_over_analyze_batch\": {:.2},\n\
+         \x20   \"notes\": [\n\
+         \x20     \"speedup = (decode_batch + analyze_online) / decode_analyze_fused: the fused pass replaces both materializing passes.\",\n\
+         \x20     \"fused_over_analyze_batch is the remaining gap to pure in-memory analysis (1.0 would mean decoding became free).\",\n\
+         \x20     \"Why decode_chunked_4k beats decode_batch (seed: 535us vs 594us): codec::read retains every decoded record in PerfData, so the allocator can never recycle the per-record Vec/String blocks, while the streaming drain drops each record immediately. Measured on this host by whole-buffer single-feed drains: retaining records costs ~1.6x over dropping them (216us vs 132us), and codec::read's cursor-based decode_payload adds the rest (406us vs 216us for the same retained set since next_record now decodes through the in-place view). 4KiB chunking itself costs only ~20us (152us vs 132us). Working as intended, so documented rather than fixed: the batch reader's contract is to materialize everything.\"\n\
+         \x20   ]\n\
+         \x20 }},\n"
+    , decode + analyze, (decode + analyze) / fused, fused / analyze_batch)
 }
 
 fn emit_json(c: &Criterion, quick: bool, mem: &MemoryFacts, tl: &TimelineOutcome) -> String {
@@ -185,6 +250,7 @@ fn emit_json(c: &Criterion, quick: bool, mem: &MemoryFacts, tl: &TimelineOutcome
         .collect();
     out.push_str(&rows.join(",\n"));
     out.push_str("\n  ] },\n");
+    out.push_str(&fused_block(c));
     out.push_str(&results_block(c));
     out.push_str("\n}\n");
     out

@@ -1,12 +1,19 @@
 //! `hbbp analyze` — instruction mixes from a recording: batch
 //! (`Analyzer::analyze_fused`) or windowed (`OnlineAnalyzer` timelines).
+//!
+//! By default the recording streams through the zero-copy fused
+//! decode→analyze path ([`StreamDecoder::decode_into`] driving
+//! [`OnlineAnalyzer::push_view`]); `--no-fused` switches to the owned
+//! record path (batch `codec::read` + `analyze_fused`, or streaming
+//! `next_record` + `push_owned` with `--window`), kept as the
+//! field-diagnosable oracle. Both produce bit-identical results.
 
 use crate::args::{invalid, parse_all, CliError};
 use crate::common::{analyzer_for, parse_rule, parse_window, WorkloadOptions};
 use crate::registry;
 use crate::render::{self, Format, TimelineRow};
-use hbbp_core::{Analysis, HybridRule, OnlineAnalyzer, Window};
-use hbbp_perf::{PerfData, StreamDecoder};
+use hbbp_core::{Analysis, HybridRule, OnlineAnalyzer, OnlineOutcome, Window};
+use hbbp_perf::{PerfData, PerfRecord, RecordView, StreamDecoder, ViewSink};
 use hbbp_sim::EventSpec;
 use hbbp_workloads::Workload;
 use std::fmt::Write as _;
@@ -62,6 +69,9 @@ pub struct AnalyzeOptions {
     pub top: usize,
     /// Which estimate to render.
     pub estimator: Estimator,
+    /// Ingest through the zero-copy fused decode→analyze path (default);
+    /// `--no-fused` selects the owned-record oracle path instead.
+    pub fused: bool,
 }
 
 /// Usage text for `hbbp analyze`.
@@ -83,6 +93,8 @@ pub fn usage() -> String {
          \x20                     which estimate to render (default hbbp)\n\
          \x20 --format text|json|csv (default text)\n\
          \x20 --top N             mnemonics to list in text/csv (default 20, 0 = all)\n\
+         \x20 --fused             zero-copy fused decode+analyze ingest (default)\n\
+         \x20 --no-fused          owned-record ingest path (the fused path's oracle)\n\
          {}\n\
          \n\
          The workload (and scale) must match what `hbbp record` ran: the\n\
@@ -104,6 +116,7 @@ impl AnalyzeOptions {
         let mut format = Format::Text;
         let mut top = 20usize;
         let mut estimator = Estimator::Hbbp;
+        let mut fused = true;
         parse_all(args, |flag, s| {
             if workload.accept(flag, s)? {
                 return Ok(Some(()));
@@ -114,6 +127,8 @@ impl AnalyzeOptions {
                 "--format" => format = Format::parse(&s.value("--format")?)?,
                 "--top" => top = s.value_parsed("--top", "a row count")?,
                 "--estimator" => estimator = Estimator::parse(&s.value("--estimator")?)?,
+                "--fused" => fused = true,
+                "--no-fused" => fused = false,
                 other if !other.starts_with("--") => {
                     if recording.replace(PathBuf::from(other)).is_some() {
                         return Err(CliError::Usage(format!(
@@ -138,6 +153,7 @@ impl AnalyzeOptions {
             format,
             top,
             estimator,
+            fused,
         })
     }
 
@@ -145,8 +161,8 @@ impl AnalyzeOptions {
     pub fn run(&self) -> Result<String, CliError> {
         let w = self.workload.build()?;
         let analyzer = analyzer_for(&w)?;
-        match self.window {
-            None => {
+        match (self.window, self.fused) {
+            (None, false) => {
                 let bytes = std::fs::read(&self.recording).map_err(|e| {
                     CliError::Failed(format!("cannot read {}: {e}", self.recording.display()))
                 })?;
@@ -158,54 +174,159 @@ impl AnalyzeOptions {
                 })?;
                 verify_layout(&data, &w)?;
                 let analysis = analyzer.analyze_fused(&data, self.workload.periods, &self.rule);
-                let mix = analyzer.mix(self.estimator.pick(&analysis));
                 let ebs_event = EventSpec::inst_retired_prec_dist();
                 let lbr_event = EventSpec::br_inst_retired_near_taken();
-                let ebs = data.samples().filter(|s| s.event == ebs_event).count();
-                let lbr = data.samples().filter(|s| s.event == lbr_event).count();
-                Ok(match self.format {
-                    Format::Text => {
-                        let mut out = String::new();
-                        let _ = writeln!(
-                            out,
-                            "analysis of {} ({} records, ebs {ebs} / lbr {lbr} samples)",
-                            self.recording.display(),
-                            data.len(),
-                        );
-                        let _ = writeln!(
-                            out,
-                            "estimated instructions: {:.1}\n",
-                            analyzer.total_instructions(self.estimator.pick(&analysis))
-                        );
-                        out.push_str(&render::render_mix(&mix, self.top, Format::Text));
-                        out
-                    }
-                    Format::Json => format!(
-                        "{{\"records\": {}, \"ebs_samples\": {ebs}, \"lbr_samples\": {lbr}, \
-                         \"total\": {}, \"mnemonics\": {}}}\n",
-                        data.len(),
-                        render::json_f64(mix.total()),
-                        render::mix_json_entries(&mix)
-                    ),
-                    Format::Csv => render::render_mix(&mix, self.top, Format::Csv),
-                })
+                let ebs = data.samples().filter(|s| s.event == ebs_event).count() as u64;
+                let lbr = data.samples().filter(|s| s.event == lbr_event).count() as u64;
+                Ok(self.render_whole(&analyzer, data.len() as u64, ebs, lbr, &analysis))
             }
-            Some(window) => {
-                let rows = self.windowed_rows(&analyzer, window, &w)?;
+            (None, true) => {
+                let outcome = self.stream_outcome(&analyzer, None, &w)?;
+                let records = outcome.records_seen;
+                let (ebs, lbr) = outcome
+                    .windows
+                    .first()
+                    .map(|win| (win.ebs_samples, win.lbr_samples))
+                    .unwrap_or((0, 0));
+                let analysis = outcome.into_analysis().expect("unwindowed run");
+                Ok(self.render_whole(&analyzer, records, ebs, lbr, &analysis))
+            }
+            (Some(window), fused) => {
+                let outcome = if fused {
+                    self.stream_outcome(&analyzer, Some(window), &w)?
+                } else {
+                    self.stream_outcome_owned(&analyzer, window, &w)?
+                };
+                let rows: Vec<TimelineRow> = outcome
+                    .windows
+                    .iter()
+                    .map(|win| TimelineRow {
+                        index: win.index as u64,
+                        start_cycles: win.start_cycles,
+                        end_cycles: win.end_cycles,
+                        ebs_samples: win.ebs_samples,
+                        lbr_samples: win.lbr_samples,
+                        mix: analyzer.mix(self.estimator.pick(&win.analysis)),
+                    })
+                    .collect();
                 Ok(render::render_timeline(&rows, self.format))
             }
         }
     }
 
-    /// Stream the recording through the windowed online analyzer,
-    /// reading the file in fixed-size chunks — peak memory stays bounded
-    /// by the current window, never the recording.
-    fn windowed_rows(
+    /// Render the whole-recording analysis (shared by the batch oracle
+    /// and the fused streaming path, which must print byte-identical
+    /// output for the same recording).
+    fn render_whole(
+        &self,
+        analyzer: &hbbp_core::Analyzer,
+        records: u64,
+        ebs: u64,
+        lbr: u64,
+        analysis: &Analysis,
+    ) -> String {
+        let mix = analyzer.mix(self.estimator.pick(analysis));
+        match self.format {
+            Format::Text => {
+                let mut out = String::new();
+                let _ = writeln!(
+                    out,
+                    "analysis of {} ({records} records, ebs {ebs} / lbr {lbr} samples)",
+                    self.recording.display(),
+                );
+                let _ = writeln!(
+                    out,
+                    "estimated instructions: {:.1}\n",
+                    analyzer.total_instructions(self.estimator.pick(analysis))
+                );
+                out.push_str(&render::render_mix(&mix, self.top, Format::Text));
+                out
+            }
+            Format::Json => format!(
+                "{{\"records\": {records}, \"ebs_samples\": {ebs}, \"lbr_samples\": {lbr}, \
+                 \"total\": {}, \"mnemonics\": {}}}\n",
+                render::json_f64(mix.total()),
+                render::mix_json_entries(&mix)
+            ),
+            Format::Csv => render::render_mix(&mix, self.top, Format::Csv),
+        }
+    }
+
+    /// Stream the recording through the online analyzer on the fused
+    /// zero-copy path: file chunks feed the decoder, and
+    /// [`StreamDecoder::decode_into`] hands borrowed record views
+    /// straight to [`OnlineAnalyzer::push_view`] — no owned `PerfRecord`
+    /// is ever materialized. MMAP records are checked against the
+    /// workload layout as they stream past, exactly like the owned path.
+    fn stream_outcome(
+        &self,
+        analyzer: &hbbp_core::Analyzer,
+        window: Option<Window>,
+        w: &Workload,
+    ) -> Result<OnlineOutcome, CliError> {
+        use std::io::Read as _;
+        let file = std::fs::File::open(&self.recording).map_err(|e| {
+            CliError::Failed(format!("cannot read {}: {e}", self.recording.display()))
+        })?;
+        let mut reader = std::io::BufReader::new(file);
+        let mut online = OnlineAnalyzer::new(analyzer, self.workload.periods, self.rule.clone());
+        if let Some(window) = window {
+            online = online.with_window(window);
+        }
+        let mut sink = CheckSink {
+            online,
+            expected: expected_modules(w),
+            workload: w,
+            err: None,
+        };
+        let mut decoder = StreamDecoder::new();
+        let mut buf = vec![0u8; 64 * 1024];
+        loop {
+            let n = reader.read(&mut buf).map_err(|e| {
+                CliError::Failed(format!("cannot read {}: {e}", self.recording.display()))
+            })?;
+            if n == 0 {
+                break;
+            }
+            decoder.feed(&buf[..n]);
+            let decoded = decoder.decode_into(&mut sink);
+            if let Some(err) = sink.err.take() {
+                return Err(err);
+            }
+            decoded.map_err(|e| {
+                CliError::Failed(format!(
+                    "{} is not a decodable recording: {e}",
+                    self.recording.display()
+                ))
+            })?;
+        }
+        decoder.finish().map_err(|e| {
+            // The windowed streaming path has always blamed a truncated
+            // tail specifically; the whole-recording path mirrors the
+            // batch oracle's wording for every decode failure.
+            if window.is_some() {
+                CliError::Failed(format!("{} ends mid-record: {e}", self.recording.display()))
+            } else {
+                CliError::Failed(format!(
+                    "{} is not a decodable recording: {e}",
+                    self.recording.display()
+                ))
+            }
+        })?;
+        Ok(sink.online.finish())
+    }
+
+    /// The owned-record twin of [`stream_outcome`]: decode to
+    /// `PerfRecord`s and `push_owned` them. Kept verbatim as the
+    /// `--no-fused` oracle for the fused path.
+    ///
+    /// [`stream_outcome`]: AnalyzeOptions::stream_outcome
+    fn stream_outcome_owned(
         &self,
         analyzer: &hbbp_core::Analyzer,
         window: Window,
         w: &Workload,
-    ) -> Result<Vec<TimelineRow>, CliError> {
+    ) -> Result<OnlineOutcome, CliError> {
         use std::io::Read as _;
         let file = std::fs::File::open(&self.recording).map_err(|e| {
             CliError::Failed(format!("cannot read {}: {e}", self.recording.display()))
@@ -227,7 +348,7 @@ impl AnalyzeOptions {
             loop {
                 match decoder.next_record() {
                     Ok(Some(record)) => {
-                        if let hbbp_perf::PerfRecord::Mmap {
+                        if let PerfRecord::Mmap {
                             addr,
                             len,
                             filename,
@@ -251,19 +372,39 @@ impl AnalyzeOptions {
         decoder.finish().map_err(|e| {
             CliError::Failed(format!("{} ends mid-record: {e}", self.recording.display()))
         })?;
-        let outcome = online.finish();
-        Ok(outcome
-            .windows
-            .iter()
-            .map(|win| TimelineRow {
-                index: win.index as u64,
-                start_cycles: win.start_cycles,
-                end_cycles: win.end_cycles,
-                ebs_samples: win.ebs_samples,
-                lbr_samples: win.lbr_samples,
-                mix: analyzer.mix(self.estimator.pick(&win.analysis)),
-            })
-            .collect())
+        Ok(online.finish())
+    }
+}
+
+/// [`ViewSink`] that verifies MMAP records against the workload layout
+/// before forwarding every view to the online analyzer. The first
+/// mismatch is stored (a sink callback cannot early-return through the
+/// decoder) and checked by the caller after each `decode_into`.
+struct CheckSink<'s, 'a> {
+    online: OnlineAnalyzer<'a>,
+    expected: Vec<(String, u64, u64)>,
+    workload: &'s Workload,
+    err: Option<CliError>,
+}
+
+impl ViewSink for CheckSink<'_, '_> {
+    fn view(&mut self, view: &RecordView<'_>) {
+        if self.err.is_some() {
+            return;
+        }
+        if let RecordView::Other(PerfRecord::Mmap {
+            addr,
+            len,
+            filename,
+            ..
+        }) = view
+        {
+            if let Err(e) = check_mmap(&self.expected, filename, *addr, *len, self.workload) {
+                self.err = Some(e);
+                return;
+            }
+        }
+        self.online.push_view(view);
     }
 }
 
@@ -343,8 +484,9 @@ mod tests {
 
     #[test]
     fn wrong_workload_is_detected_in_both_batch_and_windowed_modes() {
-        // Record phased, analyze as test40: the mmap check must fire on
-        // the batch path AND the streaming (windowed) path.
+        // Record phased, analyze as test40: the mmap check must fire in
+        // every ingest mode — fused and owned, whole-recording and
+        // windowed.
         let dir = std::env::temp_dir().join(format!("hbbp-cli-mismatch-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("p.bin");
@@ -357,7 +499,12 @@ mod tests {
         .unwrap()
         .run()
         .unwrap();
-        for extra in [&[][..], &["--window", "samples:100"][..]] {
+        for extra in [
+            &[][..],
+            &["--window", "samples:100"][..],
+            &["--no-fused"][..],
+            &["--window", "samples:100", "--no-fused"][..],
+        ] {
             let mut argv = vec![path.to_str().unwrap(), "--workload", "test40"];
             argv.extend_from_slice(extra);
             let err = AnalyzeOptions::parse(&raw(&argv))

@@ -133,6 +133,7 @@ impl ReportOptions {
                     format: self.format,
                     top: self.top,
                     estimator: Default::default(),
+                    fused: true,
                 };
                 opts.run()
             }

@@ -190,6 +190,32 @@ const MATRIX: &[Case] = &[
     },
     Case {
         command: "analyze",
+        args: &["p.bin", "--fused"],
+        want: Want::Ok,
+    },
+    Case {
+        command: "analyze",
+        args: &["p.bin", "--no-fused", "--window", "samples:100"],
+        want: Want::Ok,
+    },
+    Case {
+        // The pair is order-insensitive: the last one wins, both parse.
+        command: "analyze",
+        args: &["p.bin", "--no-fused", "--fused"],
+        want: Want::Ok,
+    },
+    Case {
+        command: "analyze",
+        args: &["p.bin", "--fused=yes"],
+        want: Want::Err("flag --fused takes no value (got `yes`)"),
+    },
+    Case {
+        command: "analyze",
+        args: &["p.bin", "--no-fused=1"],
+        want: Want::Err("flag --no-fused takes no value (got `1`)"),
+    },
+    Case {
+        command: "analyze",
         args: &["a.bin", "b.bin"],
         want: Want::Err("unexpected extra operand `b.bin`"),
     },
@@ -449,6 +475,18 @@ fn flag_matrix() {
             }
         }
     }
+}
+
+#[test]
+fn fused_defaults_on_and_last_toggle_wins() {
+    let parse = |args: &[&str]| {
+        let args: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        analyze::AnalyzeOptions::parse(&args).unwrap()
+    };
+    assert!(parse(&["p.bin"]).fused);
+    assert!(!parse(&["p.bin", "--no-fused"]).fused);
+    assert!(parse(&["p.bin", "--no-fused", "--fused"]).fused);
+    assert!(!parse(&["p.bin", "--fused", "--no-fused"]).fused);
 }
 
 #[test]

@@ -78,7 +78,13 @@ impl<'m> EbsAccum<'m> {
     /// Attribute one sample's eventing IP. Attached LBR stacks are
     /// **discarded** (paper §V.A).
     pub(crate) fn observe(&mut self, sample: &PerfSample) {
-        match self.cursor.enclosing(sample.ip) {
+        self.observe_ip(sample.ip);
+    }
+
+    /// [`observe`](EbsAccum::observe) without the sample wrapper — the
+    /// zero-copy view path has no `PerfSample` to hand over.
+    pub(crate) fn observe_ip(&mut self, ip: u64) {
+        match self.cursor.enclosing(ip) {
             Some(bi) => {
                 self.samples[bi] += 1;
                 self.used += 1;
@@ -87,7 +93,15 @@ impl<'m> EbsAccum<'m> {
         }
     }
 
-    pub(crate) fn finish(self) -> EbsEstimate {
+    pub(crate) fn finish(mut self) -> EbsEstimate {
+        self.take_estimate()
+    }
+
+    /// Produce the estimate of everything observed so far and reset the
+    /// accumulator in place, keeping its allocations — the windowed online
+    /// analyzer calls this once per window instead of building a fresh
+    /// accumulator (and tally vector) each time.
+    pub(crate) fn take_estimate(&mut self) -> EbsEstimate {
         let mut dense = DenseBbec::for_map(self.map);
         let mut bbec = Bbec::new();
         let mut samples_per_block = HashMap::new();
@@ -105,14 +119,18 @@ impl<'m> EbsAccum<'m> {
             // value — exactly what the seed implementation produces.
             bbec.set(block.start, value);
         }
-        EbsEstimate {
+        let estimate = EbsEstimate {
             bbec,
             dense,
             samples_per_block,
             samples_used: self.used,
             samples_unmapped: self.unmapped,
             period: self.period,
-        }
+        };
+        self.samples.fill(0);
+        self.used = 0;
+        self.unmapped = 0;
+        estimate
     }
 }
 

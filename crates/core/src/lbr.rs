@@ -269,7 +269,18 @@ impl<'m> LbrStats<'m> {
     /// attribute the streams of `stacks` — which must be exactly the
     /// stacks [`LbrStats::observe_stack`] returned `true` for, in
     /// observation order.
-    pub(crate) fn finish<'a, I>(self, stacks: I) -> LbrEstimate
+    pub(crate) fn finish<'a, I>(mut self, stacks: I) -> LbrEstimate
+    where
+        I: IntoIterator<Item = &'a [LbrEntry]>,
+    {
+        self.take_estimate(stacks)
+    }
+
+    /// [`finish`](LbrStats::finish) without consuming: produce the
+    /// estimate, then reset every pass-1 statistic in place so the
+    /// accumulator (and all its vectors, caches and overflow tables) is
+    /// ready for the next window without reallocating.
+    pub(crate) fn take_estimate<'a, I>(&mut self, stacks: I) -> LbrEstimate
     where
         I: IntoIterator<Item = &'a [LbrEntry]>,
     {
@@ -423,7 +434,7 @@ impl<'m> LbrStats<'m> {
                 biased_idx[bi] = true;
             }
         }
-        LbrEstimate {
+        let estimate = LbrEstimate {
             bbec,
             dense,
             biased_blocks,
@@ -434,7 +445,31 @@ impl<'m> LbrStats<'m> {
             derailed_streams: derailed,
             streams,
             period: self.period,
+        };
+        self.reset();
+        estimate
+    }
+
+    /// Clear every pass-1 statistic, keeping allocations: the stat vectors
+    /// shrink back to map length (dropping overflow tails), the caches
+    /// empty, and the epoch counter restarts.
+    fn reset(&mut self) {
+        let n = self.map.len();
+        self.overflow_ids.clear();
+        self.overflow_addrs.clear();
+        for v in [
+            &mut self.entry0,
+            &mut self.appearances,
+            &mut self.stacks_containing,
+            &mut self.entries_alongside,
+            &mut self.last_stack,
+        ] {
+            v.truncate(n);
+            v.fill(0);
         }
+        self.memo = None;
+        self.branch_cache.fill((0, u32::MAX));
+        self.stacks = 0;
     }
 }
 

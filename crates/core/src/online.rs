@@ -1,12 +1,21 @@
 //! Online (streaming) analysis with optional windowing.
 //!
 //! [`crate::Analyzer::analyze_fused`] needs the whole recording in memory;
-//! [`OnlineAnalyzer`] consumes one [`PerfRecord`] at a time — straight off
-//! a collection session or a [`hbbp_perf::StreamDecoder`] — and keeps only
+//! [`OnlineAnalyzer`] consumes one record at a time — straight off a
+//! collection session or a [`hbbp_perf::StreamDecoder`] — and keeps only
 //! what estimation fundamentally requires: the per-branch pass-1
 //! statistics plus owned copies of the LBR stacks of the **current
 //! window**. Memory is bounded by window size, not run length, which is
 //! what makes long-running, phase-varying workloads profileable at all.
+//!
+//! Records arrive either owned ([`OnlineAnalyzer::push_record`] /
+//! [`OnlineAnalyzer::push_owned`]) or as zero-copy
+//! [`hbbp_perf::RecordView`]s ([`OnlineAnalyzer::push_view`]) — the fused
+//! ingest path, where LBR branch pairs are parsed straight out of the
+//! decoder's wire buffer into pooled stack buffers and no owned
+//! [`PerfRecord`] ever exists. As a [`hbbp_perf::ViewSink`] the analyzer
+//! plugs directly into [`hbbp_perf::StreamDecoder::decode_into`]. All
+//! paths are pinned bit-identical by the property suite.
 //!
 //! Two consumption modes:
 //!
@@ -38,7 +47,7 @@
 use crate::ebs::EbsAccum;
 use crate::lbr::LbrStats;
 use crate::{hybrid, Analysis, Analyzer, HybridRule, SamplingPeriods};
-use hbbp_perf::{PerfRecord, PerfSample, RecordSink};
+use hbbp_perf::{PerfRecord, RecordSink, RecordView, ViewSink};
 use hbbp_program::MnemonicMix;
 use hbbp_sim::{EventSpec, LbrEntry};
 
@@ -110,11 +119,14 @@ impl OnlineOutcome {
     }
 }
 
-/// Either a borrowed stack (cloned on buffer) or one already carved out of
-/// an owned record (moved on buffer).
+/// Where an incoming LBR stack lives: borrowed (cloned into a pooled
+/// buffer when kept), carved out of an owned record (moved when kept,
+/// dropped otherwise), or already in a pooled buffer filled from a
+/// zero-copy view (returned to the pool when not kept).
 enum StackIn<'s> {
     Borrowed(&'s [LbrEntry]),
     Owned(Vec<LbrEntry>),
+    Pooled(Vec<LbrEntry>),
 }
 
 /// Streaming analyzer: [`push_record`](OnlineAnalyzer::push_record) the
@@ -126,7 +138,6 @@ enum StackIn<'s> {
 #[derive(Debug)]
 pub struct OnlineAnalyzer<'a> {
     analyzer: &'a Analyzer,
-    periods: SamplingPeriods,
     rule: HybridRule,
     window: Option<Window>,
     ebs_event: EventSpec,
@@ -134,7 +145,12 @@ pub struct OnlineAnalyzer<'a> {
     // Current-window accumulators.
     ebs: EbsAccum<'a>,
     lbr: LbrStats<'a>,
-    stacks: Vec<Box<[LbrEntry]>>,
+    stacks: Vec<Vec<LbrEntry>>,
+    /// Retired stack buffers recycled across windows (and across rejected
+    /// view-path stacks): [`close_window`](OnlineAnalyzer::close_window)
+    /// drains into here instead of freeing, so a long windowed run stops
+    /// allocating per stack once past its densest window.
+    stack_pool: Vec<Vec<LbrEntry>>,
     // Current-window bookkeeping.
     win_samples: u64,
     win_ebs: u64,
@@ -169,12 +185,12 @@ impl<'a> OnlineAnalyzer<'a> {
             ebs: EbsAccum::new(map, periods.ebs),
             lbr: LbrStats::new(map, periods.lbr, analyzer.lbr_options().clone()),
             analyzer,
-            periods,
             rule,
             window: None,
             ebs_event: EventSpec::inst_retired_prec_dist(),
             lbr_event: EventSpec::br_inst_retired_near_taken(),
             stacks: Vec::new(),
+            stack_pool: Vec::new(),
             win_samples: 0,
             win_ebs: 0,
             win_lbr: 0,
@@ -231,7 +247,7 @@ impl<'a> OnlineAnalyzer<'a> {
     pub fn push_record(&mut self, record: &PerfRecord) {
         self.records_seen += 1;
         if let PerfRecord::Sample(s) = record {
-            self.ingest(s, StackIn::Borrowed(&s.lbr));
+            self.ingest(s.event, s.ip, s.time_cycles, StackIn::Borrowed(&s.lbr));
         }
     }
 
@@ -241,38 +257,71 @@ impl<'a> OnlineAnalyzer<'a> {
         self.records_seen += 1;
         if let PerfRecord::Sample(mut s) = record {
             let lbr = std::mem::take(&mut s.lbr);
-            self.ingest(&s, StackIn::Owned(lbr));
+            self.ingest(s.event, s.ip, s.time_cycles, StackIn::Owned(lbr));
         }
     }
 
-    fn ingest(&mut self, sample: &PerfSample, stack: StackIn<'_>) {
-        let is_ebs = sample.event == self.ebs_event;
-        let is_lbr = sample.event == self.lbr_event;
+    /// Consume one zero-copy record view ([`hbbp_perf::SampleView`] LBR
+    /// entries are parsed straight out of the wire buffer into a pooled
+    /// stack buffer — the fused ingest path never materializes an owned
+    /// `PerfRecord`). Pinned bit-identical to
+    /// [`push_owned`](OnlineAnalyzer::push_owned) of the same record by
+    /// `crates/core/tests/streaming_equivalence.rs`.
+    pub fn push_view(&mut self, view: &RecordView<'_>) {
+        self.records_seen += 1;
+        if let RecordView::Sample(s) = view {
+            if s.event == self.lbr_event {
+                let mut buf = self.take_pooled();
+                buf.extend(s.lbr_entries());
+                self.ingest(s.event, s.ip, s.time_cycles, StackIn::Pooled(buf));
+            } else if s.event == self.ebs_event {
+                // The EBS estimator discards LBR stacks (paper §V.A), so
+                // the view's entries are never even parsed.
+                self.ingest(s.event, s.ip, s.time_cycles, StackIn::Borrowed(&[]));
+            }
+        }
+    }
+
+    /// A cleared stack buffer, reusing a retired one when available.
+    fn take_pooled(&mut self) -> Vec<LbrEntry> {
+        self.stack_pool.pop().unwrap_or_default()
+    }
+
+    fn ingest(&mut self, event: EventSpec, ip: u64, time_cycles: u64, stack: StackIn<'_>) {
+        let is_ebs = event == self.ebs_event;
+        let is_lbr = event == self.lbr_event;
         if !is_ebs && !is_lbr {
             return;
         }
-        self.roll_window(sample.time_cycles);
+        self.roll_window(time_cycles);
         self.samples_seen += 1;
         self.win_samples += 1;
-        self.win_first_time.get_or_insert(sample.time_cycles);
-        self.win_last_time = sample.time_cycles;
+        self.win_first_time.get_or_insert(time_cycles);
+        self.win_last_time = time_cycles;
         if is_ebs {
             self.win_ebs += 1;
-            self.ebs.observe(sample);
+            self.ebs.observe_ip(ip);
         } else {
             self.win_lbr += 1;
             let entries: &[LbrEntry] = match &stack {
                 StackIn::Borrowed(e) => e,
-                StackIn::Owned(e) => e,
+                StackIn::Owned(e) | StackIn::Pooled(e) => e,
             };
             if self.lbr.observe_stack(entries) {
-                let boxed: Box<[LbrEntry]> = match stack {
-                    StackIn::Borrowed(e) => e.into(),
-                    StackIn::Owned(e) => e.into_boxed_slice(),
+                let kept: Vec<LbrEntry> = match stack {
+                    StackIn::Borrowed(e) => {
+                        let mut buf = self.take_pooled();
+                        buf.extend_from_slice(e);
+                        buf
+                    }
+                    StackIn::Owned(e) | StackIn::Pooled(e) => e,
                 };
-                self.buffered_entries += boxed.len();
+                self.buffered_entries += kept.len();
                 self.peak_buffered_entries = self.peak_buffered_entries.max(self.buffered_entries);
-                self.stacks.push(boxed);
+                self.stacks.push(kept);
+            } else if let StackIn::Pooled(mut buf) = stack {
+                buf.clear();
+                self.stack_pool.push(buf);
             }
         }
     }
@@ -294,16 +343,19 @@ impl<'a> OnlineAnalyzer<'a> {
     }
 
     /// Finish the current accumulators into a [`WindowedAnalysis`] and
-    /// start fresh ones.
+    /// reset them in place — accumulator tallies, caches and stack
+    /// buffers are all recycled into the next window instead of being
+    /// reallocated per window.
     fn close_window(&mut self) {
         let map = self.analyzer.map();
-        let ebs = std::mem::replace(&mut self.ebs, EbsAccum::new(map, self.periods.ebs)).finish();
-        let lbr_stats = std::mem::replace(
-            &mut self.lbr,
-            LbrStats::new(map, self.periods.lbr, self.analyzer.lbr_options().clone()),
-        );
-        let stacks = std::mem::take(&mut self.stacks);
-        let lbr = lbr_stats.finish(stacks.iter().map(|s| &**s));
+        let ebs = self.ebs.take_estimate();
+        let lbr = self
+            .lbr
+            .take_estimate(self.stacks.iter().map(|s| s.as_slice()));
+        for mut stack in self.stacks.drain(..) {
+            stack.clear();
+            self.stack_pool.push(stack);
+        }
         let hbbp = hybrid::combine(map, &ebs, &lbr, &self.rule);
         let analysis = Analysis { ebs, lbr, hbbp };
         let mix = self.analyzer.mix(&analysis.hbbp.bbec);
@@ -353,12 +405,18 @@ impl RecordSink for OnlineAnalyzer<'_> {
     }
 }
 
+impl ViewSink for OnlineAnalyzer<'_> {
+    fn view(&mut self, view: &RecordView<'_>) {
+        self.push_view(view);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use hbbp_isa::instruction::build;
     use hbbp_isa::{Mnemonic, Reg};
-    use hbbp_perf::PerfData;
+    use hbbp_perf::{PerfData, PerfSample};
     use hbbp_program::{ImageView, Layout, ProgramBuilder, Ring, TextImage};
     use std::collections::HashMap;
 

@@ -3,7 +3,11 @@
 //! byte-level [`StreamDecoder`] with random chunk splits — must produce
 //! **bit-identical** results to [`Analyzer::analyze_fused`]; windowed runs
 //! must partition the stream (window sums equal whole-run totals) and each
-//! window must equal the batch analysis of exactly its slice.
+//! window must equal the batch analysis of exactly its slice. The fused
+//! zero-copy ingest ([`StreamDecoder::decode_into`] driving
+//! [`OnlineAnalyzer::push_view`]) must match the owned
+//! `next_record`+`push_owned` path bit-for-bit on the same byte stream,
+//! windowed and unwindowed alike.
 
 use hbbp_core::{Analyzer, HybridRule, LbrOptions, OnlineAnalyzer, SamplingPeriods, Window};
 use hbbp_isa::instruction::build;
@@ -313,6 +317,113 @@ proptest! {
             assert_analysis_eq(&w.analysis, &slice_batch);
         }
         prop_assert!(remaining.is_empty());
+    }
+
+    /// The fused zero-copy ingest — `decode_into` handing borrowed views
+    /// straight to the analyzer — ≡ the owned `push_owned` path ≡
+    /// `analyze_fused`, under any chunking of the wire bytes.
+    #[test]
+    fn fused_wire_stream_matches_owned_and_batch(
+        bodies in proptest::collection::vec(1usize..28, 1..5),
+        ips in proptest::collection::vec(0usize..4096, 0..100),
+        stacks in arb_stacks(),
+        cuts in proptest::collection::vec(0usize..1_000_000, 0..10),
+        cutoff in 0usize..40,
+    ) {
+        let fx = fixture(&bodies);
+        let data = build_data(&fx, &ips, &stacks);
+        let analyzer = analyzer_for(&fx);
+        let periods = SamplingPeriods { ebs: 733, lbr: 211 };
+        let rule = HybridRule::LengthCutoff(cutoff);
+        let batch = analyzer.analyze_fused(&data, periods, &rule);
+
+        let bytes = codec::write(&data);
+        let mut points: Vec<usize> = cuts.iter().map(|&c| c % bytes.len()).collect();
+        points.sort_unstable();
+        points.dedup();
+        points.push(bytes.len());
+
+        let mut fused = OnlineAnalyzer::new(&analyzer, periods, rule.clone());
+        let mut owned = OnlineAnalyzer::new(&analyzer, periods, rule);
+        let mut fused_dec = StreamDecoder::new();
+        let mut owned_dec = StreamDecoder::new();
+        let mut prev = 0;
+        for p in points {
+            fused_dec.feed(&bytes[prev..p]);
+            fused_dec.decode_into(&mut fused).expect("valid stream");
+            owned_dec.feed(&bytes[prev..p]);
+            while let Some(record) = owned_dec.next_record().expect("valid stream") {
+                owned.push_owned(record);
+            }
+            prev = p;
+        }
+        fused_dec.finish().expect("clean end of stream");
+        owned_dec.finish().expect("clean end of stream");
+
+        let fused_out = fused.finish();
+        let owned_out = owned.finish();
+        prop_assert_eq!(fused_out.records_seen, owned_out.records_seen);
+        prop_assert_eq!(fused_out.samples_seen, owned_out.samples_seen);
+        let fused_analysis = fused_out.into_analysis().expect("unwindowed");
+        assert_analysis_eq(&fused_analysis, &owned_out.into_analysis().expect("unwindowed"));
+        assert_analysis_eq(&fused_analysis, &batch);
+    }
+
+    /// Windowed fused ingest ≡ windowed owned ingest: the same windows in
+    /// the same order, with identical bounds, tallies, analyses and mixes.
+    #[test]
+    fn fused_windowed_matches_owned_windowed(
+        bodies in proptest::collection::vec(1usize..28, 1..4),
+        ips in proptest::collection::vec(0usize..4096, 1..100),
+        stacks in arb_stacks(),
+        cuts in proptest::collection::vec(0usize..1_000_000, 0..8),
+        window_samples in 1u64..40,
+    ) {
+        let fx = fixture(&bodies);
+        let data = build_data(&fx, &ips, &stacks);
+        let analyzer = analyzer_for(&fx);
+        let periods = SamplingPeriods { ebs: 733, lbr: 211 };
+        let rule = HybridRule::paper_default();
+        let window = Window::Samples(window_samples);
+
+        let bytes = codec::write(&data);
+        let mut points: Vec<usize> = cuts.iter().map(|&c| c % bytes.len()).collect();
+        points.sort_unstable();
+        points.dedup();
+        points.push(bytes.len());
+
+        let mut fused = OnlineAnalyzer::new(&analyzer, periods, rule.clone()).with_window(window);
+        let mut owned = OnlineAnalyzer::new(&analyzer, periods, rule).with_window(window);
+        let mut fused_dec = StreamDecoder::new();
+        let mut owned_dec = StreamDecoder::new();
+        let mut prev = 0;
+        for p in points {
+            fused_dec.feed(&bytes[prev..p]);
+            fused_dec.decode_into(&mut fused).expect("valid stream");
+            owned_dec.feed(&bytes[prev..p]);
+            while let Some(record) = owned_dec.next_record().expect("valid stream") {
+                owned.push_owned(record);
+            }
+            prev = p;
+        }
+        fused_dec.finish().expect("clean end of stream");
+        owned_dec.finish().expect("clean end of stream");
+
+        let fused_out = fused.finish();
+        let owned_out = owned.finish();
+        prop_assert_eq!(fused_out.windows.len(), owned_out.windows.len());
+        for (f, o) in fused_out.windows.iter().zip(&owned_out.windows) {
+            prop_assert_eq!(f.index, o.index);
+            prop_assert_eq!(f.start_cycles, o.start_cycles);
+            prop_assert_eq!(f.end_cycles, o.end_cycles);
+            prop_assert_eq!(f.ebs_samples, o.ebs_samples);
+            prop_assert_eq!(f.lbr_samples, o.lbr_samples);
+            assert_analysis_eq(&f.analysis, &o.analysis);
+            prop_assert_eq!(&f.mix, &o.mix);
+        }
+        prop_assert_eq!(fused_out.records_seen, owned_out.records_seen);
+        prop_assert_eq!(fused_out.samples_seen, owned_out.samples_seen);
+        prop_assert_eq!(fused_out.peak_buffered_entries, owned_out.peak_buffered_entries);
     }
 
     /// Time windows also partition the stream (bounds disjoint, ordered,

@@ -23,6 +23,7 @@
 //! assert_eq!(codec::read(&bytes).unwrap(), data);
 //! ```
 
+use crate::view::{RecordView, SampleView};
 use crate::{PerfData, PerfRecord, PerfSample};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use hbbp_program::Ring;
@@ -399,6 +400,51 @@ pub(crate) fn decode_payload(rtype: u8, mut p: &[u8]) -> Result<Option<PerfRecor
     Ok(Some(record))
 }
 
+/// Decode one frame payload as a borrowed [`RecordView`]: samples keep
+/// their LBR stack as a raw slice of `p`, everything else delegates to
+/// [`decode_payload`].
+///
+/// The validation verdict is pinned identical to [`decode_payload`] —
+/// same `Ok(Some)`/`Ok(None)`/`Err` for every `(rtype, payload)` — which
+/// is what lets the stream decoder's resync scan use either
+/// interchangeably (see `view_decode_agrees_with_owned_decode` below).
+pub(crate) fn decode_view<'b>(rtype: u8, p: &'b [u8]) -> Result<Option<RecordView<'b>>, ()> {
+    if rtype != T_SAMPLE {
+        return Ok(decode_payload(rtype, p)?.map(RecordView::Other));
+    }
+    // Fixed sample header: counter u8, kind u8, precise u8, ip u64,
+    // time u64, pid u32, tid u32, ring u8, lbr_count u16.
+    const FIXED: usize = 3 + 8 + 8 + 4 + 4 + 1 + 2;
+    if p.len() < FIXED {
+        return Err(());
+    }
+    let counter = p[0];
+    let kind = *EventKind::ALL.get(p[1] as usize).ok_or(())?;
+    let precise = p[2] != 0;
+    let ip = u64::from_le_bytes(p[3..11].try_into().expect("8 bytes"));
+    let time_cycles = u64::from_le_bytes(p[11..19].try_into().expect("8 bytes"));
+    let pid = u32::from_le_bytes(p[19..23].try_into().expect("4 bytes"));
+    let tid = u32::from_le_bytes(p[23..27].try_into().expect("4 bytes"));
+    let ring = ring_from_code(p[27]).ok_or(())?;
+    let n = u16::from_le_bytes(p[28..30].try_into().expect("2 bytes")) as usize;
+    let lbr_bytes = &p[FIXED..];
+    // Exact consumption, like decode_payload: a declared length that does
+    // not match `n` entries is corrupt (and rejects false resync anchors).
+    if lbr_bytes.len() != n * 16 {
+        return Err(());
+    }
+    Ok(Some(RecordView::Sample(SampleView {
+        counter,
+        event: EventSpec { kind, precise },
+        ip,
+        time_cycles,
+        pid,
+        tid,
+        ring,
+        lbr_bytes,
+    })))
+}
+
 fn ring_code(ring: Ring) -> u8 {
     match ring {
         Ring::User => 0,
@@ -557,6 +603,49 @@ mod tests {
         bytes.extend_from_slice(&[1, 2, 3]);
         let back = read(&bytes).expect("unknown type skipped");
         assert_eq!(back.len(), sample_data().len());
+    }
+
+    #[test]
+    fn view_decode_agrees_with_owned_decode() {
+        // Every frame of the fixture, plus mutated payloads (truncated,
+        // padded, bad kind index, bad ring code), must get the identical
+        // verdict from decode_payload and decode_view.
+        let data = sample_data();
+        let mut frames: Vec<(u8, Vec<u8>)> = data
+            .records()
+            .iter()
+            .map(|r| (record_type(r), encode_payload(r).to_vec()))
+            .collect();
+        let sample_payload = frames
+            .iter()
+            .find(|(t, _)| *t == T_SAMPLE)
+            .expect("fixture has a sample")
+            .1
+            .clone();
+        for cut in 0..sample_payload.len() {
+            frames.push((T_SAMPLE, sample_payload[..cut].to_vec()));
+        }
+        let mut padded = sample_payload.clone();
+        padded.push(0);
+        frames.push((T_SAMPLE, padded));
+        let mut bad_kind = sample_payload.clone();
+        bad_kind[1] = 200;
+        frames.push((T_SAMPLE, bad_kind));
+        let mut bad_ring = sample_payload.clone();
+        bad_ring[27] = 9;
+        frames.push((T_SAMPLE, bad_ring));
+        frames.push((200, vec![1, 2, 3]));
+        for (rtype, payload) in frames {
+            let owned = decode_payload(rtype, &payload);
+            let view = decode_view(rtype, &payload);
+            match (owned, view) {
+                (Ok(Some(r)), Ok(Some(v))) => {
+                    assert_eq!(v.into_owned(), r, "type {rtype}");
+                }
+                (Ok(None), Ok(None)) | (Err(()), Err(())) => {}
+                (o, v) => panic!("type {rtype}: owned {o:?} vs view {v:?}"),
+            }
+        }
     }
 
     #[test]

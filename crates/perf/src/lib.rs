@@ -4,7 +4,9 @@
 //! samples with eventing IPs and LBR stacks, process events and memory
 //! maps; an in-memory file ([`PerfData`]); a binary [`codec`] that survives
 //! truncation and unknown record types; an incremental [`StreamDecoder`]
-//! that decodes the same format from byte chunks with bounded memory; and
+//! that decodes the same format from byte chunks with bounded memory —
+//! either as owned records or as zero-copy [`RecordView`]s driven into a
+//! [`ViewSink`] (the fused ingest path); and
 //! the dual-event collection [`PerfSession`] implementing the paper's
 //! single-run HBBP collector (§V.A): two counters, both in LBR mode, one
 //! on `INST_RETIRED:PREC_DIST` (the EBS source) and one on
@@ -20,9 +22,11 @@ mod data;
 mod record;
 mod session;
 mod stream;
+mod view;
 
 pub use codec::{ReadError, StreamEncoder};
 pub use data::PerfData;
 pub use record::{PerfRecord, PerfSample};
 pub use session::{PerfSession, RecordError, RecordSink, Recording};
 pub use stream::{StreamDecoder, StreamStats};
+pub use view::{LbrEntries, RecordView, SampleView, ViewSink};

@@ -4,9 +4,16 @@
 //! [`StreamDecoder`] decodes the same format from byte chunks of arbitrary
 //! size as they arrive — from a socket, a pipe, or a file tailed while the
 //! collector is still writing. Partial records carry over between chunks,
-//! the internal buffer never holds more than the current partial record
-//! plus the newest chunk, and (in resilient mode) a corrupt region is
-//! skipped by resynchronizing on the next plausible record frame.
+//! the internal buffer stays bounded by the largest partial record plus a
+//! compaction threshold (consumed bytes are dropped lazily, not memmoved
+//! on every chunk), and (in resilient mode) a corrupt region is skipped by
+//! resynchronizing on the next plausible record frame.
+//!
+//! Records can be drained owned ([`next_record`](StreamDecoder::next_record)),
+//! as zero-copy views borrowing the buffer
+//! ([`next_view`](StreamDecoder::next_view)), or pushed into a
+//! [`ViewSink`] en masse ([`decode_into`](StreamDecoder::decode_into)) —
+//! the fused fast path that hoists state dispatch out of the frame loop.
 //!
 //! Decode semantics are shared with the batch reader (both dispatch into
 //! the same frame parser), and the property suite in
@@ -35,12 +42,17 @@
 //! ```
 
 use crate::codec::{self, ReadError};
+use crate::view::{RecordView, ViewSink};
 use crate::PerfRecord;
 
 /// Frames longer than this are treated as corruption in resilient mode
 /// (the largest legal payload — a sample with a full 65,535-entry LBR
 /// stack — is just over 1 MiB).
 const MAX_RESILIENT_PAYLOAD: usize = 2 << 20;
+
+/// A consumed prefix at least this large is always compacted away on the
+/// next [`StreamDecoder::feed`], even if it is less than half the buffer.
+const COMPACT_THRESHOLD: usize = 64 * 1024;
 
 /// Decoder progress counters, returned by [`StreamDecoder::finish`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -132,9 +144,17 @@ impl StreamDecoder {
 
     /// Append a chunk of stream bytes.
     ///
-    /// The consumed prefix of the internal buffer is compacted away first,
-    /// so the buffer is bounded by the largest single record plus the
-    /// newest chunk — independent of total stream length.
+    /// The consumed prefix of the internal buffer is compacted away only
+    /// when it is worth the memmove — when everything buffered has been
+    /// consumed (a free `clear`), or the prefix reaches the compaction
+    /// threshold (64 KiB) or half the buffer. Amortized over a stream,
+    /// each byte is moved at most once, and the buffer stays bounded by
+    /// the largest partial record plus the threshold — independent of
+    /// total stream length.
+    ///
+    /// Compaction moves bytes, so it only happens here, between decode
+    /// calls — never while a [`RecordView`] borrows the buffer (the
+    /// borrow checker enforces that ordering).
     pub fn feed(&mut self, chunk: &[u8]) {
         self.compact();
         self.buf.extend_from_slice(chunk);
@@ -146,18 +166,27 @@ impl StreamDecoder {
     }
 
     fn compact(&mut self) {
-        if self.pos > 0 {
+        if self.pos == 0 {
+            return;
+        }
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= COMPACT_THRESHOLD || self.pos >= self.buf.len() / 2 {
             self.buf.drain(..self.pos);
             self.pos = 0;
         }
     }
 
-    fn fail(&mut self, error: ReadError) -> Result<Option<PerfRecord>, ReadError> {
+    fn fail(&mut self, error: ReadError) -> ReadError {
         self.state = State::Failed(error.clone());
-        Err(error)
+        error
     }
 
-    /// Decode the next complete record from the buffered bytes.
+    /// Decode the next complete record from the buffered bytes, owned.
+    ///
+    /// Equivalent to [`next_view`](StreamDecoder::next_view) followed by
+    /// [`RecordView::into_owned`]; both run the same state machine.
     ///
     /// Returns `Ok(None)` when more bytes are needed (call
     /// [`feed`](StreamDecoder::feed) and retry).
@@ -169,6 +198,20 @@ impl StreamDecoder {
     /// mode and skipped in resilient mode. Once an error is returned, the
     /// decoder is poisoned and repeats it.
     pub fn next_record(&mut self) -> Result<Option<PerfRecord>, ReadError> {
+        Ok(self.next_view()?.map(RecordView::into_owned))
+    }
+
+    /// Decode the next complete record as a zero-copy [`RecordView`]
+    /// borrowing the internal buffer.
+    ///
+    /// The view is valid until the next call on this decoder; convert
+    /// with [`RecordView::into_owned`] to keep it. Returns `Ok(None)`
+    /// when more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// Identical verdicts to [`next_record`](StreamDecoder::next_record).
+    pub fn next_view(&mut self) -> Result<Option<RecordView<'_>>, ReadError> {
         loop {
             match &self.state {
                 State::Failed(e) => return Err(e.clone()),
@@ -178,7 +221,12 @@ impl StreamDecoder {
                     // a partial-but-matching prefix waits for more bytes.
                     let n = avail.len().min(codec::MAGIC.len());
                     if avail[..n] != codec::MAGIC[..n] {
-                        return self.fail(ReadError::BadMagic);
+                        // `self.fail` borrows all of self, which the
+                        // borrow checker rejects in a view-returning loop;
+                        // poison the state field directly instead.
+                        let e = ReadError::BadMagic;
+                        self.state = State::Failed(e.clone());
+                        return Err(e);
                     }
                     if avail.len() < codec::HEADER_LEN {
                         return Ok(None);
@@ -189,7 +237,9 @@ impl StreamDecoder {
                             .expect("4 header bytes"),
                     );
                     if version != codec::VERSION {
-                        return self.fail(ReadError::BadVersion { found: version });
+                        let e = ReadError::BadVersion { found: version };
+                        self.state = State::Failed(e.clone());
+                        return Err(e);
                     }
                     self.pos += codec::HEADER_LEN;
                     self.state = State::Records;
@@ -215,12 +265,12 @@ impl StreamDecoder {
                         if avail.len() < 5 + len {
                             return Ok(None);
                         }
-                        match codec::decode_payload(rtype, &avail[5..5 + len]) {
-                            Ok(Some(record)) => {
+                        match codec::decode_view(rtype, &avail[5..5 + len]) {
+                            Ok(Some(view)) => {
                                 self.pos += 5 + len;
                                 self.resyncing = false;
                                 self.stats.records += 1;
-                                return Ok(Some(record));
+                                return Ok(Some(view));
                             }
                             _ => {
                                 self.pos += 1;
@@ -242,11 +292,11 @@ impl StreamDecoder {
                         return Ok(None);
                     }
                     let payload = &avail[5..5 + len];
-                    match codec::decode_payload(rtype, payload) {
-                        Ok(Some(record)) => {
+                    match codec::decode_view(rtype, payload) {
+                        Ok(Some(view)) => {
                             self.pos += 5 + len;
                             self.stats.records += 1;
-                            return Ok(Some(record));
+                            return Ok(Some(view));
                         }
                         Ok(None) => {
                             self.pos += 5 + len;
@@ -254,7 +304,9 @@ impl StreamDecoder {
                         }
                         Err(()) => {
                             if self.mode == Mode::Strict {
-                                return self.fail(ReadError::Corrupt { record_type: rtype });
+                                let e = ReadError::Corrupt { record_type: rtype };
+                                self.state = State::Failed(e.clone());
+                                return Err(e);
                             }
                             // A failed decode means either the payload or
                             // the length prefix is damaged — the length
@@ -270,6 +322,78 @@ impl StreamDecoder {
                         }
                     }
                 }
+            }
+        }
+    }
+
+    /// Drain every complete record in the buffer into `sink` as zero-copy
+    /// views, returning how many records were delivered.
+    ///
+    /// This is the fused fast path: while the decoder sits in the plain
+    /// record-framing state, a tight inner loop scans `type | len`
+    /// headers and decodes views with the per-record state-machine
+    /// dispatch, resync checks, and poison checks hoisted out. Edge
+    /// states (stream header, resilient resync, oversized resilient
+    /// frames) fall back to [`next_view`](StreamDecoder::next_view) —
+    /// the two paths share the frame parser and are pinned equivalent by
+    /// the property suite.
+    ///
+    /// Returns when the buffer holds no complete frame; feed more bytes
+    /// and call again.
+    ///
+    /// # Errors
+    ///
+    /// Identical verdicts to [`next_record`](StreamDecoder::next_record);
+    /// records already delivered to the sink stay delivered.
+    pub fn decode_into<S: ViewSink + ?Sized>(&mut self, sink: &mut S) -> Result<u64, ReadError> {
+        let mut delivered = 0u64;
+        loop {
+            if matches!(self.state, State::Records) && !self.resyncing {
+                // Fast loop: plain framing, no resync in progress.
+                loop {
+                    let avail = self.buf.len() - self.pos;
+                    if avail < 5 {
+                        return Ok(delivered);
+                    }
+                    let rtype = self.buf[self.pos];
+                    let len = u32::from_le_bytes(
+                        self.buf[self.pos + 1..self.pos + 5]
+                            .try_into()
+                            .expect("4 length bytes"),
+                    ) as usize;
+                    if self.mode == Mode::Resilient && len > MAX_RESILIENT_PAYLOAD {
+                        break; // slow path starts the resync hunt
+                    }
+                    if avail < 5 + len {
+                        return Ok(delivered);
+                    }
+                    let payload = &self.buf[self.pos + 5..self.pos + 5 + len];
+                    match codec::decode_view(rtype, payload) {
+                        Ok(Some(view)) => {
+                            self.pos += 5 + len;
+                            self.stats.records += 1;
+                            delivered += 1;
+                            sink.view(&view);
+                        }
+                        Ok(None) => {
+                            self.pos += 5 + len;
+                            self.stats.unknown_skipped += 1;
+                        }
+                        Err(()) => {
+                            if self.mode == Mode::Strict {
+                                return Err(self.fail(ReadError::Corrupt { record_type: rtype }));
+                            }
+                            break; // slow path starts the resync hunt
+                        }
+                    }
+                }
+            }
+            match self.next_view()? {
+                Some(view) => {
+                    delivered += 1;
+                    sink.view(&view);
+                }
+                None => return Ok(delivered),
             }
         }
     }
@@ -410,6 +534,81 @@ mod tests {
         // buffer must never approach the whole-stream size.
         assert!(max_buffered < 200, "buffered {max_buffered}");
         assert!(bytes.len() > 200);
+    }
+
+    struct Collect(Vec<PerfRecord>);
+
+    impl ViewSink for Collect {
+        fn view(&mut self, view: &RecordView<'_>) {
+            self.0.push(view.to_record());
+        }
+    }
+
+    #[test]
+    fn decode_into_matches_next_record_drain() {
+        let data = sample_data();
+        let bytes = codec::write(&data);
+        for chunk_len in [1usize, 3, 7, 64, bytes.len()] {
+            let mut dec = StreamDecoder::new();
+            let mut sink = Collect(Vec::new());
+            let mut delivered = 0;
+            for chunk in bytes.chunks(chunk_len) {
+                dec.feed(chunk);
+                delivered += dec.decode_into(&mut sink).expect("no decode error");
+            }
+            assert_eq!(sink.0, data.records(), "chunk_len={chunk_len}");
+            assert_eq!(delivered, data.len() as u64);
+            let stats = dec.finish().expect("clean end");
+            assert_eq!(stats.records, data.len() as u64);
+        }
+    }
+
+    #[test]
+    fn next_view_parses_samples_in_place() {
+        let data = sample_data();
+        let bytes = codec::write(&data);
+        let mut dec = StreamDecoder::new();
+        dec.feed(&bytes);
+        let mut owned = Vec::new();
+        loop {
+            match dec.next_view().expect("no decode error") {
+                Some(RecordView::Sample(s)) => {
+                    // Lazily decoded entries must match the eager decode.
+                    let entries: Vec<_> = s.lbr_entries().collect();
+                    assert_eq!(entries.len(), s.lbr_len());
+                    owned.push(PerfRecord::Sample(s.to_sample()));
+                }
+                Some(RecordView::Other(r)) => owned.push(r),
+                None => break,
+            }
+        }
+        assert_eq!(owned, data.records());
+    }
+
+    #[test]
+    fn consumed_prefix_compacts_past_threshold() {
+        // A stream much larger than COMPACT_THRESHOLD, fed in mid-size
+        // chunks: lazy compaction must still decode everything and keep
+        // the buffer bounded by threshold + chunk, not stream length.
+        let mut d = PerfData::new();
+        for i in 0..40_000u64 {
+            d.push(PerfRecord::Lost { count: i });
+        }
+        let bytes = codec::write(&d);
+        assert!(bytes.len() > 4 * COMPACT_THRESHOLD);
+        let mut dec = StreamDecoder::new();
+        let mut n = 0u64;
+        let chunk_len = 4096;
+        for chunk in bytes.chunks(chunk_len) {
+            dec.feed(chunk);
+            while let Some(r) = dec.next_record().expect("no decode error") {
+                assert_eq!(r, PerfRecord::Lost { count: n });
+                n += 1;
+            }
+            assert!(dec.buf.len() <= COMPACT_THRESHOLD + 2 * chunk_len);
+        }
+        assert_eq!(n, 40_000);
+        dec.finish().expect("clean end");
     }
 
     #[test]

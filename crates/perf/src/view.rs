@@ -1,0 +1,226 @@
+//! Borrowed, zero-copy views over encoded perf records.
+//!
+//! [`crate::StreamDecoder::next_record`] materializes every record as an
+//! owned [`PerfRecord`] — for samples that means a fresh `Vec<LbrEntry>`
+//! per record, which dominates decode cost (see BENCH_streaming.json). A
+//! [`RecordView`] instead borrows the sample payload straight out of the
+//! decoder's internal buffer: the fixed sample header is parsed eagerly
+//! (it is nine scalar fields), but the LBR stack stays a raw `&[u8]` of
+//! little-endian `(from, to)` u64 pairs, decoded lazily by whoever walks
+//! [`SampleView::lbr_entries`]. Metadata records (COMM/MMAP/FORK/EXIT,
+//! plus LOST) are still decoded owned — they are rare, small, and carry
+//! heap strings anyway.
+//!
+//! A view borrows the decoder's buffer, so it lives only until the next
+//! call that may mutate that buffer ([`crate::StreamDecoder::feed`] or
+//! another decode call) — the borrow checker enforces this. Convert with
+//! [`RecordView::into_owned`] to keep a record.
+
+use crate::record::{PerfRecord, PerfSample};
+use hbbp_program::Ring;
+use hbbp_sim::{EventSpec, LbrEntry};
+
+/// A PMU sample viewed in place in the wire buffer.
+///
+/// Scalar fields are parsed; the LBR stack is the raw payload slice,
+/// decoded on demand by [`lbr_entries`](SampleView::lbr_entries).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleView<'b> {
+    /// Index of the PMU counter that fired.
+    pub counter: u8,
+    /// Event the counter was programmed with.
+    pub event: EventSpec,
+    /// Eventing IP.
+    pub ip: u64,
+    /// Timestamp in core cycles.
+    pub time_cycles: u64,
+    /// Process id.
+    pub pid: u32,
+    /// Thread id.
+    pub tid: u32,
+    /// Ring level at sample time.
+    pub ring: Ring,
+    /// Raw LBR bytes: `lbr_len()` × 16 bytes of LE `(from, to)` pairs.
+    pub(crate) lbr_bytes: &'b [u8],
+}
+
+impl<'b> SampleView<'b> {
+    /// Number of LBR entries in the stack.
+    pub fn lbr_len(&self) -> usize {
+        self.lbr_bytes.len() / 16
+    }
+
+    /// Whether the sample carries no LBR stack.
+    pub fn lbr_is_empty(&self) -> bool {
+        self.lbr_bytes.is_empty()
+    }
+
+    /// Iterate the LBR stack, decoding entries in place (oldest first,
+    /// matching [`PerfSample::lbr`]).
+    pub fn lbr_entries(&self) -> LbrEntries<'b> {
+        LbrEntries {
+            bytes: self.lbr_bytes,
+        }
+    }
+
+    /// Materialize the owned sample (allocates the LBR `Vec`).
+    pub fn to_sample(&self) -> PerfSample {
+        PerfSample {
+            counter: self.counter,
+            event: self.event,
+            ip: self.ip,
+            time_cycles: self.time_cycles,
+            pid: self.pid,
+            tid: self.tid,
+            ring: self.ring,
+            lbr: self.lbr_entries().collect(),
+        }
+    }
+}
+
+/// Iterator over the LBR entries of a [`SampleView`], decoding each
+/// 16-byte LE pair as it is consumed.
+#[derive(Debug, Clone)]
+pub struct LbrEntries<'b> {
+    bytes: &'b [u8],
+}
+
+impl Iterator for LbrEntries<'_> {
+    type Item = LbrEntry;
+
+    fn next(&mut self) -> Option<LbrEntry> {
+        if self.bytes.len() < 16 {
+            return None;
+        }
+        let (head, rest) = self.bytes.split_at(16);
+        self.bytes = rest;
+        Some(LbrEntry {
+            from: u64::from_le_bytes(head[..8].try_into().expect("8 bytes")),
+            to: u64::from_le_bytes(head[8..16].try_into().expect("8 bytes")),
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.bytes.len() / 16;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for LbrEntries<'_> {}
+
+/// One record decoded as a view: samples borrow the wire buffer, every
+/// other record type is decoded owned (metadata is rare and cheap).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordView<'b> {
+    /// A PMU sample borrowed from the buffer.
+    Sample(SampleView<'b>),
+    /// Any non-sample record, decoded owned.
+    Other(PerfRecord),
+}
+
+impl RecordView<'_> {
+    /// Convert into an owned [`PerfRecord`] (allocates for samples).
+    pub fn into_owned(self) -> PerfRecord {
+        match self {
+            RecordView::Sample(s) => PerfRecord::Sample(s.to_sample()),
+            RecordView::Other(r) => r,
+        }
+    }
+
+    /// Clone out an owned [`PerfRecord`] without consuming the view.
+    pub fn to_record(&self) -> PerfRecord {
+        match self {
+            RecordView::Sample(s) => PerfRecord::Sample(s.to_sample()),
+            RecordView::Other(r) => r.clone(),
+        }
+    }
+}
+
+/// Visitor receiving borrowed record views from
+/// [`crate::StreamDecoder::decode_into`].
+///
+/// The view argument is only valid for the duration of the call; a sink
+/// that needs to keep a record must convert it with
+/// [`RecordView::to_record`].
+pub trait ViewSink {
+    /// Called once per decoded record, in stream order.
+    fn view(&mut self, view: &RecordView<'_>);
+}
+
+impl<S: ViewSink + ?Sized> ViewSink for &mut S {
+    fn view(&mut self, view: &RecordView<'_>) {
+        (**self).view(view);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbbp_sim::EventKind;
+
+    fn sample_bytes(entries: &[(u64, u64)]) -> Vec<u8> {
+        let mut b = Vec::new();
+        for &(from, to) in entries {
+            b.extend_from_slice(&from.to_le_bytes());
+            b.extend_from_slice(&to.to_le_bytes());
+        }
+        b
+    }
+
+    #[test]
+    fn lbr_entries_decode_in_place() {
+        let bytes = sample_bytes(&[(0x10, 0x20), (0x30, 0x40)]);
+        let view = SampleView {
+            counter: 1,
+            event: EventSpec {
+                kind: EventKind::ALL[0],
+                precise: true,
+            },
+            ip: 0x1000,
+            time_cycles: 5,
+            pid: 9,
+            tid: 9,
+            ring: Ring::User,
+            lbr_bytes: &bytes,
+        };
+        assert_eq!(view.lbr_len(), 2);
+        assert!(!view.lbr_is_empty());
+        let entries: Vec<LbrEntry> = view.lbr_entries().collect();
+        assert_eq!(
+            entries,
+            vec![
+                LbrEntry {
+                    from: 0x10,
+                    to: 0x20
+                },
+                LbrEntry {
+                    from: 0x30,
+                    to: 0x40
+                },
+            ]
+        );
+        assert_eq!(view.lbr_entries().len(), 2);
+        assert_eq!(view.to_sample().lbr, entries);
+    }
+
+    #[test]
+    fn into_owned_matches_to_record() {
+        let bytes = sample_bytes(&[(1, 2)]);
+        let view = RecordView::Sample(SampleView {
+            counter: 0,
+            event: EventSpec {
+                kind: EventKind::ALL[0],
+                precise: false,
+            },
+            ip: 7,
+            time_cycles: 8,
+            pid: 1,
+            tid: 2,
+            ring: Ring::Kernel,
+            lbr_bytes: &bytes,
+        });
+        assert_eq!(view.to_record(), view.clone().into_owned());
+        let owned = RecordView::Other(PerfRecord::Lost { count: 3 });
+        assert_eq!(owned.to_record(), PerfRecord::Lost { count: 3 });
+    }
+}

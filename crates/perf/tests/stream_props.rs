@@ -2,9 +2,15 @@
 //! agree with the batch reader [`codec::read`] on every input it can be
 //! handed — arbitrary record zoos, arbitrary chunk splits (including
 //! mid-header and mid-record cuts), truncated tails, and appended unknown
-//! record types.
+//! record types. The zero-copy fused drain ([`StreamDecoder::decode_into`])
+//! must agree with the owned drain ([`StreamDecoder::next_record`])
+//! record-for-record AND stat-for-stat on the same inputs — including
+//! resilient-mode corruption and resync.
 
-use hbbp_perf::{codec, PerfData, PerfRecord, PerfSample, ReadError, StreamDecoder};
+use hbbp_perf::{
+    codec, PerfData, PerfRecord, PerfSample, ReadError, RecordView, StreamDecoder, StreamStats,
+    ViewSink,
+};
 use hbbp_program::Ring;
 use hbbp_sim::{EventSpec, LbrEntry};
 use proptest::prelude::*;
@@ -111,6 +117,54 @@ fn stream_decode(pieces: &[&[u8]]) -> (Vec<PerfRecord>, Result<(), ReadError>) {
     (records, dec.finish().map(|_| ()))
 }
 
+/// [`ViewSink`] that materializes every view, for comparing the fused
+/// drain against the owned drain.
+struct Collect(Vec<PerfRecord>);
+
+impl ViewSink for Collect {
+    fn view(&mut self, view: &RecordView<'_>) {
+        self.0.push(view.to_record());
+    }
+}
+
+/// Feed chunks through a decoder, draining with `next_record` after each
+/// chunk. Returns the records plus the full finish verdict (stats on
+/// success, the poisoning error otherwise).
+#[allow(clippy::type_complexity)]
+fn drain_owned(
+    mut dec: StreamDecoder,
+    pieces: &[&[u8]],
+) -> (Vec<PerfRecord>, Result<StreamStats, ReadError>) {
+    let mut records = Vec::new();
+    for piece in pieces {
+        dec.feed(piece);
+        loop {
+            match dec.next_record() {
+                Ok(Some(r)) => records.push(r),
+                Ok(None) => break,
+                Err(e) => return (records, Err(e)),
+            }
+        }
+    }
+    (records, dec.finish())
+}
+
+/// [`drain_owned`]'s fused twin: drain with `decode_into` after each chunk.
+#[allow(clippy::type_complexity)]
+fn drain_fused(
+    mut dec: StreamDecoder,
+    pieces: &[&[u8]],
+) -> (Vec<PerfRecord>, Result<StreamStats, ReadError>) {
+    let mut sink = Collect(Vec::new());
+    for piece in pieces {
+        dec.feed(piece);
+        if let Err(e) = dec.decode_into(&mut sink) {
+            return (sink.0, Err(e));
+        }
+    }
+    (sink.0, dec.finish())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -206,5 +260,62 @@ proptest! {
         let (records, finish) = stream_decode(&pieces);
         prop_assert_eq!(finish, Ok(()));
         prop_assert_eq!(records, codec::read(&bytes).expect("valid").records());
+    }
+
+    /// The fused zero-copy drain delivers the same records, the same
+    /// stats, and the same verdict as the owned drain under any chunking.
+    #[test]
+    fn fused_drain_equals_owned_drain(
+        data in arb_data(),
+        cuts in proptest::collection::vec(0usize..1_000_000, 0..12),
+    ) {
+        let bytes = codec::write(&data);
+        let pieces = chunks(&bytes, &cuts);
+        let owned = drain_owned(StreamDecoder::new(), &pieces);
+        let fused = drain_fused(StreamDecoder::new(), &pieces);
+        prop_assert_eq!(fused, owned);
+    }
+
+    /// Fused ≡ owned holds on truncated tails too: same record prefix,
+    /// same dropped-tail accounting, same error verdict.
+    #[test]
+    fn fused_drain_equals_owned_drain_on_truncated_tail(
+        data in arb_data(),
+        cut_frac in 0.0f64..1.0,
+        cuts in proptest::collection::vec(0usize..1_000_000, 0..6),
+    ) {
+        let bytes = codec::write(&data);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let prefix = &bytes[..cut.min(bytes.len())];
+        let pieces = chunks(prefix, &cuts);
+        let owned = drain_owned(StreamDecoder::new(), &pieces);
+        let fused = drain_fused(StreamDecoder::new(), &pieces);
+        prop_assert_eq!(fused, owned);
+    }
+
+    /// Resilient mode: corrupting bytes mid-stream sends both drains
+    /// through the same resync hunt — identical surviving records and
+    /// identical corruption/resync accounting. This is the case where the
+    /// fused fast loop must hand off to the slow path without perturbing
+    /// the state machine.
+    #[test]
+    fn fused_resilient_resync_equals_owned(
+        data in arb_data(),
+        corruptions in proptest::collection::vec((0usize..1_000_000, 1u8..=255), 1..4),
+        cuts in proptest::collection::vec(0usize..1_000_000, 0..8),
+    ) {
+        let mut bytes = codec::write(&data).to_vec();
+        // Flip bytes after the header so the stream stays recognizably a
+        // perf stream (a bad header is fatal even in resilient mode).
+        for (pos, xor) in corruptions {
+            if bytes.len() > 12 {
+                let i = 12 + pos % (bytes.len() - 12);
+                bytes[i] ^= xor;
+            }
+        }
+        let pieces = chunks(&bytes, &cuts);
+        let owned = drain_owned(StreamDecoder::resilient(), &pieces);
+        let fused = drain_fused(StreamDecoder::resilient(), &pieces);
+        prop_assert_eq!(fused, owned);
     }
 }

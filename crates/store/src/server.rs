@@ -35,7 +35,7 @@ use crate::wire::{
 };
 use crate::writer::{ShardStats, WriterMsg};
 use hbbp_core::OnlineAnalyzer;
-use hbbp_perf::StreamDecoder;
+use hbbp_perf::{RecordView, StreamDecoder, ViewSink};
 use hbbp_program::Bbec;
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
@@ -362,22 +362,38 @@ impl<'a> Conn<'a> {
 
     /// Decode everything buffered in the stream decoder into the online
     /// analyzers and collect any windows that closed.
+    ///
+    /// Ingest goes through the fused zero-copy path: the decoder drives
+    /// both analyzers with borrowed [`RecordView`]s, so sample records —
+    /// the bulk of any stream — are never materialized as owned
+    /// `PerfRecord`s. Results are pinned bit-identical to the owned
+    /// `next_record` → `push_owned` path by the core property suite.
     fn pump_decoder(&mut self, ctx: &WorkerCtx<'a>) -> Result<(), String> {
         let ConnState::Ingest(ingest) = &mut self.state else {
             unreachable!("pump_decoder outside Ingest");
         };
-        loop {
-            match ingest.decoder.next_record() {
-                Ok(Some(record)) => {
-                    if let Some(w) = &mut ingest.windowed {
-                        w.push_record(&record);
-                    }
-                    ingest.whole.push_owned(record);
+        /// Fans each view to the windowed analyzer (when present), then
+        /// the whole-stream one — same order as the owned path did.
+        struct Fanout<'s, 'a> {
+            whole: &'s mut OnlineAnalyzer<'a>,
+            windowed: Option<&'s mut OnlineAnalyzer<'a>>,
+        }
+        impl ViewSink for Fanout<'_, '_> {
+            fn view(&mut self, view: &RecordView<'_>) {
+                if let Some(w) = self.windowed.as_deref_mut() {
+                    w.push_view(view);
                 }
-                Ok(None) => break,
-                Err(e) => return Err(format!("perf stream: {e}")),
+                self.whole.push_view(view);
             }
         }
+        let mut sink = Fanout {
+            whole: &mut ingest.whole,
+            windowed: ingest.windowed.as_mut(),
+        };
+        ingest
+            .decoder
+            .decode_into(&mut sink)
+            .map_err(|e| format!("perf stream: {e}"))?;
         if let Some(w) = &mut ingest.windowed {
             for closed in w.take_closed_windows() {
                 ingest.pending_windows.push(WindowRecord {
