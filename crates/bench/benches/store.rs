@@ -196,7 +196,9 @@ fn bench_store(c: &mut Criterion, case: &Case, quick: bool) {
                 }
                 s.snapshot().counts
             },
+            counts_epochs: vec![0; case.bbecs.len()],
             windows: vec![],
+            window_epochs: vec![],
         };
         let mut round = 0u32;
         b.iter(|| {
@@ -225,11 +227,96 @@ fn bench_store(c: &mut Criterion, case: &Case, quick: bool) {
                     bbec: bbec.clone(),
                 })
                 .collect(),
+            counts_epochs: vec![0; case.bbecs.len()],
             windows: vec![],
+            window_epochs: vec![],
         };
         b.iter(|| black_box(snapshot.aggregate().total()))
     });
     group.finish();
+}
+
+/// The epoch-history operations: `DRIFT`/`EPOCHS` round-trips against a
+/// two-epoch daemon (epoch 0 tier-compacted, epoch 1 live), and the
+/// per-window `MixDrift` check `hbbp watch` runs on every closed window.
+fn bench_drift_watch(c: &mut Criterion, case: &Case, quick: bool) {
+    let mut group = c.benchmark_group("store");
+    group.sample_size(if quick { 5 } else { 15 });
+
+    let handle = spawn_daemon(case, "drift");
+    let client = hbbp_store::StoreClient::new(handle.addr());
+    for s in 0..4u32 {
+        client
+            .stream_bytes(s, &case.streams[s as usize])
+            .expect("epoch 0 ingest");
+    }
+    client.compact().expect("seal epoch 0");
+    for s in 4..8u32 {
+        client
+            .stream_bytes(s, &case.streams[s as usize])
+            .expect("epoch 1 ingest");
+    }
+    group.bench_function("epoch_drift_query_top16", |b| {
+        b.iter(|| black_box(client.query_drift(0, 1, 16).expect("drift").len()))
+    });
+    group.bench_function("epochs_query", |b| {
+        b.iter(|| black_box(client.query_epochs().expect("epochs").len()))
+    });
+    handle.shutdown().expect("shutdown");
+
+    // watch's steady-state cost per closed window: one MixDrift build,
+    // the divergence, and the top mover for the report line.
+    let w = phased_client(Scale::Tiny, 0);
+    let analyzer =
+        Analyzer::from_images(&w.images(ImageView::Disk), w.layout().symbols()).expect("discovery");
+    let fold = |range: std::ops::Range<usize>| {
+        let mut acc = Bbec::new();
+        for bbec in &case.bbecs[range] {
+            acc.merge(bbec);
+        }
+        acc
+    };
+    let baseline = analyzer.mix(&fold(0..4));
+    let window = analyzer.mix(&fold(4..8));
+    group.bench_function("watch_window_drift_check", |b| {
+        b.iter(|| {
+            let drift = hbbp_core::MixDrift::between(&baseline, &window);
+            black_box((drift.divergence(), drift.top_movers(1).len()))
+        })
+    });
+    group.finish();
+}
+
+/// The drift/watch block of `BENCH_store.json`: epoch-query round-trip
+/// latencies and the per-window watch check cost.
+fn drift_watch_block(c: &Criterion) -> Option<String> {
+    let ns = |name: &str| {
+        c.measurements()
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.ns_per_iter)
+    };
+    let drift = ns("store/epoch_drift_query_top16")?;
+    let epochs = ns("store/epochs_query")?;
+    let check = ns("store/watch_window_drift_check")?;
+    Some(format!(
+        "  \"drift_watch\": {{\n\
+         \x20   \"epoch_drift_query_ms\": {:.3},\n\
+         \x20   \"epochs_query_ms\": {:.3},\n\
+         \x20   \"watch_window_check_us\": {:.3},\n\
+         \x20   \"headline\": \"{}\"\n\
+         \x20 }},\n",
+        drift / 1e6,
+        epochs / 1e6,
+        check / 1e3,
+        json_escape(&format!(
+            "DRIFT top-16 across a two-epoch store answers in {:.2}ms; \
+             a watch window's divergence check costs {:.1}us, so even \
+             sample:32 windows add negligible overhead to streaming",
+            drift / 1e6,
+            check / 1e3,
+        ))
+    ))
 }
 
 /// Derive the scaling headline from the measured ingest rounds: with a
@@ -324,6 +411,9 @@ fn emit_json(c: &Criterion, quick: bool, case: &Case) -> String {
     if let Some(scaling) = scaling_block(c) {
         out.push_str(&scaling);
     }
+    if let Some(drift_watch) = drift_watch_block(c) {
+        out.push_str(&drift_watch);
+    }
     out.push_str(&results_block(c));
     out.push_str("\n}\n");
     out
@@ -334,6 +424,7 @@ fn main() {
     let case = build_case();
     let mut criterion = Criterion::default();
     bench_store(&mut criterion, &case, quick);
+    bench_drift_watch(&mut criterion, &case, quick);
     println!(
         "streams: {} clients, {} wire bytes, {} records",
         case.streams.len(),

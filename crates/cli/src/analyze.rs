@@ -410,7 +410,7 @@ impl ViewSink for CheckSink<'_, '_> {
 
 /// The workload's `(module name, base, len)` spans — what every MMAP
 /// record of a matching recording must name.
-fn expected_modules(w: &Workload) -> Vec<(String, u64, u64)> {
+pub(crate) fn expected_modules(w: &Workload) -> Vec<(String, u64, u64)> {
     w.program()
         .modules()
         .iter()
@@ -424,7 +424,7 @@ fn expected_modules(w: &Workload) -> Vec<(String, u64, u64)> {
 /// Reject an MMAP record that names a module span the workload does not
 /// have — a mismatched `--workload`/`--scale` would silently produce an
 /// empty or wrong mix otherwise.
-fn check_mmap(
+pub(crate) fn check_mmap(
     expected: &[(String, u64, u64)],
     name: &str,
     base: u64,

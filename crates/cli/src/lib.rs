@@ -10,12 +10,14 @@
 //!   windowed ([`hbbp_core::OnlineAnalyzer`]) analysis of a recording;
 //! * [`serve`] — the `hbbpd` collection daemon with real flag parsing
 //!   (the standalone `hbbpd` binary is a shim over this module);
-//! * [`query`] — mix / top-K / stats / compact / shutdown against a
-//!   running daemon ([`hbbp_store::StoreClient`]);
+//! * [`query`] — mix / top-K / stats / epochs / drift / compact /
+//!   shutdown against a running daemon ([`hbbp_store::StoreClient`]);
 //! * [`store_cmd`] — offline [`hbbp_store::ProfileStore`] maintenance
 //!   (`stats`, `merge`, `compact`);
 //! * [`report`] — mix tables and per-window timelines from recordings or
-//!   store segments, as text, JSON or CSV ([`render`]).
+//!   store segments, as text, JSON or CSV ([`render`]);
+//! * [`watch`] — tail a recording through the windowed analyzer and flag
+//!   mix divergence from a stored baseline epoch ([`hbbp_core::MixDrift`]).
 //!
 //! Every subcommand is a thin, testable library type (`XxxOptions::parse`
 //! plus `run`) with the binary as a shim; the flag grammar lives in
@@ -45,6 +47,7 @@ pub mod render;
 pub mod report;
 pub mod serve;
 pub mod store_cmd;
+pub mod watch;
 
 use args::CliError;
 
@@ -60,9 +63,10 @@ pub fn main_usage() -> String {
      \x20 record    run a workload under the collector, to file or daemon\n\
      \x20 analyze   instruction mixes from a recording (batch or windowed)\n\
      \x20 serve     run the hbbpd collection daemon\n\
-     \x20 query     mix | top | stats | compact | shutdown against a daemon\n\
+     \x20 query     mix | top | stats | epochs | drift | compact | shutdown\n\
      \x20 store     offline store maintenance: stats | merge | compact\n\
      \x20 report    mix table or window timeline from a recording or store\n\
+     \x20 watch     flag mix drift of a recording against a stored baseline\n\
      \x20 help      this text\n"
         .to_owned()
 }
@@ -76,6 +80,7 @@ pub fn usage_for(command: &str) -> Option<String> {
         "query" => query::usage(),
         "store" => store_cmd::usage(),
         "report" => report::usage(),
+        "watch" => watch::usage(),
         _ => return None,
     })
 }
@@ -90,6 +95,7 @@ pub fn run_command(command: &str, args: &[String]) -> Result<Option<String>, Cli
         "query" => query::QueryOptions::parse(args)?.run().map(Some),
         "store" => store_cmd::StoreOptions::parse(args)?.run().map(Some),
         "report" => report::ReportOptions::parse(args)?.run().map(Some),
+        "watch" => watch::WatchOptions::parse(args)?.run().map(Some),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
 }
@@ -151,7 +157,9 @@ pub fn cli_reference() -> String {
     out.push_str("## `hbbp`\n\n```text\n");
     out.push_str(&main_usage());
     out.push_str("```\n");
-    for cmd in ["record", "analyze", "serve", "query", "store", "report"] {
+    for cmd in [
+        "record", "analyze", "serve", "query", "store", "report", "watch",
+    ] {
         out.push_str(&format!("\n## `hbbp {cmd}`\n\n```text\n"));
         out.push_str(&usage_for(cmd).expect("known command"));
         out.push_str("```\n");
@@ -168,7 +176,9 @@ mod tests {
 
     #[test]
     fn every_command_has_usage() {
-        for cmd in ["record", "analyze", "serve", "query", "store", "report"] {
+        for cmd in [
+            "record", "analyze", "serve", "query", "store", "report", "watch",
+        ] {
             let usage = usage_for(cmd).unwrap();
             assert!(usage.starts_with("usage:"), "{cmd}");
             assert!(main_usage().contains(cmd), "main usage must list {cmd}");
@@ -185,7 +195,9 @@ mod tests {
     #[test]
     fn reference_covers_all_commands() {
         let reference = cli_reference();
-        for cmd in ["record", "analyze", "serve", "query", "store", "report"] {
+        for cmd in [
+            "record", "analyze", "serve", "query", "store", "report", "watch",
+        ] {
             assert!(reference.contains(&format!("## `hbbp {cmd}`")));
         }
         assert!(reference.contains("## `hbbpd`"));

@@ -1,5 +1,5 @@
 //! `hbbp query` — speak the wire protocol to a running daemon: aggregate
-//! mix, top-K, stats, compact, shutdown.
+//! mix, top-K, stats, epoch history, mix drift, compact, shutdown.
 
 use crate::args::{parse_all, CliError};
 use crate::render::{self, Format};
@@ -16,7 +16,11 @@ pub enum QueryAction {
     Top,
     /// Daemon/store statistics.
     Stats,
-    /// Compact every partition log.
+    /// List the store's epochs with per-epoch accounting.
+    Epochs,
+    /// Top-K mix movers between two epochs (signed deltas).
+    Drift,
+    /// Tier-compact every partition log and seal the current epoch.
     Compact,
     /// Stop the daemon.
     Shutdown,
@@ -29,8 +33,12 @@ pub struct QueryOptions {
     pub action: QueryAction,
     /// Daemon address.
     pub addr: SocketAddr,
-    /// `k` for [`QueryAction::Top`].
+    /// `k` for [`QueryAction::Top`] and [`QueryAction::Drift`].
     pub k: u32,
+    /// Baseline epoch for [`QueryAction::Drift`].
+    pub from: u32,
+    /// Current epoch for [`QueryAction::Drift`].
+    pub to: u32,
     /// Output format.
     pub format: Format,
     /// Mix rows to list in text output (0 = all).
@@ -39,7 +47,7 @@ pub struct QueryOptions {
 
 /// Usage text for `hbbp query`.
 pub fn usage() -> String {
-    "usage: hbbp query <mix|top|stats|compact|shutdown> --addr HOST:PORT [options]\n\
+    "usage: hbbp query <mix|top|stats|epochs|drift|compact|shutdown> --addr HOST:PORT [options]\n\
      \n\
      Query a running daemon (`hbbp serve`) over its wire protocol.\n\
      \n\
@@ -47,12 +55,16 @@ pub fn usage() -> String {
      \x20 mix                 the aggregate instruction mix (canonical fold)\n\
      \x20 top                 the --k most-executed mnemonics\n\
      \x20 stats               shards, frame counts, sources, store bytes\n\
-     \x20 compact             compact every partition log\n\
+     \x20 epochs              the store's epochs with per-epoch accounting\n\
+     \x20 drift               --k largest mix movers --from epoch --to epoch\n\
+     \x20 compact             tier-compact every partition log, seal the epoch\n\
      \x20 shutdown            stop the daemon\n\
      \n\
      options:\n\
      \x20 --addr HOST:PORT    daemon address (required)\n\
-     \x20 --k N               mnemonics for `top` (default 10)\n\
+     \x20 --k N               mnemonics for `top`/`drift` (default 10)\n\
+     \x20 --from N            baseline epoch for `drift` (required)\n\
+     \x20 --to N              current epoch for `drift` (required)\n\
      \x20 --top N             mnemonics to list for `mix` text output (default 20, 0 = all)\n\
      \x20 --format text|json|csv (default text)\n"
         .to_owned()
@@ -64,6 +76,8 @@ impl QueryOptions {
         let mut action: Option<QueryAction> = None;
         let mut addr: Option<SocketAddr> = None;
         let mut k = 10u32;
+        let mut from: Option<u32> = None;
+        let mut to: Option<u32> = None;
         let mut format = Format::Text;
         let mut top = 20usize;
         parse_all(args, |flag, s| {
@@ -72,13 +86,19 @@ impl QueryOptions {
                     addr = Some(s.value_parsed("--addr", "a socket address (host:port)")?);
                 }
                 "--k" => k = s.value_parsed("--k", "a count")?,
+                "--from" => from = Some(s.value_parsed("--from", "an epoch number")?),
+                "--to" => to = Some(s.value_parsed("--to", "an epoch number")?),
                 "--top" => top = s.value_parsed("--top", "a row count")?,
                 "--format" => format = Format::parse(&s.value("--format")?)?,
-                "mix" | "top" | "stats" | "compact" | "shutdown" if action.is_none() => {
+                "mix" | "top" | "stats" | "epochs" | "drift" | "compact" | "shutdown"
+                    if action.is_none() =>
+                {
                     action = Some(match flag {
                         "mix" => QueryAction::Mix,
                         "top" => QueryAction::Top,
                         "stats" => QueryAction::Stats,
+                        "epochs" => QueryAction::Epochs,
+                        "drift" => QueryAction::Drift,
                         "compact" => QueryAction::Compact,
                         _ => QueryAction::Shutdown,
                     });
@@ -89,7 +109,7 @@ impl QueryOptions {
         })?;
         let Some(action) = action else {
             return Err(CliError::Usage(
-                "query needs an action: mix|top|stats|compact|shutdown".into(),
+                "query needs an action: mix|top|stats|epochs|drift|compact|shutdown".into(),
             ));
         };
         let Some(addr) = addr else {
@@ -97,10 +117,21 @@ impl QueryOptions {
                 "query needs --addr HOST:PORT (the address `hbbp serve` printed)".into(),
             ));
         };
+        let (from, to) = match (action, from, to) {
+            (QueryAction::Drift, Some(from), Some(to)) => (from, to),
+            (QueryAction::Drift, _, _) => {
+                return Err(CliError::Usage(
+                    "drift needs --from EPOCH and --to EPOCH (see `hbbp query epochs`)".into(),
+                ));
+            }
+            (_, from, to) => (from.unwrap_or(0), to.unwrap_or(0)),
+        };
         Ok(QueryOptions {
             action,
             addr,
             k,
+            from,
+            to,
             format,
             top,
         })
@@ -164,9 +195,95 @@ impl QueryOptions {
                     ),
                 })
             }
+            QueryAction::Epochs => {
+                let epochs = client.query_epochs().map_err(fail)?;
+                Ok(match self.format {
+                    Format::Json => {
+                        let mut out = String::from("[");
+                        for (i, e) in epochs.iter().enumerate() {
+                            if i > 0 {
+                                out.push_str(", ");
+                            }
+                            let _ = write!(
+                                out,
+                                "{{\"epoch\": {}, \"counts_frames\": {}, \"ebs_samples\": {}, \
+                                 \"lbr_samples\": {}}}",
+                                e.epoch, e.counts_frames, e.ebs_samples, e.lbr_samples
+                            );
+                        }
+                        out.push_str("]\n");
+                        out
+                    }
+                    Format::Csv => {
+                        let mut out = String::from("epoch,counts_frames,ebs_samples,lbr_samples\n");
+                        for e in &epochs {
+                            let _ = writeln!(
+                                out,
+                                "{},{},{},{}",
+                                e.epoch, e.counts_frames, e.ebs_samples, e.lbr_samples
+                            );
+                        }
+                        out
+                    }
+                    Format::Text => {
+                        let mut out = format!(
+                            "{:<8} {:>14} {:>14} {:>14}\n",
+                            "epoch", "counts frames", "ebs samples", "lbr samples"
+                        );
+                        for e in &epochs {
+                            let _ = writeln!(
+                                out,
+                                "{:<8} {:>14} {:>14} {:>14}",
+                                e.epoch, e.counts_frames, e.ebs_samples, e.lbr_samples
+                            );
+                        }
+                        out
+                    }
+                })
+            }
+            QueryAction::Drift => {
+                let rows = client
+                    .query_drift(self.from, self.to, self.k)
+                    .map_err(fail)?;
+                Ok(match self.format {
+                    Format::Json => {
+                        let mut out = String::from("[");
+                        for (i, (m, d)) in rows.iter().enumerate() {
+                            if i > 0 {
+                                out.push_str(", ");
+                            }
+                            let _ = write!(
+                                out,
+                                "{{\"mnemonic\": \"{}\", \"delta\": {}}}",
+                                render::json_escape(&m.to_string()),
+                                render::json_f64(*d)
+                            );
+                        }
+                        out.push_str("]\n");
+                        out
+                    }
+                    Format::Csv => {
+                        let mut out = String::from("mnemonic,delta\n");
+                        for (m, d) in &rows {
+                            let _ = writeln!(out, "{m},{d:?}");
+                        }
+                        out
+                    }
+                    Format::Text => {
+                        let mut out = format!(
+                            "mix movers, epoch {} -> {}\n{:<12} {:>16}\n",
+                            self.from, self.to, "mnemonic", "delta"
+                        );
+                        for (m, d) in &rows {
+                            let _ = writeln!(out, "{:<12} {:>+16.1}", m.to_string(), d);
+                        }
+                        out
+                    }
+                })
+            }
             QueryAction::Compact => {
                 client.compact().map_err(fail)?;
-                Ok("compacted\n".to_owned())
+                Ok("compacted (epoch sealed)\n".to_owned())
             }
             QueryAction::Shutdown => {
                 client.shutdown().map_err(fail)?;
@@ -214,5 +331,35 @@ mod tests {
             QueryOptions::parse(&raw(&["top", "--addr", "127.0.0.1:9", "--k", "5"])).unwrap();
         assert_eq!(opts.action, QueryAction::Top);
         assert_eq!(opts.k, 5);
+    }
+
+    #[test]
+    fn drift_requires_both_epochs() {
+        let err = QueryOptions::parse(&raw(&["drift", "--addr", "127.0.0.1:9", "--from", "0"]))
+            .unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "drift needs --from EPOCH and --to EPOCH (see `hbbp query epochs`)"
+        );
+        let opts = QueryOptions::parse(&raw(&[
+            "drift",
+            "--addr",
+            "127.0.0.1:9",
+            "--from",
+            "0",
+            "--to",
+            "3",
+            "--k",
+            "7",
+        ]))
+        .unwrap();
+        assert_eq!(opts.action, QueryAction::Drift);
+        assert_eq!((opts.from, opts.to, opts.k), (0, 3, 7));
+    }
+
+    #[test]
+    fn epochs_action_parses() {
+        let opts = QueryOptions::parse(&raw(&["epochs", "--addr", "127.0.0.1:9"])).unwrap();
+        assert_eq!(opts.action, QueryAction::Epochs);
     }
 }

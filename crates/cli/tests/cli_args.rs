@@ -4,7 +4,7 @@
 //! socket-address cases.
 
 use hbbp_cli::args::CliError;
-use hbbp_cli::{analyze, query, record, report, serve, store_cmd};
+use hbbp_cli::{analyze, query, record, report, serve, store_cmd, watch};
 
 /// What a parse attempt should produce.
 enum Want {
@@ -31,6 +31,7 @@ fn parse(command: &str, args: &[&str]) -> Result<(), CliError> {
         "query" => query::QueryOptions::parse(&args).map(|_| ()),
         "store" => store_cmd::StoreOptions::parse(&args).map(|_| ()),
         "report" => report::ReportOptions::parse(&args).map(|_| ()),
+        "watch" => watch::WatchOptions::parse(&args).map(|_| ()),
         other => panic!("unknown command {other}"),
     }
 }
@@ -262,6 +263,22 @@ const MATRIX: &[Case] = &[
         want: Want::Err("invalid value `sometimes:5` for --window"),
     },
     Case {
+        // Zero-size windows never reach the analyzer: the grammar
+        // rejects them (same wording as every other window spec error).
+        command: "serve",
+        args: &["--window", "cycles:0"],
+        want: Want::Err(
+            "invalid value `cycles:0` for --window: expected samples:<n> or cycles:<n> with n > 0",
+        ),
+    },
+    Case {
+        command: "serve",
+        args: &["--window", "samples:0"],
+        want: Want::Err(
+            "invalid value `samples:0` for --window: expected samples:<n> or cycles:<n> with n > 0",
+        ),
+    },
+    Case {
         command: "serve",
         args: &["extra"],
         want: Want::Err("unexpected operand `extra`"),
@@ -307,8 +324,46 @@ const MATRIX: &[Case] = &[
     },
     Case {
         command: "query",
+        args: &["epochs", "--addr", "127.0.0.1:4000"],
+        want: Want::Ok,
+    },
+    Case {
+        command: "query",
+        args: &[
+            "drift",
+            "--addr",
+            "127.0.0.1:4000",
+            "--from",
+            "0",
+            "--to",
+            "1",
+            "--k",
+            "12",
+        ],
+        want: Want::Ok,
+    },
+    Case {
+        command: "query",
+        args: &["drift", "--addr", "127.0.0.1:4000", "--to", "1"],
+        want: Want::Err("drift needs --from EPOCH and --to EPOCH"),
+    },
+    Case {
+        command: "query",
+        args: &[
+            "drift",
+            "--addr",
+            "127.0.0.1:4000",
+            "--from",
+            "x",
+            "--to",
+            "1",
+        ],
+        want: Want::Err("invalid value `x` for --from: expected an epoch number"),
+    },
+    Case {
+        command: "query",
         args: &["--addr", "127.0.0.1:4000"],
-        want: Want::Err("query needs an action: mix|top|stats|compact|shutdown"),
+        want: Want::Err("query needs an action: mix|top|stats|epochs|drift|compact|shutdown"),
     },
     Case {
         command: "query",
@@ -437,11 +492,75 @@ const MATRIX: &[Case] = &[
     },
     Case {
         command: "report",
+        args: &["--recording", "p.bin", "--window", "samples:0"],
+        want: Want::Err(
+            "invalid value `samples:0` for --window: expected samples:<n> or cycles:<n> with n > 0",
+        ),
+    },
+    Case {
+        command: "report",
         args: &["--timeline=yes", "--store", "s.hbbp"],
         want: Want::Err("flag --timeline takes no value (got `yes`)"),
     },
     Case {
         command: "report",
+        args: &["--help"],
+        want: Want::Help,
+    },
+    // ---- watch ----
+    Case {
+        command: "watch",
+        args: &["p.bin", "--baseline", "s.hbbp"],
+        want: Want::Ok,
+    },
+    Case {
+        command: "watch",
+        args: &[
+            "p.bin",
+            "--baseline",
+            "s.hbbp",
+            "--epoch",
+            "3",
+            "--window",
+            "samples:256",
+            "--tolerance",
+            "0.1",
+            "--rule",
+            "always-ebs",
+            "--workload",
+            "test40",
+        ],
+        want: Want::Ok,
+    },
+    Case {
+        command: "watch",
+        args: &["--baseline", "s.hbbp"],
+        want: Want::Err("watch needs a RECORDING file operand"),
+    },
+    Case {
+        command: "watch",
+        args: &["p.bin"],
+        want: Want::Err("watch needs --baseline STORE.hbbp"),
+    },
+    Case {
+        command: "watch",
+        args: &["p.bin", "--baseline", "s.hbbp", "--window", "samples:0"],
+        want: Want::Err(
+            "invalid value `samples:0` for --window: expected samples:<n> or cycles:<n> with n > 0",
+        ),
+    },
+    Case {
+        command: "watch",
+        args: &["p.bin", "--baseline", "s.hbbp", "--tolerance", "2"],
+        want: Want::Err("--tolerance must be a divergence in (0, 1]"),
+    },
+    Case {
+        command: "watch",
+        args: &["p.bin", "--baseline", "s.hbbp", "--epoch", "latest"],
+        want: Want::Err("invalid value `latest` for --epoch: expected an epoch number"),
+    },
+    Case {
+        command: "watch",
         args: &["--help"],
         want: Want::Help,
     },

@@ -1,0 +1,137 @@
+//! `hbbp watch` acceptance: replaying the recording the baseline was
+//! folded from stays quiet, while a client with a genuinely different
+//! phase mixture (same binary, different shape) is flagged as DRIFT.
+
+use hbbp_cli::common::analyzer_for;
+use hbbp_cli::record::RecordOptions;
+use hbbp_cli::watch::WatchOptions;
+use hbbp_core::{HybridRule, SamplingPeriods};
+use hbbp_perf::PerfSession;
+use hbbp_sim::Cpu;
+use hbbp_store::{ProfileStore, StoreIdentity};
+use hbbp_workloads::{phased, phased_client, Scale};
+use std::path::Path;
+
+const PERIODS: SamplingPeriods = SamplingPeriods {
+    ebs: 1009,
+    lbr: 211,
+};
+
+fn args(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| (*s).to_owned()).collect()
+}
+
+/// Record `phased` to a file, fold it offline, and store that fold as
+/// the baseline epoch under the workload's identity.
+fn build_baseline(tmp: &Path) -> (std::path::PathBuf, std::path::PathBuf) {
+    let recording = tmp.join("baseline.bin");
+    RecordOptions::parse(&args(&[
+        "--workload",
+        "phased",
+        "--out",
+        recording.to_str().unwrap(),
+    ]))
+    .unwrap()
+    .run()
+    .unwrap();
+
+    let w = phased(Scale::Tiny);
+    let analyzer = analyzer_for(&w).unwrap();
+    let bytes = std::fs::read(&recording).unwrap();
+    let data = hbbp_perf::codec::read(&bytes).unwrap();
+    let batch = analyzer.analyze_fused(&data, PERIODS, &HybridRule::paper_default());
+
+    let store_path = tmp.join("baseline.hbbp");
+    let mut store = ProfileStore::open_with_identity(
+        &store_path,
+        StoreIdentity::of_workload(&w, analyzer.map()),
+    )
+    .unwrap();
+    store.append_counts(0, 1, 1, batch.hbbp.bbec).unwrap();
+    (recording, store_path)
+}
+
+#[test]
+fn replayed_baseline_is_quiet_and_a_shifted_mix_is_flagged() {
+    let tmp = std::env::temp_dir().join(format!("hbbp-cli-watch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&tmp).unwrap();
+    let (recording, store_path) = build_baseline(&tmp);
+
+    // Replay: one window spanning the whole recording reproduces the
+    // baseline fold, so nothing is flagged.
+    let quiet = WatchOptions::parse(&args(&[
+        recording.to_str().unwrap(),
+        "--baseline",
+        store_path.to_str().unwrap(),
+        "--window",
+        "samples:1000000",
+    ]))
+    .unwrap()
+    .run()
+    .unwrap();
+    assert!(
+        !quiet.contains("DRIFT"),
+        "replayed baseline must stay quiet:\n{quiet}"
+    );
+    assert!(quiet.contains("0 flagged"), "{quiet}");
+    assert!(quiet.contains("against epoch 0"), "{quiet}");
+
+    // Injected divergence: a fleet client runs the *same* phased binary
+    // (identical identity) with a different phase mixture; its windows
+    // drift from the stored epoch and must be flagged.
+    let shifted = phased_client(Scale::Tiny, 0);
+    let session = PerfSession::hbbp(Cpu::with_seed(7), PERIODS.ebs, PERIODS.lbr);
+    let rec = session
+        .record(shifted.program(), shifted.layout(), shifted.oracle())
+        .unwrap();
+    let drift_path = tmp.join("shifted.bin");
+    std::fs::write(&drift_path, hbbp_perf::codec::write(&rec.data)).unwrap();
+
+    let noisy = WatchOptions::parse(&args(&[
+        drift_path.to_str().unwrap(),
+        "--baseline",
+        store_path.to_str().unwrap(),
+        "--window",
+        "samples:32",
+    ]))
+    .unwrap()
+    .run()
+    .unwrap();
+    assert!(
+        noisy.contains("DRIFT window"),
+        "shifted mix must be flagged:\n{noisy}"
+    );
+    assert!(!noisy.contains("0 flagged"), "{noisy}");
+
+    // Guardrails: an epoch the store does not hold, and a store recorded
+    // from a different workload, are both refused with pinned messages.
+    let err = WatchOptions::parse(&args(&[
+        recording.to_str().unwrap(),
+        "--baseline",
+        store_path.to_str().unwrap(),
+        "--epoch",
+        "3",
+    ]))
+    .unwrap()
+    .run()
+    .unwrap_err();
+    assert!(err.to_string().contains("has no epoch 3"), "{err}");
+
+    let err = WatchOptions::parse(&args(&[
+        recording.to_str().unwrap(),
+        "--baseline",
+        store_path.to_str().unwrap(),
+        "--workload",
+        "test40",
+    ]))
+    .unwrap()
+    .run()
+    .unwrap_err();
+    assert!(
+        err.to_string().contains("was not recorded from workload"),
+        "{err}"
+    );
+
+    let _ = std::fs::remove_dir_all(&tmp);
+}

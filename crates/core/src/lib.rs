@@ -53,6 +53,7 @@
 
 mod analyzer;
 mod collector;
+pub mod drift;
 pub mod ebs;
 pub mod errors;
 mod features;
@@ -65,6 +66,7 @@ pub mod training;
 
 pub use analyzer::{Analysis, Analyzer};
 pub use collector::{HbbpProfiler, ProfileError, ProfileResult};
+pub use drift::{MixDrift, MixDriftRow};
 pub use ebs::EbsEstimate;
 pub use errors::{MixComparison, MixErrorRow};
 pub use features::{BlockFeatures, FEATURE_NAMES};

@@ -35,6 +35,7 @@ pub(crate) const FRAME_OVERHEAD: usize = 1 + 4 + 4;
 pub(crate) const T_IDENTITY: u8 = 1;
 pub(crate) const T_COUNTS: u8 = 2;
 pub(crate) const T_WINDOW: u8 = 3;
+pub(crate) const T_EPOCH: u8 = 4;
 
 /// CRC-32 (IEEE 802.3) lookup table, built at compile time.
 const CRC_TABLE: [u32; 256] = {
@@ -153,6 +154,12 @@ pub enum Frame {
     Counts(CountsRecord),
     /// One window timeline record.
     Window(WindowRecord),
+    /// An epoch boundary: every counts/window frame after this marker
+    /// belongs to the named epoch (frames before the first marker belong
+    /// to epoch 0). Markers must ascend within a log; readers of version
+    /// 1 stores written before epochs existed skip nothing (no markers),
+    /// and pre-epoch readers skip the marker as an unknown type.
+    Epoch(u32),
 }
 
 /// Outcome of attempting to decode one frame from a byte slice.
@@ -292,6 +299,7 @@ fn frame_type(frame: &Frame) -> u8 {
         Frame::Identity(_) => T_IDENTITY,
         Frame::Counts(_) => T_COUNTS,
         Frame::Window(_) => T_WINDOW,
+        Frame::Epoch(_) => T_EPOCH,
     }
 }
 
@@ -324,6 +332,9 @@ fn encode_payload(frame: &Frame) -> BytesMut {
             buf.put_u64_le(w.ebs_samples);
             buf.put_u64_le(w.lbr_samples);
             put_mix(&mut buf, &w.mix);
+        }
+        Frame::Epoch(epoch) => {
+            buf.put_u32_le(*epoch);
         }
     }
     buf
@@ -397,6 +408,12 @@ fn decode_payload(rtype: u8, mut p: &[u8]) -> Result<Option<Frame>, ()> {
                 lbr_samples,
                 mix,
             })
+        }
+        T_EPOCH => {
+            if p.remaining() < 4 {
+                return Err(());
+            }
+            Frame::Epoch(p.get_u32_le())
         }
         _ => return Ok(None),
     };
@@ -521,6 +538,9 @@ mod tests {
             Frame::Identity(sample_identity()),
             Frame::Counts(sample_counts()),
             Frame::Window(sample_window()),
+            Frame::Epoch(0),
+            Frame::Epoch(7),
+            Frame::Epoch(u32::MAX),
         ] {
             let bytes = encode_frame(&frame);
             match read_frame(&bytes) {
@@ -559,17 +579,33 @@ mod tests {
         // The checksum covers type + length + payload: no single-bit flip
         // may decode as a frame (a flip that inflates the length field
         // reads as Incomplete, which recovery also truncates).
-        let bytes = encode_frame(&Frame::Counts(sample_counts()));
-        for at in 0..bytes.len() {
-            for bit in 0..8 {
-                let mut bad = bytes.clone();
-                bad[at] ^= 1 << bit;
-                assert!(
-                    !matches!(read_frame(&bad), FrameOutcome::Frame { .. }),
-                    "flip at byte {at} bit {bit} slipped through"
-                );
+        for frame in [Frame::Counts(sample_counts()), Frame::Epoch(3)] {
+            let bytes = encode_frame(&frame);
+            for at in 0..bytes.len() {
+                for bit in 0..8 {
+                    let mut bad = bytes.clone();
+                    bad[at] ^= 1 << bit;
+                    assert!(
+                        !matches!(read_frame(&bad), FrameOutcome::Frame { .. }),
+                        "flip at byte {at} bit {bit} slipped through"
+                    );
+                }
             }
         }
+    }
+
+    #[test]
+    fn epoch_frame_payload_is_exactly_four_bytes() {
+        // An epoch payload with trailing bytes means a corrupted length
+        // prefix (the consume-exactly rule), even if the CRC was forged
+        // over the longer span.
+        let payload = [5u8, 0, 0, 0, 9];
+        let mut bytes = vec![T_EPOCH];
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        let crc = crc32_parts(&[&bytes, &payload]);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        assert!(matches!(read_frame(&bytes), FrameOutcome::Corrupt));
     }
 
     #[test]

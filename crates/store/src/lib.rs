@@ -91,5 +91,5 @@ mod writer;
 
 pub use daemon::{spawn, DaemonConfig, DaemonHandle, DEFAULT_QUEUE_DEPTH};
 pub use frame::{CountsRecord, Frame, ModuleSpan, StoreIdentity, WindowRecord};
-pub use store::{OpenReport, ProfileStore, Snapshot, StoreError, COMPACTED_SOURCE};
+pub use store::{EpochStats, OpenReport, ProfileStore, Snapshot, StoreError, COMPACTED_SOURCE};
 pub use wire::{DaemonStats, IngestReply, StoreClient, WireError};

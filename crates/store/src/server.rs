@@ -27,14 +27,14 @@
 
 use crate::daemon::Shared;
 use crate::frame::WindowRecord;
-use crate::store::Snapshot;
+use crate::store::{Snapshot, COMPACTED_SOURCE};
 use crate::wire::{
-    encode_ingest, encode_mix, encode_stats, DaemonStats, IngestReply, MAX_MSG_LEN, OP_COMPACT,
-    OP_QUERY_MIX, OP_QUERY_TOP, OP_SHUTDOWN, OP_STATS, OP_STREAM, RESP_ERR, RESP_INGESTED,
-    RESP_MIX, RESP_OK, RESP_STATS,
+    encode_epochs, encode_ingest, encode_mix, encode_stats, DaemonStats, IngestReply, MAX_MSG_LEN,
+    OP_COMPACT, OP_DRIFT, OP_EPOCHS, OP_QUERY_MIX, OP_QUERY_TOP, OP_SHUTDOWN, OP_STATS, OP_STREAM,
+    RESP_EPOCHS, RESP_ERR, RESP_INGESTED, RESP_MIX, RESP_OK, RESP_STATS,
 };
 use crate::writer::{ShardStats, WriterMsg};
-use hbbp_core::OnlineAnalyzer;
+use hbbp_core::{MixDrift, OnlineAnalyzer};
 use hbbp_perf::{RecordView, StreamDecoder, ViewSink};
 use hbbp_program::Bbec;
 use std::io::{ErrorKind, Read, Write};
@@ -83,10 +83,12 @@ impl WorkerCtx<'_> {
     }
 }
 
-/// What a mix-shaped query renders once all shard snapshots arrive.
+/// What a snapshot-shaped query renders once all shard snapshots arrive.
 enum SnapQuery {
     Mix,
     Top(u32),
+    Epochs,
+    Drift { from: u32, to: u32, k: u32 },
 }
 
 /// An `OP_STREAM` connection mid-decode.
@@ -283,6 +285,12 @@ impl<'a> Conn<'a> {
                     return;
                 };
                 let source = u32::from_le_bytes(source);
+                if source == COMPACTED_SOURCE {
+                    self.respond_err(&format!(
+                        "source id {COMPACTED_SOURCE} is reserved for compacted records"
+                    ));
+                    return;
+                }
                 let shared = ctx.shared;
                 let mut ingest = Box::new(Ingest {
                     source,
@@ -319,6 +327,24 @@ impl<'a> Conn<'a> {
                     return;
                 };
                 self.start_gather(ctx, SnapQuery::Top(u32::from_le_bytes(k)));
+            }
+            OP_EPOCHS => self.start_gather(ctx, SnapQuery::Epochs),
+            OP_DRIFT => {
+                let Ok(raw) = <[u8; 12]>::try_from(payload) else {
+                    self.respond_err("DRIFT payload must be epoch_a, epoch_b, k (u32 LE each)");
+                    return;
+                };
+                let word = |i: usize| {
+                    u32::from_le_bytes(raw[i * 4..i * 4 + 4].try_into().expect("4 bytes"))
+                };
+                self.start_gather(
+                    ctx,
+                    SnapQuery::Drift {
+                        from: word(0),
+                        to: word(1),
+                        k: word(2),
+                    },
+                );
             }
             OP_STATS => {
                 let (tx, rx) = std::sync::mpsc::channel();
@@ -651,24 +677,48 @@ impl<'a> Conn<'a> {
             // canonical sort would otherwise preserve a racy interleaving.
             got.sort_by_key(|(i, _)| *i);
             let mut counts = Vec::new();
+            let mut counts_epochs = Vec::new();
             for (_, snap) in got.drain(..) {
                 counts.extend(snap.counts);
+                counts_epochs.extend(snap.counts_epochs);
             }
-            let aggregate = Snapshot {
+            let combined = Snapshot {
                 identity: None,
                 counts,
+                counts_epochs,
                 windows: Vec::new(),
-            }
-            .aggregate();
-            let mix = ctx.shared.analyzer.mix(&aggregate);
-            let payload = match query {
-                SnapQuery::Mix => {
-                    let entries: Vec<_> = mix.iter().collect();
-                    encode_mix(&entries)
-                }
-                SnapQuery::Top(k) => encode_mix(&mix.top(*k as usize)),
+                window_epochs: Vec::new(),
             };
-            self.respond(RESP_MIX, &payload);
+            let (code, payload) = match query {
+                SnapQuery::Mix => {
+                    let mix = ctx.shared.analyzer.mix(&combined.aggregate());
+                    let entries: Vec<_> = mix.iter().collect();
+                    (RESP_MIX, encode_mix(&entries))
+                }
+                SnapQuery::Top(k) => {
+                    let mix = ctx.shared.analyzer.mix(&combined.aggregate());
+                    (RESP_MIX, encode_mix(&mix.top(*k as usize)))
+                }
+                SnapQuery::Epochs => (RESP_EPOCHS, encode_epochs(&combined.epoch_stats())),
+                SnapQuery::Drift { from, to, k } => {
+                    let epochs = combined.epochs();
+                    for e in [*from, *to] {
+                        if !epochs.contains(&e) {
+                            self.respond_err(&format!("store has no epoch {e}"));
+                            return true;
+                        }
+                    }
+                    let baseline = ctx.shared.analyzer.mix(&combined.epoch_aggregate(*from));
+                    let current = ctx.shared.analyzer.mix(&combined.epoch_aggregate(*to));
+                    let movers: Vec<_> = MixDrift::between(&baseline, &current)
+                        .top_movers(*k as usize)
+                        .into_iter()
+                        .map(|row| (row.mnemonic, row.delta))
+                        .collect();
+                    (RESP_MIX, encode_mix(&movers))
+                }
+            };
+            self.respond(code, &payload);
             return true;
         }
         progress

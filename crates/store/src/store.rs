@@ -10,16 +10,31 @@
 //!
 //! ## Merge semantics (what "lossless" means here)
 //!
-//! The aggregate profile of a store is a **deterministic fold**: counts
-//! records sorted by `(source, seq)`, merged left to right with
-//! [`Bbec::merge`]. Merging two stores appends the other store's frames,
-//! so no information is destroyed, and because each frame carries the
-//! exact `f64` bits of one recording's analysis, the merged aggregate is
-//! **bit-identical** to folding the per-recording batch analyses
-//! (`Analyzer::analyze_fused`) in the same canonical order — the property
-//! pinned by `crates/store/tests/fleet.rs`. [`ProfileStore::compact`]
-//! replaces the counts frames with their fold, which preserves the
-//! aggregate bitwise while shrinking the log.
+//! The aggregate profile of a store is a **deterministic fold**: within
+//! each epoch, counts records sorted by `(source, seq)` and merged left
+//! to right with [`Bbec::merge`] into that epoch's aggregate; the global
+//! aggregate folds the per-epoch aggregates in epoch order. Merging two
+//! stores appends the other store's frames, so no information is
+//! destroyed, and because each frame carries the exact `f64` bits of one
+//! recording's analysis, the merged aggregate is **bit-identical** to
+//! folding the per-recording batch analyses (`Analyzer::analyze_fused`)
+//! in the same canonical order — the property pinned by
+//! `crates/store/tests/fleet.rs`.
+//!
+//! ## Epochs (the time dimension)
+//!
+//! Every counts/window append is stamped with the store's **current
+//! epoch** — a monotonically assigned u32, recorded in the log as an
+//! epoch-boundary frame and recovered on open. Epoch 0 is implicit;
+//! boundary markers are written lazily, just before the first frame of a
+//! new epoch. [`ProfileStore::compact`] is **tiered**: it collapses the
+//! counts frames *within* each epoch into one fold frame per epoch
+//! (under [`COMPACTED_SOURCE`]), preserving every per-epoch aggregate —
+//! and therefore the global fold — bit-exactly, then **seals** the
+//! current epoch so subsequent appends open a new one. History survives
+//! compaction; only per-recording provenance inside an epoch is given
+//! up. Drift queries ([`Snapshot::epoch_aggregate`]) compare epochs long
+//! after their raw frames are gone.
 
 use crate::frame::{
     encode_frame, read_frame, CountsRecord, Frame, FrameOutcome, ModuleSpan, StoreIdentity,
@@ -52,6 +67,12 @@ pub enum StoreError {
     /// Two different program identities met (append to a foreign store,
     /// or a merge across programs).
     IdentityMismatch,
+    /// An append named the reserved [`COMPACTED_SOURCE`] id.
+    ReservedSource,
+    /// A sequence (or epoch) counter left u32 space — replaying such a
+    /// log would reuse sequence numbers and corrupt the canonical fold
+    /// order.
+    SequenceOverflow(u32),
 }
 
 impl fmt::Display for StoreError {
@@ -62,6 +83,13 @@ impl fmt::Display for StoreError {
             StoreError::BadVersion(v) => write!(f, "unsupported store version {v}"),
             StoreError::MissingIdentity => write!(f, "store has no program identity yet"),
             StoreError::IdentityMismatch => write!(f, "program identities differ"),
+            StoreError::ReservedSource => write!(
+                f,
+                "source id {COMPACTED_SOURCE} is reserved for compacted records"
+            ),
+            StoreError::SequenceOverflow(source) => {
+                write!(f, "corrupt store: sequence overflow for source {source}")
+            }
         }
     }
 }
@@ -86,6 +114,19 @@ pub struct OpenReport {
     pub existed: bool,
 }
 
+/// Per-epoch accounting, as listed by the daemon's `EPOCHS` op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochStats {
+    /// The epoch id.
+    pub epoch: u32,
+    /// Counts frames stamped with this epoch.
+    pub counts_frames: u32,
+    /// EBS samples the epoch's counts frames contributed.
+    pub ebs_samples: u64,
+    /// LBR samples the epoch's counts frames contributed.
+    pub lbr_samples: u64,
+}
+
 /// An immutable, in-memory view of a store's contents — what queries,
 /// merges and differential tests consume.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,20 +137,83 @@ pub struct Snapshot {
     pub counts: Vec<CountsRecord>,
     /// Every window timeline frame, in log order.
     pub windows: Vec<WindowRecord>,
+    /// Epoch stamp of each counts frame (parallel to `counts`).
+    pub counts_epochs: Vec<u32>,
+    /// Epoch stamp of each window frame (parallel to `windows`).
+    pub window_epochs: Vec<u32>,
 }
 
 impl Snapshot {
-    /// The canonical aggregate: counts records sorted by `(source, seq)`,
-    /// folded left to right with [`Bbec::merge`]. Deterministic for any
-    /// arrival interleaving of the same recordings.
+    /// The canonical aggregate: each epoch's records sorted by
+    /// `(source, seq)` and folded left to right with [`Bbec::merge`],
+    /// then the per-epoch aggregates folded in epoch order.
+    /// Deterministic for any arrival interleaving of the same
+    /// recordings, and — because tiered compaction replaces an epoch's
+    /// records with exactly its fold — bit-identical before and after
+    /// [`ProfileStore::compact`].
     pub fn aggregate(&self) -> Bbec {
-        let mut order: Vec<&CountsRecord> = self.counts.iter().collect();
+        let mut acc = Bbec::new();
+        for epoch in self.epochs() {
+            acc.merge(&self.epoch_aggregate(epoch));
+        }
+        acc
+    }
+
+    /// Distinct epochs with at least one counts or window frame,
+    /// ascending.
+    pub fn epochs(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self
+            .counts_epochs
+            .iter()
+            .chain(self.window_epochs.iter())
+            .copied()
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// One epoch's aggregate: its counts records sorted by
+    /// `(source, seq)`, folded left to right. Empty for an unknown
+    /// epoch.
+    pub fn epoch_aggregate(&self, epoch: u32) -> Bbec {
+        let mut order: Vec<&CountsRecord> = self
+            .counts
+            .iter()
+            .zip(&self.counts_epochs)
+            .filter(|(_, e)| **e == epoch)
+            .map(|(r, _)| r)
+            .collect();
         order.sort_by_key(|r| (r.source, r.seq));
         let mut acc = Bbec::new();
         for rec in order {
             acc.merge(&rec.bbec);
         }
         acc
+    }
+
+    /// Per-epoch frame/sample accounting, ascending by epoch.
+    pub fn epoch_stats(&self) -> Vec<EpochStats> {
+        let mut stats: Vec<EpochStats> = self
+            .epochs()
+            .into_iter()
+            .map(|epoch| EpochStats {
+                epoch,
+                counts_frames: 0,
+                ebs_samples: 0,
+                lbr_samples: 0,
+            })
+            .collect();
+        for (rec, epoch) in self.counts.iter().zip(&self.counts_epochs) {
+            let s = stats
+                .iter_mut()
+                .find(|s| s.epoch == *epoch)
+                .expect("epochs() covers every stamp");
+            s.counts_frames += 1;
+            s.ebs_samples += rec.ebs_samples;
+            s.lbr_samples += rec.lbr_samples;
+        }
+        stats
     }
 
     /// Total `(ebs, lbr)` samples over all counts records.
@@ -143,7 +247,16 @@ pub struct ProfileStore {
     identity: Option<StoreIdentity>,
     counts: Vec<CountsRecord>,
     windows: Vec<WindowRecord>,
+    counts_epochs: Vec<u32>,
+    window_epochs: Vec<u32>,
     next_seq: HashMap<u32, u32>,
+    /// Epoch stamped onto the next counts/window append.
+    current_epoch: u32,
+    /// Highest epoch whose boundary marker is in the log (or pending
+    /// buffer); epoch 0 is implicit. Markers are written lazily, just
+    /// before the first frame of a new epoch, so advancing past an
+    /// epoch that never receives a frame leaves no trace.
+    marked_epoch: u32,
     report: OpenReport,
 }
 
@@ -178,7 +291,11 @@ impl ProfileStore {
             identity: None,
             counts: Vec::new(),
             windows: Vec::new(),
+            counts_epochs: Vec::new(),
+            window_epochs: Vec::new(),
             next_seq: HashMap::new(),
+            current_epoch: 0,
+            marked_epoch: 0,
             report: OpenReport {
                 frames: 0,
                 truncated_bytes: 0,
@@ -224,15 +341,22 @@ impl ProfileStore {
 
         // Replay frames; stop (and truncate) at the first bad one.
         let mut pos = HEADER_LEN;
-        while pos < bytes.len() {
+        'replay: while pos < bytes.len() {
             match read_frame(&bytes[pos..]) {
                 FrameOutcome::Frame { frame, consumed } => {
                     if let Some(frame) = frame {
-                        if store.apply(frame).is_err() {
-                            // An identity conflict mid-log is corruption in
-                            // the same sense as a failed checksum: keep the
+                        match store.apply(frame) {
+                            Ok(()) => {}
+                            // A sequence counter leaving u32 space means
+                            // the fold order can no longer be trusted:
+                            // surface the corruption instead of silently
+                            // discarding a checksum-valid frame.
+                            Err(e @ StoreError::SequenceOverflow(_)) => return Err(e),
+                            // An identity conflict or a non-ascending
+                            // epoch marker mid-log is corruption in the
+                            // same sense as a failed checksum: keep the
                             // consistent prefix.
-                            break;
+                            Err(_) => break 'replay,
                         }
                     }
                     store.report.frames += 1;
@@ -277,11 +401,29 @@ impl ProfileStore {
                 _ => self.identity = Some(id),
             },
             Frame::Counts(rec) => {
+                let follower = rec
+                    .seq
+                    .checked_add(1)
+                    .ok_or(StoreError::SequenceOverflow(rec.source))?;
                 let next = self.next_seq.entry(rec.source).or_insert(0);
-                *next = (*next).max(rec.seq + 1);
+                *next = (*next).max(follower);
                 self.counts.push(rec);
+                self.counts_epochs.push(self.current_epoch);
             }
-            Frame::Window(rec) => self.windows.push(rec),
+            Frame::Window(rec) => {
+                self.windows.push(rec);
+                self.window_epochs.push(self.current_epoch);
+            }
+            Frame::Epoch(epoch) => {
+                // Markers must ascend; a regressing marker is treated as
+                // corruption by the replay loop (identity-mismatch
+                // semantics).
+                if epoch <= self.marked_epoch && !(epoch == 0 && self.marked_epoch == 0) {
+                    return Err(StoreError::IdentityMismatch);
+                }
+                self.current_epoch = epoch;
+                self.marked_epoch = epoch;
+            }
         }
         Ok(())
     }
@@ -372,7 +514,8 @@ impl ProfileStore {
     ///
     /// # Errors
     ///
-    /// [`StoreError::MissingIdentity`] before an identity is set; I/O
+    /// [`StoreError::MissingIdentity`] before an identity is set;
+    /// [`StoreError::ReservedSource`] for [`COMPACTED_SOURCE`]; I/O
     /// errors from the append.
     pub fn append_counts(
         &mut self,
@@ -394,8 +537,25 @@ impl ProfileStore {
     ///
     /// # Errors
     ///
-    /// [`StoreError::MissingIdentity`] before an identity is set.
+    /// [`StoreError::MissingIdentity`] before an identity is set;
+    /// [`StoreError::ReservedSource`] for [`COMPACTED_SOURCE`].
     pub fn append_counts_deferred(
+        &mut self,
+        source: u32,
+        ebs_samples: u64,
+        lbr_samples: u64,
+        bbec: Bbec,
+    ) -> Result<u32, StoreError> {
+        if source == COMPACTED_SOURCE {
+            return Err(StoreError::ReservedSource);
+        }
+        self.push_counts(source, ebs_samples, lbr_samples, bbec)
+    }
+
+    /// The append path shared with [`ProfileStore::merge_from`] and
+    /// [`ProfileStore::compact`], which legitimately carry
+    /// [`COMPACTED_SOURCE`] fold frames.
+    fn push_counts(
         &mut self,
         source: u32,
         ebs_samples: u64,
@@ -407,7 +567,11 @@ impl ProfileStore {
         }
         let next = self.next_seq.entry(source).or_insert(0);
         let seq = *next;
-        *next += 1;
+        *next = seq
+            .checked_add(1)
+            .ok_or(StoreError::SequenceOverflow(source))?;
+        let epoch = self.current_epoch;
+        self.mark_epoch();
         let rec = CountsRecord {
             source,
             seq,
@@ -417,7 +581,19 @@ impl ProfileStore {
         };
         self.buffer_frame(&Frame::Counts(rec.clone()));
         self.counts.push(rec);
+        self.counts_epochs.push(epoch);
         Ok(seq)
+    }
+
+    /// Buffer the current epoch's boundary marker if the log does not
+    /// carry it yet (lazy: an epoch that never receives a frame leaves
+    /// no trace).
+    fn mark_epoch(&mut self) {
+        if self.current_epoch > self.marked_epoch {
+            let frame = Frame::Epoch(self.current_epoch);
+            self.buffer_frame(&frame);
+            self.marked_epoch = self.current_epoch;
+        }
     }
 
     /// Append one window timeline record.
@@ -442,8 +618,11 @@ impl ProfileStore {
         if self.identity.is_none() {
             return Err(StoreError::MissingIdentity);
         }
+        let epoch = self.current_epoch;
+        self.mark_epoch();
         self.buffer_frame(&Frame::Window(record.clone()));
         self.windows.push(record);
+        self.window_epochs.push(epoch);
         Ok(())
     }
 
@@ -457,12 +636,39 @@ impl ProfileStore {
         &self.windows
     }
 
+    /// The epoch stamped onto the next append. Starts at 0; advanced by
+    /// [`ProfileStore::advance_epoch`] and sealed by
+    /// [`ProfileStore::compact`]; recovered from the log's boundary
+    /// markers on open.
+    pub fn current_epoch(&self) -> u32 {
+        self.current_epoch
+    }
+
+    /// Open a new epoch: every subsequent append is stamped with the
+    /// returned id. The boundary marker is written lazily with the
+    /// epoch's first frame, so an advance that is never followed by an
+    /// append does not survive a reopen.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::SequenceOverflow`] if the epoch counter would leave
+    /// u32 space.
+    pub fn advance_epoch(&mut self) -> Result<u32, StoreError> {
+        self.current_epoch = self
+            .current_epoch
+            .checked_add(1)
+            .ok_or(StoreError::SequenceOverflow(COMPACTED_SOURCE))?;
+        Ok(self.current_epoch)
+    }
+
     /// An immutable view of the current contents.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
             identity: self.identity.clone(),
             counts: self.counts.clone(),
             windows: self.windows.clone(),
+            counts_epochs: self.counts_epochs.clone(),
+            window_epochs: self.window_epochs.clone(),
         }
     }
 
@@ -518,7 +724,12 @@ impl ProfileStore {
         let mut in_order: Vec<&CountsRecord> = other.counts.iter().collect();
         in_order.sort_by_key(|r| (r.source, r.seq));
         for rec in in_order {
-            self.append_counts_deferred(
+            // `push_counts`, not the public append: the other store may
+            // legitimately carry `COMPACTED_SOURCE` fold frames. Merged
+            // frames are re-sequenced and land in **this** store's
+            // current epoch — a merge is an ingest event of the target's
+            // timeline.
+            self.push_counts(
                 rec.source,
                 rec.ebs_samples,
                 rec.lbr_samples,
@@ -532,11 +743,29 @@ impl ProfileStore {
         self.commit()
     }
 
-    /// Rewrite the log as identity + one folded counts frame + the window
-    /// timeline, atomically (temp file + rename). The aggregate is
-    /// preserved **bit-exactly** — the fold frame is the canonical
-    /// aggregate itself, written under [`COMPACTED_SOURCE`] — but
-    /// per-recording provenance of the folded frames is given up.
+    /// Tiered compaction: rewrite the log as identity + **one folded
+    /// counts frame per epoch** + the window timeline (grouped under its
+    /// epoch markers), atomically (temp file + rename; this is also the
+    /// store's fsync point). Every per-epoch aggregate — and therefore
+    /// the global fold — is preserved **bit-exactly**: each fold frame
+    /// is exactly its epoch's canonical aggregate, written under
+    /// [`COMPACTED_SOURCE`]. Only per-recording provenance *inside* an
+    /// epoch is given up; history across epochs survives.
+    ///
+    /// Compaction **seals** the current epoch *unconditionally*:
+    /// subsequent appends are stamped with a fresh epoch, so each
+    /// compact→ingest cycle adds one tier instead of erasing the last.
+    /// An idle store seals too — the empty epoch costs one marker frame
+    /// and never shows up in [`Snapshot::epochs`] — because a daemon
+    /// fans `COMPACT` out to every shard, and a shard that happened to
+    /// be empty must advance in lockstep or the shards' epoch numbering
+    /// diverges (post-compact ingest on the idle shard would land in the
+    /// epoch its siblings just sealed).
+    ///
+    /// The per-source sequence map survives compaction unchanged (a
+    /// source re-appending afterwards continues its sequence instead of
+    /// restarting at 0, which would violate per-source ordering under a
+    /// later [`ProfileStore::merge_from`]).
     ///
     /// # Errors
     ///
@@ -547,14 +776,40 @@ impl ProfileStore {
             return Err(StoreError::MissingIdentity);
         };
         let snapshot = self.snapshot();
-        let (ebs, lbr) = snapshot.total_samples();
-        let folded = CountsRecord {
-            source: COMPACTED_SOURCE,
-            seq: self.next_seq.get(&COMPACTED_SOURCE).copied().unwrap_or(0),
-            ebs_samples: ebs,
-            lbr_samples: lbr,
-            bbec: snapshot.aggregate(),
-        };
+        let epochs = snapshot.epochs();
+        // Seal: the compacted epoch becomes closed history; appends after
+        // this compact open a fresh tier. Sealing is durable — the new
+        // epoch's boundary marker is written at the tail of the rewritten
+        // log (the one eager marker; ordinary advances stay lazy).
+        let sealed = self
+            .current_epoch
+            .checked_add(1)
+            .ok_or(StoreError::SequenceOverflow(COMPACTED_SOURCE))?;
+
+        // One fold frame per epoch with counts, seqs assigned in epoch
+        // order so the folds keep a deterministic (source, seq) order
+        // under the shared COMPACTED_SOURCE id.
+        let mut next_fold = self.next_seq.get(&COMPACTED_SOURCE).copied().unwrap_or(0);
+        let mut folds: Vec<(u32, CountsRecord)> = Vec::new();
+        for stats in snapshot.epoch_stats() {
+            if stats.counts_frames == 0 {
+                continue; // window-only epoch: nothing to fold
+            }
+            let seq = next_fold;
+            next_fold = seq
+                .checked_add(1)
+                .ok_or(StoreError::SequenceOverflow(COMPACTED_SOURCE))?;
+            folds.push((
+                stats.epoch,
+                CountsRecord {
+                    source: COMPACTED_SOURCE,
+                    seq,
+                    ebs_samples: stats.ebs_samples,
+                    lbr_samples: stats.lbr_samples,
+                    bbec: snapshot.epoch_aggregate(stats.epoch),
+                },
+            ));
+        }
 
         let tmp_path = self.path.with_extension("tmp");
         let mut tmp = File::create(&tmp_path)?;
@@ -567,9 +822,28 @@ impl ProfileStore {
             Ok(bytes.len() as u64)
         };
         len += write(&mut tmp, &Frame::Identity(identity))?;
-        len += write(&mut tmp, &Frame::Counts(folded.clone()))?;
-        for w in &self.windows {
-            len += write(&mut tmp, &Frame::Window(w.clone()))?;
+        let mut marked = 0u32;
+        let mut windows = Vec::with_capacity(snapshot.windows.len());
+        let mut window_epochs = Vec::with_capacity(snapshot.windows.len());
+        for &epoch in &epochs {
+            if epoch > marked {
+                len += write(&mut tmp, &Frame::Epoch(epoch))?;
+                marked = epoch;
+            }
+            if let Some((_, fold)) = folds.iter().find(|(e, _)| *e == epoch) {
+                len += write(&mut tmp, &Frame::Counts(fold.clone()))?;
+            }
+            for (w, we) in snapshot.windows.iter().zip(&snapshot.window_epochs) {
+                if *we == epoch {
+                    len += write(&mut tmp, &Frame::Window(w.clone()))?;
+                    windows.push(w.clone());
+                    window_epochs.push(epoch);
+                }
+            }
+        }
+        if sealed > marked {
+            len += write(&mut tmp, &Frame::Epoch(sealed))?;
+            marked = sealed;
         }
         tmp.sync_all()?;
         drop(tmp);
@@ -581,8 +855,13 @@ impl ProfileStore {
         // buffered bytes must not be appended again.
         self.pending.clear();
         self.len = len;
-        self.counts = vec![folded];
-        self.next_seq = HashMap::from([(COMPACTED_SOURCE, 1)]);
+        self.counts_epochs = folds.iter().map(|(e, _)| *e).collect();
+        self.counts = folds.into_iter().map(|(_, f)| f).collect();
+        self.windows = windows;
+        self.window_epochs = window_epochs;
+        self.next_seq.insert(COMPACTED_SOURCE, next_fold);
+        self.marked_epoch = marked;
+        self.current_epoch = sealed;
         Ok(())
     }
 }
@@ -716,10 +995,15 @@ mod tests {
             lbr_samples: 0,
             bbec: bbec(&[(0x400000, 0.2)]),
         };
-        let snap = |counts: Vec<CountsRecord>| Snapshot {
-            identity: None,
-            counts,
-            windows: vec![],
+        let snap = |counts: Vec<CountsRecord>| {
+            let epochs = vec![0; counts.len()];
+            Snapshot {
+                identity: None,
+                counts,
+                windows: vec![],
+                counts_epochs: epochs,
+                window_epochs: vec![],
+            }
         };
         let ab = snap(vec![a.clone(), b.clone()]).aggregate();
         let ba = snap(vec![b, a]).aggregate();
@@ -874,5 +1158,230 @@ mod tests {
             s.append_counts(1, 0, 0, Bbec::new()),
             Err(StoreError::MissingIdentity)
         ));
+    }
+
+    #[test]
+    fn reserved_source_is_rejected_on_append() {
+        // Bug regression: a client picking source id u32::MAX used to
+        // merge silently into compacted fold records.
+        let path = tmp("reserved.hbbp");
+        let mut s = ProfileStore::open_with_identity(&path, identity()).unwrap();
+        for append in [
+            s.append_counts(COMPACTED_SOURCE, 1, 1, bbec(&[(0x400000, 1.0)])),
+            s.append_counts_deferred(COMPACTED_SOURCE, 1, 1, bbec(&[(0x400000, 1.0)])),
+        ] {
+            let err = append.unwrap_err();
+            assert!(matches!(err, StoreError::ReservedSource));
+            assert_eq!(
+                err.to_string(),
+                "source id 4294967295 is reserved for compacted records"
+            );
+        }
+        assert!(s.counts().is_empty());
+        assert_eq!(s.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn seq_overflow_in_replay_is_a_corrupt_store_error() {
+        // Bug regression: recovery computed `rec.seq + 1` unchecked — a
+        // checksum-valid frame with seq u32::MAX panicked the open in
+        // debug builds and silently reused sequence numbers in release.
+        let path = tmp("seq-overflow.hbbp");
+        {
+            let mut s = ProfileStore::open_with_identity(&path, identity()).unwrap();
+            s.append_counts(1, 1, 1, bbec(&[(0x400000, 1.0)])).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let poisoned = encode_frame(&Frame::Counts(CountsRecord {
+            source: 9,
+            seq: u32::MAX,
+            ebs_samples: 1,
+            lbr_samples: 1,
+            bbec: bbec(&[(0x400000, 1.0)]),
+        }));
+        bytes.extend_from_slice(&poisoned);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = ProfileStore::open(&path).unwrap_err();
+        assert!(matches!(err, StoreError::SequenceOverflow(9)));
+        assert_eq!(
+            err.to_string(),
+            "corrupt store: sequence overflow for source 9"
+        );
+    }
+
+    #[test]
+    fn compact_preserves_per_source_sequencing() {
+        // Bug regression: compact() used to reset `next_seq` to
+        // {COMPACTED_SOURCE: 1}, so a source re-appending afterwards
+        // restarted at seq 0 and violated per-source ordering under a
+        // later merge_from.
+        let path = tmp("seq-preserved.hbbp");
+        let mut s = ProfileStore::open_with_identity(&path, identity()).unwrap();
+        s.append_counts(1, 1, 1, bbec(&[(0x400000, 1.0)])).unwrap();
+        s.append_counts(1, 1, 1, bbec(&[(0x400010, 2.0)])).unwrap();
+        s.compact().unwrap();
+        let seq = s.append_counts(1, 1, 1, bbec(&[(0x400020, 3.0)])).unwrap();
+        assert_eq!(seq, 2, "source 1 continues its sequence after compact");
+    }
+
+    #[test]
+    fn epochs_stamp_appends_and_survive_reopen() {
+        let path = tmp("epochs.hbbp");
+        {
+            let mut s = ProfileStore::open_with_identity(&path, identity()).unwrap();
+            assert_eq!(s.current_epoch(), 0);
+            s.append_counts(1, 1, 0, bbec(&[(0x400000, 1.0)])).unwrap();
+            assert_eq!(s.advance_epoch().unwrap(), 1);
+            s.append_counts(1, 2, 0, bbec(&[(0x400000, 2.0)])).unwrap();
+            s.append_counts(2, 4, 0, bbec(&[(0x400010, 8.0)])).unwrap();
+            let snap = s.snapshot();
+            assert_eq!(snap.counts_epochs, vec![0, 1, 1]);
+            assert_eq!(snap.epochs(), vec![0, 1]);
+        }
+        let s = ProfileStore::open(&path).unwrap();
+        assert_eq!(s.open_report().truncated_bytes, 0);
+        assert_eq!(s.current_epoch(), 1);
+        let snap = s.snapshot();
+        assert_eq!(snap.counts_epochs, vec![0, 1, 1]);
+        assert_eq!(snap.epoch_aggregate(0).get(0x400000), 1.0);
+        assert_eq!(snap.epoch_aggregate(1).get(0x400000), 2.0);
+        let stats = snap.epoch_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!((stats[0].epoch, stats[0].counts_frames), (0, 1));
+        assert_eq!((stats[1].epoch, stats[1].counts_frames), (1, 2));
+        assert_eq!(stats[1].ebs_samples, 6);
+    }
+
+    #[test]
+    fn advance_without_appends_leaves_no_trace() {
+        let path = tmp("epoch-lazy.hbbp");
+        {
+            let mut s = ProfileStore::open_with_identity(&path, identity()).unwrap();
+            s.advance_epoch().unwrap();
+            s.advance_epoch().unwrap();
+            assert_eq!(s.current_epoch(), 2);
+        }
+        let s = ProfileStore::open(&path).unwrap();
+        assert_eq!(s.current_epoch(), 0, "lazy markers: no frame, no epoch");
+    }
+
+    /// Sealing must not depend on the store holding frames: a daemon
+    /// fans COMPACT out to every shard, and a shard that was idle during
+    /// the epoch has to advance in lockstep with its siblings — otherwise
+    /// its next append lands in the epoch the others just sealed.
+    #[test]
+    fn compact_seals_even_an_idle_store() {
+        let path = tmp("idle-seal.hbbp");
+        let mut s = ProfileStore::open_with_identity(&path, identity()).unwrap();
+        s.compact().unwrap();
+        assert_eq!(s.current_epoch(), 1, "empty store still seals");
+        s.append_counts(1, 1, 1, bbec(&[(0x400000, 1.0)])).unwrap();
+        assert_eq!(s.snapshot().counts_epochs, vec![1]);
+        drop(s);
+        // The seal marker is eager, so the epoch survives reopen.
+        let s = ProfileStore::open(&path).unwrap();
+        assert_eq!(s.current_epoch(), 1);
+        assert_eq!(s.snapshot().counts_epochs, vec![1]);
+    }
+
+    #[test]
+    fn tiered_compact_preserves_per_epoch_aggregates_and_seals() {
+        let path = tmp("tiered.hbbp");
+        let mut s = ProfileStore::open_with_identity(&path, identity()).unwrap();
+        for i in 0..6u32 {
+            s.append_counts(
+                i % 2,
+                1,
+                1,
+                bbec(&[(0x400000 + u64::from(i) * 16, 1.0 / f64::from(i + 3))]),
+            )
+            .unwrap();
+        }
+        s.advance_epoch().unwrap();
+        for i in 6..10u32 {
+            s.append_counts(
+                i % 3,
+                1,
+                1,
+                bbec(&[(0x400000 + u64::from(i) * 16, 1.0 / f64::from(i + 3))]),
+            )
+            .unwrap();
+        }
+        let snap_before = s.snapshot();
+        let global_before = snap_before.aggregate();
+        s.compact().unwrap();
+        assert_eq!(s.counts().len(), 2, "one fold frame per epoch");
+        assert_eq!(s.current_epoch(), 2, "compaction seals the tier");
+        let snap_after = s.snapshot();
+        assert_eq!(snap_after.epochs(), vec![0, 1]);
+        for epoch in [0, 1] {
+            let before = snap_before.epoch_aggregate(epoch);
+            let after = snap_after.epoch_aggregate(epoch);
+            for (addr, count) in before.iter() {
+                assert_eq!(
+                    after.get(addr).to_bits(),
+                    count.to_bits(),
+                    "epoch {epoch} addr {addr:#x}"
+                );
+            }
+            assert_eq!(before.len(), after.len());
+        }
+        for (addr, count) in global_before.iter() {
+            assert_eq!(snap_after.aggregate().get(addr).to_bits(), count.to_bits());
+        }
+        // Reopen: the tiers, the seal and the aggregates all survive.
+        drop(s);
+        let mut s = ProfileStore::open(&path).unwrap();
+        assert_eq!(s.open_report().truncated_bytes, 0);
+        assert_eq!(s.current_epoch(), 2);
+        let reopened = s.snapshot();
+        assert_eq!(reopened.epochs(), vec![0, 1]);
+        for (addr, count) in global_before.iter() {
+            assert_eq!(reopened.aggregate().get(addr).to_bits(), count.to_bits());
+        }
+        // A second compact re-folds each single-record epoch onto itself.
+        s.append_counts(7, 1, 1, bbec(&[(0x400000, 0.25)])).unwrap();
+        assert_eq!(s.snapshot().counts_epochs.last(), Some(&2));
+        s.compact().unwrap();
+        assert_eq!(s.counts().len(), 3);
+        assert_eq!(s.snapshot().epochs(), vec![0, 1, 2]);
+        for epoch in [0, 1] {
+            let before = snap_before.epoch_aggregate(epoch);
+            let after = s.snapshot().epoch_aggregate(epoch);
+            for (addr, count) in before.iter() {
+                assert_eq!(after.get(addr).to_bits(), count.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn windows_keep_their_epoch_through_compact() {
+        let path = tmp("window-epochs.hbbp");
+        let window = |source: u32, index: u32| WindowRecord {
+            source,
+            index,
+            start_cycles: u64::from(index) * 100,
+            end_cycles: u64::from(index + 1) * 100,
+            ebs_samples: 1,
+            lbr_samples: 1,
+            mix: MnemonicMix::new(),
+        };
+        let mut s = ProfileStore::open_with_identity(&path, identity()).unwrap();
+        s.append_counts(1, 1, 1, bbec(&[(0x400000, 1.0)])).unwrap();
+        s.append_window(window(1, 0)).unwrap();
+        s.advance_epoch().unwrap();
+        s.append_window(window(1, 1)).unwrap();
+        s.append_counts(1, 1, 1, bbec(&[(0x400010, 2.0)])).unwrap();
+        s.compact().unwrap();
+        drop(s);
+        let s = ProfileStore::open(&path).unwrap();
+        let snap = s.snapshot();
+        assert_eq!(snap.windows.len(), 2);
+        assert_eq!(snap.window_epochs, vec![0, 1]);
+        assert_eq!(
+            (snap.windows[0].index, snap.windows[1].index),
+            (0, 1),
+            "window order preserved within epochs"
+        );
     }
 }

@@ -20,6 +20,7 @@
 //! Query responses carry mix counts as raw `f64` bits so that a queried
 //! aggregate compares bit-identically against a local analysis.
 
+use crate::store::EpochStats;
 use bytes::{Buf, BufMut, BytesMut};
 use hbbp_isa::Mnemonic;
 use hbbp_perf::{PerfData, PerfSession, RecordError};
@@ -37,10 +38,16 @@ pub const OP_QUERY_MIX: u8 = 2;
 pub const OP_QUERY_TOP: u8 = 3;
 /// Query daemon/store statistics.
 pub const OP_STATS: u8 = 4;
-/// Ask every partition to compact its log. Each partition's fold is
-/// preserved bit-exactly; the global aggregate becomes the (still
-/// deterministic) partition-grouped regrouping of the same sum.
+/// Ask every partition to tier-compact its log (one fold per epoch,
+/// per-epoch aggregates preserved bit-exactly) and seal the current
+/// epoch: appends after the reply land in a fresh epoch.
 pub const OP_COMPACT: u8 = 5;
+/// List the store's epochs with per-epoch frame/sample accounting.
+pub const OP_EPOCHS: u8 = 6;
+/// Query the top-K mix movers between two epochs (payload: `epoch_a`,
+/// `epoch_b`, `k`, all u32). The reply reuses the `MIX` encoding with
+/// **signed** `current − baseline` deltas as the `f64` bits.
+pub const OP_DRIFT: u8 = 7;
 /// Stop accepting connections and shut down.
 pub const OP_SHUTDOWN: u8 = 255;
 
@@ -52,6 +59,8 @@ pub const RESP_INGESTED: u8 = 101;
 pub const RESP_MIX: u8 = 102;
 /// Reply to [`OP_STATS`].
 pub const RESP_STATS: u8 = 104;
+/// Reply to [`OP_EPOCHS`]: per-epoch accounting entries.
+pub const RESP_EPOCHS: u8 = 105;
 /// The daemon rejected the operation; payload is a message string.
 pub const RESP_ERR: u8 = 199;
 
@@ -114,7 +123,21 @@ pub const PROTOCOL_OPS: &[OpSpec] = &[
         name: "COMPACT",
         request: "empty",
         reply: "OK",
-        summary: "compact every shard's log",
+        summary: "tier-compact logs, seal the epoch",
+    },
+    OpSpec {
+        code: OP_EPOCHS,
+        name: "EPOCHS",
+        request: "empty",
+        reply: "EPOCHS",
+        summary: "list epochs with accounting",
+    },
+    OpSpec {
+        code: OP_DRIFT,
+        name: "DRIFT",
+        request: "epoch_a u32, epoch_b u32, k u32 (all LE)",
+        reply: "MIX",
+        summary: "top-k mix movers a -> b (signed deltas)",
     },
     OpSpec {
         code: OP_SHUTDOWN,
@@ -144,6 +167,11 @@ pub const PROTOCOL_REPLIES: &[(u8, &str, &str)] = &[
         "STATS",
         "shards u32, counts_frames u64, window_frames u64, sources u32, store_bytes u64 (all LE)",
     ),
+    (
+        RESP_EPOCHS,
+        "EPOCHS",
+        "n u32, then n x (epoch u32, counts_frames u32, ebs_samples u64, lbr_samples u64) (all LE)",
+    ),
     (RESP_ERR, "ERR", "UTF-8 error message"),
 ];
 
@@ -157,6 +185,7 @@ pub fn protocol_listing() -> String {
             "empty" => op.name.to_owned(),
             _ if op.code == OP_STREAM => format!("{}(source u32)", op.name),
             _ if op.code == OP_QUERY_TOP => format!("{}(k u32)", op.name),
+            _ if op.code == OP_DRIFT => format!("{}(a, b, k u32)", op.name),
             _ => op.name.to_owned(),
         };
         let mid = match op.code {
@@ -329,6 +358,40 @@ pub(crate) fn encode_ingest(reply: &IngestReply) -> Vec<u8> {
     buf.to_vec()
 }
 
+/// Encode an `EPOCHS` reply from per-epoch accounting (ascending epoch).
+pub(crate) fn encode_epochs(entries: &[EpochStats]) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(entries.len() as u32);
+    for e in entries {
+        buf.put_u32_le(e.epoch);
+        buf.put_u32_le(e.counts_frames);
+        buf.put_u64_le(e.ebs_samples);
+        buf.put_u64_le(e.lbr_samples);
+    }
+    buf.to_vec()
+}
+
+pub(crate) fn decode_epoch_entries(mut p: &[u8]) -> Result<Vec<EpochStats>, WireError> {
+    let bad = |m: &str| WireError::Protocol(m.into());
+    if p.remaining() < 4 {
+        return Err(bad("epochs reply too short"));
+    }
+    let n = p.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        if p.remaining() < 24 {
+            return Err(bad("epoch entry cut short"));
+        }
+        out.push(EpochStats {
+            epoch: p.get_u32_le(),
+            counts_frames: p.get_u32_le(),
+            ebs_samples: p.get_u64_le(),
+            lbr_samples: p.get_u64_le(),
+        });
+    }
+    Ok(out)
+}
+
 pub(crate) fn encode_stats(stats: &DaemonStats) -> Vec<u8> {
     let mut buf = BytesMut::new();
     buf.put_u32_le(stats.shards);
@@ -471,6 +534,43 @@ impl StoreClient {
     /// Socket failures, protocol violations, or a daemon-side rejection.
     pub fn query_top(&self, k: u32) -> Result<Vec<(Mnemonic, f64)>, WireError> {
         let (op, payload) = self.request(OP_QUERY_TOP, &k.to_le_bytes())?;
+        self.expect(op, RESP_MIX)?;
+        decode_mix_entries(&payload)
+    }
+
+    /// The store's epochs with per-epoch accounting, ascending, combined
+    /// across all partitions.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures, protocol violations, or a daemon-side rejection.
+    pub fn query_epochs(&self) -> Result<Vec<EpochStats>, WireError> {
+        let (op, payload) = self.request(OP_EPOCHS, &[])?;
+        self.expect(op, RESP_EPOCHS)?;
+        decode_epoch_entries(&payload)
+    }
+
+    /// The `k` largest mix movers from epoch `from` to epoch `to`,
+    /// descending by `|delta|` (ties: ascending opcode). Each count is
+    /// the **signed** `current − baseline` delta of the two epochs'
+    /// canonical folds, bit-identical to an offline
+    /// [`hbbp_core::MixDrift`] recompute over the same counts.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures, protocol violations, or a daemon-side rejection
+    /// (e.g. an epoch the store does not hold).
+    pub fn query_drift(
+        &self,
+        from: u32,
+        to: u32,
+        k: u32,
+    ) -> Result<Vec<(Mnemonic, f64)>, WireError> {
+        let mut payload = Vec::with_capacity(12);
+        payload.extend_from_slice(&from.to_le_bytes());
+        payload.extend_from_slice(&to.to_le_bytes());
+        payload.extend_from_slice(&k.to_le_bytes());
+        let (op, payload) = self.request(OP_DRIFT, &payload)?;
         self.expect(op, RESP_MIX)?;
         decode_mix_entries(&payload)
     }
