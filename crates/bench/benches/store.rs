@@ -84,7 +84,7 @@ fn build_case() -> Case {
     }
 }
 
-fn spawn_daemon(case: &Case, tag: &str) -> DaemonHandle {
+fn spawn_daemon(case: &Case, tag: &str, metrics: bool) -> DaemonHandle {
     let w = phased_client(Scale::Tiny, 0);
     let analyzer =
         Analyzer::from_images(&w.images(ImageView::Disk), w.layout().symbols()).expect("discovery");
@@ -98,6 +98,7 @@ fn spawn_daemon(case: &Case, tag: &str) -> DaemonHandle {
         dir: tmp_dir(tag),
         workers: 0,
         queue_depth: 0,
+        metrics,
     })
     .expect("daemon")
 }
@@ -173,7 +174,7 @@ fn bench_store(c: &mut Criterion, case: &Case, quick: bool) {
             (false, true) => 8,
             (false, false) => 15,
         });
-        let handle = spawn_daemon(case, &format!("ingest{clients}"));
+        let handle = spawn_daemon(case, &format!("ingest{clients}"), true);
         let fleet = ClientFleet::new(&handle, case, clients);
         group.bench_function(&format!("ingest_{clients}_clients"), |b| {
             b.iter(|| black_box(fleet.round()))
@@ -243,7 +244,7 @@ fn bench_drift_watch(c: &mut Criterion, case: &Case, quick: bool) {
     let mut group = c.benchmark_group("store");
     group.sample_size(if quick { 5 } else { 15 });
 
-    let handle = spawn_daemon(case, "drift");
+    let handle = spawn_daemon(case, "drift", true);
     let client = hbbp_store::StoreClient::new(handle.addr());
     for s in 0..4u32 {
         client
@@ -285,6 +286,137 @@ fn bench_drift_watch(c: &mut Criterion, case: &Case, quick: bool) {
         })
     });
     group.finish();
+}
+
+/// Pinned ceiling on the registry's self-overhead, in percent of an
+/// 8-client ingest round. Exceeding it fails the quick-mode (CI) run.
+const OVERHEAD_THRESHOLD_PCT: f64 = 2.0;
+
+/// What the self-overhead measurement produces for `BENCH_store.json`.
+struct InstrumentationReport {
+    /// Best (minimum) 8-client round with the registry active, ns.
+    round_on_ns: f64,
+    /// Best round against an identical daemon with a no-op handle, ns.
+    round_off_ns: f64,
+    /// `(on - off) / off`, clamped at zero (noise can favor either arm).
+    overhead_pct: f64,
+    /// Rounds timed per arm (after warmup).
+    rounds: usize,
+}
+
+/// Measure the registry's self-overhead: two identical daemons — one
+/// with the registry active, one carrying the no-op handle — each fed
+/// 8-client ingest rounds by its own pre-spawned fleet. Rounds alternate
+/// between the arms so drift (thermal, page cache) hits both equally,
+/// and each arm is summarized by its **minimum** round, the estimator
+/// least sensitive to scheduling noise.
+///
+/// The metrics-on daemon doubles as the registry-exactness check: after
+/// the rounds, its counter totals must agree with the store's own STATS
+/// accounting frame-for-frame, and the Prometheus rendering of the final
+/// snapshot is written to `metrics-snapshot.txt` for the CI artifact.
+fn bench_instrumentation(case: &Case, quick: bool) -> InstrumentationReport {
+    const CLIENTS: u32 = 8;
+    let rounds = if quick { 8 } else { 32 };
+    let on = spawn_daemon(case, "obs-on", true);
+    let off = spawn_daemon(case, "obs-off", false);
+    let fleet_on = ClientFleet::new(&on, case, CLIENTS);
+    let fleet_off = ClientFleet::new(&off, case, CLIENTS);
+    let mut records_on = 0u64;
+    let mut rounds_on = 0u64;
+    for _ in 0..3 {
+        records_on += fleet_on.round();
+        rounds_on += 1;
+        fleet_off.round();
+    }
+    let mut best_on = f64::INFINITY;
+    let mut best_off = f64::INFINITY;
+    for _ in 0..rounds {
+        let t = std::time::Instant::now();
+        records_on += fleet_on.round();
+        best_on = best_on.min(t.elapsed().as_secs_f64() * 1e9);
+        rounds_on += 1;
+        let t = std::time::Instant::now();
+        fleet_off.round();
+        best_off = best_off.min(t.elapsed().as_secs_f64() * 1e9);
+    }
+    drop(fleet_on);
+    drop(fleet_off);
+
+    // Exactness: every ingested frame is accounted for, no more, no less.
+    let client = on.client();
+    let stats = client.stats().expect("stats");
+    let snap = client.query_metrics().expect("metrics snapshot");
+    assert!(!snap.is_empty(), "metrics-on daemon must expose a snapshot");
+    let counts_appended = snap
+        .counter("writer.counts_appended")
+        .expect("counts counter");
+    assert_eq!(
+        counts_appended, stats.counts_frames,
+        "registry writer.counts_appended must equal STATS counts frames"
+    );
+    let windows_appended = snap
+        .counter("writer.windows_appended")
+        .expect("windows counter");
+    assert_eq!(
+        windows_appended, stats.window_frames,
+        "registry writer.windows_appended must equal STATS window frames"
+    );
+    let decoded = snap.counter("decoder.records").expect("decoder counter");
+    assert_eq!(
+        decoded, records_on,
+        "registry decoder.records must equal the records the clients were told were ingested"
+    );
+    let streams = rounds_on * u64::from(CLIENTS);
+    let accepts = snap.counter("acceptor.accepts").expect("accepts counter");
+    // One connection per client thread (kept open across rounds), plus
+    // the stats/metrics queries above.
+    assert!(
+        accepts >= u64::from(CLIENTS),
+        "acceptor must have counted the fleet's connections"
+    );
+    assert!(
+        streams > 0 && counts_appended == streams,
+        "every stream commits exactly one counts frame ({streams} streamed, {counts_appended} committed)"
+    );
+    write_workspace_root("metrics-snapshot.txt", &snap.to_prometheus());
+
+    off.shutdown().expect("shutdown metrics-off daemon");
+    on.shutdown().expect("shutdown metrics-on daemon");
+    InstrumentationReport {
+        round_on_ns: best_on,
+        round_off_ns: best_off,
+        overhead_pct: ((best_on - best_off) / best_off * 100.0).max(0.0),
+        rounds,
+    }
+}
+
+/// The `instrumentation_overhead` block of `BENCH_store.json`.
+fn instrumentation_block(r: &InstrumentationReport) -> String {
+    format!(
+        "  \"instrumentation_overhead\": {{\n\
+         \x20   \"clients\": 8,\n\
+         \x20   \"rounds_per_arm\": {},\n\
+         \x20   \"round_metrics_on_ms\": {:.3},\n\
+         \x20   \"round_metrics_off_ms\": {:.3},\n\
+         \x20   \"overhead_pct\": {:.2},\n\
+         \x20   \"threshold_pct\": {OVERHEAD_THRESHOLD_PCT},\n\
+         \x20   \"headline\": \"{}\"\n\
+         \x20 }},\n",
+        r.rounds,
+        r.round_on_ns / 1e6,
+        r.round_off_ns / 1e6,
+        r.overhead_pct,
+        json_escape(&format!(
+            "the live registry costs {:.2}% of an 8-client ingest round \
+             ({:.2}ms vs {:.2}ms, min-of-{} estimator) — under the {}% pin",
+            r.overhead_pct,
+            r.round_on_ns / 1e6,
+            r.round_off_ns / 1e6,
+            r.rounds,
+            OVERHEAD_THRESHOLD_PCT,
+        ))
+    )
 }
 
 /// The drift/watch block of `BENCH_store.json`: epoch-query round-trip
@@ -387,7 +519,7 @@ fn scaling_block(c: &Criterion) -> Option<String> {
     Some(out)
 }
 
-fn emit_json(c: &Criterion, quick: bool, case: &Case) -> String {
+fn emit_json(c: &Criterion, quick: bool, case: &Case, instr: &InstrumentationReport) -> String {
     let total_bytes: usize = case.streams.iter().map(Vec::len).sum();
     let total_records: u64 = case.records.iter().sum();
     let mut out = String::from("{\n");
@@ -414,6 +546,7 @@ fn emit_json(c: &Criterion, quick: bool, case: &Case) -> String {
     if let Some(drift_watch) = drift_watch_block(c) {
         out.push_str(&drift_watch);
     }
+    out.push_str(&instrumentation_block(instr));
     out.push_str(&results_block(c));
     out.push_str("\n}\n");
     out
@@ -425,12 +558,28 @@ fn main() {
     let mut criterion = Criterion::default();
     bench_store(&mut criterion, &case, quick);
     bench_drift_watch(&mut criterion, &case, quick);
+    let instr = bench_instrumentation(&case, quick);
     println!(
         "streams: {} clients, {} wire bytes, {} records",
         case.streams.len(),
         case.streams.iter().map(Vec::len).sum::<usize>(),
         case.records.iter().sum::<u64>()
     );
-    let json = emit_json(&criterion, quick, &case);
+    println!(
+        "instrumentation overhead: {:.2}% of an 8-client round ({:.2}ms on vs {:.2}ms off)",
+        instr.overhead_pct,
+        instr.round_on_ns / 1e6,
+        instr.round_off_ns / 1e6
+    );
+    let json = emit_json(&criterion, quick, &case, &instr);
     write_workspace_root("BENCH_store.json", &json);
+    // The CI smoke run doubles as the overhead guard: observability that
+    // taxes the hot path more than the pin is a regression, not a tunable.
+    if quick && instr.overhead_pct > OVERHEAD_THRESHOLD_PCT {
+        eprintln!(
+            "instrumentation overhead {:.2}% exceeds the pinned {OVERHEAD_THRESHOLD_PCT}% ceiling",
+            instr.overhead_pct
+        );
+        std::process::exit(1);
+    }
 }

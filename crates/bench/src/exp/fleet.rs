@@ -111,6 +111,7 @@ pub fn fleet(opts: &ExpOptions, n_clients: u32) -> FleetOutcome {
         dir: dir.clone(),
         workers: 0,
         queue_depth: 0,
+        metrics: false,
     })
     .expect("daemon");
     let client = handle.client();

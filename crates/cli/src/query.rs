@@ -2,7 +2,7 @@
 //! mix, top-K, stats, epoch history, mix drift, compact, shutdown.
 
 use crate::args::{parse_all, CliError};
-use crate::render::{self, Format};
+use crate::render::{self, Format, MetricsFormat};
 use hbbp_store::StoreClient;
 use std::fmt::Write as _;
 use std::net::SocketAddr;
@@ -20,6 +20,8 @@ pub enum QueryAction {
     Epochs,
     /// Top-K mix movers between two epochs (signed deltas).
     Drift,
+    /// The daemon's self-observability metrics snapshot.
+    Metrics,
     /// Tier-compact every partition log and seal the current epoch.
     Compact,
     /// Stop the daemon.
@@ -39,24 +41,28 @@ pub struct QueryOptions {
     pub from: u32,
     /// Current epoch for [`QueryAction::Drift`].
     pub to: u32,
-    /// Output format.
+    /// Output format of every action except `metrics`.
     pub format: Format,
+    /// Output format of the `metrics` action (which renders a Prometheus
+    /// exposition instead of CSV).
+    pub metrics_format: MetricsFormat,
     /// Mix rows to list in text output (0 = all).
     pub top: usize,
 }
 
 /// Usage text for `hbbp query`.
 pub fn usage() -> String {
-    "usage: hbbp query <mix|top|stats|epochs|drift|compact|shutdown> --addr HOST:PORT [options]\n\
+    "usage: hbbp query <mix|top|stats|epochs|drift|metrics|compact|shutdown> --addr HOST:PORT [options]\n\
      \n\
      Query a running daemon (`hbbp serve`) over its wire protocol.\n\
      \n\
      actions:\n\
      \x20 mix                 the aggregate instruction mix (canonical fold)\n\
      \x20 top                 the --k most-executed mnemonics\n\
-     \x20 stats               shards, frame counts, sources, store bytes\n\
+     \x20 stats               shards, frame counts, sources, store bytes, backpressure\n\
      \x20 epochs              the store's epochs with per-epoch accounting\n\
      \x20 drift               --k largest mix movers --from epoch --to epoch\n\
+     \x20 metrics             the daemon's self-observability snapshot (see docs/OBSERVABILITY.md)\n\
      \x20 compact             tier-compact every partition log, seal the epoch\n\
      \x20 shutdown            stop the daemon\n\
      \n\
@@ -66,7 +72,7 @@ pub fn usage() -> String {
      \x20 --from N            baseline epoch for `drift` (required)\n\
      \x20 --to N              current epoch for `drift` (required)\n\
      \x20 --top N             mnemonics to list for `mix` text output (default 20, 0 = all)\n\
-     \x20 --format text|json|csv (default text)\n"
+     \x20 --format FORMAT     text|json|csv; `metrics`: text|json|prometheus (default text)\n"
         .to_owned()
 }
 
@@ -78,7 +84,9 @@ impl QueryOptions {
         let mut k = 10u32;
         let mut from: Option<u32> = None;
         let mut to: Option<u32> = None;
-        let mut format = Format::Text;
+        // Which formats `--format` accepts depends on the action, and
+        // flags may precede it — so resolve the raw value at the end.
+        let mut raw_format: Option<String> = None;
         let mut top = 20usize;
         parse_all(args, |flag, s| {
             match flag {
@@ -89,8 +97,9 @@ impl QueryOptions {
                 "--from" => from = Some(s.value_parsed("--from", "an epoch number")?),
                 "--to" => to = Some(s.value_parsed("--to", "an epoch number")?),
                 "--top" => top = s.value_parsed("--top", "a row count")?,
-                "--format" => format = Format::parse(&s.value("--format")?)?,
-                "mix" | "top" | "stats" | "epochs" | "drift" | "compact" | "shutdown"
+                "--format" => raw_format = Some(s.value("--format")?),
+                "mix" | "top" | "stats" | "epochs" | "drift" | "metrics" | "compact"
+                | "shutdown"
                     if action.is_none() =>
                 {
                     action = Some(match flag {
@@ -99,6 +108,7 @@ impl QueryOptions {
                         "stats" => QueryAction::Stats,
                         "epochs" => QueryAction::Epochs,
                         "drift" => QueryAction::Drift,
+                        "metrics" => QueryAction::Metrics,
                         "compact" => QueryAction::Compact,
                         _ => QueryAction::Shutdown,
                     });
@@ -109,9 +119,17 @@ impl QueryOptions {
         })?;
         let Some(action) = action else {
             return Err(CliError::Usage(
-                "query needs an action: mix|top|stats|epochs|drift|compact|shutdown".into(),
+                "query needs an action: mix|top|stats|epochs|drift|metrics|compact|shutdown".into(),
             ));
         };
+        let mut format = Format::Text;
+        let mut metrics_format = MetricsFormat::Text;
+        if let Some(raw) = raw_format {
+            match action {
+                QueryAction::Metrics => metrics_format = MetricsFormat::parse(&raw)?,
+                _ => format = Format::parse(&raw)?,
+            }
+        }
         let Some(addr) = addr else {
             return Err(CliError::Usage(
                 "query needs --addr HOST:PORT (the address `hbbp serve` printed)".into(),
@@ -133,6 +151,7 @@ impl QueryOptions {
             from,
             to,
             format,
+            metrics_format,
             top,
         })
     }
@@ -184,15 +203,47 @@ impl QueryOptions {
             QueryAction::Stats => {
                 let st = client.stats().map_err(fail)?;
                 Ok(match self.format {
-                    Format::Json => format!(
-                        "{{\"shards\": {}, \"counts_frames\": {}, \"window_frames\": {}, \
-                         \"sources\": {}, \"store_bytes\": {}}}\n",
-                        st.shards, st.counts_frames, st.window_frames, st.sources, st.store_bytes
-                    ),
-                    _ => format!(
-                        "shards        {}\ncounts frames {}\nwindow frames {}\nsources       {}\nstore bytes   {}\n",
-                        st.shards, st.counts_frames, st.window_frames, st.sources, st.store_bytes
-                    ),
+                    Format::Json => {
+                        let mut queues = String::from("[");
+                        for (i, q) in st.writer_queues.iter().enumerate() {
+                            if i > 0 {
+                                queues.push_str(", ");
+                            }
+                            let _ = write!(
+                                queues,
+                                "{{\"shard\": {i}, \"depth\": {}, \"high_water\": {}}}",
+                                q.current, q.high_water
+                            );
+                        }
+                        queues.push(']');
+                        format!(
+                            "{{\"shards\": {}, \"counts_frames\": {}, \"window_frames\": {}, \
+                             \"sources\": {}, \"store_bytes\": {}, \"parked_connections\": {}, \
+                             \"writer_queues\": {}}}\n",
+                            st.shards,
+                            st.counts_frames,
+                            st.window_frames,
+                            st.sources,
+                            st.store_bytes,
+                            st.parked_connections,
+                            queues
+                        )
+                    }
+                    _ => {
+                        let mut out = format!(
+                            "shards        {}\ncounts frames {}\nwindow frames {}\nsources       {}\nstore bytes   {}\nparked conns  {}\n",
+                            st.shards, st.counts_frames, st.window_frames, st.sources, st.store_bytes,
+                            st.parked_connections
+                        );
+                        for (i, q) in st.writer_queues.iter().enumerate() {
+                            let _ = writeln!(
+                                out,
+                                "queue[{i}]      {} (high {})",
+                                q.current, q.high_water
+                            );
+                        }
+                        out
+                    }
                 })
             }
             QueryAction::Epochs => {
@@ -280,6 +331,10 @@ impl QueryOptions {
                         out
                     }
                 })
+            }
+            QueryAction::Metrics => {
+                let snap = client.query_metrics().map_err(fail)?;
+                Ok(render::render_metrics(&snap, self.metrics_format))
             }
             QueryAction::Compact => {
                 client.compact().map_err(fail)?;

@@ -6,6 +6,7 @@
 //! round-trip form so rendered numbers stay bit-faithful), and `csv`.
 
 use crate::args::{invalid, CliError};
+use hbbp_obs::Snapshot;
 use hbbp_program::MnemonicMix;
 use std::fmt::Write as _;
 
@@ -30,6 +31,151 @@ impl Format {
             "csv" => Ok(Format::Csv),
             _ => Err(invalid("--format", value, "text|json|csv")),
         }
+    }
+}
+
+/// Output format of `hbbp query metrics` — separate from [`Format`]
+/// because a metrics snapshot renders to a Prometheus exposition, not to
+/// CSV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsFormat {
+    /// Human-readable listing grouped by metric family.
+    #[default]
+    Text,
+    /// JSON object on stdout.
+    Json,
+    /// Prometheus text exposition format (what a scraper ingests).
+    Prometheus,
+}
+
+impl MetricsFormat {
+    /// Parse a `--format` value for the metrics action.
+    pub fn parse(value: &str) -> Result<MetricsFormat, CliError> {
+        match value {
+            "text" => Ok(MetricsFormat::Text),
+            "json" => Ok(MetricsFormat::Json),
+            "prometheus" => Ok(MetricsFormat::Prometheus),
+            _ => Err(invalid("--format", value, "text|json|prometheus")),
+        }
+    }
+}
+
+/// Render a daemon metrics snapshot in the requested format.
+pub fn render_metrics(snap: &Snapshot, format: MetricsFormat) -> String {
+    match format {
+        MetricsFormat::Prometheus => snap.to_prometheus(),
+        MetricsFormat::Json => {
+            let mut out = String::from("{\"counters\": [");
+            for (i, c) in snap.counters.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(
+                    out,
+                    "{{\"name\": \"{}\", {}\"value\": {}}}",
+                    json_escape(&c.name),
+                    shard_json(c.shard),
+                    c.value
+                );
+            }
+            out.push_str("], \"gauges\": [");
+            for (i, g) in snap.gauges.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(
+                    out,
+                    "{{\"name\": \"{}\", {}\"current\": {}, \"high_water\": {}}}",
+                    json_escape(&g.name),
+                    shard_json(g.shard),
+                    g.current,
+                    g.high_water
+                );
+            }
+            out.push_str("], \"histograms\": [");
+            for (i, h) in snap.histograms.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(
+                    out,
+                    "{{\"name\": \"{}\", {}\"count\": {}, \"sum\": {}, \"buckets\": [",
+                    json_escape(&h.name),
+                    shard_json(h.shard),
+                    h.count,
+                    h.sum
+                );
+                for (j, b) in h.buckets.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "{b}");
+                }
+                out.push_str("]}");
+            }
+            out.push_str("]}\n");
+            out
+        }
+        MetricsFormat::Text => {
+            if snap.is_empty() {
+                return "no metrics: the daemon runs without a registry\n".to_owned();
+            }
+            let mut out = String::new();
+            let mut family = String::new();
+            let mut rule = |out: &mut String, name: &str| {
+                let fam = name.split('.').next().unwrap_or(name);
+                if fam != family {
+                    if !out.is_empty() {
+                        out.push('\n');
+                    }
+                    let _ = writeln!(out, "[{fam}]");
+                    family = fam.to_owned();
+                }
+            };
+            // Families interleave kinds, so render name-sorted rows per
+            // kind label rather than catalog order.
+            let mut rows: Vec<(String, String)> = Vec::new();
+            for c in &snap.counters {
+                rows.push((c.name.clone(), format!("{}", c.value)));
+            }
+            for g in &snap.gauges {
+                let name = match g.shard {
+                    Some(s) => format!("{}[{s}]", g.name),
+                    None => g.name.clone(),
+                };
+                rows.push((name, format!("{} (high {})", g.current, g.high_water)));
+            }
+            for h in &snap.histograms {
+                let quant = |q: f64| match h.quantile_upper_bound(q) {
+                    Some(ub) => format!("{ub}"),
+                    None => "-".to_owned(),
+                };
+                rows.push((
+                    h.name.clone(),
+                    format!(
+                        "count {} sum {} mean {:.1} p50<={} p99<={}",
+                        h.count,
+                        h.sum,
+                        h.mean(),
+                        quant(0.5),
+                        quant(0.99)
+                    ),
+                ));
+            }
+            rows.sort();
+            for (name, value) in rows {
+                rule(&mut out, &name);
+                let _ = writeln!(out, "  {name:<36} {value}");
+            }
+            out
+        }
+    }
+}
+
+fn shard_json(shard: Option<u32>) -> String {
+    match shard {
+        Some(s) => format!("\"shard\": {s}, "),
+        None => String::new(),
     }
 }
 

@@ -8,6 +8,7 @@ use crate::registry;
 use hbbp_core::{HybridRule, Window};
 use hbbp_store::{DaemonConfig, DaemonHandle, StoreIdentity};
 use std::fmt::Write as _;
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 
 /// Parsed `hbbp serve` options.
@@ -28,6 +29,9 @@ pub struct ServeOptions {
     pub workers: usize,
     /// Per-shard writer queue bound in messages (`0` = built-in default).
     pub queue_depth: usize,
+    /// When set, serve the metrics registry as a plain-TCP Prometheus
+    /// text endpoint on this address (connect-and-read, no HTTP).
+    pub metrics_addr: Option<SocketAddr>,
 }
 
 /// Usage text for `hbbp serve` (and `hbbpd`). `program` names the binary
@@ -53,6 +57,10 @@ pub fn usage(program: &str) -> String {
          \x20                     per-connection timeline windowing (default samples:512)\n\
          \x20 --rule paper|cutoff=<n>|always-ebs|always-lbr\n\
          \x20                     hybrid decision rule (default paper)\n\
+         \x20 --metrics-addr HOST:PORT\n\
+         \x20                     also serve the self-observability registry as a\n\
+         \x20                     plain-TCP Prometheus text endpoint (connect, read,\n\
+         \x20                     close; see docs/OBSERVABILITY.md)\n\
          {workload}\n\
          \n\
          wire protocol (length-prefixed `op u8 | len u32 LE | payload`;\n\
@@ -77,6 +85,7 @@ impl ServeOptions {
         let mut rule = HybridRule::paper_default();
         let mut workers = 0usize;
         let mut queue_depth = 0usize;
+        let mut metrics_addr: Option<SocketAddr> = None;
         parse_all(args, |flag, s| {
             if workload.accept(flag, s)? {
                 return Ok(Some(()));
@@ -105,6 +114,10 @@ impl ServeOptions {
                     };
                 }
                 "--rule" => rule = parse_rule(&s.value("--rule")?)?,
+                "--metrics-addr" => {
+                    metrics_addr =
+                        Some(s.value_parsed("--metrics-addr", "a socket address (host:port)")?);
+                }
                 other => return Err(s.unknown(other)),
             }
             Ok(Some(()))
@@ -117,6 +130,7 @@ impl ServeOptions {
             rule,
             workers,
             queue_depth,
+            metrics_addr,
         })
     }
 
@@ -136,10 +150,21 @@ impl ServeOptions {
             dir: self.dir.clone(),
             workers: self.workers,
             queue_depth: self.queue_depth,
+            metrics: true,
         })
         .map_err(|e| CliError::Failed(format!("daemon spawn failed: {e:?}")))?;
         let mut banner = String::new();
         let _ = writeln!(banner, "hbbpd listening on {}", handle.addr());
+        if let Some(addr) = self.metrics_addr {
+            let listener = TcpListener::bind(addr).map_err(|e| {
+                CliError::Failed(format!("metrics endpoint bind failed on {addr}: {e}"))
+            })?;
+            let bound = listener.local_addr().unwrap_or(addr);
+            // Detached: the endpoint thread lives for the process; it
+            // holds only a registry handle and dies with the daemon.
+            let _ = hbbp_obs::serve_text_endpoint(listener, handle.metrics());
+            let _ = writeln!(banner, "metrics endpoint on {bound} (prometheus text)");
+        }
         let _ = writeln!(
             banner,
             "workload={} scale={:?} shards={} workers={} queue-depth={} periods=ebs:{}/lbr:{} window={}",

@@ -363,7 +363,9 @@ const MATRIX: &[Case] = &[
     Case {
         command: "query",
         args: &["--addr", "127.0.0.1:4000"],
-        want: Want::Err("query needs an action: mix|top|stats|epochs|drift|compact|shutdown"),
+        want: Want::Err(
+            "query needs an action: mix|top|stats|epochs|drift|metrics|compact|shutdown",
+        ),
     },
     Case {
         command: "query",

@@ -1,0 +1,85 @@
+//! Golden-pins the three renderings of `hbbp query metrics` (text,
+//! JSON, Prometheus) over one synthetic snapshot, so the exposition
+//! formats cannot drift silently — a scraper parses the Prometheus
+//! output and scripts parse the JSON. Re-bless with
+//! `BLESS=1 cargo test -p hbbp-cli --test metrics_render`.
+
+use hbbp_cli::render::{render_metrics, MetricsFormat};
+use hbbp_obs::{Counter, Gauge, Histogram, Metrics, Snapshot};
+use std::path::PathBuf;
+
+/// A deterministic snapshot exercising every sample kind: counters,
+/// a global gauge, a per-shard gauge, and a histogram with spread-out
+/// observations (distinct p50/p99 buckets).
+fn sample_snapshot() -> Snapshot {
+    let m = Metrics::new(2);
+    m.add(Counter::AcceptorAccepts, 3);
+    m.add(Counter::DecoderRecords, 12_345);
+    m.add(Counter::WriterCountsAppended, 3);
+    m.gauge_inc(Gauge::WorkerConnections);
+    m.gauge_inc(Gauge::WorkerConnections);
+    m.gauge_dec(Gauge::WorkerConnections);
+    m.gauge_shard_inc(Gauge::WriterQueueDepth, 1);
+    for v in [0, 3, 40, 500, 6_000] {
+        m.observe(Histogram::WriterCommitUs, v);
+    }
+    m.snapshot()
+}
+
+fn assert_golden(name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var("BLESS").is_ok_and(|v| !v.is_empty() && v != "0") {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); generate with \
+             BLESS=1 cargo test -p hbbp-cli --test metrics_render",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted; re-bless with BLESS=1 cargo test -p hbbp-cli --test metrics_render \
+         if intentional"
+    );
+}
+
+#[test]
+fn text_rendering_is_pinned() {
+    assert_golden(
+        "metrics_text.txt",
+        &render_metrics(&sample_snapshot(), MetricsFormat::Text),
+    );
+}
+
+#[test]
+fn json_rendering_is_pinned() {
+    assert_golden(
+        "metrics_json.txt",
+        &render_metrics(&sample_snapshot(), MetricsFormat::Json),
+    );
+}
+
+#[test]
+fn prometheus_rendering_is_pinned() {
+    assert_golden(
+        "metrics_prometheus.txt",
+        &render_metrics(&sample_snapshot(), MetricsFormat::Prometheus),
+    );
+}
+
+#[test]
+fn empty_snapshot_renders_a_disabled_notice() {
+    let text = render_metrics(&Snapshot::default(), MetricsFormat::Text);
+    assert_eq!(text, "no metrics: the daemon runs without a registry\n");
+    let json = render_metrics(&Snapshot::default(), MetricsFormat::Json);
+    assert_eq!(
+        json,
+        "{\"counters\": [], \"gauges\": [], \"histograms\": []}\n"
+    );
+    assert!(render_metrics(&Snapshot::default(), MetricsFormat::Prometheus).is_empty());
+}

@@ -103,6 +103,14 @@ pub struct OnlineOutcome {
     /// High-water mark of buffered LBR stack entries — the analyzer's
     /// dominant memory term; bounded by the densest window, not the run.
     pub peak_buffered_entries: usize,
+    /// Windows closed over the whole run, including windows drained early
+    /// through [`OnlineAnalyzer::take_closed_windows`] (which
+    /// `windows.len()` would miss).
+    pub windows_closed: usize,
+    /// Stack buffers obtained by recycling a retired one from the pool.
+    pub pool_hits: u64,
+    /// Stack buffers that had to be freshly allocated (pool empty).
+    pub pool_misses: u64,
 }
 
 impl OnlineOutcome {
@@ -170,6 +178,8 @@ pub struct OnlineAnalyzer<'a> {
     records_seen: u64,
     samples_seen: u64,
     peak_buffered_entries: usize,
+    pool_hits: u64,
+    pool_misses: u64,
 }
 
 impl<'a> OnlineAnalyzer<'a> {
@@ -203,6 +213,8 @@ impl<'a> OnlineAnalyzer<'a> {
             records_seen: 0,
             samples_seen: 0,
             peak_buffered_entries: 0,
+            pool_hits: 0,
+            pool_misses: 0,
         }
     }
 
@@ -284,7 +296,16 @@ impl<'a> OnlineAnalyzer<'a> {
 
     /// A cleared stack buffer, reusing a retired one when available.
     fn take_pooled(&mut self) -> Vec<LbrEntry> {
-        self.stack_pool.pop().unwrap_or_default()
+        match self.stack_pool.pop() {
+            Some(buf) => {
+                self.pool_hits += 1;
+                buf
+            }
+            None => {
+                self.pool_misses += 1;
+                Vec::new()
+            }
+        }
     }
 
     fn ingest(&mut self, event: EventSpec, ip: u64, time_cycles: u64, stack: StackIn<'_>) {
@@ -395,6 +416,9 @@ impl<'a> OnlineAnalyzer<'a> {
             records_seen: self.records_seen,
             samples_seen: self.samples_seen,
             peak_buffered_entries: self.peak_buffered_entries,
+            windows_closed: self.emitted,
+            pool_hits: self.pool_hits,
+            pool_misses: self.pool_misses,
         }
     }
 }

@@ -1,0 +1,75 @@
+//! The optional plain-TCP scrape endpoint behind `hbbp serve
+//! --metrics-addr`.
+//!
+//! Deliberately not HTTP: the daemon writes one Prometheus text
+//! exposition per accepted connection and closes, which `nc addr port`
+//! or any line-oriented collector can consume. Keeping the listener off
+//! the daemon's main port means scrapers never contend with ingest
+//! connections for accept slots or worker ticks.
+
+use crate::registry::Metrics;
+use std::io::Write;
+use std::net::TcpListener;
+use std::thread::JoinHandle;
+
+/// Serve the Prometheus text exposition on `listener`, one snapshot per
+/// connection, until the process exits or the listener errors out.
+///
+/// Accept errors are retried (transient `EMFILE`-style failures should
+/// not kill the scrape endpoint); per-connection write errors are
+/// ignored — a scraper that hangs up early is its own problem. The
+/// spawned thread holds only a [`Metrics`] handle, so it never blocks
+/// daemon shutdown on anything but process exit.
+pub fn serve_text_endpoint(listener: TcpListener, metrics: Metrics) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("hbbp-metrics".into())
+        .spawn(move || {
+            let mut consecutive_errors = 0u32;
+            loop {
+                match listener.accept() {
+                    Ok((mut conn, _peer)) => {
+                        consecutive_errors = 0;
+                        let body = metrics.snapshot().to_prometheus();
+                        let _ = conn.write_all(body.as_bytes());
+                        let _ = conn.flush();
+                    }
+                    Err(_) => {
+                        consecutive_errors += 1;
+                        if consecutive_errors > 64 {
+                            return;
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                    }
+                }
+            }
+        })
+        .expect("spawn metrics endpoint thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Counter;
+    use std::io::Read;
+    use std::net::TcpStream;
+
+    #[test]
+    fn endpoint_serves_one_exposition_per_connection() {
+        let metrics = Metrics::new(1);
+        metrics.add(Counter::AcceptorAccepts, 3);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _handle = serve_text_endpoint(listener, metrics.clone());
+
+        for round in 0..2 {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            let mut body = String::new();
+            conn.read_to_string(&mut body).unwrap();
+            assert!(
+                body.contains(&format!("hbbp_acceptor_accepts {}", 3 + round)),
+                "round {round}: {body}"
+            );
+            metrics.inc(Counter::AcceptorAccepts);
+        }
+    }
+}

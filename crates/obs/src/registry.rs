@@ -1,0 +1,319 @@
+//! The lock-free registry and its cloneable [`Metrics`] handle.
+//!
+//! Layout: one 64-byte-aligned cell per counter and per gauge instance
+//! (per-shard gauges get one cell per shard), so two hot metrics never
+//! share a cache line; each histogram owns its contiguous bucket array.
+//! Every update is a single relaxed atomic RMW — there is no lock, no
+//! CAS loop, and no ordering stronger than `Relaxed` anywhere: metrics
+//! never synchronize program state, they only count it.
+
+use crate::snapshot::{CounterSample, GaugeSample, HistogramSample, Snapshot};
+use crate::{bucket_index, Counter, Gauge, Histogram, COUNTERS, GAUGES, HISTOGRAMS, HIST_BUCKETS};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+/// One counter, alone on its cache line.
+#[repr(align(64))]
+#[derive(Default)]
+struct CounterCell {
+    value: AtomicU64,
+}
+
+/// One gauge instance — current level and high-water mark share the
+/// line (they are always touched together).
+#[repr(align(64))]
+#[derive(Default)]
+struct GaugeCell {
+    current: AtomicU64,
+    high_water: AtomicU64,
+}
+
+/// One histogram — count, sum and the log2 buckets, contiguous.
+#[repr(align(64))]
+struct HistogramCell {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for HistogramCell {
+    fn default() -> HistogramCell {
+        HistogramCell {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+struct Registry {
+    shards: usize,
+    counters: Vec<CounterCell>,
+    /// Gauge instances, per-shard gauges expanded: `gauge_base[g]` is the
+    /// first cell of gauge `g` (1 cell, or `shards` cells when per-shard).
+    gauges: Vec<GaugeCell>,
+    gauge_base: Vec<usize>,
+    histograms: Vec<HistogramCell>,
+}
+
+impl Registry {
+    fn new(shards: usize) -> Registry {
+        let shards = shards.max(1);
+        let mut gauge_base = Vec::with_capacity(GAUGES.len());
+        let mut slots = 0usize;
+        for g in GAUGES {
+            gauge_base.push(slots);
+            slots += if g.spec().per_shard { shards } else { 1 };
+        }
+        Registry {
+            shards,
+            counters: (0..COUNTERS.len())
+                .map(|_| CounterCell::default())
+                .collect(),
+            gauges: (0..slots).map(|_| GaugeCell::default()).collect(),
+            gauge_base,
+            histograms: (0..HISTOGRAMS.len())
+                .map(|_| HistogramCell::default())
+                .collect(),
+        }
+    }
+
+    fn gauge_cell(&self, gauge: Gauge, shard: usize) -> &GaugeCell {
+        let base = self.gauge_base[gauge.index()];
+        let offset = if gauge.spec().per_shard {
+            shard.min(self.shards - 1)
+        } else {
+            0
+        };
+        &self.gauges[base + offset]
+    }
+}
+
+/// A cloneable handle on the metrics registry — or an explicit no-op.
+///
+/// Every instrumented component holds one. The disabled form keeps every
+/// operation to a single predicted branch, which is what the
+/// `instrumentation_overhead` bench compares a live registry against.
+#[derive(Clone, Default)]
+pub struct Metrics {
+    inner: Option<Arc<Registry>>,
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(r) => write!(f, "Metrics({} shards)", r.shards),
+            None => write!(f, "Metrics(disabled)"),
+        }
+    }
+}
+
+impl Metrics {
+    /// A live registry for a daemon with `shards` store partitions
+    /// (per-shard gauges get one instance each; `0` is treated as `1`).
+    pub fn new(shards: usize) -> Metrics {
+        Metrics {
+            inner: Some(Arc::new(Registry::new(shards))),
+        }
+    }
+
+    /// The no-op handle: every update is one predicted branch, and
+    /// [`Metrics::snapshot`] returns an empty snapshot.
+    pub fn disabled() -> Metrics {
+        Metrics { inner: None }
+    }
+
+    /// Whether this handle updates a live registry.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Shard instances per-shard gauges were sized for (0 if disabled).
+    pub fn shards(&self) -> usize {
+        self.inner.as_ref().map_or(0, |r| r.shards)
+    }
+
+    /// Increment a counter by 1.
+    #[inline]
+    pub fn inc(&self, counter: Counter) {
+        self.add(counter, 1);
+    }
+
+    /// Increment a counter by `n`.
+    #[inline]
+    pub fn add(&self, counter: Counter, n: u64) {
+        if let Some(r) = &self.inner {
+            r.counters[counter.index()].value.fetch_add(n, Relaxed);
+        }
+    }
+
+    /// Raise a global gauge by 1, updating its high-water mark.
+    #[inline]
+    pub fn gauge_inc(&self, gauge: Gauge) {
+        self.gauge_shard_inc(gauge, 0);
+    }
+
+    /// Lower a global gauge by 1. Increments and decrements must be
+    /// balanced by the caller; the registry does not guard underflow.
+    #[inline]
+    pub fn gauge_dec(&self, gauge: Gauge) {
+        self.gauge_shard_dec(gauge, 0);
+    }
+
+    /// Raise a per-shard gauge instance by 1, updating its high water.
+    #[inline]
+    pub fn gauge_shard_inc(&self, gauge: Gauge, shard: usize) {
+        if let Some(r) = &self.inner {
+            let cell = r.gauge_cell(gauge, shard);
+            let now = cell.current.fetch_add(1, Relaxed) + 1;
+            cell.high_water.fetch_max(now, Relaxed);
+        }
+    }
+
+    /// Lower a per-shard gauge instance by 1.
+    #[inline]
+    pub fn gauge_shard_dec(&self, gauge: Gauge, shard: usize) {
+        if let Some(r) = &self.inner {
+            r.gauge_cell(gauge, shard).current.fetch_sub(1, Relaxed);
+        }
+    }
+
+    /// Record one histogram observation.
+    #[inline]
+    pub fn observe(&self, histogram: Histogram, value: u64) {
+        if let Some(r) = &self.inner {
+            let cell = &r.histograms[histogram.index()];
+            cell.count.fetch_add(1, Relaxed);
+            cell.sum.fetch_add(value, Relaxed);
+            cell.buckets[bucket_index(value)].fetch_add(1, Relaxed);
+        }
+    }
+
+    /// A counter's current value (0 when disabled).
+    pub fn counter_value(&self, counter: Counter) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |r| r.counters[counter.index()].value.load(Relaxed))
+    }
+
+    /// A gauge instance's `(current, high_water)` (zeros when disabled).
+    pub fn gauge_value(&self, gauge: Gauge, shard: usize) -> (u64, u64) {
+        self.inner.as_ref().map_or((0, 0), |r| {
+            let cell = r.gauge_cell(gauge, shard);
+            (cell.current.load(Relaxed), cell.high_water.load(Relaxed))
+        })
+    }
+
+    /// A consistent-enough view of every metric: relaxed reads, no
+    /// locking. Concurrent updates may or may not be visible (a
+    /// histogram's `count` can momentarily disagree with its buckets by
+    /// in-flight observations); once writers quiesce, totals are exact.
+    /// Disabled handles return an empty snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(r) = &self.inner else {
+            return Snapshot::default();
+        };
+        let mut snap = Snapshot::default();
+        for c in COUNTERS {
+            snap.counters.push(CounterSample {
+                name: c.spec().name.to_owned(),
+                shard: None,
+                value: r.counters[c.index()].value.load(Relaxed),
+            });
+        }
+        for g in GAUGES {
+            let shards = if g.spec().per_shard { r.shards } else { 1 };
+            for shard in 0..shards {
+                let cell = r.gauge_cell(*g, shard);
+                snap.gauges.push(GaugeSample {
+                    name: g.spec().name.to_owned(),
+                    shard: g.spec().per_shard.then_some(shard as u32),
+                    current: cell.current.load(Relaxed),
+                    high_water: cell.high_water.load(Relaxed),
+                });
+            }
+        }
+        for h in HISTOGRAMS {
+            let cell = &r.histograms[h.index()];
+            snap.histograms.push(HistogramSample {
+                name: h.spec().name.to_owned(),
+                shard: None,
+                count: cell.count.load(Relaxed),
+                sum: cell.sum.load(Relaxed),
+                buckets: cell.buckets.iter().map(|b| b.load(Relaxed)).collect(),
+            });
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let m = Metrics::disabled();
+        m.inc(Counter::WorkerTicks);
+        m.gauge_inc(Gauge::WorkerConnections);
+        m.observe(Histogram::WriterCommitUs, 7);
+        assert!(!m.enabled());
+        assert_eq!(m.counter_value(Counter::WorkerTicks), 0);
+        assert!(m.snapshot().is_empty());
+    }
+
+    #[test]
+    fn counters_gauges_histograms_roundtrip() {
+        let m = Metrics::new(2);
+        m.add(Counter::DecoderRecords, 41);
+        m.inc(Counter::DecoderRecords);
+        assert_eq!(m.counter_value(Counter::DecoderRecords), 42);
+
+        m.gauge_shard_inc(Gauge::WriterQueueDepth, 1);
+        m.gauge_shard_inc(Gauge::WriterQueueDepth, 1);
+        m.gauge_shard_dec(Gauge::WriterQueueDepth, 1);
+        assert_eq!(m.gauge_value(Gauge::WriterQueueDepth, 1), (1, 2));
+        assert_eq!(m.gauge_value(Gauge::WriterQueueDepth, 0), (0, 0));
+
+        m.observe(Histogram::WriterBatchMessages, 0);
+        m.observe(Histogram::WriterBatchMessages, 5);
+        let snap = m.snapshot();
+        let h = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "writer.batch_messages")
+            .unwrap();
+        assert_eq!((h.count, h.sum), (2, 5));
+        assert_eq!(h.buckets[bucket_index(0)], 1);
+        assert_eq!(h.buckets[bucket_index(5)], 1);
+    }
+
+    #[test]
+    fn per_shard_gauges_expand_in_the_snapshot() {
+        let m = Metrics::new(3);
+        let snap = m.snapshot();
+        let depths: Vec<_> = snap
+            .gauges
+            .iter()
+            .filter(|g| g.name == "writer.queue_depth")
+            .collect();
+        assert_eq!(depths.len(), 3);
+        assert_eq!(depths[0].shard, Some(0));
+        assert_eq!(depths[2].shard, Some(2));
+        let parked: Vec<_> = snap
+            .gauges
+            .iter()
+            .filter(|g| g.name == "worker.parked_connections")
+            .collect();
+        assert_eq!(parked.len(), 1);
+        assert_eq!(parked[0].shard, None);
+    }
+
+    #[test]
+    fn out_of_range_shard_clamps_instead_of_panicking() {
+        let m = Metrics::new(2);
+        m.gauge_shard_inc(Gauge::WriterQueueDepth, 99);
+        assert_eq!(m.gauge_value(Gauge::WriterQueueDepth, 99), (1, 1));
+        assert_eq!(m.gauge_value(Gauge::WriterQueueDepth, 1), (1, 1));
+    }
+}

@@ -1,0 +1,468 @@
+//! Plain-data snapshots of the registry, their wire codec, and the
+//! Prometheus exposition.
+//!
+//! A snapshot is **self-describing** on the wire — every sample carries
+//! its name and kind — so a client can render metrics a newer daemon
+//! grew without recompiling, and the encoding needs no schema
+//! negotiation. All integers are little-endian, matching the rest of the
+//! daemon protocol.
+
+use crate::{bucket_upper_bound, spec_for_name};
+use std::fmt;
+
+/// One counter's sampled value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Dotted metric name.
+    pub name: String,
+    /// Shard index for per-shard instances.
+    pub shard: Option<u32>,
+    /// The monotonic count.
+    pub value: u64,
+}
+
+/// One gauge instance's sampled value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSample {
+    /// Dotted metric name.
+    pub name: String,
+    /// Shard index for per-shard instances.
+    pub shard: Option<u32>,
+    /// Current level.
+    pub current: u64,
+    /// Highest level ever observed.
+    pub high_water: u64,
+}
+
+/// One histogram's sampled distribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSample {
+    /// Dotted metric name.
+    pub name: String,
+    /// Shard index for per-shard instances.
+    pub shard: Option<u32>,
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Per-bucket observation counts (log2 buckets; see
+    /// [`bucket_upper_bound`]).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSample {
+    /// The mean observed value (0.0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper bound on the `q`-quantile (0.0 ..= 1.0): the inclusive
+    /// upper edge of the bucket where the cumulative count crosses
+    /// `q * count`. `None` for an empty histogram or when the quantile
+    /// lands in the unbounded last bucket.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        None
+    }
+}
+
+/// Everything the registry knew at one instant — the payload of the
+/// daemon's `METRICS` reply, in catalog order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// All counters.
+    pub counters: Vec<CounterSample>,
+    /// All gauge instances (per-shard gauges expanded, ascending shard).
+    pub gauges: Vec<GaugeSample>,
+    /// All histograms.
+    pub histograms: Vec<HistogramSample>,
+}
+
+/// A `METRICS` payload that did not decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotDecodeError(pub(crate) String);
+
+impl fmt::Display for SnapshotDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "metrics snapshot: {}", self.0)
+    }
+}
+
+impl std::error::Error for SnapshotDecodeError {}
+
+/// No-shard marker on the wire (`shard` is otherwise a shard index).
+const NO_SHARD: u32 = u32::MAX;
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&[u8], SnapshotDecodeError> {
+        if self.buf.len() - self.pos < n {
+            return Err(SnapshotDecodeError(format!("{what} cut short")));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, SnapshotDecodeError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, SnapshotDecodeError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn name(&mut self) -> Result<String, SnapshotDecodeError> {
+        let len = u16::from_le_bytes(self.take(2, "name length")?.try_into().expect("2 bytes"));
+        let bytes = self.take(len as usize, "name")?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SnapshotDecodeError("metric name is not UTF-8".into()))
+    }
+
+    fn shard(&mut self) -> Result<Option<u32>, SnapshotDecodeError> {
+        let raw = self.u32("shard")?;
+        Ok((raw != NO_SHARD).then_some(raw))
+    }
+}
+
+fn put_name(buf: &mut Vec<u8>, name: &str, shard: Option<u32>) {
+    buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    buf.extend_from_slice(name.as_bytes());
+    buf.extend_from_slice(&shard.unwrap_or(NO_SHARD).to_le_bytes());
+}
+
+impl Snapshot {
+    /// Whether the snapshot carries no samples at all (a disabled
+    /// registry encodes to this).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// A counter's value by name (first match; `None` if absent).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// A gauge instance by name and shard (`None` shard = global).
+    pub fn gauge(&self, name: &str, shard: Option<u32>) -> Option<&GaugeSample> {
+        self.gauges
+            .iter()
+            .find(|g| g.name == name && g.shard == shard)
+    }
+
+    /// A histogram by name (`None` if absent).
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSample> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// The distinct metric families present, sorted (a family is the
+    /// name's leading `family.` component).
+    pub fn families(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self
+            .counters
+            .iter()
+            .map(|c| c.name.as_str())
+            .chain(self.gauges.iter().map(|g| g.name.as_str()))
+            .chain(self.histograms.iter().map(|h| h.name.as_str()))
+            .map(|n| n.split('.').next().unwrap_or(n))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Encode for the wire (the `METRICS` reply payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(self.counters.len() as u32).to_le_bytes());
+        for c in &self.counters {
+            put_name(&mut buf, &c.name, c.shard);
+            buf.extend_from_slice(&c.value.to_le_bytes());
+        }
+        buf.extend_from_slice(&(self.gauges.len() as u32).to_le_bytes());
+        for g in &self.gauges {
+            put_name(&mut buf, &g.name, g.shard);
+            buf.extend_from_slice(&g.current.to_le_bytes());
+            buf.extend_from_slice(&g.high_water.to_le_bytes());
+        }
+        buf.extend_from_slice(&(self.histograms.len() as u32).to_le_bytes());
+        for h in &self.histograms {
+            put_name(&mut buf, &h.name, h.shard);
+            buf.extend_from_slice(&h.count.to_le_bytes());
+            buf.extend_from_slice(&h.sum.to_le_bytes());
+            buf.extend_from_slice(&(h.buckets.len() as u32).to_le_bytes());
+            for b in &h.buckets {
+                buf.extend_from_slice(&b.to_le_bytes());
+            }
+        }
+        buf
+    }
+
+    /// Decode a wire payload.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotDecodeError`] on a truncated or malformed payload.
+    pub fn decode(payload: &[u8]) -> Result<Snapshot, SnapshotDecodeError> {
+        let mut cur = Cursor {
+            buf: payload,
+            pos: 0,
+        };
+        let mut snap = Snapshot::default();
+        let n = cur.u32("counter count")?;
+        for _ in 0..n {
+            let name = cur.name()?;
+            let shard = cur.shard()?;
+            let value = cur.u64("counter value")?;
+            snap.counters.push(CounterSample { name, shard, value });
+        }
+        let n = cur.u32("gauge count")?;
+        for _ in 0..n {
+            let name = cur.name()?;
+            let shard = cur.shard()?;
+            let current = cur.u64("gauge current")?;
+            let high_water = cur.u64("gauge high water")?;
+            snap.gauges.push(GaugeSample {
+                name,
+                shard,
+                current,
+                high_water,
+            });
+        }
+        let n = cur.u32("histogram count")?;
+        for _ in 0..n {
+            let name = cur.name()?;
+            let shard = cur.shard()?;
+            let count = cur.u64("histogram count")?;
+            let sum = cur.u64("histogram sum")?;
+            let n_buckets = cur.u32("bucket count")?;
+            if n_buckets > 4096 {
+                return Err(SnapshotDecodeError(format!(
+                    "histogram claims {n_buckets} buckets"
+                )));
+            }
+            let mut buckets = Vec::with_capacity(n_buckets as usize);
+            for _ in 0..n_buckets {
+                buckets.push(cur.u64("bucket")?);
+            }
+            snap.histograms.push(HistogramSample {
+                name,
+                shard,
+                count,
+                sum,
+                buckets,
+            });
+        }
+        if cur.pos != payload.len() {
+            return Err(SnapshotDecodeError(format!(
+                "{} trailing bytes",
+                payload.len() - cur.pos
+            )));
+        }
+        Ok(snap)
+    }
+
+    /// Render as Prometheus text exposition format (version 0.0.4): name
+    /// `hbbp_<family>_<metric>`, per-shard instances as `{shard="i"}`
+    /// labels, histograms with cumulative `_bucket{le=...}` series.
+    /// `# HELP` lines come from the catalog when the name is known.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut typed: Vec<String> = Vec::new();
+        let mut head = |out: &mut String, name: &str, prom: &str, kind: &str| {
+            if typed.iter().any(|t| t == prom) {
+                return;
+            }
+            typed.push(prom.to_owned());
+            if let Some(spec) = spec_for_name(name) {
+                out.push_str(&format!("# HELP {prom} {}\n", spec.help));
+            }
+            out.push_str(&format!("# TYPE {prom} {kind}\n"));
+        };
+        for c in &self.counters {
+            let prom = prom_name(&c.name);
+            head(&mut out, &c.name, &prom, "counter");
+            out.push_str(&format!("{prom}{} {}\n", label(c.shard), c.value));
+        }
+        for g in &self.gauges {
+            let prom = prom_name(&g.name);
+            head(&mut out, &g.name, &prom, "gauge");
+            out.push_str(&format!("{prom}{} {}\n", label(g.shard), g.current));
+        }
+        for g in &self.gauges {
+            let prom = format!("{}_high_water", prom_name(&g.name));
+            head(&mut out, &g.name, &prom, "gauge");
+            out.push_str(&format!("{prom}{} {}\n", label(g.shard), g.high_water));
+        }
+        for h in &self.histograms {
+            let prom = prom_name(&h.name);
+            head(&mut out, &h.name, &prom, "histogram");
+            let mut cumulative = 0u64;
+            for (i, n) in h.buckets.iter().enumerate() {
+                cumulative += n;
+                let le = match bucket_upper_bound(i) {
+                    Some(ub) if i + 1 < h.buckets.len() => ub.to_string(),
+                    _ => "+Inf".to_owned(),
+                };
+                out.push_str(&format!(
+                    "{prom}_bucket{} {cumulative}\n",
+                    label_with(h.shard, &[("le", &le)])
+                ));
+            }
+            out.push_str(&format!("{prom}_sum{} {}\n", label(h.shard), h.sum));
+            out.push_str(&format!("{prom}_count{} {}\n", label(h.shard), h.count));
+        }
+        out
+    }
+}
+
+/// `family.metric-name` → `hbbp_family_metric_name`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::from("hbbp_");
+    for c in name.chars() {
+        out.push(match c {
+            '.' | '-' | ' ' => '_',
+            c => c,
+        });
+    }
+    out
+}
+
+fn label(shard: Option<u32>) -> String {
+    label_with(shard, &[])
+}
+
+fn label_with(shard: Option<u32>, extra: &[(&str, &str)]) -> String {
+    let mut pairs: Vec<String> = Vec::new();
+    if let Some(s) = shard {
+        pairs.push(format!("shard=\"{s}\""));
+    }
+    for (k, v) in extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Counter, Gauge, Histogram, Metrics};
+
+    fn sample() -> Snapshot {
+        let m = Metrics::new(2);
+        m.add(Counter::DecoderRecords, 1000);
+        m.gauge_shard_inc(Gauge::WriterQueueDepth, 1);
+        m.observe(Histogram::WriterCommitUs, 300);
+        m.observe(Histogram::WriterCommitUs, 5);
+        m.snapshot()
+    }
+
+    #[test]
+    fn encode_decode_roundtrips() {
+        let snap = sample();
+        let decoded = Snapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded, snap);
+        assert!(Snapshot::default().is_empty());
+        assert_eq!(
+            Snapshot::decode(&Snapshot::default().encode()).unwrap(),
+            Snapshot::default()
+        );
+    }
+
+    #[test]
+    fn truncated_and_trailing_payloads_are_rejected() {
+        let bytes = sample().encode();
+        assert!(Snapshot::decode(&bytes[..bytes.len() - 1]).is_err());
+        let mut longer = bytes.clone();
+        longer.push(0);
+        let err = Snapshot::decode(&longer).unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+        assert!(Snapshot::decode(&[7]).is_err());
+    }
+
+    #[test]
+    fn lookups_and_families() {
+        let snap = sample();
+        assert_eq!(snap.counter("decoder.records"), Some(1000));
+        assert_eq!(snap.counter("no.such"), None);
+        let g = snap.gauge("writer.queue_depth", Some(1)).unwrap();
+        assert_eq!((g.current, g.high_water), (1, 1));
+        let h = snap.histogram("writer.commit_us").unwrap();
+        assert_eq!((h.count, h.sum), (2, 305));
+        assert_eq!(
+            snap.families(),
+            ["acceptor", "analyzer", "decoder", "worker", "writer"]
+        );
+    }
+
+    #[test]
+    fn quantile_upper_bounds_bracket_observations() {
+        let h = sample().histogram("writer.commit_us").unwrap().clone();
+        // Observations 5 and 300: p50 lands in 5's bucket [4,8),
+        // p99 in 300's bucket [256,512).
+        assert_eq!(h.quantile_upper_bound(0.5), Some(7));
+        assert_eq!(h.quantile_upper_bound(0.99), Some(511));
+        assert_eq!(h.mean(), 152.5);
+        let empty = HistogramSample {
+            name: "x.y".into(),
+            shard: None,
+            count: 0,
+            sum: 0,
+            buckets: vec![0; 4],
+        };
+        assert_eq!(empty.quantile_upper_bound(0.5), None);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE hbbp_decoder_records counter"));
+        assert!(text.contains("hbbp_decoder_records 1000"));
+        assert!(text.contains("# HELP hbbp_decoder_records "));
+        assert!(text.contains("hbbp_writer_queue_depth{shard=\"1\"} 1"));
+        assert!(text.contains("hbbp_writer_queue_depth_high_water{shard=\"0\"} 0"));
+        assert!(text.contains("# TYPE hbbp_writer_commit_us histogram"));
+        assert!(text.contains("hbbp_writer_commit_us_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("hbbp_writer_commit_us_sum 305"));
+        assert!(text.contains("hbbp_writer_commit_us_count 2"));
+        // Cumulative buckets never decrease.
+        let mut last = 0u64;
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("hbbp_writer_commit_us_bucket"))
+        {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last);
+            last = v;
+        }
+    }
+}

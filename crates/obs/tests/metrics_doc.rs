@@ -1,0 +1,73 @@
+//! Pins the generated catalog table of `docs/OBSERVABILITY.md` to the
+//! `MetricSpec` catalog in `hbbp_obs` — the registry and its document
+//! cannot drift apart. Same golden mechanism as `docs/PROTOCOL.md` and
+//! `docs/CLI.md`. Re-bless the section with
+//! `BLESS=1 cargo test -p hbbp-obs --test metrics_doc`.
+
+use std::path::PathBuf;
+
+const BEGIN: &str = "<!-- generated:metrics-catalog:begin -->";
+const END: &str = "<!-- generated:metrics-catalog:end -->";
+
+fn docs_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../docs/OBSERVABILITY.md")
+}
+
+#[test]
+fn observability_md_catalog_matches_the_registry() {
+    let path = docs_path();
+    let on_disk = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing docs/OBSERVABILITY.md ({e})"));
+    let begin = on_disk
+        .find(BEGIN)
+        .expect("docs/OBSERVABILITY.md lost its generated-section begin marker");
+    let end = on_disk
+        .find(END)
+        .expect("docs/OBSERVABILITY.md lost its generated-section end marker");
+    assert!(begin < end, "markers out of order");
+    let expected = hbbp_obs::catalog_tables();
+
+    if std::env::var("BLESS").is_ok_and(|v| !v.is_empty() && v != "0") {
+        let mut blessed = String::new();
+        blessed.push_str(&on_disk[..begin + BEGIN.len()]);
+        blessed.push('\n');
+        blessed.push_str(&expected);
+        blessed.push_str(&on_disk[end..]);
+        std::fs::write(&path, blessed).unwrap();
+        return;
+    }
+
+    let section = &on_disk[begin + BEGIN.len()..end];
+    assert_eq!(
+        section.trim_start_matches('\n'),
+        expected,
+        "docs/OBSERVABILITY.md catalog drifted from the hbbp_obs MetricSpec catalog; \
+         regenerate with BLESS=1 cargo test -p hbbp-obs --test metrics_doc"
+    );
+}
+
+#[test]
+fn observability_md_documents_every_metric_name() {
+    let on_disk = std::fs::read_to_string(docs_path()).expect("docs/OBSERVABILITY.md");
+    for c in hbbp_obs::COUNTERS {
+        let name = c.spec().name;
+        assert!(
+            on_disk.contains(name),
+            "docs/OBSERVABILITY.md must document counter {name}"
+        );
+    }
+    for g in hbbp_obs::GAUGES {
+        let name = g.spec().name;
+        assert!(
+            on_disk.contains(name),
+            "docs/OBSERVABILITY.md must document gauge {name}"
+        );
+    }
+    for h in hbbp_obs::HISTOGRAMS {
+        let name = h.spec().name;
+        assert!(
+            on_disk.contains(name),
+            "docs/OBSERVABILITY.md must document histogram {name}"
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Registry correctness under contention and codec properties.
+//!
+//! The hammer test pins the registry's one hard guarantee: relaxed
+//! atomics lose nothing — once writers quiesce, snapshot totals are
+//! exactly the sum of everything every thread did. The property tests
+//! pin the snapshot wire codec (roundtrip, arbitrary values) and the
+//! log2 bucket mapping.
+
+use hbbp_obs::{
+    bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, Metrics, Snapshot, HIST_BUCKETS,
+};
+use proptest::prelude::*;
+
+#[test]
+fn concurrent_updates_are_never_lost() {
+    const THREADS: u64 = 8;
+    const ITERS: u64 = 10_000;
+    let m = Metrics::new(4);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let m = m.clone();
+            scope.spawn(move || {
+                for i in 0..ITERS {
+                    m.inc(Counter::WorkerTicks);
+                    m.add(Counter::DecoderRecords, 3);
+                    m.gauge_inc(Gauge::WorkerConnections);
+                    m.gauge_shard_inc(Gauge::WriterQueueDepth, (t % 4) as usize);
+                    m.observe(Histogram::WriterBatchMessages, i % 600);
+                    m.gauge_shard_dec(Gauge::WriterQueueDepth, (t % 4) as usize);
+                    m.gauge_dec(Gauge::WorkerConnections);
+                }
+            });
+        }
+    });
+
+    let total = THREADS * ITERS;
+    assert_eq!(m.counter_value(Counter::WorkerTicks), total);
+    assert_eq!(m.counter_value(Counter::DecoderRecords), 3 * total);
+    let (current, high) = m.gauge_value(Gauge::WorkerConnections, 0);
+    assert_eq!(current, 0, "balanced inc/dec settle to zero");
+    assert!((1..=THREADS).contains(&high), "high water saw >= 1 thread");
+    for shard in 0..4 {
+        assert_eq!(m.gauge_value(Gauge::WriterQueueDepth, shard).0, 0);
+    }
+    let snap = m.snapshot();
+    let h = snap.histogram("writer.batch_messages").expect("histogram");
+    assert_eq!(h.count, total, "every observation counted");
+    assert_eq!(
+        h.sum,
+        THREADS * (0..ITERS).map(|i| i % 600).sum::<u64>(),
+        "observation sum is exact"
+    );
+    assert_eq!(
+        h.buckets.iter().sum::<u64>(),
+        total,
+        "every observation landed in exactly one bucket"
+    );
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("worker.ticks".to_owned()),
+        Just("writer.queue_depth".to_owned()),
+        Just("a.completely-unknown metric".to_owned()),
+        Just(String::new()),
+    ]
+}
+
+fn arb_shard() -> impl Strategy<Value = Option<u32>> {
+    prop_oneof![Just(None), (0u32..16).prop_map(Some)]
+}
+
+proptest! {
+    #[test]
+    fn snapshot_codec_roundtrips(
+        counters in proptest::collection::vec((arb_name(), arb_shard(), any::<u64>()), 0..8),
+        gauges in proptest::collection::vec(
+            (arb_name(), arb_shard(), any::<u64>(), any::<u64>()), 0..8),
+        histograms in proptest::collection::vec(
+            (arb_name(), arb_shard(), any::<u64>(), any::<u64>(),
+             proptest::collection::vec(any::<u64>(), 0..40)), 0..4),
+    ) {
+        let mut snap = Snapshot::default();
+        for (name, shard, value) in counters {
+            snap.counters.push(hbbp_obs::CounterSample { name, shard, value });
+        }
+        for (name, shard, current, high_water) in gauges {
+            snap.gauges.push(hbbp_obs::GaugeSample { name, shard, current, high_water });
+        }
+        for (name, shard, count, sum, buckets) in histograms {
+            snap.histograms.push(hbbp_obs::HistogramSample { name, shard, count, sum, buckets });
+        }
+        let decoded = Snapshot::decode(&snap.encode()).unwrap();
+        prop_assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn every_value_lands_in_exactly_one_bucket(value in any::<u64>()) {
+        let i = bucket_index(value);
+        prop_assert!(i < HIST_BUCKETS);
+        // The bucket's inclusive upper bound covers the value...
+        if let Some(ub) = bucket_upper_bound(i) {
+            prop_assert!(value <= ub);
+        }
+        // ...and the previous bucket's does not.
+        if i > 0 {
+            let below = bucket_upper_bound(i - 1).expect("bounded");
+            prop_assert!(value > below);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_strictly_increase(i in 0usize..HIST_BUCKETS - 1) {
+        if let (Some(a), Some(b)) = (bucket_upper_bound(i), bucket_upper_bound(i + 1)) {
+            prop_assert!(a < b);
+        }
+        prop_assert_eq!(bucket_upper_bound(HIST_BUCKETS - 1), None);
+    }
+
+    #[test]
+    fn truncations_never_panic_and_never_succeed(cut in 0usize..64) {
+        let m = Metrics::new(2);
+        m.inc(Counter::WorkerTicks);
+        m.observe(Histogram::WriterCommitUs, 42);
+        let bytes = m.snapshot().encode();
+        if cut < bytes.len() {
+            prop_assert!(Snapshot::decode(&bytes[..cut]).is_err());
+        }
+    }
+}

@@ -69,6 +69,10 @@ pub struct StreamStats {
     /// Unconsumed tail bytes dropped at [`finish`](StreamDecoder::finish)
     /// (resilient mode only; strict mode fails with `Truncated`).
     pub dropped_tail_bytes: u64,
+    /// Buffer compactions performed (consumed-prefix memmoves in
+    /// [`feed`](StreamDecoder::feed); cheap `clear`s of a fully consumed
+    /// buffer are not counted).
+    pub compactions: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -175,7 +179,16 @@ impl StreamDecoder {
         } else if self.pos >= COMPACT_THRESHOLD || self.pos >= self.buf.len() / 2 {
             self.buf.drain(..self.pos);
             self.pos = 0;
+            self.stats.compactions += 1;
         }
+    }
+
+    /// The running progress counters, readable mid-stream (e.g. to
+    /// harvest partial stats from a stream that will never reach
+    /// [`finish`](StreamDecoder::finish) cleanly). `dropped_tail_bytes`
+    /// is only settled by `finish`.
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
     }
 
     fn fail(&mut self, error: ReadError) -> ReadError {

@@ -48,6 +48,7 @@ use crate::store::{ProfileStore, StoreError};
 use crate::wire::{StoreClient, WireError};
 use crate::writer::{writer_loop, WriterMsg};
 use hbbp_core::{Analyzer, HybridRule, SamplingPeriods, Window};
+use hbbp_obs::{Counter, Metrics};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -88,6 +89,12 @@ pub struct DaemonConfig {
     /// means [`DEFAULT_QUEUE_DEPTH`]. A full queue exerts backpressure
     /// on the streams writing to that shard only.
     pub queue_depth: usize,
+    /// Run the self-observability registry (`hbbp-obs`): every serving
+    /// layer counts into it, [`OP_METRICS`](crate::wire::OP_METRICS)
+    /// snapshots it, and STATS gains backpressure fields. When `false`
+    /// the daemon carries a no-op handle (one predicted branch per
+    /// would-be update) and METRICS returns an empty snapshot.
+    pub metrics: bool,
 }
 
 /// What the connection state machines need from the daemon.
@@ -98,6 +105,7 @@ pub(crate) struct Shared {
     pub(crate) window: Option<Window>,
     pub(crate) addr: SocketAddr,
     pub(crate) shutdown: AtomicBool,
+    pub(crate) metrics: Metrics,
 }
 
 /// A running daemon: join handle plus the bound address.
@@ -105,12 +113,20 @@ pub(crate) struct Shared {
 pub struct DaemonHandle {
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
+    metrics: Metrics,
 }
 
 impl DaemonHandle {
     /// The address the daemon is listening on.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The daemon's metrics handle (a no-op handle when the daemon was
+    /// spawned with `metrics: false`) — e.g. for wiring a scrape
+    /// endpoint via [`hbbp_obs::serve_text_endpoint`].
+    pub fn metrics(&self) -> Metrics {
+        self.metrics.clone()
     }
 
     /// A client speaking to this daemon.
@@ -159,18 +175,20 @@ const ACCEPT_BACKLOG: i32 = 1024;
 /// the default backlog in place.
 #[cfg(unix)]
 #[allow(unsafe_code)]
-fn widen_accept_backlog(listener: &TcpListener) {
+fn widen_accept_backlog(listener: &TcpListener) -> bool {
     use std::os::fd::AsRawFd;
     extern "C" {
         fn listen(fd: std::os::raw::c_int, backlog: std::os::raw::c_int) -> std::os::raw::c_int;
     }
     // SAFETY: `listen` neither reads nor writes user memory; the fd is
     // kept alive by the borrow.
-    let _ = unsafe { listen(listener.as_raw_fd(), ACCEPT_BACKLOG) };
+    unsafe { listen(listener.as_raw_fd(), ACCEPT_BACKLOG) == 0 }
 }
 
 #[cfg(not(unix))]
-fn widen_accept_backlog(_listener: &TcpListener) {}
+fn widen_accept_backlog(_listener: &TcpListener) -> bool {
+    false
+}
 
 /// Resolve `workers: 0` to the machine's available parallelism, capped.
 fn auto_workers(configured: usize) -> usize {
@@ -195,6 +213,11 @@ pub fn spawn(config: DaemonConfig) -> Result<DaemonHandle, StoreError> {
     } else {
         config.queue_depth
     };
+    let metrics = if config.metrics {
+        Metrics::new(config.shards.max(1))
+    } else {
+        Metrics::disabled()
+    };
     let mut shard_txs: Vec<SyncSender<WriterMsg>> = Vec::new();
     let mut writers: Vec<JoinHandle<()>> = Vec::new();
     for i in 0..config.shards.max(1) {
@@ -202,11 +225,16 @@ pub fn spawn(config: DaemonConfig) -> Result<DaemonHandle, StoreError> {
         let store = ProfileStore::open_with_identity(path, config.identity.clone())?;
         let (tx, rx) = std::sync::mpsc::sync_channel(queue_depth);
         shard_txs.push(tx);
-        writers.push(std::thread::spawn(move || writer_loop(store, rx)));
+        let writer_metrics = metrics.clone();
+        writers.push(std::thread::spawn(move || {
+            writer_loop(store, rx, writer_metrics, i)
+        }));
     }
 
     let listener = TcpListener::bind("127.0.0.1:0")?;
-    widen_accept_backlog(&listener);
+    if widen_accept_backlog(&listener) {
+        metrics.inc(Counter::AcceptorBacklogRearms);
+    }
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
         analyzer: config.analyzer,
@@ -215,6 +243,7 @@ pub fn spawn(config: DaemonConfig) -> Result<DaemonHandle, StoreError> {
         window: config.window,
         addr,
         shutdown: AtomicBool::new(false),
+        metrics: metrics.clone(),
     });
 
     let mut worker_txs: Vec<Sender<TcpStream>> = Vec::new();
@@ -243,6 +272,7 @@ pub fn spawn(config: DaemonConfig) -> Result<DaemonHandle, StoreError> {
                 continue;
             }
             let _ = stream.set_nodelay(true);
+            shared.metrics.inc(Counter::AcceptorAccepts);
             // Round-robin connection placement across the pool.
             let _ = worker_txs[next % worker_txs.len()].send(stream);
             next += 1;
@@ -262,5 +292,6 @@ pub fn spawn(config: DaemonConfig) -> Result<DaemonHandle, StoreError> {
     Ok(DaemonHandle {
         addr,
         accept: Some(accept),
+        metrics,
     })
 }

@@ -29,20 +29,22 @@ use crate::daemon::Shared;
 use crate::frame::WindowRecord;
 use crate::store::{Snapshot, COMPACTED_SOURCE};
 use crate::wire::{
-    encode_epochs, encode_ingest, encode_mix, encode_stats, DaemonStats, IngestReply, MAX_MSG_LEN,
-    OP_COMPACT, OP_DRIFT, OP_EPOCHS, OP_QUERY_MIX, OP_QUERY_TOP, OP_SHUTDOWN, OP_STATS, OP_STREAM,
-    RESP_EPOCHS, RESP_ERR, RESP_INGESTED, RESP_MIX, RESP_OK, RESP_STATS,
+    encode_epochs, encode_ingest, encode_mix, encode_stats, DaemonStats, IngestReply,
+    ShardQueueDepth, MAX_MSG_LEN, OP_COMPACT, OP_DRIFT, OP_EPOCHS, OP_METRICS, OP_QUERY_MIX,
+    OP_QUERY_TOP, OP_SHUTDOWN, OP_STATS, OP_STREAM, RESP_EPOCHS, RESP_ERR, RESP_INGESTED,
+    RESP_METRICS, RESP_MIX, RESP_OK, RESP_STATS,
 };
 use crate::writer::{ShardStats, WriterMsg};
-use hbbp_core::{MixDrift, OnlineAnalyzer};
-use hbbp_perf::{RecordView, StreamDecoder, ViewSink};
+use hbbp_core::{MixDrift, OnlineAnalyzer, OnlineOutcome};
+use hbbp_obs::{Counter, Gauge, Histogram, Metrics};
+use hbbp_perf::{RecordView, StreamDecoder, StreamStats, ViewSink};
 use hbbp_program::Bbec;
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{Receiver, SyncSender, TryRecvError, TrySendError};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Per-connection, per-tick read budget (bytes): fairness between
 /// streams multiplexed on one worker.
@@ -72,13 +74,41 @@ impl WorkerCtx<'_> {
         source as usize % self.shards.len()
     }
 
+    fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Offer one message to a shard writer without blocking, keeping the
+    /// queue-depth gauge in step: the gauge rises here per offered
+    /// message (settled back if the queue rejects it) and falls in the
+    /// writer as the batch leaves the queue. The increment must precede
+    /// the send — the channel's internal synchronization then orders it
+    /// before the writer's matching decrement, so the gauge can never
+    /// underflow (the reverse order races the writer and wraps).
+    fn try_send_shard(&self, shard: usize, msg: WriterMsg) -> Result<(), TrySendError<WriterMsg>> {
+        self.metrics()
+            .gauge_shard_inc(Gauge::WriterQueueDepth, shard);
+        match self.shards[shard].try_send(msg) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.metrics()
+                    .gauge_shard_dec(Gauge::WriterQueueDepth, shard);
+                Err(e)
+            }
+        }
+    }
+
     /// Fan a control message out to every shard writer (the closure gets
     /// the shard index). Blocking sends: control traffic is rare and a
     /// writer never blocks on its consumers, so this cannot deadlock —
-    /// at worst it waits for one queue drain.
+    /// at worst it waits for one queue drain. Same inc-before-send
+    /// protocol as [`WorkerCtx::try_send_shard`].
     fn fan_out(&self, mut make: impl FnMut(usize) -> WriterMsg) {
         for (i, tx) in self.shards.iter().enumerate() {
-            let _ = tx.send(make(i));
+            self.metrics().gauge_shard_inc(Gauge::WriterQueueDepth, i);
+            if tx.send(make(i)).is_err() {
+                self.metrics().gauge_shard_dec(Gauge::WriterQueueDepth, i);
+            }
         }
     }
 }
@@ -100,6 +130,10 @@ struct Ingest<'a> {
     /// Closed windows not yet accepted by the shard writer.
     pending_windows: Vec<WindowRecord>,
     windows_flushed: u32,
+    /// Reads are deprioritized under shard-queue backpressure (see
+    /// [`Conn::tick_ingest`]); tracked so the park/unpark counters see
+    /// each transition exactly once.
+    parked: bool,
 }
 
 /// A completed stream handing its results to the shard writer and
@@ -240,6 +274,9 @@ impl<'a> Conn<'a> {
 
     fn tick_read_request(&mut self, ctx: &WorkerCtx<'a>, scratch: &mut [u8]) -> bool {
         let pass = self.read_pass(scratch);
+        if pass.bytes >= READ_BUDGET {
+            ctx.metrics().inc(Counter::WorkerReadBudgetExhausted);
+        }
         if pass.failed {
             self.state = ConnState::Done;
             return true;
@@ -306,6 +343,7 @@ impl<'a> Conn<'a> {
                     }),
                     pending_windows: Vec::new(),
                     windows_flushed: 0,
+                    parked: false,
                 });
                 // Stream bytes pipelined behind the request message.
                 if !leftover.is_empty() {
@@ -364,6 +402,10 @@ impl<'a> Conn<'a> {
                     seen: 0,
                     failed: None,
                 };
+            }
+            OP_METRICS => {
+                let payload = ctx.metrics().snapshot().encode();
+                self.respond(RESP_METRICS, &payload);
             }
             OP_SHUTDOWN => {
                 ctx.shared.shutdown.store(true, Ordering::SeqCst);
@@ -448,7 +490,7 @@ impl<'a> Conn<'a> {
         }
         let batch = std::mem::take(&mut ingest.pending_windows);
         let n = batch.len() as u32;
-        match ctx.shards[ctx.shard_of(ingest.source)].try_send(WriterMsg::Windows(batch)) {
+        match ctx.try_send_shard(ctx.shard_of(ingest.source), WriterMsg::Windows(batch)) {
             Ok(()) => {
                 ingest.windows_flushed += n;
                 true
@@ -469,8 +511,22 @@ impl<'a> Conn<'a> {
         // client's socket fills up and TCP pushes back, without delaying
         // any other stream on this worker.
         let mut progress = self.flush_windows(ctx);
-        let over_high_water = match &self.state {
-            ConnState::Ingest(i) => i.pending_windows.len() >= WINDOW_HIGH_WATER,
+        let over_high_water = match &mut self.state {
+            ConnState::Ingest(i) => {
+                let over = i.pending_windows.len() >= WINDOW_HIGH_WATER;
+                if over != i.parked {
+                    i.parked = over;
+                    let m = ctx.metrics();
+                    if over {
+                        m.inc(Counter::WorkerParks);
+                        m.gauge_inc(Gauge::WorkerParkedConnections);
+                    } else {
+                        m.inc(Counter::WorkerUnparks);
+                        m.gauge_dec(Gauge::WorkerParkedConnections);
+                    }
+                }
+                over
+            }
             _ => return true,
         };
         if over_high_water {
@@ -478,6 +534,9 @@ impl<'a> Conn<'a> {
         }
         let pass = self.read_pass(scratch);
         progress |= pass.bytes > 0;
+        if pass.bytes >= READ_BUDGET {
+            ctx.metrics().inc(Counter::WorkerReadBudgetExhausted);
+        }
         if pass.failed {
             self.state = ConnState::Done;
             return true;
@@ -501,6 +560,29 @@ impl<'a> Conn<'a> {
         progress
     }
 
+    /// Fold one finished stream's decoder counters into the registry —
+    /// the hot path never touches an atomic per record; the decoder's
+    /// existing local counters are harvested once per stream here.
+    fn harvest_stream(metrics: &Metrics, stats: &StreamStats) {
+        metrics.add(Counter::DecoderRecords, stats.records);
+        metrics.add(Counter::DecoderCompactions, stats.compactions);
+        metrics.add(Counter::DecoderResyncBytes, stats.resync_bytes);
+        metrics.add(Counter::DecoderCorruptSkipped, stats.corrupt_skipped);
+        metrics.add(Counter::DecoderUnknownSkipped, stats.unknown_skipped);
+    }
+
+    /// Fold one analyzer's outcome into the registry. Window closes are
+    /// only counted for the windowed analyzer — the unwindowed one
+    /// "closes" a single whole-stream pseudo-window that is not a
+    /// timeline event.
+    fn harvest_analyzer(metrics: &Metrics, outcome: &OnlineOutcome, windowed: bool) {
+        metrics.add(Counter::AnalyzerPoolHits, outcome.pool_hits);
+        metrics.add(Counter::AnalyzerPoolMisses, outcome.pool_misses);
+        if windowed {
+            metrics.add(Counter::AnalyzerWindowCloses, outcome.windows_closed as u64);
+        }
+    }
+
     /// End of stream: close the analyzers and hand everything to the
     /// shard writer via [`ConnState::Commit`].
     fn finish_ingest(&mut self, ctx: &WorkerCtx<'a>) {
@@ -514,21 +596,40 @@ impl<'a> Conn<'a> {
             windowed,
             mut pending_windows,
             windows_flushed,
+            parked: _,
         } = *ingest;
-        if let Err(e) = decoder.finish() {
-            // Already-flushed timeline windows remain (that is the point
-            // of flush-as-you-go); the counts frame is never written, so
-            // the aggregate cannot see a partial recording.
-            self.respond_err(&format!("perf stream: {e}"));
-            return;
+        let metrics = ctx.metrics().clone();
+        // Read the counters before `finish` consumes the decoder, so a
+        // stream that fails its end-of-stream verdict still accounts for
+        // everything it decoded (only `dropped_tail_bytes` is settled by
+        // `finish`, and that is a resilient-mode field unused here).
+        let partial = decoder.stats().clone();
+        match decoder.finish() {
+            Ok(stats) => Self::harvest_stream(&metrics, &stats),
+            Err(e) => {
+                // Already-flushed timeline windows remain (that is the
+                // point of flush-as-you-go); the counts frame is never
+                // written, so the aggregate cannot see a partial
+                // recording. The registry still accounts for the work.
+                Self::harvest_stream(&metrics, &partial);
+                Self::harvest_analyzer(&metrics, &whole.finish(), false);
+                if let Some(w) = windowed {
+                    Self::harvest_analyzer(&metrics, &w.finish(), true);
+                }
+                self.respond_err(&format!("perf stream: {e}"));
+                return;
+            }
         }
         let outcome = whole.finish();
+        Self::harvest_analyzer(&metrics, &outcome, false);
         let records = outcome.records_seen;
         let samples = outcome.samples_seen;
         let mut windows = outcome.windows;
         let whole_window = windows.pop().expect("unwindowed run emits one window");
         if let Some(w) = windowed {
-            for closed in w.finish().windows {
+            let windowed_outcome = w.finish();
+            Self::harvest_analyzer(&metrics, &windowed_outcome, true);
+            for closed in windowed_outcome.windows {
                 pending_windows.push(WindowRecord {
                     source,
                     index: closed.index as u32,
@@ -568,7 +669,7 @@ impl<'a> Conn<'a> {
         if !commit.windows.is_empty() {
             let batch = std::mem::take(&mut commit.windows);
             let n = batch.len() as u32;
-            match ctx.shards[commit.shard].try_send(WriterMsg::Windows(batch)) {
+            match ctx.try_send_shard(commit.shard, WriterMsg::Windows(batch)) {
                 Ok(()) => {
                     commit.windows_flushed += n;
                     progress = true;
@@ -586,13 +687,16 @@ impl<'a> Conn<'a> {
         }
         if let Some((source, ebs, lbr, bbec)) = commit.counts.take() {
             let (tx, rx) = std::sync::mpsc::channel();
-            match ctx.shards[commit.shard].try_send(WriterMsg::Counts {
-                source,
-                ebs_samples: ebs,
-                lbr_samples: lbr,
-                bbec,
-                reply: tx,
-            }) {
+            match ctx.try_send_shard(
+                commit.shard,
+                WriterMsg::Counts {
+                    source,
+                    ebs_samples: ebs,
+                    lbr_samples: lbr,
+                    bbec,
+                    reply: tx,
+                },
+            ) {
                 Ok(()) => {
                     commit.rx = Some(rx);
                     progress = true;
@@ -748,12 +852,23 @@ impl<'a> Conn<'a> {
             return true;
         }
         if got.len() == *want {
+            let m = ctx.metrics();
             let mut stats = DaemonStats {
                 shards: ctx.shards.len() as u32,
                 counts_frames: 0,
                 window_frames: 0,
                 sources: 0,
                 store_bytes: 0,
+                parked_connections: m.gauge_value(Gauge::WorkerParkedConnections, 0).0 as u32,
+                writer_queues: (0..ctx.shards.len())
+                    .map(|i| {
+                        let (current, high_water) = m.gauge_value(Gauge::WriterQueueDepth, i);
+                        ShardQueueDepth {
+                            current: current as u32,
+                            high_water: high_water as u32,
+                        }
+                    })
+                    .collect(),
             };
             let mut sources: Vec<u32> = Vec::new();
             for shard in got.drain(..) {
@@ -839,6 +954,34 @@ impl<'a> Conn<'a> {
     }
 }
 
+/// Ticks between flushes of a worker's locally batched tick counters
+/// into the registry — the poll loop never pays an atomic per tick.
+const TICK_FLUSH_EVERY: u64 = 1024;
+
+/// Connection-scan ticks between `worker.tick_scan_us` observations
+/// (must divide [`TICK_FLUSH_EVERY`] so the sampling phase survives
+/// tick-counter resets).
+const SCAN_SAMPLE_EVERY: u64 = 64;
+
+/// A worker's locally batched tick counters (flushed every
+/// [`TICK_FLUSH_EVERY`] ticks and at exit, so an idle-spinning pool
+/// costs the registry nothing per tick).
+#[derive(Default)]
+struct TickCounters {
+    ticks: u64,
+    conn_ticks: u64,
+    sleeps: u64,
+}
+
+impl TickCounters {
+    fn flush(&mut self, metrics: &Metrics) {
+        metrics.add(Counter::WorkerTicks, self.ticks);
+        metrics.add(Counter::WorkerConnTicks, self.conn_ticks);
+        metrics.add(Counter::WorkerSleeps, self.sleeps);
+        *self = TickCounters::default();
+    }
+}
+
 /// One worker: adopt connections from the inbox, tick them all, sleep
 /// when idle, drain on shutdown.
 pub(crate) fn worker_loop(
@@ -851,22 +994,24 @@ pub(crate) fn worker_loop(
         shared,
         shards: &shards,
     };
+    let metrics = shared.metrics.clone();
     let mut conns: Vec<Conn<'_>> = Vec::new();
     let mut scratch = vec![0u8; READ_BUDGET];
     let mut draining = false;
     let mut idle_ticks = 0u32;
-    let stats = std::env::var("HBBP_WORKER_STATS").is_ok();
-    let mut n_ticks = 0u64;
-    let mut n_conn_ticks = 0u64;
-    let mut n_sleeps = 0u64;
+    let mut tallies = TickCounters::default();
     loop {
-        n_ticks += 1;
+        tallies.ticks += 1;
+        if tallies.ticks >= TICK_FLUSH_EVERY {
+            tallies.flush(&metrics);
+        }
         let mut progress = false;
         if !draining {
             loop {
                 match inbox.try_recv() {
                     Ok(stream) => {
                         conns.push(Conn::new(stream));
+                        metrics.gauge_inc(Gauge::WorkerConnections);
                         progress = true;
                     }
                     Err(TryRecvError::Empty) => break,
@@ -877,11 +1022,29 @@ pub(crate) fn worker_loop(
                 }
             }
         }
+        // Scan time is sampled 1 tick in 64: a busy pool ticks every
+        // microsecond or so, and paying two clock reads plus a shared
+        // histogram cache line per tick per worker is measurable at
+        // that rate. Busy-tick durations vary slowly, so the sampled
+        // distribution stays representative.
+        let scan_start =
+            (!conns.is_empty() && tallies.ticks % SCAN_SAMPLE_EVERY == 0 && metrics.enabled())
+                .then(Instant::now);
         for conn in &mut conns {
-            n_conn_ticks += 1;
+            tallies.conn_ticks += 1;
             progress |= conn.tick(&ctx, &mut scratch);
         }
+        if let Some(start) = scan_start {
+            metrics.observe(
+                Histogram::WorkerTickScanUs,
+                start.elapsed().as_micros() as u64,
+            );
+        }
+        let before = conns.len();
         conns.retain(|c| !c.done());
+        for _ in conns.len()..before {
+            metrics.gauge_dec(Gauge::WorkerConnections);
+        }
         if draining {
             if conns.is_empty() {
                 break;
@@ -899,13 +1062,127 @@ pub(crate) fn worker_loop(
             }
         }
         if !progress {
-            n_sleeps += 1;
+            tallies.sleeps += 1;
             std::thread::sleep(IDLE_SLEEP);
         }
     }
-    if stats {
-        eprintln!("worker stats: ticks={n_ticks} conn_ticks={n_conn_ticks} sleeps={n_sleeps}");
+    // Force-dropped stragglers: settle the gauges they still hold so a
+    // restart-free observer never sees phantom connections.
+    for conn in &conns {
+        metrics.gauge_dec(Gauge::WorkerConnections);
+        if let ConnState::Ingest(i) = &conn.state {
+            if i.parked {
+                metrics.gauge_dec(Gauge::WorkerParkedConnections);
+            }
+        }
     }
+    tallies.flush(&metrics);
     // `shards` drops here: when the last worker exits, the writers see
     // their queues disconnect, commit their tails, and exit.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbbp_core::{Analyzer, HybridRule, SamplingPeriods, Window};
+    use hbbp_program::{ImageView, MnemonicMix};
+    use hbbp_workloads::{phased_client, Scale};
+    use std::net::TcpListener;
+    use std::sync::atomic::AtomicBool;
+
+    fn window_record(index: u32) -> WindowRecord {
+        WindowRecord {
+            source: 0,
+            index,
+            start_cycles: 0,
+            end_cycles: 0,
+            ebs_samples: 0,
+            lbr_samples: 0,
+            mix: MnemonicMix::new(),
+        }
+    }
+
+    /// Backpressure parking is observable, and each transition counts
+    /// exactly once: a connection over [`WINDOW_HIGH_WATER`] against a
+    /// full shard queue parks (counter +1, gauge up) and stays parked
+    /// across further ticks without re-counting; draining the queue
+    /// unparks it symmetrically.
+    #[test]
+    fn park_unpark_transitions_count_exactly_once() {
+        let w = phased_client(Scale::Tiny, 0);
+        let analyzer = Analyzer::from_images(&w.images(ImageView::Disk), w.layout().symbols())
+            .expect("discovery");
+        let metrics = Metrics::new(1);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let shared = Shared {
+            analyzer,
+            periods: SamplingPeriods {
+                ebs: 1009,
+                lbr: 211,
+            },
+            rule: HybridRule::paper_default(),
+            window: Some(Window::Samples(64)),
+            addr,
+            shutdown: AtomicBool::new(false),
+            metrics: metrics.clone(),
+        };
+        // One shard, one queue slot, pre-stuffed: every flush sees Full
+        // until the test drains the receiver.
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        tx.send(WriterMsg::Windows(Vec::new()))
+            .expect("stuff queue");
+        let shards = vec![tx];
+        let ctx = WorkerCtx {
+            shared: &shared,
+            shards: &shards,
+        };
+
+        // Keep the client end alive so reads yield WouldBlock, not EOF.
+        let _client = TcpStream::connect(addr).expect("connect");
+        let (stream, _) = listener.accept().expect("accept");
+        stream.set_nonblocking(true).expect("nonblocking");
+        let mut conn = Conn::new(stream);
+        conn.state = ConnState::Ingest(Box::new(Ingest {
+            source: 0,
+            decoder: StreamDecoder::new(),
+            whole: OnlineAnalyzer::new(&shared.analyzer, shared.periods, shared.rule.clone()),
+            windowed: None,
+            pending_windows: (0..WINDOW_HIGH_WATER as u32).map(window_record).collect(),
+            windows_flushed: 0,
+            parked: false,
+        }));
+        let mut scratch = vec![0u8; READ_BUDGET];
+
+        conn.tick(&ctx, &mut scratch);
+        assert_eq!(metrics.counter_value(Counter::WorkerParks), 1, "parked");
+        assert_eq!(metrics.counter_value(Counter::WorkerUnparks), 0);
+        assert_eq!(
+            metrics.gauge_value(Gauge::WorkerParkedConnections, 0),
+            (1, 1)
+        );
+
+        // Still over the high-water mark: no re-count.
+        conn.tick(&ctx, &mut scratch);
+        assert_eq!(metrics.counter_value(Counter::WorkerParks), 1);
+        assert_eq!(metrics.counter_value(Counter::WorkerUnparks), 0);
+
+        // Drain the stuffed message; the next flush succeeds and the
+        // connection unparks.
+        drop(rx.recv().expect("drain stuffed message"));
+        conn.tick(&ctx, &mut scratch);
+        assert_eq!(metrics.counter_value(Counter::WorkerParks), 1);
+        assert_eq!(metrics.counter_value(Counter::WorkerUnparks), 1, "unparked");
+        assert_eq!(
+            metrics.gauge_value(Gauge::WorkerParkedConnections, 0),
+            (0, 1),
+            "gauge settled, high-water remembers the park"
+        );
+        // The accepted flush raised the queue-depth gauge in step.
+        assert_eq!(metrics.gauge_value(Gauge::WriterQueueDepth, 0), (1, 1));
+        match rx.recv().expect("flushed batch") {
+            WriterMsg::Windows(batch) => assert_eq!(batch.len(), WINDOW_HIGH_WATER),
+            _ => panic!("expected the window batch"),
+        }
+    }
 }

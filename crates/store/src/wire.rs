@@ -48,6 +48,11 @@ pub const OP_EPOCHS: u8 = 6;
 /// `epoch_b`, `k`, all u32). The reply reuses the `MIX` encoding with
 /// **signed** `current − baseline` deltas as the `f64` bits.
 pub const OP_DRIFT: u8 = 7;
+/// Query the daemon's self-observability metrics: a full snapshot of the
+/// lock-free registry (counters, gauges with high-water marks, log2
+/// histograms) covering the acceptor, workers, writers and the streaming
+/// decode/analyze hot path.
+pub const OP_METRICS: u8 = 8;
 /// Stop accepting connections and shut down.
 pub const OP_SHUTDOWN: u8 = 255;
 
@@ -61,6 +66,9 @@ pub const RESP_MIX: u8 = 102;
 pub const RESP_STATS: u8 = 104;
 /// Reply to [`OP_EPOCHS`]: per-epoch accounting entries.
 pub const RESP_EPOCHS: u8 = 105;
+/// Reply to [`OP_METRICS`]: a self-describing
+/// [`hbbp_obs::Snapshot`] encoding.
+pub const RESP_METRICS: u8 = 106;
 /// The daemon rejected the operation; payload is a message string.
 pub const RESP_ERR: u8 = 199;
 
@@ -140,6 +148,13 @@ pub const PROTOCOL_OPS: &[OpSpec] = &[
         summary: "top-k mix movers a -> b (signed deltas)",
     },
     OpSpec {
+        code: OP_METRICS,
+        name: "METRICS",
+        request: "empty",
+        reply: "METRICS",
+        summary: "self-observability registry snapshot",
+    },
+    OpSpec {
         code: OP_SHUTDOWN,
         name: "SHUTDOWN",
         request: "empty",
@@ -165,12 +180,18 @@ pub const PROTOCOL_REPLIES: &[(u8, &str, &str)] = &[
     (
         RESP_STATS,
         "STATS",
-        "shards u32, counts_frames u64, window_frames u64, sources u32, store_bytes u64 (all LE)",
+        "shards u32, counts_frames u64, window_frames u64, sources u32, store_bytes u64, \
+         parked_conns u32, n u32, then n x (queue_depth u32, queue_high_water u32) (all LE)",
     ),
     (
         RESP_EPOCHS,
         "EPOCHS",
         "n u32, then n x (epoch u32, counts_frames u32, ebs_samples u64, lbr_samples u64) (all LE)",
+    ),
+    (
+        RESP_METRICS,
+        "METRICS",
+        "self-describing metrics snapshot (see docs/OBSERVABILITY.md)",
     ),
     (RESP_ERR, "ERR", "UTF-8 error message"),
 ];
@@ -334,8 +355,17 @@ pub struct IngestReply {
     pub counts_seq: u32,
 }
 
+/// One shard's writer-queue occupancy, as reported by [`OP_STATS`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardQueueDepth {
+    /// Messages currently queued for the shard's writer thread.
+    pub current: u32,
+    /// Deepest the queue has ever been.
+    pub high_water: u32,
+}
+
 /// Daemon/store statistics ([`OP_STATS`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DaemonStats {
     /// Store partitions (shards).
     pub shards: u32,
@@ -347,6 +377,12 @@ pub struct DaemonStats {
     pub sources: u32,
     /// Total bytes across all partition logs.
     pub store_bytes: u64,
+    /// Connections currently parked on writer-queue backpressure (see
+    /// `docs/DAEMON.md`); zero when the daemon runs without metrics.
+    pub parked_connections: u32,
+    /// Per-shard writer queue occupancy, one entry per shard in shard
+    /// order; zeros when the daemon runs without metrics.
+    pub writer_queues: Vec<ShardQueueDepth>,
 }
 
 pub(crate) fn encode_ingest(reply: &IngestReply) -> Vec<u8> {
@@ -399,6 +435,12 @@ pub(crate) fn encode_stats(stats: &DaemonStats) -> Vec<u8> {
     buf.put_u64_le(stats.window_frames);
     buf.put_u32_le(stats.sources);
     buf.put_u64_le(stats.store_bytes);
+    buf.put_u32_le(stats.parked_connections);
+    buf.put_u32_le(stats.writer_queues.len() as u32);
+    for q in &stats.writer_queues {
+        buf.put_u32_le(q.current);
+        buf.put_u32_le(q.high_water);
+    }
     buf.to_vec()
 }
 
@@ -584,16 +626,41 @@ impl StoreClient {
         let (op, payload) = self.request(OP_STATS, &[])?;
         self.expect(op, RESP_STATS)?;
         let p = &mut payload.as_slice();
-        if p.remaining() < 32 {
+        if p.remaining() < 40 {
             return Err(WireError::Protocol("stats reply too short".into()));
         }
-        Ok(DaemonStats {
+        let mut stats = DaemonStats {
             shards: p.get_u32_le(),
             counts_frames: p.get_u64_le(),
             window_frames: p.get_u64_le(),
             sources: p.get_u32_le(),
             store_bytes: p.get_u64_le(),
-        })
+            parked_connections: p.get_u32_le(),
+            writer_queues: Vec::new(),
+        };
+        let n = p.get_u32_le() as usize;
+        if p.remaining() < n * 8 {
+            return Err(WireError::Protocol("stats queue entries cut short".into()));
+        }
+        for _ in 0..n {
+            stats.writer_queues.push(ShardQueueDepth {
+                current: p.get_u32_le(),
+                high_water: p.get_u32_le(),
+            });
+        }
+        Ok(stats)
+    }
+
+    /// The daemon's full self-observability snapshot ([`OP_METRICS`]).
+    ///
+    /// # Errors
+    ///
+    /// Socket failures, protocol violations (including a malformed
+    /// snapshot payload), or a daemon-side rejection.
+    pub fn query_metrics(&self) -> Result<hbbp_obs::Snapshot, WireError> {
+        let (op, payload) = self.request(OP_METRICS, &[])?;
+        self.expect(op, RESP_METRICS)?;
+        hbbp_obs::Snapshot::decode(&payload).map_err(|e| WireError::Protocol(e.to_string()))
     }
 
     /// Ask every partition to compact its log.

@@ -20,8 +20,10 @@
 
 use crate::frame::WindowRecord;
 use crate::store::{ProfileStore, Snapshot};
+use hbbp_obs::{Counter, Gauge, Histogram, Metrics};
 use hbbp_program::Bbec;
 use std::sync::mpsc::{Receiver, Sender};
+use std::time::Instant;
 
 /// Messages a shard writer consumes, in arrival order.
 pub(crate) enum WriterMsg {
@@ -70,10 +72,17 @@ const MAX_BATCH: usize = 512;
 
 /// The shard writer: drain the queue, apply appends deferred, group
 /// commit, release replies. Runs until every sender is dropped.
-pub(crate) fn writer_loop(mut store: ProfileStore, rx: Receiver<WriterMsg>) {
+pub(crate) fn writer_loop(
+    mut store: ProfileStore,
+    rx: Receiver<WriterMsg>,
+    metrics: Metrics,
+    shard: usize,
+) {
     // Ingest replies withheld until the commit that makes them true.
     let mut uncommitted: Vec<(Sender<Result<u32, String>>, u32)> = Vec::new();
     let mut batch: Vec<WriterMsg> = Vec::new();
+    // Deferred appends are pending (the commit will actually write).
+    let mut dirty = false;
     while let Ok(first) = rx.recv() {
         batch.push(first);
         while batch.len() < MAX_BATCH {
@@ -82,9 +91,17 @@ pub(crate) fn writer_loop(mut store: ProfileStore, rx: Receiver<WriterMsg>) {
                 Err(_) => break,
             }
         }
+        // The sending worker raised the queue-depth gauge per message;
+        // lower it as the batch leaves the queue.
+        for _ in 0..batch.len() {
+            metrics.gauge_shard_dec(Gauge::WriterQueueDepth, shard);
+        }
+        metrics.observe(Histogram::WriterBatchMessages, batch.len() as u64);
         for msg in batch.drain(..) {
             match msg {
                 WriterMsg::Windows(records) => {
+                    metrics.add(Counter::WriterWindowsAppended, records.len() as u64);
+                    dirty = true;
                     for w in records {
                         // Cannot fail: the store was opened with an
                         // identity; I/O is deferred to the commit.
@@ -98,17 +115,21 @@ pub(crate) fn writer_loop(mut store: ProfileStore, rx: Receiver<WriterMsg>) {
                     bbec,
                     reply,
                 } => match store.append_counts_deferred(source, ebs_samples, lbr_samples, bbec) {
-                    Ok(seq) => uncommitted.push((reply, seq)),
+                    Ok(seq) => {
+                        metrics.inc(Counter::WriterCountsAppended);
+                        dirty = true;
+                        uncommitted.push((reply, seq));
+                    }
                     Err(e) => {
                         let _ = reply.send(Err(e.to_string()));
                     }
                 },
                 WriterMsg::Snapshot(shard, reply) => {
-                    commit(&mut store, &mut uncommitted);
+                    commit(&mut store, &mut uncommitted, &metrics, &mut dirty);
                     let _ = reply.send((shard, store.snapshot()));
                 }
                 WriterMsg::Stats(reply) => {
-                    commit(&mut store, &mut uncommitted);
+                    commit(&mut store, &mut uncommitted, &metrics, &mut dirty);
                     let _ = reply.send(ShardStats {
                         counts_frames: store.counts().len() as u64,
                         window_frames: store.windows().len() as u64,
@@ -117,22 +138,46 @@ pub(crate) fn writer_loop(mut store: ProfileStore, rx: Receiver<WriterMsg>) {
                     });
                 }
                 WriterMsg::Compact(reply) => {
-                    commit(&mut store, &mut uncommitted);
+                    commit(&mut store, &mut uncommitted, &metrics, &mut dirty);
                     let _ = reply.send(store.compact().map_err(|e| e.to_string()));
                 }
             }
         }
         // Group commit: one file write for every append in the batch,
         // then release the ingest replies it covers.
-        commit(&mut store, &mut uncommitted);
+        commit(&mut store, &mut uncommitted, &metrics, &mut dirty);
     }
     // Drain on shutdown: all senders gone, every queued message already
     // consumed by the loop above — just make sure the tail is written.
     let _ = store.commit();
 }
 
-fn commit(store: &mut ProfileStore, uncommitted: &mut Vec<(Sender<Result<u32, String>>, u32)>) {
-    let result = store.commit().map_err(|e| e.to_string());
+fn commit(
+    store: &mut ProfileStore,
+    uncommitted: &mut Vec<(Sender<Result<u32, String>>, u32)>,
+    metrics: &Metrics,
+    dirty: &mut bool,
+) {
+    let result = if *dirty {
+        *dirty = false;
+        let bytes_before = store.file_bytes();
+        let started = Instant::now();
+        let result = store.commit().map_err(|e| e.to_string());
+        metrics.inc(Counter::WriterCommits);
+        metrics.observe(
+            Histogram::WriterCommitUs,
+            started.elapsed().as_micros() as u64,
+        );
+        metrics.add(
+            Counter::WriterBytesCommitted,
+            store.file_bytes().saturating_sub(bytes_before),
+        );
+        result
+    } else {
+        // Nothing deferred: the commit is a no-op and not worth a
+        // latency observation.
+        store.commit().map_err(|e| e.to_string())
+    };
     for (reply, seq) in uncommitted.drain(..) {
         let _ = reply.send(result.clone().map(|()| seq));
     }

@@ -74,6 +74,7 @@ fn spawn_daemon(dir: &Path, w: &Workload, window: Option<Window>) -> DaemonHandl
         // A tiny queue bound so the backpressure paths (try_send Full,
         // deprioritized reads) actually run.
         queue_depth: 2,
+        metrics: true,
     })
     .expect("daemon")
 }
@@ -240,6 +241,74 @@ fn clients_that_never_read_responses_do_not_stall_the_daemon() {
     // replies (the worker drains or force-drops them).
     handle.shutdown().expect("shutdown with parked connections");
     drop(parked);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn registry_accounts_for_every_frame_under_backpressure() {
+    let dir = tmp_dir("metrics");
+    let clients: Vec<(Workload, Recording)> = (0..4).map(client_recording).collect();
+    // Tiny windows against the 2-slot writer queues: plenty of WINDOW
+    // traffic to exercise the backpressure (and possibly parking) paths.
+    let handle = spawn_daemon(&dir, &clients[0].0, Some(Window::Samples(16)));
+    let metrics = handle.metrics();
+    let client = handle.client();
+
+    std::thread::scope(|scope| {
+        for (source, (_, rec)) in clients.iter().enumerate() {
+            let client = &client;
+            scope.spawn(move || {
+                client
+                    .stream_bytes(source as u32, &hbbp_perf::codec::write(&rec.data))
+                    .expect("stream");
+            });
+        }
+    });
+
+    let stats = client.stats().expect("stats");
+    let snap = client.query_metrics().expect("metrics snapshot");
+    assert!(!snap.is_empty(), "live daemon must expose a snapshot");
+    for family in ["acceptor", "worker", "writer", "decoder", "analyzer"] {
+        assert!(
+            snap.families().contains(&family),
+            "snapshot must cover the {family} family"
+        );
+    }
+
+    // Conservation: the registry agrees with the store's own accounting
+    // frame-for-frame — nothing double-counted, nothing lost.
+    assert_eq!(
+        snap.counter("writer.counts_appended"),
+        Some(stats.counts_frames),
+        "every committed counts frame was counted exactly once"
+    );
+    assert_eq!(
+        snap.counter("writer.windows_appended"),
+        Some(stats.window_frames),
+        "every committed window frame was counted exactly once"
+    );
+    assert!(
+        snap.counter("acceptor.accepts").expect("accepts") >= 4,
+        "the acceptor counted the fleet's connections"
+    );
+
+    // Every park has a matching unpark once all streams completed, and
+    // no phantom parked connection lingers.
+    let parks = metrics.counter_value(hbbp_obs::Counter::WorkerParks);
+    let unparks = metrics.counter_value(hbbp_obs::Counter::WorkerUnparks);
+    assert_eq!(parks, unparks, "completed streams must have unparked");
+    assert_eq!(stats.parked_connections, 0, "no parked connection remains");
+
+    // The writer queues saw real traffic: some shard's depth high-water
+    // is nonzero, and the queues are empty now.
+    assert_eq!(stats.writer_queues.len(), 2);
+    assert!(
+        stats.writer_queues.iter().any(|q| q.high_water >= 1),
+        "window/counts traffic must have queued at least once"
+    );
+    assert!(stats.writer_queues.iter().all(|q| q.current == 0));
+
+    handle.shutdown().expect("shutdown");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -69,6 +69,7 @@ fn drift_reply_is_bit_identical_to_the_offline_fold_diff() {
         dir: dir.clone(),
         workers: 0,
         queue_depth: 0,
+        metrics: false,
     })
     .expect("daemon");
     let client = handle.client();
@@ -179,6 +180,7 @@ fn sealing_advances_idle_shards_in_lockstep() {
         dir: dir.clone(),
         workers: 0,
         queue_depth: 0,
+        metrics: false,
     })
     .expect("daemon");
     let client = handle.client();

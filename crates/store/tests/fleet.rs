@@ -155,6 +155,7 @@ fn daemon_loopback_four_concurrent_clients_bit_identical_aggregate() {
         dir: dir.clone(),
         workers: 0,
         queue_depth: 0,
+        metrics: true,
     })
     .expect("daemon");
     let client = handle.client();
@@ -282,6 +283,7 @@ fn daemon_rejects_garbage_streams_without_storing_anything() {
         dir: dir.clone(),
         workers: 0,
         queue_depth: 0,
+        metrics: true,
     })
     .expect("daemon");
     let client = handle.client();

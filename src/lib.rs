@@ -23,6 +23,7 @@
 //! | [`mltree`] | CART classification trees (scikit stand-in) |
 //! | [`workloads`] | SPEC-like suite, Test40, Fitter, kernel module, … |
 //! | [`core`] | HBBP itself: estimators, hybrid rule, analyzer, training |
+//! | [`obs`] | lock-free self-observability: metrics registry, snapshots, scrape endpoint |
 //! | [`store`] | persistent mergeable profile store + `hbbpd` collection daemon |
 //! | [`cli`] | the `hbbp` command-line driver (record, analyze, serve, query, store, report) |
 //!
@@ -56,6 +57,7 @@ pub use hbbp_core as core;
 pub use hbbp_instrument as instrument;
 pub use hbbp_isa as isa;
 pub use hbbp_mltree as mltree;
+pub use hbbp_obs as obs;
 pub use hbbp_perf as perf;
 pub use hbbp_program as program;
 pub use hbbp_sim as sim;
