@@ -1,0 +1,204 @@
+//! The profile→workload synthesis bench: end-to-end `hbbp synth`
+//! calibration cost on the three pinned fixture targets (an INT-heavy
+//! mix, an SSE-heavy mix, and one window of a phase-varying timeline),
+//! through the same `SynthOptions::execute` path the subcommand runs.
+//!
+//! A run writes `BENCH_synth.json` to the workspace root: per-fixture
+//! convergence facts (achieved total-variation distance, iterations,
+//! unmatchable target share) plus the criterion timings. Set
+//! `SYNTH_BENCH_QUICK=1` for the CI smoke mode (reduced iteration cap;
+//! the JSON records which mode ran). In either mode, the run **fails
+//! with a nonzero exit** if any fixture misses the pinned tolerance —
+//! calibration quality is an invariant, not a trend line.
+
+mod common;
+
+use common::{json_escape, quick_mode, results_block, write_workspace_root};
+use criterion::Criterion;
+use hbbp_cli::record::RecordOptions;
+use hbbp_cli::synth::SynthOptions;
+use std::path::Path;
+
+/// The pinned calibration tolerance (matches the `hbbp synth` default
+/// and the `synth_roundtrip` integration pins).
+const TOLERANCE: f64 = 0.02;
+
+/// Iteration caps: the full cap is the subcommand default; quick mode
+/// halves it and still must converge.
+const FULL_ITERS: usize = 24;
+const QUICK_ITERS: usize = 12;
+
+fn args(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| (*s).to_owned()).collect()
+}
+
+fn record_fixture(workload: &str, scale: &str, path: &Path) {
+    RecordOptions::parse(&args(&[
+        "--workload",
+        workload,
+        "--scale",
+        scale,
+        "--out",
+        path.to_str().unwrap(),
+    ]))
+    .expect("record args")
+    .run()
+    .expect("fixture recording");
+}
+
+struct Fixture {
+    /// Short name used in the bench id and the JSON.
+    key: &'static str,
+    /// What the target is, for the report.
+    desc: &'static str,
+    argv: Vec<String>,
+}
+
+struct Outcome {
+    key: &'static str,
+    desc: &'static str,
+    converged: bool,
+    distance: f64,
+    iterations: usize,
+    unmatchable: f64,
+    target_mnemonics: usize,
+}
+
+fn build_fixtures(tmp: &Path) -> Vec<Fixture> {
+    let int_rec = tmp.join("int.bin");
+    let sse_rec = tmp.join("sse.bin");
+    let phased_rec = tmp.join("phased.bin");
+    record_fixture("test40", "tiny", &int_rec);
+    record_fixture("fitter-sse", "tiny", &sse_rec);
+    record_fixture("phased", "small", &phased_rec);
+    vec![
+        Fixture {
+            key: "int-heavy",
+            desc: "test40 (tiny) whole-run mix",
+            argv: args(&[
+                "--recording",
+                int_rec.to_str().unwrap(),
+                "--workload",
+                "test40",
+                "--scale",
+                "tiny",
+            ]),
+        },
+        Fixture {
+            key: "sse-heavy",
+            desc: "fitter-sse (tiny) whole-run mix",
+            argv: args(&[
+                "--recording",
+                sse_rec.to_str().unwrap(),
+                "--workload",
+                "fitter-sse",
+                "--scale",
+                "tiny",
+            ]),
+        },
+        Fixture {
+            key: "phase-window",
+            desc: "phased (small) timeline window 1 of samples:256",
+            argv: args(&[
+                "--recording",
+                phased_rec.to_str().unwrap(),
+                "--workload",
+                "phased",
+                "--scale",
+                "small",
+                "--window",
+                "1",
+                "--window-size",
+                "samples:256",
+            ]),
+        },
+    ]
+}
+
+fn emit_json(c: &Criterion, quick: bool, max_iters: usize, outcomes: &[Outcome]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"synth\",\n");
+    out.push_str("  \"suite\": \"profile -> calibrated workload (3 fixture targets)\",\n");
+    out.push_str(&format!("  \"quick_mode\": {quick},\n"));
+    out.push_str(&format!(
+        "  \"pin\": {{ \"tolerance\": {TOLERANCE}, \"max_iters\": {max_iters} }},\n"
+    ));
+    out.push_str("  \"fixtures\": [\n");
+    let rows: Vec<String> = outcomes
+        .iter()
+        .map(|o| {
+            format!(
+                "    {{ \"key\": \"{}\", \"target\": \"{}\", \"converged\": {}, \
+                 \"distance\": {:.6}, \"iterations\": {}, \"unmatchable\": {:.6}, \
+                 \"target_mnemonics\": {} }}",
+                json_escape(o.key),
+                json_escape(o.desc),
+                o.converged,
+                o.distance,
+                o.iterations,
+                o.unmatchable,
+                o.target_mnemonics
+            )
+        })
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ],\n");
+    out.push_str(&results_block(c));
+    out.push_str("\n}\n");
+    out
+}
+
+fn main() {
+    let quick = quick_mode("SYNTH_BENCH_QUICK");
+    let max_iters = if quick { QUICK_ITERS } else { FULL_ITERS };
+    let tmp = std::env::temp_dir().join(format!("hbbp-synth-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&tmp).expect("tmp dir");
+    let fixtures = build_fixtures(&tmp);
+
+    let mut criterion = Criterion::default();
+    let mut outcomes = Vec::new();
+    for fixture in &fixtures {
+        let mut argv = fixture.argv.clone();
+        argv.extend(args(&["--max-iters", &max_iters.to_string()]));
+        let opts = SynthOptions::parse(&argv).expect("synth args");
+        let (target, desc, cal) = opts.execute().expect("calibration runs");
+        println!(
+            "{}: {} -> distance {:.4} in {} iters (converged: {})",
+            fixture.key, desc, cal.distance, cal.iterations, cal.converged
+        );
+        outcomes.push(Outcome {
+            key: fixture.key,
+            desc: fixture.desc,
+            converged: cal.converged,
+            distance: cal.distance,
+            iterations: cal.iterations,
+            unmatchable: cal.unmatchable,
+            target_mnemonics: target.len(),
+        });
+        criterion.bench_function(&format!("synth/calibrate/{}", fixture.key), |b| {
+            b.iter(|| opts.execute().expect("calibration runs"));
+        });
+    }
+
+    let json = emit_json(&criterion, quick, max_iters, &outcomes);
+    write_workspace_root("BENCH_synth.json", &json);
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    // The tolerance pin: a calibrator that stops converging on any
+    // fixture is a regression, whatever the timings say.
+    let misses: Vec<&Outcome> = outcomes
+        .iter()
+        .filter(|o| !o.converged || o.distance > TOLERANCE)
+        .collect();
+    if !misses.is_empty() {
+        for o in misses {
+            eprintln!(
+                "{}: distance {:.4} exceeds the pinned tolerance {TOLERANCE} \
+                 (converged: {}, iterations: {})",
+                o.key, o.distance, o.converged, o.iterations
+            );
+        }
+        std::process::exit(1);
+    }
+}

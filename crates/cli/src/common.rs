@@ -12,20 +12,24 @@ use hbbp_workloads::{Scale, Workload};
 /// The exact error wording is pinned by the table-driven tests in
 /// `tests/cli_args.rs`.
 pub fn parse_window(value: &str) -> Result<Window, CliError> {
+    parse_window_flag("--window", value)
+}
+
+/// [`parse_window`] under a different flag name (`hbbp synth` calls the
+/// same grammar `--window-size`; its `--window` is a timeline index).
+pub fn parse_window_flag(flag: &str, value: &str) -> Result<Window, CliError> {
     let expected = "samples:<n> or cycles:<n> with n > 0";
     let Some((kind, n)) = value.split_once(':') else {
-        return Err(invalid("--window", value, expected));
+        return Err(invalid(flag, value, expected));
     };
-    let n: u64 = n
-        .parse()
-        .map_err(|_| invalid("--window", value, expected))?;
+    let n: u64 = n.parse().map_err(|_| invalid(flag, value, expected))?;
     if n == 0 {
-        return Err(invalid("--window", value, expected));
+        return Err(invalid(flag, value, expected));
     }
     match kind {
         "samples" => Ok(Window::Samples(n)),
         "cycles" => Ok(Window::TimeCycles(n)),
-        _ => Err(invalid("--window", value, expected)),
+        _ => Err(invalid(flag, value, expected)),
     }
 }
 

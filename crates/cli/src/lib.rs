@@ -17,7 +17,10 @@
 //! * [`report`] — mix tables and per-window timelines from recordings or
 //!   store segments, as text, JSON or CSV ([`render`]);
 //! * [`watch`] — tail a recording through the windowed analyzer and flag
-//!   mix divergence from a stored baseline epoch ([`hbbp_core::MixDrift`]).
+//!   mix divergence from a stored baseline epoch ([`hbbp_core::MixDrift`]);
+//! * [`synth`] — compile a target mix (recording, store segment, or live
+//!   daemon) into a calibrated synthetic workload
+//!   ([`hbbp_workloads::calibrate`]), emitted as a reproducible spec.
 //!
 //! Every subcommand is a thin, testable library type (`XxxOptions::parse`
 //! plus `run`) with the binary as a shim; the flag grammar lives in
@@ -47,6 +50,7 @@ pub mod render;
 pub mod report;
 pub mod serve;
 pub mod store_cmd;
+pub mod synth;
 pub mod watch;
 
 use args::CliError;
@@ -67,6 +71,7 @@ pub fn main_usage() -> String {
      \x20 store     offline store maintenance: stats | merge | compact\n\
      \x20 report    mix table or window timeline from a recording or store\n\
      \x20 watch     flag mix drift of a recording against a stored baseline\n\
+     \x20 synth     compile a target mix into a calibrated synthetic workload\n\
      \x20 help      this text\n"
         .to_owned()
 }
@@ -81,6 +86,7 @@ pub fn usage_for(command: &str) -> Option<String> {
         "store" => store_cmd::usage(),
         "report" => report::usage(),
         "watch" => watch::usage(),
+        "synth" => synth::usage(),
         _ => return None,
     })
 }
@@ -96,6 +102,7 @@ pub fn run_command(command: &str, args: &[String]) -> Result<Option<String>, Cli
         "store" => store_cmd::StoreOptions::parse(args)?.run().map(Some),
         "report" => report::ReportOptions::parse(args)?.run().map(Some),
         "watch" => watch::WatchOptions::parse(args)?.run().map(Some),
+        "synth" => synth::SynthOptions::parse(args)?.run().map(Some),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
 }
@@ -158,7 +165,7 @@ pub fn cli_reference() -> String {
     out.push_str(&main_usage());
     out.push_str("```\n");
     for cmd in [
-        "record", "analyze", "serve", "query", "store", "report", "watch",
+        "record", "analyze", "serve", "query", "store", "report", "watch", "synth",
     ] {
         out.push_str(&format!("\n## `hbbp {cmd}`\n\n```text\n"));
         out.push_str(&usage_for(cmd).expect("known command"));
@@ -177,7 +184,7 @@ mod tests {
     #[test]
     fn every_command_has_usage() {
         for cmd in [
-            "record", "analyze", "serve", "query", "store", "report", "watch",
+            "record", "analyze", "serve", "query", "store", "report", "watch", "synth",
         ] {
             let usage = usage_for(cmd).unwrap();
             assert!(usage.starts_with("usage:"), "{cmd}");
@@ -196,7 +203,7 @@ mod tests {
     fn reference_covers_all_commands() {
         let reference = cli_reference();
         for cmd in [
-            "record", "analyze", "serve", "query", "store", "report", "watch",
+            "record", "analyze", "serve", "query", "store", "report", "watch", "synth",
         ] {
             assert!(reference.contains(&format!("## `hbbp {cmd}`")));
         }

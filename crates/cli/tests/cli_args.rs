@@ -4,7 +4,7 @@
 //! socket-address cases.
 
 use hbbp_cli::args::CliError;
-use hbbp_cli::{analyze, query, record, report, serve, store_cmd, watch};
+use hbbp_cli::{analyze, query, record, report, serve, store_cmd, synth, watch};
 
 /// What a parse attempt should produce.
 enum Want {
@@ -32,6 +32,7 @@ fn parse(command: &str, args: &[&str]) -> Result<(), CliError> {
         "store" => store_cmd::StoreOptions::parse(&args).map(|_| ()),
         "report" => report::ReportOptions::parse(&args).map(|_| ()),
         "watch" => watch::WatchOptions::parse(&args).map(|_| ()),
+        "synth" => synth::SynthOptions::parse(&args).map(|_| ()),
         other => panic!("unknown command {other}"),
     }
 }
@@ -563,6 +564,126 @@ const MATRIX: &[Case] = &[
     },
     Case {
         command: "watch",
+        args: &["--help"],
+        want: Want::Help,
+    },
+    // ---- synth ----
+    Case {
+        command: "synth",
+        args: &["--store", "s.hbbp"],
+        want: Want::Ok,
+    },
+    Case {
+        command: "synth",
+        args: &[
+            "--store",
+            "s.hbbp",
+            "--epoch",
+            "2",
+            "--tolerance",
+            "0.05",
+            "--max-iters",
+            "8",
+            "--seed",
+            "7",
+            "--cpu-seed",
+            "11",
+            "--blocks",
+            "48",
+            "--dynamic",
+            "200000",
+            "--name",
+            "int-heavy",
+            "--out",
+            "spec.json",
+            "--format",
+            "json",
+            "--rule",
+            "cutoff=12",
+        ],
+        want: Want::Ok,
+    },
+    Case {
+        command: "synth",
+        args: &["--recording", "p.bin", "--window", "3", "--window-size", "samples:256"],
+        want: Want::Ok,
+    },
+    Case {
+        command: "synth",
+        args: &["--store", "s.hbbp", "--window", "0"],
+        want: Want::Ok,
+    },
+    Case {
+        command: "synth",
+        args: &["--addr", "127.0.0.1:4000"],
+        want: Want::Ok,
+    },
+    Case {
+        command: "synth",
+        args: &[],
+        want: Want::Err(
+            "synth needs exactly one of --recording FILE, --store FILE or --addr ADDR",
+        ),
+    },
+    Case {
+        command: "synth",
+        args: &["--recording", "p.bin", "--store", "s.hbbp"],
+        want: Want::Err("exactly one of"),
+    },
+    Case {
+        command: "synth",
+        args: &["--store", "s.hbbp", "--tolerance", "0"],
+        want: Want::Err("--tolerance must be a divergence in (0, 1]"),
+    },
+    Case {
+        command: "synth",
+        args: &["--store", "s.hbbp", "--tolerance", "1.5"],
+        want: Want::Err("--tolerance must be a divergence in (0, 1]"),
+    },
+    Case {
+        command: "synth",
+        args: &["--store", "s.hbbp", "--tolerance", "lots"],
+        want: Want::Err("invalid value `lots` for --tolerance: expected a divergence in (0, 1]"),
+    },
+    Case {
+        command: "synth",
+        args: &["--store", "s.hbbp", "--max-iters", "0"],
+        want: Want::Err("--max-iters must be > 0"),
+    },
+    Case {
+        command: "synth",
+        args: &["--store", "s.hbbp", "--window", "first"],
+        want: Want::Err("invalid value `first` for --window: expected a window index"),
+    },
+    Case {
+        command: "synth",
+        args: &["--recording", "p.bin", "--window", "0", "--window-size", "samples:0"],
+        want: Want::Err(
+            "invalid value `samples:0` for --window-size: expected samples:<n> or cycles:<n> with n > 0",
+        ),
+    },
+    Case {
+        command: "synth",
+        args: &["--recording", "p.bin", "--epoch", "1"],
+        want: Want::Err("--epoch only applies to a --store target"),
+    },
+    Case {
+        command: "synth",
+        args: &["--addr", "127.0.0.1:4000", "--window", "2"],
+        want: Want::Err("--window needs a --recording or --store target"),
+    },
+    Case {
+        command: "synth",
+        args: &["--store", "s.hbbp", "--epoch", "1", "--window", "2"],
+        want: Want::Err("--epoch and --window are mutually exclusive target selections"),
+    },
+    Case {
+        command: "synth",
+        args: &["--addr", "nowhere"],
+        want: Want::Err("invalid value `nowhere` for --addr: expected a socket address"),
+    },
+    Case {
+        command: "synth",
         args: &["--help"],
         want: Want::Help,
     },

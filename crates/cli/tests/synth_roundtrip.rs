@@ -1,0 +1,356 @@
+//! The `hbbp synth` differential harness: profile → spec → workload →
+//! profile, closed through the same pipeline twice.
+//!
+//! * **Differential round trip** — synthesize from a stored profile,
+//!   replay the synthesized recording through a live daemon, and pin
+//!   the daemon's aggregate **bit-identical** (`f64` bits) to the
+//!   offline `analyze_fused` of the same recording AND within the
+//!   calibration tolerance of the original target.
+//! * **Reproducibility** — the same spec + seed replays to a
+//!   byte-identical recording and bit-identical analysis; the spec JSON
+//!   round-trips losslessly, so a shipped spec needs no re-solving.
+//! * **Convergence fixtures** — an INT-heavy target, an SSE-heavy
+//!   target, and a windowed slice of a phase-varying timeline all
+//!   calibrate to within the pinned tolerance inside the iteration cap.
+//! * **Golden report** — the rendered `hbbp synth` report is pinned
+//!   byte-for-byte (re-bless with
+//!   `BLESS=1 cargo test -p hbbp-cli --test synth_roundtrip`).
+
+use hbbp_cli::record::RecordOptions;
+use hbbp_cli::serve::ServeOptions;
+use hbbp_cli::synth::{analyze_spec_bytes, record_spec, SynthOptions};
+use hbbp_core::Analyzer;
+use hbbp_program::{ImageView, MnemonicMix};
+use hbbp_store::{DaemonConfig, StoreClient, StoreIdentity};
+use hbbp_workloads::{SynthSpec, Workload};
+use std::path::{Path, PathBuf};
+
+/// The pinned calibration tolerance every fixture must reach.
+const TOLERANCE: f64 = 0.02;
+
+fn args(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| (*s).to_owned()).collect()
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let tmp = std::env::temp_dir().join(format!("hbbp-synth-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&tmp).unwrap();
+    tmp
+}
+
+fn assert_mix_bit_identical(got: &MnemonicMix, want: &MnemonicMix, what: &str) {
+    for m in got.union_mnemonics(want) {
+        assert_eq!(
+            got.get(m).to_bits(),
+            want.get(m).to_bits(),
+            "{what}: {m} differs ({} vs {})",
+            got.get(m),
+            want.get(m)
+        );
+    }
+}
+
+/// Record `workload` at `scale` to `path` with the default seeds, so
+/// the synth defaults line up with the recording's.
+fn record_fixture(workload: &str, scale: &str, path: &Path) {
+    RecordOptions::parse(&args(&[
+        "--workload",
+        workload,
+        "--scale",
+        scale,
+        "--out",
+        path.to_str().unwrap(),
+    ]))
+    .unwrap()
+    .run()
+    .unwrap();
+}
+
+/// Build a single-partition profile store under `dir` the production
+/// way: serve `phased` (windowed timeline on), stream one recording in
+/// over the wire, shut down. Returns the partition path.
+fn build_store_fixture(dir: &Path) -> PathBuf {
+    let store_dir = dir.join("store");
+    let serve = ServeOptions::parse(&args(&[
+        "--workload",
+        "phased",
+        "--scale",
+        "tiny",
+        "--shards",
+        "1",
+        "--window",
+        "samples:256",
+        "--dir",
+        store_dir.to_str().unwrap(),
+    ]))
+    .unwrap();
+    let (handle, _banner) = serve.spawn().unwrap();
+    let addr = handle.addr().to_string();
+    RecordOptions::parse(&args(&[
+        "--workload",
+        "phased",
+        "--scale",
+        "tiny",
+        "--daemon",
+        &addr,
+        "--source",
+        "1",
+    ]))
+    .unwrap()
+    .run()
+    .unwrap();
+    handle.shutdown().unwrap();
+    store_dir.join("part-0.hbbp")
+}
+
+/// Spawn a daemon whose analysis engine is built from the *synthesized*
+/// workload, exactly as a fleet deployment of the generated binary
+/// would be served.
+fn spawn_synth_daemon(w: &Workload, dir: &Path) -> hbbp_store::DaemonHandle {
+    let analyzer = Analyzer::from_images(&w.images(ImageView::Disk), w.layout().symbols())
+        .expect("synthesized workload discovers statically");
+    let identity = StoreIdentity::of_workload(w, analyzer.map());
+    hbbp_store::spawn(DaemonConfig {
+        analyzer,
+        identity,
+        periods: hbbp_cli::common::WorkloadOptions::default().periods,
+        rule: hbbp_core::HybridRule::paper_default(),
+        window: None,
+        shards: 1,
+        dir: dir.to_path_buf(),
+        workers: 0,
+        queue_depth: 0,
+        metrics: false,
+    })
+    .expect("synth daemon spawns")
+}
+
+/// Differential round trip (the headline pin): a store-sourced target is
+/// calibrated, the winning spec is recorded once, and that one recording
+/// is analyzed twice — offline (`analyze_fused`) and through a live
+/// daemon (`stream` → `query mix`). The two must agree to the bit, and
+/// both must sit within the calibration tolerance of the target.
+#[test]
+fn store_profile_roundtrips_through_a_live_daemon() {
+    let tmp = tmp_dir("roundtrip");
+    let part = build_store_fixture(&tmp);
+
+    let opts = SynthOptions::parse(&args(&[
+        "--store",
+        part.to_str().unwrap(),
+        "--workload",
+        "phased",
+        "--scale",
+        "tiny",
+    ]))
+    .unwrap();
+    let (target, desc, cal) = opts.execute().unwrap();
+    assert!(desc.contains("aggregate"), "{desc}");
+    assert!(
+        cal.converged && cal.distance <= TOLERANCE,
+        "store-sourced calibration must converge: distance {} after {} iters",
+        cal.distance,
+        cal.iterations
+    );
+
+    // One recording of the calibrated spec, two analyses.
+    let (w, bytes) = record_spec(&cal.spec, opts.workload.periods, opts.cpu_seed).unwrap();
+    let offline = analyze_spec_bytes(&w, &bytes, opts.workload.periods, &opts.rule).unwrap();
+
+    // The offline measurement reproduces the calibration's best distance
+    // bit for bit — the loop's measurements were not noise.
+    assert_eq!(
+        target.tv_distance(&offline).to_bits(),
+        cal.distance.to_bits(),
+        "replayed measurement drifted from the calibration record"
+    );
+
+    let handle = spawn_synth_daemon(&w, &tmp.join("synth-store"));
+    let client = StoreClient::new(handle.addr());
+    let reply = client.stream_bytes(7, &bytes).unwrap();
+    assert!(reply.records > 0 && reply.samples > 0);
+    let daemon_mix = client.query_mix().unwrap();
+    handle.shutdown().unwrap();
+
+    assert_mix_bit_identical(
+        &daemon_mix,
+        &offline,
+        "daemon aggregate vs offline analyze_fused",
+    );
+    assert!(
+        target.tv_distance(&daemon_mix) <= TOLERANCE,
+        "daemon-measured synthetic mix must stay within tolerance of the target"
+    );
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
+/// Reproducibility pin: the calibrated spec is a complete, portable
+/// description. Same spec + seed ⇒ byte-identical recording and
+/// bit-identical analysis; the JSON form round-trips losslessly and
+/// replays to the same measurement without re-solving.
+#[test]
+fn calibrated_spec_replays_byte_identically() {
+    let tmp = tmp_dir("replay");
+    let recording = tmp.join("int.bin");
+    record_fixture("test40", "tiny", &recording);
+
+    let opts = SynthOptions::parse(&args(&[
+        "--recording",
+        recording.to_str().unwrap(),
+        "--workload",
+        "test40",
+        "--scale",
+        "tiny",
+    ]))
+    .unwrap();
+    let (target, _desc, cal) = opts.execute().unwrap();
+
+    let (wa, ba) = record_spec(&cal.spec, opts.workload.periods, opts.cpu_seed).unwrap();
+    let (wb, bb) = record_spec(&cal.spec, opts.workload.periods, opts.cpu_seed).unwrap();
+    assert_eq!(ba, bb, "same spec + seed must record byte-identically");
+    let ma = analyze_spec_bytes(&wa, &ba, opts.workload.periods, &opts.rule).unwrap();
+    let mb = analyze_spec_bytes(&wb, &bb, opts.workload.periods, &opts.rule).unwrap();
+    assert_mix_bit_identical(&ma, &mb, "re-analyzed replays");
+
+    // JSON round trip is lossless, and the decoded spec measures the
+    // same distance bit for bit — no re-solving required.
+    let json = cal.spec.to_json();
+    let decoded = SynthSpec::from_json(&json).unwrap();
+    assert_eq!(decoded, cal.spec);
+    assert_eq!(decoded.to_json(), json);
+    let (wd, bd) = record_spec(&decoded, opts.workload.periods, opts.cpu_seed).unwrap();
+    assert_eq!(bd, ba, "decoded spec must replay the same bytes");
+    let md = analyze_spec_bytes(&wd, &bd, opts.workload.periods, &opts.rule).unwrap();
+    assert_eq!(
+        target.tv_distance(&md).to_bits(),
+        cal.distance.to_bits(),
+        "decoded spec must reproduce the calibrated distance"
+    );
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
+/// Convergence fixtures: three qualitatively different targets — an
+/// INT-heavy mix, an SSE-heavy mix, and one window of a phase-varying
+/// timeline — all calibrate to TV distance <= 0.02 within the default
+/// iteration cap.
+#[test]
+fn fixture_targets_converge_within_tolerance() {
+    let tmp = tmp_dir("fixtures");
+    let int_rec = tmp.join("int.bin");
+    let sse_rec = tmp.join("sse.bin");
+    let phased_rec = tmp.join("phased.bin");
+    record_fixture("test40", "tiny", &int_rec);
+    record_fixture("fitter-sse", "tiny", &sse_rec);
+    // The phase slice needs a timeline with several windows: small scale.
+    record_fixture("phased", "small", &phased_rec);
+
+    let fixtures: [(&str, Vec<String>); 3] = [
+        (
+            "int-heavy (test40)",
+            args(&[
+                "--recording",
+                int_rec.to_str().unwrap(),
+                "--workload",
+                "test40",
+                "--scale",
+                "tiny",
+            ]),
+        ),
+        (
+            "sse-heavy (fitter-sse)",
+            args(&[
+                "--recording",
+                sse_rec.to_str().unwrap(),
+                "--workload",
+                "fitter-sse",
+                "--scale",
+                "tiny",
+            ]),
+        ),
+        (
+            "windowed phase slice (phased, window 1)",
+            args(&[
+                "--recording",
+                phased_rec.to_str().unwrap(),
+                "--workload",
+                "phased",
+                "--scale",
+                "small",
+                "--window",
+                "1",
+                "--window-size",
+                "samples:256",
+            ]),
+        ),
+    ];
+
+    for (label, argv) in fixtures {
+        let opts = SynthOptions::parse(&argv).unwrap();
+        let (target, desc, cal) = opts.execute().unwrap();
+        assert!(
+            cal.converged,
+            "{label}: did not converge (distance {} after {} iters, target {desc})",
+            cal.distance, cal.iterations
+        );
+        assert!(cal.distance <= TOLERANCE, "{label}: {}", cal.distance);
+        assert!(cal.iterations <= opts.max_iters);
+        // The measured mix the calibrator settled on really is the
+        // spec's measurement, not a stale intermediate.
+        assert_eq!(
+            target.tv_distance(&cal.measured).to_bits(),
+            cal.distance.to_bits(),
+            "{label}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
+/// The rendered `hbbp synth` report, golden-pinned: target provenance,
+/// per-iteration solver table, convergence line and spec summary.
+#[test]
+fn synth_report_is_golden_pinned() {
+    let tmp = tmp_dir("golden");
+    let part = build_store_fixture(&tmp);
+    let spec_out = tmp.join("spec.json");
+
+    let report = SynthOptions::parse(&args(&[
+        "--store",
+        part.to_str().unwrap(),
+        "--workload",
+        "phased",
+        "--scale",
+        "tiny",
+        "--out",
+        spec_out.to_str().unwrap(),
+    ]))
+    .unwrap()
+    .run()
+    .unwrap();
+    let normalized = report.replace(tmp.to_str().unwrap(), "<TMP>");
+
+    // The emitted spec file itself round-trips.
+    let text = std::fs::read_to_string(&spec_out).unwrap();
+    let spec = SynthSpec::from_json(&text).unwrap();
+    assert_eq!(spec.to_json(), text);
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/synth_report.txt");
+    if std::env::var("BLESS").is_ok_and(|v| !v.is_empty() && v != "0") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &normalized).unwrap();
+    } else {
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden fixture {} ({e}); generate with \
+                 BLESS=1 cargo test -p hbbp-cli --test synth_roundtrip",
+                path.display()
+            )
+        });
+        assert_eq!(
+            expected, normalized,
+            "synth report drifted; re-bless with \
+             BLESS=1 cargo test -p hbbp-cli --test synth_roundtrip if intentional"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
+}

@@ -29,6 +29,19 @@ use hbbp_isa::Mnemonic;
 use hbbp_program::MnemonicMix;
 use std::fmt;
 
+/// Total-variation distance between two mixes as distributions, in
+/// `[0, 1]` — the one mix-comparison metric shared by every consumer:
+/// [`MixDrift::divergence`], the `hbbp watch` threshold, and the
+/// `hbbp synth` calibrator's convergence test all measure exactly this.
+///
+/// Delegates to [`MnemonicMix::tv_distance`]; `0.0` when either mix is
+/// empty (no evidence of divergence). [`MixDrift::divergence`] is pinned
+/// bit-identical to this function, so a drift verdict and a calibration
+/// distance computed from the same folds can never disagree.
+pub fn mix_distance(baseline: &MnemonicMix, current: &MnemonicMix) -> f64 {
+    baseline.tv_distance(current)
+}
+
 /// Movement of one mnemonic between a baseline and a current mix.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MixDriftRow {
@@ -109,6 +122,10 @@ impl MixDrift {
     /// `0.0` means identical shares; `1.0` means disjoint mnemonic sets.
     /// When either mix is empty the distance is defined as `0.0` — an
     /// empty window has no evidence of divergence.
+    ///
+    /// Bit-identical to [`mix_distance`] of the two mixes the drift was
+    /// built from: the sum runs over the same union of mnemonics in the
+    /// same opcode order with the same share arithmetic.
     pub fn divergence(&self) -> f64 {
         if self.baseline_total <= 0.0 || self.current_total <= 0.0 {
             return 0.0;
@@ -210,6 +227,26 @@ mod tests {
         assert_eq!(
             MixDrift::between(&MnemonicMix::new(), &mix(&[(Mnemonic::Add, 1.0)])).divergence(),
             0.0
+        );
+    }
+
+    #[test]
+    fn divergence_is_bit_identical_to_mix_distance() {
+        let baseline = mix(&[(Mnemonic::Add, 10.0), (Mnemonic::Mov, 3.0)]);
+        let current = mix(&[
+            (Mnemonic::Add, 4.0),
+            (Mnemonic::Mov, 16.0),
+            (Mnemonic::Jmp, 1.0),
+        ]);
+        let drift = MixDrift::between(&baseline, &current);
+        assert_eq!(
+            drift.divergence().to_bits(),
+            mix_distance(&baseline, &current).to_bits()
+        );
+        // And the metric is exactly symmetric.
+        assert_eq!(
+            mix_distance(&baseline, &current).to_bits(),
+            mix_distance(&current, &baseline).to_bits()
         );
     }
 

@@ -66,7 +66,7 @@ pub mod training;
 
 pub use analyzer::{Analysis, Analyzer};
 pub use collector::{HbbpProfiler, ProfileError, ProfileResult};
-pub use drift::{MixDrift, MixDriftRow};
+pub use drift::{mix_distance, MixDrift, MixDriftRow};
 pub use ebs::EbsEstimate;
 pub use errors::{MixComparison, MixErrorRow};
 pub use features::{BlockFeatures, FEATURE_NAMES};

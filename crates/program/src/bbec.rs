@@ -191,6 +191,27 @@ impl MnemonicMix {
         }
     }
 
+    /// Total-variation distance between two mixes as distributions:
+    /// `0.5 · Σ_M |self_share(M) − other_share(M)|`, in `[0, 1]`.
+    ///
+    /// `0.0` means identical shares; `1.0` means disjoint mnemonic sets.
+    /// When either mix is empty the distance is defined as `0.0` — an
+    /// empty mix carries no evidence of divergence. The sum runs over the
+    /// union of mnemonics in opcode order, which makes the result
+    /// bit-stable across call sites (`hbbp_core::MixDrift::divergence`
+    /// delegates here) and exactly symmetric (IEEE `|x − y| == |y − x|`).
+    pub fn tv_distance(&self, other: &MnemonicMix) -> f64 {
+        let (st, ot) = (self.total(), other.total());
+        if st <= 0.0 || ot <= 0.0 {
+            return 0.0;
+        }
+        0.5 * self
+            .union_mnemonics(other)
+            .into_iter()
+            .map(|m| (other.get(m) / ot - self.get(m) / st).abs())
+            .sum::<f64>()
+    }
+
     /// Mnemonics present in either mix.
     pub fn union_mnemonics<'a>(&'a self, other: &'a MnemonicMix) -> Vec<Mnemonic> {
         let mut v: Vec<Mnemonic> = self
@@ -270,6 +291,30 @@ mod tests {
         assert_eq!(top[0].0, Mnemonic::Add);
         assert_eq!(top[1].0, Mnemonic::Sub);
         assert_eq!(mix.top(10).len(), 3);
+    }
+
+    #[test]
+    fn tv_distance_is_total_variation_over_shares() {
+        let mut a = MnemonicMix::new();
+        a.add(Mnemonic::Add, 1.0);
+        a.add(Mnemonic::Mov, 3.0);
+        let mut scaled = MnemonicMix::new();
+        scaled.add(Mnemonic::Add, 10.0);
+        scaled.add(Mnemonic::Mov, 30.0);
+        // Identical shares at different scales: zero distance.
+        assert_eq!(a.tv_distance(&scaled), 0.0);
+        // Disjoint mnemonic sets: maximal distance.
+        let mut disjoint = MnemonicMix::new();
+        disjoint.add(Mnemonic::Sub, 5.0);
+        assert!((a.tv_distance(&disjoint) - 1.0).abs() < 1e-12);
+        // Exactly symmetric, bit for bit.
+        let mut b = MnemonicMix::new();
+        b.add(Mnemonic::Add, 2.0);
+        b.add(Mnemonic::Sub, 1.0);
+        assert_eq!(a.tv_distance(&b).to_bits(), b.tv_distance(&a).to_bits());
+        // An empty side is defined as zero evidence.
+        assert_eq!(MnemonicMix::new().tv_distance(&a), 0.0);
+        assert_eq!(a.tv_distance(&MnemonicMix::new()), 0.0);
     }
 
     #[test]

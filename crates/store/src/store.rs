@@ -230,6 +230,28 @@ impl Snapshot {
         v.dedup();
         v
     }
+
+    /// Window frames in canonical `(source, index)` order — the stable
+    /// timeline positions that `hbbp synth --window` selects from,
+    /// independent of arrival interleaving. Log order is preserved
+    /// among duplicates of the same `(source, index)` pair.
+    pub fn ordered_windows(&self) -> Vec<&WindowRecord> {
+        let mut v: Vec<&WindowRecord> = self.windows.iter().collect();
+        v.sort_by_key(|w| (w.source, w.index));
+        v
+    }
+
+    /// Number of window timeline frames in the snapshot.
+    pub fn window_count(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// The `n`-th window in canonical `(source, index)` order, or
+    /// `None` past the end. This is the indexing contract behind
+    /// `hbbp synth --window N`.
+    pub fn nth_window(&self, n: usize) -> Option<&WindowRecord> {
+        self.ordered_windows().get(n).copied()
+    }
 }
 
 /// An open, append-only profile store file. See the module docs for the
@@ -1382,6 +1404,56 @@ mod tests {
             (snap.windows[0].index, snap.windows[1].index),
             (0, 1),
             "window order preserved within epochs"
+        );
+    }
+
+    #[test]
+    fn window_selection_is_canonical_across_arrival_order() {
+        let path = tmp("window-select.hbbp");
+        let window = |source: u32, index: u32, weight: f64| {
+            let mut mix = MnemonicMix::new();
+            mix.add(hbbp_isa::Mnemonic::Add, weight);
+            WindowRecord {
+                source,
+                index,
+                start_cycles: u64::from(index) * 100,
+                end_cycles: u64::from(index + 1) * 100,
+                ebs_samples: 1,
+                lbr_samples: 1,
+                mix,
+            }
+        };
+        let mut s = ProfileStore::open_with_identity(&path, identity()).unwrap();
+        // Interleaved arrival from two sources, out of index order.
+        s.append_window(window(2, 0, 20.0)).unwrap();
+        s.append_window(window(1, 1, 11.0)).unwrap();
+        s.append_window(window(1, 0, 10.0)).unwrap();
+        s.append_window(window(2, 1, 21.0)).unwrap();
+        let snap = s.snapshot();
+        assert_eq!(snap.window_count(), 4);
+        // Canonical order is (source, index), not arrival order.
+        let keys: Vec<(u32, u32)> = snap
+            .ordered_windows()
+            .iter()
+            .map(|w| (w.source, w.index))
+            .collect();
+        assert_eq!(keys, vec![(1, 0), (1, 1), (2, 0), (2, 1)]);
+        // nth_window follows the same contract (the `--window N` index).
+        let third = snap.nth_window(2).expect("in range");
+        assert_eq!((third.source, third.index), (2, 0));
+        assert_eq!(
+            third.mix.get(hbbp_isa::Mnemonic::Add).to_bits(),
+            20.0f64.to_bits()
+        );
+        assert!(snap.nth_window(4).is_none());
+        // The selection survives a reopen byte-for-byte.
+        drop(s);
+        let s = ProfileStore::open(&path).unwrap();
+        let reopened = s.snapshot();
+        let third = reopened.nth_window(2).expect("in range");
+        assert_eq!(
+            third.mix.get(hbbp_isa::Mnemonic::Add).to_bits(),
+            20.0f64.to_bits()
         );
     }
 }

@@ -1,0 +1,539 @@
+//! The calibrator: compile a [`SynthSpec`] into a [`Workload`] and close
+//! the generate → measure → compare → adjust loop.
+//!
+//! [`compile`] is fully deterministic: the same spec (and its embedded
+//! seed) reproduces the identical program, layout and branch oracle —
+//! which is what makes a calibrated spec a *reproducibility contract*
+//! rather than a description. Filler instructions are allocated by
+//! largest-remainder quotas over the spec's per-mnemonic weights (every
+//! quota slot executes the same number of times by construction), so the
+//! realized dynamic filler mix matches the spec to within one slot per
+//! mnemonic instead of drifting by sampling noise.
+//!
+//! [`calibrate`] is measurement-agnostic: it takes the measurement as a
+//! closure (`spec → measured MnemonicMix`), because this crate sits
+//! *below* the perf/analysis stack in the dependency graph. The CLI
+//! injects the real pipeline (record via `PerfSession`, `analyze_fused`,
+//! hybrid fold); tests and benches can inject [`true_mix`] — the exact
+//! walked mix — to exercise solver/calibrator semantics hermetically.
+//! Acceptance is best-so-far: a step that does not improve the measured
+//! distance is rolled back and the adjustment step is damped, so the
+//! accepted-distance sequence is non-increasing by construction and the
+//! loop always terminates within its iteration cap.
+
+use crate::solver::{apportion, solve, EmissionModel};
+use crate::synth::{gen_instr, Behavior, BehaviorMap, MixProfile};
+use crate::synthspec::{SpecError, SynthSpec};
+use crate::workload::Workload;
+use hbbp_instrument::CostModel;
+use hbbp_isa::{instruction::build, Instruction, Mnemonic};
+use hbbp_program::{MnemonicMix, ProgramBuilder, Ring, Walker};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Errors from solving or calibrating.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CalibrateError {
+    /// The target mix has no weight.
+    EmptyTarget,
+    /// The candidate spec was structurally invalid.
+    Spec(SpecError),
+    /// The injected measurement failed.
+    Measure(String),
+}
+
+impl fmt::Display for CalibrateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalibrateError::EmptyTarget => write!(f, "target mix is empty"),
+            CalibrateError::Spec(e) => write!(f, "{e}"),
+            CalibrateError::Measure(m) => write!(f, "measurement failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CalibrateError {}
+
+impl From<SpecError> for CalibrateError {
+    fn from(e: SpecError) -> CalibrateError {
+        CalibrateError::Spec(e)
+    }
+}
+
+/// Knobs of one calibration run.
+#[derive(Debug, Clone)]
+pub struct CalibratorConfig {
+    /// Name given to the generated workload.
+    pub name: String,
+    /// Generation seed embedded in the spec.
+    pub seed: u64,
+    /// Convergence target: measured-vs-target total-variation distance.
+    pub tolerance: f64,
+    /// Maximum measurement iterations (including the first).
+    pub max_iters: usize,
+    /// Chain blocks in the generated hot loop.
+    pub blocks: usize,
+    /// Inner backedge trip count.
+    pub inner_trips: u64,
+    /// Approximate dynamic instructions per measurement run (sets the
+    /// outer trip count; more instructions → denser sampling → lower
+    /// measurement noise floor).
+    pub target_dynamic: u64,
+}
+
+impl Default for CalibratorConfig {
+    fn default() -> CalibratorConfig {
+        CalibratorConfig {
+            name: "synth".to_string(),
+            seed: 0xC411B,
+            tolerance: 0.02,
+            max_iters: 24,
+            blocks: 96,
+            inner_trips: 32,
+            target_dynamic: 1_200_000,
+        }
+    }
+}
+
+/// One measurement iteration of the calibrator.
+#[derive(Debug, Clone, Copy)]
+pub struct CalibrationStep {
+    /// 1-based iteration number.
+    pub iter: usize,
+    /// Measured-vs-target total-variation distance of this candidate.
+    pub distance: f64,
+    /// Whether the candidate improved on the best so far.
+    pub accepted: bool,
+    /// Candidate body length.
+    pub body_len: f64,
+    /// Candidate hop probability.
+    pub jmp_prob: f64,
+}
+
+/// The result of a calibration run.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// The best spec found.
+    pub spec: SynthSpec,
+    /// Its measured-vs-target total-variation distance.
+    pub distance: f64,
+    /// Its measured mix.
+    pub measured: MnemonicMix,
+    /// Whether `distance <= tolerance`.
+    pub converged: bool,
+    /// Measurement iterations performed.
+    pub iterations: usize,
+    /// Every iteration, in order.
+    pub steps: Vec<CalibrationStep>,
+    /// Target share carried by non-synthesizable mnemonics.
+    pub unmatchable: f64,
+}
+
+/// Compile a spec into a deterministic workload.
+///
+/// Program shape: an entry block jumps into a chain of `blocks` filler
+/// blocks. Non-call chain blocks end in a conditional whose taken edge
+/// continues the chain and whose fallthrough (probability `jmp_prob`)
+/// detours through a one-`JMP` hop block; call positions end in a `CALL`
+/// to a private leaf. The last chain block's conditional is the inner
+/// backedge (`Trips(inner_trips)`); a latch block closes the outer loop
+/// (`Trips(outer_iterations)`) and falls through to a `SYSCALL` exit.
+///
+/// # Errors
+///
+/// [`SpecError`] if the spec fails [`SynthSpec::validate`].
+pub fn compile(spec: &SynthSpec) -> Result<Workload, SpecError> {
+    spec.validate()?;
+    let em = EmissionModel::standard();
+    for &(m, _) in &spec.fill {
+        if !em.can_emit(m) {
+            return Err(SpecError::Invalid(format!(
+                "fill mnemonic {} is not synthesizable by any instruction class",
+                m.name()
+            )));
+        }
+    }
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let n = spec.blocks;
+    let cb = spec.call_blocks;
+    // Filler budget: chain slots (largest-remainder split across blocks)
+    // plus one private leaf body per call site. Every one of these slots
+    // executes exactly inner_trips · outer_iterations times, so exact
+    // slot quotas mean exact dynamic filler shares.
+    let chain_total = ((spec.body_len * n as f64).round() as usize).max(n);
+    let chain_lens = apportion(&vec![1.0; n], chain_total);
+    let slot_total = chain_total + cb * spec.leaf_len;
+    let fill_weights: Vec<f64> = spec.fill.iter().map(|&(_, w)| w).collect();
+    let mut remaining: Vec<(Mnemonic, usize)> = spec
+        .fill
+        .iter()
+        .map(|&(m, _)| m)
+        .zip(apportion(&fill_weights, slot_total))
+        .collect();
+    let profile = MixProfile::new(spec.classes.clone());
+    let quota_instr = |rng: &mut SmallRng, remaining: &mut Vec<(Mnemonic, usize)>| {
+        for _ in 0..64 {
+            let i = gen_instr(profile.sample(rng), rng);
+            if let Some(slot) = remaining
+                .iter_mut()
+                .find(|(m, left)| *m == i.mnemonic() && *left > 0)
+            {
+                slot.1 -= 1;
+                return i;
+            }
+        }
+        // Rejection stalled: force the most-needed mnemonic through its
+        // best-emitting class.
+        let (want, _) = *remaining
+            .iter()
+            .filter(|&&(_, left)| left > 0)
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.opcode().cmp(&a.0.opcode())))
+            .expect("quota slots remain while filling");
+        let class = em.best_class(want).expect("fill mnemonics are emittable");
+        loop {
+            let i = gen_instr(class, rng);
+            if i.mnemonic() == want {
+                let slot = remaining
+                    .iter_mut()
+                    .find(|&&mut (m, _)| m == want)
+                    .expect("mnemonic in quota table");
+                slot.1 -= 1;
+                return i;
+            }
+        }
+    };
+
+    let mut b = ProgramBuilder::new(spec.name.as_str());
+    let module = b.module(format!("{}.bin", spec.name), Ring::User);
+    let mut behaviors = BehaviorMap::new();
+    // One private leaf per call site: every quota slot (chain or leaf)
+    // then executes the same number of times.
+    let mut leaves = Vec::with_capacity(cb);
+    for k in 0..cb {
+        let f = b.function(module, format!("leaf{k}"));
+        let blk = b.block(f);
+        let body: Vec<Instruction> = (0..spec.leaf_len)
+            .map(|_| quota_instr(&mut rng, &mut remaining))
+            .collect();
+        b.push_all(blk, body);
+        b.terminate_ret(blk);
+        leaves.push(f);
+    }
+    let main = b.function(module, "main");
+    let entry = b.block(main);
+    let first = b.block(main);
+    // Call positions spread evenly over the chain (never the last block,
+    // which carries the inner backedge).
+    let call_pos: Vec<usize> = (0..cb).map(|k| k * (n - 1) / cb.max(1)).collect();
+    // Conditional flavours apportioned exactly across the branch sites
+    // (non-call chain blocks + the latch), which execute uniformly.
+    let jcc_weights: Vec<f64> = spec.jcc.iter().map(|&(_, w)| w).collect();
+    let jcc_counts = apportion(&jcc_weights, n - cb + 1);
+    let mut flavors: Vec<Mnemonic> = spec
+        .jcc
+        .iter()
+        .zip(&jcc_counts)
+        .flat_map(|(&(m, _), &c)| std::iter::repeat_n(m, c))
+        .collect();
+    flavors.reverse(); // consume via pop() in site order
+
+    b.push_all(entry, profile.gen_block_body(2, &mut rng));
+    b.terminate_jump(entry, first);
+    // Blocks are created in layout order as the chain unrolls: each
+    // site's successor (hop, then next chain block) directly follows it,
+    // satisfying the builder's fallthrough-adjacency rule.
+    let mut cur = first;
+    for (i, &chain_len) in chain_lens.iter().enumerate().take(n) {
+        let body: Vec<Instruction> = (0..chain_len)
+            .map(|_| quota_instr(&mut rng, &mut remaining))
+            .collect();
+        b.push_all(cur, body);
+        if i + 1 == n {
+            break;
+        }
+        if let Some(k) = call_pos.iter().position(|&p| p == i) {
+            let next = b.block(main);
+            b.terminate_call(cur, leaves[k], next);
+            cur = next;
+        } else {
+            let hop = b.block(main);
+            let next = b.block(main);
+            // Taken edge continues the chain (the common case — real code
+            // takes a branch every handful of instructions, and the LBR
+            // collector needs that density); the rarer fallthrough detours
+            // through the one-JMP hop.
+            b.terminate_branch(cur, flavors.pop().expect("site flavour"), next, hop);
+            behaviors.set(cur, Behavior::Prob(1.0 - spec.jmp_prob));
+            b.terminate_jump(hop, next);
+            cur = next;
+        }
+    }
+    debug_assert!(remaining.iter().all(|&(_, left)| left == 0));
+    let latch = b.block(main);
+    let exit = b.block(main);
+    b.terminate_branch(cur, flavors.pop().expect("backedge flavour"), first, latch);
+    behaviors.set(cur, Behavior::Trips(spec.inner_trips));
+    b.push_all(latch, profile.gen_block_body(1, &mut rng));
+    b.terminate_branch(latch, flavors.pop().expect("latch flavour"), first, exit);
+    behaviors.set(latch, Behavior::Trips(spec.outer_iterations));
+    b.push_all(exit, profile.gen_block_body(1, &mut rng));
+    b.terminate_exit(exit, build::bare(Mnemonic::Syscall));
+    let program = b
+        .build(main)
+        .map_err(|e| SpecError::Invalid(format!("generated program invalid: {e:?}")))?;
+    Ok(Workload::from_program(
+        spec.name.clone(),
+        program,
+        behaviors,
+        spec.seed ^ 0x5EED,
+        CostModel::default(),
+    ))
+}
+
+/// The exact dynamic mix of a workload, by walking it to completion with
+/// its own oracle — ground truth with no estimator in the loop. This is
+/// the hermetic measurement used by solver/calibrator tests and benches;
+/// the CLI injects the real record → analyze pipeline instead.
+pub fn true_mix(workload: &Workload) -> MnemonicMix {
+    let program = workload.program();
+    let mut execs = vec![0u64; program.block_count()];
+    let mut walker = Walker::new(program, workload.oracle());
+    while let Some(bid) = walker.next_block() {
+        execs[bid.index()] += 1;
+    }
+    let mut mix = MnemonicMix::new();
+    for block in program.blocks() {
+        let e = execs[block.id().index()];
+        if e > 0 {
+            mix.add_block(block.instrs(), e as f64);
+        }
+    }
+    mix
+}
+
+/// Run the calibration loop: solve an initial spec, then repeatedly
+/// measure, compare (total-variation distance) and adjust until the
+/// distance reaches `cfg.tolerance` or `cfg.max_iters` measurements are
+/// spent. See the module docs for acceptance semantics.
+///
+/// # Errors
+///
+/// [`CalibrateError::EmptyTarget`] for a weightless target;
+/// [`CalibrateError::Measure`] if the injected measurement fails.
+pub fn calibrate(
+    target: &MnemonicMix,
+    cfg: &CalibratorConfig,
+    measure: &mut dyn FnMut(&SynthSpec) -> Result<MnemonicMix, String>,
+) -> Result<Calibration, CalibrateError> {
+    let outcome = solve(target, cfg)?;
+    let unmatchable = outcome.unmatchable;
+    let mut current = outcome.spec;
+    let mut best: Option<(SynthSpec, f64, MnemonicMix)> = None;
+    let mut eta = 1.0;
+    let mut steps = Vec::new();
+    let max_iters = cfg.max_iters.max(1);
+    for iter in 1..=max_iters {
+        let measured = measure(&current).map_err(CalibrateError::Measure)?;
+        let distance = target.tv_distance(&measured);
+        let accepted = best.as_ref().is_none_or(|&(_, bd, _)| distance < bd);
+        steps.push(CalibrationStep {
+            iter,
+            distance,
+            accepted,
+            body_len: current.body_len,
+            jmp_prob: current.jmp_prob,
+        });
+        if accepted {
+            best = Some((current.clone(), distance, measured));
+        } else {
+            eta *= 0.5;
+        }
+        let (best_spec, best_distance, best_measured) =
+            best.as_ref().expect("first iteration is always accepted");
+        if *best_distance <= cfg.tolerance || iter == max_iters {
+            break;
+        }
+        current = refine(best_spec, target, best_measured, eta);
+    }
+    let (spec, distance, measured) = best.expect("at least one measurement");
+    Ok(Calibration {
+        converged: distance <= cfg.tolerance,
+        iterations: steps.len(),
+        spec,
+        distance,
+        measured,
+        steps,
+        unmatchable,
+    })
+}
+
+/// One damped multiplicative adjustment of a spec toward the target,
+/// using the measured mix of that same spec as feedback. Deterministic.
+fn refine(spec: &SynthSpec, target: &MnemonicMix, measured: &MnemonicMix, eta: f64) -> SynthSpec {
+    let mut next = spec.clone();
+    let (tt, mt) = (target.total(), measured.total());
+    if tt <= 0.0 || mt <= 0.0 {
+        return next;
+    }
+    let share_t = |m: Mnemonic| target.get(m) / tt;
+    let share_m = |m: Mnemonic| measured.get(m) / mt;
+    let sum_cat = |mix: &MnemonicMix, cat: hbbp_isa::Category| -> f64 {
+        mix.iter()
+            .filter(|&(m, _)| m.category() == cat)
+            .map(|(_, c)| c)
+            .sum()
+    };
+    // Structure: too much measured branch share means blocks are too
+    // short — lengthen bodies (and vice versa).
+    let t_jcc = sum_cat(target, hbbp_isa::Category::CondBranch) / tt;
+    let m_jcc = sum_cat(measured, hbbp_isa::Category::CondBranch) / mt;
+    if t_jcc > 1e-9 && m_jcc > 1e-9 {
+        next.body_len = (spec.body_len * (m_jcc / t_jcc).powf(eta)).clamp(1.0, 64.0);
+        next.leaf_len = (next.body_len.round() as usize).max(1);
+    }
+    let t_jmp = share_t(Mnemonic::Jmp);
+    let m_jmp = share_m(Mnemonic::Jmp);
+    if t_jmp > 1e-9 {
+        let factor = if m_jmp > 1e-9 {
+            (t_jmp / m_jmp).powf(eta).clamp(0.25, 4.0)
+        } else {
+            1.0 + eta
+        };
+        next.jmp_prob = (spec.jmp_prob.max(1e-4) * factor).clamp(0.0, 0.95);
+    }
+    // Filler: per-mnemonic multiplicative reweighting. Global-share
+    // ratios are used; the common filler-total factor washes out in
+    // renormalization.
+    let mut total = 0.0;
+    for (m, w) in &mut next.fill {
+        let (t, me) = (share_t(*m), share_m(*m));
+        let factor = if t > 1e-12 && me > 1e-12 {
+            (t / me).powf(eta).clamp(0.25, 4.0)
+        } else if t > 1e-12 {
+            1.0 + eta
+        } else {
+            1.0 / (1.0 + eta)
+        };
+        *w *= factor;
+        total += *w;
+    }
+    if total > 0.0 {
+        for (_, w) in &mut next.fill {
+            *w /= total;
+        }
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::InstrClass;
+
+    fn small_cfg(name: &str) -> CalibratorConfig {
+        CalibratorConfig {
+            name: name.to_string(),
+            seed: 0xABCD,
+            tolerance: 0.01,
+            max_iters: 6,
+            blocks: 24,
+            inner_trips: 8,
+            target_dynamic: 40_000,
+        }
+    }
+
+    fn int_target() -> MnemonicMix {
+        let mut t = MnemonicMix::new();
+        t.add(Mnemonic::Jnz, 80.0);
+        t.add(Mnemonic::Jle, 20.0);
+        t.add(Mnemonic::Jmp, 12.0);
+        t.add(Mnemonic::CallNear, 8.0);
+        t.add(Mnemonic::RetNear, 8.0);
+        t.add(Mnemonic::Add, 300.0);
+        t.add(Mnemonic::Sub, 120.0);
+        t.add(Mnemonic::Mov, 350.0);
+        t.add(Mnemonic::Cmp, 100.0);
+        t
+    }
+
+    #[test]
+    fn compile_is_deterministic_and_respects_quotas() {
+        let cfg = small_cfg("det");
+        let spec = solve(&int_target(), &cfg).unwrap().spec;
+        let w1 = compile(&spec).expect("compiles");
+        let w2 = compile(&spec).expect("compiles");
+        // Identical instruction streams, block by block.
+        assert_eq!(w1.program().block_count(), w2.program().block_count());
+        for (a, b) in w1.program().blocks().zip(w2.program().blocks()) {
+            assert_eq!(a.instrs(), b.instrs());
+        }
+        // And identical walks.
+        assert_eq!(
+            true_mix(&w1).iter().collect::<Vec<_>>(),
+            true_mix(&w2).iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn compiled_true_mix_tracks_the_solved_target() {
+        let cfg = small_cfg("tracks");
+        let target = int_target();
+        let spec = solve(&target, &cfg).unwrap().spec;
+        let mix = true_mix(&compile(&spec).expect("compiles"));
+        let d = target.tv_distance(&mix);
+        // Even before calibration the quota generator should land close:
+        // structure is closed-form and filler slots are exact.
+        assert!(d < 0.05, "first-shot distance {d}");
+    }
+
+    #[test]
+    fn calibrate_with_true_mix_converges_and_is_monotonic() {
+        let cfg = small_cfg("conv");
+        let target = int_target();
+        let mut measure = |spec: &SynthSpec| -> Result<MnemonicMix, String> {
+            Ok(true_mix(&compile(spec).map_err(|e| e.to_string())?))
+        };
+        let cal = calibrate(&target, &cfg, &mut measure).expect("calibrates");
+        assert!(cal.iterations <= cfg.max_iters);
+        assert!(
+            cal.converged,
+            "distance {} > tolerance {}",
+            cal.distance, cfg.tolerance
+        );
+        let accepted: Vec<f64> = cal
+            .steps
+            .iter()
+            .filter(|s| s.accepted)
+            .map(|s| s.distance)
+            .collect();
+        assert!(
+            accepted.windows(2).all(|w| w[1] < w[0]),
+            "accepted distances must strictly improve: {accepted:?}"
+        );
+        assert_eq!(cal.distance, *accepted.last().unwrap());
+    }
+
+    #[test]
+    fn measurement_errors_surface() {
+        let cfg = small_cfg("err");
+        let mut measure =
+            |_: &SynthSpec| -> Result<MnemonicMix, String> { Err("pmu on fire".to_string()) };
+        match calibrate(&int_target(), &cfg, &mut measure) {
+            Err(CalibrateError::Measure(m)) => assert!(m.contains("pmu on fire")),
+            other => panic!("expected measure error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compile_rejects_unsynthesizable_fill() {
+        let cfg = small_cfg("bad");
+        let mut spec = solve(&int_target(), &cfg).unwrap().spec;
+        spec.fill.push((Mnemonic::NopMulti, 0.1));
+        match compile(&spec) {
+            Err(SpecError::Invalid(m)) => assert!(m.contains("not synthesizable"), "{m}"),
+            other => panic!("expected invalid, got {other:?}"),
+        }
+        let _ = InstrClass::ALL;
+    }
+}

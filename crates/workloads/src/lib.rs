@@ -21,27 +21,42 @@
 //! All are built from the [`synth`] toolkit and wrapped as [`Workload`]s:
 //! program + layout + a seeded branch oracle replayable by both the CPU
 //! simulator and the instrumentation ground truth.
+//!
+//! The crate also closes the loop in the other direction: [`solver`] and
+//! [`calibrator`] compile a *target* [`hbbp_program::MnemonicMix`] into a
+//! generated workload whose measured mix replicates it ([`SynthSpec`],
+//! `hbbp synth`). The calibrator is measurement-agnostic — the perf
+//! pipeline is injected as a closure by the CLI, keeping this crate below
+//! the analysis stack in the dependency graph.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod calibrator;
 pub mod clforward;
 pub mod fitter;
 pub mod hydro;
 pub mod kernel;
 pub mod phased;
+pub mod solver;
 pub mod spec;
 pub mod synth;
+pub mod synthspec;
 pub mod test40;
 pub mod training;
 pub mod workload;
 
+pub use calibrator::{
+    calibrate, compile, true_mix, CalibrateError, Calibration, CalibrationStep, CalibratorConfig,
+};
 pub use clforward::{clforward, ClVariant};
 pub use fitter::{fitter, FitterVariant};
 pub use hydro::hydro_post;
 pub use kernel::kernel_benchmark;
 pub use phased::{phased, phased_client, phased_with};
+pub use solver::{apportion, solve, EmissionModel, SolveOutcome};
 pub use synth::{Behavior, BehaviorMap, InstrClass, MixProfile, Segment, SynthOracle};
+pub use synthspec::{SpecError, SynthSpec, SPEC_FORMAT};
 pub use test40::test40;
 pub use training::training_suite;
 pub use workload::{generate, GenSpec, Scale, Workload};

@@ -1,0 +1,404 @@
+//! The synthesis solver: target mix → initial [`SynthSpec`].
+//!
+//! Works in two layers, mirroring how a mix decomposes:
+//!
+//! * **Structure** (closed form): conditional-branch share fixes the
+//!   filler-per-branch ratio and hence the mean block body length; the
+//!   `JMP`/`Jcc` ratio fixes the hop-branch probability; the
+//!   `CALL`/`Jcc` ratio fixes how many chain positions become call
+//!   sites; the flavour split *within* the conditional-branch share is
+//!   apportioned exactly (largest remainder) across the chain's branch
+//!   sites, which all execute the same number of times.
+//! * **Filler** (per-mnemonic quotas + an EM-fitted class mixture): the
+//!   non-structural remainder of the target becomes exact per-mnemonic
+//!   quota weights, and an expectation-maximization fit over the
+//!   empirical [`EmissionModel`] recovers the [`InstrClass`] mixture
+//!   whose emissions best explain them — used by the generator to draw
+//!   operand shapes.
+//!
+//! The solver is deliberately *measurement-free*: it sees only the
+//! target [`MnemonicMix`]. The calibrator then closes the loop against
+//! real measurements.
+
+use crate::calibrator::{CalibrateError, CalibratorConfig};
+use crate::synth::{gen_instr, InstrClass};
+use crate::synthspec::SynthSpec;
+use hbbp_isa::{Category, Mnemonic};
+use hbbp_program::MnemonicMix;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+/// Empirical per-class mnemonic emission distributions, estimated once
+/// by sampling [`gen_instr`] with a fixed seed. Shared by the solver
+/// (EM fit), the compiler (quota rejection sampling) and validation
+/// (is a mnemonic synthesizable at all?).
+#[derive(Debug, Clone)]
+pub struct EmissionModel {
+    /// Indexed by [`InstrClass::index`]; each entry is `(mnemonic,
+    /// probability)` sorted by mnemonic, probabilities summing to 1.
+    dist: Vec<Vec<(Mnemonic, f64)>>,
+}
+
+/// Draws per class for [`EmissionModel::standard`].
+const STANDARD_DRAWS: u32 = 8192;
+/// Seed for [`EmissionModel::standard`].
+const STANDARD_SEED: u64 = 0xE111;
+
+impl EmissionModel {
+    /// Estimate the model with `draws` samples per class.
+    pub fn sampled(draws: u32, seed: u64) -> EmissionModel {
+        let mut dist = Vec::with_capacity(InstrClass::ALL.len());
+        for (i, &class) in InstrClass::ALL.iter().enumerate() {
+            let mut rng = SmallRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+            let mut counts: BTreeMap<Mnemonic, u32> = BTreeMap::new();
+            for _ in 0..draws.max(1) {
+                *counts
+                    .entry(gen_instr(class, &mut rng).mnemonic())
+                    .or_insert(0) += 1;
+            }
+            let total = f64::from(draws.max(1));
+            dist.push(
+                counts
+                    .into_iter()
+                    .map(|(m, c)| (m, f64::from(c) / total))
+                    .collect(),
+            );
+        }
+        EmissionModel { dist }
+    }
+
+    /// The shared model every caller uses (fixed draws and seed, so the
+    /// whole pipeline agrees on what each class emits).
+    pub fn standard() -> &'static EmissionModel {
+        static MODEL: OnceLock<EmissionModel> = OnceLock::new();
+        MODEL.get_or_init(|| EmissionModel::sampled(STANDARD_DRAWS, STANDARD_SEED))
+    }
+
+    /// The emission distribution of one class.
+    pub fn class_dist(&self, class: InstrClass) -> &[(Mnemonic, f64)] {
+        &self.dist[class.index()]
+    }
+
+    /// Probability that `class` emits `mnemonic`.
+    pub fn emits(&self, class: InstrClass, mnemonic: Mnemonic) -> f64 {
+        self.class_dist(class)
+            .iter()
+            .find(|&&(m, _)| m == mnemonic)
+            .map_or(0.0, |&(_, p)| p)
+    }
+
+    /// Whether any class emits `mnemonic`.
+    pub fn can_emit(&self, mnemonic: Mnemonic) -> bool {
+        self.best_class(mnemonic).is_some()
+    }
+
+    /// The class most likely to emit `mnemonic` (ties break toward the
+    /// earlier class in [`InstrClass::ALL`]).
+    pub fn best_class(&self, mnemonic: Mnemonic) -> Option<InstrClass> {
+        let mut best: Option<(InstrClass, f64)> = None;
+        for &class in &InstrClass::ALL {
+            let p = self.emits(class, mnemonic);
+            if p > 0.0 && best.is_none_or(|(_, bp)| p > bp) {
+                best = Some((class, p));
+            }
+        }
+        best.map(|(c, _)| c)
+    }
+
+    /// Fit class weights to a per-mnemonic filler distribution by EM on
+    /// the mixture `p(m) = Σ_c w_c · emits(c, m)`. Returns normalized
+    /// `(class, weight)` pairs in [`InstrClass::ALL`] order, pruned of
+    /// negligible classes.
+    pub fn fit_classes(&self, target: &[(Mnemonic, f64)]) -> Vec<(InstrClass, f64)> {
+        let total: f64 = target.iter().map(|&(_, w)| w.max(0.0)).sum();
+        if total <= 0.0 {
+            return vec![(InstrClass::Nop, 1.0)];
+        }
+        let t: Vec<f64> = target.iter().map(|&(_, w)| w.max(0.0) / total).collect();
+        let n_classes = InstrClass::ALL.len();
+        // a[c][m]: emission probability of target mnemonic m under class c.
+        let a: Vec<Vec<f64>> = InstrClass::ALL
+            .iter()
+            .map(|&c| target.iter().map(|&(m, _)| self.emits(c, m)).collect())
+            .collect();
+        let mut w = vec![1.0 / n_classes as f64; n_classes];
+        for _ in 0..300 {
+            let mut next = vec![0.0; n_classes];
+            for (mi, &tm) in t.iter().enumerate() {
+                if tm <= 0.0 {
+                    continue;
+                }
+                let p: f64 = (0..n_classes).map(|c| w[c] * a[c][mi]).sum();
+                if p <= 0.0 {
+                    continue;
+                }
+                for (c, nw) in next.iter_mut().enumerate() {
+                    *nw += tm * w[c] * a[c][mi] / p;
+                }
+            }
+            let norm: f64 = next.iter().sum();
+            if norm <= 0.0 {
+                break;
+            }
+            let mut delta = 0.0;
+            for (c, nw) in next.iter().enumerate() {
+                let v = nw / norm;
+                delta += (v - w[c]).abs();
+                w[c] = v;
+            }
+            if delta < 1e-12 {
+                break;
+            }
+        }
+        let kept: f64 = w.iter().filter(|&&x| x > 1e-4).sum();
+        let mut out: Vec<(InstrClass, f64)> = InstrClass::ALL
+            .iter()
+            .zip(&w)
+            .filter(|&(_, &x)| x > 1e-4)
+            .map(|(&c, &x)| (c, x / kept))
+            .collect();
+        if out.is_empty() {
+            out.push((InstrClass::Nop, 1.0));
+        }
+        out
+    }
+}
+
+/// Largest-remainder apportionment of `total` integer units to weights:
+/// the result sums to exactly `total`, each entry within one unit of its
+/// exact share. Deterministic (remainder ties break toward lower index).
+pub fn apportion(weights: &[f64], total: usize) -> Vec<usize> {
+    let wsum: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+    if wsum <= 0.0 || weights.is_empty() {
+        let mut out = vec![0; weights.len()];
+        if let Some(first) = out.first_mut() {
+            *first = total;
+        }
+        return out;
+    }
+    let exact: Vec<f64> = weights
+        .iter()
+        .map(|w| w.max(0.0) / wsum * total as f64)
+        .collect();
+    let mut out: Vec<usize> = exact.iter().map(|&e| e.floor() as usize).collect();
+    let assigned: usize = out.iter().sum();
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&i, &j| {
+        let ri = exact[i] - exact[i].floor();
+        let rj = exact[j] - exact[j].floor();
+        rj.partial_cmp(&ri)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(i.cmp(&j))
+    });
+    for k in 0..total.saturating_sub(assigned) {
+        out[order[k % order.len()]] += 1;
+    }
+    out
+}
+
+/// What [`solve`] produced: the initial spec plus the share of the
+/// target that no instruction class can emit (it is excluded from the
+/// filler quotas and becomes irreducible distance).
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// The initial, un-calibrated spec.
+    pub spec: SynthSpec,
+    /// Target share carried by non-synthesizable mnemonics, in `[0, 1]`.
+    pub unmatchable: f64,
+}
+
+/// Solve a target mix into an initial [`SynthSpec`] (closed-form
+/// structure + EM class fit; no measurements).
+///
+/// # Errors
+///
+/// [`CalibrateError::EmptyTarget`] if the target has no weight.
+pub fn solve(target: &MnemonicMix, cfg: &CalibratorConfig) -> Result<SolveOutcome, CalibrateError> {
+    let total = target.total();
+    if total <= 0.0 {
+        return Err(CalibrateError::EmptyTarget);
+    }
+    let em = EmissionModel::standard();
+    let mut s_jcc = 0.0;
+    let mut s_jmp = 0.0;
+    let mut s_call = 0.0;
+    let mut jcc: Vec<(Mnemonic, f64)> = Vec::new();
+    let mut fill: Vec<(Mnemonic, f64)> = Vec::new();
+    let mut s_fill = 0.0;
+    let mut unmatchable = 0.0;
+    for (m, c) in target.iter() {
+        let share = c / total;
+        if share <= 0.0 {
+            continue;
+        }
+        match m.category() {
+            Category::CondBranch => {
+                s_jcc += share;
+                jcc.push((m, share));
+            }
+            Category::UncondBranch => s_jmp += share,
+            Category::Call => s_call += share,
+            // Returns are paired with calls; the exit syscall is one
+            // instruction per run. Neither is an independent knob.
+            Category::Ret | Category::System => {}
+            _ if em.can_emit(m) => {
+                s_fill += share;
+                fill.push((m, share));
+            }
+            _ => unmatchable += share,
+        }
+    }
+    if jcc.is_empty() {
+        jcc.push((Mnemonic::Jnz, 1.0));
+    } else {
+        let jt: f64 = jcc.iter().map(|&(_, w)| w).sum();
+        for (_, w) in &mut jcc {
+            *w /= jt;
+        }
+    }
+    if fill.is_empty() {
+        fill.push((Mnemonic::Nop, 1.0));
+    } else {
+        for (_, w) in &mut fill {
+            *w /= s_fill;
+        }
+    }
+
+    let n = cfg.blocks.max(4);
+    let r_call = if s_jcc > 0.0 { s_call / s_jcc } else { 0.0 };
+    let call_blocks = (((n as f64) * r_call / (1.0 + r_call)).round() as usize).min(n / 2);
+    let jcc_sites = (n - call_blocks) as f64;
+    let hop_sites = (n - 1 - call_blocks) as f64;
+    let jmp_prob = if s_jcc > 0.0 && hop_sites > 0.0 {
+        ((s_jmp / s_jcc) * jcc_sites / hop_sites).clamp(0.0, 0.95)
+    } else {
+        0.0
+    };
+    // Instructions per chain iteration implied by the branch share, and
+    // the filler budget left once branches, hops, calls and returns are
+    // spent.
+    let t_e = if s_jcc > 0.0 {
+        jcc_sites / s_jcc
+    } else {
+        64.0 * n as f64
+    };
+    let struct_per_e = jcc_sites + 2.0 * call_blocks as f64 + jmp_prob * hop_sites;
+    let fill_per_e = (t_e - struct_per_e).max(n as f64);
+    let body_len = (fill_per_e / (n + call_blocks) as f64).clamp(1.0, 64.0);
+    let leaf_len = (body_len.round() as usize).max(1);
+    let inner_trips = cfg.inner_trips.max(2);
+    let dynamic_per_e = t_e.max(n as f64);
+    let outer_iterations = ((cfg.target_dynamic as f64 / (dynamic_per_e * inner_trips as f64))
+        .round() as u64)
+        .clamp(8, 100_000);
+
+    let classes = em.fit_classes(&fill);
+    let spec = SynthSpec {
+        name: cfg.name.clone(),
+        seed: cfg.seed,
+        blocks: n,
+        body_len,
+        jmp_prob,
+        call_blocks,
+        leaf_len,
+        inner_trips,
+        outer_iterations,
+        classes,
+        jcc,
+        fill,
+    };
+    Ok(SolveOutcome { spec, unmatchable })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emission_model_covers_every_class() {
+        let em = EmissionModel::standard();
+        for &c in &InstrClass::ALL {
+            let dist = em.class_dist(c);
+            assert!(!dist.is_empty(), "{c:?} emits nothing");
+            let total: f64 = dist.iter().map(|&(_, p)| p).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{c:?} sums to {total}");
+        }
+        assert!(em.can_emit(Mnemonic::Add));
+        assert!(em.can_emit(Mnemonic::Addps));
+        assert!(!em.can_emit(Mnemonic::Jmp), "branches are structural");
+        assert_eq!(em.best_class(Mnemonic::Nop), Some(InstrClass::Nop));
+    }
+
+    #[test]
+    fn fit_classes_recovers_a_dominant_mixture() {
+        let em = EmissionModel::standard();
+        // A synthetic filler target: 80% IntAlu emissions, 20% Load.
+        let mut target: Vec<(Mnemonic, f64)> = em
+            .class_dist(InstrClass::IntAlu)
+            .iter()
+            .map(|&(m, p)| (m, 0.8 * p))
+            .collect();
+        target.push((Mnemonic::Mov, 0.2));
+        let fit = em.fit_classes(&target);
+        let alu = fit
+            .iter()
+            .find(|&&(c, _)| c == InstrClass::IntAlu)
+            .map_or(0.0, |&(_, w)| w);
+        assert!(alu > 0.6, "IntAlu weight {alu}, fit {fit:?}");
+        let total: f64 = fit.iter().map(|&(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn apportion_sums_exactly_and_stays_within_one_unit() {
+        let w = [0.5, 0.25, 0.125, 0.125];
+        let out = apportion(&w, 1003);
+        assert_eq!(out.iter().sum::<usize>(), 1003);
+        for (i, &c) in out.iter().enumerate() {
+            let exact = w[i] / 1.0 * 1003.0;
+            assert!((c as f64 - exact).abs() < 1.0, "entry {i}: {c} vs {exact}");
+        }
+        // Degenerate weights fall back to the first entry.
+        assert_eq!(apportion(&[0.0, 0.0], 7), vec![7, 0]);
+    }
+
+    #[test]
+    fn solve_decomposes_structure_from_shares() {
+        // A hand-built target: 10% conditional branches of two flavours,
+        // ~1% jumps, ~1% calls+rets, the rest integer filler.
+        let mut target = MnemonicMix::new();
+        target.add(Mnemonic::Jnz, 60.0);
+        target.add(Mnemonic::Jle, 40.0);
+        target.add(Mnemonic::Jmp, 10.0);
+        target.add(Mnemonic::CallNear, 10.0);
+        target.add(Mnemonic::RetNear, 10.0);
+        target.add(Mnemonic::Add, 500.0);
+        target.add(Mnemonic::Mov, 370.0);
+        let cfg = CalibratorConfig::default();
+        let out = solve(&target, &cfg).expect("solvable");
+        let spec = &out.spec;
+        assert_eq!(spec.blocks, cfg.blocks);
+        assert!(spec.call_blocks > 0, "calls must map to call sites");
+        assert!(spec.jmp_prob > 0.0 && spec.jmp_prob < 0.5);
+        // body_len ≈ filler per branch: ~870/100 ≈ 8.7 minus structure.
+        assert!(
+            spec.body_len > 4.0 && spec.body_len < 12.0,
+            "body_len {}",
+            spec.body_len
+        );
+        assert_eq!(out.unmatchable, 0.0);
+        assert_eq!(spec.jcc.len(), 2);
+        spec.validate().expect("solver output validates");
+    }
+
+    #[test]
+    fn solve_rejects_an_empty_target() {
+        let cfg = CalibratorConfig::default();
+        assert!(matches!(
+            solve(&MnemonicMix::new(), &cfg),
+            Err(CalibrateError::EmptyTarget)
+        ));
+    }
+}

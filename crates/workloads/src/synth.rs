@@ -68,6 +68,96 @@ pub enum InstrClass {
     Sync,
     /// Plain NOPs.
     Nop,
+    /// Packed SSE FP bitwise logic (`ANDPS`, `ORPS`, `XORPS`).
+    SseLogic,
+    /// Packed SSE FP shuffles/unpacks (`UNPCKLPS`, `UNPCKHPS`).
+    SseShuffle,
+    /// Scalar SSE FP compares (`UCOMISS`, `COMISS`).
+    SseCompare,
+}
+
+impl InstrClass {
+    /// Every flavour, in declaration order — the canonical iteration
+    /// order for emission models and spec serialization.
+    pub const ALL: [InstrClass; 29] = [
+        InstrClass::IntAlu,
+        InstrClass::IntMul,
+        InstrClass::IntDiv,
+        InstrClass::Load,
+        InstrClass::Store,
+        InstrClass::Lea,
+        InstrClass::Compare,
+        InstrClass::IntConvert,
+        InstrClass::BitOps,
+        InstrClass::Stack,
+        InstrClass::SseScalar,
+        InstrClass::SsePacked,
+        InstrClass::SseDivSqrt,
+        InstrClass::SseMove,
+        InstrClass::SseConvert,
+        InstrClass::SseInt,
+        InstrClass::AvxScalar,
+        InstrClass::AvxPacked,
+        InstrClass::AvxDivSqrt,
+        InstrClass::AvxFma,
+        InstrClass::AvxMove,
+        InstrClass::X87Arith,
+        InstrClass::X87Long,
+        InstrClass::X87Move,
+        InstrClass::Sync,
+        InstrClass::Nop,
+        InstrClass::SseLogic,
+        InstrClass::SseShuffle,
+        InstrClass::SseCompare,
+    ];
+
+    /// Position in [`InstrClass::ALL`].
+    pub fn index(self) -> usize {
+        InstrClass::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("every class is in ALL")
+    }
+
+    /// Stable textual name (the variant name), used by spec JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            InstrClass::IntAlu => "IntAlu",
+            InstrClass::IntMul => "IntMul",
+            InstrClass::IntDiv => "IntDiv",
+            InstrClass::Load => "Load",
+            InstrClass::Store => "Store",
+            InstrClass::Lea => "Lea",
+            InstrClass::Compare => "Compare",
+            InstrClass::IntConvert => "IntConvert",
+            InstrClass::BitOps => "BitOps",
+            InstrClass::Stack => "Stack",
+            InstrClass::SseScalar => "SseScalar",
+            InstrClass::SsePacked => "SsePacked",
+            InstrClass::SseDivSqrt => "SseDivSqrt",
+            InstrClass::SseMove => "SseMove",
+            InstrClass::SseConvert => "SseConvert",
+            InstrClass::SseInt => "SseInt",
+            InstrClass::AvxScalar => "AvxScalar",
+            InstrClass::AvxPacked => "AvxPacked",
+            InstrClass::AvxDivSqrt => "AvxDivSqrt",
+            InstrClass::AvxFma => "AvxFma",
+            InstrClass::AvxMove => "AvxMove",
+            InstrClass::X87Arith => "X87Arith",
+            InstrClass::X87Long => "X87Long",
+            InstrClass::X87Move => "X87Move",
+            InstrClass::Sync => "Sync",
+            InstrClass::Nop => "Nop",
+            InstrClass::SseLogic => "SseLogic",
+            InstrClass::SseShuffle => "SseShuffle",
+            InstrClass::SseCompare => "SseCompare",
+        }
+    }
+
+    /// Inverse of [`InstrClass::name`].
+    pub fn from_name(name: &str) -> Option<InstrClass> {
+        InstrClass::ALL.iter().copied().find(|c| c.name() == name)
+    }
 }
 
 /// Generate one instruction of the given flavour.
@@ -301,6 +391,21 @@ pub fn gen_instr(class: InstrClass, rng: &mut SmallRng) -> Instruction {
             build::ri(pick(rng, &[Mnemonic::Xadd, Mnemonic::Cmpxchg]), g(rng), 1).locked()
         }
         InstrClass::Nop => build::bare(Mnemonic::Nop),
+        InstrClass::SseLogic => build::rr(
+            pick(rng, &[Mnemonic::Andps, Mnemonic::Orps, Mnemonic::Xorps]),
+            x(rng),
+            x(rng),
+        ),
+        InstrClass::SseShuffle => build::rr(
+            pick(rng, &[Mnemonic::Unpcklps, Mnemonic::Unpckhps]),
+            x(rng),
+            x(rng),
+        ),
+        InstrClass::SseCompare => build::rr(
+            pick(rng, &[Mnemonic::Ucomiss, Mnemonic::Comiss]),
+            x(rng),
+            x(rng),
+        ),
     }
 }
 
@@ -778,6 +883,15 @@ mod tests {
             let s = gen_instr(InstrClass::Sync, &mut rng);
             assert!(s.is_synchronizing());
         }
+    }
+
+    #[test]
+    fn instr_class_names_round_trip() {
+        for (i, c) in InstrClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(InstrClass::from_name(c.name()), Some(*c));
+        }
+        assert_eq!(InstrClass::from_name("NotAClass"), None);
     }
 
     #[test]

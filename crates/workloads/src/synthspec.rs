@@ -1,0 +1,656 @@
+//! The calibrated synthetic-workload spec and its JSON wire form.
+//!
+//! A [`SynthSpec`] is the *output* of the `hbbp synth` calibrator and the
+//! *input* of [`crate::calibrator::compile`]: every knob the solver turns
+//! — structural shape (blocks, body length, hop probability, call sites,
+//! loop trip counts), the conditional-branch flavour weights, the
+//! instruction-class mixture used for operand shapes, and the exact
+//! per-mnemonic filler quota weights — plus the generation seed. A spec
+//! plus its seed reproduces the workload byte-for-byte without
+//! re-solving, so the JSON form is the reproducibility contract: emit →
+//! parse → emit is lossless (`f64`s are printed with Rust's
+//! shortest-round-trip formatting).
+
+use crate::synth::InstrClass;
+use hbbp_isa::{Category, Mnemonic};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Format tag pinned in the JSON so readers can reject foreign files.
+pub const SPEC_FORMAT: &str = "hbbp-synth-spec-v1";
+
+/// A calibrated synthetic-workload specification.
+///
+/// See the module docs; field invariants are enforced by
+/// [`SynthSpec::validate`] (and checked again by `compile`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthSpec {
+    /// Workload name (also the module name stem).
+    pub name: String,
+    /// Generation seed: drives instruction operand draws, the quota
+    /// rejection sampler and the branch oracle.
+    pub seed: u64,
+    /// Number of chained hot-loop blocks.
+    pub blocks: usize,
+    /// Mean filler instructions per chain block (fractional: the total
+    /// filler budget is `round(body_len · blocks)`).
+    pub body_len: f64,
+    /// Probability a chain conditional is taken into its `JMP` hop block.
+    pub jmp_prob: f64,
+    /// How many chain positions are call sites (each to its own leaf).
+    pub call_blocks: usize,
+    /// Filler instructions per leaf function body.
+    pub leaf_len: usize,
+    /// Chain iterations per outer-loop visit (inner backedge trip count).
+    pub inner_trips: u64,
+    /// Outer-loop trip count; total chain executions are
+    /// `inner_trips · outer_iterations`.
+    pub outer_iterations: u64,
+    /// Instruction-class mixture used to draw operand shapes.
+    pub classes: Vec<(InstrClass, f64)>,
+    /// Conditional-branch flavour weights, apportioned exactly across
+    /// the chain's branch sites.
+    pub jcc: Vec<(Mnemonic, f64)>,
+    /// Per-mnemonic filler quota weights — the calibrator's fine knob.
+    pub fill: Vec<(Mnemonic, f64)>,
+}
+
+/// Errors from spec validation or JSON parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// JSON syntax error at a byte offset.
+    Parse {
+        /// Byte offset of the error.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The JSON parsed but does not describe a valid spec.
+    Schema(String),
+    /// The spec's values are out of range or inconsistent.
+    Invalid(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Parse { offset, message } => {
+                write!(f, "spec JSON syntax error at byte {offset}: {message}")
+            }
+            SpecError::Schema(m) => write!(f, "spec JSON schema error: {m}"),
+            SpecError::Invalid(m) => write!(f, "invalid spec: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl SynthSpec {
+    /// Check every field invariant `compile` relies on.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Invalid`] naming the first violated invariant.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let err = |m: String| Err(SpecError::Invalid(m));
+        if self.name.is_empty() {
+            return err("name must be non-empty".into());
+        }
+        if self.blocks < 4 {
+            return err(format!("blocks must be >= 4, got {}", self.blocks));
+        }
+        if self.call_blocks > self.blocks / 2 {
+            return err(format!(
+                "call_blocks must be <= blocks/2 ({}), got {}",
+                self.blocks / 2,
+                self.call_blocks
+            ));
+        }
+        if !self.body_len.is_finite() || !(1.0..=256.0).contains(&self.body_len) {
+            return err(format!(
+                "body_len must be in [1, 256], got {}",
+                self.body_len
+            ));
+        }
+        if !self.jmp_prob.is_finite() || !(0.0..1.0).contains(&self.jmp_prob) {
+            return err(format!("jmp_prob must be in [0, 1), got {}", self.jmp_prob));
+        }
+        if self.leaf_len == 0 {
+            return err("leaf_len must be >= 1".into());
+        }
+        if self.inner_trips < 2 {
+            return err(format!(
+                "inner_trips must be >= 2, got {}",
+                self.inner_trips
+            ));
+        }
+        if self.outer_iterations == 0 {
+            return err("outer_iterations must be >= 1".into());
+        }
+        for (label, len) in [
+            ("classes", self.classes.len()),
+            ("jcc", self.jcc.len()),
+            ("fill", self.fill.len()),
+        ] {
+            if len == 0 {
+                return err(format!("{label} must be non-empty"));
+            }
+        }
+        let check_weights = |label: &str, it: &mut dyn Iterator<Item = f64>| {
+            let mut total = 0.0;
+            for w in it {
+                if !w.is_finite() || w < 0.0 {
+                    return Err(SpecError::Invalid(format!(
+                        "{label} weights must be finite and >= 0, got {w}"
+                    )));
+                }
+                total += w;
+            }
+            if total <= 0.0 {
+                return Err(SpecError::Invalid(format!("{label} weights must sum > 0")));
+            }
+            Ok(())
+        };
+        check_weights("classes", &mut self.classes.iter().map(|&(_, w)| w))?;
+        check_weights("jcc", &mut self.jcc.iter().map(|&(_, w)| w))?;
+        check_weights("fill", &mut self.fill.iter().map(|&(_, w)| w))?;
+        for &(m, _) in &self.jcc {
+            if m.category() != Category::CondBranch {
+                return err(format!(
+                    "jcc flavour {} is not a conditional branch",
+                    m.name()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize to the pinned JSON wire form (pretty-printed,
+    /// shortest-round-trip floats — emit → parse → emit is lossless).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{\n  \"format\": {},", json_str(SPEC_FORMAT));
+        let _ = writeln!(s, "  \"name\": {},", json_str(&self.name));
+        let _ = writeln!(s, "  \"seed\": {},", self.seed);
+        let _ = writeln!(s, "  \"blocks\": {},", self.blocks);
+        let _ = writeln!(s, "  \"body_len\": {},", self.body_len);
+        let _ = writeln!(s, "  \"jmp_prob\": {},", self.jmp_prob);
+        let _ = writeln!(s, "  \"call_blocks\": {},", self.call_blocks);
+        let _ = writeln!(s, "  \"leaf_len\": {},", self.leaf_len);
+        let _ = writeln!(s, "  \"inner_trips\": {},", self.inner_trips);
+        let _ = writeln!(s, "  \"outer_iterations\": {},", self.outer_iterations);
+        let pairs = |s: &mut String, key: &str, rows: Vec<(String, f64)>, last: bool| {
+            let _ = write!(s, "  \"{key}\": [");
+            for (i, (name, w)) in rows.iter().enumerate() {
+                let sep = if i + 1 < rows.len() { "," } else { "" };
+                let _ = write!(s, "\n    [{}, {}]{}", json_str(name), w, sep);
+            }
+            let _ = write!(s, "\n  ]{}\n", if last { "" } else { "," });
+        };
+        pairs(
+            &mut s,
+            "classes",
+            self.classes
+                .iter()
+                .map(|&(c, w)| (c.name().to_string(), w))
+                .collect(),
+            false,
+        );
+        pairs(
+            &mut s,
+            "jcc",
+            self.jcc
+                .iter()
+                .map(|&(m, w)| (m.name().to_string(), w))
+                .collect(),
+            false,
+        );
+        pairs(
+            &mut s,
+            "fill",
+            self.fill
+                .iter()
+                .map(|&(m, w)| (m.name().to_string(), w))
+                .collect(),
+            true,
+        );
+        s.push('}');
+        s.push('\n');
+        s
+    }
+
+    /// Parse the JSON wire form.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Parse`] on malformed JSON, [`SpecError::Schema`] on a
+    /// missing/mistyped field or unknown class/mnemonic name,
+    /// [`SpecError::Invalid`] if the parsed spec fails
+    /// [`SynthSpec::validate`].
+    pub fn from_json(text: &str) -> Result<SynthSpec, SpecError> {
+        let v = parse_json(text)?;
+        let obj = v.as_obj("spec")?;
+        let format = obj.field("format")?.as_str("format")?;
+        if format != SPEC_FORMAT {
+            return Err(SpecError::Schema(format!(
+                "format must be {SPEC_FORMAT:?}, got {format:?}"
+            )));
+        }
+        let spec = SynthSpec {
+            name: obj.field("name")?.as_str("name")?.to_string(),
+            seed: obj.field("seed")?.as_u64("seed")?,
+            blocks: obj.field("blocks")?.as_u64("blocks")? as usize,
+            body_len: obj.field("body_len")?.as_f64("body_len")?,
+            jmp_prob: obj.field("jmp_prob")?.as_f64("jmp_prob")?,
+            call_blocks: obj.field("call_blocks")?.as_u64("call_blocks")? as usize,
+            leaf_len: obj.field("leaf_len")?.as_u64("leaf_len")? as usize,
+            inner_trips: obj.field("inner_trips")?.as_u64("inner_trips")?,
+            outer_iterations: obj.field("outer_iterations")?.as_u64("outer_iterations")?,
+            classes: obj.field("classes")?.as_pairs("classes", &|name| {
+                InstrClass::from_name(name)
+                    .ok_or_else(|| SpecError::Schema(format!("unknown instruction class {name:?}")))
+            })?,
+            jcc: obj.field("jcc")?.as_pairs("jcc", &parse_mnemonic)?,
+            fill: obj.field("fill")?.as_pairs("fill", &parse_mnemonic)?,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+fn parse_mnemonic(name: &str) -> Result<Mnemonic, SpecError> {
+    Mnemonic::from_name(name).ok_or_else(|| SpecError::Schema(format!("unknown mnemonic {name:?}")))
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A parsed JSON value. Numbers keep their raw token so integer fields
+/// parse at full `u64` precision and floats at full `f64` precision.
+enum Json {
+    Obj(Vec<(String, Json)>),
+    Arr(Vec<Json>),
+    Str(String),
+    Num(String),
+    // The payload is parsed for completeness but no spec field is boolean.
+    #[allow(dead_code)]
+    Bool(bool),
+    Null,
+}
+
+impl Json {
+    fn kind(&self) -> &'static str {
+        match self {
+            Json::Obj(_) => "object",
+            Json::Arr(_) => "array",
+            Json::Str(_) => "string",
+            Json::Num(_) => "number",
+            Json::Bool(_) => "boolean",
+            Json::Null => "null",
+        }
+    }
+
+    fn as_obj(&self, what: &str) -> Result<&Vec<(String, Json)>, SpecError> {
+        match self {
+            Json::Obj(fields) => Ok(fields),
+            other => Err(SpecError::Schema(format!(
+                "{what} must be an object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, SpecError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(SpecError::Schema(format!(
+                "{what} must be a string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn as_u64(&self, what: &str) -> Result<u64, SpecError> {
+        match self {
+            Json::Num(raw) => raw.parse::<u64>().map_err(|_| {
+                SpecError::Schema(format!("{what} must be an unsigned integer, got {raw}"))
+            }),
+            other => Err(SpecError::Schema(format!(
+                "{what} must be a number, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn as_f64(&self, what: &str) -> Result<f64, SpecError> {
+        match self {
+            Json::Num(raw) => raw
+                .parse::<f64>()
+                .map_err(|_| SpecError::Schema(format!("{what} must be a number, got {raw}"))),
+            other => Err(SpecError::Schema(format!(
+                "{what} must be a number, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn as_pairs<T>(
+        &self,
+        what: &str,
+        parse_name: &dyn Fn(&str) -> Result<T, SpecError>,
+    ) -> Result<Vec<(T, f64)>, SpecError> {
+        let Json::Arr(items) = self else {
+            return Err(SpecError::Schema(format!(
+                "{what} must be an array, got {}",
+                self.kind()
+            )));
+        };
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            let pair = match item {
+                Json::Arr(pair) if pair.len() == 2 => pair,
+                _ => {
+                    return Err(SpecError::Schema(format!(
+                        "{what} entries must be [name, weight] pairs"
+                    )))
+                }
+            };
+            let name = pair[0].as_str(what)?;
+            out.push((parse_name(name)?, pair[1].as_f64(what)?));
+        }
+        Ok(out)
+    }
+}
+
+trait Fields {
+    fn field(&self, key: &str) -> Result<&Json, SpecError>;
+}
+
+impl Fields for Vec<(String, Json)> {
+    fn field(&self, key: &str) -> Result<&Json, SpecError> {
+        self.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| SpecError::Schema(format!("missing field {key:?}")))
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, SpecError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data after JSON value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> SpecError {
+        SpecError::Parse {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), SpecError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, SpecError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, SpecError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected {word}")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, SpecError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, SpecError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, SpecError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| self.err("bad \\u escape"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let ch = s
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("unterminated string"))?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, SpecError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number token");
+        if raw.parse::<f64>().is_err() {
+            return Err(self.err(&format!("bad number {raw:?}")));
+        }
+        Ok(Json::Num(raw.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> SynthSpec {
+        SynthSpec {
+            name: "roundtrip".to_string(),
+            seed: u64::MAX - 3,
+            blocks: 48,
+            body_len: 11.0 / 3.0,
+            jmp_prob: 0.021739130434782608,
+            call_blocks: 3,
+            leaf_len: 4,
+            inner_trips: 32,
+            outer_iterations: 77,
+            classes: vec![(InstrClass::IntAlu, 0.7), (InstrClass::Load, 0.1 + 0.2)],
+            jcc: vec![(Mnemonic::Jnz, 0.6), (Mnemonic::Jle, 0.4)],
+            fill: vec![
+                (Mnemonic::Add, 1.0 / 7.0),
+                (Mnemonic::Mov, 2.0 / 7.0),
+                (Mnemonic::Cmp, 4.0 / 7.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_losslessly() {
+        let spec = sample_spec();
+        let json = spec.to_json();
+        let back = SynthSpec::from_json(&json).expect("parse");
+        assert_eq!(back, spec);
+        // emit → parse → emit is byte-stable.
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn json_rejects_foreign_and_malformed_input() {
+        assert!(matches!(
+            SynthSpec::from_json("{"),
+            Err(SpecError::Parse { .. })
+        ));
+        assert!(matches!(
+            SynthSpec::from_json("{\"format\": \"nope\"}"),
+            Err(SpecError::Schema(_))
+        ));
+        let mut spec = sample_spec();
+        spec.jcc = vec![(Mnemonic::Add, 1.0)];
+        assert!(matches!(
+            SynthSpec::from_json(&spec.to_json()),
+            Err(SpecError::Invalid(_))
+        ));
+        // Unknown names are schema errors with the name in the message.
+        let json = sample_spec().to_json().replace("\"ADD\"", "\"NOT_AN_OP\"");
+        match SynthSpec::from_json(&json) {
+            Err(SpecError::Schema(m)) => assert!(m.contains("NOT_AN_OP"), "{m}"),
+            other => panic!("expected schema error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_names_the_violated_invariant() {
+        let mut spec = sample_spec();
+        spec.jmp_prob = 1.5;
+        match spec.validate() {
+            Err(SpecError::Invalid(m)) => assert!(m.contains("jmp_prob"), "{m}"),
+            other => panic!("expected invalid, got {other:?}"),
+        }
+        let mut spec = sample_spec();
+        spec.fill.clear();
+        assert!(spec.validate().is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for the mix-distance metric and the solver/calibrator.
+//!
+//! The metric properties (zero iff equal, symmetric, bounded by 1) pin
+//! `MnemonicMix::tv_distance` — the one comparison every consumer
+//! (`MixDrift::divergence`, `hbbp watch`, the `hbbp synth` calibrator)
+//! shares. The solver properties pin the loop's contract: it always
+//! terminates within its iteration cap, and the accepted-step distance
+//! sequence is non-increasing (strictly improving, by construction).
+
+use hbbp_isa::Mnemonic;
+use hbbp_program::MnemonicMix;
+use hbbp_workloads::{
+    calibrate, compile, true_mix, CalibratorConfig, EmissionModel, InstrClass, SynthSpec,
+};
+use proptest::prelude::*;
+
+/// A random mix over a bounded mnemonic pool: `(index, weight)` pairs.
+fn arb_mix_entries() -> impl Strategy<Value = Vec<(u8, f64)>> {
+    proptest::collection::vec((0u8..48, 0.5f64..100.0), 1..12)
+}
+
+fn mix_from(entries: &[(u8, f64)]) -> MnemonicMix {
+    let mut m = MnemonicMix::new();
+    for &(i, w) in entries {
+        m.add(Mnemonic::ALL[i as usize % Mnemonic::ALL.len()], w);
+    }
+    m
+}
+
+/// A random synthesizable target: an emission mixture over a few classes
+/// plus structural branch/jump/call shares.
+fn arb_target() -> impl Strategy<Value = MnemonicMix> {
+    (
+        proptest::collection::vec((0u8..26, 0.2f64..10.0), 1..4),
+        0.04f64..0.2, // conditional-branch share
+        0.0f64..0.03, // jump share
+        0.0f64..0.02, // call share
+    )
+        .prop_map(|(classes, s_jcc, s_jmp, s_call)| {
+            let em = EmissionModel::standard();
+            let mut target = MnemonicMix::new();
+            let s_fill = (1.0 - s_jcc - s_jmp - s_call * 2.0).max(0.3);
+            let wsum: f64 = classes.iter().map(|&(_, w)| w).sum();
+            for &(ci, w) in &classes {
+                let class = InstrClass::ALL[ci as usize % InstrClass::ALL.len()];
+                for &(m, p) in em.class_dist(class) {
+                    target.add(m, 10_000.0 * s_fill * (w / wsum) * p);
+                }
+            }
+            target.add(Mnemonic::Jnz, 10_000.0 * s_jcc * 0.7);
+            target.add(Mnemonic::Jle, 10_000.0 * s_jcc * 0.3);
+            if s_jmp > 0.0 {
+                target.add(Mnemonic::Jmp, 10_000.0 * s_jmp);
+            }
+            if s_call > 0.0 {
+                target.add(Mnemonic::CallNear, 10_000.0 * s_call);
+                target.add(Mnemonic::RetNear, 10_000.0 * s_call);
+            }
+            target
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tv_distance_is_zero_iff_equal(entries in arb_mix_entries()) {
+        let a = mix_from(&entries);
+        // Identical mixes: exactly zero.
+        assert_eq!(a.tv_distance(&a), 0.0);
+        // Equal shares at a power-of-two scale (exact in FP): still zero.
+        let mut scaled = a.clone();
+        scaled.scale(4.0);
+        assert_eq!(a.tv_distance(&scaled), 0.0);
+        // Shifting weight onto a mnemonic absent from `a`: strictly positive.
+        let absent = Mnemonic::ALL
+            .iter()
+            .copied()
+            .find(|&m| a.get(m) == 0.0)
+            .expect("pool is larger than any generated mix");
+        let mut perturbed = a.clone();
+        perturbed.add(absent, 1.0);
+        assert!(a.tv_distance(&perturbed) > 0.0);
+    }
+
+    #[test]
+    fn tv_distance_is_symmetric_and_bounded(
+        ea in arb_mix_entries(),
+        eb in arb_mix_entries(),
+    ) {
+        let (a, b) = (mix_from(&ea), mix_from(&eb));
+        let d = a.tv_distance(&b);
+        // Symmetric to the bit, not just approximately.
+        assert_eq!(d.to_bits(), b.tv_distance(&a).to_bits());
+        assert!((0.0..=1.0 + 1e-9).contains(&d), "d = {d}");
+        // Empty sides carry no evidence.
+        assert_eq!(a.tv_distance(&MnemonicMix::new()), 0.0);
+    }
+
+    #[test]
+    fn calibrator_terminates_and_accepted_steps_improve(
+        target in arb_target(),
+        seed in 1u64..u64::MAX,
+    ) {
+        let cfg = CalibratorConfig {
+            name: "prop".to_string(),
+            seed,
+            tolerance: 0.015,
+            max_iters: 5,
+            blocks: 24,
+            inner_trips: 8,
+            target_dynamic: 30_000,
+        };
+        let mut measure = |spec: &SynthSpec| -> Result<MnemonicMix, String> {
+            Ok(true_mix(&compile(spec).map_err(|e| e.to_string())?))
+        };
+        let cal = calibrate(&target, &cfg, &mut measure).expect("random targets calibrate");
+        // Terminates within the cap, always.
+        assert!(cal.iterations >= 1 && cal.iterations <= cfg.max_iters);
+        assert_eq!(cal.steps.len(), cal.iterations);
+        // Accepted distances are strictly decreasing; the reported best
+        // is the last accepted one.
+        let accepted: Vec<f64> = cal
+            .steps
+            .iter()
+            .filter(|s| s.accepted)
+            .map(|s| s.distance)
+            .collect();
+        assert!(!accepted.is_empty(), "first step is always accepted");
+        assert!(
+            accepted.windows(2).all(|w| w[1] < w[0]),
+            "accepted distances must improve: {accepted:?}"
+        );
+        assert_eq!(cal.distance.to_bits(), accepted.last().unwrap().to_bits());
+        assert_eq!(cal.converged, cal.distance <= cfg.tolerance);
+        // The winning spec replays deterministically: re-measuring it
+        // reproduces the recorded best distance bit for bit.
+        let again = measure(&cal.spec).unwrap();
+        assert_eq!(
+            target.tv_distance(&again).to_bits(),
+            cal.distance.to_bits()
+        );
+    }
+}
